@@ -1,0 +1,28 @@
+//! Benchmarks the TMG cycle-time solvers (Howard vs the parametric
+//! baseline) on generated SoCs of growing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sysgraph::lower_to_tmg;
+
+fn bench_cycle_time(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cycle_time");
+    group.sample_size(10);
+    for &n in &[100usize, 400, 1_600] {
+        let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 7));
+        let mut sys = soc.system.clone();
+        let solution = chanorder::order_channels(&sys);
+        solution.ordering.apply_to(&mut sys).expect("valid");
+        let lowered = lower_to_tmg(&sys);
+        group.bench_with_input(BenchmarkId::new("howard", n), &lowered, |b, l| {
+            b.iter(|| black_box(tmg::analyze(l.tmg())));
+        });
+        group.bench_with_input(BenchmarkId::new("parametric", n), &lowered, |b, l| {
+            b.iter(|| black_box(tmg::analyze_parametric(l.tmg())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_cycle_time);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Benchmarks the ERMES exploration loop on the MPEG-2 case study — the
+//! work behind Fig. 6 of the paper.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use ermes::{explore, ExplorationConfig};
+use std::hint::black_box;
+
+fn bench_exploration(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exploration");
+    group.sample_size(10);
+    group.bench_function("fig6_timing_tct2000k", |b| {
+        b.iter(|| {
+            let (design, _) = mpeg2sys::m2_design();
+            black_box(explore(design, ExplorationConfig::with_target(2_000_000)))
+        });
+    });
+    group.bench_function("fig6_area_tct4000k", |b| {
+        b.iter(|| {
+            let (design, _) = mpeg2sys::m2_design();
+            black_box(explore(design, ExplorationConfig::with_target(4_000_000)))
+        });
+    });
+    group.bench_function("m1_reordering_only", |b| {
+        b.iter(|| {
+            let (mut design, _) = mpeg2sys::m1_design();
+            black_box(ermes::reordering_gain(&mut design))
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_exploration);
+criterion_main!(benches);

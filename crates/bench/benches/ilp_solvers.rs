@@ -1,0 +1,61 @@
+//! Benchmarks the ILP paths (exact branch & bound vs multiple-choice
+//! knapsack DP vs greedy) on area-recovery-shaped problems.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ilp::{solve_multiple_choice_knapsack, McItem, Problem, Sense};
+use std::hint::black_box;
+
+fn instance(groups: usize, items: usize) -> Vec<Vec<McItem>> {
+    (0..groups)
+        .map(|g| {
+            (0..items)
+                .map(|i| McItem {
+                    value: ((g * 7 + i * 13) % 19) as f64,
+                    weight: ((g * 5 + i * 3) % 11) as i64,
+                })
+                .collect()
+        })
+        .collect()
+}
+
+fn bench_ilp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ilp");
+    group.sample_size(10);
+    for &g in &[8usize, 16, 26] {
+        let groups = instance(g, 6);
+        let cap = (g * 6) as i64;
+        group.bench_with_input(BenchmarkId::new("mckp_dp", g), &groups, |b, gr| {
+            b.iter(|| black_box(solve_multiple_choice_knapsack(gr, cap)));
+        });
+        group.bench_with_input(BenchmarkId::new("branch_bound", g), &groups, |b, gr| {
+            b.iter(|| {
+                let mut p = Problem::new();
+                let mut cap_terms = Vec::new();
+                for (gi, items) in gr.iter().enumerate() {
+                    let vars: Vec<_> = items
+                        .iter()
+                        .enumerate()
+                        .map(|(i, item)| {
+                            let v = p.add_binary(format!("x{gi}_{i}"));
+                            p.set_objective_coeff(v, item.value);
+                            cap_terms.push((v, item.weight as f64));
+                            v
+                        })
+                        .collect();
+                    p.add_constraint(
+                        format!("one{gi}"),
+                        vars.iter().map(|&v| (v, 1.0)).collect(),
+                        Sense::Eq,
+                        1.0,
+                    );
+                }
+                p.add_constraint("cap", cap_terms, Sense::Le, cap as f64);
+                black_box(p.solve())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ilp);
+criterion_main!(benches);

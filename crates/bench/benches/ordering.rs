@@ -1,0 +1,23 @@
+//! Benchmarks Algorithm 1 (the O(E log E) channel ordering) against the
+//! conservative baseline, on generated SoCs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn bench_ordering(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ordering");
+    group.sample_size(10);
+    for &n in &[100usize, 1_000, 10_000] {
+        let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 11));
+        group.bench_with_input(BenchmarkId::new("algorithm1", n), &soc.system, |b, sys| {
+            b.iter(|| black_box(chanorder::order_channels(sys)));
+        });
+        group.bench_with_input(BenchmarkId::new("conservative", n), &soc.system, |b, sys| {
+            b.iter(|| black_box(chanorder::conservative_ordering(sys)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ordering);
+criterion_main!(benches);

@@ -1,0 +1,30 @@
+//! The E9 scalability benchmark: full pipeline (generate once, then
+//! order + analyze) at growing sizes up to the paper's 10,000 processes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sysgraph::lower_to_tmg;
+
+fn bench_scalability(c: &mut Criterion) {
+    let mut group = c.benchmark_group("scalability");
+    group.sample_size(10);
+    for &n in &[1_000usize, 5_000, 10_000] {
+        let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 42));
+        group.bench_with_input(
+            BenchmarkId::new("order_and_analyze", n),
+            &soc.system,
+            |b, sys| {
+                b.iter(|| {
+                    let solution = chanorder::order_channels(sys);
+                    let mut ordered = sys.clone();
+                    solution.ordering.apply_to(&mut ordered).expect("valid");
+                    black_box(tmg::analyze(lower_to_tmg(&ordered).tmg()))
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

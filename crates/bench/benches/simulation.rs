@@ -1,0 +1,28 @@
+//! Benchmarks the cycle-accurate simulator against the analytic model —
+//! quantifying the paper's motivation that TMG analysis replaces
+//! "time-consuming simulation".
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use sysgraph::lower_to_tmg;
+
+fn bench_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulation_vs_analysis");
+    group.sample_size(10);
+    for &n in &[50usize, 200] {
+        let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 3));
+        let mut sys = soc.system.clone();
+        let solution = chanorder::order_channels(&sys);
+        solution.ordering.apply_to(&mut sys).expect("valid");
+        group.bench_with_input(BenchmarkId::new("simulate_200_iters", n), &sys, |b, s| {
+            b.iter(|| black_box(pnsim::simulate_timing(s, 200)));
+        });
+        group.bench_with_input(BenchmarkId::new("analyze", n), &sys, |b, s| {
+            b.iter(|| black_box(tmg::analyze(lower_to_tmg(s).tmg())));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulation);
+criterion_main!(benches);

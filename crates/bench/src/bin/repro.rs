@@ -1,0 +1,333 @@
+//! Regenerates every table and figure of the paper.
+//!
+//! ```text
+//! repro [--experiment <id>]
+//! ```
+//!
+//! Ids: `fig2`, `fig2b`, `fig3`, `fig4`, `orders`, `table1`, `m1`,
+//! `fig6-timing`, `fig6-area`, `scalability`, `pipeline`, or `all`
+//! (default). See EXPERIMENTS.md for the paper-versus-measured record.
+
+use bench::experiments;
+use ermes::StepAction;
+
+fn banner(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn run_fig2() {
+    banner("E1 / Fig. 2(a) — motivating example: deadlock and ordering");
+    let r = experiments::fig2();
+    println!("ordering space              : {} (paper: 36)", r.ordering_space);
+    println!(
+        "Section-2 ordering          : {} (paper: deadlock)",
+        if r.deadlock_order_deadlocks { "deadlock" } else { "live" }
+    );
+    println!(
+        "cycle-accurate simulation   : {}",
+        if r.simulation_stalls { "stalls" } else { "runs" }
+    );
+    println!(
+        "suboptimal ordering CT      : {} (paper: 20)",
+        r.suboptimal_cycle_time
+    );
+    println!(
+        "optimal ordering CT         : {} (paper: 12, 40% better)",
+        r.optimal_cycle_time
+    );
+}
+
+fn run_fig2b() {
+    banner("E2 / Fig. 2(b) — the FSM a commercial HLS tool generates for P2");
+    println!("{}", experiments::fig2b());
+}
+
+fn run_fig3() {
+    banner("E3 / Fig. 3 — TMG model of the motivating system");
+    let r = experiments::fig3();
+    println!("transitions                 : {} (7 processes + 8 channels)", r.transitions);
+    println!("places                      : {}", r.places);
+    println!("initial tokens              : {} (one per process)", r.initial_tokens);
+    println!(
+        "places feeding channel b    : {} (its put-place and get-place)",
+        r.channel_b_feed_count
+    );
+}
+
+fn run_fig4() {
+    banner("E4 / Fig. 4 — channel-ordering algorithm on the example");
+    let r = experiments::fig4();
+    println!(
+        "head weights (e, d, g)      : {:?} (paper: (19, 13, 17))",
+        r.head_weights_e_d_g
+    );
+    println!(
+        "tail weights (b, d, f)      : {:?} (paper: (16, 10, 13))",
+        r.tail_weights_b_d_f
+    );
+    println!("P6 get order                : {:?} (paper: d, g, e)", r.p6_gets);
+    println!("P2 put order                : {:?} (paper: b, f, d)", r.p2_puts);
+    println!(
+        "algorithm cycle time        : {} (paper: 12)",
+        r.algorithm_cycle_time
+    );
+    println!(
+        "exhaustive optimum          : {} over all 36 orderings",
+        r.exhaustive_optimum
+    );
+    println!(
+        "improvement vs suboptimal   : {:.1}% (paper: 40%)",
+        r.improvement_percent
+    );
+}
+
+fn run_orders() {
+    banner("E10 — ordering-space formula");
+    let ex = sysgraph::MotivatingExample::new();
+    println!(
+        "Π (|in(p)|! · |out(p)|!)    : {} (paper: 36)",
+        ex.system.ordering_space()
+    );
+    let (_, topo) = mpeg2sys::mpeg2_design();
+    println!(
+        "same formula on the MPEG-2  : {} orderings",
+        topo.system.ordering_space()
+    );
+}
+
+fn run_table1() {
+    banner("E5 / Table 1 — MPEG-2 encoder experimental setup");
+    println!("{}", mpeg2sys::Table1::measure());
+    println!("(paper: 26 processes, 60 channels, 171 Pareto points, 352x240)");
+}
+
+fn run_m1() {
+    banner("E6 — M1: channel reordering only");
+    let r = experiments::m1_reordering();
+    println!(
+        "CT before (conservative)    : {:.1} KCycles",
+        r.before.to_f64() / 1e3
+    );
+    println!(
+        "CT after reordering         : {:.1} KCycles",
+        r.after.to_f64() / 1e3
+    );
+    println!(
+        "improvement                 : {:.1}% at constant area {:.3} mm2",
+        r.improvement_percent, r.area
+    );
+    println!(
+        "random statement orders     : {}/40 deadlock the encoder",
+        r.random_orders_deadlocking
+    );
+    println!("(paper: 5% CT improvement, no area change — see EXPERIMENTS.md)");
+}
+
+fn action_name(a: StepAction) -> &'static str {
+    match a {
+        StepAction::Initial => "initial",
+        StepAction::TimingOptimization => "timing-optimization",
+        StepAction::AreaRecovery => "area-recovery",
+        StepAction::Converged => "converged",
+    }
+}
+
+fn run_fig6(target_kcycles: u64, label: &str, paper: &str) {
+    banner(label);
+    let trace = experiments::fig6(target_kcycles);
+    println!("iter  action               CT [KCycles]   area [mm2]  meets");
+    for r in &trace.iterations {
+        println!(
+            "{:>4}  {:<20} {:>12.1} {:>12.3}  {}",
+            r.index,
+            action_name(r.action),
+            r.cycle_time.to_f64() / 1e3,
+            r.area,
+            if r.meets_target { "yes" } else { "no" }
+        );
+    }
+    println!(
+        "best point (iteration {})   : CT {:.1} KCycles, area {:.3} mm2",
+        trace.best_index,
+        trace.best().cycle_time.to_f64() / 1e3,
+        trace.best().area
+    );
+    println!(
+        "speed-up {:.2}x, area change {:+.2}%   ({paper})",
+        trace.speedup(),
+        100.0 * trace.area_change()
+    );
+    println!("{}", ermes::render_trace(&trace, target_kcycles * 1_000, 12));
+}
+
+fn run_sweep() {
+    banner("System-level Pareto front of the MPEG-2 (multi-target sweep)");
+    println!("target [KC]   best CT [KC]   area [mm2]  meets");
+    for p in experiments::mpeg2_sweep() {
+        println!(
+            "{:>11.0}   {:>12.1}   {:>10.3}  {}",
+            p.target_cycle_time as f64 / 1e3,
+            p.cycle_time.to_f64() / 1e3,
+            p.area,
+            if p.meets_target { "yes" } else { "no" }
+        );
+    }
+    let (slow, fast) = experiments::motivating_stalls();
+    println!("
+stall cycles on the motivating example (200 iterations):");
+    println!("  suboptimal ordering: {slow}");
+    println!("  optimal ordering   : {fast} ({:.1}% less waiting)",
+             100.0 * (slow - fast) as f64 / slow as f64);
+}
+
+fn run_ablation() {
+    banner("Ablation — design-choice studies (DESIGN.md §6)");
+    let r = experiments::ablation();
+    println!(
+        "tie-break (symmetric systems, {} trials):",
+        r.symmetric_trials
+    );
+    println!(
+        "  paper's timestamp rule    : {} deadlocks",
+        r.timestamp_deadlocks
+    );
+    println!(
+        "  adversarial tie resolution: {} deadlocks",
+        r.adversarial_deadlocks
+    );
+    println!(
+        "in-loop reordering (M2 timing exploration, best CT):"
+    );
+    println!(
+        "  with reordering           : {:.1} KCycles",
+        r.explore_with_reorder / 1e3
+    );
+    println!(
+        "  without reordering        : {:.1} KCycles",
+        r.explore_without_reorder / 1e3
+    );
+    println!("buffer sizing on M1 (one extra FIFO slot):");
+    println!(
+        "  deepen `{}`: CT {:.1}K -> {:.1}K",
+        r.buffer_channel,
+        r.buffer_before / 1e3,
+        r.buffer_after / 1e3
+    );
+}
+
+fn run_scalability() {
+    banner("E9 — scalability on synthetic SoCs (feedback + reconvergence)");
+    println!("processes  channels  ordering[ms]  analysis[ms]  exploration[ms]");
+    for row in experiments::scalability(&[100, 500, 1_000, 5_000, 10_000]) {
+        println!(
+            "{:>9}  {:>8}  {:>12.1}  {:>12.1}  {:>15.1}",
+            row.processes, row.channels, row.ordering_ms, row.analysis_ms, row.exploration_ms
+        );
+    }
+    println!("(paper: \"a few minutes in the worst cases\" at 10,000/15,000)");
+}
+
+fn run_pipeline() {
+    banner("Functional MPEG-2-style pipeline on the process-network engine");
+    let frames: Vec<mpeg2sys::Frame> = (0..6)
+        .map(|i| {
+            mpeg2sys::Frame::synthetic(
+                mpeg2sys::frame::FUNC_WIDTH,
+                mpeg2sys::frame::FUNC_HEIGHT,
+                i * 3,
+                i,
+            )
+        })
+        .collect();
+    let golden = mpeg2sys::encode_sequence(&frames, mpeg2sys::CodecConfig::default());
+    let piped = mpeg2sys::run_pipeline(frames.clone(), mpeg2sys::CodecConfig::default());
+    let identical = piped
+        .encoded
+        .iter()
+        .zip(&golden)
+        .all(|(a, b)| *a == b.bytes);
+    let total_bits: usize = piped.encoded.iter().map(|b| b.len() * 8).sum();
+    println!("frames encoded              : {}", piped.encoded.len());
+    println!("network cycles              : {}", piped.cycles);
+    println!(
+        "bitstream vs golden encoder : {}",
+        if identical { "bit-identical" } else { "MISMATCH" }
+    );
+    println!("total bits                  : {total_bits}");
+    let decoded = mpeg2sys::decode_sequence(
+        &piped.encoded,
+        mpeg2sys::frame::FUNC_WIDTH,
+        mpeg2sys::frame::FUNC_HEIGHT,
+    )
+    .expect("well-formed stream");
+    let psnr = decoded
+        .last()
+        .map(|d| d.psnr(frames.last().expect("non-empty")))
+        .unwrap_or(0.0);
+    println!("last-frame PSNR             : {psnr:.1} dB");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let experiment = args
+        .iter()
+        .position(|a| a == "--experiment")
+        .and_then(|i| args.get(i + 1))
+        .map_or("all", String::as_str);
+
+    match experiment {
+        "fig2" => run_fig2(),
+        "fig2b" => run_fig2b(),
+        "fig3" => run_fig3(),
+        "fig4" => run_fig4(),
+        "orders" => run_orders(),
+        "table1" => run_table1(),
+        "m1" => run_m1(),
+        "fig6-timing" => run_fig6(
+            2_000,
+            "E7 / Fig. 6 (left) — timing optimization, TCT = 2,000 KCycles",
+            "paper: 2x speed-up, +44.57% area",
+        ),
+        "fig6-area" => run_fig6(
+            4_000,
+            "E8 / Fig. 6 (right) — area recovery, TCT = 4,000 KCycles",
+            "paper: -32.46% area, <1% CT degradation",
+        ),
+        "scalability" => run_scalability(),
+        "pipeline" => run_pipeline(),
+        "ablation" => run_ablation(),
+        "sweep" => run_sweep(),
+        "all" => {
+            run_fig2();
+            run_fig2b();
+            run_fig3();
+            run_fig4();
+            run_orders();
+            run_table1();
+            run_m1();
+            run_fig6(
+                2_000,
+                "E7 / Fig. 6 (left) — timing optimization, TCT = 2,000 KCycles",
+                "paper: 2x speed-up, +44.57% area",
+            );
+            run_fig6(
+                4_000,
+                "E8 / Fig. 6 (right) — area recovery, TCT = 4,000 KCycles",
+                "paper: -32.46% area, <1% CT degradation",
+            );
+            run_pipeline();
+            run_ablation();
+            run_sweep();
+            run_scalability();
+        }
+        other => {
+            eprintln!("unknown experiment `{other}`");
+            eprintln!(
+                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability pipeline ablation sweep all"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,487 @@
+//! The experiment implementations behind the `repro` binary.
+//!
+//! One function per paper artifact (see DESIGN.md's experiment index);
+//! each returns a plain-data summary that the binary prints and the
+//! integration tests assert against.
+
+use chanorder::{cycle_time_of, exhaustive_best_ordering, order_channels};
+use ermes::{explore, reordering_gain, ExplorationConfig, ExplorationTrace};
+use std::time::Instant;
+use sysgraph::{chan_index as ci, lower_to_tmg, proc_index as pi, MotivatingExample};
+use tmg::Ratio;
+
+/// E1 — Fig. 2(a): the motivating example's three orderings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig2Result {
+    /// `Π (in! · out!)` for the system (paper: 36).
+    pub ordering_space: u128,
+    /// The Section 2 ordering deadlocks (model verdict).
+    pub deadlock_order_deadlocks: bool,
+    /// ...and the cycle-accurate simulation stalls too.
+    pub simulation_stalls: bool,
+    /// Cycle time of the deadlock-free but slow ordering (paper: 20).
+    pub suboptimal_cycle_time: Ratio,
+    /// Cycle time of the optimal ordering (paper: 12).
+    pub optimal_cycle_time: Ratio,
+}
+
+/// Runs E1.
+#[must_use]
+pub fn fig2() -> Fig2Result {
+    let ex = MotivatingExample::new();
+    let deadlock = cycle_time_of(&ex.system, &ex.deadlock_ordering())
+        .expect("valid ordering")
+        .is_deadlock();
+    let mut sys = ex.system.clone();
+    ex.deadlock_ordering().apply_to(&mut sys).expect("valid");
+    let stalls = pnsim::simulate_timing(&sys, 20).deadlocked;
+    let suboptimal = cycle_time_of(&ex.system, &ex.suboptimal_ordering())
+        .expect("valid ordering")
+        .cycle_time()
+        .expect("live");
+    let optimal = cycle_time_of(&ex.system, &ex.optimal_ordering())
+        .expect("valid ordering")
+        .cycle_time()
+        .expect("live");
+    Fig2Result {
+        ordering_space: ex.system.ordering_space(),
+        deadlock_order_deadlocks: deadlock,
+        simulation_stalls: stalls,
+        suboptimal_cycle_time: suboptimal,
+        optimal_cycle_time: optimal,
+    }
+}
+
+/// E2 — Fig. 2(b): the FSM of process P2 as text.
+#[must_use]
+pub fn fig2b() -> String {
+    let ex = MotivatingExample::new();
+    pnsim::process_fsm(&ex.system, ex.processes[pi::P2]).to_string()
+}
+
+/// E3 — Fig. 3: structure of the TMG lowered from the motivating system.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Fig3Result {
+    /// One transition per process plus one per channel.
+    pub transitions: usize,
+    /// Chain places (two per channel plus per-process links).
+    pub places: usize,
+    /// Initial tokens: one per process iteration start.
+    pub initial_tokens: u64,
+    /// The put-place and get-place feeding channel b's transition.
+    pub channel_b_feed_count: usize,
+}
+
+/// Runs E3.
+#[must_use]
+pub fn fig3() -> Fig3Result {
+    let ex = MotivatingExample::new();
+    let lowered = lower_to_tmg(&ex.system);
+    let g = lowered.tmg();
+    Fig3Result {
+        transitions: g.transition_count(),
+        places: g.place_count(),
+        initial_tokens: g.total_tokens(),
+        channel_b_feed_count: sysgraph::channel_places(&lowered, ex.channels[ci::B]).len(),
+    }
+}
+
+/// E4 — Fig. 4: the channel-ordering algorithm's labels and result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig4Result {
+    /// Head weights of arcs (e, d, g) — paper: (19, 13, 17).
+    pub head_weights_e_d_g: (u64, u64, u64),
+    /// Tail weights of arcs (b, d, f) — paper: (16, 10, 13).
+    pub tail_weights_b_d_f: (u64, u64, u64),
+    /// P6's computed get order as channel names — paper: d, g, e.
+    pub p6_gets: Vec<String>,
+    /// P2's computed put order as channel names — paper: b, f, d.
+    pub p2_puts: Vec<String>,
+    /// Cycle time achieved by the algorithm (paper: 12).
+    pub algorithm_cycle_time: Ratio,
+    /// Exhaustive optimum over all 36 orderings (paper: 12).
+    pub exhaustive_optimum: Ratio,
+    /// Improvement over the suboptimal ordering (paper: 40 %).
+    pub improvement_percent: f64,
+}
+
+/// Runs E4.
+#[must_use]
+pub fn fig4() -> Fig4Result {
+    let ex = MotivatingExample::new();
+    let solution = order_channels(&ex.system);
+    let hw = |i: usize| solution.head_labels[ex.channels[i].index()].weight;
+    let tw = |i: usize| solution.tail_labels[ex.channels[i].index()].weight;
+    let algorithm_ct = cycle_time_of(&ex.system, &solution.ordering)
+        .expect("valid ordering")
+        .cycle_time()
+        .expect("live");
+    let exhaustive = exhaustive_best_ordering(&ex.system, 1_000).expect("small space");
+    let suboptimal = cycle_time_of(&ex.system, &ex.suboptimal_ordering())
+        .expect("valid ordering")
+        .cycle_time()
+        .expect("live");
+    Fig4Result {
+        head_weights_e_d_g: (hw(ci::E), hw(ci::D), hw(ci::G)),
+        tail_weights_b_d_f: (tw(ci::B), tw(ci::D), tw(ci::F)),
+        p6_gets: solution
+            .ordering
+            .gets(ex.processes[pi::P6])
+            .iter()
+            .map(|c| ex.system.channel(*c).name().to_string())
+            .collect(),
+        p2_puts: solution
+            .ordering
+            .puts(ex.processes[pi::P2])
+            .iter()
+            .map(|c| ex.system.channel(*c).name().to_string())
+            .collect(),
+        algorithm_cycle_time: algorithm_ct,
+        exhaustive_optimum: exhaustive.best_cycle_time,
+        improvement_percent: 100.0 * (suboptimal.to_f64() - algorithm_ct.to_f64())
+            / suboptimal.to_f64(),
+    }
+}
+
+/// E6 — the M1 experiment: reordering only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct M1Result {
+    /// Cycle time under the conservative ordering, in cycles.
+    pub before: Ratio,
+    /// Cycle time after running the channel-ordering algorithm.
+    pub after: Ratio,
+    /// Improvement in percent (paper: 5 %).
+    pub improvement_percent: f64,
+    /// Area before and after — identical by construction (paper: "without
+    /// any increase in area occupation").
+    pub area: f64,
+    /// How many of 40 random statement orders deadlock the encoder — the
+    /// risk ERMES removes "without the support of a tool like ERMES, it
+    /// is difficult to go beyond such conservative ordering".
+    pub random_orders_deadlocking: usize,
+}
+
+/// Runs E6.
+#[must_use]
+pub fn m1_reordering() -> M1Result {
+    let (mut design, _) = mpeg2sys::m1_design();
+    let conservative = chanorder::conservative_ordering(design.system());
+    conservative
+        .apply_to(design.system_mut())
+        .expect("valid ordering");
+    let area = design.area();
+    let random_orders_deadlocking = (0..40u64)
+        .filter(|&seed| {
+            chanorder::cycle_time_of(
+                design.system(),
+                &chanorder::random_ordering(design.system(), seed),
+            )
+            .expect("valid ordering")
+            .is_deadlock()
+        })
+        .count();
+    let (before, after) = reordering_gain(&mut design).expect("live system");
+    assert!((design.area() - area).abs() < 1e-12, "area must not change");
+    M1Result {
+        before,
+        after,
+        improvement_percent: 100.0 * (before.to_f64() - after.to_f64()) / before.to_f64(),
+        area,
+        random_orders_deadlocking,
+    }
+}
+
+/// E7/E8 — the two Fig. 6 explorations from M2.
+#[must_use]
+pub fn fig6(target_kcycles: u64) -> ExplorationTrace {
+    let (design, _) = mpeg2sys::m2_design();
+    explore(design, ExplorationConfig::with_target(target_kcycles * 1_000))
+        .expect("MPEG-2 explorations succeed")
+}
+
+/// One row of the E9 scalability sweep.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScalabilityRow {
+    /// Worker process count.
+    pub processes: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// Milliseconds for one channel-ordering run.
+    pub ordering_ms: f64,
+    /// Milliseconds for one TMG cycle-time analysis.
+    pub analysis_ms: f64,
+    /// Milliseconds for a full ERMES exploration (greedy IP selection).
+    pub exploration_ms: f64,
+}
+
+/// Runs E9 for the given sizes.
+#[must_use]
+pub fn scalability(sizes: &[usize]) -> Vec<ScalabilityRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 42));
+            let channels = soc.system.channel_count();
+
+            let t0 = Instant::now();
+            let solution = order_channels(&soc.system);
+            let ordering_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let mut sys = soc.system.clone();
+            solution.ordering.apply_to(&mut sys).expect("valid");
+            let t1 = Instant::now();
+            let verdict = tmg::analyze(lower_to_tmg(&sys).tmg());
+            let analysis_ms = t1.elapsed().as_secs_f64() * 1e3;
+            assert!(!verdict.is_deadlock(), "generated benchmarks are live");
+
+            let design = ermes::Design::new(soc.system, soc.pareto).expect("sizes match");
+            let target = verdict
+                .cycle_time()
+                .expect("live")
+                .to_f64()
+                .mul_add(0.7, 0.0) as u64;
+            let t2 = Instant::now();
+            let _ = explore(
+                design,
+                ExplorationConfig {
+                    max_iterations: 4,
+                    strategy: ermes::OptStrategy::Greedy,
+                    ..ExplorationConfig::with_target(target.max(1))
+                },
+            )
+            .expect("exploration succeeds");
+            let exploration_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+            ScalabilityRow {
+                processes: n,
+                channels,
+                ordering_ms,
+                analysis_ms,
+                exploration_ms,
+            }
+        })
+        .collect()
+}
+
+/// The system-level Pareto front of the MPEG-2 encoder across target
+/// cycle times (the "set of Pareto-optimal implementations for the
+/// overall system" the paper starts from, re-derived by ERMES).
+#[must_use]
+pub fn mpeg2_sweep() -> Vec<ermes::SweepPoint> {
+    let (design, _) = mpeg2sys::m2_design();
+    ermes::pareto_sweep(
+        design,
+        &[1_000_000, 1_500_000, 2_000_000, 3_000_000, 4_000_000, 6_000_000],
+    )
+    .expect("MPEG-2 sweeps")
+}
+
+/// Stall statistics of the motivating example under its two live
+/// orderings: `(suboptimal stall cycles, optimal stall cycles)` summed
+/// over all processes of a 200-iteration run.
+#[must_use]
+pub fn motivating_stalls() -> (u64, u64) {
+    let total = |ordering: sysgraph::ChannelOrdering| -> u64 {
+        let mut ex = MotivatingExample::new();
+        ordering.apply_to(&mut ex.system).expect("valid");
+        let outcome = pnsim::simulate_timing(&ex.system, 200);
+        pnsim::stall_report(&ex.system, &outcome)
+            .iter()
+            .map(|s| s.stall_cycles)
+            .sum()
+    };
+    let ex = MotivatingExample::new();
+    (total(ex.suboptimal_ordering()), total(ex.optimal_ordering()))
+}
+
+/// Ablation results (design-choice studies promised in DESIGN.md §6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct AblationResult {
+    /// Of `symmetric_trials` symmetric systems, how many deadlock under
+    /// the paper's timestamp tie-break (must be 0).
+    pub timestamp_deadlocks: usize,
+    /// ...and under the adversarial tie resolution (must be > 0).
+    pub adversarial_deadlocks: usize,
+    /// Trials run.
+    pub symmetric_trials: usize,
+    /// Best cycle time of the M2 timing exploration *with* in-loop
+    /// channel reordering, in cycles.
+    pub explore_with_reorder: f64,
+    /// ...and with reordering disabled.
+    pub explore_without_reorder: f64,
+    /// MPEG-2 buffer-sizing: cycle time before and after one extra FIFO
+    /// slot on the most profitable critical channel, with its name.
+    pub buffer_before: f64,
+    /// Cycle time after the best single-slot insertion.
+    pub buffer_after: f64,
+    /// The channel that was deepened.
+    pub buffer_channel: String,
+}
+
+/// Runs the ablation studies.
+#[must_use]
+pub fn ablation() -> AblationResult {
+    // --- Tie-break necessity on symmetric structures. -------------------
+    let mut timestamp_deadlocks = 0;
+    let mut adversarial_deadlocks = 0;
+    let trials = 20;
+    for k in 0..trials {
+        // A hub feeding a join through 2..4 identical parallel channels.
+        let mut sys = sysgraph::SystemGraph::new();
+        let src = sys.add_process("src", 1);
+        let hub = sys.add_process("hub", 2);
+        let join = sys.add_process("join", 2);
+        let snk = sys.add_process("snk", 1);
+        sys.add_channel("in", src, hub, 1).expect("valid");
+        for i in 0..(2 + k % 3) {
+            sys.add_channel(format!("d{i}"), hub, join, 2 + (k % 4) as u64)
+                .expect("valid");
+        }
+        sys.add_channel("out", join, snk, 1).expect("valid");
+        for (policy, counter) in [
+            (chanorder::TieBreak::Timestamp, &mut timestamp_deadlocks),
+            (chanorder::TieBreak::Adversarial, &mut adversarial_deadlocks),
+        ] {
+            let solution = chanorder::order_channels_with(
+                &sys,
+                chanorder::OrderingOptions { tie_break: policy },
+            );
+            if cycle_time_of(&sys, &solution.ordering)
+                .expect("valid")
+                .is_deadlock()
+            {
+                *counter += 1;
+            }
+        }
+    }
+
+    // --- Reordering inside the exploration loop. -------------------------
+    let run = |reorder: bool| -> f64 {
+        let (design, _) = mpeg2sys::m2_design();
+        let trace = explore(
+            design,
+            ExplorationConfig {
+                reorder,
+                ..ExplorationConfig::with_target(2_000_000)
+            },
+        )
+        .expect("M2 explores");
+        trace.best().cycle_time.to_f64()
+    };
+    let explore_with_reorder = run(true);
+    let explore_without_reorder = run(false);
+
+    // --- Buffer sizing on the case study (the §7 extension). -------------
+    let (mut design, _) = mpeg2sys::m1_design();
+    let solution = order_channels(design.system());
+    solution
+        .ordering
+        .apply_to(design.system_mut())
+        .expect("valid");
+    let buffer_before = ermes::analyze_design(&design)
+        .cycle_time()
+        .expect("live")
+        .to_f64();
+    let effects = ermes::buffer_sensitivity(&design).expect("live");
+    let best = effects
+        .iter()
+        .min_by(|a, b| a.cycle_time.cmp(&b.cycle_time))
+        .expect("critical channels exist");
+    AblationResult {
+        timestamp_deadlocks,
+        adversarial_deadlocks,
+        symmetric_trials: trials,
+        explore_with_reorder,
+        explore_without_reorder,
+        buffer_before,
+        buffer_after: best.cycle_time.to_f64(),
+        buffer_channel: design
+            .system()
+            .channel(best.channel)
+            .name()
+            .to_string(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig2_matches_paper_numbers() {
+        let r = fig2();
+        assert_eq!(r.ordering_space, 36);
+        assert!(r.deadlock_order_deadlocks);
+        assert!(r.simulation_stalls);
+        assert_eq!(r.suboptimal_cycle_time, Ratio::new(20, 1));
+        assert_eq!(r.optimal_cycle_time, Ratio::new(12, 1));
+    }
+
+    #[test]
+    fn fig4_matches_paper_labels_and_orders() {
+        let r = fig4();
+        assert_eq!(r.head_weights_e_d_g, (19, 13, 17));
+        assert_eq!(r.tail_weights_b_d_f, (16, 10, 13));
+        assert_eq!(r.p6_gets, vec!["d", "g", "e"]);
+        assert_eq!(r.p2_puts, vec!["b", "f", "d"]);
+        assert_eq!(r.algorithm_cycle_time, Ratio::new(12, 1));
+        assert_eq!(r.exhaustive_optimum, Ratio::new(12, 1));
+        assert!((r.improvement_percent - 40.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fig3_structure() {
+        let r = fig3();
+        // 7 processes + 8 channels.
+        assert_eq!(r.transitions, 15);
+        assert_eq!(r.channel_b_feed_count, 2);
+        assert_eq!(r.initial_tokens, 7, "one token per process");
+    }
+
+    #[test]
+    fn fig2b_fsm_text() {
+        let text = fig2b();
+        assert!(text.contains("FSM of P2"));
+        assert!(text.contains("stall self-loop"));
+    }
+
+    #[test]
+    fn sweep_front_is_monotone() {
+        let front = mpeg2_sweep();
+        assert!(front.len() >= 3, "expected a multi-point front");
+        for w in front.windows(2) {
+            assert!(w[0].cycle_time < w[1].cycle_time);
+            assert!(w[0].area > w[1].area);
+        }
+    }
+
+    #[test]
+    fn optimal_ordering_stalls_less() {
+        let (slow, fast) = motivating_stalls();
+        assert!(fast < slow, "optimal {fast} vs suboptimal {slow}");
+    }
+
+    #[test]
+    fn ablation_confirms_design_choices() {
+        let r = ablation();
+        assert_eq!(r.timestamp_deadlocks, 0, "the paper's tie-break is safe");
+        assert!(r.adversarial_deadlocks > 0, "the ablation control must fail");
+        assert!(r.buffer_after <= r.buffer_before);
+    }
+
+    #[test]
+    fn m1_reordering_holds_performance_and_avoids_deadlock() {
+        let r = m1_reordering();
+        // Our reconstruction's frame loop is ordering-insensitive (see
+        // EXPERIMENTS.md): the algorithm must match the conservative
+        // order within 1%, never regress materially, and the deadlock
+        // statistic must show why the tool is needed at all.
+        let rel = (r.after.to_f64() - r.before.to_f64()) / r.before.to_f64();
+        assert!(rel < 0.01, "algorithm regressed by {:.3}%", rel * 100.0);
+        assert!(
+            r.random_orders_deadlocking > 30,
+            "random orders were unexpectedly safe: {}",
+            r.random_orders_deadlocking
+        );
+    }
+}

@@ -1,0 +1,444 @@
+//! Algorithm 1 of the paper: Forward Labeling, Backward Labeling, Final
+//! Ordering.
+//!
+//! The algorithm sorts the chain of `put` statements in each process by
+//! giving priority to those that start a path whose aggregate latency is
+//! longer, and the chain of `get` statements by giving priority to those
+//! that end a path whose aggregate latency is shorter. Weight ties are
+//! broken by traversal timestamps, which the paper notes is necessary to
+//! avoid deadlocks on symmetric structures. Complexity is
+//! O(|E| log |E|).
+//!
+//! The paper presents the traversals on the (acyclic) testbench-to-
+//! testbench flow; real systems also contain feedback loops (Section 6),
+//! so this implementation first identifies feedback arcs with a DFS and
+//! treats them as non-gating during the queue-driven traversals: they
+//! still receive labels when their tail vertex is processed, but they do
+//! not hold up the visit of their head vertex.
+
+use crate::label::Label;
+use sysgraph::{ChannelId, ChannelOrdering, ProcessId, SystemGraph};
+
+/// How ties between equal label weights are resolved in Final Ordering.
+///
+/// The paper: "ties among the weight values are broken according the
+/// ascending values of the timestamps: this tie-break is necessary to
+/// avoid certain deadlock situations, which may occur in graphs with some
+/// symmetric structures". [`TieBreak::Adversarial`] exists purely as the
+/// ablation control demonstrating that necessity: it resolves `put` ties
+/// opposite to `get` ties, which deadlocks symmetric parallel channels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TieBreak {
+    /// Ascending traversal timestamps on both sides (the paper's rule).
+    #[default]
+    Timestamp,
+    /// Ablation: ascending timestamps for `get`s but *descending* for
+    /// `put`s — a plausible-looking rule that deadlocks on symmetric
+    /// structures.
+    Adversarial,
+}
+
+/// Options for [`order_channels_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct OrderingOptions {
+    /// Tie-break policy for equal weights.
+    pub tie_break: TieBreak,
+}
+
+/// The result of running the channel-ordering algorithm.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OrderingSolution {
+    /// The deadlock-free, performance-optimized ordering.
+    pub ordering: ChannelOrdering,
+    /// Head labels from Forward Labeling, indexed by channel.
+    pub head_labels: Vec<Label>,
+    /// Tail labels from Backward Labeling, indexed by channel.
+    pub tail_labels: Vec<Label>,
+    /// Channels classified as feedback arcs during the forward traversal.
+    pub feedback_channels: Vec<ChannelId>,
+}
+
+/// Classifies the channels whose removal makes the system acyclic.
+///
+/// The primary criterion is *designer intent*: channels pre-loaded with
+/// initial tokens are the loop-breakers of latency-insensitive feedback
+/// loops, so they are non-gating for the traversals. If uninitialized
+/// cycles remain (an ill-formed system that deadlocks regardless of
+/// ordering), a DFS restricted to each remaining strongly connected
+/// component marks back-edges as additional feedback so the labeling
+/// still terminates and covers every arc.
+fn feedback_arcs(system: &SystemGraph) -> Vec<bool> {
+    let n = system.process_count();
+    let m = system.channel_count();
+    let mut feedback: Vec<bool> = (0..m)
+        .map(|c| system.channel(ChannelId::from_index(c)).initial_tokens() > 0)
+        .collect();
+
+    // Iterate until the residual graph is a DAG: find an SCC with an
+    // internal cycle, break it with DFS back-edges, repeat (one pass is
+    // almost always enough).
+    loop {
+        // Kahn check over the residual graph.
+        let mut indeg = vec![0usize; n];
+        for c in system.channel_ids() {
+            if !feedback[c.index()] {
+                indeg[system.channel(c).to().index()] += 1;
+            }
+        }
+        let mut queue: Vec<usize> = (0..n).filter(|&v| indeg[v] == 0).collect();
+        let mut seen = 0;
+        while let Some(v) = queue.pop() {
+            seen += 1;
+            for &c in system.put_order(ProcessId::from_index(v)) {
+                if !feedback[c.index()] {
+                    let w = system.channel(c).to().index();
+                    indeg[w] -= 1;
+                    if indeg[w] == 0 {
+                        queue.push(w);
+                    }
+                }
+            }
+        }
+        if seen == n {
+            return feedback;
+        }
+        // Residual cycles remain: break them with a DFS over the residual
+        // graph, marking back-edges.
+        const WHITE: u8 = 0;
+        const GRAY: u8 = 1;
+        const BLACK: u8 = 2;
+        let mut color = vec![WHITE; n];
+        for start in 0..n {
+            if color[start] != WHITE {
+                continue;
+            }
+            let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+            color[start] = GRAY;
+            while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+                let outs = system.put_order(ProcessId::from_index(v));
+                if *pos < outs.len() {
+                    let c = outs[*pos];
+                    *pos += 1;
+                    if feedback[c.index()] {
+                        continue;
+                    }
+                    let w = system.channel(c).to().index();
+                    match color[w] {
+                        WHITE => {
+                            color[w] = GRAY;
+                            frames.push((w, 0));
+                        }
+                        GRAY => feedback[c.index()] = true,
+                        _ => {}
+                    }
+                } else {
+                    color[v] = BLACK;
+                    frames.pop();
+                }
+            }
+        }
+    }
+}
+
+/// Runs the channel-ordering algorithm on the system's current orders
+/// (the traversals consider out-arcs "following any order among its put
+/// statements" — we use the current order, matching the paper's setup of
+/// starting from a designer-given or conservative order).
+///
+/// # Examples
+///
+/// ```
+/// use chanorder::order_channels;
+/// use sysgraph::MotivatingExample;
+///
+/// let ex = MotivatingExample::new();
+/// let solution = order_channels(&ex.system);
+/// // The computed ordering never deadlocks the motivating system.
+/// let mut sys = ex.system.clone();
+/// solution.ordering.apply_to(&mut sys)?;
+/// let verdict = tmg::analyze(sysgraph::lower_to_tmg(&sys).tmg());
+/// assert!(!verdict.is_deadlock());
+/// # Ok::<(), sysgraph::SysGraphError>(())
+/// ```
+#[must_use]
+pub fn order_channels(system: &SystemGraph) -> OrderingSolution {
+    order_channels_with(system, OrderingOptions::default())
+}
+
+/// [`order_channels`] with explicit [`OrderingOptions`] — used by the
+/// ablation studies.
+#[must_use]
+pub fn order_channels_with(system: &SystemGraph, options: OrderingOptions) -> OrderingSolution {
+    let n = system.process_count();
+    let m = system.channel_count();
+
+    // ---------------- Forward Labeling ---------------------------------
+    let fwd_feedback = feedback_arcs(system);
+
+    let mut head_labels = vec![Label::default(); m];
+    let mut head_assigned = vec![false; m];
+    {
+        // Kahn traversal over the DAG of non-feedback arcs.
+        let mut indegree = vec![0usize; n];
+        for c in system.channel_ids() {
+            if !fwd_feedback[c.index()] {
+                indegree[system.channel(c).to().index()] += 1;
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&v| indegree[v] == 0).collect();
+        let mut timestamp = 1u64;
+        while let Some(x) = queue.pop_front() {
+            let p = ProcessId::from_index(x);
+            let max_in_weight = system
+                .get_order(p)
+                .iter()
+                .filter(|c| head_assigned[c.index()])
+                .map(|c| head_labels[c.index()].weight)
+                .max()
+                .unwrap_or(0);
+            let sum_out_latency: u64 = system
+                .put_order(p)
+                .iter()
+                .map(|&c| system.channel(c).latency())
+                .sum();
+            let weight = max_in_weight + sum_out_latency + system.process(p).latency();
+            for &c in system.put_order(p) {
+                head_labels[c.index()] = Label::new(weight, timestamp);
+                head_assigned[c.index()] = true;
+                timestamp += 1;
+                if !fwd_feedback[c.index()] {
+                    let y = system.channel(c).to().index();
+                    indegree[y] -= 1;
+                    if indegree[y] == 0 {
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        debug_assert!(head_assigned.iter().all(|&a| a), "forward labeling covers all arcs");
+    }
+
+    // ---------------- Backward Labeling --------------------------------
+    // In-arcs of a vertex are considered in increasing order of the head
+    // timestamps assigned by the forward pass.
+    let in_arcs_by_head_ts = |v: usize| -> Vec<ChannelId> {
+        let mut arcs: Vec<ChannelId> = system.get_order(ProcessId::from_index(v)).to_vec();
+        arcs.sort_by_key(|c| head_labels[c.index()].timestamp);
+        arcs
+    };
+    // The same feedback set makes the reversed residual graph a DAG.
+    let bwd_feedback = &fwd_feedback;
+
+    let mut tail_labels = vec![Label::default(); m];
+    let mut tail_assigned = vec![false; m];
+    {
+        let mut outdegree = vec![0usize; n];
+        for c in system.channel_ids() {
+            if !bwd_feedback[c.index()] {
+                outdegree[system.channel(c).from().index()] += 1;
+            }
+        }
+        let mut queue: std::collections::VecDeque<usize> =
+            (0..n).filter(|&v| outdegree[v] == 0).collect();
+        let mut timestamp = 1u64;
+        while let Some(x) = queue.pop_front() {
+            let p = ProcessId::from_index(x);
+            let max_out_weight = system
+                .put_order(p)
+                .iter()
+                .filter(|c| tail_assigned[c.index()])
+                .map(|c| tail_labels[c.index()].weight)
+                .max()
+                .unwrap_or(0);
+            let sum_in_latency: u64 = system
+                .get_order(p)
+                .iter()
+                .map(|&c| system.channel(c).latency())
+                .sum();
+            let weight = max_out_weight + sum_in_latency + system.process(p).latency();
+            for c in in_arcs_by_head_ts(x) {
+                tail_labels[c.index()] = Label::new(weight, timestamp);
+                tail_assigned[c.index()] = true;
+                timestamp += 1;
+                if !bwd_feedback[c.index()] {
+                    let y = system.channel(c).from().index();
+                    outdegree[y] -= 1;
+                    if outdegree[y] == 0 {
+                        queue.push_back(y);
+                    }
+                }
+            }
+        }
+        debug_assert!(tail_assigned.iter().all(|&a| a), "backward labeling covers all arcs");
+    }
+
+    // ---------------- Final Ordering ------------------------------------
+    let mut ordering = ChannelOrdering::of(system);
+    for p in system.process_ids() {
+        let mut gets: Vec<ChannelId> = system.get_order(p).to_vec();
+        gets.sort_by_key(|c| {
+            (
+                head_labels[c.index()].weight,
+                head_labels[c.index()].timestamp,
+            )
+        });
+        ordering.set_gets(p, gets);
+
+        let mut puts: Vec<ChannelId> = system.put_order(p).to_vec();
+        match options.tie_break {
+            TieBreak::Timestamp => puts.sort_by_key(|c| {
+                (
+                    std::cmp::Reverse(tail_labels[c.index()].weight),
+                    tail_labels[c.index()].timestamp,
+                )
+            }),
+            TieBreak::Adversarial => puts.sort_by_key(|c| {
+                (
+                    std::cmp::Reverse(tail_labels[c.index()].weight),
+                    std::cmp::Reverse(tail_labels[c.index()].timestamp),
+                )
+            }),
+        }
+        ordering.set_puts(p, puts);
+    }
+
+    OrderingSolution {
+        ordering,
+        head_labels,
+        tail_labels,
+        feedback_channels: (0..m)
+            .filter(|&c| fwd_feedback[c])
+            .map(ChannelId::from_index)
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::cycle_time_of;
+    use sysgraph::{chan_index as ci, proc_index as pi, MotivatingExample};
+
+    #[test]
+    fn motivating_example_orders_match_the_paper() {
+        let ex = MotivatingExample::new();
+        let solution = order_channels(&ex.system);
+        // Section 4: P6 reads d, then g, then e (ascending head weights).
+        let p6_gets = solution.ordering.gets(ex.processes[pi::P6]);
+        assert_eq!(
+            p6_gets,
+            &[
+                ex.channels[ci::D],
+                ex.channels[ci::G],
+                ex.channels[ci::E]
+            ],
+            "P6 get order"
+        );
+        // The head weight of d must be strictly smallest among {d, g, e}.
+        let w = |i: usize| solution.head_labels[ex.channels[i].index()].weight;
+        assert!(w(ci::D) <= w(ci::G) && w(ci::G) <= w(ci::E));
+    }
+
+    #[test]
+    fn motivating_example_reaches_optimal_cycle_time() {
+        let ex = MotivatingExample::new();
+        let solution = order_channels(&ex.system);
+        let verdict = cycle_time_of(&ex.system, &solution.ordering).expect("valid ordering");
+        let ct = verdict.cycle_time().expect("live system");
+        assert_eq!(ct, tmg::Ratio::new(12, 1), "paper's optimum cycle time");
+    }
+
+    #[test]
+    fn forward_weight_of_p2_outputs_is_consistent() {
+        // Section 4 worked example: weight(P2 out-arcs) =
+        // MaxInArcWeight + SumOutArcLatency + L(P2). With the default
+        // latencies: 3 + 5 + 5 = 13.
+        let ex = MotivatingExample::new();
+        let solution = order_channels(&ex.system);
+        for &i in &[ci::B, ci::D, ci::F] {
+            assert_eq!(solution.head_labels[ex.channels[i].index()].weight, 13);
+        }
+        // The in-arc a of P2 carries lat(a) + L(src) = 3.
+        assert_eq!(solution.head_labels[ex.channels[ci::A].index()].weight, 3);
+    }
+
+    #[test]
+    fn acyclic_system_has_no_feedback_channels() {
+        let ex = MotivatingExample::new();
+        let solution = order_channels(&ex.system);
+        assert!(solution.feedback_channels.is_empty());
+    }
+
+    #[test]
+    fn feedback_loop_is_detected_and_ordering_is_live() {
+        let mut sys = sysgraph::SystemGraph::new();
+        let src = sys.add_process("src", 1);
+        let a = sys.add_process("a", 2);
+        let b = sys.add_process("b", 3);
+        let snk = sys.add_process("snk", 1);
+        sys.add_channel("in", src, a, 1).expect("valid");
+        sys.add_channel("fwd", a, b, 1).expect("valid");
+        sys.add_channel_with_tokens("fb", b, a, 1, 1).expect("valid");
+        sys.add_channel("out", b, snk, 1).expect("valid");
+        let solution = order_channels(&sys);
+        assert_eq!(solution.feedback_channels.len(), 1);
+        let verdict = cycle_time_of(&sys, &solution.ordering).expect("valid ordering");
+        assert!(!verdict.is_deadlock());
+    }
+
+    /// A symmetric structure: two identical parallel channels between the
+    /// same pair of processes. All labels tie, so the tie-break alone
+    /// decides consistency.
+    fn symmetric_parallel_system() -> sysgraph::SystemGraph {
+        let mut sys = sysgraph::SystemGraph::new();
+        let src = sys.add_process("src", 1);
+        let hub = sys.add_process("hub", 2);
+        let join = sys.add_process("join", 2);
+        let snk = sys.add_process("snk", 1);
+        sys.add_channel("in", src, hub, 1).expect("valid");
+        sys.add_channel("d1", hub, join, 3).expect("valid");
+        sys.add_channel("d2", hub, join, 3).expect("valid");
+        sys.add_channel("out", join, snk, 1).expect("valid");
+        sys
+    }
+
+    #[test]
+    fn timestamp_tie_break_keeps_symmetric_structures_live() {
+        let sys = symmetric_parallel_system();
+        let solution =
+            order_channels_with(&sys, OrderingOptions { tie_break: TieBreak::Timestamp });
+        let verdict = cycle_time_of(&sys, &solution.ordering).expect("valid");
+        assert!(!verdict.is_deadlock(), "the paper's tie-break must be safe");
+    }
+
+    #[test]
+    fn adversarial_tie_break_deadlocks_symmetric_structures() {
+        // The ablation of the paper's Section 4 remark: resolving ties
+        // inconsistently across the two traversals crosses the two
+        // parallel channels and hangs the system.
+        let sys = symmetric_parallel_system();
+        let solution =
+            order_channels_with(&sys, OrderingOptions { tie_break: TieBreak::Adversarial });
+        let verdict = cycle_time_of(&sys, &solution.ordering).expect("valid");
+        assert!(
+            verdict.is_deadlock(),
+            "without the consistent tie-break the symmetric system must hang"
+        );
+    }
+
+    #[test]
+    fn single_chain_is_a_fixed_point() {
+        let mut sys = sysgraph::SystemGraph::new();
+        let mut prev = sys.add_process("p0", 1);
+        for i in 1..5 {
+            let next = sys.add_process(format!("p{i}"), 1);
+            sys.add_channel(format!("c{i}"), prev, next, 1).expect("valid");
+            prev = next;
+        }
+        let before = sysgraph::ChannelOrdering::of(&sys);
+        let solution = order_channels(&sys);
+        // With one channel per endpoint there is nothing to reorder.
+        assert_eq!(solution.ordering, before);
+    }
+}

@@ -1,0 +1,179 @@
+//! The conservative, provably deadlock-free baseline ordering.
+//!
+//! Section 6 of the paper compares against implementations "based on the
+//! choice of a conservative ordering that guarantees absence of deadlock
+//! but may introduce unnecessary serialization". This module constructs
+//! such an ordering: every process sorts its `get`s and `put`s by a global
+//! rank derived from a topological order of the SCC condensation of the
+//! system graph.
+//!
+//! **Why this is deadlock-free** (for acyclic topologies): a token-free
+//! cycle in the lowered TMG corresponds to a cyclic chain of channels in
+//! which each consecutive pair is linked by a within-process precedence
+//! (`get` before `get`, `get` before `put`, or `put` before `put`). Under
+//! the global rank, every within-process precedence strictly increases the
+//! rank (a process's inputs come from topologically earlier processes), so
+//! no such cycle can close. Cycles in the topology itself must carry
+//! initial tokens on their feedback channels to be live at all, which
+//! breaks the corresponding TMG cycles independently of ordering.
+
+use sysgraph::{ChannelId, ChannelOrdering, ProcessId, SystemGraph};
+
+/// Topological order of the SCC condensation: returns a rank per process
+/// such that rank increases along every inter-SCC channel.
+fn condensation_ranks(system: &SystemGraph) -> Vec<usize> {
+    let n = system.process_count();
+    // Tarjan over processes.
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack = Vec::new();
+    let mut component = vec![UNVISITED; n];
+    let mut next_index = 0;
+    let mut count = 0;
+    let out = |v: usize| -> Vec<usize> {
+        system
+            .put_order(ProcessId::from_index(v))
+            .iter()
+            .map(|&c| system.channel(c).to().index())
+            .collect()
+    };
+    for start in 0..n {
+        if index[start] != UNVISITED {
+            continue;
+        }
+        let mut frames: Vec<(usize, Vec<usize>, usize)> = vec![(start, out(start), 0)];
+        index[start] = next_index;
+        lowlink[start] = next_index;
+        next_index += 1;
+        stack.push(start);
+        on_stack[start] = true;
+        while let Some(&mut (v, ref succs, ref mut pos)) = frames.last_mut() {
+            if *pos < succs.len() {
+                let w = succs[*pos];
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    let kids = out(w);
+                    frames.push((w, kids, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component[w] = count;
+                        if w == v {
+                            break;
+                        }
+                    }
+                    count += 1;
+                }
+            }
+        }
+    }
+    // Tarjan emits components in reverse topological order: component id
+    // `count-1-c` is a valid topological rank.
+    component.iter().map(|&c| count - 1 - c).collect()
+}
+
+/// Builds the conservative deadlock-free ordering: `get`s and `put`s of
+/// every process sorted by `(rank(producer), rank(consumer), channel id)`.
+///
+/// # Examples
+///
+/// ```
+/// use chanorder::{conservative_ordering, cycle_time_of};
+/// use sysgraph::MotivatingExample;
+///
+/// let ex = MotivatingExample::new();
+/// let ord = conservative_ordering(&ex.system);
+/// let verdict = cycle_time_of(&ex.system, &ord)?;
+/// assert!(!verdict.is_deadlock());
+/// # Ok::<(), sysgraph::SysGraphError>(())
+/// ```
+#[must_use]
+pub fn conservative_ordering(system: &SystemGraph) -> ChannelOrdering {
+    let rank = condensation_ranks(system);
+    let key = |c: &ChannelId| {
+        let ch = system.channel(*c);
+        (rank[ch.from().index()], rank[ch.to().index()], c.index())
+    };
+    let mut ordering = ChannelOrdering::of(system);
+    for p in system.process_ids() {
+        let mut gets: Vec<ChannelId> = system.get_order(p).to_vec();
+        gets.sort_by_key(key);
+        ordering.set_gets(p, gets);
+        let mut puts: Vec<ChannelId> = system.put_order(p).to_vec();
+        puts.sort_by_key(key);
+        ordering.set_puts(p, puts);
+    }
+    ordering
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::evaluate::cycle_time_of;
+    use sysgraph::MotivatingExample;
+
+    #[test]
+    fn conservative_ordering_is_live_on_the_motivating_example() {
+        let ex = MotivatingExample::new();
+        let ord = conservative_ordering(&ex.system);
+        let verdict = cycle_time_of(&ex.system, &ord).expect("valid ordering");
+        assert!(!verdict.is_deadlock());
+    }
+
+    #[test]
+    fn ranks_increase_along_dag_channels() {
+        let ex = MotivatingExample::new();
+        let rank = condensation_ranks(&ex.system);
+        for c in ex.system.channel_ids() {
+            let ch = ex.system.channel(c);
+            assert!(
+                rank[ch.from().index()] < rank[ch.to().index()],
+                "channel {} violates topological ranks",
+                ch.name()
+            );
+        }
+    }
+
+    #[test]
+    fn cyclic_topology_gets_consistent_ranks_within_scc() {
+        let mut sys = sysgraph::SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 1);
+        let c = sys.add_process("c", 1);
+        sys.add_channel("ab", a, b, 1).expect("valid");
+        sys.add_channel_with_tokens("ba", b, a, 1, 1).expect("valid");
+        sys.add_channel("bc", b, c, 1).expect("valid");
+        let rank = condensation_ranks(&sys);
+        assert_eq!(rank[a.index()], rank[b.index()], "same SCC, same rank");
+        assert!(rank[b.index()] < rank[c.index()]);
+    }
+
+    #[test]
+    fn conservative_may_be_slower_than_algorithm_result() {
+        // Not a strict requirement, but on the motivating example the
+        // conservative order must not beat the exhaustive optimum of 12.
+        let ex = MotivatingExample::new();
+        let ord = conservative_ordering(&ex.system);
+        let ct = cycle_time_of(&ex.system, &ord)
+            .expect("valid")
+            .cycle_time()
+            .expect("live");
+        assert!(ct >= tmg::Ratio::new(12, 1));
+    }
+}

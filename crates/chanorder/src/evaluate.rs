@@ -1,0 +1,73 @@
+//! Evaluating a candidate ordering: apply, lower, analyze.
+
+use sysgraph::{lower_to_tmg, ChannelOrdering, SysGraphError, SystemGraph};
+use tmg::Verdict;
+
+/// Computes the TMG verdict (deadlock / cycle time) the system would have
+/// under `ordering`, without mutating `system`.
+///
+/// # Errors
+///
+/// Returns [`SysGraphError::NotAPermutation`] if the ordering does not fit
+/// the system.
+///
+/// # Examples
+///
+/// ```
+/// use chanorder::cycle_time_of;
+/// use sysgraph::{MotivatingExample, ChannelOrdering};
+///
+/// let ex = MotivatingExample::new();
+/// let verdict = cycle_time_of(&ex.system, &ex.suboptimal_ordering())?;
+/// assert_eq!(verdict.cycle_time(), Some(tmg::Ratio::new(20, 1)));
+/// # Ok::<(), sysgraph::SysGraphError>(())
+/// ```
+pub fn cycle_time_of(
+    system: &SystemGraph,
+    ordering: &ChannelOrdering,
+) -> Result<Verdict, SysGraphError> {
+    let mut candidate = system.clone();
+    ordering.apply_to(&mut candidate)?;
+    Ok(tmg::analyze(lower_to_tmg(&candidate).tmg()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysgraph::MotivatingExample;
+
+    #[test]
+    fn does_not_mutate_the_input_system() {
+        let ex = MotivatingExample::new();
+        let before = ex.system.clone();
+        let _ = cycle_time_of(&ex.system, &ex.optimal_ordering()).expect("valid");
+        assert_eq!(ex.system, before);
+    }
+
+    #[test]
+    fn reports_deadlock_for_the_bad_ordering() {
+        let ex = MotivatingExample::new();
+        let verdict = cycle_time_of(&ex.system, &ex.deadlock_ordering()).expect("valid");
+        assert!(verdict.is_deadlock());
+    }
+
+    #[test]
+    fn paper_numbers_for_both_live_orderings() {
+        let ex = MotivatingExample::new();
+        let slow = cycle_time_of(&ex.system, &ex.suboptimal_ordering()).expect("valid");
+        let fast = cycle_time_of(&ex.system, &ex.optimal_ordering()).expect("valid");
+        assert_eq!(slow.cycle_time(), Some(tmg::Ratio::new(20, 1)));
+        assert_eq!(fast.cycle_time(), Some(tmg::Ratio::new(12, 1)));
+    }
+
+    #[test]
+    fn invalid_ordering_is_an_error() {
+        let ex = MotivatingExample::new();
+        let mut other = sysgraph::SystemGraph::new();
+        let a = other.add_process("a", 1);
+        let b = other.add_process("b", 1);
+        other.add_channel("x", a, b, 1).expect("valid");
+        let foreign = sysgraph::ChannelOrdering::of(&other);
+        assert!(cycle_time_of(&ex.system, &foreign).is_err());
+    }
+}

@@ -1,0 +1,226 @@
+//! Exhaustive ordering search — the ground truth for small systems.
+//!
+//! Section 2 counts the ordering space as `Π_p (|in(p)|!·|out(p)|!)` (36
+//! for the motivating example). For systems where that number is small we
+//! can enumerate every combination, evaluate each with the TMG model, and
+//! return the true optimum — the oracle against which Algorithm 1 is
+//! validated.
+
+use crate::evaluate::cycle_time_of;
+use sysgraph::{ChannelId, ChannelOrdering, SystemGraph};
+use tmg::Ratio;
+
+/// Outcome of the exhaustive search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExhaustiveResult {
+    /// The best (minimum cycle time) deadlock-free ordering found.
+    pub best: ChannelOrdering,
+    /// Its cycle time.
+    pub best_cycle_time: Ratio,
+    /// Number of orderings enumerated.
+    pub enumerated: u64,
+    /// Number of orderings that deadlock.
+    pub deadlocking: u64,
+}
+
+/// Errors of [`exhaustive_best_ordering`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ExhaustiveError {
+    /// The ordering space exceeds the given limit.
+    SpaceTooLarge {
+        /// `Π_p (|in(p)|!·|out(p)|!)` for the system.
+        space: u128,
+        /// The caller-provided cap.
+        limit: u128,
+    },
+    /// Every ordering deadlocks (the topology itself is starved, e.g. an
+    /// uninitialized feedback loop).
+    AllDeadlock,
+}
+
+impl std::fmt::Display for ExhaustiveError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExhaustiveError::SpaceTooLarge { space, limit } => {
+                write!(f, "ordering space {space} exceeds limit {limit}")
+            }
+            ExhaustiveError::AllDeadlock => write!(f, "every channel ordering deadlocks"),
+        }
+    }
+}
+
+impl std::error::Error for ExhaustiveError {}
+
+/// All permutations of `items` (Heap's algorithm), in deterministic order.
+fn permutations(items: &[ChannelId]) -> Vec<Vec<ChannelId>> {
+    let mut out = Vec::new();
+    let mut work = items.to_vec();
+    let n = work.len();
+    let mut c = vec![0usize; n];
+    out.push(work.clone());
+    let mut i = 0;
+    while i < n {
+        if c[i] < i {
+            if i % 2 == 0 {
+                work.swap(0, i);
+            } else {
+                work.swap(c[i], i);
+            }
+            out.push(work.clone());
+            c[i] += 1;
+            i = 0;
+        } else {
+            c[i] = 0;
+            i += 1;
+        }
+    }
+    out
+}
+
+/// Enumerates every channel ordering of `system` (subject to `limit` on
+/// the space size), evaluates each with the TMG model, and returns the
+/// minimum-cycle-time deadlock-free ordering.
+///
+/// # Errors
+///
+/// - [`ExhaustiveError::SpaceTooLarge`] if `ordering_space() > limit`;
+/// - [`ExhaustiveError::AllDeadlock`] if no ordering is live.
+///
+/// # Examples
+///
+/// ```
+/// use chanorder::exhaustive_best_ordering;
+/// use sysgraph::MotivatingExample;
+///
+/// let ex = MotivatingExample::new();
+/// let result = exhaustive_best_ordering(&ex.system, 1_000)?;
+/// assert_eq!(result.enumerated, 36);
+/// assert_eq!(result.best_cycle_time, tmg::Ratio::new(12, 1));
+/// # Ok::<(), chanorder::ExhaustiveError>(())
+/// ```
+pub fn exhaustive_best_ordering(
+    system: &SystemGraph,
+    limit: u128,
+) -> Result<ExhaustiveResult, ExhaustiveError> {
+    let space = system.ordering_space();
+    if space > limit {
+        return Err(ExhaustiveError::SpaceTooLarge { space, limit });
+    }
+
+    // Per-process permutation tables for gets and puts (only processes
+    // with >= 2 channels on a side have more than one entry).
+    let mut axes: Vec<(bool, usize, Vec<Vec<ChannelId>>)> = Vec::new(); // (is_get, process, perms)
+    for p in system.process_ids() {
+        if system.get_order(p).len() > 1 {
+            axes.push((true, p.index(), permutations(system.get_order(p))));
+        }
+        if system.put_order(p).len() > 1 {
+            axes.push((false, p.index(), permutations(system.put_order(p))));
+        }
+    }
+
+    let base = ChannelOrdering::of(system);
+    let mut counters = vec![0usize; axes.len()];
+    let mut enumerated = 0u64;
+    let mut deadlocking = 0u64;
+    let mut best: Option<(Ratio, ChannelOrdering)> = None;
+
+    loop {
+        let mut candidate = base.clone();
+        for (axis, &pos) in axes.iter().zip(&counters) {
+            let (is_get, pidx, perms) = axis;
+            let p = sysgraph::ProcessId::from_index(*pidx);
+            if *is_get {
+                candidate.set_gets(p, perms[pos].clone());
+            } else {
+                candidate.set_puts(p, perms[pos].clone());
+            }
+        }
+        enumerated += 1;
+        let verdict = cycle_time_of(system, &candidate).expect("permutations are valid");
+        match verdict.cycle_time() {
+            None => deadlocking += 1,
+            Some(ct) => {
+                if best.as_ref().is_none_or(|(b, _)| ct < *b) {
+                    best = Some((ct, candidate));
+                }
+            }
+        }
+
+        // Odometer increment over the axes.
+        let mut i = 0;
+        loop {
+            if i == axes.len() {
+                let (best_cycle_time, best) = best.ok_or(ExhaustiveError::AllDeadlock)?;
+                return Ok(ExhaustiveResult {
+                    best,
+                    best_cycle_time,
+                    enumerated,
+                    deadlocking,
+                });
+            }
+            counters[i] += 1;
+            if counters[i] < axes[i].2.len() {
+                break;
+            }
+            counters[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysgraph::MotivatingExample;
+
+    #[test]
+    fn permutation_count_is_factorial() {
+        let items: Vec<ChannelId> = (0..4).map(ChannelId::from_index).collect();
+        assert_eq!(permutations(&items).len(), 24);
+        assert_eq!(permutations(&items[..1]).len(), 1);
+        assert_eq!(permutations(&[]).len(), 1);
+    }
+
+    #[test]
+    fn permutations_are_distinct() {
+        let items: Vec<ChannelId> = (0..3).map(ChannelId::from_index).collect();
+        let mut perms = permutations(&items);
+        perms.sort();
+        perms.dedup();
+        assert_eq!(perms.len(), 6);
+    }
+
+    #[test]
+    fn motivating_example_space_is_36_and_optimum_is_12() {
+        let ex = MotivatingExample::new();
+        let result = exhaustive_best_ordering(&ex.system, 100).expect("small space");
+        assert_eq!(result.enumerated, 36);
+        assert_eq!(result.best_cycle_time, tmg::Ratio::new(12, 1));
+        assert!(result.deadlocking > 0, "some orders must deadlock");
+    }
+
+    #[test]
+    fn space_limit_is_enforced() {
+        let ex = MotivatingExample::new();
+        assert!(matches!(
+            exhaustive_best_ordering(&ex.system, 10),
+            Err(ExhaustiveError::SpaceTooLarge { space: 36, limit: 10 })
+        ));
+    }
+
+    #[test]
+    fn all_deadlock_topology_is_reported() {
+        // Uninitialized two-process loop: no ordering can save it.
+        let mut sys = sysgraph::SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 1);
+        sys.add_channel("ab", a, b, 1).expect("valid");
+        sys.add_channel("ba", b, a, 1).expect("valid");
+        assert!(matches!(
+            exhaustive_best_ordering(&sys, 100),
+            Err(ExhaustiveError::AllDeadlock)
+        ));
+    }
+}

@@ -1,0 +1,495 @@
+//! The CLI commands, as testable functions returning their output text.
+
+use crate::spec::{SpecError, SystemSpec};
+use ermes::{explore, ExplorationConfig};
+use std::fmt::Write as _;
+
+/// Errors surfaced to the CLI user.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum CliError {
+    /// The spec file could not be interpreted.
+    Spec(SpecError),
+    /// The JSON payload is malformed.
+    Json(serde_json::Error),
+    /// The methodology failed (deadlock, solver failure).
+    Ermes(ermes::ErmesError),
+    /// The command references something the spec does not contain.
+    Usage(String),
+}
+
+impl std::fmt::Display for CliError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CliError::Spec(e) => write!(f, "spec error: {e}"),
+            CliError::Json(e) => write!(f, "json error: {e}"),
+            CliError::Ermes(e) => write!(f, "methodology error: {e}"),
+            CliError::Usage(m) => write!(f, "usage error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+impl From<SpecError> for CliError {
+    fn from(e: SpecError) -> Self {
+        CliError::Spec(e)
+    }
+}
+
+impl From<serde_json::Error> for CliError {
+    fn from(e: serde_json::Error) -> Self {
+        CliError::Json(e)
+    }
+}
+
+impl From<ermes::ErmesError> for CliError {
+    fn from(e: ermes::ErmesError) -> Self {
+        CliError::Ermes(e)
+    }
+}
+
+/// Parses a spec from JSON text.
+///
+/// # Errors
+///
+/// [`CliError::Json`] on malformed JSON.
+pub fn parse_spec(json: &str) -> Result<SystemSpec, CliError> {
+    Ok(serde_json::from_str(json)?)
+}
+
+/// `ermes analyze <spec>` — cycle time, throughput, critical cycle.
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs.
+pub fn cmd_analyze(spec: &SystemSpec) -> Result<String, CliError> {
+    let design = spec.to_design()?;
+    let report = ermes::analyze_design(&design);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "processes: {}  channels: {}  area: {:.4}",
+        design.system().process_count(),
+        design.system().channel_count(),
+        design.area()
+    );
+    match report.cycle_time() {
+        None => {
+            let _ = writeln!(out, "verdict: DEADLOCK");
+            if let tmg::Verdict::Deadlock { witness } = &report.verdict {
+                let lowered = sysgraph::lower_to_tmg(design.system());
+                let _ = writeln!(out, "token-free cycle ({} places):", witness.len());
+                for p in witness {
+                    let place = lowered.tmg().place(*p);
+                    let _ = writeln!(
+                        out,
+                        "  {} -> {}",
+                        lowered.tmg().transition(place.producer()).name(),
+                        lowered.tmg().transition(place.consumer()).name()
+                    );
+                }
+            }
+        }
+        Some(ct) => {
+            let _ = writeln!(out, "verdict: live");
+            let _ = writeln!(out, "cycle time: {ct} cycles");
+            if let Some(tp) = report.verdict.throughput() {
+                let _ = writeln!(out, "throughput: {tp} items/cycle");
+            }
+            let names: Vec<&str> = report
+                .critical_processes
+                .iter()
+                .map(|&p| design.system().process(p).name())
+                .collect();
+            let _ = writeln!(out, "critical processes: {names:?}");
+            if let Some(bottleneck) = ermes::bottleneck_report(&design) {
+                let _ = write!(out, "{}", bottleneck.render());
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// `ermes order <spec>` — run Algorithm 1 and return the report plus the
+/// updated spec JSON (with explicit statement orders).
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs.
+pub fn cmd_order(spec: &SystemSpec) -> Result<(String, String), CliError> {
+    let sys = spec.to_system()?;
+    let before = tmg::analyze(sysgraph::lower_to_tmg(&sys).tmg());
+    let solution = chanorder::order_channels(&sys);
+    let mut ordered = sys.clone();
+    solution
+        .ordering
+        .apply_to(&mut ordered)
+        .map_err(|_| CliError::Usage("ordering failed to apply".into()))?;
+    let after = tmg::analyze(sysgraph::lower_to_tmg(&ordered).tmg());
+    let mut out = String::new();
+    let fmt_verdict = |v: &tmg::Verdict| match v.cycle_time() {
+        Some(ct) => format!("live, cycle time {ct}"),
+        None => "DEADLOCK".to_string(),
+    };
+    let _ = writeln!(out, "before: {}", fmt_verdict(&before));
+    let _ = writeln!(out, "after : {}", fmt_verdict(&after));
+    let new_spec = spec.with_system_state(&ordered);
+    Ok((out, serde_json::to_string_pretty(&new_spec)?))
+}
+
+/// `ermes explore <spec> --target <cycles>` — the Fig. 5 loop.
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs or a deadlocking system.
+pub fn cmd_explore(spec: &SystemSpec, target: u64) -> Result<(String, String), CliError> {
+    let design = spec.to_design()?;
+    let trace = explore(design, ExplorationConfig::with_target(target))?;
+    let mut out = String::new();
+    let _ = writeln!(out, "iter  action                cycle-time      area  meets");
+    for r in &trace.iterations {
+        let _ = writeln!(
+            out,
+            "{:>4}  {:<20} {:>11} {:>9.4}  {}",
+            r.index,
+            format!("{:?}", r.action),
+            r.cycle_time.to_string(),
+            r.area,
+            if r.meets_target { "yes" } else { "no" }
+        );
+    }
+    let _ = writeln!(
+        out,
+        "best: iteration {} (cycle time {}, area {:.4})",
+        trace.best_index,
+        trace.best().cycle_time,
+        trace.best().area
+    );
+    let new_spec = spec.with_system_state(trace.design.system());
+    Ok((out, serde_json::to_string_pretty(&new_spec)?))
+}
+
+/// `ermes simulate <spec> --iterations <n> [--vcd <file>]` —
+/// cycle-accurate execution, optionally dumping a channel-activity
+/// waveform. Returns `(report, vcd_document)`.
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs.
+pub fn cmd_simulate(spec: &SystemSpec, iterations: u64) -> Result<String, CliError> {
+    Ok(cmd_simulate_traced(spec, iterations, false)?.0)
+}
+
+/// [`cmd_simulate`] with waveform capture: the second element is the VCD
+/// document when `trace` is set (empty otherwise).
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs.
+pub fn cmd_simulate_traced(
+    spec: &SystemSpec,
+    iterations: u64,
+    trace: bool,
+) -> Result<(String, String), CliError> {
+    let sys = spec.to_system()?;
+    let kernels: Vec<Box<dyn pnsim::Kernel<u8>>> = sys
+        .process_ids()
+        .map(|p| {
+            Box::new(pnsim::FixedLatency::new(
+                sys.process(p).latency(),
+                sys.put_order(p).len(),
+                0u8,
+            )) as Box<dyn pnsim::Kernel<u8>>
+        })
+        .collect();
+    let (outcome, _) = pnsim::run(
+        &sys,
+        kernels,
+        pnsim::SimConfig {
+            max_iterations: Some(iterations),
+            record_sink_inputs: false,
+            record_transfers: trace,
+            ..pnsim::SimConfig::default()
+        },
+    );
+    let mut out = String::new();
+    if outcome.deadlocked {
+        let _ = writeln!(out, "execution DEADLOCKED at cycle {}", outcome.time);
+    } else {
+        let _ = writeln!(out, "ran to cycle {}", outcome.time);
+        if let Some(ct) = outcome.estimated_cycle_time() {
+            let _ = writeln!(out, "steady-state cycle time: {ct:.2}");
+        }
+    }
+    let vcd = if trace {
+        pnsim::transfers_to_vcd(&sys, &outcome.transfers)
+    } else {
+        String::new()
+    };
+    Ok((out, vcd))
+}
+
+/// `ermes buffers <spec> --target <cycles> --budget <slots>` — FIFO
+/// sizing (the Section 7 extension).
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs.
+pub fn cmd_buffers(spec: &SystemSpec, target: u64, budget: u64) -> Result<String, CliError> {
+    let design = spec.to_design()?;
+    let before = ermes::analyze_design(&design)
+        .cycle_time()
+        .ok_or_else(|| CliError::Usage("system deadlocks; run `order` first".into()))?;
+    let (sized, assignments) = ermes::size_buffers(design, target, budget);
+    let after = ermes::analyze_design(&sized)
+        .cycle_time()
+        .expect("buffering cannot deadlock a live system");
+    let mut out = String::new();
+    let _ = writeln!(out, "cycle time: {before} -> {after}");
+    if assignments.is_empty() {
+        let _ = writeln!(out, "no profitable buffer found");
+    }
+    for (c, depth) in assignments {
+        let _ = writeln!(
+            out,
+            "deepen channel `{}` to {} slots",
+            sized.system().channel(c).name(),
+            depth
+        );
+    }
+    Ok(out)
+}
+
+/// `ermes refine <spec> [--passes <n>]` — Algorithm 1 followed by
+/// local-search refinement; returns the report plus the refined spec.
+///
+/// # Errors
+///
+/// [`CliError`] on malformed or deadlocking specs.
+pub fn cmd_refine(spec: &SystemSpec, passes: usize) -> Result<(String, String), CliError> {
+    let sys = spec.to_system()?;
+    let solution = chanorder::order_channels(&sys);
+    let base = chanorder::cycle_time_of(&sys, &solution.ordering)
+        .map_err(|_| CliError::Usage("ordering failed to apply".into()))?
+        .cycle_time()
+        .ok_or_else(|| CliError::Usage("system deadlocks under the computed order".into()))?;
+    let refined = chanorder::refine_ordering(
+        &sys,
+        &solution.ordering,
+        chanorder::RefineConfig { max_passes: passes },
+    );
+    let mut out = String::new();
+    let _ = writeln!(out, "algorithm: cycle time {base}");
+    let _ = writeln!(
+        out,
+        "refined  : cycle time {} ({} improving move(s))",
+        refined.cycle_time, refined.moves
+    );
+    let mut best = sys.clone();
+    refined
+        .ordering
+        .apply_to(&mut best)
+        .map_err(|_| CliError::Usage("refined ordering failed to apply".into()))?;
+    Ok((out, serde_json::to_string_pretty(&spec.with_system_state(&best))?))
+}
+
+/// `ermes sweep <spec> --targets a,b,c` — the system-level Pareto front.
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs or exploration failure.
+pub fn cmd_sweep(spec: &SystemSpec, targets: &[u64]) -> Result<String, CliError> {
+    let design = spec.to_design()?;
+    let front = ermes::pareto_sweep(design, targets)?;
+    let mut out = String::new();
+    let _ = writeln!(out, "target        best-ct        area  meets");
+    for p in front {
+        let _ = writeln!(
+            out,
+            "{:>9} {:>12} {:>11.4}  {}",
+            p.target_cycle_time,
+            p.cycle_time.to_string(),
+            p.area,
+            if p.meets_target { "yes" } else { "no" }
+        );
+    }
+    Ok(out)
+}
+
+/// `ermes stalls <spec> --iterations <n>` — per-process stall statistics
+/// from a cycle-accurate run (Section 2's "cycles spent waiting").
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs.
+pub fn cmd_stalls(spec: &SystemSpec, iterations: u64) -> Result<String, CliError> {
+    let sys = spec.to_system()?;
+    let outcome = pnsim::simulate_timing(&sys, iterations);
+    let mut out = String::new();
+    if outcome.deadlocked {
+        let _ = writeln!(out, "execution DEADLOCKED at cycle {}", outcome.time);
+        return Ok(out);
+    }
+    let _ = writeln!(out, "process               iters     busy    stall  stall%");
+    for s in pnsim::stall_report(&sys, &outcome) {
+        let _ = writeln!(
+            out,
+            "{:<20} {:>6} {:>8} {:>8}  {:>5.1}%",
+            sys.process(s.process).name(),
+            s.iterations,
+            s.busy_cycles,
+            s.stall_cycles,
+            s.stall_fraction * 100.0
+        );
+    }
+    Ok(out)
+}
+
+/// `ermes dot <spec>` — Graphviz export.
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs.
+pub fn cmd_dot(spec: &SystemSpec) -> Result<String, CliError> {
+    Ok(sysgraph::to_dot(&spec.to_system()?))
+}
+
+/// `ermes fsm <spec> <process>` — the Fig. 2(b) FSM of one process.
+///
+/// # Errors
+///
+/// [`CliError::Usage`] if the process does not exist.
+pub fn cmd_fsm(spec: &SystemSpec, process: &str) -> Result<String, CliError> {
+    let sys = spec.to_system()?;
+    let pid = sys
+        .process_ids()
+        .find(|&p| sys.process(p).name() == process)
+        .ok_or_else(|| CliError::Usage(format!("no process named `{process}`")))?;
+    Ok(pnsim::process_fsm(&sys, pid).to_string())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+        "processes": [
+            {"name": "src", "latency": 1},
+            {"name": "worker", "latency": 6,
+             "pareto": [{"latency": 3, "area": 2.0}, {"latency": 6, "area": 1.0}]},
+            {"name": "snk", "latency": 1}
+        ],
+        "channels": [
+            {"name": "in", "from": "src", "to": "worker", "latency": 1},
+            {"name": "out", "from": "worker", "to": "snk", "latency": 1}
+        ]
+    }"#;
+
+    #[test]
+    fn analyze_reports_cycle_time() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let out = cmd_analyze(&spec).expect("analyzes");
+        assert!(out.contains("verdict: live"));
+        assert!(out.contains("cycle time: 8 cycles"));
+        assert!(out.contains("worker"));
+    }
+
+    #[test]
+    fn order_roundtrips_spec() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let (report, json) = cmd_order(&spec).expect("orders");
+        assert!(report.contains("after : live"));
+        let reparsed = parse_spec(&json).expect("output is valid json");
+        assert!(reparsed.processes[1].get_order.is_some());
+    }
+
+    #[test]
+    fn explore_meets_easy_target() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let (report, json) = cmd_explore(&spec, 6).expect("explores");
+        assert!(report.contains("best: iteration"));
+        let reparsed = parse_spec(&json).expect("valid json");
+        // The worker must have switched to its fast implementation.
+        assert_eq!(reparsed.processes[1].latency, 3);
+    }
+
+    #[test]
+    fn simulate_matches_analysis() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let out = cmd_simulate(&spec, 200).expect("simulates");
+        assert!(out.contains("steady-state cycle time: 8.00"), "{out}");
+    }
+
+    #[test]
+    fn simulate_traced_produces_vcd() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let (report, vcd) = cmd_simulate_traced(&spec, 50, true).expect("simulates");
+        assert!(report.contains("steady-state"));
+        assert!(vcd.contains("$enddefinitions"));
+        assert!(vcd.contains("$var wire 1"));
+    }
+
+    #[test]
+    fn fsm_prints_and_unknown_process_errors() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let out = cmd_fsm(&spec, "worker").expect("exists");
+        assert!(out.contains("FSM of worker"));
+        assert!(cmd_fsm(&spec, "ghost").is_err());
+    }
+
+    #[test]
+    fn refine_never_regresses() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let (report, json) = cmd_refine(&spec, 4).expect("refines");
+        assert!(report.contains("algorithm: cycle time"));
+        assert!(parse_spec(&json).is_ok());
+    }
+
+    #[test]
+    fn sweep_renders_a_front() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let out = cmd_sweep(&spec, &[5, 10, 100]).expect("sweeps");
+        assert!(out.contains("best-ct"), "{out}");
+    }
+
+    #[test]
+    fn analyze_includes_bottleneck_diagnosis() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let out = cmd_analyze(&spec).expect("analyzes");
+        assert!(out.contains("critical cycle:"), "{out}");
+    }
+
+    #[test]
+    fn stalls_reports_every_process() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let out = cmd_stalls(&spec, 100).expect("simulates");
+        assert!(out.contains("worker"));
+        assert!(out.contains("stall%"));
+    }
+
+    #[test]
+    fn dot_contains_graph() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        assert!(cmd_dot(&spec).expect("renders").contains("digraph"));
+    }
+
+    #[test]
+    fn buffers_reports_on_loop_systems() {
+        let spec = parse_spec(
+            r#"{
+                "processes": [
+                    {"name": "a", "latency": 10},
+                    {"name": "b", "latency": 10}
+                ],
+                "channels": [
+                    {"name": "fwd", "from": "a", "to": "b", "latency": 1},
+                    {"name": "fb", "from": "b", "to": "a", "latency": 1, "initial_tokens": 1}
+                ]
+            }"#,
+        )
+        .expect("valid");
+        let out = cmd_buffers(&spec, 1, 4).expect("sizes");
+        assert!(out.contains("->"), "{out}");
+    }
+}

@@ -1,0 +1,25 @@
+//! Library half of the `ermes` command-line tool.
+//!
+//! The CLI turns the reproduction into something shaped like the paper's
+//! prototype CAD tool: system specifications live in a small JSON format
+//! ([`SystemSpec`]), and each subcommand is a pure function over them —
+//! `analyze`, `order`, `explore`, `buffers`, `simulate`, `dot`, `fsm`
+//! (see [`commands`]).
+//!
+//! ```text
+//! ermes analyze design.json
+//! ermes order design.json --out ordered.json
+//! ermes explore design.json --target 2000000 --out best.json
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod spec;
+
+pub use commands::{
+    cmd_analyze, cmd_buffers, cmd_dot, cmd_explore, cmd_fsm, cmd_order, cmd_refine, cmd_simulate,
+    cmd_simulate_traced, cmd_stalls, cmd_sweep, parse_spec, CliError,
+};
+pub use spec::{ChannelSpec, ParetoPointSpec, ProcessSpec, SpecError, SystemSpec};

@@ -1,0 +1,113 @@
+//! The `ermes` command-line tool.
+
+use ermes_cli::{
+    cmd_analyze, cmd_buffers, cmd_dot, cmd_explore, cmd_fsm, cmd_order, cmd_refine,
+    cmd_simulate_traced, cmd_stalls, cmd_sweep, parse_spec,
+};
+
+const USAGE: &str = "\
+ermes — compositional HLS methodology (DAC'14 reproduction)
+
+USAGE:
+    ermes analyze  <spec.json>
+    ermes order    <spec.json> [--out <file>]
+    ermes refine   <spec.json> [--passes <n>] [--out <file>]
+    ermes sweep    <spec.json> --targets <a,b,c>
+    ermes explore  <spec.json> --target <cycles> [--out <file>]
+    ermes buffers  <spec.json> --target <cycles> [--budget <slots>]
+    ermes simulate <spec.json> [--iterations <n>] [--vcd <file>]
+    ermes stalls   <spec.json> [--iterations <n>]
+    ermes dot      <spec.json>
+    ermes fsm      <spec.json> <process>
+";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (Some(command), Some(path)) = (args.first(), args.get(1)) else {
+        eprint!("{USAGE}");
+        std::process::exit(2);
+    };
+    let text = std::fs::read_to_string(path)?;
+    let spec = parse_spec(&text)?;
+    match command.as_str() {
+        "analyze" => print!("{}", cmd_analyze(&spec)?),
+        "order" => {
+            let (report, json) = cmd_order(&spec)?;
+            print!("{report}");
+            match flag(&args, "--out") {
+                Some(out) => std::fs::write(out, json)?,
+                None => println!("{json}"),
+            }
+        }
+        "explore" => {
+            let target: u64 = flag(&args, "--target")
+                .ok_or("explore requires --target <cycles>")?
+                .parse()?;
+            let (report, json) = cmd_explore(&spec, target)?;
+            print!("{report}");
+            if let Some(out) = flag(&args, "--out") {
+                std::fs::write(out, json)?;
+            }
+        }
+        "buffers" => {
+            let target: u64 = flag(&args, "--target")
+                .ok_or("buffers requires --target <cycles>")?
+                .parse()?;
+            let budget: u64 = flag(&args, "--budget").map_or(Ok(4), |s| s.parse())?;
+            print!("{}", cmd_buffers(&spec, target, budget)?);
+        }
+        "simulate" => {
+            let iterations: u64 = flag(&args, "--iterations").map_or(Ok(200), |s| s.parse())?;
+            let vcd_path = flag(&args, "--vcd");
+            let (report, vcd) = cmd_simulate_traced(&spec, iterations, vcd_path.is_some())?;
+            print!("{report}");
+            if let Some(path) = vcd_path {
+                std::fs::write(path, vcd)?;
+            }
+        }
+        "refine" => {
+            let passes: usize = flag(&args, "--passes").map_or(Ok(8), |s| s.parse())?;
+            let (report, json) = cmd_refine(&spec, passes)?;
+            print!("{report}");
+            match flag(&args, "--out") {
+                Some(out) => std::fs::write(out, json)?,
+                None => {}
+            }
+        }
+        "sweep" => {
+            let targets: Vec<u64> = flag(&args, "--targets")
+                .ok_or("sweep requires --targets <a,b,c>")?
+                .split(',')
+                .map(|t| t.trim().parse())
+                .collect::<Result<_, _>>()?;
+            print!("{}", cmd_sweep(&spec, &targets)?);
+        }
+        "stalls" => {
+            let iterations: u64 = flag(&args, "--iterations").map_or(Ok(200), |s| s.parse())?;
+            print!("{}", cmd_stalls(&spec, iterations)?);
+        }
+        "dot" => print!("{}", cmd_dot(&spec)?),
+        "fsm" => {
+            let process = args.get(2).ok_or("fsm requires a process name")?;
+            print!("{}", cmd_fsm(&spec, process)?);
+        }
+        other => {
+            eprintln!("unknown command `{other}`\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

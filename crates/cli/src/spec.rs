@@ -1,0 +1,320 @@
+//! The on-disk system specification format (JSON).
+//!
+//! A deliberately small, hand-writable schema: processes with latencies
+//! (and optional latency/area Pareto frontiers) plus named channels. The
+//! `put`/`get` statement orders follow the order in which channels are
+//! listed — exactly like the statement order in the SystemC source the
+//! paper's flow starts from — and optional explicit `put_order` /
+//! `get_order` arrays override them (how the `order` command writes its
+//! result back).
+
+use ermes::Design;
+use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use sysgraph::{ChannelOrdering, SystemGraph};
+
+/// One Pareto point of a process.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ParetoPointSpec {
+    /// Computation latency in cycles.
+    pub latency: u64,
+    /// Area in abstract units (mm² in the case studies).
+    pub area: f64,
+}
+
+/// One process of the system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ProcessSpec {
+    /// Unique process name.
+    pub name: String,
+    /// Current computation latency.
+    pub latency: u64,
+    /// Optional Pareto frontier; a single `(latency, 0.0)` point is
+    /// assumed when absent.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub pareto: Option<Vec<ParetoPointSpec>>,
+    /// Optional explicit `get` statement order (channel names).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub get_order: Option<Vec<String>>,
+    /// Optional explicit `put` statement order (channel names).
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub put_order: Option<Vec<String>>,
+}
+
+/// One channel of the system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChannelSpec {
+    /// Unique channel name.
+    pub name: String,
+    /// Producer process name.
+    pub from: String,
+    /// Consumer process name.
+    pub to: String,
+    /// Transfer latency in cycles.
+    pub latency: u64,
+    /// Pre-loaded items (FIFO depth); 0 = pure rendezvous.
+    #[serde(default)]
+    pub initial_tokens: u64,
+}
+
+/// A whole system.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemSpec {
+    /// The processes, in declaration order.
+    pub processes: Vec<ProcessSpec>,
+    /// The channels, in declaration order (statement order per process).
+    pub channels: Vec<ChannelSpec>,
+}
+
+/// Errors turning a spec into a model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SpecError {
+    /// Two processes (or two channels) share a name.
+    DuplicateName(String),
+    /// A channel endpoint or an order entry names an unknown element.
+    UnknownName(String),
+    /// An explicit order is not a permutation of the process's channels.
+    InvalidOrder(String),
+}
+
+impl fmt::Display for SpecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SpecError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
+            SpecError::UnknownName(n) => write!(f, "unknown name `{n}`"),
+            SpecError::InvalidOrder(p) => {
+                write!(f, "explicit order for `{p}` is not a permutation of its channels")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SpecError {}
+
+impl SystemSpec {
+    /// Builds the system graph (and applies any explicit orders).
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] on duplicate/unknown names or invalid orders.
+    pub fn to_system(&self) -> Result<SystemGraph, SpecError> {
+        let mut sys = SystemGraph::new();
+        let mut procs = HashMap::new();
+        for p in &self.processes {
+            if procs.contains_key(p.name.as_str()) {
+                return Err(SpecError::DuplicateName(p.name.clone()));
+            }
+            procs.insert(p.name.as_str(), sys.add_process(&p.name, p.latency));
+        }
+        let mut chans = HashMap::new();
+        for c in &self.channels {
+            if chans.contains_key(c.name.as_str()) {
+                return Err(SpecError::DuplicateName(c.name.clone()));
+            }
+            let from = *procs
+                .get(c.from.as_str())
+                .ok_or_else(|| SpecError::UnknownName(c.from.clone()))?;
+            let to = *procs
+                .get(c.to.as_str())
+                .ok_or_else(|| SpecError::UnknownName(c.to.clone()))?;
+            let id = sys
+                .add_channel_with_tokens(&c.name, from, to, c.latency, c.initial_tokens)
+                .map_err(|_| SpecError::UnknownName(c.name.clone()))?;
+            chans.insert(c.name.as_str(), id);
+        }
+        // Explicit statement orders.
+        let mut ordering = ChannelOrdering::of(&sys);
+        for p in &self.processes {
+            let pid = procs[p.name.as_str()];
+            if let Some(order) = &p.get_order {
+                let ids = order
+                    .iter()
+                    .map(|n| {
+                        chans
+                            .get(n.as_str())
+                            .copied()
+                            .ok_or_else(|| SpecError::UnknownName(n.clone()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                ordering.set_gets(pid, ids);
+            }
+            if let Some(order) = &p.put_order {
+                let ids = order
+                    .iter()
+                    .map(|n| {
+                        chans
+                            .get(n.as_str())
+                            .copied()
+                            .ok_or_else(|| SpecError::UnknownName(n.clone()))
+                    })
+                    .collect::<Result<Vec<_>, _>>()?;
+                ordering.set_puts(pid, ids);
+            }
+        }
+        ordering
+            .apply_to(&mut sys)
+            .map_err(|_| SpecError::InvalidOrder("explicit order".into()))?;
+        Ok(sys)
+    }
+
+    /// Builds a design: processes without an explicit frontier get a
+    /// single zero-area point at their current latency.
+    ///
+    /// # Errors
+    ///
+    /// [`SpecError`] as for [`SystemSpec::to_system`].
+    pub fn to_design(&self) -> Result<Design, SpecError> {
+        let sys = self.to_system()?;
+        let pareto: Vec<ParetoSet> = self
+            .processes
+            .iter()
+            .map(|p| {
+                let points = p.pareto.clone().unwrap_or_else(|| {
+                    vec![ParetoPointSpec {
+                        latency: p.latency,
+                        area: 0.0,
+                    }]
+                });
+                ParetoSet::from_candidates(
+                    points
+                        .into_iter()
+                        .map(|pt| MicroArch {
+                            knobs: HlsKnobs::baseline(),
+                            latency: pt.latency,
+                            area: pt.area,
+                        })
+                        .collect(),
+                )
+            })
+            .collect();
+        Design::new(sys, pareto).map_err(|_| SpecError::InvalidOrder("pareto".into()))
+    }
+
+    /// Captures a system (with its current statement orders) back into a
+    /// spec, preserving this spec's Pareto annotations.
+    #[must_use]
+    pub fn with_system_state(&self, system: &SystemGraph) -> SystemSpec {
+        let mut out = self.clone();
+        for (i, p) in out.processes.iter_mut().enumerate() {
+            let pid = sysgraph::ProcessId::from_index(i);
+            p.latency = system.process(pid).latency();
+            p.get_order = Some(
+                system
+                    .get_order(pid)
+                    .iter()
+                    .map(|&c| system.channel(c).name().to_string())
+                    .collect(),
+            );
+            p.put_order = Some(
+                system
+                    .put_order(pid)
+                    .iter()
+                    .map(|&c| system.channel(c).name().to_string())
+                    .collect(),
+            );
+        }
+        for (i, c) in out.channels.iter_mut().enumerate() {
+            let cid = sysgraph::ChannelId::from_index(i);
+            c.initial_tokens = system.channel(cid).initial_tokens();
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> SystemSpec {
+        serde_json::from_str(
+            r#"{
+                "processes": [
+                    {"name": "src", "latency": 1},
+                    {"name": "p", "latency": 5,
+                     "pareto": [{"latency": 3, "area": 2.0}, {"latency": 5, "area": 1.0}]},
+                    {"name": "snk", "latency": 1}
+                ],
+                "channels": [
+                    {"name": "in", "from": "src", "to": "p", "latency": 2},
+                    {"name": "out", "from": "p", "to": "snk", "latency": 2}
+                ]
+            }"#,
+        )
+        .expect("valid json")
+    }
+
+    #[test]
+    fn spec_roundtrips_through_json() {
+        let spec = sample();
+        let text = serde_json::to_string_pretty(&spec).expect("serializes");
+        let back: SystemSpec = serde_json::from_str(&text).expect("parses");
+        assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn to_system_builds_the_graph() {
+        let sys = sample().to_system().expect("valid spec");
+        assert_eq!(sys.process_count(), 3);
+        assert_eq!(sys.channel_count(), 2);
+        let verdict = tmg::analyze(sysgraph::lower_to_tmg(&sys).tmg());
+        assert_eq!(verdict.cycle_time(), Some(tmg::Ratio::new(9, 1)));
+    }
+
+    #[test]
+    fn to_design_uses_frontiers() {
+        let design = sample().to_design().expect("valid spec");
+        let p = sysgraph::ProcessId::from_index(1);
+        assert_eq!(design.pareto(p).len(), 2);
+        assert_eq!(design.latency(p), 5, "snaps to the declared latency");
+    }
+
+    #[test]
+    fn duplicate_names_are_rejected() {
+        let mut spec = sample();
+        spec.processes[2].name = "src".into();
+        assert!(matches!(spec.to_system(), Err(SpecError::DuplicateName(_))));
+    }
+
+    #[test]
+    fn unknown_endpoint_is_rejected() {
+        let mut spec = sample();
+        spec.channels[0].from = "ghost".into();
+        assert!(matches!(spec.to_system(), Err(SpecError::UnknownName(_))));
+    }
+
+    #[test]
+    fn explicit_orders_are_applied() {
+        let mut spec = sample();
+        // Add a second output to src so there is an order to speak of.
+        spec.channels.push(ChannelSpec {
+            name: "in2".into(),
+            from: "src".into(),
+            to: "snk".into(),
+            latency: 1,
+            initial_tokens: 0,
+        });
+        spec.processes[0].put_order = Some(vec!["in2".into(), "in".into()]);
+        let sys = spec.to_system().expect("valid");
+        let src = sysgraph::ProcessId::from_index(0);
+        let names: Vec<&str> = sys
+            .put_order(src)
+            .iter()
+            .map(|&c| sys.channel(c).name())
+            .collect();
+        assert_eq!(names, vec!["in2", "in"]);
+    }
+
+    #[test]
+    fn state_capture_records_orders() {
+        let spec = sample();
+        let sys = spec.to_system().expect("valid");
+        let captured = spec.with_system_state(&sys);
+        assert_eq!(
+            captured.processes[1].get_order,
+            Some(vec!["in".to_string()])
+        );
+    }
+}

@@ -1,0 +1,92 @@
+//! Smoke tests driving the actual `ermes` binary end to end.
+
+use std::process::Command;
+
+fn ermes() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ermes"))
+}
+
+fn testdata() -> String {
+    format!("{}/testdata/motivating.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn analyze_prints_a_verdict() {
+    let out = ermes()
+        .args(["analyze", &testdata()])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("verdict:"), "{text}");
+}
+
+#[test]
+fn order_writes_a_spec_and_it_reanalyzes() {
+    let dir = std::env::temp_dir().join("ermes_cli_smoke");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let out_path = dir.join("ordered.json");
+    let out = ermes()
+        .args([
+            "order",
+            &testdata(),
+            "--out",
+            out_path.to_str().expect("utf8 path"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let text = String::from_utf8(out.stdout).expect("utf8");
+    assert!(text.contains("after : live, cycle time 12"), "{text}");
+
+    let reanalyzed = ermes()
+        .args(["analyze", out_path.to_str().expect("utf8 path")])
+        .output()
+        .expect("binary runs");
+    let text = String::from_utf8(reanalyzed.stdout).expect("utf8");
+    assert!(text.contains("cycle time: 12 cycles"), "{text}");
+}
+
+#[test]
+fn simulate_emits_vcd() {
+    let dir = std::env::temp_dir().join("ermes_cli_smoke");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let ordered = dir.join("for_vcd.json");
+    let status = ermes()
+        .args(["order", &testdata(), "--out", ordered.to_str().expect("utf8")])
+        .status()
+        .expect("binary runs");
+    assert!(status.success());
+    let vcd_path = dir.join("trace.vcd");
+    let out = ermes()
+        .args([
+            "simulate",
+            ordered.to_str().expect("utf8"),
+            "--iterations",
+            "50",
+            "--vcd",
+            vcd_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("binary runs");
+    assert!(out.status.success(), "{out:?}");
+    let vcd = std::fs::read_to_string(&vcd_path).expect("vcd written");
+    assert!(vcd.contains("$enddefinitions $end"));
+}
+
+#[test]
+fn unknown_command_exits_nonzero() {
+    let out = ermes()
+        .args(["frobnicate", &testdata()])
+        .output()
+        .expect("binary runs");
+    assert!(!out.status.success());
+}
+
+#[test]
+fn missing_args_print_usage() {
+    let out = ermes().output().expect("binary runs");
+    assert!(!out.status.success());
+    let err = String::from_utf8(out.stderr).expect("utf8");
+    assert!(err.contains("USAGE"), "{err}");
+}

@@ -1,0 +1,148 @@
+//! System-level performance analysis of a design.
+//!
+//! Wraps the TMG pipeline (lower → analyze → map back) and reports the
+//! quantities the methodology loop consumes: cycle time, and the
+//! processes/channels on the critical cycle (the targets of timing
+//! optimization).
+
+use crate::design::Design;
+use sysgraph::{lower_to_tmg, ChannelId, ProcessId};
+use tmg::{Ratio, Verdict};
+
+/// Performance report of a design under its current ordering/selection.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PerfReport {
+    /// The raw TMG verdict.
+    pub verdict: Verdict,
+    /// Processes whose computation transitions lie on the critical cycle.
+    pub critical_processes: Vec<ProcessId>,
+    /// Channels whose transfer transitions lie on the critical cycle.
+    pub critical_channels: Vec<ChannelId>,
+}
+
+impl PerfReport {
+    /// The cycle time, if the design is live.
+    #[must_use]
+    pub fn cycle_time(&self) -> Option<Ratio> {
+        self.verdict.cycle_time()
+    }
+
+    /// True if the design deadlocks.
+    #[must_use]
+    pub fn is_deadlock(&self) -> bool {
+        self.verdict.is_deadlock()
+    }
+
+    /// Performance slack `sp = TCT − CT` against a target cycle time,
+    /// in cycles (Section 5). Positive slack means the constraint is met.
+    ///
+    /// Returns `None` for deadlocked or acyclic designs.
+    #[must_use]
+    pub fn slack(&self, target_cycle_time: u64) -> Option<f64> {
+        self.cycle_time()
+            .map(|ct| target_cycle_time as f64 - ct.to_f64())
+    }
+}
+
+/// Analyzes the design's system with the TMG model and maps the critical
+/// cycle back to processes and channels.
+///
+/// # Examples
+///
+/// ```
+/// use ermes::{analyze_design, Design};
+/// use hlsim::{characterize, KernelSpec};
+/// use sysgraph::SystemGraph;
+///
+/// let mut sys = SystemGraph::new();
+/// let a = sys.add_process("a", 0);
+/// let b = sys.add_process("b", 0);
+/// sys.add_channel("x", a, b, 2)?;
+/// let pareto = vec![
+///     characterize(&KernelSpec::new("ka", 8, 4, 0.01, 0.002)),
+///     characterize(&KernelSpec::new("kb", 16, 8, 0.02, 0.003)),
+/// ];
+/// let design = Design::new(sys, pareto)?;
+/// let report = analyze_design(&design);
+/// assert!(!report.is_deadlock());
+/// assert!(!report.critical_processes.is_empty());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn analyze_design(design: &Design) -> PerfReport {
+    let lowered = lower_to_tmg(design.system());
+    let verdict = tmg::analyze(lowered.tmg());
+    let (critical_processes, critical_channels) = match &verdict {
+        Verdict::Live { critical, .. } => (
+            lowered.processes_of(&critical.transitions),
+            lowered.channels_of(&critical.transitions),
+        ),
+        _ => (Vec::new(), Vec::new()),
+    };
+    PerfReport {
+        verdict,
+        critical_processes,
+        critical_channels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+    use sysgraph::SystemGraph;
+
+    fn singleton(latency: u64) -> ParetoSet {
+        ParetoSet::from_candidates(vec![MicroArch {
+            knobs: HlsKnobs::baseline(),
+            latency,
+            area: 1.0,
+        }])
+    }
+
+    #[test]
+    fn critical_cycle_contains_the_bottleneck() {
+        let mut sys = SystemGraph::new();
+        let src = sys.add_process("src", 1);
+        let slow = sys.add_process("slow", 50);
+        let snk = sys.add_process("snk", 1);
+        sys.add_channel("a", src, slow, 1).expect("valid");
+        sys.add_channel("b", slow, snk, 1).expect("valid");
+        let design = Design::new(sys, vec![singleton(1), singleton(50), singleton(1)])
+            .expect("sizes match");
+        let report = analyze_design(&design);
+        assert!(report
+            .critical_processes
+            .contains(&ProcessId::from_index(1)));
+        assert_eq!(report.cycle_time(), Some(Ratio::new(52, 1)));
+    }
+
+    #[test]
+    fn slack_sign_matches_target() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 10);
+        let b = sys.add_process("b", 1);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        let design =
+            Design::new(sys, vec![singleton(10), singleton(1)]).expect("sizes match");
+        let report = analyze_design(&design);
+        // CT = 12 (10 + 1 + 1 loop through a).
+        assert!(report.slack(20).expect("live") > 0.0);
+        assert!(report.slack(10).expect("live") < 0.0);
+    }
+
+    #[test]
+    fn deadlocked_design_has_empty_critical_sets() {
+        let ex = sysgraph::MotivatingExample::new();
+        let pareto: Vec<ParetoSet> = ex
+            .system
+            .process_ids()
+            .map(|p| singleton(ex.system.process(p).latency()))
+            .collect();
+        let design = Design::new(ex.system, pareto).expect("sizes match");
+        let report = analyze_design(&design);
+        assert!(report.is_deadlock());
+        assert!(report.critical_processes.is_empty());
+        assert_eq!(report.slack(100), None);
+    }
+}

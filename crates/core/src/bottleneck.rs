@@ -1,0 +1,190 @@
+//! Human-readable critical-cycle diagnosis.
+//!
+//! The critical cycle *is* the design feedback a tool like ERMES owes its
+//! user: which processes and channels bound the throughput, and how much
+//! each contributes. This report is what the CLI's `analyze` prints and
+//! what a designer would read before deciding between buying a faster
+//! micro-architecture (timing optimization), deepening a FIFO (buffer
+//! sizing), or reordering statements.
+
+use crate::analysis::analyze_design;
+use crate::design::Design;
+use std::fmt::Write as _;
+use sysgraph::lower_to_tmg;
+
+/// One element of the critical cycle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckItem {
+    /// Display name (process or channel).
+    pub name: String,
+    /// True for a computation phase, false for a channel transfer.
+    pub is_process: bool,
+    /// Delay contributed to the cycle, in cycles.
+    pub delay: u64,
+    /// Fraction of the critical cycle's total delay.
+    pub share: f64,
+}
+
+/// The diagnosis: cycle time plus the ranked contributions.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BottleneckReport {
+    /// Cycle time of the design.
+    pub cycle_time: tmg::Ratio,
+    /// Tokens on the critical cycle.
+    pub tokens: u64,
+    /// Elements sorted by decreasing delay contribution.
+    pub items: Vec<BottleneckItem>,
+}
+
+impl BottleneckReport {
+    /// Formats the report as an aligned table.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "critical cycle: cycle time {} over {} token(s)",
+            self.cycle_time, self.tokens
+        );
+        for item in &self.items {
+            let _ = writeln!(
+                out,
+                "  {:<24} {:>10} cycles  {:>5.1}%  [{}]",
+                item.name,
+                item.delay,
+                item.share * 100.0,
+                if item.is_process { "compute" } else { "channel" }
+            );
+        }
+        out
+    }
+}
+
+/// Diagnoses the design's critical cycle. Returns `None` when the design
+/// deadlocks (there is no cycle time to explain).
+///
+/// # Examples
+///
+/// ```
+/// use ermes::{bottleneck_report, Design};
+/// use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+/// use sysgraph::SystemGraph;
+///
+/// let single = |l: u64| ParetoSet::from_candidates(vec![MicroArch {
+///     knobs: HlsKnobs::baseline(), latency: l, area: 0.01,
+/// }]);
+/// let mut sys = SystemGraph::new();
+/// let a = sys.add_process("producer", 1);
+/// let b = sys.add_process("hog", 98);
+/// sys.add_channel("x", a, b, 1)?;
+/// let design = Design::new(sys, vec![single(1), single(98)])?;
+/// let report = bottleneck_report(&design).expect("live design");
+/// // The hog dominates its loop: it leads the ranking with ~98%.
+/// assert_eq!(report.items[0].name, "hog");
+/// assert!(report.items[0].share > 0.9);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn bottleneck_report(design: &Design) -> Option<BottleneckReport> {
+    let report = analyze_design(design);
+    let cycle_time = report.cycle_time()?;
+    let lowered = lower_to_tmg(design.system());
+    let tmg::Verdict::Live { critical, .. } = tmg::analyze(lowered.tmg()) else {
+        return None;
+    };
+    let total: u64 = critical.delay_sum.max(1);
+    let mut items: Vec<BottleneckItem> = critical
+        .transitions
+        .iter()
+        .map(|&t| {
+            let delay = lowered.tmg().transition(t).delay();
+            let (name, is_process) = match lowered.origin(t) {
+                sysgraph::TmgOrigin::Process(p) => {
+                    (design.system().process(p).name().to_string(), true)
+                }
+                sysgraph::TmgOrigin::Channel(c) => {
+                    (design.system().channel(c).name().to_string(), false)
+                }
+            };
+            BottleneckItem {
+                name,
+                is_process,
+                delay,
+                share: delay as f64 / total as f64,
+            }
+        })
+        .filter(|i| i.delay > 0)
+        .collect();
+    items.sort_by(|a, b| b.delay.cmp(&a.delay).then(a.name.cmp(&b.name)));
+    Some(BottleneckReport {
+        cycle_time,
+        tokens: critical.token_sum,
+        items,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+    use sysgraph::SystemGraph;
+
+    fn single(latency: u64) -> ParetoSet {
+        ParetoSet::from_candidates(vec![MicroArch {
+            knobs: HlsKnobs::baseline(),
+            latency,
+            area: 0.01,
+        }])
+    }
+
+    #[test]
+    fn shares_sum_to_one() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 7);
+        let b = sys.add_process("b", 3);
+        sys.add_channel("x", a, b, 2).expect("valid");
+        let design = Design::new(sys, vec![single(7), single(3)]).expect("sizes");
+        let report = bottleneck_report(&design).expect("live");
+        let total: f64 = report.items.iter().map(|i| i.share).sum();
+        assert!((total - 1.0).abs() < 1e-9, "shares sum to {total}");
+    }
+
+    #[test]
+    fn items_are_ranked() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("small", 2);
+        let b = sys.add_process("large", 90);
+        sys.add_channel("x", a, b, 5).expect("valid");
+        let design = Design::new(sys, vec![single(2), single(90)]).expect("sizes");
+        let report = bottleneck_report(&design).expect("live");
+        for w in report.items.windows(2) {
+            assert!(w[0].delay >= w[1].delay);
+        }
+        assert_eq!(report.items[0].name, "large");
+    }
+
+    #[test]
+    fn deadlocked_design_has_no_report() {
+        let ex = sysgraph::MotivatingExample::new();
+        let pareto: Vec<ParetoSet> = ex
+            .system
+            .process_ids()
+            .map(|p| single(ex.system.process(p).latency()))
+            .collect();
+        let design = Design::new(ex.system, pareto).expect("sizes");
+        assert!(bottleneck_report(&design).is_none());
+    }
+
+    #[test]
+    fn render_is_readable() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("alpha", 4);
+        let b = sys.add_process("beta", 6);
+        sys.add_channel("bus", a, b, 1).expect("valid");
+        let design = Design::new(sys, vec![single(4), single(6)]).expect("sizes");
+        let text = bottleneck_report(&design).expect("live").render();
+        assert!(text.contains("critical cycle"));
+        assert!(text.contains("beta"));
+        assert!(text.contains("[channel]"));
+    }
+}

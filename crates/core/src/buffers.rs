@@ -1,0 +1,197 @@
+//! Channel-buffer (FIFO) sizing analysis.
+//!
+//! The paper's related-work discussion (Section 7) notes that dataflow
+//! methodologies lead to "communication channels based on FIFOs, which
+//! must be carefully sized". The TMG model answers the sizing question
+//! directly: pre-loading a channel with one more slot adds a token to
+//! every cycle through it, so the marginal throughput of each candidate
+//! buffer falls out of a what-if cycle-time analysis — no simulation.
+
+use crate::analysis::analyze_design;
+use crate::design::Design;
+use sysgraph::ChannelId;
+use tmg::Ratio;
+
+/// The effect of deepening one channel's FIFO by one slot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BufferEffect {
+    /// The channel whose buffer was (hypothetically) deepened.
+    pub channel: ChannelId,
+    /// Cycle time with the extra slot.
+    pub cycle_time: Ratio,
+    /// True if the extra slot strictly improves the system cycle time.
+    pub improves: bool,
+}
+
+/// What-if analysis: for every channel on the current critical cycle,
+/// the cycle time the system would reach with one extra FIFO slot on
+/// that channel. Channels off the critical cycle cannot improve the
+/// cycle time and are skipped.
+///
+/// Returns `None` if the design deadlocks under its current ordering.
+///
+/// # Examples
+///
+/// A two-stage loop paced by its feedback channel: one more slot
+/// pipelines the loop and halves the cycle time.
+///
+/// ```
+/// use ermes::{buffer_sensitivity, Design};
+/// use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+/// use sysgraph::SystemGraph;
+///
+/// let single = |l: u64| ParetoSet::from_candidates(vec![MicroArch {
+///     knobs: HlsKnobs::baseline(), latency: l, area: 0.01,
+/// }]);
+/// let mut sys = SystemGraph::new();
+/// let a = sys.add_process("a", 10);
+/// let b = sys.add_process("b", 10);
+/// sys.add_channel("fwd", a, b, 1)?;
+/// sys.add_channel_with_tokens("fb", b, a, 1, 1)?;
+/// let design = Design::new(sys, vec![single(10), single(10)])?;
+/// let effects = buffer_sensitivity(&design).expect("live design");
+/// assert!(effects.iter().any(|e| e.improves));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[must_use]
+pub fn buffer_sensitivity(design: &Design) -> Option<Vec<BufferEffect>> {
+    let report = analyze_design(design);
+    let baseline = report.cycle_time()?;
+    let candidates: Vec<ChannelId> = report.critical_channels.clone();
+    let mut effects = Vec::with_capacity(candidates.len());
+    for c in candidates {
+        let mut what_if = design.clone();
+        let tokens = what_if.system().channel(c).initial_tokens();
+        what_if.system_mut().set_initial_tokens(c, tokens + 1);
+        let verdict = analyze_design(&what_if);
+        let cycle_time = verdict
+            .cycle_time()
+            .expect("adding buffering cannot introduce deadlock");
+        effects.push(BufferEffect {
+            channel: c,
+            improves: cycle_time < baseline,
+            cycle_time,
+        });
+    }
+    Some(effects)
+}
+
+/// Greedy buffer insertion: repeatedly deepen the critical-cycle channel
+/// with the best marginal gain until the target cycle time is met, the
+/// budget of extra slots is exhausted, or no channel helps. Returns the
+/// modified design and the `(channel, new depth)` assignments.
+///
+/// This is the natural ERMES extension the paper's Section 7 hints at:
+/// buffer sizing as a third optimization lever next to IP selection and
+/// channel reordering.
+#[must_use]
+pub fn size_buffers(
+    mut design: Design,
+    target_cycle_time: u64,
+    slot_budget: u64,
+) -> (Design, Vec<(ChannelId, u64)>) {
+    let mut assignments = Vec::new();
+    let mut remaining = slot_budget;
+    while remaining > 0 {
+        let report = analyze_design(&design);
+        let Some(current) = report.cycle_time() else {
+            break;
+        };
+        if current <= Ratio::from_integer(target_cycle_time as i64) {
+            break;
+        }
+        let Some(effects) = buffer_sensitivity(&design) else {
+            break;
+        };
+        let Some(best) = effects
+            .iter()
+            .filter(|e| e.improves)
+            .min_by(|a, b| a.cycle_time.cmp(&b.cycle_time))
+        else {
+            break;
+        };
+        let depth = design.system().channel(best.channel).initial_tokens() + 1;
+        design.system_mut().set_initial_tokens(best.channel, depth);
+        assignments.push((best.channel, depth));
+        remaining -= 1;
+    }
+    (design, assignments)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+    use sysgraph::SystemGraph;
+
+    fn single(latency: u64) -> ParetoSet {
+        ParetoSet::from_candidates(vec![MicroArch {
+            knobs: HlsKnobs::baseline(),
+            latency,
+            area: 0.01,
+        }])
+    }
+
+    /// Loop of two heavy stages with a single-slot feedback channel.
+    fn looped_design() -> Design {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 20);
+        let b = sys.add_process("b", 20);
+        sys.add_channel("fwd", a, b, 1).expect("valid");
+        sys.add_channel_with_tokens("fb", b, a, 1, 1).expect("valid");
+        Design::new(sys, vec![single(20), single(20)]).expect("sizes")
+    }
+
+    #[test]
+    fn extra_slot_on_the_loop_improves_cycle_time() {
+        let design = looped_design();
+        let baseline = analyze_design(&design).cycle_time().expect("live");
+        let effects = buffer_sensitivity(&design).expect("live");
+        assert!(!effects.is_empty());
+        let best = effects
+            .iter()
+            .min_by(|a, b| a.cycle_time.cmp(&b.cycle_time))
+            .expect("non-empty");
+        assert!(best.improves);
+        assert!(best.cycle_time < baseline);
+    }
+
+    #[test]
+    fn sizing_meets_a_reachable_target() {
+        let design = looped_design();
+        let baseline = analyze_design(&design)
+            .cycle_time()
+            .expect("live")
+            .to_f64();
+        let target = (baseline * 0.6) as u64;
+        let (sized, assignments) = size_buffers(design, target, 8);
+        assert!(!assignments.is_empty(), "some buffering was added");
+        let reached = analyze_design(&sized).cycle_time().expect("live");
+        assert!(reached.to_f64() <= baseline);
+    }
+
+    #[test]
+    fn budget_caps_the_insertion() {
+        let design = looped_design();
+        let (_, assignments) = size_buffers(design, 1, 3);
+        assert!(assignments.len() <= 3);
+    }
+
+    #[test]
+    fn acyclic_pipeline_has_no_critical_buffers_to_deepen() {
+        // The critical cycle of a pipeline is a single process loop whose
+        // channels may still appear; any reported effect must be sound
+        // (never report an improvement that does not materialize).
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 5);
+        let b = sys.add_process("b", 9);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        let design = Design::new(sys, vec![single(5), single(9)]).expect("sizes");
+        let baseline = analyze_design(&design).cycle_time().expect("live");
+        for effect in buffer_sensitivity(&design).expect("live") {
+            if effect.improves {
+                assert!(effect.cycle_time < baseline);
+            }
+        }
+    }
+}

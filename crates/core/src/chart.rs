@@ -1,0 +1,157 @@
+//! ASCII rendering of exploration traces — Fig. 6 in a terminal.
+//!
+//! Two series against iterations: cycle time (`C`) and area (`A`), each
+//! normalized to its own range like the dual-axis plot in the paper.
+
+use crate::explore::ExplorationTrace;
+use std::fmt::Write as _;
+
+/// Renders the trace as a dual-series ASCII chart of the given height
+/// (rows of the plot area; 4..=40 is sensible).
+///
+/// `C` marks cycle time, `A` marks area, `*` marks both landing on the
+/// same cell. A horizontal ruler `-` row marks the target cycle time when
+/// it falls inside the plotted range.
+#[must_use]
+pub fn render_trace(trace: &ExplorationTrace, target_cycle_time: u64, height: usize) -> String {
+    let height = height.clamp(4, 40);
+    let points: Vec<(f64, f64)> = trace
+        .iterations
+        .iter()
+        .map(|r| (r.cycle_time.to_f64(), r.area))
+        .collect();
+    if points.is_empty() {
+        return String::from("(empty trace)\n");
+    }
+    let min_max = |values: &mut dyn Iterator<Item = f64>| -> (f64, f64) {
+        values.fold((f64::INFINITY, f64::NEG_INFINITY), |(lo, hi), v| {
+            (lo.min(v), hi.max(v))
+        })
+    };
+    let (ct_lo, ct_hi) = min_max(
+        &mut points
+            .iter()
+            .map(|p| p.0)
+            .chain(std::iter::once(target_cycle_time as f64)),
+    );
+    let (ar_lo, ar_hi) = min_max(&mut points.iter().map(|p| p.1));
+    let row_of = |value: f64, lo: f64, hi: f64| -> usize {
+        if hi - lo < f64::EPSILON {
+            return height / 2;
+        }
+        let norm = (value - lo) / (hi - lo);
+        // Row 0 is the top of the chart.
+        ((1.0 - norm) * (height - 1) as f64).round() as usize
+    };
+
+    let cols = points.len();
+    let mut grid = vec![vec![' '; cols]; height];
+    let target_row = row_of(target_cycle_time as f64, ct_lo, ct_hi);
+    for cell in &mut grid[target_row] {
+        *cell = '-';
+    }
+    for (x, &(ct, area)) in points.iter().enumerate() {
+        let cr = row_of(ct, ct_lo, ct_hi);
+        let ar = row_of(area, ar_lo, ar_hi);
+        grid[cr][x] = 'C';
+        grid[ar][x] = if ar == cr { '*' } else { 'A' };
+    }
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "C = cycle time [{:.0}..{:.0}]   A = area [{:.3}..{:.3}]   - = target {}",
+        ct_lo, ct_hi, ar_lo, ar_hi, target_cycle_time
+    );
+    for row in grid {
+        out.push_str("  |");
+        out.extend(row.iter().flat_map(|&c| [c, ' ']));
+        out.push('\n');
+    }
+    out.push_str("  +");
+    out.push_str(&"--".repeat(cols));
+    out.push('\n');
+    out.push_str("   ");
+    for x in 0..cols {
+        let _ = write!(out, "{} ", x % 10);
+    }
+    out.push('\n');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::design::Design;
+    use crate::explore::{explore, ExplorationConfig};
+    use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+    use sysgraph::SystemGraph;
+
+    fn pareto(points: &[(u64, f64)]) -> ParetoSet {
+        ParetoSet::from_candidates(
+            points
+                .iter()
+                .map(|&(latency, area)| MicroArch {
+                    knobs: HlsKnobs::baseline(),
+                    latency,
+                    area,
+                })
+                .collect(),
+        )
+    }
+
+    fn trace() -> ExplorationTrace {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 0);
+        let b = sys.add_process("b", 0);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        let mut design = Design::new(
+            sys,
+            vec![
+                pareto(&[(5, 4.0), (10, 2.0), (20, 1.0)]),
+                pareto(&[(5, 4.0), (10, 2.0), (20, 1.0)]),
+            ],
+        )
+        .expect("sizes");
+        design.select_smallest();
+        explore(design, ExplorationConfig::with_target(15)).expect("explores")
+    }
+
+    #[test]
+    fn chart_contains_both_series_and_the_target() {
+        let t = trace();
+        let chart = render_trace(&t, 15, 10);
+        assert!(chart.contains('C') || chart.contains('*'));
+        assert!(chart.contains('A') || chart.contains('*'));
+        assert!(chart.contains('-'));
+        assert!(chart.contains("target 15"));
+    }
+
+    #[test]
+    fn chart_has_requested_height() {
+        let t = trace();
+        let chart = render_trace(&t, 15, 8);
+        let plot_rows = chart.lines().filter(|l| l.starts_with("  |")).count();
+        assert_eq!(plot_rows, 8);
+    }
+
+    #[test]
+    fn one_column_per_iteration() {
+        let t = trace();
+        let chart = render_trace(&t, 15, 6);
+        let marks: usize = chart
+            .lines()
+            .filter(|l| l.starts_with("  |"))
+            .map(|l| l.chars().filter(|&c| c == 'C' || c == '*').count())
+            .sum();
+        assert_eq!(marks, t.iterations.len(), "every iteration plots its CT");
+    }
+
+    #[test]
+    fn degenerate_height_is_clamped() {
+        let t = trace();
+        let chart = render_trace(&t, 15, 1);
+        let plot_rows = chart.lines().filter(|l| l.starts_with("  |")).count();
+        assert_eq!(plot_rows, 4);
+    }
+}

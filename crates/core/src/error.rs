@@ -1,0 +1,84 @@
+//! Error type of the methodology layer.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by ERMES operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ErmesError {
+    /// The number of Pareto sets does not match the number of processes.
+    ParetoSizeMismatch {
+        /// Processes in the system.
+        processes: usize,
+        /// Pareto sets supplied.
+        pareto_sets: usize,
+    },
+    /// A selection index is out of range for its process's Pareto set.
+    SelectionOutOfRange {
+        /// Offending process index.
+        process: usize,
+        /// Requested implementation index.
+        selected: usize,
+        /// Size of that process's Pareto set.
+        available: usize,
+    },
+    /// The system deadlocks under every ordering the tool produced; the
+    /// topology itself is starved (e.g. an uninitialized feedback loop).
+    Deadlock,
+    /// The underlying ILP solver failed.
+    Ilp(ilp::SolveError),
+}
+
+impl fmt::Display for ErmesError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ErmesError::ParetoSizeMismatch {
+                processes,
+                pareto_sets,
+            } => write!(
+                f,
+                "system has {processes} processes but {pareto_sets} pareto sets were supplied"
+            ),
+            ErmesError::SelectionOutOfRange {
+                process,
+                selected,
+                available,
+            } => write!(
+                f,
+                "selection {selected} out of range for process {process} ({available} implementations)"
+            ),
+            ErmesError::Deadlock => write!(f, "system deadlocks under every produced ordering"),
+            ErmesError::Ilp(e) => write!(f, "ilp solver failed: {e}"),
+        }
+    }
+}
+
+impl Error for ErmesError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ErmesError::Ilp(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ilp::SolveError> for ErmesError {
+    fn from(e: ilp::SolveError) -> Self {
+        ErmesError::Ilp(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<ErmesError>();
+        let e = ErmesError::Ilp(ilp::SolveError::Infeasible);
+        assert!(e.source().is_some());
+        assert!(e.to_string().contains("infeasible"));
+    }
+}

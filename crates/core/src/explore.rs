@@ -1,0 +1,448 @@
+//! The ERMES design-space-exploration loop (Fig. 5 of the paper).
+//!
+//! Each iteration: analyze the system-level performance (cycle time and
+//! critical cycle via the TMG model), compute the slack against the
+//! target cycle time, then either *recover area* (slack > 0) or *optimize
+//! timing* (slack ≤ 0) by re-selecting Pareto-optimal implementations,
+//! and finally re-run the channel-ordering algorithm on the new process
+//! latencies. Previously visited configurations are excluded by no-good
+//! cuts; the loop stops when the active optimization proposes no change.
+
+use crate::analysis::{analyze_design, PerfReport};
+use crate::design::Design;
+use crate::error::ErmesError;
+use crate::opt::{area_recovery, timing_optimization, OptStrategy};
+use sysgraph::ProcessId;
+use tmg::Ratio;
+
+/// Configuration of an exploration run.
+#[derive(Debug, Clone, Copy)]
+pub struct ExplorationConfig {
+    /// Target cycle time (TCT), in cycles.
+    pub target_cycle_time: u64,
+    /// Maximum number of optimization iterations.
+    pub max_iterations: usize,
+    /// Stop early when the best point has not improved for this many
+    /// consecutive iterations (the loop keeps probing excluded
+    /// configurations otherwise).
+    pub stall_limit: usize,
+    /// Solver strategy for the selection problems.
+    pub strategy: OptStrategy,
+    /// Re-run the channel-ordering algorithm after each selection change
+    /// (and once before the first analysis).
+    pub reorder: bool,
+}
+
+impl ExplorationConfig {
+    /// A configuration with the given target and the defaults the paper's
+    /// experiments use (up to 16 iterations, auto strategy, reordering).
+    #[must_use]
+    pub fn with_target(target_cycle_time: u64) -> Self {
+        ExplorationConfig {
+            target_cycle_time,
+            max_iterations: 16,
+            stall_limit: 4,
+            strategy: OptStrategy::Auto,
+            reorder: true,
+        }
+    }
+}
+
+/// What an iteration did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StepAction {
+    /// The starting point (after initial reordering).
+    Initial,
+    /// Slack ≤ 0: critical-cycle latencies were reduced.
+    TimingOptimization,
+    /// Slack > 0: area was recovered within the slack.
+    AreaRecovery,
+    /// The active optimization proposed no further change.
+    Converged,
+}
+
+/// One row of the exploration trace (one point of Fig. 6).
+#[derive(Debug, Clone, PartialEq)]
+pub struct IterationRecord {
+    /// Iteration index (0 = initial).
+    pub index: usize,
+    /// Action taken to arrive at this point.
+    pub action: StepAction,
+    /// Cycle time after the action (and reordering).
+    pub cycle_time: Ratio,
+    /// Total design area after the action.
+    pub area: f64,
+    /// True if `cycle_time <= target`.
+    pub meets_target: bool,
+    /// Processes on the critical cycle at this point.
+    pub critical_processes: Vec<ProcessId>,
+}
+
+/// The exploration result: the trace of Fig. 6 plus the final design.
+#[derive(Debug, Clone)]
+pub struct ExplorationTrace {
+    /// Iteration records, starting with the initial point.
+    pub iterations: Vec<IterationRecord>,
+    /// The design in its best configuration and ordering (see
+    /// [`ExplorationTrace::best_index`]).
+    pub design: Design,
+    /// Index of the iteration whose configuration the final design holds:
+    /// the smallest-area target-meeting point, or — if no point meets the
+    /// target — the fastest one.
+    pub best_index: usize,
+}
+
+impl ExplorationTrace {
+    /// The last record of the trace.
+    ///
+    /// # Panics
+    ///
+    /// Never panics: the trace always contains the initial record.
+    #[must_use]
+    pub fn last(&self) -> &IterationRecord {
+        self.iterations.last().expect("trace starts with Initial")
+    }
+
+    /// The record the final design corresponds to.
+    #[must_use]
+    pub fn best(&self) -> &IterationRecord {
+        &self.iterations[self.best_index]
+    }
+
+    /// Speed-up of the best point relative to the initial one.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        self.iterations[0].cycle_time.to_f64() / self.best().cycle_time.to_f64()
+    }
+
+    /// Relative area change (best − initial) / initial.
+    #[must_use]
+    pub fn area_change(&self) -> f64 {
+        let initial = self.iterations[0].area;
+        (self.best().area - initial) / initial
+    }
+}
+
+fn reorder_if(design: &mut Design, reorder: bool) {
+    if reorder {
+        let solution = chanorder::order_channels(design.system());
+        solution
+            .ordering
+            .apply_to(design.system_mut())
+            .expect("algorithm orderings are valid permutations");
+    }
+}
+
+fn record(
+    index: usize,
+    action: StepAction,
+    report: &PerfReport,
+    design: &Design,
+    target: u64,
+) -> Result<IterationRecord, ErmesError> {
+    let cycle_time = report.cycle_time().ok_or(ErmesError::Deadlock)?;
+    Ok(IterationRecord {
+        index,
+        action,
+        cycle_time,
+        area: design.area(),
+        meets_target: cycle_time <= Ratio::from_integer(target as i64),
+        critical_processes: report.critical_processes.clone(),
+    })
+}
+
+/// Runs the exploration loop on `design`.
+///
+/// # Errors
+///
+/// [`ErmesError::Deadlock`] if the system deadlocks even after
+/// reordering (only possible for topologies that are starved regardless
+/// of statement order); [`ErmesError::Ilp`] on solver failure.
+///
+/// # Examples
+///
+/// ```
+/// use ermes::{explore, Design, ExplorationConfig};
+/// use hlsim::{characterize, KernelSpec};
+/// use sysgraph::SystemGraph;
+///
+/// let mut sys = SystemGraph::new();
+/// let src = sys.add_process("src", 1);
+/// let p = sys.add_process("p", 0);
+/// let snk = sys.add_process("snk", 1);
+/// sys.add_channel("in", src, p, 2)?;
+/// sys.add_channel("out", p, snk, 2)?;
+/// let single = |l: u64| hlsim::ParetoSet::from_candidates(vec![hlsim::MicroArch {
+///     knobs: hlsim::HlsKnobs::baseline(), latency: l, area: 0.01,
+/// }]);
+/// let pareto = vec![
+///     single(1),
+///     characterize(&KernelSpec::new("k", 32, 16, 0.05, 0.01)),
+///     single(1),
+/// ];
+/// let design = Design::new(sys, pareto)?;
+/// let trace = explore(design, ExplorationConfig::with_target(100))?;
+/// assert!(trace.last().meets_target);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn explore(
+    mut design: Design,
+    config: ExplorationConfig,
+) -> Result<ExplorationTrace, ErmesError> {
+    // The initial record reflects the design as given (the paper's Fig. 6
+    // starts at M2 under its conservative ordering); reordering happens as
+    // part of each optimization iteration. A start that deadlocks under
+    // its given ordering is repaired by reordering right away — deadlock
+    // removal is the ordering algorithm's first job (Section 4).
+    let mut report = analyze_design(&design);
+    if report.is_deadlock() && config.reorder {
+        reorder_if(&mut design, true);
+        report = analyze_design(&design);
+    }
+    let mut iterations = vec![record(
+        0,
+        StepAction::Initial,
+        &report,
+        &design,
+        config.target_cycle_time,
+    )?];
+    let mut visited: Vec<Vec<usize>> = vec![design.selection().to_vec()];
+    // Configuration and statement ordering behind every record, so the
+    // best point can be restored exactly.
+    let mut configs: Vec<Vec<usize>> = vec![design.selection().to_vec()];
+    let mut orderings: Vec<sysgraph::ChannelOrdering> =
+        vec![sysgraph::ChannelOrdering::of(design.system())];
+
+    // Stagnation detection: the "score" of a record is (meets target,
+    // then area) — lexicographically better when the target is met at a
+    // smaller area, falling back to cycle time while infeasible.
+    let score = |r: &IterationRecord| -> (u8, f64) {
+        if r.meets_target {
+            (0, r.area)
+        } else {
+            (1, r.cycle_time.to_f64())
+        }
+    };
+    let mut best_score = score(&iterations[0]);
+    let mut stalled = 0usize;
+
+    for index in 1..=config.max_iterations {
+        let cycle_time = report.cycle_time().ok_or(ErmesError::Deadlock)?;
+        let slack = config.target_cycle_time as f64 - cycle_time.to_f64();
+        let (action, proposal) = if slack > 0.0 {
+            (
+                StepAction::AreaRecovery,
+                area_recovery(
+                    &design,
+                    &report.critical_processes,
+                    slack.floor() as i64,
+                    &visited,
+                    Some(config.target_cycle_time),
+                    config.strategy,
+                )?,
+            )
+        } else {
+            (
+                StepAction::TimingOptimization,
+                timing_optimization(
+                    &design,
+                    &report.critical_processes,
+                    (-slack).ceil() as i64,
+                    &visited,
+                    config.strategy,
+                )?,
+            )
+        };
+        match proposal {
+            None => {
+                // No further change: the paper's final confirming step.
+                let mut rec = iterations.last().expect("non-empty").clone();
+                rec.index = index;
+                rec.action = StepAction::Converged;
+                iterations.push(rec);
+                break;
+            }
+            Some(selection) => {
+                design.apply_selection(&selection.selection)?;
+                visited.push(selection.selection.clone());
+                configs.push(selection.selection);
+                reorder_if(&mut design, config.reorder);
+                orderings.push(sysgraph::ChannelOrdering::of(design.system()));
+                report = analyze_design(&design);
+                let rec = record(index, action, &report, &design, config.target_cycle_time)?;
+                let s = score(&rec);
+                if s < best_score {
+                    best_score = s;
+                    stalled = 0;
+                } else {
+                    stalled += 1;
+                }
+                iterations.push(rec);
+                if stalled >= config.stall_limit {
+                    let mut rec = iterations.last().expect("non-empty").clone();
+                    rec.index = index + 1;
+                    rec.action = StepAction::Converged;
+                    iterations.push(rec);
+                    break;
+                }
+            }
+        }
+    }
+
+    // Restore the best point exactly — selection *and* statement order:
+    // the smallest-area iteration that meets the target, or the fastest
+    // iteration when none does. (A `Converged` record shares its
+    // predecessor's configuration.)
+    let best_index = iterations
+        .iter()
+        .filter(|r| r.meets_target)
+        .min_by(|a, b| a.area.partial_cmp(&b.area).expect("areas are finite"))
+        .map(|r| r.index)
+        .unwrap_or_else(|| {
+            iterations
+                .iter()
+                .min_by_key(|r| r.cycle_time)
+                .expect("trace is non-empty")
+                .index
+        });
+    let slot = best_index.min(configs.len() - 1);
+    design.apply_selection(&configs[slot])?;
+    orderings[slot]
+        .apply_to(design.system_mut())
+        .expect("recorded orderings remain valid");
+
+    Ok(ExplorationTrace {
+        iterations,
+        design,
+        best_index,
+    })
+}
+
+/// The M1 experiment of Section 6: keep every implementation fixed and
+/// measure the cycle-time improvement from channel reordering alone.
+/// Returns `(before, after)` cycle times.
+///
+/// # Errors
+///
+/// [`ErmesError::Deadlock`] if the system deadlocks under its current
+/// ordering or after reordering.
+pub fn reordering_gain(design: &mut Design) -> Result<(Ratio, Ratio), ErmesError> {
+    let before = analyze_design(design)
+        .cycle_time()
+        .ok_or(ErmesError::Deadlock)?;
+    reorder_if(design, true);
+    let after = analyze_design(design)
+        .cycle_time()
+        .ok_or(ErmesError::Deadlock)?;
+    Ok((before, after))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+    use sysgraph::SystemGraph;
+
+    fn pareto(points: &[(u64, f64)]) -> ParetoSet {
+        ParetoSet::from_candidates(
+            points
+                .iter()
+                .map(|&(latency, area)| MicroArch {
+                    knobs: HlsKnobs::baseline(),
+                    latency,
+                    area,
+                })
+                .collect(),
+        )
+    }
+
+    /// A three-stage pipeline with rich Pareto sets on the middle stages.
+    fn pipeline_design() -> Design {
+        let mut sys = SystemGraph::new();
+        let src = sys.add_process("src", 1);
+        let s1 = sys.add_process("s1", 0);
+        let s2 = sys.add_process("s2", 0);
+        let snk = sys.add_process("snk", 1);
+        sys.add_channel("a", src, s1, 1).expect("valid");
+        sys.add_channel("b", s1, s2, 1).expect("valid");
+        sys.add_channel("c", s2, snk, 1).expect("valid");
+        Design::new(
+            sys,
+            vec![
+                pareto(&[(1, 0.01)]),
+                pareto(&[(10, 5.0), (20, 3.0), (40, 1.5), (80, 0.8)]),
+                pareto(&[(15, 4.0), (30, 2.0), (60, 1.0)]),
+                pareto(&[(1, 0.01)]),
+            ],
+        )
+        .expect("sizes match")
+    }
+
+    #[test]
+    fn timing_exploration_reaches_feasible_target() {
+        let mut design = pipeline_design();
+        design.select_smallest();
+        let trace = explore(design, ExplorationConfig::with_target(50)).expect("explores");
+        assert!(!trace.iterations[0].meets_target, "starts violating");
+        assert!(trace.last().meets_target, "ends meeting the target");
+        assert!(trace.speedup() > 1.0);
+        // Timing optimization costs area.
+        assert!(trace.area_change() > 0.0);
+    }
+
+    #[test]
+    fn area_exploration_reduces_area_within_target() {
+        let mut design = pipeline_design();
+        design.select_fastest();
+        let initial_area = design.area();
+        let trace = explore(design, ExplorationConfig::with_target(100)).expect("explores");
+        assert!(trace.iterations[0].meets_target);
+        assert!(trace.last().area < initial_area, "area was recovered");
+        assert!(trace.last().meets_target, "target still met at the end");
+    }
+
+    #[test]
+    fn exploration_terminates_with_converged_step() {
+        let mut design = pipeline_design();
+        design.select_fastest();
+        let trace = explore(design, ExplorationConfig::with_target(1_000)).expect("explores");
+        assert_eq!(trace.last().action, StepAction::Converged);
+        assert!(trace.iterations.len() <= 17);
+    }
+
+    #[test]
+    fn infeasible_target_settles_at_fastest() {
+        let mut design = pipeline_design();
+        design.select_smallest();
+        let trace = explore(design, ExplorationConfig::with_target(5)).expect("explores");
+        // Target 5 is unreachable; the loop should still terminate with
+        // the fastest critical path it can buy.
+        assert!(!trace.last().meets_target);
+        assert!(trace.last().cycle_time < trace.iterations[0].cycle_time);
+    }
+
+    #[test]
+    fn trace_indices_are_sequential() {
+        let mut design = pipeline_design();
+        design.select_smallest();
+        let trace = explore(design, ExplorationConfig::with_target(60)).expect("explores");
+        for (i, rec) in trace.iterations.iter().enumerate() {
+            assert_eq!(rec.index, i);
+        }
+    }
+
+    #[test]
+    fn reordering_gain_on_motivating_example() {
+        let ex = sysgraph::MotivatingExample::new();
+        let mut sys = ex.system.clone();
+        ex.suboptimal_ordering().apply_to(&mut sys).expect("valid");
+        let pareto: Vec<ParetoSet> = sys
+            .process_ids()
+            .map(|p| pareto(&[(sys.process(p).latency(), 0.1)]))
+            .collect();
+        let mut design = Design::new(sys, pareto).expect("sizes match");
+        let (before, after) = reordering_gain(&mut design).expect("live");
+        assert_eq!(before, Ratio::new(20, 1));
+        assert_eq!(after, Ratio::new(12, 1));
+    }
+}

@@ -1,0 +1,693 @@
+//! IP-selection optimization: area recovery and timing optimization.
+//!
+//! Section 5 of the paper. Given the performance slack `sp = TCT − CT`:
+//!
+//! - **Area recovery** (`sp > 0`): re-select implementations to maximize
+//!   the cumulative area gain, subject to the cumulative latency increase
+//!   of the processes on the critical cycle staying within the slack — a
+//!   multiple-choice knapsack, formulated as a 0/1 ILP.
+//! - **Timing optimization** (`sp ≤ 0`): re-select implementations of the
+//!   critical-cycle processes to maximize the cumulative latency gain.
+//!
+//! Both formulations carry *no-good cuts* that "discard the
+//! configurations already optimized" (the paper's termination device),
+//! and both exist in two interchangeable strategies: the exact ILP
+//! (simplex + branch & bound, as the paper's GLPK) and a greedy heuristic
+//! for the 10,000-process scalability benchmarks where a dense-tableau
+//! exact solve would dominate runtime.
+
+use crate::design::Design;
+use crate::error::ErmesError;
+use ilp::{Problem, Sense, VarId};
+use sysgraph::ProcessId;
+
+/// A proposed re-selection of implementations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IpSelection {
+    /// New implementation index per process.
+    pub selection: Vec<usize>,
+    /// Objective value (cumulative area gain or latency gain).
+    pub objective: f64,
+}
+
+/// Solver strategy for the selection problems.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum OptStrategy {
+    /// Exact 0/1 ILP (simplex relaxation + branch & bound).
+    Exact,
+    /// Greedy frontier walk (used for very large designs).
+    Greedy,
+    /// [`OptStrategy::Exact`] up to 400 decision variables, then
+    /// [`OptStrategy::Greedy`].
+    #[default]
+    Auto,
+}
+
+const AUTO_EXACT_LIMIT: usize = 400;
+
+fn resolve(strategy: OptStrategy, variables: usize) -> OptStrategy {
+    match strategy {
+        OptStrategy::Auto => {
+            if variables <= AUTO_EXACT_LIMIT {
+                OptStrategy::Exact
+            } else {
+                OptStrategy::Greedy
+            }
+        }
+        s => s,
+    }
+}
+
+/// Area recovery: maximize total area gain while the critical-cycle
+/// latency increase stays within `slack`. Returns `None` when no
+/// configuration with a positive area gain exists (outside `forbidden`).
+///
+/// When `target_cycle_time` is given, implementations whose latency would
+/// push the process's own loop (computation plus incident channel
+/// latencies — a lower bound on any cycle through it) past the target are
+/// excluded up front; this is the paper's "maintaining CT < TCT" side
+/// condition on the knapsack.
+///
+/// # Errors
+///
+/// Propagates ILP failures as [`ErmesError::Ilp`].
+pub fn area_recovery(
+    design: &Design,
+    critical: &[ProcessId],
+    slack: i64,
+    forbidden: &[Vec<usize>],
+    target_cycle_time: Option<u64>,
+    strategy: OptStrategy,
+) -> Result<Option<IpSelection>, ErmesError> {
+    let variables: usize = design
+        .system()
+        .process_ids()
+        .map(|p| design.pareto(p).len())
+        .sum();
+    let caps = latency_caps(design, target_cycle_time);
+    match resolve(strategy, variables) {
+        OptStrategy::Greedy => Ok(area_recovery_greedy(design, critical, slack, forbidden, &caps)),
+        _ => area_recovery_exact(design, critical, slack, forbidden, &caps),
+    }
+}
+
+/// Per-process latency cap implied by the target cycle time: the cycle
+/// time of the whole system is at least `latency(p) + Σ incident channel
+/// latencies` for every process `p`, so implementations exceeding
+/// `TCT − overhead(p)` can never be part of a target-meeting design.
+fn latency_caps(design: &Design, target_cycle_time: Option<u64>) -> Vec<u64> {
+    let sys = design.system();
+    let mut overhead = vec![0u64; sys.process_count()];
+    for c in sys.channel_ids() {
+        let ch = sys.channel(c);
+        overhead[ch.from().index()] += ch.latency();
+        overhead[ch.to().index()] += ch.latency();
+    }
+    match target_cycle_time {
+        None => vec![u64::MAX; sys.process_count()],
+        Some(tct) => overhead
+            .iter()
+            .map(|&o| tct.saturating_sub(o))
+            .collect(),
+    }
+}
+
+fn is_critical(design: &Design, critical: &[ProcessId]) -> Vec<bool> {
+    let mut v = vec![false; design.system().process_count()];
+    for &p in critical {
+        v[p.index()] = true;
+    }
+    v
+}
+
+fn area_recovery_exact(
+    design: &Design,
+    critical: &[ProcessId],
+    slack: i64,
+    forbidden: &[Vec<usize>],
+    caps: &[u64],
+) -> Result<Option<IpSelection>, ErmesError> {
+    let sys = design.system();
+    let crit = is_critical(design, critical);
+    let mut problem = Problem::new();
+    let mut vars: Vec<Vec<Option<VarId>>> = Vec::with_capacity(sys.process_count());
+    let mut latency_terms: Vec<(VarId, f64)> = Vec::new();
+    for p in sys.process_ids() {
+        let set = design.pareto(p);
+        let current_latency = design.latency(p) as f64;
+        let current_area = design.process_area(p);
+        let mut row: Vec<Option<VarId>> = Vec::with_capacity(set.len());
+        let mut ones: Vec<(VarId, f64)> = Vec::new();
+        for (i, m) in set.points().iter().enumerate() {
+            // Implementations that provably bust the target are excluded,
+            // except the current one (to keep the problem feasible).
+            if m.latency > caps[p.index()] && i != design.selected(p) {
+                row.push(None);
+                continue;
+            }
+            let v = problem.add_binary(format!("x_{}_{}", p.index(), i));
+            problem.set_objective_coeff(v, current_area - m.area);
+            if crit[p.index()] {
+                // Latency *increase* consumes slack.
+                latency_terms.push((v, m.latency as f64 - current_latency));
+            }
+            ones.push((v, 1.0));
+            row.push(Some(v));
+        }
+        problem.add_constraint(format!("one_{}", p.index()), ones, Sense::Eq, 1.0);
+        vars.push(row);
+    }
+    if !latency_terms.is_empty() {
+        problem.add_constraint("slack", latency_terms, Sense::Le, slack as f64);
+    }
+    add_no_good_cuts(&mut problem, &vars, forbidden);
+
+    let solution = match problem.solve() {
+        Ok(s) => s,
+        Err(ilp::SolveError::Infeasible) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if solution.objective <= 1e-9 {
+        return Ok(None);
+    }
+    Ok(Some(extract_selection(design, &vars, &solution)))
+}
+
+fn area_recovery_greedy(
+    design: &Design,
+    critical: &[ProcessId],
+    slack: i64,
+    forbidden: &[Vec<usize>],
+    caps: &[u64],
+) -> Option<IpSelection> {
+    let sys = design.system();
+    let crit = is_critical(design, critical);
+    let mut selection: Vec<usize> = design.selection().to_vec();
+    let mut budget = slack;
+    let mut gain = 0.0;
+    // Candidate moves: (gain per unit cost, process, new index).
+    // Non-critical moves cost nothing: take the smallest implementation.
+    for p in sys.process_ids() {
+        let set = design.pareto(p);
+        if !crit[p.index()] {
+            // The smallest implementation that respects the latency cap.
+            let best = set
+                .points()
+                .iter()
+                .enumerate()
+                .filter(|(_, m)| m.latency <= caps[p.index()])
+                .max_by_key(|(i, _)| *i)
+                .map(|(i, _)| i);
+            if let Some(best) = best {
+                if set.points()[best].area < design.process_area(p) - 1e-12 {
+                    gain += design.process_area(p) - set.points()[best].area;
+                    selection[p.index()] = best;
+                }
+            }
+        }
+    }
+    // Critical moves: walk each frontier greedily by area-gain per cycle.
+    loop {
+        let mut best: Option<(f64, usize, usize, i64, f64)> = None; // (ratio, p, idx, cost, dgain)
+        for p in sys.process_ids() {
+            if !crit[p.index()] {
+                continue;
+            }
+            let set = design.pareto(p);
+            let cur_idx = selection[p.index()];
+            let cur = &set.points()[cur_idx];
+            for (i, m) in set.points().iter().enumerate().skip(cur_idx + 1) {
+                let cost = m.latency as i64 - cur.latency as i64;
+                let dgain = cur.area - m.area;
+                if dgain <= 1e-12 || cost > budget || m.latency > caps[p.index()] {
+                    continue;
+                }
+                let ratio = dgain / (cost.max(1) as f64);
+                if best.as_ref().is_none_or(|b| ratio > b.0) {
+                    best = Some((ratio, p.index(), i, cost, dgain));
+                }
+            }
+        }
+        let Some((_, pidx, i, cost, dgain)) = best else {
+            break;
+        };
+        budget -= cost;
+        gain += dgain;
+        selection[pidx] = i;
+    }
+    if gain <= 1e-9 || forbidden.contains(&selection) || selection == design.selection() {
+        return None;
+    }
+    Some(IpSelection {
+        selection,
+        objective: gain,
+    })
+}
+
+/// Timing optimization: re-select implementations of the critical-cycle
+/// processes to close a cycle-time `deficit` (CT − TCT), per the paper's
+/// "minimize the difference CT − TCT". The primary formulation is the
+/// dual the paper alludes to: **minimize the area increase subject to a
+/// cumulative latency gain of at least `deficit`**; when the deficit is
+/// unreachable it falls back to maximizing the latency gain outright.
+/// Non-critical selections stay fixed. Returns `None` when no
+/// configuration strictly reduces the critical latency.
+///
+/// # Errors
+///
+/// Propagates ILP failures as [`ErmesError::Ilp`].
+pub fn timing_optimization(
+    design: &Design,
+    critical: &[ProcessId],
+    deficit: i64,
+    forbidden: &[Vec<usize>],
+    strategy: OptStrategy,
+) -> Result<Option<IpSelection>, ErmesError> {
+    let variables: usize = critical.iter().map(|&p| design.pareto(p).len()).sum();
+    match resolve(strategy, variables) {
+        OptStrategy::Greedy => Ok(timing_optimization_greedy(
+            design, critical, deficit, forbidden,
+        )),
+        _ => timing_optimization_exact(design, critical, deficit, forbidden),
+    }
+}
+
+fn timing_optimization_exact(
+    design: &Design,
+    critical: &[ProcessId],
+    deficit: i64,
+    forbidden: &[Vec<usize>],
+) -> Result<Option<IpSelection>, ErmesError> {
+    // Primary: minimize area increase subject to gain >= deficit.
+    if deficit > 0 {
+        if let Some(sel) =
+            timing_dual_exact(design, critical, deficit, forbidden)?
+        {
+            return Ok(Some(sel));
+        }
+    }
+    // Fallback: the deficit is unreachable — buy all the speed there is.
+    timing_max_gain_exact(design, critical, forbidden)
+}
+
+/// Builds the shared variable structure of the timing problems: one
+/// binary per (critical process, implementation), with exactly-one rows.
+fn timing_vars(
+    design: &Design,
+    crit: &[bool],
+    problem: &mut Problem,
+) -> Vec<Vec<Option<VarId>>> {
+    let sys = design.system();
+    let mut vars: Vec<Vec<Option<VarId>>> = Vec::with_capacity(sys.process_count());
+    for p in sys.process_ids() {
+        if !crit[p.index()] {
+            vars.push(Vec::new());
+            continue;
+        }
+        let set = design.pareto(p);
+        let mut row = Vec::with_capacity(set.len());
+        for (i, _) in set.points().iter().enumerate() {
+            let v = problem.add_binary(format!("x_{}_{}", p.index(), i));
+            row.push(Some(v));
+        }
+        problem.add_constraint(
+            format!("one_{}", p.index()),
+            row.iter().map(|&v| (v.expect("all modeled"), 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        );
+        vars.push(row);
+    }
+    vars
+}
+
+/// Dual form: minimize area increase subject to covering the deficit.
+fn timing_dual_exact(
+    design: &Design,
+    critical: &[ProcessId],
+    deficit: i64,
+    forbidden: &[Vec<usize>],
+) -> Result<Option<IpSelection>, ErmesError> {
+    let sys = design.system();
+    let crit = is_critical(design, critical);
+    let mut problem = Problem::new();
+    let vars = timing_vars(design, &crit, &mut problem);
+    let mut gain_terms: Vec<(VarId, f64)> = Vec::new();
+    for p in sys.process_ids() {
+        if vars[p.index()].is_empty() {
+            continue;
+        }
+        let set = design.pareto(p);
+        let current_latency = design.latency(p) as f64;
+        let current_area = design.process_area(p);
+        for (i, m) in set.points().iter().enumerate() {
+            let v = vars[p.index()][i].expect("all modeled");
+            // Maximize area gain == minimize area increase.
+            problem.set_objective_coeff(v, current_area - m.area);
+            gain_terms.push((v, current_latency - m.latency as f64));
+        }
+    }
+    problem.add_constraint("deficit", gain_terms, Sense::Ge, deficit as f64);
+    add_timing_cuts(&mut problem, design, &crit, &vars, forbidden);
+    match problem.solve() {
+        Ok(s) => {
+            let sel = extract_selection(design, &vars, &s);
+            if sel.selection == design.selection() {
+                Ok(None)
+            } else {
+                Ok(Some(sel))
+            }
+        }
+        Err(ilp::SolveError::Infeasible) => Ok(None),
+        Err(e) => Err(e.into()),
+    }
+}
+
+/// Fallback form: maximize the cumulative latency gain.
+fn timing_max_gain_exact(
+    design: &Design,
+    critical: &[ProcessId],
+    forbidden: &[Vec<usize>],
+) -> Result<Option<IpSelection>, ErmesError> {
+    let sys = design.system();
+    let crit = is_critical(design, critical);
+    let mut problem = Problem::new();
+    let vars = timing_vars(design, &crit, &mut problem);
+    for p in sys.process_ids() {
+        if vars[p.index()].is_empty() {
+            continue;
+        }
+        let set = design.pareto(p);
+        let current_latency = design.latency(p) as f64;
+        for (i, m) in set.points().iter().enumerate() {
+            let v = vars[p.index()][i].expect("all modeled");
+            problem.set_objective_coeff(v, current_latency - m.latency as f64);
+        }
+    }
+    add_timing_cuts(&mut problem, design, &crit, &vars, forbidden);
+    let solution = match problem.solve() {
+        Ok(s) => s,
+        Err(ilp::SolveError::Infeasible) => return Ok(None),
+        Err(e) => return Err(e.into()),
+    };
+    if solution.objective <= 1e-9 {
+        return Ok(None);
+    }
+    Ok(Some(extract_selection(design, &vars, &solution)))
+}
+
+/// No-good cuts over the critical-process variables: exclude forbidden
+/// configurations that agree with the current one outside the free
+/// (critical) processes.
+fn add_timing_cuts(
+    problem: &mut Problem,
+    design: &Design,
+    crit: &[bool],
+    vars: &[Vec<Option<VarId>>],
+    forbidden: &[Vec<usize>],
+) {
+    let relevant: Vec<&Vec<usize>> = forbidden
+        .iter()
+        .filter(|f| {
+            f.iter()
+                .enumerate()
+                .all(|(i, &s)| crit[i] || s == design.selection()[i])
+        })
+        .collect();
+    for f in relevant {
+        let terms: Vec<(VarId, f64)> = f
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| crit[*i])
+            .map(|(i, &s)| (vars[i][s].expect("all modeled"), 1.0))
+            .collect();
+        if !terms.is_empty() {
+            let bound = terms.len() as f64 - 1.0;
+            problem.add_constraint("no_good", terms, Sense::Le, bound);
+        }
+    }
+}
+
+fn timing_optimization_greedy(
+    design: &Design,
+    critical: &[ProcessId],
+    deficit: i64,
+    forbidden: &[Vec<usize>],
+) -> Option<IpSelection> {
+    let mut selection = design.selection().to_vec();
+    let mut gain = 0.0f64;
+    if deficit > 0 {
+        // Buy speed cheapest-first (area per cycle gained) until the
+        // deficit is covered.
+        let mut remaining = deficit as f64;
+        loop {
+            if remaining <= 0.0 {
+                break;
+            }
+            let mut best: Option<(f64, usize, usize, f64)> = None; // (cost ratio, p, idx, dgain)
+            for &p in critical {
+                let set = design.pareto(p);
+                let cur_idx = selection[p.index()];
+                let cur = &set.points()[cur_idx];
+                for (i, m) in set.points().iter().enumerate().take(cur_idx) {
+                    let dgain = cur.latency as f64 - m.latency as f64;
+                    if dgain <= 0.0 {
+                        continue;
+                    }
+                    let cost = (m.area - cur.area).max(0.0);
+                    let ratio = cost / dgain;
+                    if best.as_ref().is_none_or(|b| ratio < b.0) {
+                        best = Some((ratio, p.index(), i, dgain));
+                    }
+                }
+            }
+            let Some((_, pidx, i, dgain)) = best else {
+                break;
+            };
+            remaining -= dgain;
+            gain += dgain;
+            selection[pidx] = i;
+        }
+    } else {
+        for &p in critical {
+            let cur = design.latency(p);
+            let fastest = design.pareto(p).fastest().latency;
+            if fastest < cur {
+                gain += (cur - fastest) as f64;
+                selection[p.index()] = 0;
+            }
+        }
+    }
+    if gain <= 1e-9 || forbidden.contains(&selection) || selection == design.selection() {
+        return None;
+    }
+    Some(IpSelection {
+        selection,
+        objective: gain,
+    })
+}
+
+fn add_no_good_cuts(
+    problem: &mut Problem,
+    vars: &[Vec<Option<VarId>>],
+    forbidden: &[Vec<usize>],
+) {
+    for f in forbidden {
+        // A forbidden configuration that selects an excluded (un-modeled)
+        // implementation cannot be produced by this problem: skip it.
+        let mut terms: Vec<(VarId, f64)> = Vec::new();
+        let mut expressible = true;
+        for (i, &s) in f.iter().enumerate() {
+            if vars[i].is_empty() {
+                continue;
+            }
+            match vars[i].get(s).copied().flatten() {
+                Some(v) => terms.push((v, 1.0)),
+                None => {
+                    expressible = false;
+                    break;
+                }
+            }
+        }
+        if expressible && !terms.is_empty() {
+            let bound = terms.len() as f64 - 1.0;
+            problem.add_constraint("no_good", terms, Sense::Le, bound);
+        }
+    }
+}
+
+fn extract_selection(
+    design: &Design,
+    vars: &[Vec<Option<VarId>>],
+    solution: &ilp::Solution,
+) -> IpSelection {
+    let selection: Vec<usize> = vars
+        .iter()
+        .enumerate()
+        .map(|(p, row)| {
+            if row.is_empty() {
+                design.selection()[p]
+            } else {
+                row.iter()
+                    .position(|&v| v.is_some_and(|v| solution.is_one(v)))
+                    .expect("exactly one implementation is selected")
+            }
+        })
+        .collect();
+    IpSelection {
+        selection,
+        objective: solution.objective,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+    use sysgraph::SystemGraph;
+
+    fn pareto(points: &[(u64, f64)]) -> ParetoSet {
+        ParetoSet::from_candidates(
+            points
+                .iter()
+                .map(|&(latency, area)| MicroArch {
+                    knobs: HlsKnobs::baseline(),
+                    latency,
+                    area,
+                })
+                .collect(),
+        )
+    }
+
+    /// Two processes in a pipeline, both on the critical cycle.
+    fn design() -> Design {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 5);
+        let b = sys.add_process("b", 8);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        Design::new(
+            sys,
+            vec![
+                pareto(&[(5, 3.0), (9, 2.0), (15, 1.0)]),
+                pareto(&[(8, 4.0), (12, 2.5)]),
+            ],
+        )
+        .expect("sizes match")
+    }
+
+    fn all_processes(d: &Design) -> Vec<ProcessId> {
+        d.system().process_ids().collect()
+    }
+
+    #[test]
+    fn area_recovery_respects_slack() {
+        let d = design();
+        // Slack 4: can afford a -> (9, 2.0) [cost 4] or b -> (12, 2.5)
+        // [cost 4], not both. Best single move: b gains 1.5, a gains 1.0.
+        let crit = all_processes(&d);
+        let sel = area_recovery(&d, &crit, 4, &[], None, OptStrategy::Exact)
+            .expect("solver ok")
+            .expect("gain exists");
+        assert!((sel.objective - 1.5).abs() < 1e-6, "got {}", sel.objective);
+        assert_eq!(sel.selection, vec![0, 1]);
+    }
+
+    #[test]
+    fn area_recovery_with_large_slack_takes_everything() {
+        let d = design();
+        let crit = all_processes(&d);
+        let sel = area_recovery(&d, &crit, 100, &[], None, OptStrategy::Exact)
+            .expect("solver ok")
+            .expect("gain exists");
+        assert_eq!(sel.selection, vec![2, 1]);
+        assert!((sel.objective - 3.5).abs() < 1e-6);
+    }
+
+    #[test]
+    fn area_recovery_none_when_no_gain() {
+        let mut d = design();
+        d.select_smallest();
+        let crit = all_processes(&d);
+        assert_eq!(
+            area_recovery(&d, &crit, 100, &[], None, OptStrategy::Exact).expect("solver ok"),
+            None
+        );
+    }
+
+    #[test]
+    fn no_good_cut_excludes_best() {
+        let d = design();
+        let crit = all_processes(&d);
+        let best = area_recovery(&d, &crit, 100, &[], None, OptStrategy::Exact)
+            .expect("ok")
+            .expect("gain");
+        let second = area_recovery(&d, &crit, 100, &[best.selection.clone()], None, OptStrategy::Exact)
+            .expect("ok")
+            .expect("still gains");
+        assert_ne!(second.selection, best.selection);
+        assert!(second.objective < best.objective + 1e-9);
+    }
+
+    #[test]
+    fn timing_optimization_picks_fastest_on_critical() {
+        let mut d = design();
+        d.select_smallest();
+        let crit = all_processes(&d);
+        let sel = timing_optimization(&d, &crit, 0, &[], OptStrategy::Exact)
+            .expect("ok")
+            .expect("gain exists");
+        assert_eq!(sel.selection, vec![0, 0]);
+        // Gains: (15-5) + (12-8) = 14.
+        assert!((sel.objective - 14.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn timing_optimization_only_touches_critical() {
+        let mut d = design();
+        d.select_smallest();
+        let only_b = vec![ProcessId::from_index(1)];
+        let sel = timing_optimization(&d, &only_b, 0, &[], OptStrategy::Exact)
+            .expect("ok")
+            .expect("gain exists");
+        assert_eq!(sel.selection[0], 2, "non-critical process untouched");
+        assert_eq!(sel.selection[1], 0);
+    }
+
+    #[test]
+    fn timing_optimization_none_when_already_fastest() {
+        let mut d = design();
+        d.select_fastest();
+        let crit = all_processes(&d);
+        assert_eq!(
+            timing_optimization(&d, &crit, 0, &[], OptStrategy::Exact).expect("ok"),
+            None
+        );
+    }
+
+    #[test]
+    fn greedy_matches_exact_on_simple_cases() {
+        let d = design();
+        let crit = all_processes(&d);
+        for slack in [0i64, 4, 7, 100] {
+            let exact = area_recovery(&d, &crit, slack, &[], None, OptStrategy::Exact).expect("ok");
+            let greedy = area_recovery(&d, &crit, slack, &[], None, OptStrategy::Greedy).expect("ok");
+            match (exact, greedy) {
+                (None, None) => {}
+                (Some(e), Some(g)) => {
+                    assert!(g.objective <= e.objective + 1e-9, "greedy beat exact?");
+                    assert!(g.objective > 0.0);
+                }
+                (e, g) => panic!("divergence at slack {slack}: exact {e:?} greedy {g:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn auto_uses_exact_for_small_problems() {
+        let d = design();
+        let crit = all_processes(&d);
+        let auto = area_recovery(&d, &crit, 4, &[], None, OptStrategy::Auto).expect("ok");
+        let exact = area_recovery(&d, &crit, 4, &[], None, OptStrategy::Exact).expect("ok");
+        assert_eq!(auto, exact);
+    }
+}

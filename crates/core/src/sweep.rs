@@ -1,0 +1,159 @@
+//! Multi-target Pareto sweep: the system-level design space in one call.
+//!
+//! Section 6 of the paper starts from "a set of Pareto-optimal
+//! implementations for the overall system" obtained with the Liu–Carloni
+//! flow \[11\]. This module produces the ERMES-side equivalent: run the
+//! exploration loop against a ladder of target cycle times and keep the
+//! non-dominated `(cycle time, area)` outcomes — the system-level Pareto
+//! front that richer orderings make reachable.
+
+use crate::design::Design;
+use crate::error::ErmesError;
+use crate::explore::{explore, ExplorationConfig};
+use tmg::Ratio;
+
+/// One point of the system-level front.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepPoint {
+    /// The target the exploration ran against.
+    pub target_cycle_time: u64,
+    /// Best cycle time reached.
+    pub cycle_time: Ratio,
+    /// Area of that configuration.
+    pub area: f64,
+    /// Whether the target was met.
+    pub meets_target: bool,
+}
+
+/// Runs [`explore`] for every target in `targets` (each from a fresh copy
+/// of `design`) and returns the outcomes with dominated points pruned
+/// (keeping, for each cycle time, the smallest area).
+///
+/// # Errors
+///
+/// Propagates the first exploration failure ([`ErmesError`]).
+///
+/// # Examples
+///
+/// ```
+/// use ermes::{pareto_sweep, Design};
+/// use hlsim::{characterize, KernelSpec, HlsKnobs, MicroArch, ParetoSet};
+/// use sysgraph::SystemGraph;
+///
+/// let single = |l: u64| ParetoSet::from_candidates(vec![MicroArch {
+///     knobs: HlsKnobs::baseline(), latency: l, area: 0.01,
+/// }]);
+/// let mut sys = SystemGraph::new();
+/// let src = sys.add_process("src", 1);
+/// let p = sys.add_process("p", 0);
+/// let snk = sys.add_process("snk", 1);
+/// sys.add_channel("in", src, p, 2)?;
+/// sys.add_channel("out", p, snk, 2)?;
+/// let design = Design::new(sys, vec![
+///     single(1),
+///     characterize(&KernelSpec::new("k", 32, 16, 0.05, 0.01)),
+///     single(1),
+/// ])?;
+/// let front = pareto_sweep(design, &[50, 150, 600])?;
+/// // The front trades area for speed monotonically.
+/// for w in front.windows(2) {
+///     assert!(w[0].cycle_time <= w[1].cycle_time);
+///     assert!(w[0].area >= w[1].area);
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn pareto_sweep(design: Design, targets: &[u64]) -> Result<Vec<SweepPoint>, ErmesError> {
+    let mut points = Vec::with_capacity(targets.len());
+    for &target in targets {
+        let trace = explore(design.clone(), ExplorationConfig::with_target(target))?;
+        let best = trace.best();
+        points.push(SweepPoint {
+            target_cycle_time: target,
+            cycle_time: best.cycle_time,
+            area: best.area,
+            meets_target: best.meets_target,
+        });
+    }
+    // Prune dominated points: sort by cycle time then area, sweep.
+    points.sort_by(|a, b| {
+        a.cycle_time
+            .cmp(&b.cycle_time)
+            .then(a.area.partial_cmp(&b.area).expect("areas are finite"))
+    });
+    let mut front: Vec<SweepPoint> = Vec::new();
+    for p in points {
+        match front.last() {
+            Some(last) if last.cycle_time == p.cycle_time => {} // larger area, same CT
+            Some(last) if p.area >= last.area - 1e-12 => {}     // dominated
+            _ => front.push(p),
+        }
+    }
+    Ok(front)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+    use sysgraph::SystemGraph;
+
+    fn pareto(points: &[(u64, f64)]) -> ParetoSet {
+        ParetoSet::from_candidates(
+            points
+                .iter()
+                .map(|&(latency, area)| MicroArch {
+                    knobs: HlsKnobs::baseline(),
+                    latency,
+                    area,
+                })
+                .collect(),
+        )
+    }
+
+    fn design() -> Design {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 0);
+        let b = sys.add_process("b", 0);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        Design::new(
+            sys,
+            vec![
+                pareto(&[(5, 4.0), (10, 2.0), (20, 1.0)]),
+                pareto(&[(4, 3.0), (8, 1.5), (16, 0.8)]),
+            ],
+        )
+        .expect("sizes")
+    }
+
+    #[test]
+    fn sweep_produces_a_monotone_front() {
+        let front = pareto_sweep(design(), &[10, 15, 25, 50, 100]).expect("sweeps");
+        assert!(front.len() >= 2, "expected several trade-off points");
+        for w in front.windows(2) {
+            assert!(w[0].cycle_time < w[1].cycle_time);
+            assert!(w[0].area > w[1].area);
+        }
+    }
+
+    #[test]
+    fn tight_targets_cost_area() {
+        let front = pareto_sweep(design(), &[10, 100]).expect("sweeps");
+        let fastest = front.first().expect("non-empty");
+        let smallest = front.last().expect("non-empty");
+        assert!(fastest.area >= smallest.area);
+        assert!(fastest.cycle_time <= smallest.cycle_time);
+    }
+
+    #[test]
+    fn single_target_single_point() {
+        let front = pareto_sweep(design(), &[30]).expect("sweeps");
+        assert_eq!(front.len(), 1);
+        assert!(front[0].meets_target);
+    }
+
+    #[test]
+    fn empty_targets_empty_front() {
+        let front = pareto_sweep(design(), &[]).expect("sweeps");
+        assert!(front.is_empty());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property tests for the methodology loop on generated designs.
+
+use ermes::{explore, Design, ExplorationConfig, OptStrategy, StepAction};
+use proptest::prelude::*;
+use socgen::{generate, SocGenConfig};
+
+fn arb_design() -> impl Strategy<Value = Design> {
+    (5usize..30, 0u64..500).prop_map(|(n, seed)| {
+        let soc = generate(SocGenConfig::sized(n, n * 3 / 2, seed));
+        Design::new(soc.system, soc.pareto).expect("generator sizes match")
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The exploration always terminates with a well-formed trace.
+    #[test]
+    fn trace_is_well_formed(design in arb_design(), target in 1u64..1_000_000) {
+        let trace = explore(design, ExplorationConfig::with_target(target))
+            .expect("generated designs are live after reordering");
+        prop_assert!(!trace.iterations.is_empty());
+        prop_assert_eq!(trace.iterations[0].action, StepAction::Initial);
+        for (i, r) in trace.iterations.iter().enumerate() {
+            prop_assert_eq!(r.index, i);
+            prop_assert!(r.area > 0.0);
+        }
+        prop_assert!(trace.best_index < trace.iterations.len());
+    }
+
+    /// The best point is never worse than the initial point: not slower
+    /// when infeasible, not larger when both meet the target.
+    #[test]
+    fn best_never_regresses(design in arb_design(), target in 1u64..1_000_000) {
+        let trace = explore(design, ExplorationConfig::with_target(target))
+            .expect("live");
+        let initial = &trace.iterations[0];
+        let best = trace.best();
+        if initial.meets_target {
+            prop_assert!(best.meets_target);
+            prop_assert!(best.area <= initial.area + 1e-9);
+        } else {
+            prop_assert!(best.meets_target || best.cycle_time <= initial.cycle_time);
+        }
+    }
+
+    /// The final design re-analyzes to exactly the best record.
+    #[test]
+    fn final_design_matches_best_record(design in arb_design(), target in 1u64..500_000) {
+        let trace = explore(design, ExplorationConfig::with_target(target))
+            .expect("live");
+        let report = ermes::analyze_design(&trace.design);
+        prop_assert_eq!(report.cycle_time(), Some(trace.best().cycle_time));
+        prop_assert!((trace.design.area() - trace.best().area).abs() < 1e-9);
+    }
+
+    /// Greedy strategy also terminates and returns live designs.
+    #[test]
+    fn greedy_strategy_terminates(design in arb_design(), target in 1u64..500_000) {
+        let trace = explore(
+            design,
+            ExplorationConfig {
+                strategy: OptStrategy::Greedy,
+                max_iterations: 6,
+                ..ExplorationConfig::with_target(target)
+            },
+        )
+        .expect("live");
+        prop_assert!(!ermes::analyze_design(&trace.design).is_deadlock());
+    }
+
+    /// Buffer sensitivity reports only sound improvements.
+    #[test]
+    fn buffer_effects_are_sound(design in arb_design()) {
+        let mut design = design;
+        let solution = chanorder::order_channels(design.system());
+        solution.ordering.apply_to(design.system_mut()).expect("valid");
+        let baseline = ermes::analyze_design(&design).cycle_time();
+        prop_assume!(baseline.is_some());
+        let baseline = baseline.expect("checked");
+        for effect in ermes::buffer_sensitivity(&design).expect("live") {
+            prop_assert_eq!(effect.improves, effect.cycle_time < baseline);
+            prop_assert!(effect.cycle_time <= baseline, "buffering never hurts");
+        }
+    }
+}

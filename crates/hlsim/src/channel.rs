@@ -1,0 +1,69 @@
+//! Channel-latency characterization.
+//!
+//! Section 6: "We performed the characterization of the channel latencies
+//! based on the quantity of the data to be transferred and the physical
+//! constraints imposed by the HLS tool for the channels. These latencies
+//! range from 1 to 5,280 clock cycles." The surrogate derives the latency
+//! from the payload size and the channel's physical width: a data item is
+//! decomposed into `ceil(bits / width)` beats (footnote 4) plus a fixed
+//! handshake overhead.
+
+/// Handshake cycles per transfer (request/acknowledge).
+const HANDSHAKE_OVERHEAD: u64 = 1;
+
+/// Latency in cycles to move one `payload_bits`-wide data item through a
+/// channel of physical width `channel_bits`.
+///
+/// # Panics
+///
+/// Panics if either argument is zero.
+///
+/// # Examples
+///
+/// ```
+/// use hlsim::channel_latency;
+/// // A 32-bit scalar over a 32-bit channel: one beat + handshake.
+/// assert_eq!(channel_latency(32, 32), 2);
+/// // A whole 352x240 luma frame over a 64-bit channel.
+/// let frame_bits = 352 * 240 * 8u64;
+/// assert_eq!(channel_latency(frame_bits, 64), frame_bits / 64 + 1);
+/// ```
+#[must_use]
+pub fn channel_latency(payload_bits: u64, channel_bits: u64) -> u64 {
+    assert!(payload_bits > 0, "payload must be non-empty");
+    assert!(channel_bits > 0, "channel must have a width");
+    payload_bits.div_ceil(channel_bits) + HANDSHAKE_OVERHEAD
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_beat_transfers() {
+        assert_eq!(channel_latency(8, 32), 2);
+        assert_eq!(channel_latency(32, 32), 2);
+    }
+
+    #[test]
+    fn partial_last_beat_rounds_up() {
+        assert_eq!(channel_latency(33, 32), 3);
+    }
+
+    #[test]
+    fn macroblock_scale_latencies_match_paper_range() {
+        // A 16x16 macroblock of 8-bit pixels over a 32-bit channel:
+        // 64 beats + 1 — well within the paper's 1..5,280 range.
+        assert_eq!(channel_latency(16 * 16 * 8, 32), 65);
+        // The largest latency quoted in the paper (5,280) corresponds to
+        // e.g. a 21,116-byte payload over 32 bits: stay in range.
+        let lat = channel_latency(5_279 * 32, 32);
+        assert_eq!(lat, 5_280);
+    }
+
+    #[test]
+    #[should_panic(expected = "payload must be non-empty")]
+    fn zero_payload_panics() {
+        let _ = channel_latency(0, 32);
+    }
+}

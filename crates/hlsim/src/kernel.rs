@@ -1,0 +1,105 @@
+//! Abstract computation kernels — the input to the HLS surrogate.
+//!
+//! A real flow would hand a SystemC process body to a commercial HLS
+//! tool; the surrogate instead describes the computation phase abstractly
+//! (operation count, loop trip count, area coefficients) and derives
+//! latency/area from the knob settings with a structural cost model.
+
+/// Abstract description of a process's computation phase.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelSpec {
+    name: String,
+    /// Primitive operations per loop iteration.
+    ops_per_iteration: u64,
+    /// Loop trip count per invocation.
+    trip_count: u64,
+    /// Area floor: controller, registers, wiring (abstract units).
+    base_area: f64,
+    /// Incremental area of one functional unit.
+    op_area: f64,
+}
+
+impl KernelSpec {
+    /// Creates a kernel description.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops_per_iteration` or `trip_count` is zero, or if an
+    /// area coefficient is negative.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        ops_per_iteration: u64,
+        trip_count: u64,
+        base_area: f64,
+        op_area: f64,
+    ) -> Self {
+        assert!(ops_per_iteration > 0, "kernel must perform work");
+        assert!(trip_count > 0, "kernel loop must iterate");
+        assert!(base_area >= 0.0 && op_area >= 0.0, "areas are non-negative");
+        KernelSpec {
+            name: name.into(),
+            ops_per_iteration,
+            trip_count,
+            base_area,
+            op_area,
+        }
+    }
+
+    /// Kernel name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Primitive operations per loop iteration.
+    #[must_use]
+    pub fn ops_per_iteration(&self) -> u64 {
+        self.ops_per_iteration
+    }
+
+    /// Loop trip count per invocation.
+    #[must_use]
+    pub fn trip_count(&self) -> u64 {
+        self.trip_count
+    }
+
+    /// Area floor (controller, registers).
+    #[must_use]
+    pub fn base_area(&self) -> f64 {
+        self.base_area
+    }
+
+    /// Area of one functional unit.
+    #[must_use]
+    pub fn op_area(&self) -> f64 {
+        self.op_area
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessors_roundtrip() {
+        let k = KernelSpec::new("dct", 64, 8, 0.02, 0.004);
+        assert_eq!(k.name(), "dct");
+        assert_eq!(k.ops_per_iteration(), 64);
+        assert_eq!(k.trip_count(), 8);
+        assert!((k.base_area() - 0.02).abs() < 1e-12);
+        assert!((k.op_area() - 0.004).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel must perform work")]
+    fn zero_ops_rejected() {
+        let _ = KernelSpec::new("bad", 0, 8, 0.1, 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "kernel loop must iterate")]
+    fn zero_trip_rejected() {
+        let _ = KernelSpec::new("bad", 4, 0, 0.1, 0.1);
+    }
+}

@@ -1,0 +1,112 @@
+//! High-level-synthesis knobs.
+//!
+//! Section 1 of the paper: "SoC designers can obtain several alternative
+//! implementations by applying a variety of 'HLS knobs' such as: loop
+//! unrolling, loop pipelining, resource sharing, etc." — these are those
+//! knobs, as consumed by the surrogate cost model in
+//! [`microarch`](crate::microarch).
+
+use std::fmt;
+
+/// Degree of functional-unit sharing in the datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SharingLevel {
+    /// Every operation gets its own functional unit: fastest, largest.
+    None,
+    /// Operations share a reduced pool of functional units.
+    Partial,
+    /// A single shared functional unit: slowest, smallest.
+    Full,
+}
+
+impl SharingLevel {
+    /// All levels, from fastest to slowest.
+    pub const ALL: [SharingLevel; 3] = [SharingLevel::None, SharingLevel::Partial, SharingLevel::Full];
+
+    /// Functional units available per loop-body instance.
+    #[must_use]
+    pub fn functional_units(self) -> u64 {
+        match self {
+            SharingLevel::None => 4,
+            SharingLevel::Partial => 2,
+            SharingLevel::Full => 1,
+        }
+    }
+}
+
+impl fmt::Display for SharingLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            SharingLevel::None => "no-sharing",
+            SharingLevel::Partial => "partial-sharing",
+            SharingLevel::Full => "full-sharing",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One configuration of the HLS knobs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct HlsKnobs {
+    /// Loop unrolling factor (1 = no unrolling).
+    pub unroll: u64,
+    /// Loop pipelining initiation interval; `None` disables pipelining.
+    pub pipeline_ii: Option<u64>,
+    /// Functional-unit sharing level.
+    pub sharing: SharingLevel,
+}
+
+impl HlsKnobs {
+    /// The default configuration: no unrolling, no pipelining, full
+    /// sharing — the smallest, slowest implementation.
+    #[must_use]
+    pub fn baseline() -> Self {
+        HlsKnobs {
+            unroll: 1,
+            pipeline_ii: None,
+            sharing: SharingLevel::Full,
+        }
+    }
+}
+
+impl Default for HlsKnobs {
+    fn default() -> Self {
+        Self::baseline()
+    }
+}
+
+impl fmt::Display for HlsKnobs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.pipeline_ii {
+            Some(ii) => write!(f, "unroll{}+ii{}+{}", self.unroll, ii, self.sharing),
+            None => write!(f, "unroll{}+{}", self.unroll, self.sharing),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sharing_monotonically_reduces_units() {
+        assert!(SharingLevel::None.functional_units() > SharingLevel::Partial.functional_units());
+        assert!(SharingLevel::Partial.functional_units() > SharingLevel::Full.functional_units());
+    }
+
+    #[test]
+    fn baseline_is_default() {
+        assert_eq!(HlsKnobs::default(), HlsKnobs::baseline());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let k = HlsKnobs {
+            unroll: 4,
+            pipeline_ii: Some(2),
+            sharing: SharingLevel::Partial,
+        };
+        assert_eq!(k.to_string(), "unroll4+ii2+partial-sharing");
+        assert_eq!(HlsKnobs::baseline().to_string(), "unroll1+full-sharing");
+    }
+}

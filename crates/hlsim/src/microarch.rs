@@ -1,0 +1,196 @@
+//! The surrogate cost model: knobs × kernel → (latency, area).
+//!
+//! The model is deliberately simple but structurally faithful to how HLS
+//! knobs trade latency for area (the paper's Fig. 2(b) discussion: "the
+//! more parallel is the micro-architecture, the shorter is the chain of
+//! computation states, but the more costly is the circuit"):
+//!
+//! - **resource sharing** divides the per-iteration issue width;
+//! - **loop unrolling** replicates the body, shortening the iteration
+//!   chain while multiplying datapath area;
+//! - **loop pipelining** overlaps iterations at a given initiation
+//!   interval for a control-logic area premium.
+
+use crate::kernel::KernelSpec;
+use crate::knobs::{HlsKnobs, SharingLevel};
+
+/// A synthesized micro-architecture: one point of the latency/area space.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MicroArch {
+    /// The knob configuration that produced this point.
+    pub knobs: HlsKnobs,
+    /// Computation-phase latency in clock cycles.
+    pub latency: u64,
+    /// Area in abstract units (calibrated to mm² by the case studies).
+    pub area: f64,
+}
+
+/// Pipeline register/control overhead coefficient: the premium grows
+/// with pipelining depth (`body_cycles / ii`), reflecting the extra
+/// pipeline registers and forwarding logic a lower initiation interval
+/// requires.
+const PIPELINE_AREA_PREMIUM: f64 = 0.18;
+/// Fixed schedule prologue/epilogue cycles.
+const SCHEDULE_OVERHEAD: u64 = 2;
+
+/// Applies the cost model to one knob configuration.
+///
+/// # Examples
+///
+/// ```
+/// use hlsim::{synthesize, HlsKnobs, KernelSpec, SharingLevel};
+/// let kernel = KernelSpec::new("filter", 16, 32, 0.01, 0.002);
+/// let slow = synthesize(&kernel, HlsKnobs::baseline());
+/// let fast = synthesize(&kernel, HlsKnobs {
+///     unroll: 8,
+///     pipeline_ii: Some(1),
+///     sharing: SharingLevel::None,
+/// });
+/// assert!(fast.latency < slow.latency);
+/// assert!(fast.area > slow.area);
+/// ```
+#[must_use]
+pub fn synthesize(kernel: &KernelSpec, knobs: HlsKnobs) -> MicroArch {
+    let unroll = knobs.unroll.clamp(1, kernel.trip_count());
+    let units = unroll * knobs.sharing.functional_units();
+    // Cycles to issue one (unrolled) loop body.
+    let body_ops = kernel.ops_per_iteration() * unroll;
+    let body_cycles = body_ops.div_ceil(units).max(1);
+    let iterations = kernel.trip_count().div_ceil(unroll);
+    let latency = match knobs.pipeline_ii {
+        None => iterations * body_cycles + SCHEDULE_OVERHEAD,
+        Some(ii) => {
+            let ii = ii.clamp(1, body_cycles);
+            (iterations - 1) * ii + body_cycles + SCHEDULE_OVERHEAD
+        }
+    };
+    let mut area = kernel.base_area() + kernel.op_area() * units as f64;
+    if let Some(ii) = knobs.pipeline_ii {
+        let ii = ii.clamp(1, body_cycles);
+        let depth = (body_cycles as f64 / ii as f64).sqrt().min(8.0);
+        area *= 1.0 + PIPELINE_AREA_PREMIUM * depth;
+    }
+    MicroArch {
+        knobs: HlsKnobs {
+            unroll,
+            pipeline_ii: knobs.pipeline_ii.map(|ii| ii.clamp(1, body_cycles)),
+            sharing: knobs.sharing,
+        },
+        latency,
+        area,
+    }
+}
+
+/// The knob grid explored by [`characterize`](crate::characterize):
+/// power-of-two unrolling, optional pipelining at a few initiation
+/// intervals, all sharing levels.
+#[must_use]
+pub fn knob_grid(kernel: &KernelSpec) -> Vec<HlsKnobs> {
+    let mut grid = Vec::new();
+    let mut unroll = 1;
+    while unroll <= kernel.trip_count() {
+        for sharing in SharingLevel::ALL {
+            for ii in [None, Some(1), Some(2), Some(4)] {
+                grid.push(HlsKnobs {
+                    unroll,
+                    pipeline_ii: ii,
+                    sharing,
+                });
+            }
+        }
+        if unroll == kernel.trip_count() {
+            break;
+        }
+        unroll = (unroll * 2).min(kernel.trip_count());
+    }
+    grid
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kernel() -> KernelSpec {
+        KernelSpec::new("k", 8, 16, 0.05, 0.01)
+    }
+
+    #[test]
+    fn baseline_matches_hand_computation() {
+        // Full sharing: 1 unit; body = 8 ops -> 8 cycles; 16 iterations.
+        let m = synthesize(&kernel(), HlsKnobs::baseline());
+        assert_eq!(m.latency, 16 * 8 + 2);
+        assert!((m.area - (0.05 + 0.01)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn unrolling_shortens_and_grows() {
+        let base = synthesize(&kernel(), HlsKnobs::baseline());
+        let unrolled = synthesize(
+            &kernel(),
+            HlsKnobs {
+                unroll: 4,
+                pipeline_ii: None,
+                sharing: SharingLevel::Full,
+            },
+        );
+        assert!(unrolled.latency < base.latency);
+        assert!(unrolled.area > base.area);
+    }
+
+    #[test]
+    fn pipelining_overlaps_iterations() {
+        let plain = synthesize(
+            &kernel(),
+            HlsKnobs {
+                unroll: 1,
+                pipeline_ii: None,
+                sharing: SharingLevel::None,
+            },
+        );
+        let piped = synthesize(
+            &kernel(),
+            HlsKnobs {
+                unroll: 1,
+                pipeline_ii: Some(1),
+                sharing: SharingLevel::None,
+            },
+        );
+        assert!(piped.latency < plain.latency);
+        assert!(piped.area > plain.area);
+    }
+
+    #[test]
+    fn unroll_is_clamped_to_trip_count() {
+        let m = synthesize(
+            &kernel(),
+            HlsKnobs {
+                unroll: 1000,
+                pipeline_ii: None,
+                sharing: SharingLevel::Full,
+            },
+        );
+        assert_eq!(m.knobs.unroll, 16);
+    }
+
+    #[test]
+    fn ii_is_clamped_to_body_cycles() {
+        let m = synthesize(
+            &kernel(),
+            HlsKnobs {
+                unroll: 1,
+                pipeline_ii: Some(1_000),
+                sharing: SharingLevel::None,
+            },
+        );
+        // body = ceil(8/4) = 2 cycles, so II caps at 2.
+        assert_eq!(m.knobs.pipeline_ii, Some(2));
+    }
+
+    #[test]
+    fn grid_is_bounded_and_covers_extremes() {
+        let grid = knob_grid(&kernel());
+        // unroll in {1,2,4,8,16} x 3 sharing x 4 pipeline options.
+        assert_eq!(grid.len(), 5 * 3 * 4);
+        assert!(grid.contains(&HlsKnobs::baseline()));
+    }
+}

@@ -1,0 +1,162 @@
+//! Pareto frontiers of micro-architectures.
+//!
+//! The methodology's inputs are per-process *Pareto-optimal* sets of
+//! implementations (Fig. 5): no point may be dominated in both latency and
+//! area. [`ParetoSet`] enforces that invariant on construction and serves
+//! the queries ERMES needs — fastest, smallest, neighbors of a point.
+
+use crate::microarch::MicroArch;
+
+/// A non-dominated, latency-sorted set of implementations for one process.
+///
+/// Invariants: sorted by strictly increasing latency and strictly
+/// decreasing area, non-empty.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParetoSet {
+    points: Vec<MicroArch>,
+}
+
+impl ParetoSet {
+    /// Builds the frontier from arbitrary candidate points, discarding
+    /// dominated ones and deduplicating equal-latency points by keeping
+    /// the smallest area.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `candidates` is empty: a process must have at least one
+    /// implementation.
+    #[must_use]
+    pub fn from_candidates(candidates: Vec<MicroArch>) -> Self {
+        assert!(!candidates.is_empty(), "a process needs an implementation");
+        let mut pts = candidates;
+        // Sort by latency asc, area asc; then sweep keeping strictly
+        // decreasing area.
+        pts.sort_by(|a, b| {
+            a.latency
+                .cmp(&b.latency)
+                .then(a.area.partial_cmp(&b.area).expect("areas are finite"))
+        });
+        let mut front: Vec<MicroArch> = Vec::new();
+        for p in pts {
+            match front.last() {
+                Some(last) if last.latency == p.latency => {} // larger area, same latency
+                Some(last) if p.area >= last.area - 1e-12 => {} // dominated
+                _ => front.push(p),
+            }
+        }
+        ParetoSet { points: front }
+    }
+
+    /// The frontier points, sorted by increasing latency.
+    #[must_use]
+    pub fn points(&self) -> &[MicroArch] {
+        &self.points
+    }
+
+    /// Number of Pareto points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Always false (the set is non-empty by construction); provided for
+    /// API completeness.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The minimum-latency implementation.
+    #[must_use]
+    pub fn fastest(&self) -> &MicroArch {
+        self.points.first().expect("non-empty by construction")
+    }
+
+    /// The minimum-area implementation.
+    #[must_use]
+    pub fn smallest(&self) -> &MicroArch {
+        self.points.last().expect("non-empty by construction")
+    }
+
+    /// The index of the point with the given latency, if present.
+    #[must_use]
+    pub fn position_of_latency(&self, latency: u64) -> Option<usize> {
+        self.points.binary_search_by_key(&latency, |p| p.latency).ok()
+    }
+
+    /// Iterates over `(latency, area)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = &MicroArch> + '_ {
+        self.points.iter()
+    }
+}
+
+impl<'a> IntoIterator for &'a ParetoSet {
+    type Item = &'a MicroArch;
+    type IntoIter = std::slice::Iter<'a, MicroArch>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.points.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knobs::HlsKnobs;
+
+    fn arch(latency: u64, area: f64) -> MicroArch {
+        MicroArch {
+            knobs: HlsKnobs::baseline(),
+            latency,
+            area,
+        }
+    }
+
+    #[test]
+    fn dominated_points_are_discarded() {
+        let set = ParetoSet::from_candidates(vec![
+            arch(10, 1.0),
+            arch(20, 2.0), // dominated: slower and larger
+            arch(5, 3.0),
+            arch(30, 0.5),
+        ]);
+        let lats: Vec<u64> = set.iter().map(|p| p.latency).collect();
+        assert_eq!(lats, vec![5, 10, 30]);
+    }
+
+    #[test]
+    fn frontier_is_monotone() {
+        let set = ParetoSet::from_candidates(vec![
+            arch(8, 4.0),
+            arch(4, 9.0),
+            arch(16, 1.0),
+            arch(2, 20.0),
+        ]);
+        for w in set.points().windows(2) {
+            assert!(w[0].latency < w[1].latency);
+            assert!(w[0].area > w[1].area);
+        }
+    }
+
+    #[test]
+    fn equal_latency_keeps_smaller_area() {
+        let set = ParetoSet::from_candidates(vec![arch(10, 2.0), arch(10, 1.0)]);
+        assert_eq!(set.len(), 1);
+        assert!((set.fastest().area - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fastest_and_smallest() {
+        let set = ParetoSet::from_candidates(vec![arch(5, 3.0), arch(9, 1.0)]);
+        assert_eq!(set.fastest().latency, 5);
+        assert!((set.smallest().area - 1.0).abs() < 1e-12);
+        assert_eq!(set.position_of_latency(9), Some(1));
+        assert_eq!(set.position_of_latency(7), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "a process needs an implementation")]
+    fn empty_candidates_panic() {
+        let _ = ParetoSet::from_candidates(Vec::new());
+    }
+}

@@ -1,0 +1,78 @@
+//! Property tests for the HLS surrogate: cost-model monotonicity and
+//! Pareto-frontier invariants.
+
+use hlsim::{characterize, knob_grid, synthesize, HlsKnobs, KernelSpec, SharingLevel};
+use proptest::prelude::*;
+
+fn arb_kernel() -> impl Strategy<Value = KernelSpec> {
+    (1u64..200, 1u64..500, 0.0f64..0.5, 0.0001f64..0.05).prop_map(|(ops, trips, base, per)| {
+        KernelSpec::new("k", ops, trips, base, per)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The frontier is strictly monotone: latency up, area down.
+    #[test]
+    fn frontier_is_monotone(kernel in arb_kernel()) {
+        let front = characterize(&kernel);
+        for w in front.points().windows(2) {
+            prop_assert!(w[0].latency < w[1].latency);
+            prop_assert!(w[0].area > w[1].area);
+        }
+    }
+
+    /// No grid point dominates a frontier point.
+    #[test]
+    fn frontier_points_are_undominated(kernel in arb_kernel()) {
+        let front = characterize(&kernel);
+        for knobs in knob_grid(&kernel) {
+            let candidate = synthesize(&kernel, knobs);
+            for p in front.points() {
+                let dominates = candidate.latency < p.latency
+                    && candidate.area < p.area - 1e-12;
+                prop_assert!(!dominates, "grid point dominates the frontier");
+            }
+        }
+    }
+
+    /// More functional units never lengthen the schedule.
+    #[test]
+    fn sharing_monotonicity(kernel in arb_kernel(), unroll in 1u64..16) {
+        let lat = |sharing| synthesize(&kernel, HlsKnobs {
+            unroll,
+            pipeline_ii: None,
+            sharing,
+        }).latency;
+        prop_assert!(lat(SharingLevel::None) <= lat(SharingLevel::Partial));
+        prop_assert!(lat(SharingLevel::Partial) <= lat(SharingLevel::Full));
+    }
+
+    /// Pipelining never lengthens the schedule and never shrinks area.
+    #[test]
+    fn pipelining_tradeoff(kernel in arb_kernel(), unroll in 1u64..16, ii in 1u64..32) {
+        let plain = synthesize(&kernel, HlsKnobs {
+            unroll,
+            pipeline_ii: None,
+            sharing: SharingLevel::Partial,
+        });
+        let piped = synthesize(&kernel, HlsKnobs {
+            unroll,
+            pipeline_ii: Some(ii),
+            sharing: SharingLevel::Partial,
+        });
+        prop_assert!(piped.latency <= plain.latency);
+        prop_assert!(piped.area >= plain.area);
+    }
+
+    /// The fastest and smallest accessors bound the frontier.
+    #[test]
+    fn extremes_bound_the_frontier(kernel in arb_kernel()) {
+        let front = characterize(&kernel);
+        for p in front.points() {
+            prop_assert!(front.fastest().latency <= p.latency);
+            prop_assert!(front.smallest().area <= p.area + 1e-12);
+        }
+    }
+}

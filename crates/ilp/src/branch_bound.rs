@@ -1,0 +1,260 @@
+//! Branch & bound for 0/1 integer programs over the simplex relaxation.
+//!
+//! Depth-first search with best-bound pruning: each node fixes a subset of
+//! the binaries, solves the LP relaxation of the rest, prunes when the
+//! bound cannot beat the incumbent, and branches on the most fractional
+//! variable. Exact for the problem sizes ERMES produces.
+
+use crate::model::{Problem, Solution, SolveError};
+use crate::simplex::solve_relaxation_fixed;
+
+const INT_TOL: f64 = 1e-6;
+
+impl Problem {
+    /// Solves the 0/1 problem exactly by branch & bound.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when no 0/1 assignment satisfies the
+    /// constraints; [`SolveError::Unbounded`]/[`SolveError::IterationLimit`]
+    /// propagate simplex failures.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use ilp::{Problem, Sense};
+    /// let mut p = Problem::new();
+    /// let items: Vec<_> = (0..4).map(|i| p.add_binary(format!("x{i}"))).collect();
+    /// let values = [10.0, 7.0, 4.0, 3.0];
+    /// let weights = [5.0, 4.0, 2.0, 1.0];
+    /// for (i, &v) in items.iter().enumerate() {
+    ///     p.set_objective_coeff(v, values[i]);
+    /// }
+    /// p.add_constraint(
+    ///     "cap",
+    ///     items.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect(),
+    ///     Sense::Le,
+    ///     7.0,
+    /// );
+    /// let s = p.solve()?;
+    /// assert_eq!(s.objective, 14.0); // x0 + x2 (weight 7)
+    /// # Ok::<(), ilp::SolveError>(())
+    /// ```
+    pub fn solve(&self) -> Result<Solution, SolveError> {
+        let n = self.variable_count();
+        let mut best: Option<Solution> = None;
+        let mut stack: Vec<Vec<Option<bool>>> = vec![vec![None; n]];
+
+        while let Some(fixed) = stack.pop() {
+            let lp = match solve_relaxation_fixed(self, &fixed) {
+                Ok(lp) => lp,
+                Err(SolveError::Infeasible) => continue,
+                Err(e) => return Err(e),
+            };
+            if let Some(ref incumbent) = best {
+                if lp.objective <= incumbent.objective + 1e-9 {
+                    continue; // bound cannot improve the incumbent
+                }
+            }
+            // Most fractional variable.
+            let mut branch_var = None;
+            let mut most_fractional = INT_TOL;
+            for (j, &v) in lp.values.iter().enumerate() {
+                if fixed[j].is_none() {
+                    let frac = (v - v.round()).abs();
+                    if frac > most_fractional {
+                        most_fractional = frac;
+                        branch_var = Some(j);
+                    }
+                }
+            }
+            match branch_var {
+                None => {
+                    // Integral: candidate solution.
+                    let values: Vec<f64> = lp
+                        .values
+                        .iter()
+                        .enumerate()
+                        .map(|(j, &v)| match fixed[j] {
+                            Some(true) => 1.0,
+                            Some(false) => 0.0,
+                            None => v.round(),
+                        })
+                        .collect();
+                    let objective: f64 = values
+                        .iter()
+                        .zip(&self.objective)
+                        .map(|(&v, &c)| v * c)
+                        .sum();
+                    if best.as_ref().is_none_or(|b| objective > b.objective) {
+                        best = Some(Solution { objective, values });
+                    }
+                }
+                Some(j) => {
+                    // Explore the rounded-up branch first (often better).
+                    let mut down = fixed.clone();
+                    down[j] = Some(false);
+                    stack.push(down);
+                    let mut up = fixed;
+                    up[j] = Some(true);
+                    stack.push(up);
+                }
+            }
+        }
+        best.ok_or(SolveError::Infeasible)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Sense, VarId};
+
+    /// Brute-force oracle over all 2^n assignments.
+    fn brute(problem: &Problem) -> Option<(f64, Vec<f64>)> {
+        let n = problem.variable_count();
+        assert!(n <= 16, "oracle only for tiny problems");
+        let mut best: Option<(f64, Vec<f64>)> = None;
+        for mask in 0..(1u32 << n) {
+            let values: Vec<f64> = (0..n)
+                .map(|j| f64::from((mask >> j) & 1))
+                .collect();
+            let feasible = problem.constraints.iter().all(|c| {
+                let lhs: f64 = c.terms.iter().map(|&(v, a)| a * values[v.index()]).sum();
+                match c.sense {
+                    Sense::Le => lhs <= c.rhs + 1e-9,
+                    Sense::Ge => lhs >= c.rhs - 1e-9,
+                    Sense::Eq => (lhs - c.rhs).abs() <= 1e-9,
+                }
+            });
+            if feasible {
+                let obj: f64 = values
+                    .iter()
+                    .zip(&problem.objective)
+                    .map(|(&v, &c)| v * c)
+                    .sum();
+                if best.as_ref().is_none_or(|(b, _)| obj > *b) {
+                    best = Some((obj, values));
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn knapsack_matches_oracle() {
+        let mut p = Problem::new();
+        let vars: Vec<VarId> = (0..6).map(|i| p.add_binary(format!("x{i}"))).collect();
+        let values = [6.0, 5.0, 4.0, 3.0, 2.0, 1.5];
+        let weights = [4.0, 3.0, 2.0, 2.0, 1.0, 1.0];
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective_coeff(v, values[i]);
+        }
+        p.add_constraint(
+            "cap",
+            vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect(),
+            Sense::Le,
+            6.0,
+        );
+        let s = p.solve().expect("feasible");
+        let (oracle_obj, _) = brute(&p).expect("feasible");
+        assert!((s.objective - oracle_obj).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multiple_choice_structure_matches_oracle() {
+        // Two groups, pick exactly one from each, bounded total weight.
+        let mut p = Problem::new();
+        let g1: Vec<VarId> = (0..3).map(|i| p.add_binary(format!("a{i}"))).collect();
+        let g2: Vec<VarId> = (0..3).map(|i| p.add_binary(format!("b{i}"))).collect();
+        let vals = [[9.0, 5.0, 1.0], [8.0, 4.0, 0.5]];
+        let wts = [[5.0, 3.0, 1.0], [5.0, 2.0, 1.0]];
+        for (i, &v) in g1.iter().enumerate() {
+            p.set_objective_coeff(v, vals[0][i]);
+        }
+        for (i, &v) in g2.iter().enumerate() {
+            p.set_objective_coeff(v, vals[1][i]);
+        }
+        p.add_constraint("pick1", g1.iter().map(|&v| (v, 1.0)).collect(), Sense::Eq, 1.0);
+        p.add_constraint("pick2", g2.iter().map(|&v| (v, 1.0)).collect(), Sense::Eq, 1.0);
+        let mut cap: Vec<(VarId, f64)> = Vec::new();
+        for (i, &v) in g1.iter().enumerate() {
+            cap.push((v, wts[0][i]));
+        }
+        for (i, &v) in g2.iter().enumerate() {
+            cap.push((v, wts[1][i]));
+        }
+        p.add_constraint("cap", cap, Sense::Le, 7.0);
+        let s = p.solve().expect("feasible");
+        let (oracle_obj, _) = brute(&p).expect("feasible");
+        assert!((s.objective - oracle_obj).abs() < 1e-6, "{} vs {}", s.objective, oracle_obj);
+    }
+
+    #[test]
+    fn infeasible_integer_problem() {
+        let mut p = Problem::new();
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        // Sum must be exactly 1.5: satisfiable fractionally, never integrally.
+        p.add_constraint("half", vec![(a, 1.0), (b, 1.0)], Sense::Eq, 1.5);
+        assert_eq!(p.solve(), Err(SolveError::Infeasible));
+    }
+
+    #[test]
+    fn negative_objective_prefers_zero() {
+        let mut p = Problem::new();
+        let a = p.add_binary("a");
+        p.set_objective_coeff(a, -5.0);
+        let s = p.solve().expect("feasible");
+        assert_eq!(s.objective, 0.0);
+        assert!(!s.is_one(a));
+    }
+
+    #[test]
+    fn randomized_instances_match_oracle() {
+        // Deterministic xorshift family of small random ILPs.
+        let mut state = 0x1234_5678_9abc_def0u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for _case in 0..40 {
+            let n = (next() % 5 + 2) as usize;
+            let mut p = Problem::new();
+            let vars: Vec<VarId> = (0..n).map(|i| p.add_binary(format!("x{i}"))).collect();
+            for &v in &vars {
+                p.set_objective_coeff(v, (next() % 19) as f64 - 6.0);
+            }
+            let n_cons = (next() % 3 + 1) as usize;
+            for k in 0..n_cons {
+                let terms: Vec<(VarId, f64)> = vars
+                    .iter()
+                    .map(|&v| (v, (next() % 9) as f64 - 2.0))
+                    .collect();
+                let rhs = (next() % 10) as f64 - 1.0;
+                let sense = match next() % 3 {
+                    0 => Sense::Le,
+                    1 => Sense::Ge,
+                    _ => Sense::Eq,
+                };
+                p.add_constraint(format!("c{k}"), terms, sense, rhs);
+            }
+            let oracle = brute(&p);
+            let solved = p.solve();
+            match (oracle, solved) {
+                (None, Err(SolveError::Infeasible)) => {}
+                (Some((obj, _)), Ok(s)) => {
+                    assert!(
+                        (s.objective - obj).abs() < 1e-6,
+                        "case mismatch: bb {} vs oracle {}",
+                        s.objective,
+                        obj
+                    );
+                }
+                (oracle, solved) => panic!("divergence: oracle {oracle:?} vs bb {solved:?}"),
+            }
+        }
+    }
+}

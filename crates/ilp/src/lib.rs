@@ -1,0 +1,49 @@
+//! From-scratch 0/1 integer linear programming.
+//!
+//! The DAC'14 ERMES methodology formulates its IP-selection steps — *area
+//! recovery* and *timing optimization* over the processes of the critical
+//! cycle (Section 5) — as small integer programs, solved in the original
+//! work with GLPK. This crate replaces GLPK with three cooperating exact
+//! solvers, each validated against the others:
+//!
+//! - [`solve_relaxation`]: dense two-phase primal simplex over the `[0,1]`
+//!   relaxation;
+//! - [`Problem::solve`]: 0/1 branch & bound using the relaxation bound;
+//! - [`solve_multiple_choice_knapsack`]: a pseudo-polynomial DP for the
+//!   multiple-choice knapsack structure that both ERMES problems share
+//!   (each process adopts exactly one Pareto-optimal implementation).
+//!
+//! # Examples
+//!
+//! A one-implementation-per-process selection under a latency budget:
+//!
+//! ```
+//! use ilp::{Problem, Sense};
+//!
+//! let mut p = Problem::new();
+//! // Process A: fast-but-big or slow-but-small.
+//! let a_fast = p.add_binary("a_fast");
+//! let a_small = p.add_binary("a_small");
+//! // Maximize recovered area.
+//! p.set_objective_coeff(a_fast, 0.0);
+//! p.set_objective_coeff(a_small, 0.7);
+//! // Exactly one implementation.
+//! p.add_constraint("one_a", vec![(a_fast, 1.0), (a_small, 1.0)], Sense::Eq, 1.0);
+//! // The slow implementation costs 4 cycles of slack; 5 are available.
+//! p.add_constraint("slack", vec![(a_small, 4.0)], Sense::Le, 5.0);
+//! let s = p.solve()?;
+//! assert!(s.is_one(a_small));
+//! # Ok::<(), ilp::SolveError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch_bound;
+mod knapsack;
+mod model;
+mod simplex;
+
+pub use knapsack::{solve_multiple_choice_knapsack, KnapsackError, McItem, McSelection};
+pub use model::{Constraint, Problem, Sense, Solution, SolveError, VarId};
+pub use simplex::{solve_relaxation, LpSolution};

@@ -1,0 +1,124 @@
+//! Property tests for the ILP stack: the three solvers must be mutually
+//! consistent on arbitrary instances.
+
+use ilp::{solve_multiple_choice_knapsack, solve_relaxation, McItem, Problem, Sense, SolveError};
+use proptest::prelude::*;
+
+/// Random multiple-choice-knapsack instances.
+fn arb_mckp() -> impl Strategy<Value = (Vec<Vec<McItem>>, i64)> {
+    (
+        proptest::collection::vec(
+            proptest::collection::vec((-5.0f64..15.0, -4i64..9), 1..4),
+            1..5,
+        ),
+        -3i64..20,
+    )
+        .prop_map(|(groups, cap)| {
+            (
+                groups
+                    .into_iter()
+                    .map(|g| {
+                        g.into_iter()
+                            .map(|(value, weight)| McItem { value, weight })
+                            .collect()
+                    })
+                    .collect(),
+                cap,
+            )
+        })
+}
+
+/// Builds the equivalent 0/1 ILP of an MCKP instance.
+fn mckp_as_ilp(groups: &[Vec<McItem>], cap: i64) -> Problem {
+    let mut p = Problem::new();
+    let mut cap_terms = Vec::new();
+    for (g, items) in groups.iter().enumerate() {
+        let vars: Vec<_> = items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| {
+                let v = p.add_binary(format!("x{g}_{i}"));
+                p.set_objective_coeff(v, item.value);
+                cap_terms.push((v, item.weight as f64));
+                v
+            })
+            .collect();
+        p.add_constraint(
+            format!("one{g}"),
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        );
+    }
+    p.add_constraint("cap", cap_terms, Sense::Le, cap as f64);
+    p
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The DP and branch & bound agree on every MCKP instance.
+    #[test]
+    fn dp_equals_branch_and_bound((groups, cap) in arb_mckp()) {
+        let dp = solve_multiple_choice_knapsack(&groups, cap);
+        let bb = mckp_as_ilp(&groups, cap).solve();
+        match (dp, bb) {
+            (Err(_), Err(SolveError::Infeasible)) => {}
+            (Ok(d), Ok(b)) => {
+                prop_assert!((d.value - b.objective).abs() < 1e-6,
+                    "dp {} vs bb {}", d.value, b.objective);
+            }
+            (d, b) => prop_assert!(false, "feasibility divergence: {d:?} vs {b:?}"),
+        }
+    }
+
+    /// The LP relaxation upper-bounds the integer optimum.
+    #[test]
+    fn relaxation_bounds_integer_optimum((groups, cap) in arb_mckp()) {
+        let p = mckp_as_ilp(&groups, cap);
+        if let (Ok(lp), Ok(int)) = (solve_relaxation(&p), p.solve()) {
+            prop_assert!(lp.objective >= int.objective - 1e-6,
+                "relaxation {} below integer {}", lp.objective, int.objective);
+        }
+    }
+
+    /// Relaxation values stay within the unit box.
+    #[test]
+    fn relaxation_respects_bounds((groups, cap) in arb_mckp()) {
+        let p = mckp_as_ilp(&groups, cap);
+        if let Ok(lp) = solve_relaxation(&p) {
+            for &v in &lp.values {
+                prop_assert!((-1e-7..=1.0 + 1e-7).contains(&v), "value {v} out of box");
+            }
+        }
+    }
+
+    /// Integer solutions satisfy every constraint exactly.
+    #[test]
+    fn integer_solutions_are_feasible((groups, cap) in arb_mckp()) {
+        let p = mckp_as_ilp(&groups, cap);
+        if let Ok(s) = p.solve() {
+            // One per group.
+            let mut offset = 0;
+            for items in &groups {
+                let chosen: usize = (0..items.len())
+                    .filter(|i| s.values[offset + i] > 0.5)
+                    .count();
+                prop_assert_eq!(chosen, 1);
+                offset += items.len();
+            }
+            // Capacity.
+            let mut weight = 0i64;
+            let mut offset = 0;
+            for items in &groups {
+                for (i, item) in items.iter().enumerate() {
+                    if s.values[offset + i] > 0.5 {
+                        weight += item.weight;
+                    }
+                }
+                offset += items.len();
+            }
+            prop_assert!(weight <= cap);
+        }
+    }
+}

@@ -1,0 +1,226 @@
+//! Bit-granular stream writer and reader.
+//!
+//! The substrate of the VLC stage: MSB-first bit packing with an explicit
+//! byte-aligned flush, plus unsigned/signed Exp-Golomb codes — the
+//! variable-length scheme the simplified entropy coder uses.
+
+/// MSB-first bit writer.
+#[derive(Debug, Clone, Default)]
+pub struct BitWriter {
+    bytes: Vec<u8>,
+    /// Bits already used in the current partial byte (0..8).
+    fill: u8,
+}
+
+impl BitWriter {
+    /// Creates an empty writer.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends the `count` low bits of `value`, MSB first.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn put_bits(&mut self, value: u32, count: u8) {
+        assert!(count <= 32, "at most 32 bits per call");
+        for i in (0..count).rev() {
+            let bit = (value >> i) & 1;
+            if self.fill == 0 {
+                self.bytes.push(0);
+            }
+            let last = self.bytes.len() - 1;
+            self.bytes[last] |= (bit as u8) << (7 - self.fill);
+            self.fill = (self.fill + 1) % 8;
+        }
+    }
+
+    /// Appends an unsigned Exp-Golomb code.
+    pub fn put_ue(&mut self, value: u32) {
+        let v = value + 1;
+        let bits = 32 - v.leading_zeros() as u8;
+        self.put_bits(0, bits - 1); // prefix zeros
+        self.put_bits(v, bits);
+    }
+
+    /// Appends a signed Exp-Golomb code (0, 1, −1, 2, −2, ...).
+    pub fn put_se(&mut self, value: i32) {
+        let mapped = if value > 0 {
+            (value as u32) * 2 - 1
+        } else {
+            (-value as u32) * 2
+        };
+        self.put_ue(mapped);
+    }
+
+    /// Number of bits written so far.
+    #[must_use]
+    pub fn bit_len(&self) -> usize {
+        self.bytes.len() * 8 - usize::from((8 - self.fill) % 8)
+    }
+
+    /// Finishes the stream, zero-padding to a byte boundary.
+    #[must_use]
+    pub fn into_bytes(self) -> Vec<u8> {
+        self.bytes
+    }
+}
+
+/// MSB-first bit reader.
+#[derive(Debug, Clone)]
+pub struct BitReader<'a> {
+    bytes: &'a [u8],
+    pos: usize, // bit position
+}
+
+/// Error returned when a read runs past the end of the stream.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadBitsError;
+
+impl std::fmt::Display for ReadBitsError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "bitstream exhausted")
+    }
+}
+
+impl std::error::Error for ReadBitsError {}
+
+impl<'a> BitReader<'a> {
+    /// Wraps a byte slice.
+    #[must_use]
+    pub fn new(bytes: &'a [u8]) -> Self {
+        BitReader { bytes, pos: 0 }
+    }
+
+    /// Reads `count` bits MSB-first.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadBitsError`] if fewer than `count` bits remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `count > 32`.
+    pub fn get_bits(&mut self, count: u8) -> Result<u32, ReadBitsError> {
+        assert!(count <= 32, "at most 32 bits per call");
+        if self.pos + usize::from(count) > self.bytes.len() * 8 {
+            return Err(ReadBitsError);
+        }
+        let mut out = 0u32;
+        for _ in 0..count {
+            let byte = self.bytes[self.pos / 8];
+            let bit = (byte >> (7 - (self.pos % 8))) & 1;
+            out = (out << 1) | u32::from(bit);
+            self.pos += 1;
+        }
+        Ok(out)
+    }
+
+    /// Reads an unsigned Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadBitsError`] on a truncated stream.
+    pub fn get_ue(&mut self) -> Result<u32, ReadBitsError> {
+        let mut zeros = 0u8;
+        while self.get_bits(1)? == 0 {
+            zeros += 1;
+            if zeros > 32 {
+                return Err(ReadBitsError);
+            }
+        }
+        let rest = self.get_bits(zeros)?;
+        Ok(((1u32 << zeros) | rest) - 1)
+    }
+
+    /// Reads a signed Exp-Golomb code.
+    ///
+    /// # Errors
+    ///
+    /// [`ReadBitsError`] on a truncated stream.
+    pub fn get_se(&mut self) -> Result<i32, ReadBitsError> {
+        let mapped = self.get_ue()?;
+        Ok(if mapped % 2 == 1 {
+            (mapped / 2 + 1) as i32
+        } else {
+            -((mapped / 2) as i32)
+        })
+    }
+
+    /// Remaining bits.
+    #[must_use]
+    pub fn remaining(&self) -> usize {
+        self.bytes.len() * 8 - self.pos
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_roundtrip() {
+        let mut w = BitWriter::new();
+        w.put_bits(0b101, 3);
+        w.put_bits(0xFF, 8);
+        w.put_bits(0, 2);
+        assert_eq!(w.bit_len(), 13);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.get_bits(3), Ok(0b101));
+        assert_eq!(r.get_bits(8), Ok(0xFF));
+        assert_eq!(r.get_bits(2), Ok(0));
+    }
+
+    #[test]
+    fn exp_golomb_unsigned_roundtrip() {
+        let mut w = BitWriter::new();
+        for v in 0..200u32 {
+            w.put_ue(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for v in 0..200u32 {
+            assert_eq!(r.get_ue(), Ok(v));
+        }
+    }
+
+    #[test]
+    fn exp_golomb_signed_roundtrip() {
+        let mut w = BitWriter::new();
+        for v in -100..=100i32 {
+            w.put_se(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for v in -100..=100i32 {
+            assert_eq!(r.get_se(), Ok(v));
+        }
+    }
+
+    #[test]
+    fn small_codes_are_short() {
+        let mut w = BitWriter::new();
+        w.put_ue(0);
+        assert_eq!(w.bit_len(), 1, "ue(0) is a single bit");
+    }
+
+    #[test]
+    fn truncated_stream_errors() {
+        let bytes = [0b1000_0000u8];
+        let mut r = BitReader::new(&bytes);
+        assert!(r.get_bits(8).is_ok());
+        assert_eq!(r.get_bits(1), Err(ReadBitsError));
+    }
+
+    #[test]
+    fn reader_tracks_remaining() {
+        let bytes = [0u8; 4];
+        let mut r = BitReader::new(&bytes);
+        assert_eq!(r.remaining(), 32);
+        let _ = r.get_bits(5);
+        assert_eq!(r.remaining(), 27);
+    }
+}

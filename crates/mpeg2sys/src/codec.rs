@@ -1,0 +1,323 @@
+//! The golden straight-line encoder/decoder.
+//!
+//! A complete (simplified) inter-frame video codec assembled from the
+//! functional kernels: motion estimation against the previous
+//! reconstructed frame, residual DCT + quantization, Exp-Golomb entropy
+//! coding, and an in-loop reconstruction identical on both sides — so
+//! decoding is drift-free. The process-network pipeline
+//! ([`pipeline`](crate::pipeline)) must produce bit-identical output to
+//! this reference.
+
+use crate::bitstream::{BitReader, BitWriter, ReadBitsError};
+use crate::dct::{forward_dct, inverse_dct};
+use crate::frame::{Block, Frame, BLOCK};
+use crate::motion::{compensate, estimate_motion, MotionField, MotionVector};
+use crate::quant::{dequantize, quantize};
+use crate::vlc::{decode_block, encode_block};
+
+/// Encoder settings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CodecConfig {
+    /// Quantizer scale (1 = near lossless, 31 = coarsest).
+    pub qscale: u16,
+    /// Motion-search window (± pixels).
+    pub search_range: i8,
+}
+
+impl Default for CodecConfig {
+    fn default() -> Self {
+        CodecConfig {
+            qscale: 4,
+            search_range: 4,
+        }
+    }
+}
+
+/// Result of encoding one frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EncodedFrame {
+    /// The entropy-coded payload.
+    pub bytes: Vec<u8>,
+    /// The encoder-side reconstruction (the next reference).
+    pub reconstructed: Frame,
+    /// The motion field that was coded.
+    pub motion: MotionField,
+}
+
+/// Subtracts `predicted` from `cur` blockwise.
+fn residual_block(cur: &Frame, predicted: &Frame, bx: usize, by: usize) -> Block {
+    let a = cur.block(bx, by);
+    let b = predicted.block(bx, by);
+    let mut out = [0i16; BLOCK * BLOCK];
+    for (o, (x, y)) in out.iter_mut().zip(a.iter().zip(b.iter())) {
+        *o = x - y;
+    }
+    out
+}
+
+/// Adds a decoded residual onto the prediction (clamping happens in
+/// [`Frame::set_block`]).
+fn add_residual(predicted: &Frame, residual: &Block, bx: usize, by: usize) -> Block {
+    let p = predicted.block(bx, by);
+    let mut out = [0i16; BLOCK * BLOCK];
+    for (o, (a, b)) in out.iter_mut().zip(p.iter().zip(residual.iter())) {
+        *o = a + b;
+    }
+    out
+}
+
+/// Encodes `cur` against `reference`.
+///
+/// # Panics
+///
+/// Panics if the frames have different geometries.
+#[must_use]
+pub fn encode_frame(cur: &Frame, reference: &Frame, config: CodecConfig) -> EncodedFrame {
+    let motion = estimate_motion(cur, reference, config.search_range);
+    let predicted = compensate(reference, &motion);
+    let mut writer = BitWriter::new();
+    writer.put_ue(cur.width() as u32 / 8);
+    writer.put_ue(cur.height() as u32 / 8);
+    writer.put_ue(u32::from(config.qscale));
+    for mv in &motion.vectors {
+        writer.put_se(i32::from(mv.dx));
+        writer.put_se(i32::from(mv.dy));
+    }
+    let mut reconstructed = Frame::gray(cur.width(), cur.height());
+    for by in 0..cur.blocks_y() {
+        for bx in 0..cur.blocks_x() {
+            let residual = residual_block(cur, &predicted, bx, by);
+            let q = quantize(&forward_dct(&residual), config.qscale);
+            encode_block(&mut writer, &q);
+            // In-loop reconstruction, shared with the decoder.
+            let rec_res = inverse_dct(&dequantize(&q, config.qscale));
+            reconstructed.set_block(bx, by, &add_residual(&predicted, &rec_res, bx, by));
+        }
+    }
+    EncodedFrame {
+        bytes: writer.into_bytes(),
+        reconstructed,
+        motion,
+    }
+}
+
+/// Decodes one frame against `reference`.
+///
+/// # Errors
+///
+/// [`ReadBitsError`] if the payload is truncated or malformed.
+pub fn decode_frame(bytes: &[u8], reference: &Frame) -> Result<Frame, ReadBitsError> {
+    let mut reader = BitReader::new(bytes);
+    let bw = reader.get_ue()? as usize;
+    let bh = reader.get_ue()? as usize;
+    let qscale = u16::try_from(reader.get_ue()?).map_err(|_| ReadBitsError)?;
+    if qscale == 0 || bw * 8 != reference.width() || bh * 8 != reference.height() {
+        return Err(ReadBitsError);
+    }
+    let mut vectors = Vec::with_capacity(bw * bh);
+    for _ in 0..bw * bh {
+        let dx = i8::try_from(reader.get_se()?).map_err(|_| ReadBitsError)?;
+        let dy = i8::try_from(reader.get_se()?).map_err(|_| ReadBitsError)?;
+        vectors.push(MotionVector { dx, dy });
+    }
+    let motion = MotionField { vectors };
+    let predicted = compensate(reference, &motion);
+    let mut out = Frame::gray(reference.width(), reference.height());
+    for by in 0..bh {
+        for bx in 0..bw {
+            let q = decode_block(&mut reader)?;
+            let rec_res = inverse_dct(&dequantize(&q, qscale));
+            out.set_block(bx, by, &add_residual(&predicted, &rec_res, bx, by));
+        }
+    }
+    Ok(out)
+}
+
+/// The deterministic rate-control law shared by the golden encoder and
+/// the process-network pipeline: adjust the quantizer scale from the bit
+/// cost of the previous frame against a per-frame budget.
+#[must_use]
+pub fn rate_control_update(qscale: u16, spent_bits: u64, target_bits: u64) -> u16 {
+    let next = if spent_bits > target_bits + target_bits / 8 {
+        qscale + 2
+    } else if spent_bits > target_bits {
+        qscale + 1
+    } else if spent_bits + target_bits / 8 < target_bits {
+        qscale.saturating_sub(1)
+    } else {
+        qscale
+    };
+    next.clamp(1, 31)
+}
+
+/// Encodes a sequence under closed-loop rate control: the quantizer scale
+/// of frame `k` derives from the bits spent on frame `k − 1` via
+/// [`rate_control_update`] — the rate-control feedback loop of the
+/// MPEG-2 block diagram, in straight-line form.
+#[must_use]
+pub fn encode_sequence_rate_controlled(
+    frames: &[Frame],
+    config: CodecConfig,
+    target_bits_per_frame: u64,
+) -> Vec<EncodedFrame> {
+    let mut out = Vec::with_capacity(frames.len());
+    let mut reference = match frames.first() {
+        Some(f) => Frame::gray(f.width(), f.height()),
+        None => return out,
+    };
+    let mut qscale = config.qscale;
+    for frame in frames {
+        let encoded = encode_frame(
+            frame,
+            &reference,
+            CodecConfig {
+                qscale,
+                search_range: config.search_range,
+            },
+        );
+        qscale = rate_control_update(qscale, encoded.bytes.len() as u64 * 8, target_bits_per_frame);
+        reference = encoded.reconstructed.clone();
+        out.push(encoded);
+    }
+    out
+}
+
+/// Encodes a sequence, starting from a gray reference.
+#[must_use]
+pub fn encode_sequence(frames: &[Frame], config: CodecConfig) -> Vec<EncodedFrame> {
+    let mut out = Vec::with_capacity(frames.len());
+    let mut reference = match frames.first() {
+        Some(f) => Frame::gray(f.width(), f.height()),
+        None => return out,
+    };
+    for frame in frames {
+        let encoded = encode_frame(frame, &reference, config);
+        reference = encoded.reconstructed.clone();
+        out.push(encoded);
+    }
+    out
+}
+
+/// Decodes a sequence, starting from a gray reference.
+///
+/// # Errors
+///
+/// [`ReadBitsError`] on a malformed payload.
+pub fn decode_sequence(
+    chunks: &[Vec<u8>],
+    width: usize,
+    height: usize,
+) -> Result<Vec<Frame>, ReadBitsError> {
+    let mut reference = Frame::gray(width, height);
+    let mut out = Vec::with_capacity(chunks.len());
+    for chunk in chunks {
+        let frame = decode_frame(chunk, &reference)?;
+        reference = frame.clone();
+        out.push(frame);
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::frame::{FUNC_HEIGHT, FUNC_WIDTH};
+
+    fn sequence(n: usize) -> Vec<Frame> {
+        (0..n)
+            .map(|i| Frame::synthetic(FUNC_WIDTH, FUNC_HEIGHT, i * 2, i))
+            .collect()
+    }
+
+    #[test]
+    fn decoder_matches_encoder_reconstruction_exactly() {
+        let frames = sequence(5);
+        let encoded = encode_sequence(&frames, CodecConfig::default());
+        let chunks: Vec<Vec<u8>> = encoded.iter().map(|e| e.bytes.clone()).collect();
+        let decoded =
+            decode_sequence(&chunks, FUNC_WIDTH, FUNC_HEIGHT).expect("well-formed stream");
+        for (e, d) in encoded.iter().zip(&decoded) {
+            assert_eq!(e.reconstructed, *d, "decoder drifted from the encoder");
+        }
+    }
+
+    #[test]
+    fn reconstruction_quality_is_reasonable() {
+        let frames = sequence(4);
+        let encoded = encode_sequence(&frames, CodecConfig::default());
+        for (orig, enc) in frames.iter().zip(&encoded) {
+            let psnr = enc.reconstructed.psnr(orig);
+            assert!(psnr > 30.0, "PSNR too low: {psnr:.1} dB");
+        }
+    }
+
+    #[test]
+    fn coarser_quantization_costs_fewer_bits_and_quality() {
+        let frames = sequence(3);
+        let fine = encode_sequence(&frames, CodecConfig { qscale: 2, search_range: 4 });
+        let coarse = encode_sequence(&frames, CodecConfig { qscale: 24, search_range: 4 });
+        let bits = |e: &[EncodedFrame]| -> usize { e.iter().map(|f| f.bytes.len()).sum() };
+        assert!(bits(&coarse) < bits(&fine));
+        let last = frames.len() - 1;
+        assert!(
+            coarse[last].reconstructed.psnr(&frames[last])
+                < fine[last].reconstructed.psnr(&frames[last])
+        );
+    }
+
+    #[test]
+    fn motion_makes_inter_frames_cheap() {
+        // A pure translation should code much smaller than the first
+        // (effectively intra) frame.
+        let frames = sequence(3);
+        let encoded = encode_sequence(&frames, CodecConfig::default());
+        assert!(
+            encoded[1].bytes.len() < encoded[0].bytes.len(),
+            "inter frame {} >= intra-ish frame {}",
+            encoded[1].bytes.len(),
+            encoded[0].bytes.len()
+        );
+    }
+
+    #[test]
+    fn rate_control_tracks_the_budget() {
+        let frames: Vec<Frame> = (0..10)
+            .map(|i| Frame::synthetic(FUNC_WIDTH, FUNC_HEIGHT, i * 5, i * 3))
+            .collect();
+        // A deliberately tight budget: the controller must raise qscale.
+        let open_loop = encode_sequence(&frames, CodecConfig { qscale: 2, search_range: 4 });
+        let open_bits: usize = open_loop.iter().map(|e| e.bytes.len() * 8).sum();
+        let budget = (open_bits / frames.len() / 2) as u64;
+        let closed =
+            encode_sequence_rate_controlled(&frames, CodecConfig { qscale: 2, search_range: 4 }, budget);
+        let closed_bits: usize = closed.iter().map(|e| e.bytes.len() * 8).sum();
+        assert!(closed_bits < open_bits, "controller must reduce the bitrate");
+        // The closed-loop stream still decodes drift-free.
+        let chunks: Vec<Vec<u8>> = closed.iter().map(|e| e.bytes.clone()).collect();
+        let decoded = decode_sequence(&chunks, FUNC_WIDTH, FUNC_HEIGHT).expect("valid");
+        for (e, d) in closed.iter().zip(&decoded) {
+            assert_eq!(e.reconstructed, *d);
+        }
+    }
+
+    #[test]
+    fn rate_update_law_is_clamped_and_monotone() {
+        assert_eq!(rate_control_update(31, 10_000, 100), 31);
+        assert_eq!(rate_control_update(1, 0, 100), 1);
+        assert!(rate_control_update(4, 200, 100) > 4);
+        assert!(rate_control_update(4, 10, 100) < 4);
+        assert_eq!(rate_control_update(4, 100, 100), 4);
+    }
+
+    #[test]
+    fn malformed_stream_is_rejected() {
+        let garbage = vec![0xFFu8; 4];
+        let reference = Frame::gray(FUNC_WIDTH, FUNC_HEIGHT);
+        assert!(decode_frame(&garbage, &reference).is_err());
+    }
+
+    #[test]
+    fn empty_sequence_is_fine() {
+        assert!(encode_sequence(&[], CodecConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,139 @@
+//! 8×8 forward and inverse discrete cosine transform.
+//!
+//! The orthonormal 2-D DCT-II used by MPEG-2's transform stage, computed
+//! in double precision and rounded to integer coefficients. Encoder and
+//! decoder share the same implementation, so the reconstruction loop is
+//! drift-free by construction.
+
+use crate::frame::{Block, BLOCK};
+
+/// Precomputed cosine basis: `basis[u][x] = c(u)·cos((2x+1)uπ/16)`.
+fn basis(u: usize, x: usize) -> f64 {
+    let cu = if u == 0 {
+        (1.0f64 / BLOCK as f64).sqrt()
+    } else {
+        (2.0f64 / BLOCK as f64).sqrt()
+    };
+    cu * ((2.0 * x as f64 + 1.0) * u as f64 * std::f64::consts::PI / (2.0 * BLOCK as f64)).cos()
+}
+
+/// Forward 8×8 DCT: spatial samples to frequency coefficients.
+///
+/// # Examples
+///
+/// ```
+/// use mpeg2sys::{forward_dct, inverse_dct};
+/// let block = [100i16; 64];
+/// let coeffs = forward_dct(&block);
+/// // A flat block concentrates all energy in the DC coefficient.
+/// assert_eq!(coeffs[0], 800);
+/// assert!(coeffs[1..].iter().all(|&c| c == 0));
+/// let back = inverse_dct(&coeffs);
+/// assert_eq!(back, block);
+/// ```
+#[must_use]
+pub fn forward_dct(block: &Block) -> Block {
+    let mut out = [0i16; BLOCK * BLOCK];
+    for v in 0..BLOCK {
+        for u in 0..BLOCK {
+            let mut sum = 0.0f64;
+            for y in 0..BLOCK {
+                for x in 0..BLOCK {
+                    sum += f64::from(block[y * BLOCK + x]) * basis(u, x) * basis(v, y);
+                }
+            }
+            out[v * BLOCK + u] = sum.round() as i16;
+        }
+    }
+    out
+}
+
+/// Inverse 8×8 DCT: frequency coefficients back to spatial samples.
+#[must_use]
+pub fn inverse_dct(coeffs: &Block) -> Block {
+    let mut out = [0i16; BLOCK * BLOCK];
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let mut sum = 0.0f64;
+            for v in 0..BLOCK {
+                for u in 0..BLOCK {
+                    sum += f64::from(coeffs[v * BLOCK + u]) * basis(u, x) * basis(v, y);
+                }
+            }
+            out[y * BLOCK + x] = sum.round() as i16;
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ramp() -> Block {
+        let mut b = [0i16; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i as i16 % 32) - 16;
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_error_is_at_most_one() {
+        // Rounding to integer coefficients loses at most ±1 per sample.
+        let b = ramp();
+        let back = inverse_dct(&forward_dct(&b));
+        for (a, r) in b.iter().zip(&back) {
+            assert!((a - r).abs() <= 1, "sample drifted: {a} vs {r}");
+        }
+    }
+
+    #[test]
+    fn dc_is_eight_times_the_mean() {
+        let b = [64i16; 64];
+        let c = forward_dct(&b);
+        assert_eq!(c[0], 512); // 8 * mean for the orthonormal DCT
+    }
+
+    #[test]
+    fn transform_is_linear_up_to_rounding() {
+        let a = ramp();
+        let mut double = a;
+        for v in &mut double {
+            *v *= 2;
+        }
+        let ca = forward_dct(&a);
+        let cd = forward_dct(&double);
+        for (x, y) in ca.iter().zip(&cd) {
+            assert!((2 * x - y).abs() <= 2, "nonlinear: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn energy_is_preserved() {
+        // Parseval: the orthonormal DCT preserves the sum of squares
+        // (up to integer rounding).
+        let b = ramp();
+        let c = forward_dct(&b);
+        let es: i64 = b.iter().map(|&v| i64::from(v) * i64::from(v)).sum();
+        let ec: i64 = c.iter().map(|&v| i64::from(v) * i64::from(v)).sum();
+        let tolerance = es / 20 + 64;
+        assert!((es - ec).abs() <= tolerance, "energy {es} vs {ec}");
+    }
+
+    #[test]
+    fn high_frequency_pattern_lands_in_high_coefficients() {
+        let mut b = [0i16; 64];
+        for y in 0..8 {
+            for x in 0..8 {
+                b[y * 8 + x] = if x % 2 == 0 { 50 } else { -50 };
+            }
+        }
+        let c = forward_dct(&b);
+        assert_eq!(c[0], 0, "no DC in an alternating pattern");
+        // Energy concentrates in the highest horizontal frequency (u=7).
+        let hf: i64 = (0..8).map(|v| i64::from(c[v * 8 + 7]).abs()).sum();
+        let lf: i64 = (0..8).map(|v| i64::from(c[v * 8 + 1]).abs()).sum();
+        assert!(hf > lf);
+    }
+}

@@ -1,0 +1,268 @@
+//! The decoder as a blocking process network.
+//!
+//! The mirror image of the encoder pipeline: seven processes turn the
+//! entropy-coded stream back into frames, with the reference-frame
+//! feedback loop on the decoding side this time. Output must equal the
+//! straight-line decoder ([`decode_sequence`](crate::codec::decode_sequence))
+//! frame-for-frame — which, by the codec's drift-free construction, also
+//! equals the encoder-side reconstructions.
+
+use crate::bitstream::BitReader;
+use crate::dct::inverse_dct;
+use crate::frame::{Block, Frame, BLOCK, FUNC_HEIGHT, FUNC_WIDTH};
+use crate::motion::{compensate, MotionField, MotionVector};
+use crate::pipeline::Packet;
+use crate::quant::dequantize;
+use crate::vlc::decode_block;
+use pnsim::{run, FnKernel, Kernel, KernelOutput, SequenceSource, SimConfig};
+use sysgraph::SystemGraph;
+
+/// Result of a decoder-network run.
+#[derive(Debug, Clone)]
+pub struct DecoderOutcome {
+    /// Decoded frames, in stream order.
+    pub frames: Vec<Frame>,
+    /// Total simulated cycles.
+    pub cycles: u64,
+    /// True if the network stalled (must never happen on valid streams).
+    pub deadlocked: bool,
+}
+
+/// Decodes `chunks` (one entropy-coded frame each) through the
+/// seven-process network.
+///
+/// # Panics
+///
+/// Panics on malformed streams (the network kernels are not fallible;
+/// validate with [`decode_sequence`](crate::codec::decode_sequence) when
+/// the stream is untrusted) and on wiring inconsistencies.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn run_decoder_pipeline(chunks: Vec<Vec<u8>>) -> DecoderOutcome {
+    let n_frames = chunks.len() as u64;
+    let mut sys = SystemGraph::new();
+    let src = sys.add_process("tb_src", 1);
+    let parser = sys.add_process("parser", 3);
+    let mc = sys.add_process("mc", 4);
+    let inv = sys.add_process("inv", 4);
+    let recon = sys.add_process("recon", 2);
+    let store = sys.add_process("ref_store", 1);
+    let snk = sys.add_process("tb_snk", 1);
+
+    sys.add_channel("bits", src, parser, 2).expect("valid");
+    sys.add_channel("motion", parser, mc, 1).expect("valid");
+    sys.add_channel("coeffs", parser, inv, 2).expect("valid");
+    sys.add_channel_with_tokens("ref", store, mc, 2, 1)
+        .expect("valid"); // decoder-side reference feedback
+    sys.add_channel("predicted", mc, recon, 2).expect("valid");
+    sys.add_channel("residual", inv, recon, 2).expect("valid");
+    sys.add_channel("out", recon, snk, 2).expect("valid");
+    sys.add_channel("loop", recon, store, 2).expect("valid");
+
+    let solution = chanorder::order_channels(&sys);
+    solution
+        .ordering
+        .apply_to(&mut sys)
+        .expect("algorithm orderings are valid");
+
+    let parser_puts: Vec<String> = sys
+        .put_order(parser)
+        .iter()
+        .map(|&c| sys.channel(c).name().to_string())
+        .collect();
+    let recon_puts: Vec<String> = sys
+        .put_order(recon)
+        .iter()
+        .map(|&c| sys.channel(c).name().to_string())
+        .collect();
+
+    let kernels: Vec<Box<dyn Kernel<Packet>>> = vec![
+        // tb_src
+        Box::new(SequenceSource::new(
+            chunks.into_iter().map(Packet::Bits),
+            1,
+            1,
+        )),
+        // parser: bits -> motion field + tagged coefficients.
+        Box::new(FnKernel::new(move |inputs: &[Packet]| {
+            let Packet::Bits(bytes) = &inputs[0] else {
+                panic!("parser expected bits, got {:?}", inputs[0]);
+            };
+            let mut r = BitReader::new(bytes);
+            let bw = r.get_ue().expect("header width") as usize;
+            let bh = r.get_ue().expect("header height") as usize;
+            assert_eq!((bw * 8, bh * 8), (FUNC_WIDTH, FUNC_HEIGHT), "geometry");
+            let qscale = u16::try_from(r.get_ue().expect("qscale")).expect("range");
+            let mut vectors = Vec::with_capacity(bw * bh);
+            for _ in 0..bw * bh {
+                let dx = i8::try_from(r.get_se().expect("dx")).expect("range");
+                let dy = i8::try_from(r.get_se().expect("dy")).expect("range");
+                vectors.push(MotionVector { dx, dy });
+            }
+            let blocks: Vec<Block> = (0..bw * bh)
+                .map(|_| decode_block(&mut r).expect("block"))
+                .collect();
+            let outputs = parser_puts
+                .iter()
+                .map(|name| match name.as_str() {
+                    "motion" => Packet::Motion(MotionField {
+                        vectors: vectors.clone(),
+                    }),
+                    "coeffs" => Packet::Quantized {
+                        qscale,
+                        blocks: blocks.clone(),
+                    },
+                    other => panic!("unexpected parser output {other}"),
+                })
+                .collect();
+            KernelOutput {
+                outputs,
+                latency: 3,
+            }
+        })),
+        // mc: motion + reference -> prediction.
+        Box::new(FnKernel::new(move |inputs: &[Packet]| {
+            let (motion, reference) = match (&inputs[0], &inputs[1]) {
+                (Packet::Motion(m), Packet::Frame(f)) => (m.clone(), f.clone()),
+                (Packet::Frame(f), Packet::Motion(m)) => (m.clone(), f.clone()),
+                other => panic!("mc got unexpected packets: {other:?}"),
+            };
+            KernelOutput {
+                outputs: vec![Packet::Frame(compensate(&reference, &motion))],
+                latency: 4,
+            }
+        })),
+        // inv: dequantize + inverse DCT.
+        Box::new(FnKernel::new(move |inputs: &[Packet]| {
+            let Packet::Quantized { qscale, blocks } = &inputs[0] else {
+                panic!("inv expected coefficients, got {:?}", inputs[0]);
+            };
+            let rec: Vec<Block> = blocks
+                .iter()
+                .map(|b| inverse_dct(&dequantize(b, *qscale)))
+                .collect();
+            KernelOutput {
+                outputs: vec![Packet::Blocks(rec)],
+                latency: 4,
+            }
+        })),
+        // recon: prediction + residual -> frame (to sink and to the loop).
+        Box::new(FnKernel::new(move |inputs: &[Packet]| {
+            let (mut predicted, residual) = match (&inputs[0], &inputs[1]) {
+                (Packet::Frame(f), Packet::Blocks(b)) => (f.clone(), b.clone()),
+                (Packet::Blocks(b), Packet::Frame(f)) => (f.clone(), b.clone()),
+                other => panic!("recon got unexpected packets: {other:?}"),
+            };
+            let bx_count = predicted.blocks_x();
+            for (i, blk) in residual.iter().enumerate() {
+                let bx = i % bx_count;
+                let by = i / bx_count;
+                let p = predicted.block(bx, by);
+                let mut sum = [0i16; BLOCK * BLOCK];
+                for (o, (a, b)) in sum.iter_mut().zip(p.iter().zip(blk.iter())) {
+                    *o = a + b;
+                }
+                predicted.set_block(bx, by, &sum);
+            }
+            let outputs = recon_puts
+                .iter()
+                .map(|name| match name.as_str() {
+                    "out" | "loop" => Packet::Frame(predicted.clone()),
+                    other => panic!("unexpected recon output {other}"),
+                })
+                .collect();
+            KernelOutput {
+                outputs,
+                latency: 2,
+            }
+        })),
+        // store.
+        Box::new(FnKernel::new(|inputs: &[Packet]| KernelOutput {
+            outputs: vec![inputs[0].clone()],
+            latency: 1,
+        })),
+        // tb_snk.
+        Box::new(FnKernel::new(|_inputs: &[Packet]| KernelOutput {
+            outputs: Vec::new(),
+            latency: 1,
+        })),
+    ];
+
+    let (outcome, _) = run(
+        &sys,
+        kernels,
+        SimConfig {
+            max_iterations: Some(n_frames),
+            record_sink_inputs: true,
+            ..SimConfig::default()
+        },
+    );
+    let frames = outcome
+        .sink_inputs
+        .first()
+        .map(|(_, packets)| {
+            packets
+                .iter()
+                .map(|p| match p {
+                    Packet::Frame(f) => f.clone(),
+                    other => panic!("sink received non-frame packet: {other:?}"),
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    DecoderOutcome {
+        frames,
+        cycles: outcome.time,
+        deadlocked: outcome.deadlocked,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codec::{decode_sequence, encode_sequence, CodecConfig};
+
+    fn chunks(n: usize) -> (Vec<Frame>, Vec<Vec<u8>>) {
+        let frames: Vec<Frame> = (0..n)
+            .map(|i| Frame::synthetic(FUNC_WIDTH, FUNC_HEIGHT, i * 2, i))
+            .collect();
+        let encoded = encode_sequence(&frames, CodecConfig::default());
+        let chunks = encoded.iter().map(|e| e.bytes.clone()).collect();
+        (frames, chunks)
+    }
+
+    #[test]
+    fn decoder_network_matches_straight_line_decoder() {
+        let (_, chunks) = chunks(4);
+        let golden =
+            decode_sequence(&chunks, FUNC_WIDTH, FUNC_HEIGHT).expect("valid stream");
+        let outcome = run_decoder_pipeline(chunks);
+        assert!(!outcome.deadlocked, "decoder network must not stall");
+        assert_eq!(outcome.frames.len(), golden.len());
+        for (i, (a, b)) in outcome.frames.iter().zip(&golden).enumerate() {
+            assert_eq!(a, b, "frame {i} differs");
+        }
+    }
+
+    #[test]
+    fn encode_decode_network_loop_is_drift_free() {
+        // Encoder network -> decoder network: the decoded frames equal
+        // the encoder's own reconstructions.
+        let (frames, _) = chunks(3);
+        let piped = crate::pipeline::run_pipeline(frames.clone(), CodecConfig::default());
+        let decoded = run_decoder_pipeline(piped.encoded);
+        let golden = encode_sequence(&frames, CodecConfig::default());
+        for (d, g) in decoded.frames.iter().zip(&golden) {
+            assert_eq!(*d, g.reconstructed);
+        }
+    }
+
+    #[test]
+    fn decoded_quality_is_preserved() {
+        let (frames, chunks) = chunks(3);
+        let outcome = run_decoder_pipeline(chunks);
+        for (orig, dec) in frames.iter().zip(&outcome.frames) {
+            assert!(dec.psnr(orig) > 30.0);
+        }
+    }
+}

@@ -1,0 +1,220 @@
+//! Frame and block types for the functional encoder.
+//!
+//! The functional pipeline runs on luma-only frames at a reduced
+//! resolution (the timing model uses the full 352×240 geometry); blocks
+//! are the 8×8 units all transforms operate on.
+
+/// Width of the functional pipeline's frames.
+pub const FUNC_WIDTH: usize = 64;
+/// Height of the functional pipeline's frames.
+pub const FUNC_HEIGHT: usize = 48;
+/// Block edge length.
+pub const BLOCK: usize = 8;
+
+/// An 8×8 block of signed samples (pixels, residuals, or coefficients).
+pub type Block = [i16; BLOCK * BLOCK];
+
+/// A luma frame.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    width: usize,
+    height: usize,
+    pixels: Vec<u8>,
+}
+
+impl Frame {
+    /// Creates a frame filled with `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless both dimensions are positive multiples of 8.
+    #[must_use]
+    pub fn filled(width: usize, height: usize, value: u8) -> Self {
+        assert!(width > 0 && height > 0, "frame must be non-empty");
+        assert!(
+            width % BLOCK == 0 && height % BLOCK == 0,
+            "dimensions must be multiples of 8"
+        );
+        Frame {
+            width,
+            height,
+            pixels: vec![value; width * height],
+        }
+    }
+
+    /// A mid-gray frame (the reset value of reference-frame feedback).
+    #[must_use]
+    pub fn gray(width: usize, height: usize) -> Self {
+        Frame::filled(width, height, 128)
+    }
+
+    /// A synthetic test frame: a bright square on a gradient background,
+    /// displaced by `(dx, dy)` — consecutive frames with growing offsets
+    /// emulate motion.
+    #[must_use]
+    pub fn synthetic(width: usize, height: usize, dx: usize, dy: usize) -> Self {
+        let mut f = Frame::filled(width, height, 0);
+        for y in 0..height {
+            for x in 0..width {
+                let mut v = ((x * 2 + y) % 256) as u8 / 2 + 40;
+                let sx = (x + width).wrapping_sub(dx) % width;
+                let sy = (y + height).wrapping_sub(dy) % height;
+                if (8..24).contains(&sx) && (8..24).contains(&sy) {
+                    v = 220;
+                }
+                f.pixels[y * width + x] = v;
+            }
+        }
+        f
+    }
+
+    /// Frame width in pixels.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Frame height in pixels.
+    #[must_use]
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Pixel at `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    #[must_use]
+    pub fn get(&self, x: usize, y: usize) -> u8 {
+        self.pixels[y * self.width + x]
+    }
+
+    /// Sets pixel `(x, y)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if out of bounds.
+    pub fn set(&mut self, x: usize, y: usize, value: u8) {
+        self.pixels[y * self.width + x] = value;
+    }
+
+    /// Number of 8×8 blocks per row.
+    #[must_use]
+    pub fn blocks_x(&self) -> usize {
+        self.width / BLOCK
+    }
+
+    /// Number of 8×8 block rows.
+    #[must_use]
+    pub fn blocks_y(&self) -> usize {
+        self.height / BLOCK
+    }
+
+    /// Extracts the 8×8 block whose top-left corner is `(bx*8, by*8)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block coordinates are out of range.
+    #[must_use]
+    pub fn block(&self, bx: usize, by: usize) -> Block {
+        let mut out = [0i16; BLOCK * BLOCK];
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                out[y * BLOCK + x] = i16::from(self.get(bx * BLOCK + x, by * BLOCK + y));
+            }
+        }
+        out
+    }
+
+    /// Writes an 8×8 block (clamped to `0..=255`) at `(bx*8, by*8)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block coordinates are out of range.
+    pub fn set_block(&mut self, bx: usize, by: usize, block: &Block) {
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                let v = block[y * BLOCK + x].clamp(0, 255) as u8;
+                self.set(bx * BLOCK + x, by * BLOCK + y, v);
+            }
+        }
+    }
+
+    /// Mean squared error against another frame of the same geometry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometries differ.
+    #[must_use]
+    pub fn mse(&self, other: &Frame) -> f64 {
+        assert_eq!(self.width, other.width);
+        assert_eq!(self.height, other.height);
+        let sum: f64 = self
+            .pixels
+            .iter()
+            .zip(&other.pixels)
+            .map(|(&a, &b)| {
+                let d = f64::from(a) - f64::from(b);
+                d * d
+            })
+            .sum();
+        sum / self.pixels.len() as f64
+    }
+
+    /// Peak signal-to-noise ratio against a reference, in dB.
+    #[must_use]
+    pub fn psnr(&self, reference: &Frame) -> f64 {
+        let mse = self.mse(reference);
+        if mse == 0.0 {
+            f64::INFINITY
+        } else {
+            10.0 * (255.0f64 * 255.0 / mse).log10()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn block_roundtrip() {
+        let f = Frame::synthetic(32, 16, 0, 0);
+        let b = f.block(1, 1);
+        let mut g = Frame::gray(32, 16);
+        g.set_block(1, 1, &b);
+        assert_eq!(g.block(1, 1), b);
+    }
+
+    #[test]
+    fn synthetic_frames_move() {
+        let a = Frame::synthetic(64, 48, 0, 0);
+        let b = Frame::synthetic(64, 48, 4, 2);
+        assert_ne!(a, b);
+        // The square moved by (4, 2): sampling confirms displacement.
+        assert_eq!(a.get(10, 10), b.get(14, 12));
+    }
+
+    #[test]
+    fn psnr_of_identical_frames_is_infinite() {
+        let f = Frame::synthetic(16, 16, 0, 0);
+        assert!(f.psnr(&f).is_infinite());
+    }
+
+    #[test]
+    fn psnr_decreases_with_noise() {
+        let f = Frame::synthetic(16, 16, 0, 0);
+        let mut noisy = f.clone();
+        noisy.set(3, 3, f.get(3, 3).wrapping_add(40));
+        let mut noisier = noisy.clone();
+        noisier.set(5, 5, f.get(5, 5).wrapping_add(80));
+        assert!(f.psnr(&noisy) > f.psnr(&noisier));
+    }
+
+    #[test]
+    #[should_panic(expected = "multiples of 8")]
+    fn odd_dimensions_rejected() {
+        let _ = Frame::filled(15, 16, 0);
+    }
+}

@@ -1,0 +1,65 @@
+//! The MPEG-2 encoder case study of the DAC'14 ERMES paper.
+//!
+//! Two complementary halves:
+//!
+//! 1. **The timing model** — the system the paper's Section 6 evaluates:
+//!    26 processes / 60 blocking channels ([`build_topology`]), per-stage
+//!    Pareto sets totalling 171 implementations ([`stage_pareto`]), and
+//!    the M1/M2 anchor designs ([`m1_design`], [`m2_design`]) the
+//!    explorations start from. [`Table1`] measures the setup.
+//! 2. **The functional kernels** — a working (simplified) inter-frame
+//!    video encoder built from real signal-processing code: 8×8 DCT
+//!    ([`forward_dct`]), quantization ([`quantize`]), zig-zag scan,
+//!    run-length + Exp-Golomb entropy coding, full-search motion
+//!    estimation ([`estimate_motion`]) — assembled both as a golden
+//!    straight-line codec ([`encode_sequence`]/[`decode_sequence`]) and
+//!    as an eight-process blocking network on the [`pnsim`] engine
+//!    ([`run_pipeline`]), which must match the golden bitstream exactly.
+//!
+//! # Examples
+//!
+//! ```
+//! use mpeg2sys::{run_pipeline, encode_sequence, CodecConfig, Frame};
+//! use mpeg2sys::frame::{FUNC_WIDTH, FUNC_HEIGHT};
+//!
+//! let frames: Vec<Frame> = (0..3)
+//!     .map(|i| Frame::synthetic(FUNC_WIDTH, FUNC_HEIGHT, i * 2, i))
+//!     .collect();
+//! let golden = encode_sequence(&frames, CodecConfig::default());
+//! let piped = run_pipeline(frames, CodecConfig::default());
+//! assert_eq!(piped.encoded[0], golden[0].bytes);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bitstream;
+pub mod codec;
+pub mod dct;
+pub mod decoder_pipeline;
+pub mod frame;
+pub mod motion;
+pub mod paretos;
+pub mod pipeline;
+pub mod quant;
+pub mod table1;
+pub mod topology;
+pub mod vlc;
+pub mod zigzag;
+
+pub use bitstream::{BitReader, BitWriter, ReadBitsError};
+pub use codec::{
+    decode_frame, decode_sequence, encode_frame, encode_sequence,
+    encode_sequence_rate_controlled, rate_control_update, CodecConfig, EncodedFrame,
+};
+pub use dct::{forward_dct, inverse_dct};
+pub use decoder_pipeline::{run_decoder_pipeline, DecoderOutcome};
+pub use frame::{Block, Frame};
+pub use motion::{compensate, estimate_motion, MotionField, MotionVector};
+pub use paretos::{m1_design, m2_design, mpeg2_design, stage_pareto};
+pub use pipeline::{run_pipeline, run_pipeline_rate_controlled, Packet, PipelineOutcome};
+pub use quant::{dequantize, quantize, INTRA_MATRIX};
+pub use table1::Table1;
+pub use topology::{build_topology, Mpeg2Topology, Stage, FRAME_HEIGHT, FRAME_WIDTH, MACROBLOCKS};
+pub use vlc::{decode_block, encode_block, run_length_decode, run_length_encode, RunLevel};
+pub use zigzag::{zigzag_scan, zigzag_unscan, ZIGZAG};

@@ -1,0 +1,180 @@
+//! Full-search block motion estimation and compensation.
+//!
+//! The functional counterpart of the `me_coarse`/`me_fine`/`mc_predict`
+//! stages: for every 8×8 block of the current frame, search a window of
+//! the reference frame for the displacement minimizing the sum of
+//! absolute differences, then build the motion-compensated prediction.
+
+use crate::frame::{Block, Frame, BLOCK};
+
+/// A motion vector in integer pixels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MotionVector {
+    /// Horizontal displacement (reference x = block x + dx).
+    pub dx: i8,
+    /// Vertical displacement.
+    pub dy: i8,
+}
+
+/// The per-block motion field of a frame.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct MotionField {
+    /// Vectors in block raster order.
+    pub vectors: Vec<MotionVector>,
+}
+
+/// Sum of absolute differences between the block at `(bx*8, by*8)` in
+/// `cur` and the displaced block in `reference`; `None` when the
+/// displaced block leaves the frame.
+fn sad(cur: &Frame, reference: &Frame, bx: usize, by: usize, mv: MotionVector) -> Option<u32> {
+    let x0 = bx as isize * BLOCK as isize + isize::from(mv.dx);
+    let y0 = by as isize * BLOCK as isize + isize::from(mv.dy);
+    if x0 < 0
+        || y0 < 0
+        || x0 + BLOCK as isize > reference.width() as isize
+        || y0 + BLOCK as isize > reference.height() as isize
+    {
+        return None;
+    }
+    let mut total = 0u32;
+    for y in 0..BLOCK {
+        for x in 0..BLOCK {
+            let a = i32::from(cur.get(bx * BLOCK + x, by * BLOCK + y));
+            let b = i32::from(reference.get((x0 as usize) + x, (y0 as usize) + y));
+            total += a.abs_diff(b);
+        }
+    }
+    Some(total)
+}
+
+/// Full-search motion estimation over a `±range` window.
+///
+/// Ties favor the smaller displacement (zero vector first), so static
+/// regions get zero vectors.
+///
+/// # Examples
+///
+/// ```
+/// use mpeg2sys::{estimate_motion, Frame};
+/// let reference = Frame::synthetic(64, 48, 0, 0);
+/// let current = Frame::synthetic(64, 48, 2, 1);
+/// let field = estimate_motion(&current, &reference, 4);
+/// // Blocks covering the moving square point back at the reference.
+/// assert!(field.vectors.iter().any(|v| v.dx == -2 && v.dy == -1));
+/// ```
+#[must_use]
+pub fn estimate_motion(cur: &Frame, reference: &Frame, range: i8) -> MotionField {
+    assert_eq!(cur.width(), reference.width());
+    assert_eq!(cur.height(), reference.height());
+    let mut vectors = Vec::with_capacity(cur.blocks_x() * cur.blocks_y());
+    for by in 0..cur.blocks_y() {
+        for bx in 0..cur.blocks_x() {
+            let mut best = MotionVector::default();
+            let mut best_sad =
+                sad(cur, reference, bx, by, best).expect("zero vector is always in range");
+            for dy in -range..=range {
+                for dx in -range..=range {
+                    let mv = MotionVector { dx, dy };
+                    if let Some(s) = sad(cur, reference, bx, by, mv) {
+                        let closer = (i32::from(dx).abs() + i32::from(dy).abs())
+                            < (i32::from(best.dx).abs() + i32::from(best.dy).abs());
+                        if s < best_sad || (s == best_sad && closer) {
+                            best_sad = s;
+                            best = mv;
+                        }
+                    }
+                }
+            }
+            vectors.push(best);
+        }
+    }
+    MotionField { vectors }
+}
+
+/// Builds the motion-compensated prediction of a frame from `reference`
+/// and a motion field.
+///
+/// # Panics
+///
+/// Panics if the field does not cover every block or a vector points
+/// outside the reference.
+#[must_use]
+pub fn compensate(reference: &Frame, field: &MotionField) -> Frame {
+    let mut out = Frame::gray(reference.width(), reference.height());
+    let bx_count = reference.blocks_x();
+    assert_eq!(
+        field.vectors.len(),
+        bx_count * reference.blocks_y(),
+        "motion field must cover the frame"
+    );
+    for (i, mv) in field.vectors.iter().enumerate() {
+        let bx = i % bx_count;
+        let by = i / bx_count;
+        let x0 = bx * BLOCK;
+        let y0 = by * BLOCK;
+        let mut block: Block = [0; BLOCK * BLOCK];
+        for y in 0..BLOCK {
+            for x in 0..BLOCK {
+                let rx = (x0 + x) as isize + isize::from(mv.dx);
+                let ry = (y0 + y) as isize + isize::from(mv.dy);
+                assert!(
+                    rx >= 0
+                        && ry >= 0
+                        && (rx as usize) < reference.width()
+                        && (ry as usize) < reference.height(),
+                    "vector escapes the reference frame"
+                );
+                block[y * BLOCK + x] = i16::from(reference.get(rx as usize, ry as usize));
+            }
+        }
+        out.set_block(bx, by, &block);
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn static_scene_gets_zero_vectors() {
+        let f = Frame::synthetic(32, 32, 0, 0);
+        let field = estimate_motion(&f, &f, 3);
+        assert!(field.vectors.iter().all(|v| *v == MotionVector::default()));
+    }
+
+    #[test]
+    fn compensation_of_zero_field_is_identity() {
+        let f = Frame::synthetic(32, 32, 1, 1);
+        let field = MotionField {
+            vectors: vec![MotionVector::default(); f.blocks_x() * f.blocks_y()],
+        };
+        assert_eq!(compensate(&f, &field), f);
+    }
+
+    #[test]
+    fn estimation_reduces_prediction_error() {
+        let reference = Frame::synthetic(64, 48, 0, 0);
+        let current = Frame::synthetic(64, 48, 3, 2);
+        let field = estimate_motion(&current, &reference, 4);
+        let predicted = compensate(&reference, &field);
+        let zero_field = MotionField {
+            vectors: vec![MotionVector::default(); field.vectors.len()],
+        };
+        let unpredicted = compensate(&reference, &zero_field);
+        assert!(
+            current.mse(&predicted) < current.mse(&unpredicted),
+            "motion compensation must beat the zero prediction"
+        );
+    }
+
+    #[test]
+    fn vectors_respect_the_search_range() {
+        let reference = Frame::synthetic(64, 48, 0, 0);
+        let current = Frame::synthetic(64, 48, 6, 0);
+        let field = estimate_motion(&current, &reference, 2);
+        for v in &field.vectors {
+            assert!(v.dx.abs() <= 2 && v.dy.abs() <= 2);
+        }
+    }
+}

@@ -1,0 +1,188 @@
+//! Per-stage Pareto sets and the M1/M2 anchor implementations.
+//!
+//! The paper derives, with the compositional-DSE flow of Liu–Carloni
+//! \[11\], 171 Pareto-optimal micro-architectures across the 26 processes,
+//! and anchors its experiments on two system implementations:
+//!
+//! - **M1** — fastest computation everywhere: CT 1,906 KCycles, 2.267 mm²;
+//! - **M2** — performance traded for area: CT 3,597 KCycles, 1.562 mm².
+//!
+//! We reconstruct the Pareto sets with the HLS surrogate: each stage gets
+//! a kernel sized from its real computational role (per-pixel stages
+//! iterate over the 84,480 luma pixels of a 352×240 frame, per-block
+//! stages over the 1,980 blocks, control stages over the 330 macroblocks)
+//! and is swept over an MPEG-2-specific knob grid (unrolling ≤ 4, all
+//! sharing levels, optional pipelining at II = 8 — the modest parallelism
+//! a 45 nm ASIC flow affords at 1 GHz).
+
+use crate::topology::{Mpeg2Topology, Stage, FRAME_HEIGHT, FRAME_WIDTH, MACROBLOCKS};
+use ermes::Design;
+use hlsim::{synthesize, HlsKnobs, KernelSpec, MicroArch, ParetoSet, SharingLevel};
+
+/// Luma pixels per frame: the trip count of per-pixel stages.
+const PIXELS: u64 = FRAME_WIDTH * FRAME_HEIGHT;
+/// 8×8 blocks per frame (luma + chroma, 4:2:0).
+const BLOCKS: u64 = MACROBLOCKS * 6;
+
+/// The MPEG-2-specific knob grid (Section 6's "loop pipelining, loop
+/// unrolling, ..." applied with realistic resource limits).
+fn mpeg2_knob_grid() -> Vec<HlsKnobs> {
+    let mut grid = Vec::new();
+    for unroll in [1u64, 2] {
+        for sharing in SharingLevel::ALL {
+            for ii in [None, Some(12), Some(16), Some(18), Some(20), Some(24), Some(28), Some(32), Some(34), Some(36), Some(40), Some(44), Some(48), Some(64), Some(96)] {
+                grid.push(HlsKnobs {
+                    unroll,
+                    pipeline_ii: ii,
+                    sharing,
+                });
+            }
+        }
+    }
+    grid
+}
+
+/// Kernel description of one encoder stage.
+fn stage_kernel(stage: Stage) -> KernelSpec {
+    // (ops per iteration, trip count, base area, per-unit area) — sized
+    // from each stage's computational role; areas in mm² (45 nm).
+    let (ops, trips, base, per_op) = match stage {
+        // Per-pixel datapath heavyweights.
+        Stage::MeCoarse => (48, PIXELS, 0.11553, 0.01755),
+        Stage::MeFine => (32, PIXELS, 0.08887, 0.01466),
+        Stage::McPredict => (12, PIXELS, 0.05332, 0.00912),
+        Stage::Residual => (6, PIXELS, 0.03110, 0.00512),
+        Stage::DctLuma => (16, PIXELS, 0.07110, 0.01156),
+        Stage::DctChroma => (16, PIXELS / 2, 0.04888, 0.00777),
+        Stage::Idct => (16, PIXELS + PIXELS / 2, 0.07554, 0.01245),
+        Stage::Recon => (4, PIXELS + PIXELS / 2, 0.02666, 0.00421),
+        // Per-coefficient stages.
+        Stage::QuantLuma => (6, PIXELS, 0.03555, 0.00556),
+        Stage::QuantChroma => (6, PIXELS / 2, 0.02666, 0.00377),
+        Stage::Iquant => (5, PIXELS + PIXELS / 2, 0.03110, 0.00467),
+        Stage::ZigzagLuma => (2, PIXELS, 0.01777, 0.00244),
+        Stage::ZigzagChroma => (2, PIXELS / 2, 0.01333, 0.00177),
+        Stage::RleLuma => (3, PIXELS, 0.02222, 0.00289),
+        Stage::RleChroma => (3, PIXELS / 2, 0.01777, 0.00200),
+        // Per-block / per-macroblock stages.
+        Stage::VlcMb => (64, BLOCKS, 0.05332, 0.00666),
+        Stage::VlcHeader => (32, MACROBLOCKS, 0.01777, 0.00200),
+        Stage::ModeDecision => (96, MACROBLOCKS, 0.02666, 0.00333),
+        Stage::ActStats => (24, BLOCKS, 0.02222, 0.00289),
+        // Stores stream whole frames.
+        Stage::CurStore => (4, PIXELS / 4, 0.04444, 0.00400),
+        Stage::RefStore => (4, PIXELS / 4, 0.04444, 0.00400),
+        Stage::ReconStore => (4, PIXELS / 4, 0.04444, 0.00400),
+        Stage::MbSplit => (8, MACROBLOCKS * 24, 0.02222, 0.00267),
+        // Control stages.
+        Stage::InputCtrl => (16, MACROBLOCKS, 0.01333, 0.00156),
+        Stage::GopCtrl => (64, 8, 0.00889, 0.00111),
+        Stage::RateCtrl => (48, MACROBLOCKS, 0.01777, 0.00223),
+    };
+    KernelSpec::new(stage.name(), ops, trips, base, per_op)
+}
+
+/// Pareto set of one stage under the MPEG-2 knob grid.
+#[must_use]
+pub fn stage_pareto(stage: Stage) -> ParetoSet {
+    let kernel = stage_kernel(stage);
+    let candidates: Vec<MicroArch> = mpeg2_knob_grid()
+        .into_iter()
+        .map(|knobs| synthesize(&kernel, knobs))
+        .collect();
+    ParetoSet::from_candidates(candidates)
+}
+
+/// Pareto set of the testbench processes (a single trivial point).
+fn testbench_pareto() -> ParetoSet {
+    ParetoSet::from_candidates(vec![MicroArch {
+        knobs: HlsKnobs::baseline(),
+        latency: 1,
+        area: 0.00444,
+    }])
+}
+
+/// Builds the full case study: topology plus Pareto sets, as an
+/// unoptimized [`Design`] (every stage on its mid-frontier point).
+///
+/// # Panics
+///
+/// Never panics: the construction is static and internally consistent.
+#[must_use]
+pub fn mpeg2_design() -> (Design, Mpeg2Topology) {
+    let topo = crate::topology::build_topology();
+    let pareto: Vec<ParetoSet> = topo
+        .system
+        .process_ids()
+        .map(|p| {
+            if p == topo.tb_src || p == topo.tb_snk {
+                testbench_pareto()
+            } else {
+                let stage = Stage::ALL[p.index() - 1];
+                stage_pareto(stage)
+            }
+        })
+        .collect();
+    let design = Design::new(topo.system.clone(), pareto).expect("sizes match by construction");
+    (design, topo)
+}
+
+/// The M1 anchor: the fastest implementation of every process
+/// (paper: CT 1,906 KCycles, 2.267 mm²).
+#[must_use]
+pub fn m1_design() -> (Design, Mpeg2Topology) {
+    let (mut design, topo) = mpeg2_design();
+    design.select_fastest();
+    (design, topo)
+}
+
+/// The M2 anchor: performance traded for area — every stage on the
+/// frontier point closest to twice its fastest latency
+/// (paper: CT 3,597 KCycles, 1.562 mm²).
+#[must_use]
+pub fn m2_design() -> (Design, Mpeg2Topology) {
+    let (mut design, topo) = mpeg2_design();
+    for p in topo.system.process_ids() {
+        let set = design.pareto(p);
+        let target = set.fastest().latency * 2;
+        let idx = set
+            .points()
+            .iter()
+            .enumerate()
+            .min_by_key(|(_, m)| m.latency.abs_diff(target))
+            .map(|(i, _)| i)
+            .expect("frontier non-empty");
+        design.select(p, idx).expect("index within frontier");
+    }
+    (design, topo)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_stage_has_a_frontier() {
+        for stage in Stage::ALL {
+            let set = stage_pareto(stage);
+            assert!(set.len() >= 2, "{} has a degenerate frontier", stage.name());
+        }
+    }
+
+    #[test]
+    fn m1_is_faster_and_larger_than_m2() {
+        let (m1, _) = m1_design();
+        let (m2, _) = m2_design();
+        let ct1 = ermes::analyze_design(&m1).cycle_time().expect("live");
+        let ct2 = ermes::analyze_design(&m2).cycle_time().expect("live");
+        assert!(ct1 < ct2, "M1 must be faster: {ct1} vs {ct2}");
+        assert!(m1.area() > m2.area(), "M1 must be larger");
+    }
+
+    #[test]
+    fn design_sizes_match_table1() {
+        let (design, topo) = mpeg2_design();
+        assert_eq!(design.system().process_count(), 28);
+        assert_eq!(topo.encoder_channels.len(), 60);
+    }
+}

@@ -1,0 +1,133 @@
+//! Coefficient quantization.
+//!
+//! A simplified MPEG-2-style quantizer: a perceptual weighting matrix
+//! scaled by a `qscale` factor (the knob the rate controller turns),
+//! applied with symmetric rounding so `dequantize(quantize(x))`
+//! approximates `x` within half a step.
+
+use crate::frame::{Block, BLOCK};
+
+/// The default intra weighting matrix (MPEG-2's Table, abbreviated to its
+/// structure: lighter quantization near DC, heavier at high frequencies).
+pub const INTRA_MATRIX: [u16; BLOCK * BLOCK] = [
+    8, 16, 19, 22, 26, 27, 29, 34,
+    16, 16, 22, 24, 27, 29, 34, 37,
+    19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40,
+    22, 26, 27, 29, 32, 35, 40, 48,
+    26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69,
+    27, 29, 35, 38, 46, 56, 69, 83,
+];
+
+/// Effective quantizer step for coefficient position `i` under `qscale`.
+fn step(i: usize, qscale: u16) -> i32 {
+    (i32::from(INTRA_MATRIX[i]) * i32::from(qscale)).max(1) / 16
+}
+
+/// Quantizes a coefficient block with the given `qscale` (1..=31 in
+/// MPEG-2; larger values quantize more coarsely).
+///
+/// # Panics
+///
+/// Panics if `qscale == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use mpeg2sys::{quantize, dequantize};
+/// let mut coeffs = [0i16; 64];
+/// coeffs[0] = 800;
+/// coeffs[1] = -33;
+/// let q = quantize(&coeffs, 4);
+/// let back = dequantize(&q, 4);
+/// // Reconstruction lands within one quantizer step.
+/// assert!((back[0] - 800).abs() <= 2);
+/// assert!((back[1] + 33).abs() <= 4);
+/// ```
+#[must_use]
+pub fn quantize(coeffs: &Block, qscale: u16) -> Block {
+    assert!(qscale > 0, "qscale must be positive");
+    let mut out = [0i16; BLOCK * BLOCK];
+    for (i, (&c, o)) in coeffs.iter().zip(out.iter_mut()).enumerate() {
+        let s = step(i, qscale).max(1);
+        let c = i32::from(c);
+        let q = if c >= 0 { (c + s / 2) / s } else { (c - s / 2) / s };
+        *o = q.clamp(-2047, 2047) as i16;
+    }
+    out
+}
+
+/// Reconstructs coefficients from quantized levels.
+///
+/// # Panics
+///
+/// Panics if `qscale == 0`.
+#[must_use]
+pub fn dequantize(levels: &Block, qscale: u16) -> Block {
+    assert!(qscale > 0, "qscale must be positive");
+    let mut out = [0i16; BLOCK * BLOCK];
+    for (i, (&q, o)) in levels.iter().zip(out.iter_mut()).enumerate() {
+        let s = step(i, qscale).max(1);
+        *o = (i32::from(q) * s).clamp(-32_768, 32_767) as i16;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Block {
+        let mut b = [0i16; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = ((i as i16) - 32) * 7;
+        }
+        b
+    }
+
+    #[test]
+    fn roundtrip_error_bounded_by_half_step() {
+        let b = sample();
+        for qscale in [1u16, 2, 4, 8, 16, 31] {
+            let back = dequantize(&quantize(&b, qscale), qscale);
+            for (i, (&orig, &rec)) in b.iter().zip(&back).enumerate() {
+                let s = (i32::from(INTRA_MATRIX[i]) * i32::from(qscale) / 16).max(1);
+                assert!(
+                    (i32::from(orig) - i32::from(rec)).abs() <= (s + 1) / 2 + 1,
+                    "q{qscale} coeff {i}: {orig} vs {rec} (step {s})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn coarser_qscale_zeroes_more_coefficients() {
+        let b = sample();
+        let fine = quantize(&b, 2);
+        let coarse = quantize(&b, 31);
+        let z = |q: &Block| q.iter().filter(|&&v| v == 0).count();
+        assert!(z(&coarse) > z(&fine));
+    }
+
+    #[test]
+    fn zero_block_stays_zero() {
+        let zero = [0i16; 64];
+        assert_eq!(quantize(&zero, 8), zero);
+        assert_eq!(dequantize(&zero, 8), zero);
+    }
+
+    #[test]
+    fn quantization_is_odd_symmetric() {
+        let b = sample();
+        let mut neg = b;
+        for v in &mut neg {
+            *v = -*v;
+        }
+        let qb = quantize(&b, 6);
+        let qn = quantize(&neg, 6);
+        for (a, b) in qb.iter().zip(&qn) {
+            assert_eq!(*a, -*b);
+        }
+    }
+}

@@ -1,0 +1,85 @@
+//! Table 1 of the paper: the experimental setup of the MPEG-2 encoder.
+
+use crate::paretos::mpeg2_design;
+use std::fmt;
+
+/// The quantities Table 1 reports, measured on our reconstruction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table1 {
+    /// Number of encoder processes (paper: 26).
+    pub processes: usize,
+    /// Number of blocking channels among them (paper: 60).
+    pub channels: usize,
+    /// Total Pareto-optimal implementations (paper: 171).
+    pub pareto_points: usize,
+    /// Minimum channel latency in cycles (paper range starts at 1).
+    pub channel_latency_min: u64,
+    /// Maximum channel latency in cycles (paper range ends at 5,280).
+    pub channel_latency_max: u64,
+    /// Image size (paper: 352×240).
+    pub image_size: (u64, u64),
+}
+
+impl Table1 {
+    /// Measures the reconstruction.
+    #[must_use]
+    pub fn measure() -> Self {
+        let (design, topo) = mpeg2_design();
+        let lats: Vec<u64> = topo
+            .encoder_channels
+            .iter()
+            .map(|&c| topo.system.channel(c).latency())
+            .collect();
+        Table1 {
+            processes: crate::topology::Stage::ALL.len(),
+            channels: topo.encoder_channels.len(),
+            pareto_points: design.pareto_point_count()
+                - 2, // exclude the two single-point testbench sets
+            channel_latency_min: lats.iter().copied().min().unwrap_or(0),
+            channel_latency_max: lats.iter().copied().max().unwrap_or(0),
+            image_size: (crate::topology::FRAME_WIDTH, crate::topology::FRAME_HEIGHT),
+        }
+    }
+}
+
+impl fmt::Display for Table1 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Processes        {:>6}", self.processes)?;
+        writeln!(f, "Channels         {:>6}", self.channels)?;
+        writeln!(f, "Pareto points    {:>6}", self.pareto_points)?;
+        writeln!(
+            f,
+            "Channel latency  {:>6} .. {} cycles",
+            self.channel_latency_min, self.channel_latency_max
+        )?;
+        write!(
+            f,
+            "Image size       {}x{} pixels",
+            self.image_size.0, self.image_size.1
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measured_setup_matches_the_paper() {
+        let t = Table1::measure();
+        assert_eq!(t.processes, 26);
+        assert_eq!(t.channels, 60);
+        assert_eq!(t.pareto_points, 171);
+        assert_eq!(t.channel_latency_min, 1);
+        assert_eq!(t.channel_latency_max, 5_280);
+        assert_eq!(t.image_size, (352, 240));
+    }
+
+    #[test]
+    fn display_renders_all_rows() {
+        let text = Table1::measure().to_string();
+        assert!(text.contains("Processes"));
+        assert!(text.contains("171"));
+        assert!(text.contains("352x240"));
+    }
+}

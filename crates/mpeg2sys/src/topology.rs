@@ -1,0 +1,342 @@
+//! The MPEG-2 encoder system topology (Table 1 of the paper).
+//!
+//! A faithful synthetic reconstruction of the case study: 26 processes
+//! interconnected through 60 blocking channels (plus the two testbench
+//! processes), with the structures the paper calls out as deadlock-prone —
+//! reconvergent paths (macroblocks reach the residual stage both directly
+//! and through motion compensation) and feedback loops (the reconstructed
+//! reference frame, the rate-control bit budget, and the GOP-control
+//! statistics), the latter pre-loaded with one initial item each.
+//!
+//! Channel latencies are characterized from payload sizes exactly as the
+//! paper describes (quantity of data to be transferred over the channel's
+//! physical width), spanning 1–5,280 cycles: the largest corresponds to a
+//! full 352×240 luma frame over a 128-bit channel.
+
+use hlsim::channel_latency;
+use sysgraph::{ChannelId, ProcessId, SystemGraph};
+
+/// Frame geometry of the paper's input stream (Table 1: 352×240 pixels).
+pub const FRAME_WIDTH: u64 = 352;
+/// Frame height in pixels.
+pub const FRAME_HEIGHT: u64 = 240;
+/// Macroblocks per frame (22 × 15).
+pub const MACROBLOCKS: u64 = (FRAME_WIDTH / 16) * (FRAME_HEIGHT / 16);
+
+/// Indices of the 26 encoder processes (testbench excluded).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)] // the variants are the block diagram; names say it all
+pub enum Stage {
+    InputCtrl,
+    GopCtrl,
+    MbSplit,
+    CurStore,
+    RefStore,
+    MeCoarse,
+    MeFine,
+    ModeDecision,
+    McPredict,
+    Residual,
+    DctLuma,
+    DctChroma,
+    ActStats,
+    RateCtrl,
+    QuantLuma,
+    QuantChroma,
+    ZigzagLuma,
+    ZigzagChroma,
+    RleLuma,
+    RleChroma,
+    VlcMb,
+    VlcHeader,
+    Iquant,
+    Idct,
+    Recon,
+    ReconStore,
+}
+
+impl Stage {
+    /// All 26 stages in declaration order.
+    pub const ALL: [Stage; 26] = [
+        Stage::InputCtrl,
+        Stage::GopCtrl,
+        Stage::MbSplit,
+        Stage::CurStore,
+        Stage::RefStore,
+        Stage::MeCoarse,
+        Stage::MeFine,
+        Stage::ModeDecision,
+        Stage::McPredict,
+        Stage::Residual,
+        Stage::DctLuma,
+        Stage::DctChroma,
+        Stage::ActStats,
+        Stage::RateCtrl,
+        Stage::QuantLuma,
+        Stage::QuantChroma,
+        Stage::ZigzagLuma,
+        Stage::ZigzagChroma,
+        Stage::RleLuma,
+        Stage::RleChroma,
+        Stage::VlcMb,
+        Stage::VlcHeader,
+        Stage::Iquant,
+        Stage::Idct,
+        Stage::Recon,
+        Stage::ReconStore,
+    ];
+
+    /// Snake-case display name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::InputCtrl => "input_ctrl",
+            Stage::GopCtrl => "gop_ctrl",
+            Stage::MbSplit => "mb_split",
+            Stage::CurStore => "cur_store",
+            Stage::RefStore => "ref_store",
+            Stage::MeCoarse => "me_coarse",
+            Stage::MeFine => "me_fine",
+            Stage::ModeDecision => "mode_decision",
+            Stage::McPredict => "mc_predict",
+            Stage::Residual => "residual",
+            Stage::DctLuma => "dct_luma",
+            Stage::DctChroma => "dct_chroma",
+            Stage::ActStats => "act_stats",
+            Stage::RateCtrl => "rate_ctrl",
+            Stage::QuantLuma => "quant_luma",
+            Stage::QuantChroma => "quant_chroma",
+            Stage::ZigzagLuma => "zigzag_luma",
+            Stage::ZigzagChroma => "zigzag_chroma",
+            Stage::RleLuma => "rle_luma",
+            Stage::RleChroma => "rle_chroma",
+            Stage::VlcMb => "vlc_mb",
+            Stage::VlcHeader => "vlc_header",
+            Stage::Iquant => "iquant",
+            Stage::Idct => "idct",
+            Stage::Recon => "recon",
+            Stage::ReconStore => "recon_store",
+        }
+    }
+}
+
+/// The constructed topology with handles.
+#[derive(Debug, Clone)]
+pub struct Mpeg2Topology {
+    /// The system graph (latencies hold placeholder values until a
+    /// [`Design`](ermes::Design) selection is applied).
+    pub system: SystemGraph,
+    /// Testbench stimulus process.
+    pub tb_src: ProcessId,
+    /// Testbench monitor process.
+    pub tb_snk: ProcessId,
+    /// Encoder processes indexed by [`Stage`] declaration order.
+    pub stages: Vec<ProcessId>,
+    /// Channels between encoder processes (the 60 of Table 1).
+    pub encoder_channels: Vec<ChannelId>,
+    /// The two testbench channels (not counted in Table 1).
+    pub testbench_channels: [ChannelId; 2],
+}
+
+impl Mpeg2Topology {
+    /// Handle of a stage's process.
+    #[must_use]
+    pub fn stage(&self, s: Stage) -> ProcessId {
+        self.stages[Stage::ALL.iter().position(|&x| x == s).expect("stage exists")]
+    }
+}
+
+/// Burst transfer latency for DMA-style frame moves (no per-beat
+/// handshake — the stores stream whole frames).
+fn burst(bits: u64, width: u64) -> u64 {
+    bits.div_ceil(width)
+}
+
+/// Builds the 26-process / 60-channel encoder with its testbench.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn build_topology() -> Mpeg2Topology {
+    let mut sys = SystemGraph::new();
+    let tb_src = sys.add_process("tb_src", 1);
+    let stages: Vec<ProcessId> = Stage::ALL
+        .iter()
+        .map(|s| sys.add_process(s.name(), 1))
+        .collect();
+    let tb_snk = sys.add_process("tb_snk", 1);
+    let id = |s: Stage| stages[Stage::ALL.iter().position(|&x| x == s).expect("stage")];
+
+    // Payload sizes in bits.
+    let luma_frame = FRAME_WIDTH * FRAME_HEIGHT * 8;
+    let mb = 384 * 8; // 4:2:0 macroblock: 256 luma + 128 chroma bytes
+    let mb_luma_coeffs = 4 * 64 * 12;
+    let mb_chroma_coeffs = 2 * 64 * 12;
+    let search_window = 48 * 48 * 8;
+    let mv = 32;
+    let ctrl = 16;
+    let rle_luma_payload = 4 * 64 * 4; // typical compressed run-level data
+    let rle_chroma_payload = 2 * 64 * 4;
+    let bitstream_chunk = 1_024;
+
+    // Channel latencies: frames stream over 128-bit bursts, macroblock
+    // data over 32-bit handshaken channels, and single-beat motion
+    // vectors over register-mapped wires (1 cycle: the paper's minimum).
+    let frame_lat = burst(luma_frame, 128); // = 5,280: the paper's maximum
+    let lat = |bits: u64| channel_latency(bits, 32);
+    let mv_lat = burst(mv, 32); // = 1
+
+    use Stage::*;
+    let spec: Vec<(Stage, Stage, u64, u64)> = vec![
+        // (from, to, latency, initial tokens)
+        (InputCtrl, CurStore, frame_lat, 0),
+        (InputCtrl, GopCtrl, lat(ctrl), 0),
+        (InputCtrl, RateCtrl, lat(ctrl), 0),
+        (GopCtrl, MbSplit, lat(ctrl), 0),
+        (GopCtrl, RateCtrl, lat(ctrl), 0),
+        (GopCtrl, VlcHeader, lat(ctrl), 0),
+        (GopCtrl, RefStore, lat(ctrl), 0),
+        (GopCtrl, ReconStore, lat(ctrl), 0),
+        (CurStore, MbSplit, frame_lat, 0),
+        (CurStore, MeCoarse, lat(mb), 0),
+        (CurStore, MeFine, lat(mb), 0),
+        (MbSplit, MeCoarse, lat(mb), 0),
+        (MbSplit, Residual, lat(mb), 0),     // reconvergent with MC path
+        (MbSplit, ActStats, lat(mb), 0),
+        (MbSplit, ModeDecision, lat(mb), 0), // intra candidate
+        (RefStore, MeCoarse, lat(search_window), 0),
+        (RefStore, MeFine, lat(search_window), 0),
+        (RefStore, McPredict, lat(search_window), 0),
+        (MeCoarse, MeFine, mv_lat, 0),
+        (MeFine, ModeDecision, mv_lat, 0),
+        (MeFine, McPredict, mv_lat, 0),
+        (ActStats, RateCtrl, lat(ctrl), 0),
+        (ActStats, ModeDecision, lat(ctrl), 0),
+        (ActStats, GopCtrl, lat(ctrl), 1), // feedback: scene statistics
+        (ModeDecision, McPredict, mv_lat, 0),
+        (ModeDecision, VlcMb, mv_lat, 0),
+        (ModeDecision, RateCtrl, lat(ctrl), 0),
+        (McPredict, Residual, lat(mb), 0),
+        (McPredict, Recon, lat(mb), 0), // reconvergent with IDCT path
+        (Residual, DctLuma, lat(4 * 64 * 9), 0),
+        (Residual, DctChroma, lat(2 * 64 * 9), 0),
+        (DctLuma, QuantLuma, lat(mb_luma_coeffs), 0),
+        (DctLuma, ActStats, lat(ctrl), 1), // feedback: DC activity lags one MB
+        (DctChroma, QuantChroma, lat(mb_chroma_coeffs), 0),
+        (RateCtrl, QuantLuma, lat(ctrl), 0),
+        (RateCtrl, QuantChroma, lat(ctrl), 0),
+        (RateCtrl, VlcHeader, lat(ctrl), 0),
+        (QuantLuma, ZigzagLuma, lat(mb_luma_coeffs), 0),
+        (QuantLuma, Iquant, lat(mb_luma_coeffs), 0),
+        (QuantChroma, ZigzagChroma, lat(mb_chroma_coeffs), 0),
+        (QuantChroma, Iquant, lat(mb_chroma_coeffs), 0),
+        (ZigzagLuma, RleLuma, lat(mb_luma_coeffs), 0),
+        (ZigzagChroma, RleChroma, lat(mb_chroma_coeffs), 0),
+        (RleLuma, VlcMb, lat(rle_luma_payload), 0),
+        (RleChroma, VlcMb, lat(rle_chroma_payload), 0),
+        (VlcHeader, VlcMb, lat(bitstream_chunk), 0),
+        (VlcMb, RateCtrl, lat(ctrl), 1), // feedback: bits spent
+        (Iquant, Idct, lat(mb_luma_coeffs + mb_chroma_coeffs), 0),
+        (Idct, Recon, lat(mb), 0),
+        (Recon, ReconStore, lat(mb), 0),
+        (Recon, RateCtrl, lat(ctrl), 1), // feedback: distortion estimate
+        (ReconStore, RefStore, frame_lat, 1), // feedback: reference frame
+        // Auxiliary control/data plumbing rounding out the 60 channels.
+        (InputCtrl, ActStats, lat(ctrl), 0),
+        (GopCtrl, ModeDecision, lat(ctrl), 0),
+        (GopCtrl, Iquant, lat(ctrl), 0),
+        (GopCtrl, Idct, lat(ctrl), 0),
+        (MbSplit, DctLuma, lat(ctrl), 0),    // block position metadata
+        (MbSplit, DctChroma, lat(ctrl), 0),
+        (VlcHeader, RateCtrl, lat(ctrl), 1), // feedback: header bits spent
+        (RateCtrl, VlcMb, lat(ctrl), 0),     // qscale used for coding
+    ];
+
+    let mut encoder_channels = Vec::with_capacity(spec.len());
+    for (i, &(from, to, latency, tokens)) in spec.iter().enumerate() {
+        let name = format!("ch{:02}_{}_{}", i, from.name(), to.name());
+        let c = sys
+            .add_channel_with_tokens(name, id(from), id(to), latency, tokens)
+            .expect("static topology is valid");
+        encoder_channels.push(c);
+    }
+
+    let tb_in = sys
+        .add_channel("tb_in", tb_src, id(InputCtrl), frame_lat)
+        .expect("valid");
+    let tb_out = sys
+        .add_channel("tb_out", id(VlcMb), tb_snk, lat(bitstream_chunk))
+        .expect("valid");
+
+    Mpeg2Topology {
+        system: sys,
+        tb_src,
+        tb_snk,
+        stages,
+        encoder_channels,
+        testbench_channels: [tb_in, tb_out],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_counts_match_the_paper() {
+        let topo = build_topology();
+        assert_eq!(Stage::ALL.len(), 26);
+        assert_eq!(topo.encoder_channels.len(), 60, "Table 1: 60 channels");
+        assert_eq!(topo.system.process_count(), 28, "26 + testbench");
+    }
+
+    #[test]
+    fn channel_latencies_span_the_paper_range() {
+        let topo = build_topology();
+        let lats: Vec<u64> = topo
+            .encoder_channels
+            .iter()
+            .map(|&c| topo.system.channel(c).latency())
+            .collect();
+        assert_eq!(*lats.iter().min().expect("non-empty"), 1);
+        assert_eq!(*lats.iter().max().expect("non-empty"), 5_280);
+    }
+
+    #[test]
+    fn feedback_loops_are_initialized() {
+        let topo = build_topology();
+        let initialized = topo
+            .encoder_channels
+            .iter()
+            .filter(|&&c| topo.system.channel(c).initial_tokens() > 0)
+            .count();
+        assert_eq!(initialized, 6, "six feedback channels");
+    }
+
+    #[test]
+    fn reconvergent_paths_exist() {
+        let topo = build_topology();
+        // Residual joins mb_split directly and through mc_predict.
+        let residual = topo.stage(Stage::Residual);
+        assert!(topo.system.get_order(residual).len() >= 2);
+        // Recon joins mc_predict and idct.
+        let recon = topo.stage(Stage::Recon);
+        assert!(topo.system.get_order(recon).len() >= 2);
+    }
+
+    #[test]
+    fn topology_is_live_under_some_ordering() {
+        let topo = build_topology();
+        let solution = chanorder::order_channels(&topo.system);
+        let verdict =
+            chanorder::cycle_time_of(&topo.system, &solution.ordering).expect("valid");
+        assert!(!verdict.is_deadlock(), "encoder must be orderable");
+    }
+
+    #[test]
+    fn ordering_space_is_astronomical() {
+        // Section 6: "there are simply too many possible ordering
+        // combinations to consider" — the space dwarfs the motivating
+        // example's 36.
+        let topo = build_topology();
+        assert!(topo.system.ordering_space() > 1u128 << 60);
+    }
+}

@@ -1,0 +1,185 @@
+//! Run-length + variable-length coding of quantized coefficient blocks.
+//!
+//! A zig-zag-scanned block becomes a sequence of `(run, level)` pairs —
+//! `run` zero coefficients followed by a non-zero `level` — terminated by
+//! an end-of-block marker, each entropy-coded with Exp-Golomb codes. This
+//! is a simplified stand-in for MPEG-2's Huffman tables with identical
+//! structure (and a strict decode inverse, which the real tables also
+//! guarantee).
+
+use crate::bitstream::{BitReader, BitWriter, ReadBitsError};
+use crate::frame::{Block, BLOCK};
+use crate::zigzag::{zigzag_scan, zigzag_unscan};
+
+/// A run-length pair: `run` zeros followed by `level`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RunLevel {
+    /// Number of zero coefficients preceding the level.
+    pub run: u8,
+    /// The non-zero coefficient value.
+    pub level: i16,
+}
+
+/// Converts a (raster-order) quantized block to run-level pairs in
+/// zig-zag order.
+///
+/// # Examples
+///
+/// ```
+/// use mpeg2sys::run_length_encode;
+/// let mut block = [0i16; 64];
+/// block[0] = 7;  // DC
+/// block[2] = -1; // third zig-zag position is raster index 8... place in raster terms:
+/// let pairs = run_length_encode(&block);
+/// assert_eq!(pairs[0].run, 0);
+/// assert_eq!(pairs[0].level, 7);
+/// ```
+#[must_use]
+pub fn run_length_encode(block: &Block) -> Vec<RunLevel> {
+    let scanned = zigzag_scan(block);
+    let mut out = Vec::new();
+    let mut run = 0u8;
+    for &v in &scanned {
+        if v == 0 {
+            run += 1;
+        } else {
+            out.push(RunLevel { run, level: v });
+            run = 0;
+        }
+    }
+    out
+}
+
+/// Reconstructs a raster-order block from run-level pairs.
+///
+/// # Panics
+///
+/// Panics if the pairs overflow the 64-coefficient block.
+#[must_use]
+pub fn run_length_decode(pairs: &[RunLevel]) -> Block {
+    let mut scanned = [0i16; BLOCK * BLOCK];
+    let mut pos = 0usize;
+    for p in pairs {
+        pos += usize::from(p.run);
+        assert!(pos < BLOCK * BLOCK, "run-level data overflows the block");
+        scanned[pos] = p.level;
+        pos += 1;
+    }
+    zigzag_unscan(&scanned)
+}
+
+/// Entropy-codes one quantized block into the writer.
+pub fn encode_block(writer: &mut BitWriter, block: &Block) {
+    for p in run_length_encode(block) {
+        writer.put_ue(u32::from(p.run) + 1); // 0 is reserved for EOB
+        writer.put_se(i32::from(p.level));
+    }
+    writer.put_ue(0); // end of block
+}
+
+/// Decodes one block from the reader.
+///
+/// # Errors
+///
+/// [`ReadBitsError`] on a truncated or corrupt stream.
+pub fn decode_block(reader: &mut BitReader<'_>) -> Result<Block, ReadBitsError> {
+    let mut pairs = Vec::new();
+    loop {
+        let marker = reader.get_ue()?;
+        if marker == 0 {
+            break;
+        }
+        let run = u8::try_from(marker - 1).map_err(|_| ReadBitsError)?;
+        let level = reader.get_se()?;
+        let level = i16::try_from(level).map_err(|_| ReadBitsError)?;
+        if level == 0 {
+            return Err(ReadBitsError); // levels are non-zero by construction
+        }
+        pairs.push(RunLevel { run, level });
+    }
+    // Validate total length before reconstructing.
+    let total: usize = pairs.iter().map(|p| usize::from(p.run) + 1).sum();
+    if total > BLOCK * BLOCK {
+        return Err(ReadBitsError);
+    }
+    Ok(run_length_decode(&pairs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sparse_block() -> Block {
+        let mut b = [0i16; 64];
+        b[0] = 12;
+        b[1] = -3;
+        b[8] = 5;
+        b[35] = -1;
+        b[63] = 2;
+        b
+    }
+
+    #[test]
+    fn run_length_roundtrip() {
+        let b = sparse_block();
+        assert_eq!(run_length_decode(&run_length_encode(&b)), b);
+    }
+
+    #[test]
+    fn all_zero_block_encodes_to_eob_only() {
+        let zero = [0i16; 64];
+        assert!(run_length_encode(&zero).is_empty());
+        let mut w = BitWriter::new();
+        encode_block(&mut w, &zero);
+        assert_eq!(w.bit_len(), 1, "a zero block costs one EOB bit");
+    }
+
+    #[test]
+    fn bitstream_roundtrip_over_many_blocks() {
+        let blocks: Vec<Block> = (0..20)
+            .map(|k| {
+                let mut b = [0i16; 64];
+                for i in 0..64 {
+                    if (i * 7 + k) % 9 == 0 {
+                        b[i] = ((i as i16) - 30) / 3;
+                    }
+                }
+                b
+            })
+            .collect();
+        let mut w = BitWriter::new();
+        for b in &blocks {
+            encode_block(&mut w, b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for b in &blocks {
+            assert_eq!(decode_block(&mut r).expect("well-formed"), *b);
+        }
+    }
+
+    #[test]
+    fn sparser_blocks_cost_fewer_bits() {
+        let mut dense = [3i16; 64];
+        dense[0] = 50;
+        let sparse = sparse_block();
+        let bits = |b: &Block| {
+            let mut w = BitWriter::new();
+            encode_block(&mut w, b);
+            w.bit_len()
+        };
+        assert!(bits(&sparse) < bits(&dense));
+    }
+
+    #[test]
+    fn corrupt_stream_is_rejected() {
+        // A run of 200 overflows the block.
+        let mut w = BitWriter::new();
+        w.put_ue(201);
+        w.put_se(5);
+        w.put_ue(0);
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        assert!(decode_block(&mut r).is_err());
+    }
+}

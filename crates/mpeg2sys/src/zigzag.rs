@@ -1,0 +1,105 @@
+//! Zig-zag coefficient scan.
+//!
+//! Orders the 64 coefficients of a block from low to high frequency so
+//! the run-length coder sees long tails of zeros.
+
+use crate::frame::{Block, BLOCK};
+
+/// The classic zig-zag scan order: `ZIGZAG[i]` is the block index read at
+/// scan position `i`.
+pub const ZIGZAG: [usize; BLOCK * BLOCK] = {
+    let mut order = [0usize; BLOCK * BLOCK];
+    let mut i = 0usize;
+    let mut d = 0usize; // anti-diagonal index 0..15
+    while d < 2 * BLOCK - 1 {
+        // Walk each anti-diagonal, alternating direction.
+        let upwards = d % 2 == 1;
+        let mut k = 0usize;
+        while k <= d {
+            let (x, y) = if upwards { (d - k, k) } else { (k, d - k) };
+            if x < BLOCK && y < BLOCK {
+                order[i] = y * BLOCK + x;
+                i += 1;
+            }
+            k += 1;
+        }
+        d += 1;
+    }
+    order
+};
+
+/// Scans a block into zig-zag order.
+///
+/// # Examples
+///
+/// ```
+/// use mpeg2sys::{zigzag_scan, zigzag_unscan};
+/// let mut block = [0i16; 64];
+/// block[0] = 5;     // DC
+/// block[1] = 3;     // first horizontal AC
+/// block[8] = -2;    // first vertical AC
+/// let scanned = zigzag_scan(&block);
+/// assert_eq!(&scanned[..3], &[5, 3, -2]);
+/// assert_eq!(zigzag_unscan(&scanned), block);
+/// ```
+#[must_use]
+pub fn zigzag_scan(block: &Block) -> Block {
+    let mut out = [0i16; BLOCK * BLOCK];
+    for (i, o) in out.iter_mut().enumerate() {
+        *o = block[ZIGZAG[i]];
+    }
+    out
+}
+
+/// Restores a zig-zag-scanned block to raster order.
+#[must_use]
+pub fn zigzag_unscan(scanned: &Block) -> Block {
+    let mut out = [0i16; BLOCK * BLOCK];
+    for (i, &v) in scanned.iter().enumerate() {
+        out[ZIGZAG[i]] = v;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scan_is_a_permutation() {
+        let mut seen = [false; 64];
+        for &idx in &ZIGZAG {
+            assert!(!seen[idx], "index {idx} repeated");
+            seen[idx] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn first_entries_match_the_classic_order() {
+        // 0, 1, 8, 16, 9, 2, 3, 10 ... (raster indices).
+        assert_eq!(&ZIGZAG[..8], &[0, 1, 8, 16, 9, 2, 3, 10]);
+        assert_eq!(ZIGZAG[63], 63);
+    }
+
+    #[test]
+    fn roundtrip_identity() {
+        let mut b = [0i16; 64];
+        for (i, v) in b.iter_mut().enumerate() {
+            *v = (i as i16) * 3 - 50;
+        }
+        assert_eq!(zigzag_unscan(&zigzag_scan(&b)), b);
+    }
+
+    #[test]
+    fn low_frequency_energy_moves_to_the_front() {
+        let mut b = [0i16; 64];
+        b[0] = 10;
+        b[1] = 9;
+        b[8] = 8;
+        b[9] = 7;
+        let s = zigzag_scan(&b);
+        assert!(s[..5].iter().filter(|&&v| v != 0).count() == 4);
+        assert!(s[5..].iter().all(|&v| v == 0));
+    }
+}

@@ -1,0 +1,93 @@
+//! Property tests for the functional kernels: transform/quantizer/entropy
+//! round trips on arbitrary data.
+
+use mpeg2sys::{
+    dequantize, forward_dct, inverse_dct, quantize, run_length_decode, run_length_encode,
+    zigzag_scan, zigzag_unscan, BitReader, BitWriter, Block,
+};
+use proptest::prelude::*;
+
+fn arb_pixel_block() -> impl Strategy<Value = Block> {
+    proptest::collection::vec(-255i16..=255, 64).prop_map(|v| {
+        let mut b = [0i16; 64];
+        b.copy_from_slice(&v);
+        b
+    })
+}
+
+fn arb_sparse_block() -> impl Strategy<Value = Block> {
+    proptest::collection::vec((0usize..64, -600i16..=600), 0..12).prop_map(|entries| {
+        let mut b = [0i16; 64];
+        for (i, v) in entries {
+            b[i] = v;
+        }
+        b
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The integer-rounded DCT inverts to within ±1 per sample.
+    #[test]
+    fn dct_roundtrip_is_tight(block in arb_pixel_block()) {
+        let back = inverse_dct(&forward_dct(&block));
+        for (a, b) in block.iter().zip(&back) {
+            prop_assert!((a - b).abs() <= 1, "{a} vs {b}");
+        }
+    }
+
+    /// Quantization reconstruction error is bounded by one step.
+    #[test]
+    fn quant_roundtrip_bounded(block in arb_pixel_block(), qscale in 1u16..=31) {
+        let back = dequantize(&quantize(&block, qscale), qscale);
+        for (i, (a, b)) in block.iter().zip(&back).enumerate() {
+            let step = (i32::from(mpeg2sys::INTRA_MATRIX[i]) * i32::from(qscale) / 16).max(1);
+            prop_assert!(
+                (i32::from(*a) - i32::from(*b)).abs() <= step + 1,
+                "coeff {i}: {a} vs {b} (step {step})"
+            );
+        }
+    }
+
+    /// Zig-zag is a bijection.
+    #[test]
+    fn zigzag_roundtrip(block in arb_pixel_block()) {
+        prop_assert_eq!(zigzag_unscan(&zigzag_scan(&block)), block);
+    }
+
+    /// Run-length coding is lossless on any block.
+    #[test]
+    fn rle_roundtrip(block in arb_sparse_block()) {
+        prop_assert_eq!(run_length_decode(&run_length_encode(&block)), block);
+    }
+
+    /// Entropy coding decodes to the exact block, and concatenated blocks
+    /// stay in sync.
+    #[test]
+    fn vlc_roundtrip(blocks in proptest::collection::vec(arb_sparse_block(), 1..6)) {
+        let mut w = BitWriter::new();
+        for b in &blocks {
+            mpeg2sys::encode_block(&mut w, b);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for b in &blocks {
+            prop_assert_eq!(mpeg2sys::decode_block(&mut r).expect("well-formed"), *b);
+        }
+    }
+
+    /// Exp-Golomb round trips arbitrary signed values.
+    #[test]
+    fn exp_golomb_roundtrip(values in proptest::collection::vec(-5000i32..5000, 0..40)) {
+        let mut w = BitWriter::new();
+        for &v in &values {
+            w.put_se(v);
+        }
+        let bytes = w.into_bytes();
+        let mut r = BitReader::new(&bytes);
+        for &v in &values {
+            prop_assert_eq!(r.get_se(), Ok(v));
+        }
+    }
+}

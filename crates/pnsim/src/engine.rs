@@ -1,0 +1,621 @@
+//! The discrete-event engine: blocking rendezvous semantics, cycle counts.
+//!
+//! Executes a [`SystemGraph`] with one [`Kernel`] per process under the
+//! same semantics the paper's interface libraries implement in hardware: a
+//! transfer on a channel starts only when the producer has reached the
+//! corresponding `put` *and* the consumer has reached the corresponding
+//! `get`; it occupies the channel's latency in cycles; both sides resume
+//! when it completes. Channels pre-loaded with initial items serve their
+//! first `get`s without a producer (latency still applies).
+//!
+//! The engine is deterministic: ties are broken by process index.
+
+use crate::kernel::{Kernel, KernelOutput};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use sysgraph::{ProcessId, SystemGraph};
+
+/// Simulation controls.
+#[derive(Debug, Clone, Copy)]
+pub struct SimConfig {
+    /// Hard wall-clock stop, in cycles.
+    pub max_cycles: u64,
+    /// Stop once every sink process (or every process, if there are no
+    /// sinks) has completed this many iterations.
+    pub max_iterations: Option<u64>,
+    /// Record the items consumed by sink processes.
+    pub record_sink_inputs: bool,
+    /// Record every channel transfer interval (for waveform export; see
+    /// [`transfers_to_vcd`](crate::transfers_to_vcd)).
+    pub record_transfers: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            max_cycles: u64::MAX / 4,
+            max_iterations: Some(1_000),
+            record_sink_inputs: true,
+            record_transfers: false,
+        }
+    }
+}
+
+/// One completed channel transfer: the channel was busy in
+/// `[start, done)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransferRecord {
+    /// The channel that carried the item.
+    pub channel: sysgraph::ChannelId,
+    /// Cycle at which the transfer began.
+    pub start: u64,
+    /// Cycle at which both sides resumed.
+    pub done: u64,
+}
+
+/// Result of a simulation run.
+#[derive(Debug, Clone)]
+pub struct SimOutcome<T> {
+    /// Time of the last processed event.
+    pub time: u64,
+    /// True if execution stalled with every process blocked mid-iteration
+    /// (the system-level deadlock of Section 2 of the paper).
+    pub deadlocked: bool,
+    /// True if the run hit `max_cycles` before its stop condition.
+    pub timed_out: bool,
+    /// Completed iterations per process.
+    pub iterations: Vec<u64>,
+    /// Items consumed by each sink process (when recording is enabled).
+    pub sink_inputs: Vec<(ProcessId, Vec<T>)>,
+    /// Iteration completion times per sink process.
+    pub sink_iteration_times: Vec<(ProcessId, Vec<u64>)>,
+    /// Channel transfer intervals (when `record_transfers` is set).
+    pub transfers: Vec<TransferRecord>,
+}
+
+impl<T> SimOutcome<T> {
+    /// Steady-state cycle time estimated from the first sink's iteration
+    /// completion times, discarding the first half as transient.
+    #[must_use]
+    pub fn estimated_cycle_time(&self) -> Option<f64> {
+        let times = &self.sink_iteration_times.first()?.1;
+        if self.deadlocked || times.len() < 4 {
+            return None;
+        }
+        let last = times.len() - 1;
+        let mid = last / 2;
+        Some((times[last] - times[mid]) as f64 / (last - mid) as f64)
+    }
+}
+
+/// Program counter of a process within its three-phase iteration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    Get(usize),
+    Compute,
+    Put(usize),
+    Done,
+}
+
+#[derive(Debug)]
+struct ChannelState<T> {
+    pending_put: Option<(u64, T)>,
+    pending_get: Option<u64>,
+    /// FIFO contents (availability time, item); pre-loaded items are
+    /// available at time 0. Only used when `capacity > 0`.
+    items: VecDeque<(u64, T)>,
+    /// Times at which FIFO slots become free. The FIFO starts full.
+    free_slots: VecDeque<u64>,
+    /// FIFO depth = the channel's initial token count; 0 means a pure
+    /// rendezvous channel.
+    capacity: u64,
+}
+
+/// Runs `system` with the given kernels (indexed by process) and returns
+/// the outcome together with the kernels (so callers can recover state
+/// captured inside them).
+///
+/// # Panics
+///
+/// Panics if `kernels.len() != system.process_count()`, or if a kernel
+/// returns a wrong number of outputs (sources may return an empty vector
+/// to signal end of data).
+///
+/// # Examples
+///
+/// ```
+/// use pnsim::{run, FixedLatency, SimConfig};
+/// use sysgraph::SystemGraph;
+///
+/// let mut sys = SystemGraph::new();
+/// let src = sys.add_process("src", 1);
+/// let snk = sys.add_process("snk", 2);
+/// sys.add_channel("x", src, snk, 3)?;
+/// let kernels: Vec<Box<dyn pnsim::Kernel<u32>>> = vec![
+///     Box::new(FixedLatency::new(1, 1, 42)),
+///     Box::new(FixedLatency::new(2, 0, 0)),
+/// ];
+/// let (outcome, _kernels) = run(&sys, kernels, SimConfig {
+///     max_iterations: Some(50),
+///     ..SimConfig::default()
+/// });
+/// assert!(!outcome.deadlocked);
+/// // Each item needs get(3) + compute(2) on the sink loop, but the
+/// // source loop needs 1 + 3 = 4; the slower loop (5) paces the system.
+/// let ct = outcome.estimated_cycle_time().expect("live");
+/// assert!((ct - 5.0).abs() < 1e-9);
+/// # Ok::<(), sysgraph::SysGraphError>(())
+/// ```
+#[allow(clippy::too_many_lines)]
+pub fn run<T: Clone + Default>(
+    system: &SystemGraph,
+    mut kernels: Vec<Box<dyn Kernel<T>>>,
+    config: SimConfig,
+) -> (SimOutcome<T>, Vec<Box<dyn Kernel<T>>>) {
+    assert_eq!(
+        kernels.len(),
+        system.process_count(),
+        "one kernel per process"
+    );
+    let n = system.process_count();
+    let mut pc: Vec<Pc> = system
+        .process_ids()
+        .map(|p| {
+            if system.get_order(p).is_empty() {
+                Pc::Compute
+            } else {
+                Pc::Get(0)
+            }
+        })
+        .collect();
+    let mut inputs_gathered: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    let mut pending_outputs: Vec<Vec<T>> = (0..n).map(|_| Vec::new()).collect();
+    let mut iterations = vec![0u64; n];
+    // Channels pre-loaded with initial tokens behave as k-deep FIFOs that
+    // start full of reset values (`T::default()`), like the feedback
+    // registers of a real design; uninitialized channels are pure
+    // rendezvous.
+    let mut channels: Vec<ChannelState<T>> = system
+        .channel_ids()
+        .map(|c| {
+            let k = system.channel(c).initial_tokens();
+            ChannelState {
+                pending_put: None,
+                pending_get: None,
+                items: (0..k).map(|_| (0u64, T::default())).collect(),
+                free_slots: VecDeque::new(),
+                capacity: k,
+            }
+        })
+        .collect();
+    let sinks: Vec<usize> = system.sinks().map(|p| p.index()).collect();
+    let is_sink = {
+        let mut v = vec![false; n];
+        for &s in &sinks {
+            v[s] = true;
+        }
+        v
+    };
+    let mut sink_inputs: Vec<(ProcessId, Vec<T>)> = sinks
+        .iter()
+        .map(|&s| (ProcessId::from_index(s), Vec::new()))
+        .collect();
+    let mut sink_iteration_times: Vec<(ProcessId, Vec<u64>)> = sinks
+        .iter()
+        .map(|&s| (ProcessId::from_index(s), Vec::new()))
+        .collect();
+
+    let mut events: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|p| Reverse((0, p))).collect();
+    let mut now = 0u64;
+    let mut timed_out = false;
+    let mut transfers: Vec<TransferRecord> = Vec::new();
+
+    // Stop group: sinks, or all processes when there are no sinks.
+    let stop_group: Vec<usize> = if sinks.is_empty() {
+        (0..n).collect()
+    } else {
+        sinks.clone()
+    };
+    let stop_reached = |iterations: &[u64], pc: &[Pc]| -> bool {
+        config.max_iterations.is_some_and(|target| {
+            stop_group
+                .iter()
+                .all(|&p| iterations[p] >= target || pc[p] == Pc::Done)
+        })
+    };
+
+    'engine: while let Some(Reverse((t, p))) = events.pop() {
+        if t > config.max_cycles {
+            timed_out = true;
+            break;
+        }
+        now = now.max(t);
+        // Advance process `p` as far as it can go at time `t`.
+        let mut time = t;
+        loop {
+            match pc[p] {
+                Pc::Done => break,
+                Pc::Get(i) => {
+                    let order = system.get_order(ProcessId::from_index(p));
+                    if i == order.len() {
+                        pc[p] = Pc::Compute;
+                        continue;
+                    }
+                    let c = order[i];
+                    let lat = system.channel(c).latency();
+                    let ch = &mut channels[c.index()];
+                    if let Some((ta, item)) = ch.items.pop_front() {
+                        // FIFO channel with an item ready.
+                        let done = time.max(ta) + lat;
+                        if config.record_transfers {
+                            transfers.push(TransferRecord {
+                                channel: c,
+                                start: done - lat,
+                                done,
+                            });
+                        }
+                        inputs_gathered[p].push(item);
+                        pc[p] = Pc::Get(i + 1);
+                        events.push(Reverse((done, p)));
+                        // The slot frees when the transfer completes; a
+                        // parked producer fills it immediately.
+                        if let Some((tp, pitem)) = ch.pending_put.take() {
+                            let avail = done.max(tp);
+                            ch.items.push_back((avail, pitem));
+                            let q = system.channel(c).from().index();
+                            let Pc::Put(j) = pc[q] else {
+                                unreachable!("producer must be parked on a put")
+                            };
+                            pc[q] = Pc::Put(j + 1);
+                            events.push(Reverse((avail, q)));
+                        } else {
+                            ch.free_slots.push_back(done);
+                        }
+                        break;
+                    } else if let Some((tp, item)) = ch.pending_put.take() {
+                        // Pure rendezvous (or a drained FIFO): meet the
+                        // producer directly.
+                        let done = time.max(tp) + lat;
+                        if config.record_transfers {
+                            transfers.push(TransferRecord {
+                                channel: c,
+                                start: done - lat,
+                                done,
+                            });
+                        }
+                        inputs_gathered[p].push(item);
+                        pc[p] = Pc::Get(i + 1);
+                        events.push(Reverse((done, p)));
+                        let q = system.channel(c).from().index();
+                        let Pc::Put(j) = pc[q] else {
+                            unreachable!("producer must be parked on a put")
+                        };
+                        pc[q] = Pc::Put(j + 1);
+                        events.push(Reverse((done, q)));
+                        break;
+                    }
+                    ch.pending_get = Some(time);
+                    break; // parked
+                }
+                Pc::Compute => {
+                    let inputs = std::mem::take(&mut inputs_gathered[p]);
+                    if config.record_sink_inputs && is_sink[p] {
+                        if let Some(rec) = sink_inputs
+                            .iter_mut()
+                            .find(|(pid, _)| pid.index() == p)
+                        {
+                            rec.1.extend(inputs.iter().cloned());
+                        }
+                    }
+                    let KernelOutput { outputs, latency } = kernels[p].execute(&inputs);
+                    let put_count = system.put_order(ProcessId::from_index(p)).len();
+                    if outputs.len() != put_count {
+                        assert!(
+                            outputs.is_empty(),
+                            "kernel returned {} outputs for {} channels",
+                            outputs.len(),
+                            put_count
+                        );
+                        // Source exhausted: the process retires.
+                        pc[p] = Pc::Done;
+                        break;
+                    }
+                    pending_outputs[p] = outputs;
+                    pc[p] = Pc::Put(0);
+                    events.push(Reverse((time + latency, p)));
+                    break;
+                }
+                Pc::Put(i) => {
+                    let order = system.put_order(ProcessId::from_index(p));
+                    if i == order.len() {
+                        // Iteration wrap.
+                        iterations[p] += 1;
+                        if is_sink[p] {
+                            if let Some(rec) = sink_iteration_times
+                                .iter_mut()
+                                .find(|(pid, _)| pid.index() == p)
+                            {
+                                rec.1.push(time);
+                            }
+                        }
+                        if stop_reached(&iterations, &pc) {
+                            break 'engine;
+                        }
+                        pc[p] = if system.get_order(ProcessId::from_index(p)).is_empty() {
+                            Pc::Compute
+                        } else {
+                            Pc::Get(0)
+                        };
+                        continue;
+                    }
+                    let c = order[i];
+                    let lat = system.channel(c).latency();
+                    let item = pending_outputs[p][i].clone();
+                    let ch = &mut channels[c.index()];
+                    if ch.capacity > 0 {
+                        // FIFO channel: the put completes as soon as a
+                        // slot is free; the transfer latency is paid on
+                        // the consumer side.
+                        if let Some(ts) = ch.free_slots.pop_front() {
+                            let avail = time.max(ts);
+                            pc[p] = Pc::Put(i + 1);
+                            events.push(Reverse((avail, p)));
+                            if let Some(tg) = ch.pending_get.take() {
+                                // Serve the parked consumer from the FIFO.
+                                let done = avail.max(tg) + lat;
+                                if config.record_transfers {
+                                    transfers.push(TransferRecord {
+                                        channel: c,
+                                        start: done - lat,
+                                        done,
+                                    });
+                                }
+                                let q = system.channel(c).to().index();
+                                let Pc::Get(j) = pc[q] else {
+                                    unreachable!("consumer must be parked on a get")
+                                };
+                                inputs_gathered[q].push(item);
+                                pc[q] = Pc::Get(j + 1);
+                                events.push(Reverse((done, q)));
+                                ch.free_slots.push_back(done);
+                            } else {
+                                ch.items.push_back((avail, item));
+                            }
+                            break;
+                        }
+                        ch.pending_put = Some((time, item));
+                        break; // parked: the FIFO is full
+                    }
+                    if let Some(tg) = ch.pending_get.take() {
+                        let done = time.max(tg) + lat;
+                        if config.record_transfers {
+                            transfers.push(TransferRecord {
+                                channel: c,
+                                start: done - lat,
+                                done,
+                            });
+                        }
+                        pc[p] = Pc::Put(i + 1);
+                        events.push(Reverse((done, p)));
+                        // Deliver to the parked consumer.
+                        let q = system.channel(c).to().index();
+                        let Pc::Get(j) = pc[q] else {
+                            unreachable!("consumer must be parked on a get")
+                        };
+                        inputs_gathered[q].push(item);
+                        pc[q] = Pc::Get(j + 1);
+                        events.push(Reverse((done, q)));
+                        break;
+                    }
+                    ch.pending_put = Some((time, item));
+                    break; // parked
+                }
+            }
+        }
+        let _ = &mut time;
+    }
+
+    let any_done = pc.iter().any(|&s| s == Pc::Done);
+    let stop = stop_reached(&iterations, &pc);
+    let deadlocked = !stop && !timed_out && !any_done && events.is_empty();
+
+    transfers.sort_by_key(|t| (t.start, t.channel));
+    (
+        SimOutcome {
+            time: now,
+            deadlocked,
+            timed_out,
+            iterations,
+            sink_inputs,
+            sink_iteration_times,
+            transfers,
+        },
+        kernels,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{FixedLatency, FnKernel, SequenceSource};
+
+    fn pipeline() -> SystemGraph {
+        let mut sys = SystemGraph::new();
+        let src = sys.add_process("src", 1);
+        let mid = sys.add_process("mid", 4);
+        let snk = sys.add_process("snk", 1);
+        sys.add_channel("a", src, mid, 1).expect("valid");
+        sys.add_channel("b", mid, snk, 1).expect("valid");
+        sys
+    }
+
+    #[test]
+    fn pipeline_throughput_matches_bottleneck() {
+        let sys = pipeline();
+        let kernels: Vec<Box<dyn Kernel<u64>>> = vec![
+            Box::new(FixedLatency::new(1, 1, 0)),
+            Box::new(FixedLatency::new(4, 1, 0)),
+            Box::new(FixedLatency::new(1, 0, 0)),
+        ];
+        let (out, _) = run(
+            &sys,
+            kernels,
+            SimConfig {
+                max_iterations: Some(200),
+                ..SimConfig::default()
+            },
+        );
+        assert!(!out.deadlocked);
+        // mid's loop: get(1) + compute(4) + put(1) = 6 cycles per item.
+        let ct = out.estimated_cycle_time().expect("live");
+        assert!((ct - 6.0).abs() < 1e-9, "got {ct}");
+    }
+
+    #[test]
+    fn data_flows_in_order() {
+        let sys = pipeline();
+        let kernels: Vec<Box<dyn Kernel<u64>>> = vec![
+            Box::new(SequenceSource::new(1..=5u64, 1, 1)),
+            Box::new(FnKernel::new(|ins: &[u64]| KernelOutput {
+                outputs: vec![ins[0] * 10],
+                latency: 2,
+            })),
+            Box::new(FixedLatency::new(1, 0, 0)),
+        ];
+        let (out, _) = run(
+            &sys,
+            kernels,
+            SimConfig {
+                max_iterations: Some(100),
+                ..SimConfig::default()
+            },
+        );
+        assert_eq!(out.sink_inputs.len(), 1);
+        assert_eq!(out.sink_inputs[0].1, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn motivating_deadlock_order_stalls_execution() {
+        let ex = sysgraph::MotivatingExample::new();
+        let kernels: Vec<Box<dyn Kernel<u8>>> = ex
+            .system
+            .process_ids()
+            .map(|p| {
+                Box::new(FixedLatency::new(
+                    ex.system.process(p).latency(),
+                    ex.system.put_order(p).len(),
+                    0u8,
+                )) as Box<dyn Kernel<u8>>
+            })
+            .collect();
+        let (out, _) = run(
+            &ex.system,
+            kernels,
+            SimConfig {
+                max_iterations: Some(10),
+                ..SimConfig::default()
+            },
+        );
+        assert!(out.deadlocked, "the Section 2 ordering must deadlock");
+    }
+
+    #[test]
+    fn optimal_order_runs_at_cycle_time_12() {
+        let mut ex = sysgraph::MotivatingExample::new();
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid ordering");
+        let kernels: Vec<Box<dyn Kernel<u8>>> = ex
+            .system
+            .process_ids()
+            .map(|p| {
+                Box::new(FixedLatency::new(
+                    ex.system.process(p).latency(),
+                    ex.system.put_order(p).len(),
+                    0u8,
+                )) as Box<dyn Kernel<u8>>
+            })
+            .collect();
+        let (out, _) = run(
+            &ex.system,
+            kernels,
+            SimConfig {
+                max_iterations: Some(400),
+                ..SimConfig::default()
+            },
+        );
+        assert!(!out.deadlocked);
+        let ct = out.estimated_cycle_time().expect("live");
+        assert!((ct - 12.0).abs() < 1e-9, "simulated {ct}, model says 12");
+    }
+
+    #[test]
+    fn suboptimal_order_runs_at_cycle_time_20() {
+        let mut ex = sysgraph::MotivatingExample::new();
+        ex.suboptimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid ordering");
+        let kernels: Vec<Box<dyn Kernel<u8>>> = ex
+            .system
+            .process_ids()
+            .map(|p| {
+                Box::new(FixedLatency::new(
+                    ex.system.process(p).latency(),
+                    ex.system.put_order(p).len(),
+                    0u8,
+                )) as Box<dyn Kernel<u8>>
+            })
+            .collect();
+        let (out, _) = run(
+            &ex.system,
+            kernels,
+            SimConfig {
+                max_iterations: Some(400),
+                ..SimConfig::default()
+            },
+        );
+        let ct = out.estimated_cycle_time().expect("live");
+        assert!((ct - 20.0).abs() < 1e-9, "simulated {ct}, model says 20");
+    }
+
+    #[test]
+    fn finite_source_finishes_without_deadlock_flag() {
+        let sys = pipeline();
+        let kernels: Vec<Box<dyn Kernel<u64>>> = vec![
+            Box::new(SequenceSource::new(0..3u64, 1, 1)),
+            Box::new(FixedLatency::new(1, 1, 0)),
+            Box::new(FixedLatency::new(1, 0, 0)),
+        ];
+        let (out, _) = run(
+            &sys,
+            kernels,
+            SimConfig {
+                max_iterations: Some(1_000),
+                ..SimConfig::default()
+            },
+        );
+        assert!(!out.deadlocked);
+        assert_eq!(out.iterations[2], 3, "sink consumed all three items");
+    }
+
+    #[test]
+    fn max_cycles_times_out_runaway_systems() {
+        let sys = pipeline();
+        let kernels: Vec<Box<dyn Kernel<u64>>> = vec![
+            Box::new(FixedLatency::new(1, 1, 0)),
+            Box::new(FixedLatency::new(1, 1, 0)),
+            Box::new(FixedLatency::new(1, 0, 0)),
+        ];
+        let (out, _) = run(
+            &sys,
+            kernels,
+            SimConfig {
+                max_cycles: 50,
+                max_iterations: None,
+                record_sink_inputs: false,
+                record_transfers: false,
+            },
+        );
+        assert!(out.timed_out);
+    }
+}

@@ -1,0 +1,186 @@
+//! The per-process FSM view — Fig. 2(b) of the paper.
+//!
+//! A commercial HLS tool compiles the three-phase SystemC process into a
+//! cyclic finite state machine: one state per `get`/`put` statement (each
+//! with a self-loop to stall while the channel partner is not ready), a
+//! chain of computation states whose length is the micro-architecture
+//! latency, and a reset state. This module derives that FSM from a
+//! [`SystemGraph`] process so the structure can be inspected, printed, and
+//! reproduced for the paper's Fig. 2(b).
+
+use std::fmt;
+use sysgraph::{ChannelId, ProcessId, SystemGraph};
+
+/// One state of a process FSM.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FsmState {
+    /// The reset state entered on `rst`.
+    Reset,
+    /// An input state: blocking `get` on the channel, stalling in place
+    /// (self-loop) until the producer side is ready.
+    Input(ChannelId),
+    /// One step of the computation chain (`index` in `0..latency`).
+    Compute {
+        /// Position within the computation chain.
+        index: u64,
+        /// Total chain length (the micro-architecture latency).
+        of: u64,
+    },
+    /// An output state: blocking `put` on the channel, stalling in place
+    /// until the consumer side is ready.
+    Output(ChannelId),
+}
+
+impl FsmState {
+    /// True if the state has a stall self-loop (I/O states only).
+    #[must_use]
+    pub fn has_self_loop(&self) -> bool {
+        matches!(self, FsmState::Input(_) | FsmState::Output(_))
+    }
+}
+
+/// The cyclic FSM of one process.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProcessFsm {
+    process: ProcessId,
+    name: String,
+    states: Vec<FsmState>,
+}
+
+impl ProcessFsm {
+    /// States in execution order; after the last state the machine loops
+    /// back to the first non-reset state.
+    #[must_use]
+    pub fn states(&self) -> &[FsmState] {
+        &self.states
+    }
+
+    /// The process this FSM implements.
+    #[must_use]
+    pub fn process(&self) -> ProcessId {
+        self.process
+    }
+
+    /// Number of I/O states (each with a stall self-loop).
+    #[must_use]
+    pub fn io_state_count(&self) -> usize {
+        self.states.iter().filter(|s| s.has_self_loop()).count()
+    }
+
+    /// Length of the computation chain.
+    #[must_use]
+    pub fn compute_state_count(&self) -> usize {
+        self.states
+            .iter()
+            .filter(|s| matches!(s, FsmState::Compute { .. }))
+            .count()
+    }
+}
+
+impl fmt::Display for ProcessFsm {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "FSM of {} ({} states):", self.name, self.states.len())?;
+        for (i, s) in self.states.iter().enumerate() {
+            match s {
+                FsmState::Reset => writeln!(f, "  s{i}: reset")?,
+                FsmState::Input(c) => writeln!(f, "  s{i}: get {c} [stall self-loop]")?,
+                FsmState::Compute { index, of } => {
+                    writeln!(f, "  s{i}: compute step {}/{of}", index + 1)?
+                }
+                FsmState::Output(c) => writeln!(f, "  s{i}: put {c} [stall self-loop]")?,
+            }
+        }
+        write!(f, "  (loops back to s1)")
+    }
+}
+
+/// Derives the FSM of process `p` from the system's current ordering —
+/// the structure a commercial HLS tool would generate (Fig. 2(b)).
+///
+/// # Panics
+///
+/// Panics if `p` does not belong to `system`.
+///
+/// # Examples
+///
+/// ```
+/// use pnsim::process_fsm;
+/// use sysgraph::{proc_index, MotivatingExample};
+///
+/// let ex = MotivatingExample::new();
+/// let fsm = process_fsm(&ex.system, ex.processes[proc_index::P2]);
+/// // P2: 1 input channel + 3 output channels = 4 I/O states...
+/// assert_eq!(fsm.io_state_count(), 4);
+/// // ...and a computation chain as long as its latency (5).
+/// assert_eq!(fsm.compute_state_count(), 5);
+/// ```
+#[must_use]
+pub fn process_fsm(system: &SystemGraph, p: ProcessId) -> ProcessFsm {
+    let mut states = vec![FsmState::Reset];
+    for &c in system.get_order(p) {
+        states.push(FsmState::Input(c));
+    }
+    let latency = system.process(p).latency();
+    for index in 0..latency {
+        states.push(FsmState::Compute { index, of: latency });
+    }
+    for &c in system.put_order(p) {
+        states.push(FsmState::Output(c));
+    }
+    ProcessFsm {
+        process: p,
+        name: system.process(p).name().to_string(),
+        states,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysgraph::{proc_index, MotivatingExample};
+
+    #[test]
+    fn p2_fsm_matches_listing_1_structure() {
+        let ex = MotivatingExample::new();
+        let fsm = process_fsm(&ex.system, ex.processes[proc_index::P2]);
+        // Reset + 1 get + 5 compute + 3 puts.
+        assert_eq!(fsm.states().len(), 1 + 1 + 5 + 3);
+        assert!(matches!(fsm.states()[0], FsmState::Reset));
+        assert!(matches!(fsm.states()[1], FsmState::Input(_)));
+        assert!(matches!(fsm.states()[7], FsmState::Output(_)));
+    }
+
+    #[test]
+    fn io_states_have_self_loops_and_compute_does_not() {
+        let ex = MotivatingExample::new();
+        let fsm = process_fsm(&ex.system, ex.processes[proc_index::P6]);
+        for s in fsm.states() {
+            match s {
+                FsmState::Input(_) | FsmState::Output(_) => assert!(s.has_self_loop()),
+                _ => assert!(!s.has_self_loop()),
+            }
+        }
+    }
+
+    #[test]
+    fn display_renders_every_state() {
+        let ex = MotivatingExample::new();
+        let fsm = process_fsm(&ex.system, ex.processes[proc_index::P2]);
+        let text = fsm.to_string();
+        assert!(text.contains("FSM of P2"));
+        assert!(text.contains("stall self-loop"));
+        assert!(text.contains("compute step 5/5"));
+    }
+
+    #[test]
+    fn fsm_follows_the_current_ordering() {
+        let mut ex = MotivatingExample::new();
+        let before = process_fsm(&ex.system, ex.processes[proc_index::P2]);
+        ex.suboptimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        let after = process_fsm(&ex.system, ex.processes[proc_index::P2]);
+        assert_ne!(before, after, "reordering changes the output states");
+        assert_eq!(before.io_state_count(), after.io_state_count());
+    }
+}

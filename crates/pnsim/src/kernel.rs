@@ -1,0 +1,162 @@
+//! Process kernels: the behaviour executed in the computation phase.
+//!
+//! The simulator is generic over the payload type `T`; each process owns a
+//! [`Kernel`] that is invoked once per iteration with one input item per
+//! input channel (in `get` order) and must return one output item per
+//! output channel (in `put` order) plus the latency of the computation
+//! phase for this iteration.
+
+/// Result of one kernel invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct KernelOutput<T> {
+    /// One item per output channel, in the process's `put` order.
+    pub outputs: Vec<T>,
+    /// Computation-phase latency for this iteration, in cycles.
+    pub latency: u64,
+}
+
+/// Behaviour of a process's computation phase.
+pub trait Kernel<T> {
+    /// Executes one iteration. `inputs` holds one item per input channel
+    /// in the process's current `get` order (empty for sources).
+    fn execute(&mut self, inputs: &[T]) -> KernelOutput<T>;
+}
+
+/// A kernel with fixed latency that replicates a constant item to every
+/// output — the pure-timing behaviour used when only performance matters.
+#[derive(Debug, Clone)]
+pub struct FixedLatency<T> {
+    latency: u64,
+    output_count: usize,
+    fill: T,
+}
+
+impl<T: Clone> FixedLatency<T> {
+    /// Creates a fixed-latency kernel emitting `fill` on each of
+    /// `output_count` outputs.
+    pub fn new(latency: u64, output_count: usize, fill: T) -> Self {
+        FixedLatency {
+            latency,
+            output_count,
+            fill,
+        }
+    }
+}
+
+impl<T: Clone> Kernel<T> for FixedLatency<T> {
+    fn execute(&mut self, _inputs: &[T]) -> KernelOutput<T> {
+        KernelOutput {
+            outputs: vec![self.fill.clone(); self.output_count],
+            latency: self.latency,
+        }
+    }
+}
+
+/// A kernel defined by a closure, for ad-hoc processes.
+pub struct FnKernel<T, F>
+where
+    F: FnMut(&[T]) -> KernelOutput<T>,
+{
+    f: F,
+    _marker: std::marker::PhantomData<fn(&[T])>,
+}
+
+impl<T, F> FnKernel<T, F>
+where
+    F: FnMut(&[T]) -> KernelOutput<T>,
+{
+    /// Wraps a closure as a kernel.
+    pub fn new(f: F) -> Self {
+        FnKernel {
+            f,
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<T, F> Kernel<T> for FnKernel<T, F>
+where
+    F: FnMut(&[T]) -> KernelOutput<T>,
+{
+    fn execute(&mut self, inputs: &[T]) -> KernelOutput<T> {
+        (self.f)(inputs)
+    }
+}
+
+impl<T, F> std::fmt::Debug for FnKernel<T, F>
+where
+    F: FnMut(&[T]) -> KernelOutput<T>,
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FnKernel").finish_non_exhaustive()
+    }
+}
+
+/// A source kernel producing items from an iterator; when the iterator is
+/// exhausted the simulator treats the process as finished.
+#[derive(Debug, Clone)]
+pub struct SequenceSource<I> {
+    items: I,
+    latency: u64,
+    output_count: usize,
+}
+
+impl<I> SequenceSource<I> {
+    /// Creates a source that emits each item of `items` (replicated to
+    /// every output channel) with the given per-iteration latency.
+    pub fn new(items: I, latency: u64, output_count: usize) -> Self {
+        SequenceSource {
+            items,
+            latency,
+            output_count,
+        }
+    }
+}
+
+/// Marker output used by sources that have run out of data: the engine
+/// checks [`Kernel::execute`]'s output count; an empty vector from a
+/// process with outputs stops that process cleanly.
+impl<T: Clone, I: Iterator<Item = T>> Kernel<T> for SequenceSource<I> {
+    fn execute(&mut self, _inputs: &[T]) -> KernelOutput<T> {
+        match self.items.next() {
+            Some(item) => KernelOutput {
+                outputs: vec![item; self.output_count],
+                latency: self.latency,
+            },
+            None => KernelOutput {
+                outputs: Vec::new(),
+                latency: self.latency,
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixed_latency_replicates() {
+        let mut k = FixedLatency::new(5, 3, 7u32);
+        let out = k.execute(&[1, 2]);
+        assert_eq!(out.latency, 5);
+        assert_eq!(out.outputs, vec![7, 7, 7]);
+    }
+
+    #[test]
+    fn fn_kernel_wraps_closures() {
+        let mut k = FnKernel::new(|inputs: &[u32]| KernelOutput {
+            outputs: vec![inputs.iter().sum::<u32>()],
+            latency: 1,
+        });
+        assert_eq!(k.execute(&[2, 3]).outputs, vec![5]);
+    }
+
+    #[test]
+    fn sequence_source_drains() {
+        let mut k = SequenceSource::new(vec![10u32, 20].into_iter(), 2, 1);
+        assert_eq!(k.execute(&[]).outputs, vec![10]);
+        assert_eq!(k.execute(&[]).outputs, vec![20]);
+        assert!(k.execute(&[]).outputs.is_empty());
+    }
+}

@@ -1,0 +1,47 @@
+//! Cycle-accurate simulation of blocking-rendezvous process networks.
+//!
+//! This crate is the reproduction's stand-in for SystemC simulation and
+//! RTL execution: it runs a [`sysgraph::SystemGraph`] under exactly the
+//! semantics the DAC'14 ERMES paper ascribes to HLS interface libraries —
+//! each process iterates through ordered blocking `get`s, a computation of
+//! some latency, and ordered blocking `put`s; a channel transfer starts
+//! when both sides are ready and takes the channel latency (Fig. 2(b)).
+//!
+//! Three layers:
+//!
+//! - [`run`]: the generic discrete-event engine, carrying real payloads
+//!   through the channels via per-process [`Kernel`]s — used by the
+//!   functional MPEG-2 pipeline.
+//! - [`simulate_timing`]: pure-timing runs with latencies from the system
+//!   model, used to validate the TMG analyses by execution.
+//! - [`process_fsm`]: the per-process FSM view of Fig. 2(b).
+//!
+//! # Examples
+//!
+//! Executing the motivating example's deadlocking order actually hangs:
+//!
+//! ```
+//! use pnsim::simulate_timing;
+//! use sysgraph::MotivatingExample;
+//!
+//! let ex = MotivatingExample::new();
+//! let outcome = simulate_timing(&ex.system, 10);
+//! assert!(outcome.deadlocked);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod engine;
+mod fsm;
+mod kernel;
+mod stats;
+mod timing;
+mod vcd;
+
+pub use engine::{run, SimConfig, SimOutcome, TransferRecord};
+pub use fsm::{process_fsm, FsmState, ProcessFsm};
+pub use kernel::{FixedLatency, FnKernel, Kernel, KernelOutput, SequenceSource};
+pub use stats::{stall_report, ProcessStall};
+pub use timing::simulate_timing;
+pub use vcd::transfers_to_vcd;

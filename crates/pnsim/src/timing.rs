@@ -1,0 +1,84 @@
+//! Pure-timing simulation: performance without payloads.
+//!
+//! The convenience layer the analyses compare against: every process runs
+//! a [`FixedLatency`] kernel taken from the system's process latencies, so
+//! the run measures exactly what the TMG model predicts.
+
+use crate::engine::{run, SimConfig, SimOutcome};
+use crate::kernel::{FixedLatency, Kernel};
+use sysgraph::SystemGraph;
+
+/// Runs a pure-timing simulation of `system` for `iterations` sink
+/// iterations and reports the outcome.
+///
+/// # Examples
+///
+/// Validate the paper's motivating numbers by execution rather than
+/// analysis:
+///
+/// ```
+/// use pnsim::simulate_timing;
+/// use sysgraph::MotivatingExample;
+///
+/// let mut ex = MotivatingExample::new();
+/// ex.optimal_ordering().apply_to(&mut ex.system)?;
+/// let outcome = simulate_timing(&ex.system, 300);
+/// let ct = outcome.estimated_cycle_time().expect("live system");
+/// assert!((ct - 12.0).abs() < 1e-9);
+/// # Ok::<(), sysgraph::SysGraphError>(())
+/// ```
+#[must_use]
+pub fn simulate_timing(system: &SystemGraph, iterations: u64) -> SimOutcome<u8> {
+    let kernels: Vec<Box<dyn Kernel<u8>>> = system
+        .process_ids()
+        .map(|p| {
+            Box::new(FixedLatency::new(
+                system.process(p).latency(),
+                system.put_order(p).len(),
+                0u8,
+            )) as Box<dyn Kernel<u8>>
+        })
+        .collect();
+    let (outcome, _) = run(
+        system,
+        kernels,
+        SimConfig {
+            max_iterations: Some(iterations),
+            record_sink_inputs: false,
+            ..SimConfig::default()
+        },
+    );
+    outcome
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysgraph::MotivatingExample;
+
+    #[test]
+    fn deadlock_ordering_deadlocks_in_execution() {
+        let ex = MotivatingExample::new();
+        let outcome = simulate_timing(&ex.system, 50);
+        assert!(outcome.deadlocked);
+    }
+
+    #[test]
+    fn timing_matches_tmg_analysis_on_both_live_orderings() {
+        for (ordering, expected) in [(0, 20.0), (1, 12.0)] {
+            let mut ex = MotivatingExample::new();
+            let ord = if ordering == 0 {
+                ex.suboptimal_ordering()
+            } else {
+                ex.optimal_ordering()
+            };
+            ord.apply_to(&mut ex.system).expect("valid");
+            let outcome = simulate_timing(&ex.system, 300);
+            let ct = outcome.estimated_cycle_time().expect("live");
+            assert!(
+                (ct - expected).abs() < 1e-9,
+                "ordering {ordering}: simulated {ct}, expected {expected}"
+            );
+        }
+    }
+}

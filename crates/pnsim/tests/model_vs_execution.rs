@@ -1,0 +1,99 @@
+//! The paper's Section 3 soundness claim, property-tested: the TMG
+//! analytic model predicts execution. For random systems, the simulator's
+//! steady-state cycle time must equal `analyze(lower_to_tmg(sys))`, and
+//! the deadlock verdicts must coincide.
+
+use proptest::prelude::*;
+use sysgraph::{lower_to_tmg, ProcessId, SystemGraph};
+use tmg::Verdict;
+
+/// Random layered system with optional initialized feedback channel.
+fn build_system(
+    widths: (usize, usize),
+    lats: Vec<u8>,
+    edges: Vec<(u8, u8)>,
+    feedback: bool,
+) -> SystemGraph {
+    let mut it = lats.into_iter().cycle();
+    let mut next_lat = move || u64::from(it.next().unwrap_or(0) % 4) + 1;
+    let mut sys = SystemGraph::new();
+    let src = sys.add_process("src", next_lat());
+    let l1: Vec<ProcessId> = (0..widths.0.max(1))
+        .map(|i| sys.add_process(format!("a{i}"), next_lat()))
+        .collect();
+    let l2: Vec<ProcessId> = (0..widths.1.max(1))
+        .map(|i| sys.add_process(format!("b{i}"), next_lat()))
+        .collect();
+    let snk = sys.add_process("snk", next_lat());
+    for (i, &p) in l1.iter().enumerate() {
+        sys.add_channel(format!("s{i}"), src, p, next_lat()).expect("valid");
+    }
+    let mut seen = std::collections::HashSet::new();
+    for (k, (a, b)) in edges.into_iter().enumerate() {
+        let p = l1[a as usize % l1.len()];
+        let q = l2[b as usize % l2.len()];
+        if seen.insert((p, q)) {
+            sys.add_channel(format!("m{k}"), p, q, next_lat()).expect("valid");
+        }
+    }
+    for (i, &q) in l2.iter().enumerate() {
+        if sys.get_order(q).is_empty() {
+            sys.add_channel(format!("fill{i}"), l1[i % l1.len()], q, next_lat())
+                .expect("valid");
+        }
+        sys.add_channel(format!("o{i}"), q, snk, next_lat()).expect("valid");
+    }
+    if feedback {
+        // An initialized feedback channel from a layer-2 node back to a
+        // layer-1 node (reconvergent loop, live thanks to the token).
+        sys.add_channel_with_tokens("fb", l2[0], l1[0], 1, 1)
+            .expect("valid");
+    }
+    sys
+}
+
+fn arb_system() -> impl Strategy<Value = SystemGraph> {
+    (
+        (1usize..4, 1usize..4),
+        proptest::collection::vec(any::<u8>(), 4..24),
+        proptest::collection::vec((any::<u8>(), any::<u8>()), 1..8),
+        any::<bool>(),
+    )
+        .prop_map(|(w, l, e, fb)| build_system(w, l, e, fb))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Model and execution agree on deadlock.
+    #[test]
+    fn deadlock_verdicts_coincide(sys in arb_system()) {
+        let analytic = tmg::analyze(lower_to_tmg(&sys).tmg()).is_deadlock();
+        let executed = pnsim::simulate_timing(&sys, 40).deadlocked;
+        prop_assert_eq!(analytic, executed);
+    }
+
+    /// Model and execution agree on steady-state cycle time.
+    #[test]
+    fn cycle_times_coincide(sys in arb_system()) {
+        if let Verdict::Live { cycle_time, .. } = tmg::analyze(lower_to_tmg(&sys).tmg()) {
+            let outcome = pnsim::simulate_timing(&sys, 500);
+            let measured = outcome.estimated_cycle_time().expect("live system");
+            let expected = cycle_time.to_f64();
+            prop_assert!(
+                (measured - expected).abs() <= expected * 0.02 + 0.05,
+                "measured {} vs model {}", measured, expected
+            );
+        }
+    }
+
+    /// Under the algorithm's ordering, execution never deadlocks either.
+    #[test]
+    fn ordered_systems_execute_cleanly(sys in arb_system()) {
+        let solution = chanorder::order_channels(&sys);
+        let mut ordered = sys.clone();
+        solution.ordering.apply_to(&mut ordered).expect("valid ordering");
+        let outcome = pnsim::simulate_timing(&ordered, 60);
+        prop_assert!(!outcome.deadlocked);
+    }
+}

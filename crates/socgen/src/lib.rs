@@ -1,0 +1,371 @@
+//! Synthetic SoC benchmark generator.
+//!
+//! Section 6 of the paper: "we designed a set of synthetic SoC benchmarks
+//! ... with up to 10,000 processes interconnected with 15,000 channels,
+//! along with a corresponding set of hypothetical µ-architectures. The
+//! resulting benchmarks have characteristics similar to those of the
+//! MPEG-2, including the presence of feedback loops and reconvergent
+//! paths." This crate generates exactly that family: seeded layered
+//! graphs with reconvergent skip channels, initialized feedback channels,
+//! MPEG-2-like channel-latency ranges (1–5,280 cycles), and per-process
+//! Pareto sets from the HLS surrogate.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use hlsim::{characterize, KernelSpec, ParetoSet};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+use sysgraph::{ProcessId, SystemGraph};
+
+/// Parameters of the generator.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SocGenConfig {
+    /// Number of worker processes (testbench source/sink are added on
+    /// top).
+    pub processes: usize,
+    /// Target number of channels; the generator first wires a connected
+    /// layered backbone, then adds reconvergent and feedback channels up
+    /// to this count (it may slightly exceed it to keep every process
+    /// connected).
+    pub channels: usize,
+    /// Probability that a candidate backward channel is kept (as an
+    /// initialized feedback channel).
+    pub feedback_fraction: f64,
+    /// RNG seed: equal seeds give identical benchmarks.
+    pub seed: u64,
+}
+
+impl SocGenConfig {
+    /// A benchmark of the given size with the paper's structure mix.
+    #[must_use]
+    pub fn sized(processes: usize, channels: usize, seed: u64) -> Self {
+        SocGenConfig {
+            processes,
+            channels,
+            feedback_fraction: 0.08,
+            seed,
+        }
+    }
+}
+
+/// A generated benchmark: the system plus per-process Pareto sets.
+#[derive(Debug, Clone)]
+pub struct GeneratedSoc {
+    /// The system graph (testbench source and sink included).
+    pub system: SystemGraph,
+    /// One Pareto set per process, indexed like the system's processes.
+    pub pareto: Vec<ParetoSet>,
+}
+
+/// Generates a benchmark.
+///
+/// # Panics
+///
+/// Panics if `config.processes == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use socgen::{generate, SocGenConfig};
+/// let soc = generate(SocGenConfig::sized(100, 150, 7));
+/// assert_eq!(soc.system.process_count(), 102); // + testbench
+/// assert!(soc.system.channel_count() >= 150);
+/// assert_eq!(soc.pareto.len(), soc.system.process_count());
+/// // Same seed, same benchmark.
+/// let again = generate(SocGenConfig::sized(100, 150, 7));
+/// assert_eq!(soc.system, again.system);
+/// ```
+#[must_use]
+pub fn generate(config: SocGenConfig) -> GeneratedSoc {
+    assert!(config.processes > 0, "benchmark needs processes");
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut sys = SystemGraph::new();
+
+    // Layered organization: roughly sqrt(n) layers.
+    let n = config.processes;
+    let layers = (n as f64).sqrt().ceil() as usize;
+    let per_layer = n.div_ceil(layers);
+
+    let src = sys.add_process("tb_src", 1);
+    let mut layer_members: Vec<Vec<ProcessId>> = Vec::with_capacity(layers);
+    let mut count = 0;
+    for l in 0..layers {
+        let mut members = Vec::new();
+        for k in 0..per_layer {
+            if count == n {
+                break;
+            }
+            members.push(sys.add_process(format!("p{l}_{k}"), 1));
+            count += 1;
+        }
+        if !members.is_empty() {
+            layer_members.push(members);
+        }
+    }
+    let snk = sys.add_process("tb_snk", 1);
+
+    // MPEG-2-like channel latency: log-uniform over 1..=5,280.
+    let max_log = (5_280f64).ln();
+    let chan_lat = move |rng: &mut StdRng| -> u64 {
+        let x: f64 = rng.random::<f64>() * max_log;
+        (x.exp().round() as u64).clamp(1, 5_280)
+    };
+
+    // Backbone: every process gets one input from the previous layer and
+    // the first layer hangs off the source.
+    let mut chan_idx = 0usize;
+    let mut add = |sys: &mut SystemGraph,
+                   from: ProcessId,
+                   to: ProcessId,
+                   lat: u64,
+                   feedback: bool| {
+        let name = format!("c{chan_idx}");
+        chan_idx += 1;
+        if feedback {
+            sys.add_channel_with_tokens(name, from, to, lat, 1)
+        } else {
+            sys.add_channel(name, from, to, lat)
+        }
+        .expect("generated endpoints are valid")
+    };
+    for &p in &layer_members[0] {
+        let lat = chan_lat(&mut rng);
+        add(&mut sys, src, p, lat, false);
+    }
+    for l in 1..layer_members.len() {
+        for &p in &layer_members[l] {
+            let prev = layer_members[l - 1][rng.random_range(0..layer_members[l - 1].len())];
+            let lat = chan_lat(&mut rng);
+            add(&mut sys, prev, p, lat, false);
+        }
+    }
+    for &p in layer_members.last().expect("at least one layer") {
+        let lat = chan_lat(&mut rng);
+        add(&mut sys, p, snk, lat, false);
+    }
+
+    // Extra channels: reconvergent skips (forward) and feedback (backward,
+    // initialized).
+    let mut guard = 0;
+    while sys.channel_count() < config.channels && guard < config.channels * 20 {
+        guard += 1;
+        let la = rng.random_range(0..layer_members.len());
+        let lb = rng.random_range(0..layer_members.len());
+        if la == lb {
+            continue;
+        }
+        let feedback = la > lb;
+        if feedback && !rng.random_bool(config.feedback_fraction) {
+            continue;
+        }
+        let from = layer_members[la][rng.random_range(0..layer_members[la].len())];
+        let to = layer_members[lb][rng.random_range(0..layer_members[lb].len())];
+        let lat = chan_lat(&mut rng);
+        add(&mut sys, from, to, lat, feedback);
+    }
+
+    // Ensure every worker drains somewhere (no accidental dead ends).
+    for l in 0..layer_members.len().saturating_sub(1) {
+        let next = layer_members[l + 1].clone();
+        for &p in &layer_members[l].clone() {
+            if sys.put_order(p).is_empty() {
+                let to = next[rng.random_range(0..next.len())];
+                let lat = chan_lat(&mut rng);
+                add(&mut sys, p, to, lat, false);
+            }
+        }
+    }
+
+    // Hypothetical µ-architectures: Pareto sets from the HLS surrogate,
+    // scaled so process latencies span a wide range like the MPEG-2.
+    let pareto: Vec<ParetoSet> = sys
+        .process_ids()
+        .map(|p| {
+            if p == src || p == snk {
+                characterize(&KernelSpec::new("tb", 1, 1, 0.0005, 0.0001))
+            } else {
+                let ops = rng.random_range(4..=64);
+                let trips = 1u64 << rng.random_range(2..=9u32);
+                let base = rng.random_range(0.001..0.02);
+                let per_op = rng.random_range(0.0005..0.004);
+                characterize(&KernelSpec::new(
+                    format!("k{}", p.index()),
+                    ops,
+                    trips,
+                    base,
+                    per_op,
+                ))
+            }
+        })
+        .collect();
+
+    // Processes start on their smallest implementation.
+    for i in 0..sys.process_count() {
+        let p = ProcessId::from_index(i);
+        sys.set_latency(p, pareto[i].smallest().latency);
+    }
+
+    GeneratedSoc { system: sys, pareto }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(SocGenConfig::sized(60, 90, 11));
+        let b = generate(SocGenConfig::sized(60, 90, 11));
+        assert_eq!(a.system, b.system);
+        assert_eq!(a.pareto.len(), b.pareto.len());
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(SocGenConfig::sized(60, 90, 1));
+        let b = generate(SocGenConfig::sized(60, 90, 2));
+        assert_ne!(a.system, b.system);
+    }
+
+    #[test]
+    fn benchmark_has_feedback_and_reconvergence() {
+        let soc = generate(SocGenConfig::sized(200, 400, 3));
+        let initialized = soc
+            .system
+            .channel_ids()
+            .filter(|&c| soc.system.channel(c).initial_tokens() > 0)
+            .count();
+        assert!(initialized > 0, "feedback channels present");
+        assert!(soc
+            .system
+            .process_ids()
+            .any(|p| soc.system.get_order(p).len() >= 2));
+    }
+
+    #[test]
+    fn channel_latencies_stay_in_paper_range() {
+        let soc = generate(SocGenConfig::sized(100, 200, 5));
+        for c in soc.system.channel_ids() {
+            let lat = soc.system.channel(c).latency();
+            assert!((1..=5_280).contains(&lat), "latency {lat} out of range");
+        }
+    }
+
+    #[test]
+    fn generated_systems_are_orderable_and_live() {
+        for seed in 0..5 {
+            let soc = generate(SocGenConfig::sized(40, 70, seed));
+            let solution = chanorder::order_channels(&soc.system);
+            let verdict =
+                chanorder::cycle_time_of(&soc.system, &solution.ordering).expect("valid");
+            assert!(!verdict.is_deadlock(), "seed {seed} deadlocked");
+        }
+    }
+
+    #[test]
+    fn pareto_sets_cover_every_process() {
+        let soc = generate(SocGenConfig::sized(30, 60, 9));
+        assert_eq!(soc.pareto.len(), soc.system.process_count());
+        for (i, set) in soc.pareto.iter().enumerate() {
+            assert!(!set.is_empty(), "process {i} has no implementations");
+        }
+    }
+
+    #[test]
+    fn scales_to_thousands_of_processes() {
+        let soc = generate(SocGenConfig::sized(2_000, 3_000, 42));
+        assert_eq!(soc.system.process_count(), 2_002);
+        assert!(soc.system.channel_count() >= 3_000);
+    }
+}
+
+/// Structural statistics of a system graph, for validating that generated
+/// benchmarks actually exhibit the paper's MPEG-2-like characteristics
+/// (feedback loops, reconvergent paths, wide latency ranges).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SocStats {
+    /// Process count (including testbench).
+    pub processes: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// Channels pre-loaded with initial tokens (feedback loops).
+    pub feedback_channels: usize,
+    /// Maximum fan-in over all processes.
+    pub max_fan_in: usize,
+    /// Maximum fan-out over all processes.
+    pub max_fan_out: usize,
+    /// Processes with fan-in of at least two (reconvergence points).
+    pub reconvergence_points: usize,
+    /// Minimum channel latency.
+    pub channel_latency_min: u64,
+    /// Maximum channel latency.
+    pub channel_latency_max: u64,
+}
+
+impl SocStats {
+    /// Measures a system.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the system has no channels.
+    #[must_use]
+    pub fn measure(system: &SystemGraph) -> Self {
+        assert!(system.channel_count() > 0, "stats need at least one channel");
+        let latencies: Vec<u64> = system
+            .channel_ids()
+            .map(|c| system.channel(c).latency())
+            .collect();
+        SocStats {
+            processes: system.process_count(),
+            channels: system.channel_count(),
+            feedback_channels: system
+                .channel_ids()
+                .filter(|&c| system.channel(c).initial_tokens() > 0)
+                .count(),
+            max_fan_in: system
+                .process_ids()
+                .map(|p| system.get_order(p).len())
+                .max()
+                .unwrap_or(0),
+            max_fan_out: system
+                .process_ids()
+                .map(|p| system.put_order(p).len())
+                .max()
+                .unwrap_or(0),
+            reconvergence_points: system
+                .process_ids()
+                .filter(|&p| system.get_order(p).len() >= 2)
+                .count(),
+            channel_latency_min: latencies.iter().copied().min().unwrap_or(0),
+            channel_latency_max: latencies.iter().copied().max().unwrap_or(0),
+        }
+    }
+}
+
+#[cfg(test)]
+mod stats_tests {
+    use super::*;
+
+    #[test]
+    fn generated_benchmarks_have_the_paper_characteristics() {
+        let soc = generate(SocGenConfig::sized(300, 500, 21));
+        let stats = SocStats::measure(&soc.system);
+        assert!(stats.feedback_channels > 0, "feedback loops present");
+        assert!(stats.reconvergence_points > 0, "reconvergent paths present");
+        assert!(stats.channel_latency_max > stats.channel_latency_min * 10,
+            "latency range spans orders of magnitude");
+        assert!(stats.max_fan_in >= 2 && stats.max_fan_out >= 2);
+    }
+
+    #[test]
+    fn stats_match_the_mpeg2_shape_targets() {
+        // The generator is calibrated to produce MPEG-2-like structure:
+        // a few percent of channels are feedback, most are forward.
+        let soc = generate(SocGenConfig::sized(1_000, 1_500, 4));
+        let stats = SocStats::measure(&soc.system);
+        let feedback_share = stats.feedback_channels as f64 / stats.channels as f64;
+        assert!(feedback_share < 0.2, "feedback share {feedback_share}");
+        assert!(stats.channels >= 1_500);
+    }
+}

@@ -1,0 +1,63 @@
+//! Error type for system-graph construction and mutation.
+
+use crate::ids::{ChannelId, ProcessId};
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by [`SystemGraph`](crate::SystemGraph) operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SysGraphError {
+    /// A channel endpoint refers to a process that does not exist.
+    UnknownProcess(ProcessId),
+    /// A channel refers to an id that does not exist.
+    UnknownChannel(ChannelId),
+    /// A channel would connect a process to itself.
+    SelfChannel(ProcessId),
+    /// A proposed put/get order is not a permutation of the process's
+    /// channels.
+    NotAPermutation(ProcessId),
+    /// A [`ChannelOrdering`](crate::ChannelOrdering) covers a different
+    /// number of processes than the system it is applied to.
+    OrderingSizeMismatch {
+        /// Processes in the target system.
+        expected: usize,
+        /// Processes covered by the ordering.
+        found: usize,
+    },
+}
+
+impl fmt::Display for SysGraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SysGraphError::UnknownProcess(p) => write!(f, "process {p} does not exist"),
+            SysGraphError::UnknownChannel(c) => write!(f, "channel {c} does not exist"),
+            SysGraphError::SelfChannel(p) => {
+                write!(f, "process {p} cannot have a channel to itself")
+            }
+            SysGraphError::NotAPermutation(p) => write!(
+                f,
+                "proposed order for process {p} is not a permutation of its channels"
+            ),
+            SysGraphError::OrderingSizeMismatch { expected, found } => write!(
+                f,
+                "ordering covers {found} processes but the system has {expected}"
+            ),
+        }
+    }
+}
+
+impl Error for SysGraphError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn error_is_well_behaved() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<SysGraphError>();
+        let msg = SysGraphError::SelfChannel(ProcessId::from_index(3)).to_string();
+        assert!(msg.contains("P3"));
+    }
+}

@@ -1,0 +1,296 @@
+//! The paper's motivating example (Fig. 2 and Fig. 4).
+//!
+//! Five processes `P2..P6` plus testbench source/sink, eight channels
+//! `a..h`. Three orderings matter:
+//!
+//! - [`MotivatingExample::deadlock_ordering`]: the order discussed in
+//!   Section 2 that hangs the system (`P6` reads `g` before `d`, while
+//!   `P2` writes `d` before `f`).
+//! - [`MotivatingExample::suboptimal_ordering`]: the deadlock-free but
+//!   slow order (cycle time 20 in the paper).
+//! - [`MotivatingExample::optimal_ordering`]: the order found by the
+//!   channel-ordering algorithm (cycle time 12 — 40 % better).
+
+use crate::ids::{ChannelId, ProcessId};
+use crate::model::SystemGraph;
+use crate::ordering::ChannelOrdering;
+
+/// Latency parameters of the motivating example.
+///
+/// Defaults reproduce the annotations of Fig. 4(a) as far as they can be
+/// recovered from the paper's worked examples: `L(P2) = 5`, `L(P6) = 2`,
+/// `lat(b)+lat(d)+lat(f) = 5`, `lat(d)+lat(e)+lat(g) = 6`,
+/// `lat(a)+L(src) = 3`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MotivatingLatencies {
+    /// Computation latencies of `[Psrc, P2, P3, P4, P5, P6, Psnk]`.
+    pub process: [u64; 7],
+    /// Channel latencies of `[a, b, c, d, e, f, g, h]`.
+    pub channel: [u64; 8],
+}
+
+impl Default for MotivatingLatencies {
+    fn default() -> Self {
+        MotivatingLatencies {
+            //        src P2 P3 P4 P5 P6 snk
+            process: [1, 5, 1, 2, 2, 2, 1],
+            //        a  b  c  d  e  f  g  h
+            channel: [2, 1, 2, 3, 1, 1, 2, 1],
+        }
+    }
+}
+
+/// The constructed motivating example with handles to every element.
+#[derive(Debug, Clone)]
+pub struct MotivatingExample {
+    /// The system, initially in the *deadlocking* ordering of Section 2.
+    pub system: SystemGraph,
+    /// `[Psrc, P2, P3, P4, P5, P6, Psnk]`.
+    pub processes: [ProcessId; 7],
+    /// `[a, b, c, d, e, f, g, h]`.
+    pub channels: [ChannelId; 8],
+}
+
+/// Indices into [`MotivatingExample::processes`].
+pub mod proc_index {
+    /// Testbench source.
+    pub const SRC: usize = 0;
+    /// Process P2 (Listing 1).
+    pub const P2: usize = 1;
+    /// Process P3.
+    pub const P3: usize = 2;
+    /// Process P4.
+    pub const P4: usize = 3;
+    /// Process P5.
+    pub const P5: usize = 4;
+    /// Process P6.
+    pub const P6: usize = 5;
+    /// Testbench sink.
+    pub const SNK: usize = 6;
+}
+
+/// Indices into [`MotivatingExample::channels`].
+pub mod chan_index {
+    /// Psrc -> P2.
+    pub const A: usize = 0;
+    /// P2 -> P3.
+    pub const B: usize = 1;
+    /// P3 -> P4.
+    pub const C: usize = 2;
+    /// P2 -> P6.
+    pub const D: usize = 3;
+    /// P4 -> P6.
+    pub const E: usize = 4;
+    /// P2 -> P5.
+    pub const F: usize = 5;
+    /// P5 -> P6.
+    pub const G: usize = 6;
+    /// P6 -> Psnk.
+    pub const H: usize = 7;
+}
+
+impl MotivatingExample {
+    /// Builds the example with default latencies, in the deadlocking
+    /// ordering.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_latencies(MotivatingLatencies::default())
+    }
+
+    /// Builds the example with explicit latencies, in the deadlocking
+    /// ordering.
+    ///
+    /// # Panics
+    ///
+    /// Never panics for well-formed latencies; construction is static.
+    #[must_use]
+    pub fn with_latencies(lat: MotivatingLatencies) -> Self {
+        let mut sys = SystemGraph::new();
+        let names = ["Psrc", "P2", "P3", "P4", "P5", "P6", "Psnk"];
+        let mut processes = [ProcessId::from_index(0); 7];
+        for (i, name) in names.iter().enumerate() {
+            processes[i] = sys.add_process(*name, lat.process[i]);
+        }
+        use chan_index as ci;
+        use proc_index as pi;
+        let spec: [(&str, usize, usize); 8] = [
+            ("a", pi::SRC, pi::P2),
+            ("b", pi::P2, pi::P3),
+            ("c", pi::P3, pi::P4),
+            ("d", pi::P2, pi::P6),
+            ("e", pi::P4, pi::P6),
+            ("f", pi::P2, pi::P5),
+            ("g", pi::P5, pi::P6),
+            ("h", pi::P6, pi::SNK),
+        ];
+        let mut channels = [ChannelId::from_index(0); 8];
+        for (i, (name, from, to)) in spec.iter().enumerate() {
+            channels[i] = sys
+                .add_channel(*name, processes[*from], processes[*to], lat.channel[i])
+                .expect("static topology is valid");
+        }
+        let ex = MotivatingExample {
+            system: sys,
+            processes,
+            channels,
+        };
+        let mut ex = ex;
+        ex.deadlock_ordering()
+            .apply_to(&mut ex.system)
+            .expect("static ordering is valid");
+        // Silence the "field assigned twice" pattern: the system starts in
+        // the deadlock ordering described by Section 2.
+        let _ = ci::A;
+        ex
+    }
+
+    /// The ordering of Section 2 that deadlocks: `P2` puts `(b, d, f)`
+    /// while `P6` gets `(g, d, e)` — P6 waits on P5, P5 waits on P2, and
+    /// P2 is stuck writing `d` to P6.
+    #[must_use]
+    pub fn deadlock_ordering(&self) -> ChannelOrdering {
+        let mut ord = ChannelOrdering::of(&self.system);
+        use chan_index as ci;
+        use proc_index as pi;
+        ord.set_puts(
+            self.processes[pi::P2],
+            vec![
+                self.channels[ci::B],
+                self.channels[ci::D],
+                self.channels[ci::F],
+            ],
+        );
+        ord.set_gets(
+            self.processes[pi::P6],
+            vec![
+                self.channels[ci::G],
+                self.channels[ci::D],
+                self.channels[ci::E],
+            ],
+        );
+        ord
+    }
+
+    /// The deadlock-free but suboptimal ordering of Section 2: `P2` puts
+    /// `(f, b, d)`, `P6` gets `(e, g, d)`. Cycle time 20 with the default
+    /// latencies.
+    #[must_use]
+    pub fn suboptimal_ordering(&self) -> ChannelOrdering {
+        let mut ord = ChannelOrdering::of(&self.system);
+        use chan_index as ci;
+        use proc_index as pi;
+        ord.set_puts(
+            self.processes[pi::P2],
+            vec![
+                self.channels[ci::F],
+                self.channels[ci::B],
+                self.channels[ci::D],
+            ],
+        );
+        ord.set_gets(
+            self.processes[pi::P6],
+            vec![
+                self.channels[ci::E],
+                self.channels[ci::G],
+                self.channels[ci::D],
+            ],
+        );
+        ord
+    }
+
+    /// The optimal ordering of Section 4: `P2` puts `(b, d, f)`, `P6` gets
+    /// `(d, g, e)`. Cycle time 12 with the default latencies — 40 % better
+    /// than the suboptimal ordering.
+    #[must_use]
+    pub fn optimal_ordering(&self) -> ChannelOrdering {
+        let mut ord = ChannelOrdering::of(&self.system);
+        use chan_index as ci;
+        use proc_index as pi;
+        ord.set_puts(
+            self.processes[pi::P2],
+            vec![
+                self.channels[ci::B],
+                self.channels[ci::D],
+                self.channels[ci::F],
+            ],
+        );
+        ord.set_gets(
+            self.processes[pi::P6],
+            vec![
+                self.channels[ci::D],
+                self.channels[ci::G],
+                self.channels[ci::E],
+            ],
+        );
+        ord
+    }
+}
+
+impl Default for MotivatingExample {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lower::lower_to_tmg;
+    use tmg::analyze;
+
+    #[test]
+    fn topology_matches_figure_2a() {
+        let ex = MotivatingExample::new();
+        assert_eq!(ex.system.process_count(), 7);
+        assert_eq!(ex.system.channel_count(), 8);
+        assert_eq!(ex.system.ordering_space(), 36);
+        use proc_index as pi;
+        assert_eq!(
+            ex.system.sources().collect::<Vec<_>>(),
+            vec![ex.processes[pi::SRC]]
+        );
+        assert_eq!(
+            ex.system.sinks().collect::<Vec<_>>(),
+            vec![ex.processes[pi::SNK]]
+        );
+        // P2 fans out to three channels; P6 joins three channels.
+        assert_eq!(ex.system.put_order(ex.processes[pi::P2]).len(), 3);
+        assert_eq!(ex.system.get_order(ex.processes[pi::P6]).len(), 3);
+    }
+
+    #[test]
+    fn deadlock_ordering_deadlocks() {
+        let ex = MotivatingExample::new();
+        let lowered = lower_to_tmg(&ex.system);
+        assert!(analyze(lowered.tmg()).is_deadlock());
+    }
+
+    #[test]
+    fn suboptimal_ordering_is_live() {
+        let mut ex = MotivatingExample::new();
+        ex.suboptimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid ordering");
+        let lowered = lower_to_tmg(&ex.system);
+        let verdict = analyze(lowered.tmg());
+        assert!(!verdict.is_deadlock());
+    }
+
+    #[test]
+    fn optimal_beats_suboptimal() {
+        let mut ex = MotivatingExample::new();
+        ex.suboptimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid ordering");
+        let slow = analyze(lower_to_tmg(&ex.system).tmg())
+            .cycle_time()
+            .expect("live");
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid ordering");
+        let fast = analyze(lower_to_tmg(&ex.system).tmg())
+            .cycle_time()
+            .expect("live");
+        assert!(fast < slow, "optimal {fast} not better than {slow}");
+    }
+}

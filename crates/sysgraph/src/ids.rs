@@ -1,0 +1,68 @@
+//! Strongly-typed identifiers for system-level model elements.
+
+use std::fmt;
+
+/// Identifier of a process (a vertex of the system graph).
+///
+/// Processes correspond to synthesizable SystemC modules in the paper's
+/// flow; the id is a dense index assigned in insertion order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ProcessId(pub(crate) u32);
+
+/// Identifier of a point-to-point unidirectional channel (an arc of the
+/// system graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct ChannelId(pub(crate) u32);
+
+impl ProcessId {
+    /// Creates a process id from a raw dense index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ProcessId(u32::try_from(index).expect("process index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this process.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl ChannelId {
+    /// Creates a channel id from a raw dense index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        ChannelId(u32::try_from(index).expect("channel index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this channel.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for ProcessId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+impl fmt::Display for ChannelId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ch{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_and_display() {
+        assert_eq!(ProcessId::from_index(4).index(), 4);
+        assert_eq!(ProcessId::from_index(4).to_string(), "P4");
+        assert_eq!(ChannelId::from_index(2).index(), 2);
+        assert_eq!(ChannelId::from_index(2).to_string(), "ch2");
+    }
+}

@@ -1,0 +1,58 @@
+//! System-level model of communication-centric SoCs.
+//!
+//! This crate provides the *system graph* abstraction of the DAC'14 ERMES
+//! methodology (Di Guglielmo, Pilato, Carloni): a set of concurrently
+//! executing processes — each following the three-phase structure of
+//! ordered blocking `get`s, a fixed-latency computation, and ordered
+//! blocking `put`s — connected by point-to-point rendezvous channels.
+//!
+//! The crate owns two responsibilities:
+//!
+//! 1. **Modeling**: [`SystemGraph`] stores processes, channels, latencies
+//!    and — crucially — the per-process `put`/`get` statement orders that
+//!    the channel-ordering algorithm optimizes. [`ChannelOrdering`] makes
+//!    those orders first-class values.
+//! 2. **Lowering**: [`lower_to_tmg`] translates a system (with its current
+//!    ordering) into the timed-marked-graph performance model of the
+//!    paper's Section 3, with maps back from TMG transitions to processes
+//!    and channels ([`LoweredTmg`]).
+//!
+//! The paper's motivating example (Fig. 2/Fig. 4) ships as
+//! [`MotivatingExample`], including its deadlocking, suboptimal, and
+//! optimal orderings.
+//!
+//! # Examples
+//!
+//! ```
+//! use sysgraph::{MotivatingExample, lower_to_tmg};
+//! use tmg::analyze;
+//!
+//! // The ordering discussed in Section 2 deadlocks...
+//! let ex = MotivatingExample::new();
+//! assert!(analyze(lower_to_tmg(&ex.system).tmg()).is_deadlock());
+//!
+//! // ...and the optimal ordering of Section 4 does not.
+//! let mut ex = MotivatingExample::new();
+//! ex.optimal_ordering().apply_to(&mut ex.system)?;
+//! assert!(!analyze(lower_to_tmg(&ex.system).tmg()).is_deadlock());
+//! # Ok::<(), sysgraph::SysGraphError>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dot;
+mod error;
+mod examples;
+mod ids;
+mod lower;
+mod model;
+mod ordering;
+
+pub use dot::to_dot;
+pub use error::SysGraphError;
+pub use examples::{chan_index, proc_index, MotivatingExample, MotivatingLatencies};
+pub use ids::{ChannelId, ProcessId};
+pub use lower::{channel_places, lower_to_tmg, LoweredTmg, TmgOrigin};
+pub use model::{Channel, Process, SystemGraph};
+pub use ordering::ChannelOrdering;

@@ -1,0 +1,435 @@
+//! The system-level model: processes and blocking point-to-point channels.
+//!
+//! This mirrors the specification style of Section 2 of the paper: a set of
+//! concurrent processes, each following the three-phase structure (ordered
+//! blocking `get`s, a computation of some latency, ordered blocking
+//! `put`s), connected by unidirectional rendezvous channels with a
+//! per-transfer latency. The *order* in which a process issues its `get`s
+//! and `put`s is part of the model — it is exactly what the channel
+//! ordering algorithm rearranges.
+
+use crate::error::SysGraphError;
+use crate::ids::{ChannelId, ProcessId};
+
+/// A process: one synthesizable component of the SoC.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Process {
+    name: String,
+    latency: u64,
+}
+
+impl Process {
+    /// The process name (e.g. `"P2"` or `"dct"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Latency of the computation phase, in clock cycles, as determined by
+    /// the micro-architecture chosen during HLS.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+}
+
+/// A blocking point-to-point channel between two processes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Channel {
+    name: String,
+    from: ProcessId,
+    to: ProcessId,
+    latency: u64,
+    initial_tokens: u64,
+}
+
+impl Channel {
+    /// The channel name (e.g. `"a"`).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The producing process (issuer of `put`).
+    #[must_use]
+    pub fn from(&self) -> ProcessId {
+        self.from
+    }
+
+    /// The consuming process (issuer of `get`).
+    #[must_use]
+    pub fn to(&self) -> ProcessId {
+        self.to
+    }
+
+    /// Minimum latency to complete the transfer of one data item,
+    /// including any packetization into multiple put/get beats (footnote 4
+    /// of the paper).
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Number of data items pre-loaded on the channel before the system
+    /// starts. Feedback channels of loops carry at least one initial item
+    /// (the standard latency-insensitive treatment), otherwise any
+    /// topological loop would starve itself regardless of statement order.
+    #[must_use]
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial_tokens
+    }
+}
+
+/// A system of processes connected by blocking channels, together with the
+/// current per-process `put`/`get` statement orders.
+///
+/// # Examples
+///
+/// A two-stage pipeline fed by a testbench source:
+///
+/// ```
+/// use sysgraph::SystemGraph;
+/// let mut sys = SystemGraph::new();
+/// let src = sys.add_process("src", 1);
+/// let p = sys.add_process("stage", 10);
+/// let snk = sys.add_process("snk", 1);
+/// sys.add_channel("in", src, p, 2)?;
+/// sys.add_channel("out", p, snk, 2)?;
+/// assert_eq!(sys.process_count(), 3);
+/// assert_eq!(sys.channel_count(), 2);
+/// # Ok::<(), sysgraph::SysGraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct SystemGraph {
+    processes: Vec<Process>,
+    channels: Vec<Channel>,
+    /// Output channels of each process, in `put` statement order.
+    puts: Vec<Vec<ChannelId>>,
+    /// Input channels of each process, in `get` statement order.
+    gets: Vec<Vec<ChannelId>>,
+}
+
+impl SystemGraph {
+    /// Creates an empty system.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a process with the given computation-phase `latency`.
+    pub fn add_process(&mut self, name: impl Into<String>, latency: u64) -> ProcessId {
+        let id = ProcessId::from_index(self.processes.len());
+        self.processes.push(Process {
+            name: name.into(),
+            latency,
+        });
+        self.puts.push(Vec::new());
+        self.gets.push(Vec::new());
+        id
+    }
+
+    /// Adds a channel from `from` to `to` with the given transfer
+    /// `latency`. The channel is appended at the end of the producer's
+    /// `put` order and the consumer's `get` order.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysGraphError::UnknownProcess`] if either endpoint does
+    /// not exist, and [`SysGraphError::SelfChannel`] if `from == to`
+    /// (a process cannot rendezvous with itself).
+    pub fn add_channel(
+        &mut self,
+        name: impl Into<String>,
+        from: ProcessId,
+        to: ProcessId,
+        latency: u64,
+    ) -> Result<ChannelId, SysGraphError> {
+        self.add_channel_with_tokens(name, from, to, latency, 0)
+    }
+
+    /// Like [`SystemGraph::add_channel`], but pre-loads the channel with
+    /// `initial_tokens` data items. Use this for the feedback channels of
+    /// topological loops (e.g. the reconstructed-frame loop of an MPEG-2
+    /// encoder), which must carry an initial value to avoid self-starvation.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`SystemGraph::add_channel`].
+    pub fn add_channel_with_tokens(
+        &mut self,
+        name: impl Into<String>,
+        from: ProcessId,
+        to: ProcessId,
+        latency: u64,
+        initial_tokens: u64,
+    ) -> Result<ChannelId, SysGraphError> {
+        if from.index() >= self.processes.len() {
+            return Err(SysGraphError::UnknownProcess(from));
+        }
+        if to.index() >= self.processes.len() {
+            return Err(SysGraphError::UnknownProcess(to));
+        }
+        if from == to {
+            return Err(SysGraphError::SelfChannel(from));
+        }
+        let id = ChannelId::from_index(self.channels.len());
+        self.channels.push(Channel {
+            name: name.into(),
+            from,
+            to,
+            latency,
+            initial_tokens,
+        });
+        self.puts[from.index()].push(id);
+        self.gets[to.index()].push(id);
+        Ok(id)
+    }
+
+    /// Number of processes.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.processes.len()
+    }
+
+    /// Number of channels.
+    #[must_use]
+    pub fn channel_count(&self) -> usize {
+        self.channels.len()
+    }
+
+    /// Looks up a process.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this system.
+    #[must_use]
+    pub fn process(&self, id: ProcessId) -> &Process {
+        &self.processes[id.index()]
+    }
+
+    /// Looks up a channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this system.
+    #[must_use]
+    pub fn channel(&self, id: ChannelId) -> &Channel {
+        &self.channels[id.index()]
+    }
+
+    /// Iterates over process ids in index order.
+    pub fn process_ids(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        (0..self.processes.len()).map(ProcessId::from_index)
+    }
+
+    /// Iterates over channel ids in index order.
+    pub fn channel_ids(&self) -> impl Iterator<Item = ChannelId> + '_ {
+        (0..self.channels.len()).map(ChannelId::from_index)
+    }
+
+    /// Output channels of `p` in current `put` order.
+    #[must_use]
+    pub fn put_order(&self, p: ProcessId) -> &[ChannelId] {
+        &self.puts[p.index()]
+    }
+
+    /// Input channels of `p` in current `get` order.
+    #[must_use]
+    pub fn get_order(&self, p: ProcessId) -> &[ChannelId] {
+        &self.gets[p.index()]
+    }
+
+    /// Replaces the `put` order of process `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysGraphError::NotAPermutation`] unless `order` is a
+    /// permutation of the process's current output channels.
+    pub fn set_put_order(
+        &mut self,
+        p: ProcessId,
+        order: Vec<ChannelId>,
+    ) -> Result<(), SysGraphError> {
+        validate_permutation(&self.puts[p.index()], &order)
+            .map_err(|()| SysGraphError::NotAPermutation(p))?;
+        self.puts[p.index()] = order;
+        Ok(())
+    }
+
+    /// Replaces the `get` order of process `p`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysGraphError::NotAPermutation`] unless `order` is a
+    /// permutation of the process's current input channels.
+    pub fn set_get_order(
+        &mut self,
+        p: ProcessId,
+        order: Vec<ChannelId>,
+    ) -> Result<(), SysGraphError> {
+        validate_permutation(&self.gets[p.index()], &order)
+            .map_err(|()| SysGraphError::NotAPermutation(p))?;
+        self.gets[p.index()] = order;
+        Ok(())
+    }
+
+    /// Sets the computation latency of process `p` (e.g. after selecting a
+    /// different Pareto-optimal micro-architecture).
+    pub fn set_latency(&mut self, p: ProcessId, latency: u64) {
+        self.processes[p.index()].latency = latency;
+    }
+
+    /// Sets the number of pre-loaded items on channel `c` (its FIFO
+    /// depth). Used by buffer-sizing what-if analyses.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` does not belong to this system.
+    pub fn set_initial_tokens(&mut self, c: ChannelId, tokens: u64) {
+        self.channels[c.index()].initial_tokens = tokens;
+    }
+
+    /// Source processes: those with no input channels (testbench stimuli).
+    pub fn sources(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.process_ids().filter(|p| self.gets[p.index()].is_empty())
+    }
+
+    /// Sink processes: those with no output channels (testbench monitors).
+    pub fn sinks(&self) -> impl Iterator<Item = ProcessId> + '_ {
+        self.process_ids().filter(|p| self.puts[p.index()].is_empty())
+    }
+
+    /// Size of the ordering design space: `Π_p (|in(p)|! · |out(p)|!)`,
+    /// the formula of Section 2. Saturates at `u128::MAX`.
+    #[must_use]
+    pub fn ordering_space(&self) -> u128 {
+        fn factorial(n: usize) -> u128 {
+            (2..=n as u128).try_fold(1u128, u128::checked_mul).unwrap_or(u128::MAX)
+        }
+        self.process_ids()
+            .map(|p| {
+                factorial(self.gets[p.index()].len())
+                    .saturating_mul(factorial(self.puts[p.index()].len()))
+            })
+            .try_fold(1u128, |acc, f| acc.checked_mul(f))
+            .unwrap_or(u128::MAX)
+    }
+}
+
+/// Checks that `order` is a permutation of `current`.
+fn validate_permutation(current: &[ChannelId], order: &[ChannelId]) -> Result<(), ()> {
+    if current.len() != order.len() {
+        return Err(());
+    }
+    let mut a: Vec<ChannelId> = current.to_vec();
+    let mut b: Vec<ChannelId> = order.to_vec();
+    a.sort_unstable();
+    b.sort_unstable();
+    if a != b || b.windows(2).any(|w| w[0] == w[1]) {
+        return Err(());
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pipeline() -> (SystemGraph, ProcessId, ProcessId, ProcessId) {
+        let mut sys = SystemGraph::new();
+        let src = sys.add_process("src", 1);
+        let p = sys.add_process("p", 5);
+        let snk = sys.add_process("snk", 1);
+        sys.add_channel("in", src, p, 2).expect("valid");
+        sys.add_channel("out", p, snk, 3).expect("valid");
+        (sys, src, p, snk)
+    }
+
+    #[test]
+    fn channels_register_in_declaration_order() {
+        let (sys, src, p, snk) = pipeline();
+        assert_eq!(sys.put_order(src).len(), 1);
+        assert_eq!(sys.get_order(p), &[ChannelId::from_index(0)]);
+        assert_eq!(sys.put_order(p), &[ChannelId::from_index(1)]);
+        assert_eq!(sys.get_order(snk).len(), 1);
+    }
+
+    #[test]
+    fn self_channel_is_rejected() {
+        let mut sys = SystemGraph::new();
+        let p = sys.add_process("p", 1);
+        assert!(matches!(
+            sys.add_channel("x", p, p, 1),
+            Err(SysGraphError::SelfChannel(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_endpoint_is_rejected() {
+        let mut sys = SystemGraph::new();
+        let p = sys.add_process("p", 1);
+        let ghost = ProcessId::from_index(7);
+        assert!(matches!(
+            sys.add_channel("x", p, ghost, 1),
+            Err(SysGraphError::UnknownProcess(_))
+        ));
+    }
+
+    #[test]
+    fn put_order_can_be_permuted() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 1);
+        let c = sys.add_process("c", 1);
+        let c1 = sys.add_channel("x", a, b, 1).expect("valid");
+        let c2 = sys.add_channel("y", a, c, 1).expect("valid");
+        assert_eq!(sys.put_order(a), &[c1, c2]);
+        sys.set_put_order(a, vec![c2, c1]).expect("permutation");
+        assert_eq!(sys.put_order(a), &[c2, c1]);
+    }
+
+    #[test]
+    fn non_permutation_orders_are_rejected() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 1);
+        let c = sys.add_process("c", 1);
+        let c1 = sys.add_channel("x", a, b, 1).expect("valid");
+        let _c2 = sys.add_channel("y", a, c, 1).expect("valid");
+        assert!(sys.set_put_order(a, vec![c1]).is_err());
+        assert!(sys.set_put_order(a, vec![c1, c1]).is_err());
+        let foreign = ChannelId::from_index(9);
+        assert!(sys.set_put_order(a, vec![c1, foreign]).is_err());
+    }
+
+    #[test]
+    fn sources_and_sinks_are_derived() {
+        let (sys, src, p, snk) = pipeline();
+        assert_eq!(sys.sources().collect::<Vec<_>>(), vec![src]);
+        assert_eq!(sys.sinks().collect::<Vec<_>>(), vec![snk]);
+        assert!(!sys.sources().any(|q| q == p));
+    }
+
+    #[test]
+    fn ordering_space_matches_the_paper_formula() {
+        // A process with 3 outputs and another with 3 inputs: 3!·3! = 36,
+        // the count quoted in Section 2 for the motivating example.
+        let mut sys = SystemGraph::new();
+        let hub = sys.add_process("hub", 1);
+        let join = sys.add_process("join", 1);
+        for i in 0..3 {
+            let mid = sys.add_process(format!("m{i}"), 1);
+            sys.add_channel(format!("o{i}"), hub, mid, 1).expect("valid");
+            sys.add_channel(format!("i{i}"), mid, join, 1).expect("valid");
+        }
+        assert_eq!(sys.ordering_space(), 36);
+    }
+
+    #[test]
+    fn latency_update() {
+        let (mut sys, _, p, _) = pipeline();
+        assert_eq!(sys.process(p).latency(), 5);
+        sys.set_latency(p, 9);
+        assert_eq!(sys.process(p).latency(), 9);
+    }
+}

@@ -1,0 +1,160 @@
+//! Channel orderings as first-class values.
+//!
+//! A [`ChannelOrdering`] captures, for every process, the order of its
+//! `get` statements and the order of its `put` statements — the degrees of
+//! freedom the paper's Algorithm 1 optimizes. Orderings can be extracted
+//! from a system, transformed, compared, and applied back.
+
+use crate::error::SysGraphError;
+use crate::ids::{ChannelId, ProcessId};
+use crate::model::SystemGraph;
+
+/// A complete assignment of per-process `get` and `put` statement orders.
+///
+/// # Examples
+///
+/// ```
+/// use sysgraph::{SystemGraph, ChannelOrdering};
+/// let mut sys = SystemGraph::new();
+/// let a = sys.add_process("a", 1);
+/// let b = sys.add_process("b", 1);
+/// let c = sys.add_process("c", 1);
+/// let x = sys.add_channel("x", a, b, 1)?;
+/// let y = sys.add_channel("y", a, c, 1)?;
+/// let mut ord = ChannelOrdering::of(&sys);
+/// ord.set_puts(a, vec![y, x]);
+/// ord.apply_to(&mut sys)?;
+/// assert_eq!(sys.put_order(a), &[y, x]);
+/// # Ok::<(), sysgraph::SysGraphError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChannelOrdering {
+    gets: Vec<Vec<ChannelId>>,
+    puts: Vec<Vec<ChannelId>>,
+}
+
+impl ChannelOrdering {
+    /// Extracts the current ordering of a system.
+    #[must_use]
+    pub fn of(system: &SystemGraph) -> Self {
+        ChannelOrdering {
+            gets: system
+                .process_ids()
+                .map(|p| system.get_order(p).to_vec())
+                .collect(),
+            puts: system
+                .process_ids()
+                .map(|p| system.put_order(p).to_vec())
+                .collect(),
+        }
+    }
+
+    /// Number of processes covered by the ordering.
+    #[must_use]
+    pub fn process_count(&self) -> usize {
+        self.gets.len()
+    }
+
+    /// The `get` order of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn gets(&self, p: ProcessId) -> &[ChannelId] {
+        &self.gets[p.index()]
+    }
+
+    /// The `put` order of process `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    #[must_use]
+    pub fn puts(&self, p: ProcessId) -> &[ChannelId] {
+        &self.puts[p.index()]
+    }
+
+    /// Overwrites the `get` order of process `p` (validated when applied).
+    pub fn set_gets(&mut self, p: ProcessId, order: Vec<ChannelId>) {
+        self.gets[p.index()] = order;
+    }
+
+    /// Overwrites the `put` order of process `p` (validated when applied).
+    pub fn set_puts(&mut self, p: ProcessId, order: Vec<ChannelId>) {
+        self.puts[p.index()] = order;
+    }
+
+    /// Installs this ordering into `system`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SysGraphError::NotAPermutation`] (leaving earlier
+    /// processes already updated) if any per-process order is not a
+    /// permutation of that process's channels — callers should treat the
+    /// system as tainted on error.
+    pub fn apply_to(&self, system: &mut SystemGraph) -> Result<(), SysGraphError> {
+        if self.gets.len() != system.process_count() {
+            return Err(SysGraphError::OrderingSizeMismatch {
+                expected: system.process_count(),
+                found: self.gets.len(),
+            });
+        }
+        for i in 0..system.process_count() {
+            let p = ProcessId::from_index(i);
+            system.set_get_order(p, self.gets[i].clone())?;
+            system.set_put_order(p, self.puts[i].clone())?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fan_system() -> (SystemGraph, ProcessId, Vec<ChannelId>) {
+        let mut sys = SystemGraph::new();
+        let hub = sys.add_process("hub", 2);
+        let mut chans = Vec::new();
+        for i in 0..3 {
+            let leaf = sys.add_process(format!("leaf{i}"), 1);
+            chans.push(sys.add_channel(format!("c{i}"), hub, leaf, 1).expect("valid"));
+        }
+        (sys, hub, chans)
+    }
+
+    #[test]
+    fn extraction_matches_system_state() {
+        let (sys, hub, chans) = fan_system();
+        let ord = ChannelOrdering::of(&sys);
+        assert_eq!(ord.puts(hub), chans.as_slice());
+        assert_eq!(ord.process_count(), 4);
+    }
+
+    #[test]
+    fn apply_roundtrip_is_identity() {
+        let (mut sys, _, _) = fan_system();
+        let before = sys.clone();
+        let ord = ChannelOrdering::of(&sys);
+        ord.apply_to(&mut sys).expect("identity ordering applies");
+        assert_eq!(sys, before);
+    }
+
+    #[test]
+    fn modified_ordering_applies() {
+        let (mut sys, hub, chans) = fan_system();
+        let mut ord = ChannelOrdering::of(&sys);
+        ord.set_puts(hub, vec![chans[2], chans[0], chans[1]]);
+        ord.apply_to(&mut sys).expect("permutation applies");
+        assert_eq!(sys.put_order(hub), &[chans[2], chans[0], chans[1]]);
+    }
+
+    #[test]
+    fn invalid_ordering_is_rejected_on_apply() {
+        let (mut sys, hub, chans) = fan_system();
+        let mut ord = ChannelOrdering::of(&sys);
+        ord.set_puts(hub, vec![chans[0], chans[0], chans[1]]);
+        assert!(ord.apply_to(&mut sys).is_err());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for the TMG lowering: structural invariants of the
+//! Section 3 model hold for arbitrary systems.
+
+use proptest::prelude::*;
+use sysgraph::{lower_to_tmg, ChannelId, ProcessId, SystemGraph, TmgOrigin};
+
+/// Random connected-ish system: a chain backbone plus arbitrary extra
+/// channels (optionally initialized).
+fn arb_system() -> impl Strategy<Value = SystemGraph> {
+    (
+        2usize..8,
+        proptest::collection::vec((0usize..8, 0usize..8, 1u64..9, 0u64..3), 0..10),
+    )
+        .prop_map(|(n, extras)| {
+            let mut sys = SystemGraph::new();
+            let ps: Vec<ProcessId> = (0..n)
+                .map(|i| sys.add_process(format!("p{i}"), (i as u64 % 7) + 1))
+                .collect();
+            for i in 0..n - 1 {
+                sys.add_channel(format!("c{i}"), ps[i], ps[i + 1], 1)
+                    .expect("valid");
+            }
+            for (k, (a, b, lat, tokens)) in extras.into_iter().enumerate() {
+                let a = a % n;
+                let b = b % n;
+                if a != b {
+                    sys.add_channel_with_tokens(format!("x{k}"), ps[a], ps[b], lat, tokens)
+                        .expect("valid");
+                }
+            }
+            sys
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Transition count = processes + channels + one extra handshake per
+    /// initialized channel.
+    #[test]
+    fn transition_count_formula(sys in arb_system()) {
+        let lowered = lower_to_tmg(&sys);
+        let initialized = sys
+            .channel_ids()
+            .filter(|&c| sys.channel(c).initial_tokens() > 0)
+            .count();
+        prop_assert_eq!(
+            lowered.tmg().transition_count(),
+            sys.process_count() + sys.channel_count() + initialized
+        );
+    }
+
+    /// Total initial tokens = one per process + the channel pre-loads.
+    #[test]
+    fn token_count_formula(sys in arb_system()) {
+        let lowered = lower_to_tmg(&sys);
+        let preloads: u64 = sys
+            .channel_ids()
+            .map(|c| sys.channel(c).initial_tokens())
+            .sum();
+        prop_assert_eq!(
+            lowered.tmg().total_tokens(),
+            sys.process_count() as u64 + preloads
+        );
+    }
+
+    /// Every transition maps back to a process or channel, and the maps
+    /// are mutually consistent.
+    #[test]
+    fn origins_are_total_and_consistent(sys in arb_system()) {
+        let lowered = lower_to_tmg(&sys);
+        for t in lowered.tmg().transition_ids() {
+            match lowered.origin(t) {
+                TmgOrigin::Process(p) => {
+                    prop_assert_eq!(lowered.process_transition(p), t);
+                }
+                TmgOrigin::Channel(c) => {
+                    prop_assert!(c.index() < sys.channel_count());
+                }
+            }
+        }
+        for c in sys.channel_ids() {
+            let t = lowered.channel_transition(c);
+            prop_assert_eq!(lowered.origin(t), TmgOrigin::Channel(c));
+        }
+    }
+
+    /// Reordering statements never changes the graph's size, only its
+    /// wiring.
+    #[test]
+    fn reordering_preserves_size(sys in arb_system(), seed in 0u64..50) {
+        let before = lower_to_tmg(&sys);
+        let mut shuffled = sys.clone();
+        chanorder::random_ordering(&sys, seed)
+            .apply_to(&mut shuffled)
+            .expect("random orders are permutations");
+        let after = lower_to_tmg(&shuffled);
+        prop_assert_eq!(
+            before.tmg().transition_count(),
+            after.tmg().transition_count()
+        );
+        prop_assert_eq!(before.tmg().place_count(), after.tmg().place_count());
+        prop_assert_eq!(before.tmg().total_tokens(), after.tmg().total_tokens());
+    }
+
+    /// The consumer-side transition of every channel carries its latency.
+    #[test]
+    fn channel_transitions_carry_latency(sys in arb_system()) {
+        let lowered = lower_to_tmg(&sys);
+        for i in 0..sys.channel_count() {
+            let c = ChannelId::from_index(i);
+            let t = lowered.channel_transition(c);
+            prop_assert_eq!(
+                lowered.tmg().transition(t).delay(),
+                sys.channel(c).latency()
+            );
+        }
+    }
+}

@@ -1,0 +1,285 @@
+//! System-level performance analysis of a timed marked graph.
+//!
+//! This is the entry point ERMES calls instead of simulating (Section 3 of
+//! the paper): it classifies the graph as deadlocked (token-free cycle),
+//! live (finite cycle time with a critical cycle), or acyclic, using
+//! Howard's algorithm with the parametric solver as a safety fallback.
+
+use crate::deadlock::find_token_free_cycle;
+use crate::graph::Tmg;
+use crate::howard::{howard_on_component, CycleRatioResult};
+use crate::ids::{PlaceId, TransitionId};
+use crate::parametric::max_cycle_ratio_parametric;
+use crate::ratio::Ratio;
+use crate::ratio_graph::RatioGraph;
+use crate::scc::tarjan;
+
+/// A critical cycle: the cycle whose delay-to-token ratio equals the cycle
+/// time of the graph. Improving the system requires shortening a delay on
+/// this cycle (Section 5's timing optimization targets exactly these
+/// transitions).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CriticalCycle {
+    /// Places along the cycle, in traversal order.
+    pub places: Vec<PlaceId>,
+    /// Transitions along the cycle (the consumers of `places`), in the
+    /// same order.
+    pub transitions: Vec<TransitionId>,
+    /// Total transition delay around the cycle.
+    pub delay_sum: u64,
+    /// Total tokens around the cycle (strictly positive for live graphs).
+    pub token_sum: u64,
+}
+
+/// Outcome of [`analyze`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Verdict {
+    /// A token-free cycle exists: the system will deadlock regardless of
+    /// timing. Carries the witness cycle's places.
+    Deadlock {
+        /// Places of one token-free cycle.
+        witness: Vec<PlaceId>,
+    },
+    /// Every cycle carries tokens: the system runs forever with the given
+    /// cycle time (Definition 2) achieved on the critical cycle.
+    Live {
+        /// The cycle time π(G): average time between consecutive firings
+        /// of any transition (strongly connected graphs).
+        cycle_time: Ratio,
+        /// One cycle achieving the minimum cycle mean.
+        critical: CriticalCycle,
+    },
+    /// The graph has no cycles; steady-state throughput is unconstrained
+    /// by feedback. (Does not occur for the paper's process networks, whose
+    /// processes always loop.)
+    Acyclic,
+}
+
+impl Verdict {
+    /// The cycle time, if the system is live.
+    #[must_use]
+    pub fn cycle_time(&self) -> Option<Ratio> {
+        match self {
+            Verdict::Live { cycle_time, .. } => Some(*cycle_time),
+            _ => None,
+        }
+    }
+
+    /// True when the verdict is [`Verdict::Deadlock`].
+    #[must_use]
+    pub fn is_deadlock(&self) -> bool {
+        matches!(self, Verdict::Deadlock { .. })
+    }
+
+    /// The throughput 1/π(G), if the system is live and π(G) > 0.
+    #[must_use]
+    pub fn throughput(&self) -> Option<Ratio> {
+        self.cycle_time().and_then(Ratio::recip)
+    }
+}
+
+/// Analyzes a timed marked graph: deadlock check, then exact cycle time
+/// with a critical-cycle witness.
+///
+/// # Examples
+///
+/// ```
+/// use tmg::{analyze, TmgBuilder, Verdict, Ratio};
+/// let mut b = TmgBuilder::new();
+/// let a = b.add_transition("producer", 3);
+/// let c = b.add_transition("consumer", 2);
+/// b.add_place(a, c, 1);
+/// b.add_place(c, a, 0);
+/// let g = b.build()?;
+/// match analyze(&g) {
+///     Verdict::Live { cycle_time, .. } => assert_eq!(cycle_time, Ratio::new(5, 1)),
+///     other => panic!("expected live, got {other:?}"),
+/// }
+/// # Ok::<(), tmg::TmgError>(())
+/// ```
+#[must_use]
+pub fn analyze(graph: &Tmg) -> Verdict {
+    if let Some(witness) = find_token_free_cycle(graph) {
+        return Verdict::Deadlock { witness };
+    }
+    let rg = RatioGraph::from_tmg(graph);
+    let scc = tarjan(&rg);
+    let mut best: Option<CycleRatioResult> = None;
+    for members in scc.members() {
+        let result = howard_on_component(&rg, &scc, &members);
+        if let Some(r) = result {
+            if best.as_ref().is_none_or(|b| r.ratio > b.ratio) {
+                best = Some(r);
+            }
+        }
+    }
+    // Fallback: if Howard declined (iteration cap) we still owe an exact
+    // answer. The parametric solver is slower but unconditional.
+    if best.is_none() && crate::parametric::find_any_cycle(&rg).is_some() {
+        best = max_cycle_ratio_parametric(&rg);
+    }
+    match best {
+        None => Verdict::Acyclic,
+        Some(result) => {
+            let places: Vec<PlaceId> = result
+                .cycle_edges
+                .iter()
+                .map(|&e| rg.edges[e].place.expect("edge lowered from a place"))
+                .collect();
+            let transitions: Vec<TransitionId> =
+                places.iter().map(|&p| graph.place(p).consumer()).collect();
+            let delay_sum = transitions
+                .iter()
+                .map(|&t| graph.transition(t).delay())
+                .sum();
+            let token_sum = places
+                .iter()
+                .map(|&p| graph.place(p).initial_tokens())
+                .sum();
+            Verdict::Live {
+                cycle_time: result.ratio,
+                critical: CriticalCycle {
+                    places,
+                    transitions,
+                    delay_sum,
+                    token_sum,
+                },
+            }
+        }
+    }
+}
+
+/// Exact cycle time computed with the parametric baseline solver instead
+/// of Howard's algorithm. Exposed for cross-validation and benchmarking.
+#[must_use]
+pub fn analyze_parametric(graph: &Tmg) -> Verdict {
+    if let Some(witness) = find_token_free_cycle(graph) {
+        return Verdict::Deadlock { witness };
+    }
+    let rg = RatioGraph::from_tmg(graph);
+    if crate::parametric::find_any_cycle(&rg).is_none() {
+        return Verdict::Acyclic;
+    }
+    let result = max_cycle_ratio_parametric(&rg).expect("graph is cyclic");
+    let places: Vec<PlaceId> = result
+        .cycle_edges
+        .iter()
+        .map(|&e| rg.edges[e].place.expect("edge lowered from a place"))
+        .collect();
+    let transitions: Vec<TransitionId> =
+        places.iter().map(|&p| graph.place(p).consumer()).collect();
+    Verdict::Live {
+        cycle_time: result.ratio,
+        critical: CriticalCycle {
+            delay_sum: transitions
+                .iter()
+                .map(|&t| graph.transition(t).delay())
+                .sum(),
+            token_sum: places
+                .iter()
+                .map(|&p| graph.place(p).initial_tokens())
+                .sum(),
+            places,
+            transitions,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TmgBuilder;
+
+    #[test]
+    fn deadlock_wins_over_cycle_time() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 1);
+        let c = b.add_transition("c", 1);
+        b.add_place(a, c, 0);
+        b.add_place(c, a, 0);
+        // A live self-loop elsewhere does not mask the deadlock.
+        let d = b.add_transition("d", 5);
+        b.add_place(d, d, 1);
+        let g = b.build().expect("valid");
+        assert!(analyze(&g).is_deadlock());
+    }
+
+    #[test]
+    fn live_ring_reports_exact_cycle_time_and_critical_cycle() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 3);
+        let c = b.add_transition("c", 2);
+        b.add_place(a, c, 1);
+        b.add_place(c, a, 0);
+        let g = b.build().expect("valid");
+        match analyze(&g) {
+            Verdict::Live {
+                cycle_time,
+                critical,
+            } => {
+                assert_eq!(cycle_time, Ratio::new(5, 1));
+                assert_eq!(critical.delay_sum, 5);
+                assert_eq!(critical.token_sum, 1);
+                assert_eq!(critical.places.len(), 2);
+            }
+            other => panic!("expected live, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn acyclic_graph() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 3);
+        let c = b.add_transition("c", 2);
+        b.add_place(a, c, 1);
+        let g = b.build().expect("valid");
+        assert_eq!(analyze(&g), Verdict::Acyclic);
+    }
+
+    #[test]
+    fn throughput_is_reciprocal() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 4);
+        b.add_place(a, a, 2);
+        let g = b.build().expect("valid");
+        let v = analyze(&g);
+        assert_eq!(v.cycle_time(), Some(Ratio::new(2, 1)));
+        assert_eq!(v.throughput(), Some(Ratio::new(1, 2)));
+    }
+
+    #[test]
+    fn parametric_agrees_with_howard() {
+        let mut b = TmgBuilder::new();
+        let t: Vec<_> = (0..5)
+            .map(|i| b.add_transition(format!("t{i}"), (i as u64) * 3 + 1))
+            .collect();
+        for i in 0..5 {
+            b.add_place(t[i], t[(i + 1) % 5], u64::from(i == 0));
+        }
+        b.add_place(t[2], t[0], 1);
+        b.add_place(t[0], t[2], 1);
+        let g = b.build().expect("valid");
+        assert_eq!(analyze(&g).cycle_time(), analyze_parametric(&g).cycle_time());
+    }
+
+    #[test]
+    fn critical_cycle_is_closed() {
+        let mut b = TmgBuilder::new();
+        let t: Vec<_> = (0..4)
+            .map(|i| b.add_transition(format!("t{i}"), 2 * (i as u64) + 1))
+            .collect();
+        for i in 0..4 {
+            b.add_place(t[i], t[(i + 1) % 4], u64::from(i % 2 == 0));
+        }
+        let g = b.build().expect("valid");
+        match analyze(&g) {
+            Verdict::Live { critical, .. } => {
+                for (i, &p) in critical.places.iter().enumerate() {
+                    let next = critical.places[(i + 1) % critical.places.len()];
+                    assert_eq!(g.place(p).consumer(), g.place(next).producer());
+                }
+            }
+            other => panic!("expected live, got {other:?}"),
+        }
+    }
+}

@@ -1,0 +1,159 @@
+//! Structural deadlock detection.
+//!
+//! A timed marked graph deadlocks if and only if it contains a cycle whose
+//! places hold no tokens: the token count along a cycle is invariant under
+//! firing, so a token-free cycle can never enable its transitions, and
+//! conversely every cycle carrying a token keeps circulating it. This is
+//! the check ERMES uses to reject channel orderings that would hang the
+//! synthesized SoC (Section 2's motivating deadlock).
+
+use crate::graph::Tmg;
+use crate::ids::PlaceId;
+
+/// Searches for a token-free cycle.
+///
+/// Returns the places of one such cycle (in traversal order) if the graph
+/// can deadlock, or `None` if every cycle carries at least one token.
+///
+/// # Examples
+///
+/// ```
+/// use tmg::{TmgBuilder, find_token_free_cycle};
+/// let mut b = TmgBuilder::new();
+/// let a = b.add_transition("a", 1);
+/// let c = b.add_transition("c", 1);
+/// b.add_place(a, c, 0);
+/// b.add_place(c, a, 0);
+/// let g = b.build()?;
+/// // Two processes each waiting for the other: deadlock.
+/// assert!(find_token_free_cycle(&g).is_some());
+/// # Ok::<(), tmg::TmgError>(())
+/// ```
+#[must_use]
+pub fn find_token_free_cycle(graph: &Tmg) -> Option<Vec<PlaceId>> {
+    // DFS over the subgraph restricted to empty places, iterative to cope
+    // with 10k-process systems.
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = graph.transition_count();
+    let mut color = vec![WHITE; n];
+    // parent_place[v] = empty place through which the DFS entered v.
+    let mut parent_place: Vec<Option<PlaceId>> = vec![None; n];
+    let mut parent_node: Vec<usize> = vec![usize::MAX; n];
+
+    for start in 0..n {
+        if color[start] != WHITE {
+            continue;
+        }
+        // Frame: (vertex, position into its output place list).
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = GRAY;
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let out = graph.output_places(crate::ids::TransitionId::from_index(v));
+            if *pos < out.len() {
+                let pid = out[*pos];
+                *pos += 1;
+                let place = graph.place(pid);
+                if place.initial_tokens() > 0 {
+                    continue;
+                }
+                let w = place.consumer().index();
+                match color[w] {
+                    WHITE => {
+                        color[w] = GRAY;
+                        parent_place[w] = Some(pid);
+                        parent_node[w] = v;
+                        frames.push((w, 0));
+                    }
+                    GRAY => {
+                        // Back edge closes a token-free cycle: w .. v, pid.
+                        let mut cycle = vec![pid];
+                        let mut cur = v;
+                        while cur != w {
+                            cycle.push(parent_place[cur].expect("gray node has parent"));
+                            cur = parent_node[cur];
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = BLACK;
+                frames.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TmgBuilder;
+
+    #[test]
+    fn token_on_cycle_prevents_deadlock() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 1);
+        let c = b.add_transition("c", 1);
+        b.add_place(a, c, 1);
+        b.add_place(c, a, 0);
+        let g = b.build().expect("valid");
+        assert_eq!(find_token_free_cycle(&g), None);
+    }
+
+    #[test]
+    fn empty_two_cycle_is_reported() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 1);
+        let c = b.add_transition("c", 1);
+        let p0 = b.add_place(a, c, 0);
+        let p1 = b.add_place(c, a, 0);
+        let g = b.build().expect("valid");
+        let cycle = find_token_free_cycle(&g).expect("deadlock expected");
+        assert_eq!(cycle.len(), 2);
+        assert!(cycle.contains(&p0) && cycle.contains(&p1));
+    }
+
+    #[test]
+    fn witness_cycle_is_closed_and_token_free() {
+        // Diamond with one empty cycle buried among token-carrying places.
+        let mut b = TmgBuilder::new();
+        let t: Vec<_> = (0..4).map(|i| b.add_transition(format!("t{i}"), 1)).collect();
+        b.add_place(t[0], t[1], 1);
+        b.add_place(t[1], t[0], 1);
+        b.add_place(t[1], t[2], 0);
+        b.add_place(t[2], t[3], 0);
+        b.add_place(t[3], t[1], 0);
+        let g = b.build().expect("valid");
+        let cycle = find_token_free_cycle(&g).expect("deadlock expected");
+        assert_eq!(cycle.len(), 3);
+        // Check closure: consumer of each place is producer of the next.
+        for (i, &p) in cycle.iter().enumerate() {
+            let next = cycle[(i + 1) % cycle.len()];
+            assert_eq!(g.place(p).consumer(), g.place(next).producer());
+            assert_eq!(g.place(p).initial_tokens(), 0);
+        }
+    }
+
+    #[test]
+    fn empty_self_loop_is_deadlock() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 1);
+        let p = b.add_place(a, a, 0);
+        let g = b.build().expect("valid");
+        assert_eq!(find_token_free_cycle(&g), Some(vec![p]));
+    }
+
+    #[test]
+    fn acyclic_graph_never_deadlocks_structurally() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 1);
+        let c = b.add_transition("c", 1);
+        b.add_place(a, c, 0);
+        let g = b.build().expect("valid");
+        assert_eq!(find_token_free_cycle(&g), None);
+    }
+}

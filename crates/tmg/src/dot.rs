@@ -1,0 +1,84 @@
+//! Graphviz DOT export of timed marked graphs.
+//!
+//! Renders transitions as boxes (annotated with their delay), places as
+//! circles (annotated with their token count), matching the usual Petri
+//! net iconography — Fig. 3 of the paper as a picture.
+
+use crate::graph::Tmg;
+use std::fmt::Write as _;
+
+/// Renders the graph as a Graphviz `digraph`.
+///
+/// # Examples
+///
+/// ```
+/// use tmg::{to_dot, TmgBuilder};
+/// let mut b = TmgBuilder::new();
+/// let a = b.add_transition("produce", 3);
+/// let c = b.add_transition("consume", 2);
+/// b.add_place(a, c, 1);
+/// b.add_place(c, a, 0);
+/// let g = b.build()?;
+/// let dot = to_dot(&g);
+/// assert!(dot.contains("produce"));
+/// assert!(dot.contains("●")); // the circulating token
+/// # Ok::<(), tmg::TmgError>(())
+/// ```
+#[must_use]
+pub fn to_dot(graph: &Tmg) -> String {
+    let mut out = String::from("digraph tmg {\n  rankdir=LR;\n");
+    for t in graph.transition_ids() {
+        let tr = graph.transition(t);
+        let _ = writeln!(
+            out,
+            "  {t} [shape=box, label=\"{}\\nd={}\"];",
+            tr.name(),
+            tr.delay()
+        );
+    }
+    for p in graph.place_ids() {
+        let place = graph.place(p);
+        let tokens = place.initial_tokens();
+        let marks = match tokens {
+            0 => String::new(),
+            1..=4 => "●".repeat(tokens as usize),
+            n => format!("{n}●"),
+        };
+        let _ = writeln!(out, "  {p} [shape=circle, label=\"{marks}\"];");
+        let _ = writeln!(out, "  {} -> {p};", place.producer());
+        let _ = writeln!(out, "  {p} -> {};", place.consumer());
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TmgBuilder;
+
+    #[test]
+    fn dot_lists_every_element() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("alpha", 5);
+        let c = b.add_transition("beta", 2);
+        b.add_place(a, c, 2);
+        b.add_place(c, a, 0);
+        let g = b.build().expect("valid");
+        let dot = to_dot(&g);
+        assert!(dot.starts_with("digraph tmg {"));
+        assert!(dot.contains("alpha\\nd=5"));
+        assert!(dot.contains("beta\\nd=2"));
+        assert!(dot.contains("●●"), "two tokens rendered");
+        assert_eq!(dot.matches(" -> ").count(), 4, "two arcs per place");
+    }
+
+    #[test]
+    fn large_token_counts_render_numerically() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 1);
+        b.add_place(a, a, 9);
+        let g = b.build().expect("valid");
+        assert!(to_dot(&g).contains("9●"));
+    }
+}

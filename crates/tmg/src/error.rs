@@ -1,0 +1,49 @@
+//! Error type for timed-marked-graph construction and execution.
+
+use crate::ids::TransitionId;
+use std::error::Error;
+use std::fmt;
+
+/// Errors returned by TMG construction and firing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TmgError {
+    /// The builder contained no transitions.
+    Empty,
+    /// [`Marking::fire`](crate::Marking::fire) was called on a transition
+    /// with an empty input place.
+    NotEnabled(TransitionId),
+}
+
+impl fmt::Display for TmgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TmgError::Empty => write!(f, "timed marked graph has no transitions"),
+            TmgError::NotEnabled(t) => {
+                write!(f, "transition {t} is not enabled under the current marking")
+            }
+        }
+    }
+}
+
+impl Error for TmgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_without_punctuation() {
+        let msg = TmgError::Empty.to_string();
+        assert!(msg.starts_with(char::is_lowercase));
+        assert!(!msg.ends_with('.'));
+        let msg = TmgError::NotEnabled(TransitionId::from_index(4)).to_string();
+        assert!(msg.contains("t4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_traits<T: Error + Send + Sync + 'static>() {}
+        assert_traits::<TmgError>();
+    }
+}

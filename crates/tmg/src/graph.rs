@@ -1,0 +1,448 @@
+//! The timed marked graph data structure.
+//!
+//! Definition 1 of the paper: a timed marked graph (TMG) is a Petri net in
+//! which every place has exactly one producer transition and exactly one
+//! consumer transition. Transitions carry a delay; places carry an initial
+//! marking (token count). The builder enforces the structural restriction by
+//! construction: a place is always created *between* two transitions.
+
+use crate::ids::{PlaceId, TransitionId};
+use crate::TmgError;
+
+/// A transition of the graph: a named action with a fixed delay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Transition {
+    name: String,
+    delay: u64,
+}
+
+impl Transition {
+    /// Human-readable name given at construction.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Firing delay `d(t)` of the transition in clock cycles.
+    #[must_use]
+    pub fn delay(&self) -> u64 {
+        self.delay
+    }
+}
+
+/// A place of the graph: a token buffer between two transitions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Place {
+    producer: TransitionId,
+    consumer: TransitionId,
+    initial_tokens: u64,
+}
+
+impl Place {
+    /// The unique transition that deposits tokens into this place.
+    #[must_use]
+    pub fn producer(&self) -> TransitionId {
+        self.producer
+    }
+
+    /// The unique transition that removes tokens from this place.
+    #[must_use]
+    pub fn consumer(&self) -> TransitionId {
+        self.consumer
+    }
+
+    /// Token count `M0(p)` of the initial marking.
+    #[must_use]
+    pub fn initial_tokens(&self) -> u64 {
+        self.initial_tokens
+    }
+}
+
+/// Builder for [`Tmg`].
+///
+/// # Examples
+///
+/// Build the two-transition producer/consumer ring used throughout the
+/// crate's tests: a transition of delay 3 feeding a transition of delay 2,
+/// with one token circulating.
+///
+/// ```
+/// use tmg::TmgBuilder;
+/// let mut b = TmgBuilder::new();
+/// let a = b.add_transition("a", 3);
+/// let c = b.add_transition("c", 2);
+/// b.add_place(a, c, 1);
+/// b.add_place(c, a, 0);
+/// let g = b.build()?;
+/// assert_eq!(g.transition_count(), 2);
+/// assert_eq!(g.place_count(), 2);
+/// # Ok::<(), tmg::TmgError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TmgBuilder {
+    transitions: Vec<Transition>,
+    places: Vec<Place>,
+}
+
+impl TmgBuilder {
+    /// Creates an empty builder.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a transition with the given display `name` and firing `delay`.
+    pub fn add_transition(&mut self, name: impl Into<String>, delay: u64) -> TransitionId {
+        let id = TransitionId::from_index(self.transitions.len());
+        self.transitions.push(Transition {
+            name: name.into(),
+            delay,
+        });
+        id
+    }
+
+    /// Adds a place carrying `tokens` initial tokens from transition
+    /// `producer` to transition `consumer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either transition id was not created by this builder.
+    pub fn add_place(
+        &mut self,
+        producer: TransitionId,
+        consumer: TransitionId,
+        tokens: u64,
+    ) -> PlaceId {
+        assert!(
+            producer.index() < self.transitions.len(),
+            "producer {producer} not in builder"
+        );
+        assert!(
+            consumer.index() < self.transitions.len(),
+            "consumer {consumer} not in builder"
+        );
+        let id = PlaceId::from_index(self.places.len());
+        self.places.push(Place {
+            producer,
+            consumer,
+            initial_tokens: tokens,
+        });
+        id
+    }
+
+    /// Finalizes the graph.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmgError::Empty`] if the builder holds no transitions.
+    pub fn build(self) -> Result<Tmg, TmgError> {
+        if self.transitions.is_empty() {
+            return Err(TmgError::Empty);
+        }
+        let mut out_places = vec![Vec::new(); self.transitions.len()];
+        let mut in_places = vec![Vec::new(); self.transitions.len()];
+        for (i, place) in self.places.iter().enumerate() {
+            out_places[place.producer.index()].push(PlaceId::from_index(i));
+            in_places[place.consumer.index()].push(PlaceId::from_index(i));
+        }
+        Ok(Tmg {
+            transitions: self.transitions,
+            places: self.places,
+            out_places,
+            in_places,
+        })
+    }
+}
+
+/// An immutable timed marked graph.
+///
+/// Create one through [`TmgBuilder`]. The structure satisfies the marked
+/// graph restriction by construction: every place has exactly one producer
+/// and one consumer.
+///
+/// # Examples
+///
+/// ```
+/// use tmg::TmgBuilder;
+/// let mut b = TmgBuilder::new();
+/// let t = b.add_transition("self-loop", 4);
+/// b.add_place(t, t, 2);
+/// let g = b.build()?;
+/// // Two tokens circulating through a delay-4 transition: mean cycle time 2.
+/// assert_eq!(g.total_tokens(), 2);
+/// # Ok::<(), tmg::TmgError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Tmg {
+    transitions: Vec<Transition>,
+    places: Vec<Place>,
+    out_places: Vec<Vec<PlaceId>>,
+    in_places: Vec<Vec<PlaceId>>,
+}
+
+impl Tmg {
+    /// Number of transitions.
+    #[must_use]
+    pub fn transition_count(&self) -> usize {
+        self.transitions.len()
+    }
+
+    /// Number of places.
+    #[must_use]
+    pub fn place_count(&self) -> usize {
+        self.places.len()
+    }
+
+    /// Looks up a transition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[must_use]
+    pub fn transition(&self, id: TransitionId) -> &Transition {
+        &self.transitions[id.index()]
+    }
+
+    /// Looks up a place.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    #[must_use]
+    pub fn place(&self, id: PlaceId) -> &Place {
+        &self.places[id.index()]
+    }
+
+    /// Iterates over all transition ids in index order.
+    pub fn transition_ids(&self) -> impl Iterator<Item = TransitionId> + '_ {
+        (0..self.transitions.len()).map(TransitionId::from_index)
+    }
+
+    /// Iterates over all place ids in index order.
+    pub fn place_ids(&self) -> impl Iterator<Item = PlaceId> + '_ {
+        (0..self.places.len()).map(PlaceId::from_index)
+    }
+
+    /// Places whose producer is `t` (the outgoing places of `t`).
+    #[must_use]
+    pub fn output_places(&self, t: TransitionId) -> &[PlaceId] {
+        &self.out_places[t.index()]
+    }
+
+    /// Places whose consumer is `t` (the incoming places of `t`).
+    #[must_use]
+    pub fn input_places(&self, t: TransitionId) -> &[PlaceId] {
+        &self.in_places[t.index()]
+    }
+
+    /// Sum of the initial marking over all places.
+    ///
+    /// This quantity is invariant under firing for the *whole graph only
+    /// when every transition has equally many input and output places*; what
+    /// is always invariant is the token count along each cycle, which the
+    /// analyses in this crate rely on.
+    #[must_use]
+    pub fn total_tokens(&self) -> u64 {
+        self.places.iter().map(Place::initial_tokens).sum()
+    }
+
+    /// Returns the initial marking as a vector indexed by place.
+    #[must_use]
+    pub fn initial_marking(&self) -> Marking {
+        Marking {
+            tokens: self.places.iter().map(Place::initial_tokens).collect(),
+        }
+    }
+
+    /// True if the underlying directed graph (transitions as vertices,
+    /// places as arcs) is strongly connected.
+    ///
+    /// All transitions of a strongly connected TMG share one cycle time
+    /// (Section 3 of the paper), which is the natural performance metric.
+    #[must_use]
+    pub fn is_strongly_connected(&self) -> bool {
+        if self.transitions.is_empty() {
+            return false;
+        }
+        let n = self.transitions.len();
+        let reaches_all = |forward: bool| {
+            let mut seen = vec![false; n];
+            let mut stack = vec![0usize];
+            seen[0] = true;
+            let mut count = 1;
+            while let Some(v) = stack.pop() {
+                let arcs = if forward {
+                    &self.out_places[v]
+                } else {
+                    &self.in_places[v]
+                };
+                for &p in arcs {
+                    let place = &self.places[p.index()];
+                    let next = if forward {
+                        place.consumer.index()
+                    } else {
+                        place.producer.index()
+                    };
+                    if !seen[next] {
+                        seen[next] = true;
+                        count += 1;
+                        stack.push(next);
+                    }
+                }
+            }
+            count == n
+        };
+        reaches_all(true) && reaches_all(false)
+    }
+}
+
+/// A marking: the number of tokens currently held by each place.
+///
+/// Markings evolve by transition firing; see [`Marking::fire`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marking {
+    tokens: Vec<u64>,
+}
+
+impl Marking {
+    /// Tokens currently in place `p`.
+    #[must_use]
+    pub fn tokens(&self, p: PlaceId) -> u64 {
+        self.tokens[p.index()]
+    }
+
+    /// True if transition `t` is enabled: every input place holds a token.
+    #[must_use]
+    pub fn is_enabled(&self, graph: &Tmg, t: TransitionId) -> bool {
+        graph
+            .input_places(t)
+            .iter()
+            .all(|&p| self.tokens[p.index()] > 0)
+    }
+
+    /// Fires transition `t`: removes one token from each input place and
+    /// adds one token to each output place.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TmgError::NotEnabled`] if some input place is empty.
+    pub fn fire(&mut self, graph: &Tmg, t: TransitionId) -> Result<(), TmgError> {
+        if !self.is_enabled(graph, t) {
+            return Err(TmgError::NotEnabled(t));
+        }
+        for &p in graph.input_places(t) {
+            self.tokens[p.index()] -= 1;
+        }
+        for &p in graph.output_places(t) {
+            self.tokens[p.index()] += 1;
+        }
+        Ok(())
+    }
+
+    /// Iterates over enabled transitions under this marking.
+    pub fn enabled<'g>(&'g self, graph: &'g Tmg) -> impl Iterator<Item = TransitionId> + 'g {
+        graph.transition_ids().filter(move |&t| self.is_enabled(graph, t))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring() -> Tmg {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 3);
+        let c = b.add_transition("c", 2);
+        b.add_place(a, c, 1);
+        b.add_place(c, a, 0);
+        b.build().expect("valid ring")
+    }
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = TmgBuilder::new();
+        let t0 = b.add_transition("x", 1);
+        let t1 = b.add_transition("y", 2);
+        assert_eq!(t0.index(), 0);
+        assert_eq!(t1.index(), 1);
+        let p = b.add_place(t0, t1, 5);
+        assert_eq!(p.index(), 0);
+    }
+
+    #[test]
+    fn empty_graph_is_rejected() {
+        assert!(matches!(TmgBuilder::new().build(), Err(TmgError::Empty)));
+    }
+
+    #[test]
+    fn adjacency_is_consistent() {
+        let g = ring();
+        let a = TransitionId::from_index(0);
+        let c = TransitionId::from_index(1);
+        assert_eq!(g.output_places(a).len(), 1);
+        assert_eq!(g.input_places(a).len(), 1);
+        let p = g.output_places(a)[0];
+        assert_eq!(g.place(p).producer(), a);
+        assert_eq!(g.place(p).consumer(), c);
+    }
+
+    #[test]
+    fn ring_is_strongly_connected() {
+        assert!(ring().is_strongly_connected());
+    }
+
+    #[test]
+    fn disconnected_graph_is_not_strongly_connected() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 1);
+        let _lonely = b.add_transition("b", 1);
+        b.add_place(a, a, 1);
+        let g = b.build().expect("valid");
+        assert!(!g.is_strongly_connected());
+    }
+
+    #[test]
+    fn firing_moves_tokens_around_the_ring() {
+        let g = ring();
+        let a = TransitionId::from_index(0);
+        let c = TransitionId::from_index(1);
+        let mut m = g.initial_marking();
+        assert!(!m.is_enabled(&g, a));
+        assert!(m.is_enabled(&g, c));
+        m.fire(&g, c).expect("c enabled");
+        assert!(m.is_enabled(&g, a));
+        m.fire(&g, a).expect("a enabled");
+        // Back to the initial marking after firing every transition once.
+        assert_eq!(m, g.initial_marking());
+    }
+
+    #[test]
+    fn firing_disabled_transition_errors() {
+        let g = ring();
+        let a = TransitionId::from_index(0);
+        let mut m = g.initial_marking();
+        assert!(matches!(m.fire(&g, a), Err(TmgError::NotEnabled(_))));
+    }
+
+    #[test]
+    fn cycle_token_count_invariant_under_firing() {
+        // The ring is a single cycle: its total tokens must stay constant.
+        let g = ring();
+        let mut m = g.initial_marking();
+        let total: u64 = g.place_ids().map(|p| m.tokens(p)).sum();
+        for _ in 0..10 {
+            let next = m.enabled(&g).next().expect("ring never deadlocks");
+            m.fire(&g, next).expect("enabled");
+            let now: u64 = g.place_ids().map(|p| m.tokens(p)).sum();
+            assert_eq!(now, total);
+        }
+    }
+
+    #[test]
+    fn enabled_iterator_matches_is_enabled() {
+        let g = ring();
+        let m = g.initial_marking();
+        let listed: Vec<_> = m.enabled(&g).collect();
+        assert_eq!(listed, vec![TransitionId::from_index(1)]);
+    }
+}

@@ -1,0 +1,325 @@
+//! Howard's policy-iteration algorithm for the maximum cycle ratio.
+//!
+//! This is the algorithm the paper adopts (its reference [2],
+//! Cochet-Terrasson et al.) to compute the cycle time of a timed marked
+//! graph: the maximum over all cycles of `Σdelay / Σtokens`. It maintains a
+//! *policy* (one outgoing edge per vertex), evaluates the unique cycle each
+//! policy path leads to, and greedily improves the policy first by cycle
+//! ratio and then by bias value until a fixed point. All arithmetic is
+//! exact: ratios are canonical fractions and bias values are 128-bit
+//! integers scaled by the ratio denominator.
+//!
+//! The solver runs per strongly connected component; cycles with zero
+//! tokens (infinite ratio — structural deadlock) must be excluded by the
+//! caller, which [`analysis`](crate::analysis) does with the token-free
+//! cycle check.
+
+use crate::ratio::Ratio;
+use crate::ratio_graph::{EdgeIdx, RatioGraph};
+use crate::scc::SccDecomposition;
+
+/// A critical cycle with its exact ratio.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct CycleRatioResult {
+    pub ratio: Ratio,
+    /// Edge indices of one cycle achieving the ratio, in traversal order.
+    pub cycle_edges: Vec<EdgeIdx>,
+}
+
+/// Reduced cost of an edge under ratio `num/den`, scaled by `den`.
+fn reduced_cost(delay: i64, tokens: i64, ratio: Ratio) -> i128 {
+    i128::from(delay) * i128::from(ratio.denom()) - i128::from(ratio.numer()) * i128::from(tokens)
+}
+
+/// Runs Howard's algorithm on one strongly connected component.
+///
+/// `members` lists the vertices of the component; all cycles through them
+/// are assumed to have positive token sums. Returns `None` if the
+/// component contains no cycle (single vertex without self-loop) or if the
+/// iteration cap is hit (callers fall back to the parametric solver).
+pub(crate) fn howard_on_component(
+    graph: &RatioGraph,
+    scc: &SccDecomposition,
+    members: &[usize],
+) -> Option<CycleRatioResult> {
+    let k = members.len();
+    let comp = scc.component[members[0]];
+    // Local relabeling.
+    let mut local = vec![usize::MAX; graph.node_count];
+    for (i, &v) in members.iter().enumerate() {
+        local[v] = i;
+    }
+    // Internal edges only.
+    let mut out: Vec<Vec<EdgeIdx>> = vec![Vec::new(); k];
+    let mut has_edge = false;
+    for (idx, e) in graph.edges.iter().enumerate() {
+        if scc.component[e.from] == comp && scc.component[e.to] == comp {
+            out[local[e.from]].push(idx);
+            has_edge = true;
+        }
+    }
+    if !has_edge {
+        return None;
+    }
+    // In a non-trivial SCC every vertex has an internal out-edge; a trivial
+    // SCC (single vertex) only qualifies with a self-loop, checked above.
+    debug_assert!(out.iter().all(|o| !o.is_empty()));
+
+    let mut policy: Vec<EdgeIdx> = out.iter().map(|o| o[0]).collect();
+    let mut lambda = vec![Ratio::zero(); k];
+    let mut bias = vec![0i128; k];
+
+    // Evaluation scratch: 0 = unvisited, 1 = on current path, 2 = resolved.
+    let mut state = vec![0u8; k];
+    let max_iterations = 64 + 8 * k;
+
+    for _ in 0..max_iterations {
+        // --- Evaluate the current policy. -------------------------------
+        state.iter_mut().for_each(|s| *s = 0);
+        for start in 0..k {
+            if state[start] != 0 {
+                continue;
+            }
+            // Walk the functional graph recording the path.
+            let mut path = vec![start];
+            state[start] = 1;
+            loop {
+                let v = *path.last().expect("path non-empty");
+                let w = local[graph.edges[policy[v]].to];
+                match state[w] {
+                    0 => {
+                        state[w] = 1;
+                        path.push(w);
+                    }
+                    1 => {
+                        // Found a new policy cycle starting at `w`.
+                        let cycle_start = path
+                            .iter()
+                            .position(|&x| x == w)
+                            .expect("on-path node is in path");
+                        let cycle = &path[cycle_start..];
+                        let mut delay_sum: i64 = 0;
+                        let mut token_sum: i64 = 0;
+                        for &u in cycle {
+                            let e = &graph.edges[policy[u]];
+                            delay_sum += e.delay;
+                            token_sum += e.tokens;
+                        }
+                        debug_assert!(token_sum > 0, "zero-token cycle must be pre-excluded");
+                        let ratio = Ratio::new(delay_sum, token_sum);
+                        // Bias around the cycle: x(u) = rc(u) + x(next(u)),
+                        // anchored at x(cycle[0]) = 0.
+                        lambda[cycle[0]] = ratio;
+                        bias[cycle[0]] = 0;
+                        for i in (1..cycle.len()).rev() {
+                            let u = cycle[i];
+                            let e = &graph.edges[policy[u]];
+                            let next = local[e.to];
+                            lambda[u] = ratio;
+                            bias[u] = reduced_cost(e.delay, e.tokens, ratio) + bias[next];
+                        }
+                        for &u in cycle {
+                            state[u] = 2;
+                        }
+                        // Prefix of the path drains into the cycle.
+                        for i in (0..cycle_start).rev() {
+                            let u = path[i];
+                            let e = &graph.edges[policy[u]];
+                            let next = local[e.to];
+                            lambda[u] = lambda[next];
+                            bias[u] = reduced_cost(e.delay, e.tokens, lambda[u]) + bias[next];
+                            state[u] = 2;
+                        }
+                        break;
+                    }
+                    _ => {
+                        // Path drains into an already-resolved region.
+                        for i in (0..path.len()).rev() {
+                            let u = path[i];
+                            let e = &graph.edges[policy[u]];
+                            let next = local[e.to];
+                            lambda[u] = lambda[next];
+                            bias[u] = reduced_cost(e.delay, e.tokens, lambda[u]) + bias[next];
+                            state[u] = 2;
+                        }
+                        break;
+                    }
+                }
+            }
+        }
+
+        // --- Improve: first by ratio, then by bias. ---------------------
+        let mut ratio_improved = false;
+        for u in 0..k {
+            for &e_idx in &out[u] {
+                let e = &graph.edges[e_idx];
+                let v = local[e.to];
+                if lambda[v] > lambda[u] {
+                    lambda[u] = lambda[v];
+                    policy[u] = e_idx;
+                    ratio_improved = true;
+                }
+            }
+        }
+        if ratio_improved {
+            continue;
+        }
+        let mut bias_improved = false;
+        for u in 0..k {
+            for &e_idx in &out[u] {
+                let e = &graph.edges[e_idx];
+                let v = local[e.to];
+                if lambda[v] == lambda[u] {
+                    let cand = reduced_cost(e.delay, e.tokens, lambda[u]) + bias[v];
+                    if cand > bias[u] {
+                        bias[u] = cand;
+                        policy[u] = e_idx;
+                        bias_improved = true;
+                    }
+                }
+            }
+        }
+        if !bias_improved {
+            // Converged: extract the best policy cycle.
+            let best = (0..k)
+                .max_by(|&a, &b| lambda[a].cmp(&lambda[b]))
+                .expect("component non-empty");
+            return Some(extract_policy_cycle(graph, &local, &policy, best));
+        }
+    }
+    None
+}
+
+/// Follows the policy from `start` until a vertex repeats and returns the
+/// cycle reached, with its exact ratio.
+fn extract_policy_cycle(
+    graph: &RatioGraph,
+    local: &[usize],
+    policy: &[EdgeIdx],
+    start: usize,
+) -> CycleRatioResult {
+    let k = policy.len();
+    let mut seen_at = vec![usize::MAX; k];
+    let mut order: Vec<usize> = Vec::new();
+    let mut v = start;
+    loop {
+        if seen_at[v] != usize::MAX {
+            let cycle_nodes = &order[seen_at[v]..];
+            let cycle_edges: Vec<EdgeIdx> = cycle_nodes.iter().map(|&u| policy[u]).collect();
+            let delay_sum: i64 = cycle_edges.iter().map(|&e| graph.edges[e].delay).sum();
+            let token_sum: i64 = cycle_edges.iter().map(|&e| graph.edges[e].tokens).sum();
+            return CycleRatioResult {
+                ratio: Ratio::new(delay_sum, token_sum),
+                cycle_edges,
+            };
+        }
+        seen_at[v] = order.len();
+        order.push(v);
+        v = local[graph.edges[policy[v]].to];
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scc::tarjan;
+
+    fn solve(g: &RatioGraph) -> Option<CycleRatioResult> {
+        let scc = tarjan(g);
+        let mut best: Option<CycleRatioResult> = None;
+        for members in scc.members() {
+            if let Some(r) = howard_on_component(g, &scc, &members) {
+                if best.as_ref().is_none_or(|b| r.ratio > b.ratio) {
+                    best = Some(r);
+                }
+            }
+        }
+        best
+    }
+
+    #[test]
+    fn single_self_loop() {
+        let mut g = RatioGraph::with_nodes(1);
+        g.add_edge(0, 0, 7, 2, None);
+        let r = solve(&g).expect("cycle exists");
+        assert_eq!(r.ratio, Ratio::new(7, 2));
+        assert_eq!(r.cycle_edges, vec![0]);
+    }
+
+    #[test]
+    fn picks_worse_of_two_loops() {
+        let mut g = RatioGraph::with_nodes(2);
+        g.add_edge(0, 0, 3, 1, None); // ratio 3
+        g.add_edge(1, 1, 7, 2, None); // ratio 3.5  <- critical
+        g.add_edge(0, 1, 0, 1, None);
+        let r = solve(&g).expect("cycles exist");
+        assert_eq!(r.ratio, Ratio::new(7, 2));
+    }
+
+    #[test]
+    fn two_cycles_sharing_a_vertex() {
+        let mut g = RatioGraph::with_nodes(3);
+        // Cycle A: 0 -> 1 -> 0 with delay 10, tokens 2 (ratio 5).
+        g.add_edge(0, 1, 4, 1, None);
+        g.add_edge(1, 0, 6, 1, None);
+        // Cycle B: 0 -> 2 -> 0 with delay 9, tokens 1 (ratio 9) <- critical.
+        g.add_edge(0, 2, 4, 0, None);
+        g.add_edge(2, 0, 5, 1, None);
+        let r = solve(&g).expect("cycles exist");
+        assert_eq!(r.ratio, Ratio::new(9, 1));
+        assert_eq!(r.cycle_edges.len(), 2);
+    }
+
+    #[test]
+    fn critical_cycle_witness_is_consistent() {
+        let mut g = RatioGraph::with_nodes(4);
+        g.add_edge(0, 1, 2, 1, None);
+        g.add_edge(1, 2, 3, 0, None);
+        g.add_edge(2, 0, 4, 1, None);
+        g.add_edge(2, 3, 1, 0, None);
+        g.add_edge(3, 2, 8, 1, None);
+        let r = solve(&g).expect("cycles exist");
+        // Cycle 2->3->2: ratio 9/1; cycle 0->1->2->0: ratio 9/2.
+        assert_eq!(r.ratio, Ratio::new(9, 1));
+        // Witness edges must form a closed walk achieving the ratio.
+        let d: i64 = r.cycle_edges.iter().map(|&e| g.edges[e].delay).sum();
+        let w: i64 = r.cycle_edges.iter().map(|&e| g.edges[e].tokens).sum();
+        assert_eq!(Ratio::new(d, w), r.ratio);
+        for (i, &e) in r.cycle_edges.iter().enumerate() {
+            let next = r.cycle_edges[(i + 1) % r.cycle_edges.len()];
+            assert_eq!(g.edges[e].to, g.edges[next].from);
+        }
+    }
+
+    #[test]
+    fn acyclic_graph_returns_none() {
+        let mut g = RatioGraph::with_nodes(3);
+        g.add_edge(0, 1, 5, 1, None);
+        g.add_edge(1, 2, 5, 1, None);
+        assert!(solve(&g).is_none());
+    }
+
+    #[test]
+    fn parallel_edges_are_considered() {
+        let mut g = RatioGraph::with_nodes(2);
+        g.add_edge(0, 1, 1, 1, None);
+        g.add_edge(1, 0, 1, 1, None); // ratio 1
+        g.add_edge(1, 0, 9, 1, None); // ratio 5 with first edge <- critical
+        let r = solve(&g).expect("cycles exist");
+        assert_eq!(r.ratio, Ratio::new(10, 2));
+    }
+
+    #[test]
+    fn larger_ring_with_cross_chords() {
+        // Ring of 6 with delay 1 per edge and two tokens: ratio 3.
+        // A chord creating a tighter loop of delay 15 over 1 token: 15.
+        let mut g = RatioGraph::with_nodes(6);
+        for i in 0..6 {
+            g.add_edge(i, (i + 1) % 6, 1, i64::from(i <= 1), None);
+        }
+        g.add_edge(3, 1, 13, 0, None);
+        g.add_edge(1, 3, 2, 1, None);
+        let r = solve(&g).expect("cycles exist");
+        assert_eq!(r.ratio, Ratio::new(15, 1));
+    }
+}

@@ -1,0 +1,106 @@
+//! Strongly-typed identifiers for the elements of a timed marked graph.
+//!
+//! [`PlaceId`] and [`TransitionId`] are newtype indices ([C-NEWTYPE]): they
+//! prevent accidentally indexing the place table with a transition id and
+//! vice versa. Both are dense indices assigned by the
+//! [`TmgBuilder`](crate::TmgBuilder) in insertion order.
+
+use std::fmt;
+
+/// Identifier of a place in a [`Tmg`](crate::Tmg).
+///
+/// Places hold tokens and have exactly one producer and one consumer
+/// transition. The id is a dense index into the graph's place table.
+///
+/// # Examples
+///
+/// ```
+/// use tmg::TmgBuilder;
+/// let mut b = TmgBuilder::new();
+/// let t = b.add_transition("t", 1);
+/// let p = b.add_place(t, t, 1);
+/// assert_eq!(p.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct PlaceId(pub(crate) u32);
+
+/// Identifier of a transition in a [`Tmg`](crate::Tmg).
+///
+/// Transitions carry a delay and fire by moving tokens. The id is a dense
+/// index into the graph's transition table.
+///
+/// # Examples
+///
+/// ```
+/// use tmg::TmgBuilder;
+/// let mut b = TmgBuilder::new();
+/// let t = b.add_transition("compute", 5);
+/// assert_eq!(t.index(), 0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TransitionId(pub(crate) u32);
+
+impl PlaceId {
+    /// Creates a place id from a raw dense index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        PlaceId(u32::try_from(index).expect("place index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this place.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl TransitionId {
+    /// Creates a transition id from a raw dense index.
+    #[must_use]
+    pub fn from_index(index: usize) -> Self {
+        TransitionId(u32::try_from(index).expect("transition index exceeds u32 range"))
+    }
+
+    /// Returns the dense index of this transition.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for PlaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "p{}", self.0)
+    }
+}
+
+impl fmt::Display for TransitionId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn place_id_roundtrip() {
+        let p = PlaceId::from_index(7);
+        assert_eq!(p.index(), 7);
+        assert_eq!(p.to_string(), "p7");
+    }
+
+    #[test]
+    fn transition_id_roundtrip() {
+        let t = TransitionId::from_index(3);
+        assert_eq!(t.index(), 3);
+        assert_eq!(t.to_string(), "t3");
+    }
+
+    #[test]
+    fn ids_are_ordered_by_index() {
+        assert!(PlaceId::from_index(1) < PlaceId::from_index(2));
+        assert!(TransitionId::from_index(0) < TransitionId::from_index(9));
+    }
+}

@@ -1,0 +1,211 @@
+//! Parametric (cycle-improvement) maximum-cycle-ratio solver.
+//!
+//! A Lawler-style exact baseline used to cross-validate
+//! [`howard`](crate::howard) and as a fallback should policy iteration ever
+//! hit its iteration cap. Starting from the ratio of an arbitrary cycle, it
+//! repeatedly reduces edge costs by the current ratio, searches for a
+//! positive-cost cycle with Bellman–Ford (longest-path relaxation), and
+//! tightens the ratio to that cycle's ratio. When no positive cycle
+//! remains, the current ratio is the maximum.
+//!
+//! All comparisons use exact integers: under candidate ratio `a/b` the
+//! reduced cost of an edge is `delay·b − a·tokens`, computed in `i128`.
+
+use crate::howard::CycleRatioResult;
+use crate::ratio::Ratio;
+use crate::ratio_graph::{EdgeIdx, RatioGraph};
+
+/// Finds one arbitrary cycle via iterative DFS, as a starting point.
+/// Returns edge indices in traversal order, or `None` if the graph is
+/// acyclic.
+pub(crate) fn find_any_cycle(graph: &RatioGraph) -> Option<Vec<EdgeIdx>> {
+    const WHITE: u8 = 0;
+    const GRAY: u8 = 1;
+    const BLACK: u8 = 2;
+    let n = graph.node_count;
+    let mut color = vec![WHITE; n];
+    let mut parent_edge: Vec<EdgeIdx> = vec![usize::MAX; n];
+    for start in 0..n {
+        if color[start] != WHITE {
+            continue;
+        }
+        let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
+        color[start] = GRAY;
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if *pos < graph.out_edges[v].len() {
+                let e = graph.out_edges[v][*pos];
+                *pos += 1;
+                let w = graph.edges[e].to;
+                match color[w] {
+                    WHITE => {
+                        color[w] = GRAY;
+                        parent_edge[w] = e;
+                        frames.push((w, 0));
+                    }
+                    GRAY => {
+                        // Close the cycle w .. v -> w.
+                        let mut cycle = vec![e];
+                        let mut cur = v;
+                        while cur != w {
+                            let pe = parent_edge[cur];
+                            cycle.push(pe);
+                            cur = graph.edges[pe].from;
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v] = BLACK;
+                frames.pop();
+            }
+        }
+    }
+    None
+}
+
+/// Ratio of a cycle given as edge indices.
+///
+/// # Panics
+///
+/// Panics if the token sum is zero (infinite ratio); callers must exclude
+/// zero-token cycles first.
+fn cycle_ratio(graph: &RatioGraph, cycle: &[EdgeIdx]) -> Ratio {
+    let delay: i64 = cycle.iter().map(|&e| graph.edges[e].delay).sum();
+    let tokens: i64 = cycle.iter().map(|&e| graph.edges[e].tokens).sum();
+    Ratio::new(delay, tokens)
+}
+
+/// Bellman–Ford longest-path relaxation from a virtual source connected to
+/// every vertex. Returns a positive-cost cycle (edge list) if one exists
+/// under ratio `lambda`, else `None`.
+fn find_positive_cycle(graph: &RatioGraph, lambda: Ratio) -> Option<Vec<EdgeIdx>> {
+    let n = graph.node_count;
+    let cost = |e: EdgeIdx| -> i128 {
+        let edge = &graph.edges[e];
+        i128::from(edge.delay) * i128::from(lambda.denom())
+            - i128::from(lambda.numer()) * i128::from(edge.tokens)
+    };
+    let mut dist = vec![0i128; n];
+    let mut parent: Vec<EdgeIdx> = vec![usize::MAX; n];
+    let mut updated_vertex = None;
+    for pass in 0..n {
+        let mut changed = false;
+        for (idx, e) in graph.edges.iter().enumerate() {
+            let cand = dist[e.from] + cost(idx);
+            if cand > dist[e.to] {
+                dist[e.to] = cand;
+                parent[e.to] = idx;
+                changed = true;
+                if pass == n - 1 {
+                    updated_vertex = Some(e.to);
+                }
+            }
+        }
+        if !changed {
+            return None;
+        }
+    }
+    let mut v = updated_vertex?;
+    // Walk back n steps to be certain we are on the cycle.
+    for _ in 0..n {
+        v = graph.edges[parent[v]].from;
+    }
+    // Extract the cycle through v.
+    let mut cycle = Vec::new();
+    let mut cur = v;
+    loop {
+        let e = parent[cur];
+        cycle.push(e);
+        cur = graph.edges[e].from;
+        if cur == v {
+            break;
+        }
+    }
+    cycle.reverse();
+    Some(cycle)
+}
+
+/// Exact maximum cycle ratio by iterative cycle improvement.
+///
+/// Preconditions: the graph has at least one cycle and no zero-token
+/// cycle. Returns the exact maximum ratio and a witness cycle.
+pub(crate) fn max_cycle_ratio_parametric(graph: &RatioGraph) -> Option<CycleRatioResult> {
+    let mut best_cycle = find_any_cycle(graph)?;
+    let mut lambda = cycle_ratio(graph, &best_cycle);
+    loop {
+        match find_positive_cycle(graph, lambda) {
+            None => {
+                return Some(CycleRatioResult {
+                    ratio: lambda,
+                    cycle_edges: best_cycle,
+                });
+            }
+            Some(cycle) => {
+                let next = cycle_ratio(graph, &cycle);
+                debug_assert!(next > lambda, "cycle improvement must be strict");
+                lambda = next;
+                best_cycle = cycle;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_a_cycle_when_one_exists() {
+        let mut g = RatioGraph::with_nodes(3);
+        g.add_edge(0, 1, 1, 1, None);
+        g.add_edge(1, 2, 1, 1, None);
+        g.add_edge(2, 1, 1, 1, None);
+        let cycle = find_any_cycle(&g).expect("cycle exists");
+        assert_eq!(cycle.len(), 2);
+    }
+
+    #[test]
+    fn acyclic_graph_has_no_cycle() {
+        let mut g = RatioGraph::with_nodes(3);
+        g.add_edge(0, 1, 1, 1, None);
+        g.add_edge(0, 2, 1, 1, None);
+        assert_eq!(find_any_cycle(&g), None);
+    }
+
+    #[test]
+    fn matches_hand_computed_max_ratio() {
+        let mut g = RatioGraph::with_nodes(3);
+        // Cycle A: ratio (2+6)/2 = 4. Cycle B: ratio 9/1 = 9.
+        g.add_edge(0, 1, 2, 1, None);
+        g.add_edge(1, 0, 6, 1, None);
+        g.add_edge(1, 2, 4, 0, None);
+        g.add_edge(2, 1, 5, 1, None);
+        let r = max_cycle_ratio_parametric(&g).expect("cyclic");
+        assert_eq!(r.ratio, Ratio::new(9, 1));
+    }
+
+    #[test]
+    fn witness_cycle_achieves_reported_ratio() {
+        let mut g = RatioGraph::with_nodes(4);
+        g.add_edge(0, 1, 3, 1, None);
+        g.add_edge(1, 2, 1, 1, None);
+        g.add_edge(2, 3, 4, 1, None);
+        g.add_edge(3, 0, 2, 1, None);
+        g.add_edge(2, 0, 20, 1, None);
+        let r = max_cycle_ratio_parametric(&g).expect("cyclic");
+        let d: i64 = r.cycle_edges.iter().map(|&e| g.edges[e].delay).sum();
+        let w: i64 = r.cycle_edges.iter().map(|&e| g.edges[e].tokens).sum();
+        assert_eq!(Ratio::new(d, w), r.ratio);
+        assert_eq!(r.ratio, Ratio::new(24, 3)); // 3 + 1 + 20 over 3 tokens
+    }
+
+    #[test]
+    fn single_self_loop() {
+        let mut g = RatioGraph::with_nodes(1);
+        g.add_edge(0, 0, 11, 4, None);
+        let r = max_cycle_ratio_parametric(&g).expect("cyclic");
+        assert_eq!(r.ratio, Ratio::new(11, 4));
+    }
+}

@@ -1,0 +1,202 @@
+//! Exact rational numbers for cycle-time arithmetic.
+//!
+//! Cycle times of timed marked graphs are ratios of integer delay sums over
+//! integer token counts. Computing them in floating point risks
+//! mis-identifying critical cycles when two cycles have nearly equal means,
+//! so every analysis in this crate works with [`Ratio`]: an exact,
+//! canonicalized fraction compared via 128-bit cross multiplication.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+/// An exact non-negative rational number `num / den` in lowest terms.
+///
+/// The denominator is always strictly positive; construction reduces the
+/// fraction by its greatest common divisor, so equal ratios have identical
+/// representations and [`Eq`]/[`Hash`] behave as expected.
+///
+/// # Examples
+///
+/// ```
+/// use tmg::Ratio;
+/// let a = Ratio::new(6, 4);
+/// let b = Ratio::new(3, 2);
+/// assert_eq!(a, b);
+/// assert_eq!(a.numer(), 3);
+/// assert_eq!(a.denom(), 2);
+/// assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Ratio {
+    num: i64,
+    den: i64,
+}
+
+/// Greatest common divisor of two non-negative integers.
+fn gcd(mut a: i64, mut b: i64) -> i64 {
+    while b != 0 {
+        let r = a % b;
+        a = b;
+        b = r;
+    }
+    a.max(1)
+}
+
+impl Ratio {
+    /// Creates a ratio `num / den`, reduced to lowest terms.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den == 0` or either argument is negative; cycle-time
+    /// arithmetic never produces negative quantities.
+    #[must_use]
+    pub fn new(num: i64, den: i64) -> Self {
+        assert!(den > 0, "ratio denominator must be positive, got {den}");
+        assert!(num >= 0, "ratio numerator must be non-negative, got {num}");
+        let g = gcd(num, den);
+        Ratio {
+            num: num / g,
+            den: den / g,
+        }
+    }
+
+    /// The zero ratio `0 / 1`.
+    #[must_use]
+    pub fn zero() -> Self {
+        Ratio { num: 0, den: 1 }
+    }
+
+    /// Creates a ratio from an integer value.
+    #[must_use]
+    pub fn from_integer(value: i64) -> Self {
+        assert!(value >= 0, "ratio must be non-negative, got {value}");
+        Ratio { num: value, den: 1 }
+    }
+
+    /// Numerator in lowest terms.
+    #[must_use]
+    pub fn numer(self) -> i64 {
+        self.num
+    }
+
+    /// Denominator in lowest terms (always positive).
+    #[must_use]
+    pub fn denom(self) -> i64 {
+        self.den
+    }
+
+    /// The ratio as a floating point value (for reporting only; all
+    /// comparisons inside the crate use exact arithmetic).
+    #[must_use]
+    pub fn to_f64(self) -> f64 {
+        self.num as f64 / self.den as f64
+    }
+
+    /// Multiplicative inverse, or `None` when the ratio is zero.
+    ///
+    /// Used to turn a cycle time into a throughput.
+    #[must_use]
+    pub fn recip(self) -> Option<Ratio> {
+        if self.num == 0 {
+            None
+        } else {
+            Some(Ratio {
+                num: self.den,
+                den: self.num,
+            })
+        }
+    }
+}
+
+impl PartialOrd for Ratio {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Ratio {
+    fn cmp(&self, other: &Self) -> Ordering {
+        let lhs = i128::from(self.num) * i128::from(other.den);
+        let rhs = i128::from(other.num) * i128::from(self.den);
+        lhs.cmp(&rhs)
+    }
+}
+
+impl fmt::Display for Ratio {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.den == 1 {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl From<i64> for Ratio {
+    fn from(value: i64) -> Self {
+        Ratio::from_integer(value)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduces_to_lowest_terms() {
+        let r = Ratio::new(10, 4);
+        assert_eq!(r.numer(), 5);
+        assert_eq!(r.denom(), 2);
+    }
+
+    #[test]
+    fn equality_is_canonical() {
+        assert_eq!(Ratio::new(2, 6), Ratio::new(1, 3));
+        assert_ne!(Ratio::new(2, 6), Ratio::new(1, 2));
+    }
+
+    #[test]
+    fn ordering_uses_cross_multiplication() {
+        assert!(Ratio::new(1, 3) < Ratio::new(1, 2));
+        assert!(Ratio::new(7, 2) > Ratio::new(10, 3));
+        assert_eq!(Ratio::new(4, 2).cmp(&Ratio::new(2, 1)), Ordering::Equal);
+    }
+
+    #[test]
+    fn ordering_survives_large_values() {
+        // Values chosen so that naive i64 cross multiplication would overflow.
+        let big = Ratio::new(i64::MAX / 2, 3);
+        let small = Ratio::new(1, i64::MAX / 2);
+        assert!(small < big);
+    }
+
+    #[test]
+    fn zero_and_integer_constructors() {
+        assert_eq!(Ratio::zero(), Ratio::new(0, 17));
+        assert_eq!(Ratio::from_integer(12), Ratio::new(24, 2));
+        assert_eq!(Ratio::from(5), Ratio::new(5, 1));
+    }
+
+    #[test]
+    fn recip_inverts() {
+        assert_eq!(Ratio::new(3, 4).recip(), Some(Ratio::new(4, 3)));
+        assert_eq!(Ratio::zero().recip(), None);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Ratio::new(5, 1).to_string(), "5");
+        assert_eq!(Ratio::new(5, 2).to_string(), "5/2");
+    }
+
+    #[test]
+    fn to_f64_matches() {
+        assert!((Ratio::new(1, 4).to_f64() - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "denominator must be positive")]
+    fn zero_denominator_panics() {
+        let _ = Ratio::new(1, 0);
+    }
+}

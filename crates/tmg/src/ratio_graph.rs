@@ -1,0 +1,133 @@
+//! The cycle-ratio problem representation shared by all solvers.
+//!
+//! A timed marked graph is lowered to a plain directed multigraph whose
+//! vertices are the transitions and whose edges are the places. An edge
+//! carries the *delay* of its head transition and the *token count* of its
+//! place, so that for any cycle the edge-delay sum equals the
+//! transition-delay sum and the edge-token sum equals the place-token sum.
+//! The cycle time of the TMG is then the **maximum cycle ratio**
+//! `max_c Σdelay(c) / Σtokens(c)` of this graph (the reciprocal of the
+//! paper's minimum cycle mean, Definition 3).
+
+use crate::graph::Tmg;
+use crate::ids::PlaceId;
+
+/// Index of an edge inside a [`RatioGraph`].
+pub(crate) type EdgeIdx = usize;
+
+/// A directed edge of the cycle-ratio problem.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct RatioEdge {
+    pub from: usize,
+    pub to: usize,
+    /// Delay contributed when a cycle traverses this edge.
+    pub delay: i64,
+    /// Tokens contributed when a cycle traverses this edge (non-negative).
+    pub tokens: i64,
+    /// The TMG place this edge came from, when lowered from a [`Tmg`].
+    pub place: Option<PlaceId>,
+}
+
+/// A directed multigraph with `(delay, tokens)`-weighted edges.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct RatioGraph {
+    pub node_count: usize,
+    pub edges: Vec<RatioEdge>,
+    /// Outgoing edge indices per node.
+    pub out_edges: Vec<Vec<EdgeIdx>>,
+}
+
+impl RatioGraph {
+    /// Creates a graph with `node_count` vertices and no edges.
+    pub fn with_nodes(node_count: usize) -> Self {
+        RatioGraph {
+            node_count,
+            edges: Vec::new(),
+            out_edges: vec![Vec::new(); node_count],
+        }
+    }
+
+    /// Adds an edge and returns its index.
+    pub fn add_edge(
+        &mut self,
+        from: usize,
+        to: usize,
+        delay: i64,
+        tokens: i64,
+        place: Option<PlaceId>,
+    ) -> EdgeIdx {
+        debug_assert!(from < self.node_count && to < self.node_count);
+        debug_assert!(delay >= 0 && tokens >= 0);
+        let idx = self.edges.len();
+        self.edges.push(RatioEdge {
+            from,
+            to,
+            delay,
+            tokens,
+            place,
+        });
+        self.out_edges[from].push(idx);
+        idx
+    }
+
+    /// Lowers a TMG to its cycle-ratio graph: one vertex per transition,
+    /// one edge per place. The edge carries the delay of the place's
+    /// *consumer* transition, so each transition on a cycle is counted
+    /// exactly once (through its unique incoming place on that cycle).
+    pub fn from_tmg(graph: &Tmg) -> Self {
+        let mut rg = RatioGraph::with_nodes(graph.transition_count());
+        for p in graph.place_ids() {
+            let place = graph.place(p);
+            let delay = graph.transition(place.consumer()).delay();
+            rg.add_edge(
+                place.producer().index(),
+                place.consumer().index(),
+                i64::try_from(delay).expect("delay exceeds i64 range"),
+                i64::try_from(place.initial_tokens()).expect("tokens exceed i64 range"),
+                Some(p),
+            );
+        }
+        rg
+    }
+
+    /// Sum of all edge delays; an upper bound for any cycle-delay sum.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn total_delay(&self) -> i64 {
+        self.edges.iter().map(|e| e.delay).sum()
+    }
+
+    /// Sum of all edge tokens; an upper bound for any cycle-token sum.
+    #[cfg_attr(not(test), allow(dead_code))]
+    pub fn total_tokens(&self) -> i64 {
+        self.edges.iter().map(|e| e.tokens).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TmgBuilder;
+
+    #[test]
+    fn lowering_counts_consumer_delays() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 3);
+        let c = b.add_transition("c", 2);
+        b.add_place(a, c, 1);
+        b.add_place(c, a, 0);
+        let g = b.build().expect("valid");
+        let rg = RatioGraph::from_tmg(&g);
+        assert_eq!(rg.node_count, 2);
+        assert_eq!(rg.edges.len(), 2);
+        // Edge from a to c carries c's delay.
+        let e0 = rg.edges[0];
+        assert_eq!((e0.from, e0.to, e0.delay, e0.tokens), (0, 1, 2, 1));
+        // Edge from c to a carries a's delay.
+        let e1 = rg.edges[1];
+        assert_eq!((e1.from, e1.to, e1.delay, e1.tokens), (1, 0, 3, 0));
+        // Around the unique cycle: delays sum to 5, tokens to 1 — so the
+        // cycle ratio (cycle time) is 5.
+        assert_eq!(rg.total_delay(), 5);
+        assert_eq!(rg.total_tokens(), 1);
+    }
+}

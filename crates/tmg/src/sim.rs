@@ -1,0 +1,230 @@
+//! Timed execution of a marked graph — the simulation the analytic model
+//! replaces.
+//!
+//! The paper's point is that the TMG model lets ERMES avoid lengthy
+//! simulations; this module provides that simulation anyway, so the model
+//! can be validated against it. It executes the earliest-firing-time
+//! semantics: a transition starts as soon as one token is available on
+//! every input place and deposits tokens on its outputs `delay` time units
+//! later. For marked graphs this schedule is deterministic (confluent), and
+//! the long-run interval between consecutive firings of any transition of a
+//! strongly connected graph converges to the cycle time π(G).
+
+use crate::graph::Tmg;
+use crate::ids::TransitionId;
+use std::collections::VecDeque;
+
+/// Result of a timed simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimulationOutcome {
+    /// Completed firing counts per transition (indexed by transition id).
+    pub firings: Vec<u64>,
+    /// Start time of every firing of the observed transition.
+    pub observed_times: Vec<u64>,
+    /// True if the run stopped because no transition could fire.
+    pub deadlocked: bool,
+}
+
+impl SimulationOutcome {
+    /// Estimates the steady-state cycle time from the observed firing
+    /// times, discarding the first half of the run as transient:
+    /// `(s_last − s_mid) / (last − mid)`.
+    ///
+    /// Returns `None` if fewer than four firings were observed or the run
+    /// deadlocked.
+    #[must_use]
+    pub fn estimated_cycle_time(&self) -> Option<f64> {
+        if self.deadlocked || self.observed_times.len() < 4 {
+            return None;
+        }
+        let last = self.observed_times.len() - 1;
+        let mid = last / 2;
+        let dt = self.observed_times[last] - self.observed_times[mid];
+        Some(dt as f64 / (last - mid) as f64)
+    }
+}
+
+/// Executes the earliest-firing-time semantics until the observed
+/// transition has fired `rounds` times (or deadlock).
+///
+/// # Panics
+///
+/// Panics if `observed` does not belong to `graph`.
+///
+/// # Examples
+///
+/// ```
+/// use tmg::{TmgBuilder, simulate};
+/// let mut b = TmgBuilder::new();
+/// let a = b.add_transition("a", 3);
+/// let c = b.add_transition("c", 2);
+/// b.add_place(a, c, 1);
+/// b.add_place(c, a, 0);
+/// let g = b.build()?;
+/// let run = simulate(&g, a, 100);
+/// // One token around a delay-5 loop: one firing every 5 time units.
+/// let ct = run.estimated_cycle_time().expect("live graph");
+/// assert!((ct - 5.0).abs() < 1e-9);
+/// # Ok::<(), tmg::TmgError>(())
+/// ```
+#[must_use]
+pub fn simulate(graph: &Tmg, observed: TransitionId, rounds: u64) -> SimulationOutcome {
+    assert!(
+        observed.index() < graph.transition_count(),
+        "observed transition out of range"
+    );
+    // Per-place FIFO of token availability times.
+    let mut tokens: Vec<VecDeque<u64>> = graph
+        .place_ids()
+        .map(|p| {
+            (0..graph.place(p).initial_tokens())
+                .map(|_| 0u64)
+                .collect()
+        })
+        .collect();
+    let mut firings = vec![0u64; graph.transition_count()];
+    let mut observed_times = Vec::new();
+
+    // Worklist of transitions that may be enabled. Earliest-firing order
+    // does not matter for the final schedule of a marked graph (confluence),
+    // so a simple FIFO sweep is sufficient; firing start times are computed
+    // from token availability, not from processing order.
+    let mut queue: VecDeque<usize> = (0..graph.transition_count()).collect();
+    let mut queued = vec![true; graph.transition_count()];
+
+    // Safety valve for graphs where the observed transition is starved
+    // while an input-free transition fires unboundedly.
+    let cap = rounds
+        .saturating_mul(graph.transition_count() as u64)
+        .saturating_mul(4)
+        .saturating_add(1024);
+    let mut total_firings: u64 = 0;
+
+    while observed_times.len() < rounds as usize && total_firings < cap {
+        let Some(t) = queue.pop_front() else {
+            return SimulationOutcome {
+                firings,
+                observed_times,
+                deadlocked: true,
+            };
+        };
+        queued[t] = false;
+        let tid = TransitionId::from_index(t);
+        let inputs = graph.input_places(tid);
+        let ready = inputs.iter().all(|&p| !tokens[p.index()].is_empty());
+        if !ready {
+            continue;
+        }
+        // Start when the latest input token becomes available.
+        let start = inputs
+            .iter()
+            .map(|&p| tokens[p.index()].front().copied().expect("non-empty"))
+            .max()
+            .unwrap_or(0);
+        for &p in inputs {
+            tokens[p.index()].pop_front();
+        }
+        let done = start + graph.transition(tid).delay();
+        for &p in graph.output_places(tid) {
+            tokens[p.index()].push_back(done);
+        }
+        firings[t] += 1;
+        total_firings += 1;
+        if t == observed.index() {
+            observed_times.push(start);
+        }
+        // Re-examine this transition and all consumers of its outputs.
+        if !queued[t] {
+            queued[t] = true;
+            queue.push_back(t);
+        }
+        for &p in graph.output_places(tid) {
+            let consumer = graph.place(p).consumer().index();
+            if !queued[consumer] {
+                queued[consumer] = true;
+                queue.push_back(consumer);
+            }
+        }
+    }
+
+    SimulationOutcome {
+        firings,
+        observed_times,
+        deadlocked: false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::TmgBuilder;
+
+    #[test]
+    fn two_tokens_halve_the_cycle_time() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 4);
+        b.add_place(a, a, 2);
+        let g = b.build().expect("valid");
+        let run = simulate(&g, a, 200);
+        let ct = run.estimated_cycle_time().expect("live");
+        assert!((ct - 2.0).abs() < 1e-9, "got {ct}");
+    }
+
+    #[test]
+    fn deadlocked_graph_reports_deadlock() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 1);
+        let c = b.add_transition("c", 1);
+        b.add_place(a, c, 0);
+        b.add_place(c, a, 0);
+        let g = b.build().expect("valid");
+        let run = simulate(&g, a, 10);
+        assert!(run.deadlocked);
+        assert_eq!(run.estimated_cycle_time(), None);
+    }
+
+    #[test]
+    fn bottleneck_cycle_dominates() {
+        // Two coupled loops; the slower loop (ratio 10) gates the faster.
+        let mut b = TmgBuilder::new();
+        let fast = b.add_transition("fast", 1);
+        let slow = b.add_transition("slow", 9);
+        b.add_place(fast, slow, 1);
+        b.add_place(slow, fast, 0);
+        let g = b.build().expect("valid");
+        let run = simulate(&g, fast, 300);
+        let ct = run.estimated_cycle_time().expect("live");
+        assert!((ct - 10.0).abs() < 1e-9, "got {ct}");
+    }
+
+    #[test]
+    fn firing_counts_balance_in_strongly_connected_graphs() {
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 2);
+        let c = b.add_transition("c", 3);
+        let d = b.add_transition("d", 1);
+        b.add_place(a, c, 1);
+        b.add_place(c, d, 0);
+        b.add_place(d, a, 1);
+        let g = b.build().expect("valid");
+        let run = simulate(&g, a, 100);
+        assert!(!run.deadlocked);
+        let max = run.firings.iter().max().copied().unwrap_or(0);
+        let min = run.firings.iter().min().copied().unwrap_or(0);
+        assert!(max - min <= 2, "firing counts diverged: {:?}", run.firings);
+    }
+
+    #[test]
+    fn source_like_transition_is_rate_limited_by_feedback() {
+        // A "testbench" loop with its own pacing token.
+        let mut b = TmgBuilder::new();
+        let src = b.add_transition("src", 2);
+        let sink = b.add_transition("sink", 1);
+        b.add_place(src, sink, 0);
+        b.add_place(sink, src, 1);
+        let g = b.build().expect("valid");
+        let run = simulate(&g, sink, 100);
+        let ct = run.estimated_cycle_time().expect("live");
+        assert!((ct - 3.0).abs() < 1e-9, "got {ct}");
+    }
+}

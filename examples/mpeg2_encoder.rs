@@ -1,0 +1,99 @@
+//! The MPEG-2 encoder case study, end to end.
+//!
+//! ```text
+//! cargo run --release --example mpeg2_encoder
+//! ```
+//!
+//! Part 1 drives the *timing* model: the 26-process/60-channel system of
+//! the paper's Table 1 through an ERMES exploration. Part 2 drives the
+//! *functional* model: a real (simplified) inter-frame encoder running as
+//! a blocking process network, checked bit-for-bit against the golden
+//! straight-line codec and decoded back to measure quality.
+
+use ermes::{explore, ExplorationConfig};
+use mpeg2sys::frame::{FUNC_HEIGHT, FUNC_WIDTH};
+use mpeg2sys::{
+    decode_sequence, encode_sequence, m2_design, run_pipeline, CodecConfig, Frame, Table1,
+};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ----- Part 1: the system-level timing model. -----------------------
+    println!("=== MPEG-2 encoder: system-level exploration ===\n");
+    println!("{}\n", Table1::measure());
+
+    let (design, _) = m2_design();
+    let report = ermes::analyze_design(&design);
+    println!(
+        "M2 starting point: CT {:.1} KCycles, area {:.3} mm2",
+        report.cycle_time().expect("live").to_f64() / 1e3,
+        design.area()
+    );
+    println!(
+        "critical cycle through: {:?}\n",
+        report
+            .critical_processes
+            .iter()
+            .map(|&p| design.system().process(p).name().to_string())
+            .collect::<Vec<_>>()
+    );
+
+    let trace = explore(design, ExplorationConfig::with_target(4_000_000))?;
+    println!("area-recovery exploration (TCT = 4,000 KCycles):");
+    for r in &trace.iterations {
+        println!(
+            "  iter {:>2}: {:<22} CT {:>8.1}K  area {:.3}  meets={}",
+            r.index,
+            format!("{:?}", r.action),
+            r.cycle_time.to_f64() / 1e3,
+            r.area,
+            r.meets_target
+        );
+    }
+    println!(
+        "best: CT {:.1}K, area {:.3} ({:+.1}% area vs start)\n",
+        trace.best().cycle_time.to_f64() / 1e3,
+        trace.best().area,
+        100.0 * trace.area_change()
+    );
+
+    // ----- Part 2: the functional pipeline. ------------------------------
+    println!("=== MPEG-2 encoder: functional pipeline ===\n");
+    let frames: Vec<Frame> = (0..8)
+        .map(|i| Frame::synthetic(FUNC_WIDTH, FUNC_HEIGHT, i * 3, i * 2))
+        .collect();
+    let config = CodecConfig::default();
+
+    let golden = encode_sequence(&frames, config);
+    let piped = run_pipeline(frames.clone(), config);
+    assert!(!piped.deadlocked, "the network must not stall");
+
+    let identical = piped
+        .encoded
+        .iter()
+        .zip(&golden)
+        .all(|(a, b)| *a == b.bytes);
+    println!(
+        "encoded {} frames of {}x{} in {} network cycles",
+        piped.encoded.len(),
+        FUNC_WIDTH,
+        FUNC_HEIGHT,
+        piped.cycles
+    );
+    println!(
+        "process-network bitstream vs golden encoder: {}",
+        if identical { "bit-identical" } else { "MISMATCH" }
+    );
+
+    let total_bytes: usize = piped.encoded.iter().map(Vec::len).sum();
+    let raw_bytes = frames.len() * FUNC_WIDTH * FUNC_HEIGHT;
+    println!(
+        "compression: {total_bytes} bytes vs {raw_bytes} raw ({:.1}x)",
+        raw_bytes as f64 / total_bytes as f64
+    );
+
+    let decoded = decode_sequence(&piped.encoded, FUNC_WIDTH, FUNC_HEIGHT)?;
+    for (i, (orig, dec)) in frames.iter().zip(&decoded).enumerate() {
+        println!("  frame {i}: PSNR {:.1} dB", dec.psnr(orig));
+    }
+    Ok(())
+}

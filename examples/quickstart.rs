@@ -1,0 +1,90 @@
+//! Quickstart: model a small accelerator, analyze it, optimize it.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+//!
+//! Builds a four-process accelerator (source → filter → transform →
+//! sink), characterizes the two datapath stages with the HLS surrogate,
+//! runs the ERMES exploration against a target cycle time, and validates
+//! the analytic result by cycle-accurate simulation.
+
+use ermes::{analyze_design, explore, Design, ExplorationConfig};
+use hlsim::{characterize, HlsKnobs, KernelSpec, MicroArch, ParetoSet};
+use sysgraph::SystemGraph;
+
+fn fixed_point(latency: u64) -> ParetoSet {
+    ParetoSet::from_candidates(vec![MicroArch {
+        knobs: HlsKnobs::baseline(),
+        latency,
+        area: 0.002,
+    }])
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("ERMES quickstart (workspace v{})\n", ermes_suite::version());
+
+    // 1. The system: processes plus blocking point-to-point channels.
+    let mut sys = SystemGraph::new();
+    let src = sys.add_process("src", 1);
+    let filter = sys.add_process("filter", 0);
+    let transform = sys.add_process("transform", 0);
+    let snk = sys.add_process("snk", 1);
+    sys.add_channel("raw", src, filter, 4)?;
+    sys.add_channel("mid", filter, transform, 4)?;
+    sys.add_channel("out", transform, snk, 4)?;
+
+    // 2. Micro-architecture characterization (the "HLS knobs" sweep).
+    let filter_pareto = characterize(&KernelSpec::new("filter", 32, 64, 0.04, 0.008));
+    let transform_pareto = characterize(&KernelSpec::new("transform", 64, 32, 0.05, 0.01));
+    println!(
+        "filter frontier: {} points ({}..{} cycles)",
+        filter_pareto.len(),
+        filter_pareto.fastest().latency,
+        filter_pareto.smallest().latency
+    );
+
+    // 3. A design = system + one selected implementation per process.
+    let mut design = Design::new(
+        sys,
+        vec![fixed_point(1), filter_pareto, transform_pareto, fixed_point(1)],
+    )?;
+    design.select_smallest();
+    let report = analyze_design(&design);
+    println!(
+        "initial: CT = {} cycles, area = {:.3}",
+        report.cycle_time().expect("live"),
+        design.area()
+    );
+
+    // 4. Explore against a target cycle time: IP selection + reordering.
+    let trace = explore(design, ExplorationConfig::with_target(200))?;
+    println!("\nexploration trace:");
+    for r in &trace.iterations {
+        println!(
+            "  iter {}: {:?} -> CT {} area {:.3} (meets target: {})",
+            r.index, r.action, r.cycle_time, r.area, r.meets_target
+        );
+    }
+    let best = trace.best();
+    println!(
+        "\nbest: CT {} cycles at area {:.3} ({}x speed-up)",
+        best.cycle_time,
+        best.area,
+        format_args!("{:.2}", trace.speedup())
+    );
+
+    // 5. Trust but verify: execute the optimized system cycle-accurately.
+    let outcome = pnsim::simulate_timing(trace.design.system(), 400);
+    let simulated = outcome.estimated_cycle_time().expect("live system");
+    println!(
+        "simulated steady-state cycle time: {simulated:.2} (model: {})",
+        best.cycle_time
+    );
+    assert!(
+        (simulated - best.cycle_time.to_f64()).abs() < best.cycle_time.to_f64() * 0.02 + 0.5,
+        "simulation must confirm the analytic model"
+    );
+    println!("model and execution agree.");
+    Ok(())
+}

@@ -1,0 +1,42 @@
+//! Umbrella library of the ERMES reproduction workspace.
+//!
+//! Re-exports the member crates under one roof so examples and
+//! integration tests can name everything through a single dependency.
+//! The real functionality lives in the crates:
+//!
+//! - [`tmg`] — timed marked graphs and exact cycle-time analysis;
+//! - [`sysgraph`] — the system-level SoC model and its TMG lowering;
+//! - [`pnsim`] — the cycle-accurate blocking-rendezvous simulator;
+//! - [`hlsim`] — the HLS surrogate (knobs, cost model, Pareto fronts);
+//! - [`ilp`] — from-scratch 0/1 ILP and knapsack solvers;
+//! - [`chanorder`] — the channel-ordering algorithm (Algorithm 1);
+//! - [`ermes`] — the design methodology (Fig. 5 loop);
+//! - [`mpeg2sys`] — the MPEG-2 case study (timing + functional);
+//! - [`socgen`] — synthetic scalability benchmarks.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use chanorder;
+pub use ermes;
+pub use hlsim;
+pub use ilp;
+pub use mpeg2sys;
+pub use pnsim;
+pub use socgen;
+pub use sysgraph;
+pub use tmg;
+
+/// Workspace version, for the examples' banners.
+#[must_use]
+pub fn version() -> &'static str {
+    env!("CARGO_PKG_VERSION")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::version().is_empty());
+    }
+}

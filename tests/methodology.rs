@@ -1,0 +1,105 @@
+//! Integration: the methodology on generated benchmarks — the full
+//! order → analyze → select → repeat loop, validated by execution.
+
+use ermes::{explore, Design, ExplorationConfig, OptStrategy};
+use socgen::{generate, SocGenConfig};
+use sysgraph::lower_to_tmg;
+
+#[test]
+fn exploration_improves_generated_benchmarks() {
+    for seed in 0..4u64 {
+        let soc = generate(SocGenConfig::sized(60, 100, seed));
+        let design = Design::new(soc.system, soc.pareto).expect("sizes match");
+        // Find the post-reordering baseline, then ask for 30% better.
+        let mut probe = design.clone();
+        let solution = chanorder::order_channels(probe.system());
+        solution
+            .ordering
+            .apply_to(probe.system_mut())
+            .expect("valid");
+        let baseline = ermes::analyze_design(&probe)
+            .cycle_time()
+            .expect("live")
+            .to_f64();
+        let target = (baseline * 0.7) as u64;
+        let trace = explore(design, ExplorationConfig::with_target(target))
+            .expect("exploration runs");
+        assert!(
+            trace.best().cycle_time.to_f64() <= baseline,
+            "seed {seed}: exploration regressed"
+        );
+    }
+}
+
+#[test]
+fn greedy_and_exact_strategies_agree_on_feasibility() {
+    let soc = generate(SocGenConfig::sized(30, 50, 9));
+    let baseline = {
+        let mut sys = soc.system.clone();
+        chanorder::order_channels(&sys)
+            .ordering
+            .apply_to(&mut sys)
+            .expect("valid");
+        tmg::analyze(lower_to_tmg(&sys).tmg())
+            .cycle_time()
+            .expect("live")
+            .to_f64()
+    };
+    let target = (baseline * 0.8) as u64;
+    for strategy in [OptStrategy::Exact, OptStrategy::Greedy] {
+        let design = Design::new(soc.system.clone(), soc.pareto.clone()).expect("sizes");
+        let trace = explore(
+            design,
+            ExplorationConfig {
+                max_iterations: 8,
+                strategy,
+                ..ExplorationConfig::with_target(target)
+            },
+        )
+        .expect("runs");
+        assert!(
+            trace.best().meets_target,
+            "{strategy:?} failed to reach an easy target"
+        );
+    }
+}
+
+#[test]
+fn optimized_systems_execute_at_the_predicted_rate() {
+    let soc = generate(SocGenConfig::sized(40, 70, 5));
+    let design = Design::new(soc.system, soc.pareto).expect("sizes");
+    let trace = explore(design, ExplorationConfig::with_target(1)).expect("runs");
+    // Target 1 is unreachable; the design settles at its fastest point.
+    let analytic = trace.best().cycle_time.to_f64();
+    let outcome = pnsim::simulate_timing(trace.design.system(), 200);
+    assert!(!outcome.deadlocked);
+    let simulated = outcome.estimated_cycle_time().expect("live");
+    assert!(
+        (simulated - analytic).abs() <= analytic * 0.02 + 0.5,
+        "simulated {simulated} vs analytic {analytic}"
+    );
+}
+
+#[test]
+fn howard_and_parametric_agree_at_benchmark_scale() {
+    let soc = generate(SocGenConfig::sized(150, 260, 17));
+    let mut sys = soc.system;
+    chanorder::order_channels(&sys)
+        .ordering
+        .apply_to(&mut sys)
+        .expect("valid");
+    let lowered = lower_to_tmg(&sys);
+    let a = tmg::analyze(lowered.tmg());
+    let b = tmg::analyze_parametric(lowered.tmg());
+    assert_eq!(a.cycle_time(), b.cycle_time());
+}
+
+#[test]
+fn conservative_ordering_never_deadlocks_across_seeds() {
+    for seed in 0..8u64 {
+        let soc = generate(SocGenConfig::sized(50, 90, seed));
+        let ordering = chanorder::conservative_ordering(&soc.system);
+        let verdict = chanorder::cycle_time_of(&soc.system, &ordering).expect("valid");
+        assert!(!verdict.is_deadlock(), "seed {seed}");
+    }
+}

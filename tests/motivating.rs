@@ -1,0 +1,101 @@
+//! Integration: the motivating example reproduces the paper's numbers
+//! across every layer of the stack (model, algorithm, execution).
+
+use chanorder::{cycle_time_of, exhaustive_best_ordering, order_channels};
+use sysgraph::{chan_index as ci, lower_to_tmg, proc_index as pi, MotivatingExample};
+use tmg::Ratio;
+
+#[test]
+fn section2_numbers() {
+    let ex = MotivatingExample::new();
+    assert_eq!(ex.system.ordering_space(), 36, "paper: 36 order combinations");
+
+    // The deadlocking order of Section 2.
+    let bad = cycle_time_of(&ex.system, &ex.deadlock_ordering()).expect("valid");
+    assert!(bad.is_deadlock());
+
+    // The deadlock-free but suboptimal order: throughput 0.05 = 1/20.
+    let slow = cycle_time_of(&ex.system, &ex.suboptimal_ordering()).expect("valid");
+    assert_eq!(slow.cycle_time(), Some(Ratio::new(20, 1)));
+    assert_eq!(slow.throughput(), Some(Ratio::new(1, 20)));
+
+    // The optimum: cycle time 12, i.e. 40% better.
+    let fast = cycle_time_of(&ex.system, &ex.optimal_ordering()).expect("valid");
+    assert_eq!(fast.cycle_time(), Some(Ratio::new(12, 1)));
+}
+
+#[test]
+fn section4_algorithm_labels_and_orders() {
+    let ex = MotivatingExample::new();
+    let solution = order_channels(&ex.system);
+
+    // Fig. 4(b): head weights of arcs e, d, g are 19, 13, 17.
+    let hw = |i: usize| solution.head_labels[ex.channels[i].index()].weight;
+    assert_eq!((hw(ci::E), hw(ci::D), hw(ci::G)), (19, 13, 17));
+    // Tail weights of arcs b, d, f are 16, 10, 13.
+    let tw = |i: usize| solution.tail_labels[ex.channels[i].index()].weight;
+    assert_eq!((tw(ci::B), tw(ci::D), tw(ci::F)), (16, 10, 13));
+
+    // Final ordering: P6 reads d, then g, then e; P2 writes b, then f,
+    // then d.
+    let gets: Vec<&str> = solution
+        .ordering
+        .gets(ex.processes[pi::P6])
+        .iter()
+        .map(|c| ex.system.channel(*c).name())
+        .collect();
+    assert_eq!(gets, vec!["d", "g", "e"]);
+    let puts: Vec<&str> = solution
+        .ordering
+        .puts(ex.processes[pi::P2])
+        .iter()
+        .map(|c| ex.system.channel(*c).name())
+        .collect();
+    assert_eq!(puts, vec!["b", "f", "d"]);
+
+    // The algorithm's order achieves the exhaustive optimum.
+    let achieved = cycle_time_of(&ex.system, &solution.ordering)
+        .expect("valid")
+        .cycle_time()
+        .expect("live");
+    let best = exhaustive_best_ordering(&ex.system, 100).expect("small space");
+    assert_eq!(achieved, best.best_cycle_time);
+    assert_eq!(achieved, Ratio::new(12, 1));
+}
+
+#[test]
+fn model_execution_agreement_on_all_three_orderings() {
+    // Deadlock order: both model and execution hang.
+    let ex = MotivatingExample::new();
+    assert!(tmg::analyze(lower_to_tmg(&ex.system).tmg()).is_deadlock());
+    assert!(pnsim::simulate_timing(&ex.system, 20).deadlocked);
+
+    // Live orders: simulated steady state equals the analytic cycle time.
+    for (ordering, expected) in [
+        (ex.suboptimal_ordering(), 20.0),
+        (ex.optimal_ordering(), 12.0),
+    ] {
+        let mut sys = ex.system.clone();
+        ordering.apply_to(&mut sys).expect("valid");
+        let analytic = tmg::analyze(lower_to_tmg(&sys).tmg())
+            .cycle_time()
+            .expect("live")
+            .to_f64();
+        assert!((analytic - expected).abs() < 1e-12);
+        let simulated = pnsim::simulate_timing(&sys, 400)
+            .estimated_cycle_time()
+            .expect("live");
+        assert!(
+            (simulated - expected).abs() < 1e-9,
+            "simulated {simulated} vs expected {expected}"
+        );
+    }
+}
+
+#[test]
+fn fsm_structure_matches_listing_1() {
+    let ex = MotivatingExample::new();
+    let fsm = pnsim::process_fsm(&ex.system, ex.processes[pi::P2]);
+    assert_eq!(fsm.io_state_count(), 4, "1 get + 3 puts");
+    assert_eq!(fsm.compute_state_count(), 5, "latency 5 chain");
+}
