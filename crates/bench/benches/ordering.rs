@@ -12,9 +12,13 @@ fn bench_ordering(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::new("algorithm1", n), &soc.system, |b, sys| {
             b.iter(|| black_box(chanorder::order_channels(sys)));
         });
-        group.bench_with_input(BenchmarkId::new("conservative", n), &soc.system, |b, sys| {
-            b.iter(|| black_box(chanorder::conservative_ordering(sys)));
-        });
+        group.bench_with_input(
+            BenchmarkId::new("conservative", n),
+            &soc.system,
+            |b, sys| {
+                b.iter(|| black_box(chanorder::conservative_ordering(sys)));
+            },
+        );
     }
     group.finish();
 }

@@ -1,12 +1,14 @@
 //! Regenerates every table and figure of the paper.
 //!
 //! ```text
-//! repro [--experiment <id>]
+//! repro [--experiment <id>] [--jobs <n>]
 //! ```
 //!
 //! Ids: `fig2`, `fig2b`, `fig3`, `fig4`, `orders`, `table1`, `m1`,
 //! `fig6-timing`, `fig6-area`, `scalability`, `pipeline`, or `all`
-//! (default). See EXPERIMENTS.md for the paper-versus-measured record.
+//! (default). `--jobs` sets the worker-thread count of the parallel
+//! part of E9 (`0` = all hardware threads, the default). See
+//! EXPERIMENTS.md for the paper-versus-measured record.
 
 use bench::experiments;
 use ermes::StepAction;
@@ -20,14 +22,25 @@ fn banner(title: &str) {
 fn run_fig2() {
     banner("E1 / Fig. 2(a) — motivating example: deadlock and ordering");
     let r = experiments::fig2();
-    println!("ordering space              : {} (paper: 36)", r.ordering_space);
+    println!(
+        "ordering space              : {} (paper: 36)",
+        r.ordering_space
+    );
     println!(
         "Section-2 ordering          : {} (paper: deadlock)",
-        if r.deadlock_order_deadlocks { "deadlock" } else { "live" }
+        if r.deadlock_order_deadlocks {
+            "deadlock"
+        } else {
+            "live"
+        }
     );
     println!(
         "cycle-accurate simulation   : {}",
-        if r.simulation_stalls { "stalls" } else { "runs" }
+        if r.simulation_stalls {
+            "stalls"
+        } else {
+            "runs"
+        }
     );
     println!(
         "suboptimal ordering CT      : {} (paper: 20)",
@@ -47,9 +60,15 @@ fn run_fig2b() {
 fn run_fig3() {
     banner("E3 / Fig. 3 — TMG model of the motivating system");
     let r = experiments::fig3();
-    println!("transitions                 : {} (7 processes + 8 channels)", r.transitions);
+    println!(
+        "transitions                 : {} (7 processes + 8 channels)",
+        r.transitions
+    );
     println!("places                      : {}", r.places);
-    println!("initial tokens              : {} (one per process)", r.initial_tokens);
+    println!(
+        "initial tokens              : {} (one per process)",
+        r.initial_tokens
+    );
     println!(
         "places feeding channel b    : {} (its put-place and get-place)",
         r.channel_b_feed_count
@@ -67,8 +86,14 @@ fn run_fig4() {
         "tail weights (b, d, f)      : {:?} (paper: (16, 10, 13))",
         r.tail_weights_b_d_f
     );
-    println!("P6 get order                : {:?} (paper: d, g, e)", r.p6_gets);
-    println!("P2 put order                : {:?} (paper: b, f, d)", r.p2_puts);
+    println!(
+        "P6 get order                : {:?} (paper: d, g, e)",
+        r.p6_gets
+    );
+    println!(
+        "P2 put order                : {:?} (paper: b, f, d)",
+        r.p2_puts
+    );
     println!(
         "algorithm cycle time        : {} (paper: 12)",
         r.algorithm_cycle_time
@@ -159,7 +184,10 @@ fn run_fig6(target_kcycles: u64, label: &str, paper: &str) {
         trace.speedup(),
         100.0 * trace.area_change()
     );
-    println!("{}", ermes::render_trace(&trace, target_kcycles * 1_000, 12));
+    println!(
+        "{}",
+        ermes::render_trace(&trace, target_kcycles * 1_000, 12)
+    );
 }
 
 fn run_sweep() {
@@ -175,11 +203,15 @@ fn run_sweep() {
         );
     }
     let (slow, fast) = experiments::motivating_stalls();
-    println!("
-stall cycles on the motivating example (200 iterations):");
+    println!(
+        "
+stall cycles on the motivating example (200 iterations):"
+    );
     println!("  suboptimal ordering: {slow}");
-    println!("  optimal ordering   : {fast} ({:.1}% less waiting)",
-             100.0 * (slow - fast) as f64 / slow as f64);
+    println!(
+        "  optimal ordering   : {fast} ({:.1}% less waiting)",
+        100.0 * (slow - fast) as f64 / slow as f64
+    );
 }
 
 fn run_ablation() {
@@ -197,9 +229,7 @@ fn run_ablation() {
         "  adversarial tie resolution: {} deadlocks",
         r.adversarial_deadlocks
     );
-    println!(
-        "in-loop reordering (M2 timing exploration, best CT):"
-    );
+    println!("in-loop reordering (M2 timing exploration, best CT):");
     println!(
         "  with reordering           : {:.1} KCycles",
         r.explore_with_reorder / 1e3
@@ -217,7 +247,7 @@ fn run_ablation() {
     );
 }
 
-fn run_scalability() {
+fn run_scalability(jobs: usize) {
     banner("E9 — scalability on synthetic SoCs (feedback + reconvergence)");
     println!("processes  channels  ordering[ms]  analysis[ms]  exploration[ms]");
     for row in experiments::scalability(&[100, 500, 1_000, 5_000, 10_000]) {
@@ -227,6 +257,29 @@ fn run_scalability() {
         );
     }
     println!("(paper: \"a few minutes in the worst cases\" at 10,000/15,000)");
+
+    println!("\nmulti-target Pareto sweep, seed engine vs memoized engine (12-target ladder):");
+    println!(
+        "processes  channels  jobs  seed[ms]  cold[ms]  warm[ms]  cold-spd  warm-spd  identical  cache-hit"
+    );
+    for row in experiments::parallel_sweep(&[250, 1_000, 5_000], jobs) {
+        println!(
+            "{:>9}  {:>8}  {:>4}  {:>8.1}  {:>8.1}  {:>8.1}  {:>7.2}x  {:>7.2}x  {:>9}  {:>8.0}%",
+            row.processes,
+            row.channels,
+            row.jobs,
+            row.serial_ms,
+            row.parallel_ms,
+            row.resweep_ms,
+            row.speedup,
+            row.resweep_speedup,
+            if row.identical { "yes" } else { "NO" },
+            row.analysis_hit_rate * 100.0,
+        );
+    }
+    println!("(seed = serial, unmemoized; cold = shared cache, first sweep; warm = re-sweep");
+    println!(" against the filled cache, the iterative-DSE case; fronts compared with exact");
+    println!(" Ratio equality; hit-rate is the analysis cache over both engine runs)");
 }
 
 fn run_pipeline() {
@@ -253,7 +306,11 @@ fn run_pipeline() {
     println!("network cycles              : {}", piped.cycles);
     println!(
         "bitstream vs golden encoder : {}",
-        if identical { "bit-identical" } else { "MISMATCH" }
+        if identical {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
     );
     println!("total bits                  : {total_bits}");
     let decoded = mpeg2sys::decode_sequence(
@@ -276,6 +333,11 @@ fn main() {
         .position(|a| a == "--experiment")
         .and_then(|i| args.get(i + 1))
         .map_or("all", String::as_str);
+    let jobs: usize = args
+        .iter()
+        .position(|a| a == "--jobs")
+        .and_then(|i| args.get(i + 1))
+        .map_or(0, |s| s.parse().expect("--jobs takes a number"));
 
     match experiment {
         "fig2" => run_fig2(),
@@ -295,7 +357,7 @@ fn main() {
             "E8 / Fig. 6 (right) — area recovery, TCT = 4,000 KCycles",
             "paper: -32.46% area, <1% CT degradation",
         ),
-        "scalability" => run_scalability(),
+        "scalability" => run_scalability(jobs),
         "pipeline" => run_pipeline(),
         "ablation" => run_ablation(),
         "sweep" => run_sweep(),
@@ -320,7 +382,7 @@ fn main() {
             run_pipeline();
             run_ablation();
             run_sweep();
-            run_scalability();
+            run_scalability(jobs);
         }
         other => {
             eprintln!("unknown experiment `{other}`");

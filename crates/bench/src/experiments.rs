@@ -195,8 +195,11 @@ pub fn m1_reordering() -> M1Result {
 #[must_use]
 pub fn fig6(target_kcycles: u64) -> ExplorationTrace {
     let (design, _) = mpeg2sys::m2_design();
-    explore(design, ExplorationConfig::with_target(target_kcycles * 1_000))
-        .expect("MPEG-2 explorations succeed")
+    explore(
+        design,
+        ExplorationConfig::with_target(target_kcycles * 1_000),
+    )
+    .expect("MPEG-2 explorations succeed")
 }
 
 /// One row of the E9 scalability sweep.
@@ -263,6 +266,122 @@ pub fn scalability(sizes: &[usize]) -> Vec<ScalabilityRow> {
         .collect()
 }
 
+/// One row of the E9 parallel-sweep benchmark: the same multi-target
+/// Pareto sweep, serial versus parallel, on one synthetic SoC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParallelSweepRow {
+    /// Worker process count.
+    pub processes: usize,
+    /// Channel count.
+    pub channels: usize,
+    /// Targets in the ladder.
+    pub targets: usize,
+    /// Worker threads of the parallel run.
+    pub jobs: usize,
+    /// Wall-clock of the seed engine (serial, unmemoized), in
+    /// milliseconds.
+    pub serial_ms: f64,
+    /// Wall-clock of the new engine (memoized, `jobs` threads, cold
+    /// cache), in milliseconds.
+    pub parallel_ms: f64,
+    /// Wall-clock of re-running the sweep against the now-warm cache
+    /// (the iterative-DSE case), in milliseconds.
+    pub resweep_ms: f64,
+    /// `serial_ms / parallel_ms` (cold).
+    pub speedup: f64,
+    /// `serial_ms / resweep_ms` (warm).
+    pub resweep_speedup: f64,
+    /// All three fronts compared with exact `Ratio`/`f64` equality.
+    pub identical: bool,
+    /// Analysis-cache hit rate over both engine runs.
+    pub analysis_hit_rate: f64,
+    /// Ordering-cache hit rate over both engine runs.
+    pub ordering_hit_rate: f64,
+}
+
+/// Runs the E9 parallel-sweep benchmark: for each size, sweep a 12-target
+/// ladder (bracketing the initial cycle time) with the seed engine
+/// (serial, unmemoized — one independent exploration per target) and with
+/// the new engine (`jobs` worker threads sharing one memoization cache),
+/// then re-sweep against the warm cache (the iterative-DSE case), and
+/// check all three fronts are bit-identical.
+///
+/// # Panics
+///
+/// Panics if a generated benchmark fails to explore (they are live by
+/// construction).
+#[must_use]
+pub fn parallel_sweep(sizes: &[usize], jobs: usize) -> Vec<ParallelSweepRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 42));
+            let channels = soc.system.channel_count();
+            let design = ermes::Design::new(soc.system, soc.pareto).expect("sizes match");
+            let mut probe = design.clone();
+            let solution = order_channels(probe.system());
+            solution
+                .ordering
+                .apply_to(probe.system_mut())
+                .expect("valid");
+            let base = ermes::analyze_design(&probe)
+                .cycle_time()
+                .expect("generated benchmarks are live")
+                .to_f64();
+            let targets: Vec<u64> = [
+                0.5, 0.65, 0.8, 0.95, 1.1, 1.25, 1.4, 1.6, 2.0, 2.5, 3.5, 5.0,
+            ]
+            .iter()
+            .map(|f| ((base * f) as u64).max(1))
+            .collect();
+
+            let t0 = Instant::now();
+            let serial = ermes::pareto_sweep_with(
+                design.clone(),
+                &targets,
+                &ermes::SweepOptions {
+                    jobs: 1,
+                    memoize: false,
+                },
+            )
+            .expect("serial sweep succeeds");
+            let serial_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let options = ermes::SweepOptions {
+                jobs,
+                memoize: true,
+            };
+            let cache = ermes::EngineCache::new();
+            let t1 = Instant::now();
+            let parallel = ermes::pareto_sweep_cached(design.clone(), &targets, &options, &cache)
+                .expect("parallel sweep succeeds");
+            let parallel_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            // Sweep again against the warm cache: every configuration the
+            // first run scored is served from the memo.
+            let t2 = Instant::now();
+            let resweep = ermes::pareto_sweep_cached(design, &targets, &options, &cache)
+                .expect("warm sweep succeeds");
+            let resweep_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+            ParallelSweepRow {
+                processes: n,
+                channels,
+                targets: targets.len(),
+                jobs: parx::resolve_jobs(jobs),
+                serial_ms,
+                parallel_ms,
+                resweep_ms,
+                speedup: serial_ms / parallel_ms,
+                resweep_speedup: serial_ms / resweep_ms,
+                identical: parallel.front == serial.front && resweep.front == serial.front,
+                analysis_hit_rate: resweep.cache.analysis_hit_rate(),
+                ordering_hit_rate: resweep.cache.ordering_hit_rate(),
+            }
+        })
+        .collect()
+}
+
 /// The system-level Pareto front of the MPEG-2 encoder across target
 /// cycle times (the "set of Pareto-optimal implementations for the
 /// overall system" the paper starts from, re-derived by ERMES).
@@ -271,7 +390,9 @@ pub fn mpeg2_sweep() -> Vec<ermes::SweepPoint> {
     let (design, _) = mpeg2sys::m2_design();
     ermes::pareto_sweep(
         design,
-        &[1_000_000, 1_500_000, 2_000_000, 3_000_000, 4_000_000, 6_000_000],
+        &[
+            1_000_000, 1_500_000, 2_000_000, 3_000_000, 4_000_000, 6_000_000,
+        ],
     )
     .expect("MPEG-2 sweeps")
 }
@@ -291,7 +412,10 @@ pub fn motivating_stalls() -> (u64, u64) {
             .sum()
     };
     let ex = MotivatingExample::new();
-    (total(ex.suboptimal_ordering()), total(ex.optimal_ordering()))
+    (
+        total(ex.suboptimal_ordering()),
+        total(ex.optimal_ordering()),
+    )
 }
 
 /// Ablation results (design-choice studies promised in DESIGN.md §6).
@@ -395,11 +519,7 @@ pub fn ablation() -> AblationResult {
         explore_without_reorder,
         buffer_before,
         buffer_after: best.cycle_time.to_f64(),
-        buffer_channel: design
-            .system()
-            .channel(best.channel)
-            .name()
-            .to_string(),
+        buffer_channel: design.system().channel(best.channel).name().to_string(),
     }
 }
 
@@ -465,8 +585,36 @@ mod tests {
     fn ablation_confirms_design_choices() {
         let r = ablation();
         assert_eq!(r.timestamp_deadlocks, 0, "the paper's tie-break is safe");
-        assert!(r.adversarial_deadlocks > 0, "the ablation control must fail");
+        assert!(
+            r.adversarial_deadlocks > 0,
+            "the ablation control must fail"
+        );
         assert!(r.buffer_after <= r.buffer_before);
+    }
+
+    #[test]
+    fn parallel_sweep_fronts_are_identical() {
+        // Small sizes keep the test fast; the repro binary runs the
+        // 1000-process row. The contract under test is the bit-identity
+        // flag and sane counters, not the speedup.
+        let rows = parallel_sweep(&[60, 120], 4);
+        assert_eq!(rows.len(), 2);
+        for row in rows {
+            assert!(
+                row.identical,
+                "fronts diverged at {} processes",
+                row.processes
+            );
+            assert!(row.serial_ms > 0.0 && row.parallel_ms > 0.0 && row.resweep_ms > 0.0);
+            assert!(row.targets == 12);
+            assert!((0.0..=1.0).contains(&row.analysis_hit_rate));
+            // The warm re-sweep replays only cached configurations.
+            assert!(
+                row.analysis_hit_rate > 0.0,
+                "warm re-sweep produced no cache hits at {} processes",
+                row.processes
+            );
+        }
     }
 
     #[test]

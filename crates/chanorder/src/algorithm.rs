@@ -216,7 +216,10 @@ pub fn order_channels_with(system: &SystemGraph, options: OrderingOptions) -> Or
                 }
             }
         }
-        debug_assert!(head_assigned.iter().all(|&a| a), "forward labeling covers all arcs");
+        debug_assert!(
+            head_assigned.iter().all(|&a| a),
+            "forward labeling covers all arcs"
+        );
     }
 
     // ---------------- Backward Labeling --------------------------------
@@ -270,7 +273,10 @@ pub fn order_channels_with(system: &SystemGraph, options: OrderingOptions) -> Or
                 }
             }
         }
-        debug_assert!(tail_assigned.iter().all(|&a| a), "backward labeling covers all arcs");
+        debug_assert!(
+            tail_assigned.iter().all(|&a| a),
+            "backward labeling covers all arcs"
+        );
     }
 
     // ---------------- Final Ordering ------------------------------------
@@ -328,11 +334,7 @@ mod tests {
         let p6_gets = solution.ordering.gets(ex.processes[pi::P6]);
         assert_eq!(
             p6_gets,
-            &[
-                ex.channels[ci::D],
-                ex.channels[ci::G],
-                ex.channels[ci::E]
-            ],
+            &[ex.channels[ci::D], ex.channels[ci::G], ex.channels[ci::E]],
             "P6 get order"
         );
         // The head weight of d must be strictly smallest among {d, g, e}.
@@ -379,7 +381,8 @@ mod tests {
         let snk = sys.add_process("snk", 1);
         sys.add_channel("in", src, a, 1).expect("valid");
         sys.add_channel("fwd", a, b, 1).expect("valid");
-        sys.add_channel_with_tokens("fb", b, a, 1, 1).expect("valid");
+        sys.add_channel_with_tokens("fb", b, a, 1, 1)
+            .expect("valid");
         sys.add_channel("out", b, snk, 1).expect("valid");
         let solution = order_channels(&sys);
         assert_eq!(solution.feedback_channels.len(), 1);
@@ -406,8 +409,12 @@ mod tests {
     #[test]
     fn timestamp_tie_break_keeps_symmetric_structures_live() {
         let sys = symmetric_parallel_system();
-        let solution =
-            order_channels_with(&sys, OrderingOptions { tie_break: TieBreak::Timestamp });
+        let solution = order_channels_with(
+            &sys,
+            OrderingOptions {
+                tie_break: TieBreak::Timestamp,
+            },
+        );
         let verdict = cycle_time_of(&sys, &solution.ordering).expect("valid");
         assert!(!verdict.is_deadlock(), "the paper's tie-break must be safe");
     }
@@ -418,8 +425,12 @@ mod tests {
         // inconsistently across the two traversals crosses the two
         // parallel channels and hangs the system.
         let sys = symmetric_parallel_system();
-        let solution =
-            order_channels_with(&sys, OrderingOptions { tie_break: TieBreak::Adversarial });
+        let solution = order_channels_with(
+            &sys,
+            OrderingOptions {
+                tie_break: TieBreak::Adversarial,
+            },
+        );
         let verdict = cycle_time_of(&sys, &solution.ordering).expect("valid");
         assert!(
             verdict.is_deadlock(),
@@ -433,7 +444,8 @@ mod tests {
         let mut prev = sys.add_process("p0", 1);
         for i in 1..5 {
             let next = sys.add_process(format!("p{i}"), 1);
-            sys.add_channel(format!("c{i}"), prev, next, 1).expect("valid");
+            sys.add_channel(format!("c{i}"), prev, next, 1)
+                .expect("valid");
             prev = next;
         }
         let before = sysgraph::ChannelOrdering::of(&sys);

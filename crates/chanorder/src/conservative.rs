@@ -157,7 +157,8 @@ mod tests {
         let b = sys.add_process("b", 1);
         let c = sys.add_process("c", 1);
         sys.add_channel("ab", a, b, 1).expect("valid");
-        sys.add_channel_with_tokens("ba", b, a, 1, 1).expect("valid");
+        sys.add_channel_with_tokens("ba", b, a, 1, 1)
+            .expect("valid");
         sys.add_channel("bc", b, c, 1).expect("valid");
         let rank = condensation_ranks(&sys);
         assert_eq!(rank[a.index()], rank[b.index()], "same SCC, same rank");

@@ -206,7 +206,10 @@ mod tests {
         let ex = MotivatingExample::new();
         assert!(matches!(
             exhaustive_best_ordering(&ex.system, 10),
-            Err(ExhaustiveError::SpaceTooLarge { space: 36, limit: 10 })
+            Err(ExhaustiveError::SpaceTooLarge {
+                space: 36,
+                limit: 10
+            })
         ));
     }
 

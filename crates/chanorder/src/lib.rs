@@ -47,7 +47,9 @@ mod label;
 mod random;
 mod refine;
 
-pub use algorithm::{order_channels, order_channels_with, OrderingOptions, OrderingSolution, TieBreak};
+pub use algorithm::{
+    order_channels, order_channels_with, OrderingOptions, OrderingSolution, TieBreak,
+};
 pub use conservative::conservative_ordering;
 pub use evaluate::cycle_time_of;
 pub use exhaustive::{exhaustive_best_ordering, ExhaustiveError, ExhaustiveResult};

@@ -84,7 +84,8 @@ mod tests {
         for seed in 0..20 {
             let ord = random_ordering(&ex.system, seed);
             let mut sys = ex.system.clone();
-            ord.apply_to(&mut sys).expect("random ordering is a valid permutation");
+            ord.apply_to(&mut sys)
+                .expect("random ordering is a valid permutation");
         }
     }
 

@@ -133,8 +133,11 @@ mod tests {
     #[test]
     fn refining_the_suboptimal_order_reaches_the_optimum() {
         let ex = MotivatingExample::new();
-        let result =
-            refine_ordering(&ex.system, &ex.suboptimal_ordering(), RefineConfig::default());
+        let result = refine_ordering(
+            &ex.system,
+            &ex.suboptimal_ordering(),
+            RefineConfig::default(),
+        );
         assert_eq!(result.cycle_time, Ratio::new(12, 1));
         assert!(result.moves >= 1);
     }
@@ -154,8 +157,11 @@ mod tests {
     #[test]
     fn refinement_result_is_always_live() {
         let ex = MotivatingExample::new();
-        let result =
-            refine_ordering(&ex.system, &ex.suboptimal_ordering(), RefineConfig::default());
+        let result = refine_ordering(
+            &ex.system,
+            &ex.suboptimal_ordering(),
+            RefineConfig::default(),
+        );
         let verdict = cycle_time_of(&ex.system, &result.ordering).expect("valid");
         assert!(!verdict.is_deadlock());
     }

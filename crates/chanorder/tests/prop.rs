@@ -8,7 +8,7 @@
 //! optimum.
 
 use proptest::prelude::*;
-use sysgraph::{ChannelOrdering, ProcessId, SystemGraph};
+use sysgraph::{ProcessId, SystemGraph};
 
 /// Builds a random layered system: src → layer1 → layer2 → snk with
 /// random widths, fan-in/fan-out, skip channels, and latencies — the
@@ -194,7 +194,10 @@ fn statistical_quality_on_fixed_family() {
         for rs in 0..5 {
             random_total += 1;
             let r = chanorder::random_ordering(&sys, seed * 17 + rs);
-            if chanorder::cycle_time_of(&sys, &r).expect("valid").is_deadlock() {
+            if chanorder::cycle_time_of(&sys, &r)
+                .expect("valid")
+                .is_deadlock()
+            {
                 random_deadlocks += 1;
             }
         }

@@ -1,0 +1,158 @@
+//! Hand-translated proptest regression seeds.
+//!
+//! `prop.proptest-regressions` records one shrunk counterexample (seed
+//! `f6f6a42b…`) as a debug dump of the generated `SystemGraph`. This file
+//! rebuilds that exact system — 7 processes, 10 channels, including the
+//! reconvergent `skip_a` path that made it adversarial — and re-runs
+//! every property from `prop.rs` against it as plain unit tests, so the
+//! case is exercised on every `cargo test` regardless of the proptest
+//! runner's seed handling.
+
+use sysgraph::SystemGraph;
+
+/// The shrunk counterexample: `src → {a0, a1} → {b0, b1, b2} → snk` with
+/// a source-to-layer-2 skip channel. Statement orders are the insertion
+/// defaults, exactly as in the recorded dump.
+fn shrunk_system() -> SystemGraph {
+    let mut sys = SystemGraph::new();
+    let src = sys.add_process("src", 5);
+    let a0 = sys.add_process("a0", 1);
+    let a1 = sys.add_process("a1", 2);
+    let b0 = sys.add_process("b0", 4);
+    let b1 = sys.add_process("b1", 1);
+    let b2 = sys.add_process("b2", 2);
+    let snk = sys.add_process("snk", 1);
+    sys.add_channel("s0", src, a0, 1).expect("valid");
+    sys.add_channel("s1", src, a1, 1).expect("valid");
+    sys.add_channel("m0", a1, b1, 4).expect("valid");
+    sys.add_channel("m1", a0, b1, 5).expect("valid");
+    sys.add_channel("m2", a1, b2, 5).expect("valid");
+    sys.add_channel("fill0", a0, b0, 5).expect("valid");
+    sys.add_channel("skip_a", src, b0, 1).expect("valid");
+    sys.add_channel("o0", b0, snk, 2).expect("valid");
+    sys.add_channel("o1", b1, snk, 4).expect("valid");
+    sys.add_channel("o2", b2, snk, 1).expect("valid");
+    sys
+}
+
+#[test]
+fn algorithm_ordering_is_deadlock_free_on_shrunk_case() {
+    let sys = shrunk_system();
+    let solution = chanorder::order_channels(&sys);
+    let verdict =
+        chanorder::cycle_time_of(&sys, &solution.ordering).expect("solution fits the system");
+    assert!(!verdict.is_deadlock());
+}
+
+#[test]
+fn conservative_ordering_is_deadlock_free_on_shrunk_case() {
+    let sys = shrunk_system();
+    let ordering = chanorder::conservative_ordering(&sys);
+    let verdict = chanorder::cycle_time_of(&sys, &ordering).expect("ordering fits the system");
+    assert!(!verdict.is_deadlock());
+}
+
+#[test]
+fn algorithm_is_near_exhaustive_optimum_on_shrunk_case() {
+    let sys = shrunk_system();
+    assert!(
+        sys.ordering_space() <= 2_000,
+        "the shrunk case stays enumerable"
+    );
+    let best = chanorder::exhaustive_best_ordering(&sys, 2_000).expect("live system");
+    let solution = chanorder::order_channels(&sys);
+    let ct = chanorder::cycle_time_of(&sys, &solution.ordering)
+        .expect("valid")
+        .cycle_time()
+        .expect("deadlock-free");
+    assert!(ct >= best.best_cycle_time, "cannot beat the optimum");
+    assert!(
+        ct.to_f64() <= best.best_cycle_time.to_f64() * 3.0,
+        "algorithm {ct} vs optimum {}",
+        best.best_cycle_time
+    );
+    let refined = chanorder::refine_ordering(
+        &sys,
+        &solution.ordering,
+        chanorder::RefineConfig { max_passes: 4 },
+    );
+    assert!(refined.cycle_time <= ct);
+}
+
+#[test]
+fn refinement_never_regresses_on_shrunk_case() {
+    let sys = shrunk_system();
+    let solution = chanorder::order_channels(&sys);
+    let base = chanorder::cycle_time_of(&sys, &solution.ordering)
+        .expect("valid")
+        .cycle_time()
+        .expect("algorithm orders are live");
+    let refined = chanorder::refine_ordering(
+        &sys,
+        &solution.ordering,
+        chanorder::RefineConfig { max_passes: 2 },
+    );
+    assert!(refined.cycle_time <= base);
+    let verdict = chanorder::cycle_time_of(&sys, &refined.ordering).expect("valid");
+    assert!(!verdict.is_deadlock());
+}
+
+#[test]
+fn solution_is_structurally_sound_on_shrunk_case() {
+    let sys = shrunk_system();
+    let solution = chanorder::order_channels(&sys);
+    assert_eq!(solution.head_labels.len(), sys.channel_count());
+    assert_eq!(solution.tail_labels.len(), sys.channel_count());
+    let mut clone = sys.clone();
+    assert!(solution.ordering.apply_to(&mut clone).is_ok());
+    let mut ts: Vec<u64> = solution.head_labels.iter().map(|l| l.timestamp).collect();
+    ts.sort_unstable();
+    ts.dedup();
+    assert_eq!(ts.len(), sys.channel_count());
+}
+
+#[test]
+fn shrunk_system_matches_the_recorded_dump() {
+    // Guards the translation itself: process/channel counts, latencies,
+    // and the statement orders recorded in the dump.
+    let sys = shrunk_system();
+    assert_eq!(sys.process_count(), 7);
+    assert_eq!(sys.channel_count(), 10);
+    let lats: Vec<u64> = sys
+        .process_ids()
+        .map(|p| sys.process(p).latency())
+        .collect();
+    assert_eq!(lats, vec![5, 1, 2, 4, 1, 2, 1]);
+    let puts: Vec<Vec<usize>> = sys
+        .process_ids()
+        .map(|p| sys.put_order(p).iter().map(|c| c.index()).collect())
+        .collect();
+    assert_eq!(
+        puts,
+        vec![
+            vec![0, 1, 6],
+            vec![3, 5],
+            vec![2, 4],
+            vec![7],
+            vec![8],
+            vec![9],
+            vec![],
+        ]
+    );
+    let gets: Vec<Vec<usize>> = sys
+        .process_ids()
+        .map(|p| sys.get_order(p).iter().map(|c| c.index()).collect())
+        .collect();
+    assert_eq!(
+        gets,
+        vec![
+            vec![],
+            vec![0],
+            vec![1],
+            vec![5, 6],
+            vec![2, 3],
+            vec![4],
+            vec![7, 8, 9],
+        ]
+    );
+}

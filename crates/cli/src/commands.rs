@@ -1,7 +1,8 @@
 //! The CLI commands, as testable functions returning their output text.
 
+use crate::json::JsonError;
 use crate::spec::{SpecError, SystemSpec};
-use ermes::{explore, ExplorationConfig};
+use ermes::ExplorationConfig;
 use std::fmt::Write as _;
 
 /// Errors surfaced to the CLI user.
@@ -11,7 +12,7 @@ pub enum CliError {
     /// The spec file could not be interpreted.
     Spec(SpecError),
     /// The JSON payload is malformed.
-    Json(serde_json::Error),
+    Json(JsonError),
     /// The methodology failed (deadlock, solver failure).
     Ermes(ermes::ErmesError),
     /// The command references something the spec does not contain.
@@ -37,8 +38,8 @@ impl From<SpecError> for CliError {
     }
 }
 
-impl From<serde_json::Error> for CliError {
-    fn from(e: serde_json::Error) -> Self {
+impl From<JsonError> for CliError {
+    fn from(e: JsonError) -> Self {
         CliError::Json(e)
     }
 }
@@ -55,7 +56,7 @@ impl From<ermes::ErmesError> for CliError {
 ///
 /// [`CliError::Json`] on malformed JSON.
 pub fn parse_spec(json: &str) -> Result<SystemSpec, CliError> {
-    Ok(serde_json::from_str(json)?)
+    Ok(SystemSpec::from_json(json)?)
 }
 
 /// `ermes analyze <spec>` — cycle time, throughput, critical cycle.
@@ -135,19 +136,33 @@ pub fn cmd_order(spec: &SystemSpec) -> Result<(String, String), CliError> {
     let _ = writeln!(out, "before: {}", fmt_verdict(&before));
     let _ = writeln!(out, "after : {}", fmt_verdict(&after));
     let new_spec = spec.with_system_state(&ordered);
-    Ok((out, serde_json::to_string_pretty(&new_spec)?))
+    Ok((out, new_spec.to_json_pretty()))
 }
 
-/// `ermes explore <spec> --target <cycles>` — the Fig. 5 loop.
+/// `ermes explore <spec> --target <cycles> [--jobs <n>]` — the Fig. 5
+/// loop. `jobs` threads the cycle-time analysis (`0` = all hardware
+/// threads); the trace is bit-identical at any value.
 ///
 /// # Errors
 ///
 /// [`CliError`] on malformed specs or a deadlocking system.
-pub fn cmd_explore(spec: &SystemSpec, target: u64) -> Result<(String, String), CliError> {
+pub fn cmd_explore(
+    spec: &SystemSpec,
+    target: u64,
+    jobs: usize,
+) -> Result<(String, String), CliError> {
     let design = spec.to_design()?;
-    let trace = explore(design, ExplorationConfig::with_target(target))?;
+    let cache = ermes::EngineCache::new();
+    let options = ermes::ExploreOptions {
+        jobs,
+        cache: Some(&cache),
+    };
+    let trace = ermes::explore_with(design, ExplorationConfig::with_target(target), &options)?;
     let mut out = String::new();
-    let _ = writeln!(out, "iter  action                cycle-time      area  meets");
+    let _ = writeln!(
+        out,
+        "iter  action                cycle-time      area  meets"
+    );
     for r in &trace.iterations {
         let _ = writeln!(
             out,
@@ -166,8 +181,19 @@ pub fn cmd_explore(spec: &SystemSpec, target: u64) -> Result<(String, String), C
         trace.best().cycle_time,
         trace.best().area
     );
+    let stats = cache.stats();
+    let _ = writeln!(
+        out,
+        "cache: analysis {}/{} hits ({:.0}%), ordering {}/{} hits ({:.0}%)",
+        stats.analysis_hits,
+        stats.analysis_hits + stats.analysis_misses,
+        stats.analysis_hit_rate() * 100.0,
+        stats.ordering_hits,
+        stats.ordering_hits + stats.ordering_misses,
+        stats.ordering_hit_rate() * 100.0,
+    );
     let new_spec = spec.with_system_state(trace.design.system());
-    Ok((out, serde_json::to_string_pretty(&new_spec)?))
+    Ok((out, new_spec.to_json_pretty()))
 }
 
 /// `ermes simulate <spec> --iterations <n> [--vcd <file>]` —
@@ -291,20 +317,30 @@ pub fn cmd_refine(spec: &SystemSpec, passes: usize) -> Result<(String, String), 
         .ordering
         .apply_to(&mut best)
         .map_err(|_| CliError::Usage("refined ordering failed to apply".into()))?;
-    Ok((out, serde_json::to_string_pretty(&spec.with_system_state(&best))?))
+    Ok((out, spec.with_system_state(&best).to_json_pretty()))
 }
 
-/// `ermes sweep <spec> --targets a,b,c` — the system-level Pareto front.
+/// `ermes sweep <spec> --targets a,b,c [--jobs <n>]` — the system-level
+/// Pareto front. The target ladder runs on up to `jobs` worker threads
+/// (`0` = all hardware threads) over one shared memoization cache; the
+/// front is bit-identical at any value.
 ///
 /// # Errors
 ///
 /// [`CliError`] on malformed specs or exploration failure.
-pub fn cmd_sweep(spec: &SystemSpec, targets: &[u64]) -> Result<String, CliError> {
+pub fn cmd_sweep(spec: &SystemSpec, targets: &[u64], jobs: usize) -> Result<String, CliError> {
     let design = spec.to_design()?;
-    let front = ermes::pareto_sweep(design, targets)?;
+    let report = ermes::pareto_sweep_with(
+        design,
+        targets,
+        &ermes::SweepOptions {
+            jobs,
+            memoize: true,
+        },
+    )?;
     let mut out = String::new();
     let _ = writeln!(out, "target        best-ct        area  meets");
-    for p in front {
+    for p in report.front {
         let _ = writeln!(
             out,
             "{:>9} {:>12} {:>11.4}  {}",
@@ -314,6 +350,17 @@ pub fn cmd_sweep(spec: &SystemSpec, targets: &[u64]) -> Result<String, CliError>
             if p.meets_target { "yes" } else { "no" }
         );
     }
+    let stats = report.cache;
+    let _ = writeln!(
+        out,
+        "cache: analysis {}/{} hits ({:.0}%), ordering {}/{} hits ({:.0}%)",
+        stats.analysis_hits,
+        stats.analysis_hits + stats.analysis_misses,
+        stats.analysis_hit_rate() * 100.0,
+        stats.ordering_hits,
+        stats.ordering_hits + stats.ordering_misses,
+        stats.ordering_hit_rate() * 100.0,
+    );
     Ok(out)
 }
 
@@ -407,8 +454,9 @@ mod tests {
     #[test]
     fn explore_meets_easy_target() {
         let spec = parse_spec(SAMPLE).expect("valid");
-        let (report, json) = cmd_explore(&spec, 6).expect("explores");
+        let (report, json) = cmd_explore(&spec, 6, 1).expect("explores");
         assert!(report.contains("best: iteration"));
+        assert!(report.contains("cache:"), "{report}");
         let reparsed = parse_spec(&json).expect("valid json");
         // The worker must have switched to its fast implementation.
         assert_eq!(reparsed.processes[1].latency, 3);
@@ -449,8 +497,27 @@ mod tests {
     #[test]
     fn sweep_renders_a_front() {
         let spec = parse_spec(SAMPLE).expect("valid");
-        let out = cmd_sweep(&spec, &[5, 10, 100]).expect("sweeps");
+        let out = cmd_sweep(&spec, &[5, 10, 100], 1).expect("sweeps");
         assert!(out.contains("best-ct"), "{out}");
+        assert!(out.contains("cache:"), "{out}");
+    }
+
+    #[test]
+    fn sweep_is_identical_at_any_job_count() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let serial = cmd_sweep(&spec, &[5, 10, 100], 1).expect("sweeps");
+        for jobs in [2, 4, 0] {
+            let parallel = cmd_sweep(&spec, &[5, 10, 100], jobs).expect("sweeps");
+            // Compare the front only — cache counters may differ when
+            // parallel workers race on the same missing entry.
+            let table = |s: &str| {
+                s.lines()
+                    .filter(|l| !l.starts_with("cache:"))
+                    .collect::<Vec<_>>()
+                    .join("\n")
+            };
+            assert_eq!(table(&parallel), table(&serial), "jobs = {jobs}");
+        }
     }
 
     #[test]

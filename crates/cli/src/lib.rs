@@ -16,6 +16,7 @@
 #![warn(missing_docs)]
 
 pub mod commands;
+pub mod json;
 pub mod spec;
 
 pub use commands::{

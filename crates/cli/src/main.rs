@@ -12,13 +12,16 @@ USAGE:
     ermes analyze  <spec.json>
     ermes order    <spec.json> [--out <file>]
     ermes refine   <spec.json> [--passes <n>] [--out <file>]
-    ermes sweep    <spec.json> --targets <a,b,c>
-    ermes explore  <spec.json> --target <cycles> [--out <file>]
+    ermes sweep    <spec.json> --targets <a,b,c> [--jobs <n>]
+    ermes explore  <spec.json> --target <cycles> [--jobs <n>] [--out <file>]
     ermes buffers  <spec.json> --target <cycles> [--budget <slots>]
     ermes simulate <spec.json> [--iterations <n>] [--vcd <file>]
     ermes stalls   <spec.json> [--iterations <n>]
     ermes dot      <spec.json>
     ermes fsm      <spec.json> <process>
+
+`--jobs <n>` threads the exploration engine (0 = all hardware threads,
+default 1); results are bit-identical at any value.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -49,7 +52,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let target: u64 = flag(&args, "--target")
                 .ok_or("explore requires --target <cycles>")?
                 .parse()?;
-            let (report, json) = cmd_explore(&spec, target)?;
+            let jobs: usize = flag(&args, "--jobs").map_or(Ok(1), |s| s.parse())?;
+            let (report, json) = cmd_explore(&spec, target, jobs)?;
             print!("{report}");
             if let Some(out) = flag(&args, "--out") {
                 std::fs::write(out, json)?;
@@ -75,9 +79,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let passes: usize = flag(&args, "--passes").map_or(Ok(8), |s| s.parse())?;
             let (report, json) = cmd_refine(&spec, passes)?;
             print!("{report}");
-            match flag(&args, "--out") {
-                Some(out) => std::fs::write(out, json)?,
-                None => {}
+            if let Some(out) = flag(&args, "--out") {
+                std::fs::write(out, json)?;
             }
         }
         "sweep" => {
@@ -86,7 +89,8 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 .split(',')
                 .map(|t| t.trim().parse())
                 .collect::<Result<_, _>>()?;
-            print!("{}", cmd_sweep(&spec, &targets)?);
+            let jobs: usize = flag(&args, "--jobs").map_or(Ok(1), |s| s.parse())?;
+            print!("{}", cmd_sweep(&spec, &targets, jobs)?);
         }
         "stalls" => {
             let iterations: u64 = flag(&args, "--iterations").map_or(Ok(200), |s| s.parse())?;

@@ -8,15 +8,15 @@
 //! `get_order` arrays override them (how the `order` command writes its
 //! result back).
 
+use crate::json::{self, JsonError, Value};
 use ermes::Design;
 use hlsim::{HlsKnobs, MicroArch, ParetoSet};
-use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::fmt;
 use sysgraph::{ChannelOrdering, SystemGraph};
 
 /// One Pareto point of a process.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ParetoPointSpec {
     /// Computation latency in cycles.
     pub latency: u64,
@@ -25,26 +25,23 @@ pub struct ParetoPointSpec {
 }
 
 /// One process of the system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ProcessSpec {
     /// Unique process name.
     pub name: String,
     /// Current computation latency.
     pub latency: u64,
     /// Optional Pareto frontier; a single `(latency, 0.0)` point is
-    /// assumed when absent.
-    #[serde(default, skip_serializing_if = "Option::is_none")]
+    /// assumed when absent (omitted from JSON when `None`).
     pub pareto: Option<Vec<ParetoPointSpec>>,
     /// Optional explicit `get` statement order (channel names).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub get_order: Option<Vec<String>>,
     /// Optional explicit `put` statement order (channel names).
-    #[serde(default, skip_serializing_if = "Option::is_none")]
     pub put_order: Option<Vec<String>>,
 }
 
 /// One channel of the system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ChannelSpec {
     /// Unique channel name.
     pub name: String,
@@ -54,13 +51,13 @@ pub struct ChannelSpec {
     pub to: String,
     /// Transfer latency in cycles.
     pub latency: u64,
-    /// Pre-loaded items (FIFO depth); 0 = pure rendezvous.
-    #[serde(default)]
+    /// Pre-loaded items (FIFO depth); 0 = pure rendezvous (the JSON
+    /// field defaults to 0 when absent).
     pub initial_tokens: u64,
 }
 
 /// A whole system.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SystemSpec {
     /// The processes, in declaration order.
     pub processes: Vec<ProcessSpec>,
@@ -86,7 +83,10 @@ impl fmt::Display for SpecError {
             SpecError::DuplicateName(n) => write!(f, "duplicate name `{n}`"),
             SpecError::UnknownName(n) => write!(f, "unknown name `{n}`"),
             SpecError::InvalidOrder(p) => {
-                write!(f, "explicit order for `{p}` is not a permutation of its channels")
+                write!(
+                    f,
+                    "explicit order for `{p}` is not a permutation of its channels"
+                )
             }
         }
     }
@@ -94,7 +94,188 @@ impl fmt::Display for SpecError {
 
 impl std::error::Error for SpecError {}
 
+fn field<'a>(value: &'a Value, context: &str, key: &str) -> Result<&'a Value, JsonError> {
+    value
+        .get(key)
+        .ok_or_else(|| JsonError::schema(format!("{context}: missing field `{key}`")))
+}
+
+fn string_field(value: &Value, context: &str, key: &str) -> Result<String, JsonError> {
+    field(value, context, key)?
+        .as_str()
+        .map(str::to_string)
+        .ok_or_else(|| JsonError::schema(format!("{context}: `{key}` must be a string")))
+}
+
+fn u64_field(value: &Value, context: &str, key: &str) -> Result<u64, JsonError> {
+    field(value, context, key)?.as_u64().ok_or_else(|| {
+        JsonError::schema(format!("{context}: `{key}` must be a non-negative integer"))
+    })
+}
+
+fn name_array(value: &Value, context: &str, key: &str) -> Result<Option<Vec<String>>, JsonError> {
+    match value.get(key) {
+        None | Some(Value::Null) => Ok(None),
+        Some(v) => {
+            let items = v
+                .as_array()
+                .ok_or_else(|| JsonError::schema(format!("{context}: `{key}` must be an array")))?;
+            items
+                .iter()
+                .map(|item| {
+                    item.as_str().map(str::to_string).ok_or_else(|| {
+                        JsonError::schema(format!("{context}: `{key}` entries must be strings"))
+                    })
+                })
+                .collect::<Result<Vec<_>, _>>()
+                .map(Some)
+        }
+    }
+}
+
+impl ParetoPointSpec {
+    fn from_value(value: &Value, context: &str) -> Result<Self, JsonError> {
+        Ok(ParetoPointSpec {
+            latency: u64_field(value, context, "latency")?,
+            area: field(value, context, "area")?
+                .as_f64()
+                .ok_or_else(|| JsonError::schema(format!("{context}: `area` must be a number")))?,
+        })
+    }
+
+    fn to_value(self) -> Value {
+        Value::Object(vec![
+            ("latency".into(), Value::Number(self.latency as f64)),
+            ("area".into(), Value::Number(self.area)),
+        ])
+    }
+}
+
+impl ProcessSpec {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        let name = string_field(value, "process", "name")?;
+        let context = format!("process `{name}`");
+        let pareto = match value.get("pareto") {
+            None | Some(Value::Null) => None,
+            Some(v) => {
+                let items = v.as_array().ok_or_else(|| {
+                    JsonError::schema(format!("{context}: `pareto` must be an array"))
+                })?;
+                Some(
+                    items
+                        .iter()
+                        .map(|p| ParetoPointSpec::from_value(p, &context))
+                        .collect::<Result<Vec<_>, _>>()?,
+                )
+            }
+        };
+        Ok(ProcessSpec {
+            latency: u64_field(value, &context, "latency")?,
+            pareto,
+            get_order: name_array(value, &context, "get_order")?,
+            put_order: name_array(value, &context, "put_order")?,
+            name,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        let mut fields = vec![
+            ("name".into(), Value::String(self.name.clone())),
+            ("latency".into(), Value::Number(self.latency as f64)),
+        ];
+        if let Some(points) = &self.pareto {
+            fields.push((
+                "pareto".into(),
+                Value::Array(points.iter().map(|p| p.to_value()).collect()),
+            ));
+        }
+        let names =
+            |list: &[String]| Value::Array(list.iter().map(|n| Value::String(n.clone())).collect());
+        if let Some(order) = &self.get_order {
+            fields.push(("get_order".into(), names(order)));
+        }
+        if let Some(order) = &self.put_order {
+            fields.push(("put_order".into(), names(order)));
+        }
+        Value::Object(fields)
+    }
+}
+
+impl ChannelSpec {
+    fn from_value(value: &Value) -> Result<Self, JsonError> {
+        let name = string_field(value, "channel", "name")?;
+        let context = format!("channel `{name}`");
+        Ok(ChannelSpec {
+            from: string_field(value, &context, "from")?,
+            to: string_field(value, &context, "to")?,
+            latency: u64_field(value, &context, "latency")?,
+            initial_tokens: match value.get("initial_tokens") {
+                None | Some(Value::Null) => 0,
+                Some(v) => v.as_u64().ok_or_else(|| {
+                    JsonError::schema(format!(
+                        "{context}: `initial_tokens` must be a non-negative integer"
+                    ))
+                })?,
+            },
+            name,
+        })
+    }
+
+    fn to_value(&self) -> Value {
+        Value::Object(vec![
+            ("name".into(), Value::String(self.name.clone())),
+            ("from".into(), Value::String(self.from.clone())),
+            ("to".into(), Value::String(self.to.clone())),
+            ("latency".into(), Value::Number(self.latency as f64)),
+            (
+                "initial_tokens".into(),
+                Value::Number(self.initial_tokens as f64),
+            ),
+        ])
+    }
+}
+
 impl SystemSpec {
+    /// Parses a spec from JSON text.
+    ///
+    /// # Errors
+    ///
+    /// [`JsonError`] on malformed JSON or schema violations.
+    pub fn from_json(text: &str) -> Result<Self, JsonError> {
+        let value = json::parse(text)?;
+        let processes = field(&value, "spec", "processes")?
+            .as_array()
+            .ok_or_else(|| JsonError::schema("spec: `processes` must be an array"))?
+            .iter()
+            .map(ProcessSpec::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        let channels = field(&value, "spec", "channels")?
+            .as_array()
+            .ok_or_else(|| JsonError::schema("spec: `channels` must be an array"))?
+            .iter()
+            .map(ChannelSpec::from_value)
+            .collect::<Result<Vec<_>, _>>()?;
+        Ok(SystemSpec {
+            processes,
+            channels,
+        })
+    }
+
+    /// Serializes the spec as pretty-printed JSON.
+    #[must_use]
+    pub fn to_json_pretty(&self) -> String {
+        Value::Object(vec![
+            (
+                "processes".into(),
+                Value::Array(self.processes.iter().map(ProcessSpec::to_value).collect()),
+            ),
+            (
+                "channels".into(),
+                Value::Array(self.channels.iter().map(ChannelSpec::to_value).collect()),
+            ),
+        ])
+        .to_string_pretty()
+    }
     /// Builds the system graph (and applies any explicit orders).
     ///
     /// # Errors
@@ -229,7 +410,7 @@ mod tests {
     use super::*;
 
     fn sample() -> SystemSpec {
-        serde_json::from_str(
+        SystemSpec::from_json(
             r#"{
                 "processes": [
                     {"name": "src", "latency": 1},
@@ -249,9 +430,21 @@ mod tests {
     #[test]
     fn spec_roundtrips_through_json() {
         let spec = sample();
-        let text = serde_json::to_string_pretty(&spec).expect("serializes");
-        let back: SystemSpec = serde_json::from_str(&text).expect("parses");
+        let text = spec.to_json_pretty();
+        let back = SystemSpec::from_json(&text).expect("parses");
         assert_eq!(spec, back);
+    }
+
+    #[test]
+    fn schema_violations_are_reported() {
+        assert!(SystemSpec::from_json(r#"{"processes": []}"#).is_err());
+        assert!(
+            SystemSpec::from_json(r#"{"processes": [{"name": "p"}], "channels": []}"#).is_err()
+        );
+        assert!(SystemSpec::from_json(
+            r#"{"processes": [{"name": "p", "latency": -1}], "channels": []}"#
+        )
+        .is_err());
     }
 
     #[test]

@@ -53,7 +53,12 @@ fn simulate_emits_vcd() {
     std::fs::create_dir_all(&dir).expect("mkdir");
     let ordered = dir.join("for_vcd.json");
     let status = ermes()
-        .args(["order", &testdata(), "--out", ordered.to_str().expect("utf8")])
+        .args([
+            "order",
+            &testdata(),
+            "--out",
+            ordered.to_str().expect("utf8"),
+        ])
         .status()
         .expect("binary runs");
     assert!(status.success());

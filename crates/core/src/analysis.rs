@@ -36,12 +36,39 @@ impl PerfReport {
     /// Performance slack `sp = TCT − CT` against a target cycle time,
     /// in cycles (Section 5). Positive slack means the constraint is met.
     ///
+    /// This is a *reporting* convenience: the value is `f64` and loses
+    /// precision for large targets or fine rational cycle times. Decision
+    /// logic must use [`PerfReport::meets_target`], which compares
+    /// exactly.
+    ///
     /// Returns `None` for deadlocked or acyclic designs.
     #[must_use]
     pub fn slack(&self, target_cycle_time: u64) -> Option<f64> {
         self.cycle_time()
             .map(|ct| target_cycle_time as f64 - ct.to_f64())
     }
+
+    /// Exact constraint check: `CT ≤ TCT` under rational arithmetic
+    /// (slack ≥ 0, boundary included). Returns `None` for deadlocked or
+    /// acyclic designs.
+    #[must_use]
+    pub fn meets_target(&self, target_cycle_time: u64) -> Option<bool> {
+        self.cycle_time()
+            .map(|ct| ct <= target_ratio(target_cycle_time))
+    }
+}
+
+/// The target cycle time as an exact [`Ratio`], saturating at `i64::MAX`.
+///
+/// `Ratio` carries an `i64` numerator/denominator with a non-negative
+/// value, so every representable cycle time is at most `i64::MAX`:
+/// saturating the conversion keeps all comparisons against a too-large
+/// `u64` target exact (the target is simply "met by everything"), where a
+/// plain `as i64` cast would wrap negative and panic inside
+/// `Ratio::from_integer`.
+#[must_use]
+pub fn target_ratio(target_cycle_time: u64) -> Ratio {
+    Ratio::from_integer(i64::try_from(target_cycle_time).unwrap_or(i64::MAX))
 }
 
 /// Analyzes the design's system with the TMG model and maps the critical
@@ -70,8 +97,17 @@ impl PerfReport {
 /// ```
 #[must_use]
 pub fn analyze_design(design: &Design) -> PerfReport {
+    analyze_design_with_jobs(design, 1)
+}
+
+/// [`analyze_design`] with the per-SCC cycle-ratio solves spread over up
+/// to `jobs` worker threads (`0` = all hardware threads, `1` = serial).
+/// The report is bit-identical at any thread count (see
+/// [`tmg::analyze_with_jobs`]).
+#[must_use]
+pub fn analyze_design_with_jobs(design: &Design, jobs: usize) -> PerfReport {
     let lowered = lower_to_tmg(design.system());
-    let verdict = tmg::analyze(lowered.tmg());
+    let verdict = tmg::analyze_with_jobs(lowered.tmg(), jobs);
     let (critical_processes, critical_channels) = match &verdict {
         Verdict::Live { critical, .. } => (
             lowered.processes_of(&critical.transitions),
@@ -108,8 +144,8 @@ mod tests {
         let snk = sys.add_process("snk", 1);
         sys.add_channel("a", src, slow, 1).expect("valid");
         sys.add_channel("b", slow, snk, 1).expect("valid");
-        let design = Design::new(sys, vec![singleton(1), singleton(50), singleton(1)])
-            .expect("sizes match");
+        let design =
+            Design::new(sys, vec![singleton(1), singleton(50), singleton(1)]).expect("sizes match");
         let report = analyze_design(&design);
         assert!(report
             .critical_processes
@@ -123,12 +159,64 @@ mod tests {
         let a = sys.add_process("a", 10);
         let b = sys.add_process("b", 1);
         sys.add_channel("x", a, b, 1).expect("valid");
-        let design =
-            Design::new(sys, vec![singleton(10), singleton(1)]).expect("sizes match");
+        let design = Design::new(sys, vec![singleton(10), singleton(1)]).expect("sizes match");
         let report = analyze_design(&design);
         // CT = 12 (10 + 1 + 1 loop through a).
         assert!(report.slack(20).expect("live") > 0.0);
         assert!(report.slack(10).expect("live") < 0.0);
+    }
+
+    #[test]
+    fn meets_target_is_exact_at_the_boundary() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 10);
+        let b = sys.add_process("b", 1);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        let design = Design::new(sys, vec![singleton(10), singleton(1)]).expect("sizes match");
+        let report = analyze_design(&design);
+        let ct = report.cycle_time().expect("live");
+        assert_eq!(ct.denom(), 1, "integral cycle time");
+        let exact = u64::try_from(ct.numer()).expect("positive");
+        // A target of exactly CT is met (slack 0); one cycle less is not.
+        assert_eq!(report.meets_target(exact), Some(true));
+        assert_eq!(report.meets_target(exact - 1), Some(false));
+        assert_eq!(report.meets_target(exact + 1), Some(true));
+    }
+
+    #[test]
+    fn huge_targets_saturate_instead_of_wrapping() {
+        // u64 targets above i64::MAX used to wrap negative in an `as i64`
+        // cast and panic inside Ratio::from_integer. They must saturate:
+        // every finite cycle time meets such a target.
+        assert_eq!(target_ratio(u64::MAX), Ratio::from_integer(i64::MAX));
+        assert_eq!(target_ratio(7), Ratio::from_integer(7));
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 3);
+        let b = sys.add_process("b", 2);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        let design = Design::new(sys, vec![singleton(3), singleton(2)]).expect("sizes match");
+        let report = analyze_design(&design);
+        assert_eq!(report.meets_target(u64::MAX), Some(true));
+        assert_eq!(report.meets_target(1 + i64::MAX as u64), Some(true));
+    }
+
+    #[test]
+    fn parallel_analysis_matches_serial() {
+        let mut sys = SystemGraph::new();
+        let mut prev = sys.add_process("p0", 4);
+        let mut sets = vec![singleton(4)];
+        for i in 1..8 {
+            let p = sys.add_process(format!("p{i}"), 2 + i % 3);
+            sys.add_channel(format!("c{i}"), prev, p, 1 + i % 2)
+                .expect("valid");
+            sets.push(singleton(2 + i % 3));
+            prev = p;
+        }
+        let design = Design::new(sys, sets).expect("sizes match");
+        let serial = analyze_design(&design);
+        for jobs in [2, 4, 0] {
+            assert_eq!(analyze_design_with_jobs(&design, jobs), serial);
+        }
     }
 
     #[test]

@@ -53,7 +53,11 @@ impl BottleneckReport {
                 item.name,
                 item.delay,
                 item.share * 100.0,
-                if item.is_process { "compute" } else { "channel" }
+                if item.is_process {
+                    "compute"
+                } else {
+                    "channel"
+                }
             );
         }
         out

@@ -138,7 +138,8 @@ mod tests {
         let a = sys.add_process("a", 20);
         let b = sys.add_process("b", 20);
         sys.add_channel("fwd", a, b, 1).expect("valid");
-        sys.add_channel_with_tokens("fb", b, a, 1, 1).expect("valid");
+        sys.add_channel_with_tokens("fb", b, a, 1, 1)
+            .expect("valid");
         Design::new(sys, vec![single(20), single(20)]).expect("sizes")
     }
 
@@ -159,10 +160,7 @@ mod tests {
     #[test]
     fn sizing_meets_a_reachable_target() {
         let design = looped_design();
-        let baseline = analyze_design(&design)
-            .cycle_time()
-            .expect("live")
-            .to_f64();
+        let baseline = analyze_design(&design).cycle_time().expect("live").to_f64();
         let target = (baseline * 0.6) as u64;
         let (sized, assignments) = size_buffers(design, target, 8);
         assert!(!assignments.is_empty(), "some buffering was added");

@@ -1,0 +1,251 @@
+//! Memoization for the exploration engine.
+//!
+//! The Fig. 5 loop and the multi-target Pareto sweep keep revisiting
+//! configurations: the no-good-cut loop probes neighborhoods around the
+//! incumbent, and neighboring sweep targets walk through the same
+//! intermediate selections. Both `analyze_design` (lower + Howard) and
+//! `order_channels` (Algorithm 1) are pure functions of the
+//! *configuration* — the selection vector plus the per-process `get`/
+//! `put` statement orders — so their results can be memoized under that
+//! key and shared across every exploration run on the same base design.
+//!
+//! A cache is tied to one base design: topology, channel latencies, and
+//! Pareto sets must not change between queries (the key does not cover
+//! them). The sweep creates one cache per call and shares it across all
+//! parallel targets; this is sound because the cached computations are
+//! deterministic — any interleaving stores the same values.
+
+use crate::analysis::{analyze_design_with_jobs, PerfReport};
+use crate::design::Design;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use sysgraph::{ChannelId, ChannelOrdering};
+
+/// The memo key: selection vector + statement orders, nothing else.
+///
+/// Both parts are stored flat (two allocations total, not one `Vec` per
+/// process): key construction runs on every engine query, and at 10,000
+/// processes the per-process layout costs more than a cache hit saves.
+/// `orders` is the length-prefixed concatenation of each process's `get`
+/// then `put` channel indices, which keeps the encoding injective.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+struct ConfigKey {
+    selection: Vec<u32>,
+    orders: Vec<u32>,
+}
+
+impl ConfigKey {
+    fn of(design: &Design) -> Self {
+        let sys = design.system();
+        let selection = design.selection().iter().map(|&s| s as u32).collect();
+        // Every channel appears once in a `get` order and once in a `put`
+        // order, plus two length prefixes per process.
+        let mut orders = Vec::with_capacity(2 * sys.process_count() + 2 * sys.channel_count());
+        let mut extend = |chs: &[ChannelId]| {
+            orders.push(chs.len() as u32);
+            orders.extend(chs.iter().map(|c| c.index() as u32));
+        };
+        for p in sys.process_ids() {
+            extend(sys.get_order(p));
+            extend(sys.put_order(p));
+        }
+        ConfigKey { selection, orders }
+    }
+}
+
+/// Hit/miss counters of an [`EngineCache`], for reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Analysis results served from the cache.
+    pub analysis_hits: u64,
+    /// Analysis results computed (and stored).
+    pub analysis_misses: u64,
+    /// Channel orderings served from the cache.
+    pub ordering_hits: u64,
+    /// Channel orderings computed (and stored).
+    pub ordering_misses: u64,
+}
+
+impl CacheStats {
+    /// Fraction of analysis queries served from the cache (0 when none).
+    #[must_use]
+    pub fn analysis_hit_rate(&self) -> f64 {
+        let total = self.analysis_hits + self.analysis_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.analysis_hits as f64 / total as f64
+        }
+    }
+
+    /// Fraction of ordering queries served from the cache (0 when none).
+    #[must_use]
+    pub fn ordering_hit_rate(&self) -> f64 {
+        let total = self.ordering_hits + self.ordering_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.ordering_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Shared memoization cache for analysis and channel-ordering results.
+///
+/// Thread-safe; meant to be created once per base design and shared by
+/// every exploration run over it (see [`crate::pareto_sweep_with`]).
+/// Locks are only held for lookups/inserts, never across the underlying
+/// computation, so parallel targets proceed without serializing; two
+/// threads may redundantly compute the same missing entry, which is
+/// harmless because the computations are deterministic.
+#[derive(Debug, Default)]
+pub struct EngineCache {
+    analysis: Mutex<HashMap<ConfigKey, PerfReport>>,
+    ordering: Mutex<HashMap<ConfigKey, ChannelOrdering>>,
+    analysis_hits: AtomicU64,
+    analysis_misses: AtomicU64,
+    ordering_hits: AtomicU64,
+    ordering_misses: AtomicU64,
+}
+
+impl EngineCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new() -> Self {
+        EngineCache::default()
+    }
+
+    /// [`crate::analyze_design`] through the cache. `jobs` is forwarded
+    /// to the per-SCC Howard solve on a miss.
+    pub(crate) fn analyze(&self, design: &Design, jobs: usize) -> PerfReport {
+        let key = ConfigKey::of(design);
+        if let Some(hit) = self.analysis.lock().expect("cache poisoned").get(&key) {
+            self.analysis_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.analysis_misses.fetch_add(1, Ordering::Relaxed);
+        let report = analyze_design_with_jobs(design, jobs);
+        self.analysis
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, report.clone());
+        report
+    }
+
+    /// `chanorder::order_channels` through the cache, returning only the
+    /// ordering (labels are not needed by the loop).
+    pub(crate) fn order(&self, design: &Design) -> ChannelOrdering {
+        let key = ConfigKey::of(design);
+        if let Some(hit) = self.ordering.lock().expect("cache poisoned").get(&key) {
+            self.ordering_hits.fetch_add(1, Ordering::Relaxed);
+            return hit.clone();
+        }
+        self.ordering_misses.fetch_add(1, Ordering::Relaxed);
+        let ordering = chanorder::order_channels(design.system()).ordering;
+        self.ordering
+            .lock()
+            .expect("cache poisoned")
+            .insert(key, ordering.clone());
+        ordering
+    }
+
+    /// A snapshot of the hit/miss counters.
+    #[must_use]
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            analysis_hits: self.analysis_hits.load(Ordering::Relaxed),
+            analysis_misses: self.analysis_misses.load(Ordering::Relaxed),
+            ordering_hits: self.ordering_hits.load(Ordering::Relaxed),
+            ordering_misses: self.ordering_misses.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze_design;
+    use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+    use sysgraph::SystemGraph;
+
+    fn two_stage() -> Design {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 0);
+        let b = sys.add_process("b", 0);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        let set = |lats: &[u64]| {
+            ParetoSet::from_candidates(
+                lats.iter()
+                    .map(|&latency| MicroArch {
+                        knobs: HlsKnobs::baseline(),
+                        latency,
+                        area: 1.0 / latency as f64,
+                    })
+                    .collect(),
+            )
+        };
+        let mut design = Design::new(sys, vec![set(&[2, 4]), set(&[3, 6])]).expect("sizes");
+        design.select_fastest();
+        design
+    }
+
+    #[test]
+    fn cached_analysis_agrees_with_fresh() {
+        let design = two_stage();
+        let cache = EngineCache::new();
+        let fresh = analyze_design(&design);
+        let first = cache.analyze(&design, 1);
+        let second = cache.analyze(&design, 1);
+        assert_eq!(first, fresh);
+        assert_eq!(second, fresh);
+        let stats = cache.stats();
+        assert_eq!((stats.analysis_hits, stats.analysis_misses), (1, 1));
+        assert!((stats.analysis_hit_rate() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn distinct_selections_get_distinct_entries() {
+        let mut design = two_stage();
+        let cache = EngineCache::new();
+        let fast = cache.analyze(&design, 1);
+        design.select_smallest();
+        let slow = cache.analyze(&design, 1);
+        assert_ne!(fast.cycle_time(), slow.cycle_time());
+        assert_eq!(cache.stats().analysis_misses, 2);
+        // Re-querying either configuration hits.
+        design.select_fastest();
+        assert_eq!(cache.analyze(&design, 1), fast);
+        assert_eq!(cache.stats().analysis_hits, 1);
+    }
+
+    #[test]
+    fn ordering_cache_matches_direct_call() {
+        let design = two_stage();
+        let cache = EngineCache::new();
+        let direct = chanorder::order_channels(design.system()).ordering;
+        assert_eq!(cache.order(&design), direct);
+        assert_eq!(cache.order(&design), direct);
+        let stats = cache.stats();
+        assert_eq!((stats.ordering_hits, stats.ordering_misses), (1, 1));
+    }
+
+    #[test]
+    fn reordering_changes_the_key() {
+        let mut design = two_stage();
+        let cache = EngineCache::new();
+        let _ = cache.analyze(&design, 1);
+        // Apply the algorithm's ordering; if it differs from the current
+        // statement order the key must differ too (a fresh miss).
+        let ordering = cache.order(&design);
+        ordering.apply_to(design.system_mut()).expect("valid");
+        let _ = cache.analyze(&design, 1);
+        let stats = cache.stats();
+        assert!(stats.analysis_misses >= 1);
+        assert_eq!(
+            stats.analysis_hits + stats.analysis_misses,
+            2,
+            "two queries total"
+        );
+    }
+}

@@ -36,7 +36,7 @@ pub fn render_trace(trace: &ExplorationTrace, target_cycle_time: u64, height: us
     );
     let (ar_lo, ar_hi) = min_max(&mut points.iter().map(|p| p.1));
     let row_of = |value: f64, lo: f64, hi: f64| -> usize {
-        if hi - lo < f64::EPSILON {
+        if (hi - lo).abs() < f64::EPSILON {
             return height / 2;
         }
         let norm = (value - lo) / (hi - lo);

@@ -161,7 +161,10 @@ impl Design {
     /// Total area of the design: sum of selected implementation areas.
     #[must_use]
     pub fn area(&self) -> f64 {
-        self.system.process_ids().map(|p| self.process_area(p)).sum()
+        self.system
+            .process_ids()
+            .map(|p| self.process_area(p))
+            .sum()
     }
 
     /// Total number of Pareto points across all processes (Table 1 of the

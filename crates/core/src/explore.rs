@@ -8,7 +8,8 @@
 //! latencies. Previously visited configurations are excluded by no-good
 //! cuts; the loop stops when the active optimization proposes no change.
 
-use crate::analysis::{analyze_design, PerfReport};
+use crate::analysis::{analyze_design, analyze_design_with_jobs, target_ratio, PerfReport};
+use crate::cache::EngineCache;
 use crate::design::Design;
 use crate::error::ErmesError;
 use crate::opt::{area_recovery, timing_optimization, OptStrategy};
@@ -45,6 +46,48 @@ impl ExplorationConfig {
             strategy: OptStrategy::Auto,
             reorder: true,
         }
+    }
+}
+
+/// Engine options orthogonal to the [`ExplorationConfig`]: how many
+/// threads the analysis may use and whether results are memoized in a
+/// shared [`EngineCache`].
+#[derive(Debug, Clone, Copy)]
+pub struct ExploreOptions<'a> {
+    /// Worker threads for the per-SCC cycle-ratio solves (`0` = all
+    /// hardware threads, `1` = serial). Results are bit-identical at any
+    /// value.
+    pub jobs: usize,
+    /// Memoization cache shared across runs on the same base design.
+    pub cache: Option<&'a EngineCache>,
+}
+
+impl Default for ExploreOptions<'_> {
+    /// Serial analysis, no cache — the behavior of plain [`explore`].
+    fn default() -> Self {
+        ExploreOptions {
+            jobs: 1,
+            cache: None,
+        }
+    }
+}
+
+impl<'a> ExploreOptions<'a> {
+    fn analyze(&self, design: &Design) -> PerfReport {
+        match self.cache {
+            Some(cache) => cache.analyze(design, self.jobs),
+            None => analyze_design_with_jobs(design, self.jobs),
+        }
+    }
+
+    fn reorder(&self, design: &mut Design) {
+        let ordering = match self.cache {
+            Some(cache) => cache.order(design),
+            None => chanorder::order_channels(design.system()).ordering,
+        };
+        ordering
+            .apply_to(design.system_mut())
+            .expect("algorithm orderings are valid permutations");
     }
 }
 
@@ -146,9 +189,47 @@ fn record(
         action,
         cycle_time,
         area: design.area(),
-        meets_target: cycle_time <= Ratio::from_integer(target as i64),
+        meets_target: cycle_time <= target_ratio(target),
         critical_processes: report.critical_processes.clone(),
     })
+}
+
+/// Which optimization Fig. 5 dispatches to, decided exactly: the target
+/// is met (`CT ≤ TCT`, slack ≥ 0 — boundary included) → area recovery;
+/// otherwise timing optimization. Rational comparison, no `f64`.
+fn choose_action(cycle_time: Ratio, target: u64) -> StepAction {
+    if cycle_time <= target_ratio(target) {
+        StepAction::AreaRecovery
+    } else {
+        StepAction::TimingOptimization
+    }
+}
+
+/// Clamped target for exact integer budget arithmetic (see
+/// [`target_ratio`]: cycle times never exceed `i64::MAX`).
+fn clamped_target(target: u64) -> i128 {
+    i128::from(i64::try_from(target).unwrap_or(i64::MAX))
+}
+
+/// `⌊TCT − CT⌋` in whole cycles — the area-recovery latency budget.
+/// Caller guarantees `CT ≤ TCT`, so the result is non-negative.
+fn floor_slack(cycle_time: Ratio, target: u64) -> i64 {
+    let num = i128::from(cycle_time.numer());
+    let den = i128::from(cycle_time.denom());
+    let diff = clamped_target(target) * den - num;
+    debug_assert!(diff >= 0, "caller checked CT <= TCT");
+    // Floor division: both operands non-negative, so `/` truncates down.
+    i64::try_from(diff / den).expect("slack is at most the i64 target")
+}
+
+/// `⌈CT − TCT⌉` in whole cycles — the timing-optimization deficit.
+/// Caller guarantees `CT > TCT`, so the result is strictly positive.
+fn ceil_deficit(cycle_time: Ratio, target: u64) -> i64 {
+    let num = i128::from(cycle_time.numer());
+    let den = i128::from(cycle_time.denom());
+    let diff = num - clamped_target(target) * den;
+    debug_assert!(diff > 0, "caller checked CT > TCT");
+    i64::try_from((diff + den - 1) / den).expect("deficit is at most the i64 cycle time")
 }
 
 /// Runs the exploration loop on `design`.
@@ -185,19 +266,32 @@ fn record(
 /// assert!(trace.last().meets_target);
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-pub fn explore(
+pub fn explore(design: Design, config: ExplorationConfig) -> Result<ExplorationTrace, ErmesError> {
+    explore_with(design, config, &ExploreOptions::default())
+}
+
+/// [`explore`] with explicit engine options: worker threads for the
+/// analysis and an optional shared [`EngineCache`]. The trace is
+/// bit-identical to the plain serial run at any `jobs` value, with or
+/// without the cache.
+///
+/// # Errors
+///
+/// Same as [`explore`].
+pub fn explore_with(
     mut design: Design,
     config: ExplorationConfig,
+    options: &ExploreOptions<'_>,
 ) -> Result<ExplorationTrace, ErmesError> {
     // The initial record reflects the design as given (the paper's Fig. 6
     // starts at M2 under its conservative ordering); reordering happens as
     // part of each optimization iteration. A start that deadlocks under
     // its given ordering is repaired by reordering right away — deadlock
     // removal is the ordering algorithm's first job (Section 4).
-    let mut report = analyze_design(&design);
+    let mut report = options.analyze(&design);
     if report.is_deadlock() && config.reorder {
-        reorder_if(&mut design, true);
-        report = analyze_design(&design);
+        options.reorder(&mut design);
+        report = options.analyze(&design);
     }
     let mut iterations = vec![record(
         0,
@@ -213,45 +307,45 @@ pub fn explore(
     let mut orderings: Vec<sysgraph::ChannelOrdering> =
         vec![sysgraph::ChannelOrdering::of(design.system())];
 
-    // Stagnation detection: the "score" of a record is (meets target,
-    // then area) — lexicographically better when the target is met at a
-    // smaller area, falling back to cycle time while infeasible.
-    let score = |r: &IterationRecord| -> (u8, f64) {
-        if r.meets_target {
-            (0, r.area)
-        } else {
-            (1, r.cycle_time.to_f64())
+    // Stagnation detection: a record improves on the incumbent when it
+    // meets the target at a smaller area, or — while infeasible — runs at
+    // a strictly smaller (exact, rational) cycle time.
+    let improves = |r: &IterationRecord, best: &IterationRecord| -> bool {
+        match (r.meets_target, best.meets_target) {
+            (true, false) => true,
+            (false, true) => false,
+            (true, true) => r.area < best.area,
+            (false, false) => r.cycle_time < best.cycle_time,
         }
     };
-    let mut best_score = score(&iterations[0]);
+    let mut incumbent = iterations[0].clone();
     let mut stalled = 0usize;
 
     for index in 1..=config.max_iterations {
         let cycle_time = report.cycle_time().ok_or(ErmesError::Deadlock)?;
-        let slack = config.target_cycle_time as f64 - cycle_time.to_f64();
-        let (action, proposal) = if slack > 0.0 {
-            (
-                StepAction::AreaRecovery,
-                area_recovery(
-                    &design,
-                    &report.critical_processes,
-                    slack.floor() as i64,
-                    &visited,
-                    Some(config.target_cycle_time),
-                    config.strategy,
-                )?,
-            )
-        } else {
-            (
-                StepAction::TimingOptimization,
-                timing_optimization(
-                    &design,
-                    &report.critical_processes,
-                    (-slack).ceil() as i64,
-                    &visited,
-                    config.strategy,
-                )?,
-            )
+        // Dispatch on the exact rational slack sign (slack = 0, the
+        // target met with nothing to spare, recovers area with a zero
+        // latency budget rather than re-optimizing timing).
+        let action = choose_action(cycle_time, config.target_cycle_time);
+        let proposal = match action {
+            StepAction::AreaRecovery => area_recovery(
+                &design,
+                &report.critical_processes,
+                floor_slack(cycle_time, config.target_cycle_time),
+                &visited,
+                Some(config.target_cycle_time),
+                config.strategy,
+            )?,
+            StepAction::TimingOptimization => timing_optimization(
+                &design,
+                &report.critical_processes,
+                ceil_deficit(cycle_time, config.target_cycle_time),
+                &visited,
+                config.strategy,
+            )?,
+            StepAction::Initial | StepAction::Converged => {
+                unreachable!("choose_action returns an optimization step")
+            }
         };
         match proposal {
             None => {
@@ -266,13 +360,14 @@ pub fn explore(
                 design.apply_selection(&selection.selection)?;
                 visited.push(selection.selection.clone());
                 configs.push(selection.selection);
-                reorder_if(&mut design, config.reorder);
+                if config.reorder {
+                    options.reorder(&mut design);
+                }
                 orderings.push(sysgraph::ChannelOrdering::of(design.system()));
-                report = analyze_design(&design);
+                report = options.analyze(&design);
                 let rec = record(index, action, &report, &design, config.target_cycle_time)?;
-                let s = score(&rec);
-                if s < best_score {
-                    best_score = s;
+                if improves(&rec, &incumbent) {
+                    incumbent = rec.clone();
                     stalled = 0;
                 } else {
                     stalled += 1;
@@ -429,6 +524,106 @@ mod tests {
         for (i, rec) in trace.iterations.iter().enumerate() {
             assert_eq!(rec.index, i);
         }
+    }
+
+    #[test]
+    fn boundary_slack_zero_dispatches_area_recovery() {
+        // Regression: the old branch tested `slack > 0.0`, so a cycle
+        // time exactly equal to the target fell into timing optimization
+        // even though the constraint is met. Slack 0 must recover area.
+        assert_eq!(
+            choose_action(Ratio::new(50, 1), 50),
+            StepAction::AreaRecovery
+        );
+        assert_eq!(
+            choose_action(Ratio::new(101, 2), 50), // 50.5 > 50
+            StepAction::TimingOptimization
+        );
+        assert_eq!(
+            choose_action(Ratio::new(99, 2), 50),
+            StepAction::AreaRecovery
+        );
+        assert_eq!(floor_slack(Ratio::new(50, 1), 50), 0);
+        assert_eq!(floor_slack(Ratio::new(99, 2), 50), 0); // ⌊0.5⌋
+        assert_eq!(floor_slack(Ratio::new(7, 2), 50), 46); // ⌊46.5⌋
+        assert_eq!(ceil_deficit(Ratio::new(101, 2), 50), 1); // ⌈0.5⌉
+        assert_eq!(ceil_deficit(Ratio::new(120, 1), 50), 70);
+    }
+
+    #[test]
+    fn exploration_at_exact_boundary_starts_with_area_recovery() {
+        let mut design = pipeline_design();
+        design.select_fastest();
+        let ct = analyze_design(&design).cycle_time().expect("live");
+        assert_eq!(ct.denom(), 1, "pipeline cycle time is integral");
+        let target = u64::try_from(ct.numer()).expect("positive");
+        let trace = explore(design, ExplorationConfig::with_target(target)).expect("explores");
+        assert!(trace.iterations[0].meets_target, "slack is exactly zero");
+        // The first optimization step must not be timing optimization —
+        // the target is already met.
+        assert_ne!(trace.iterations[1].action, StepAction::TimingOptimization);
+        assert!(trace.last().meets_target);
+    }
+
+    #[test]
+    fn exact_slack_is_immune_to_f64_rounding() {
+        // CT and TCT one cycle apart but both beyond 2^53: their f64
+        // images coincide, so the old float slack was 0.0 and dispatched
+        // timing optimization on a design that meets its target.
+        let big = 1i64 << 60;
+        let ct = Ratio::from_integer(big + 1);
+        let target = (big + 2) as u64;
+        assert_eq!(ct.to_f64(), target as f64, "f64 cannot tell them apart");
+        assert_eq!(choose_action(ct, target), StepAction::AreaRecovery);
+        assert_eq!(floor_slack(ct, target), 1);
+        let ct_over = Ratio::from_integer(big + 3);
+        assert_eq!(
+            choose_action(ct_over, target),
+            StepAction::TimingOptimization
+        );
+        assert_eq!(ceil_deficit(ct_over, target), 1);
+    }
+
+    #[test]
+    fn target_beyond_i64_max_does_not_panic() {
+        // Regression: `record()` used `target as i64`, wrapping u64
+        // targets above i64::MAX negative and panicking inside
+        // Ratio::from_integer. They must saturate and count as met.
+        let mut design = pipeline_design();
+        design.select_smallest();
+        let trace = explore(design, ExplorationConfig::with_target(u64::MAX)).expect("explores");
+        assert!(trace.iterations[0].meets_target);
+        assert!(trace.last().meets_target);
+        assert_eq!(floor_slack(Ratio::new(3, 1), u64::MAX), i64::MAX - 3);
+    }
+
+    #[test]
+    fn explore_with_cache_and_jobs_matches_plain() {
+        let make = || {
+            let mut d = pipeline_design();
+            d.select_smallest();
+            d
+        };
+        let config = ExplorationConfig::with_target(50);
+        let plain = explore(make(), config).expect("explores");
+        let cache = EngineCache::new();
+        for jobs in [1, 4] {
+            let opts = ExploreOptions {
+                jobs,
+                cache: Some(&cache),
+            };
+            let run = explore_with(make(), config, &opts).expect("explores");
+            assert_eq!(run.iterations, plain.iterations, "jobs = {jobs}");
+            assert_eq!(run.best_index, plain.best_index);
+            assert_eq!(
+                run.design.selection(),
+                plain.design.selection(),
+                "jobs = {jobs}"
+            );
+        }
+        let stats = cache.stats();
+        // The second run revisits every configuration of the first.
+        assert!(stats.analysis_hits > 0, "cache was exercised: {stats:?}");
     }
 
     #[test]

@@ -58,6 +58,7 @@
 mod analysis;
 mod bottleneck;
 mod buffers;
+mod cache;
 mod chart;
 mod design;
 mod error;
@@ -65,14 +66,18 @@ mod explore;
 mod opt;
 mod sweep;
 
-pub use analysis::{analyze_design, PerfReport};
+pub use analysis::{analyze_design, analyze_design_with_jobs, target_ratio, PerfReport};
 pub use bottleneck::{bottleneck_report, BottleneckItem, BottleneckReport};
 pub use buffers::{buffer_sensitivity, size_buffers, BufferEffect};
+pub use cache::{CacheStats, EngineCache};
 pub use chart::render_trace;
 pub use design::Design;
 pub use error::ErmesError;
 pub use explore::{
-    explore, reordering_gain, ExplorationConfig, ExplorationTrace, IterationRecord, StepAction,
+    explore, explore_with, reordering_gain, ExplorationConfig, ExplorationTrace, ExploreOptions,
+    IterationRecord, StepAction,
 };
 pub use opt::{area_recovery, timing_optimization, IpSelection, OptStrategy};
-pub use sweep::{pareto_sweep, SweepPoint};
+pub use sweep::{
+    pareto_sweep, pareto_sweep_cached, pareto_sweep_with, SweepOptions, SweepPoint, SweepReport,
+};

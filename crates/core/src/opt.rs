@@ -86,7 +86,9 @@ pub fn area_recovery(
         .sum();
     let caps = latency_caps(design, target_cycle_time);
     match resolve(strategy, variables) {
-        OptStrategy::Greedy => Ok(area_recovery_greedy(design, critical, slack, forbidden, &caps)),
+        OptStrategy::Greedy => Ok(area_recovery_greedy(
+            design, critical, slack, forbidden, &caps,
+        )),
         _ => area_recovery_exact(design, critical, slack, forbidden, &caps),
     }
 }
@@ -105,10 +107,7 @@ fn latency_caps(design: &Design, target_cycle_time: Option<u64>) -> Vec<u64> {
     }
     match target_cycle_time {
         None => vec![u64::MAX; sys.process_count()],
-        Some(tct) => overhead
-            .iter()
-            .map(|&o| tct.saturating_sub(o))
-            .collect(),
+        Some(tct) => overhead.iter().map(|&o| tct.saturating_sub(o)).collect(),
     }
 }
 
@@ -280,9 +279,7 @@ fn timing_optimization_exact(
 ) -> Result<Option<IpSelection>, ErmesError> {
     // Primary: minimize area increase subject to gain >= deficit.
     if deficit > 0 {
-        if let Some(sel) =
-            timing_dual_exact(design, critical, deficit, forbidden)?
-        {
+        if let Some(sel) = timing_dual_exact(design, critical, deficit, forbidden)? {
             return Ok(Some(sel));
         }
     }
@@ -292,11 +289,7 @@ fn timing_optimization_exact(
 
 /// Builds the shared variable structure of the timing problems: one
 /// binary per (critical process, implementation), with exactly-one rows.
-fn timing_vars(
-    design: &Design,
-    crit: &[bool],
-    problem: &mut Problem,
-) -> Vec<Vec<Option<VarId>>> {
+fn timing_vars(design: &Design, crit: &[bool], problem: &mut Problem) -> Vec<Vec<Option<VarId>>> {
     let sys = design.system();
     let mut vars: Vec<Vec<Option<VarId>>> = Vec::with_capacity(sys.process_count());
     for p in sys.process_ids() {
@@ -312,7 +305,9 @@ fn timing_vars(
         }
         problem.add_constraint(
             format!("one_{}", p.index()),
-            row.iter().map(|&v| (v.expect("all modeled"), 1.0)).collect(),
+            row.iter()
+                .map(|&v| (v.expect("all modeled"), 1.0))
+                .collect(),
             Sense::Eq,
             1.0,
         );
@@ -487,11 +482,7 @@ fn timing_optimization_greedy(
     })
 }
 
-fn add_no_good_cuts(
-    problem: &mut Problem,
-    vars: &[Vec<Option<VarId>>],
-    forbidden: &[Vec<usize>],
-) {
+fn add_no_good_cuts(problem: &mut Problem, vars: &[Vec<Option<VarId>>], forbidden: &[Vec<usize>]) {
     for f in forbidden {
         // A forbidden configuration that selects an excluded (un-modeled)
         // implementation cannot be produced by this problem: skip it.
@@ -621,9 +612,16 @@ mod tests {
         let best = area_recovery(&d, &crit, 100, &[], None, OptStrategy::Exact)
             .expect("ok")
             .expect("gain");
-        let second = area_recovery(&d, &crit, 100, &[best.selection.clone()], None, OptStrategy::Exact)
-            .expect("ok")
-            .expect("still gains");
+        let second = area_recovery(
+            &d,
+            &crit,
+            100,
+            std::slice::from_ref(&best.selection),
+            None,
+            OptStrategy::Exact,
+        )
+        .expect("ok")
+        .expect("still gains");
         assert_ne!(second.selection, best.selection);
         assert!(second.objective < best.objective + 1e-9);
     }
@@ -670,7 +668,8 @@ mod tests {
         let crit = all_processes(&d);
         for slack in [0i64, 4, 7, 100] {
             let exact = area_recovery(&d, &crit, slack, &[], None, OptStrategy::Exact).expect("ok");
-            let greedy = area_recovery(&d, &crit, slack, &[], None, OptStrategy::Greedy).expect("ok");
+            let greedy =
+                area_recovery(&d, &crit, slack, &[], None, OptStrategy::Greedy).expect("ok");
             match (exact, greedy) {
                 (None, None) => {}
                 (Some(e), Some(g)) => {

@@ -7,9 +7,10 @@
 //! non-dominated `(cycle time, area)` outcomes — the system-level Pareto
 //! front that richer orderings make reachable.
 
+use crate::cache::{CacheStats, EngineCache};
 use crate::design::Design;
 use crate::error::ErmesError;
-use crate::explore::{explore, ExplorationConfig};
+use crate::explore::{explore_with, ExplorationConfig, ExploreOptions};
 use tmg::Ratio;
 
 /// One point of the system-level front.
@@ -23,6 +24,42 @@ pub struct SweepPoint {
     pub area: f64,
     /// Whether the target was met.
     pub meets_target: bool,
+}
+
+/// Engine options for [`pareto_sweep_with`].
+#[derive(Debug, Clone, Copy)]
+pub struct SweepOptions {
+    /// Worker threads across the target ladder (`0` = all hardware
+    /// threads, `1` = serial). Each target explores a fresh copy of the
+    /// design; within a target the analysis stays serial so the sweep
+    /// does not oversubscribe. The front is bit-identical at any value.
+    pub jobs: usize,
+    /// Share one [`EngineCache`] across the ladder so configurations
+    /// visited by several targets are analyzed and ordered once. `false`
+    /// reproduces the unmemoized per-target loop (the engine before
+    /// caching existed) — useful as a benchmark baseline. The front is
+    /// bit-identical either way.
+    pub memoize: bool,
+}
+
+impl Default for SweepOptions {
+    fn default() -> Self {
+        SweepOptions {
+            jobs: 1,
+            memoize: true,
+        }
+    }
+}
+
+/// Outcome of [`pareto_sweep_with`]: the pruned front plus the cache
+/// counters of the shared [`EngineCache`] (targets revisit each other's
+/// configurations, so hit rates grow with ladder length).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepReport {
+    /// The non-dominated `(cycle time, area)` points, fastest first.
+    pub front: Vec<SweepPoint>,
+    /// Hit/miss counters of the analysis/ordering cache.
+    pub cache: CacheStats,
 }
 
 /// Runs [`explore`] for every target in `targets` (each from a fresh copy
@@ -63,18 +100,79 @@ pub struct SweepPoint {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn pareto_sweep(design: Design, targets: &[u64]) -> Result<Vec<SweepPoint>, ErmesError> {
-    let mut points = Vec::with_capacity(targets.len());
-    for &target in targets {
-        let trace = explore(design.clone(), ExplorationConfig::with_target(target))?;
+    pareto_sweep_with(design, targets, &SweepOptions::default()).map(|report| report.front)
+}
+
+/// [`pareto_sweep`] with explicit engine options: the target ladder is
+/// evaluated on up to `jobs` worker threads, each target from a fresh
+/// copy of `design`, all sharing one memoization cache. Per-target
+/// explorations are independent and every cached computation is
+/// deterministic, so the front is **bit-identical** — exact rational
+/// cycle times included — at any thread count.
+///
+/// # Errors
+///
+/// Propagates the first exploration failure *in target order* (the same
+/// error the serial sweep would report), regardless of which worker hit
+/// an error first.
+pub fn pareto_sweep_with(
+    design: Design,
+    targets: &[u64],
+    options: &SweepOptions,
+) -> Result<SweepReport, ErmesError> {
+    let cache = EngineCache::new();
+    pareto_sweep_cached(design, targets, options, &cache)
+}
+
+/// [`pareto_sweep_with`] against a caller-owned [`EngineCache`], so the
+/// memo survives across sweeps of the same base design — the iterative
+/// DSE case: refine the target ladder, re-sweep, and every configuration
+/// scored by an earlier run is served from the cache instead of
+/// re-running analysis and ordering. `options.memoize = false` bypasses
+/// `cache` entirely (it is neither read nor filled).
+///
+/// # Errors
+///
+/// Same as [`pareto_sweep_with`].
+pub fn pareto_sweep_cached(
+    design: Design,
+    targets: &[u64],
+    options: &SweepOptions,
+    cache: &EngineCache,
+) -> Result<SweepReport, ErmesError> {
+    let outcomes = parx::par_map(options.jobs, targets, |_, &target| {
+        let opts = ExploreOptions {
+            jobs: 1,
+            cache: options.memoize.then_some(cache),
+        };
+        let trace = explore_with(
+            design.clone(),
+            ExplorationConfig::with_target(target),
+            &opts,
+        )?;
         let best = trace.best();
-        points.push(SweepPoint {
+        Ok::<SweepPoint, ErmesError>(SweepPoint {
             target_cycle_time: target,
             cycle_time: best.cycle_time,
             area: best.area,
             meets_target: best.meets_target,
-        });
+        })
+    });
+    // par_map preserves target order, so `?` here reports the error the
+    // serial loop would have reported first.
+    let mut points = Vec::with_capacity(targets.len());
+    for outcome in outcomes {
+        points.push(outcome?);
     }
-    // Prune dominated points: sort by cycle time then area, sweep.
+    Ok(SweepReport {
+        front: prune_dominated(points),
+        cache: cache.stats(),
+    })
+}
+
+/// Prunes dominated points: sort by cycle time then area, keep strict
+/// improvements (for each cycle time, the smallest area).
+fn prune_dominated(mut points: Vec<SweepPoint>) -> Vec<SweepPoint> {
     points.sort_by(|a, b| {
         a.cycle_time
             .cmp(&b.cycle_time)
@@ -88,7 +186,7 @@ pub fn pareto_sweep(design: Design, targets: &[u64]) -> Result<Vec<SweepPoint>, 
             _ => front.push(p),
         }
     }
-    Ok(front)
+    front
 }
 
 #[cfg(test)]
@@ -155,5 +253,58 @@ mod tests {
     fn empty_targets_empty_front() {
         let front = pareto_sweep(design(), &[]).expect("sweeps");
         assert!(front.is_empty());
+    }
+
+    #[test]
+    fn parallel_sweep_is_bit_identical_to_serial() {
+        let targets = [10, 15, 25, 50, 100];
+        let serial = pareto_sweep_with(
+            design(),
+            &targets,
+            &SweepOptions {
+                jobs: 1,
+                memoize: true,
+            },
+        )
+        .expect("sweeps");
+        assert_eq!(
+            serial.front,
+            pareto_sweep(design(), &targets).expect("sweeps")
+        );
+        for jobs in [2, 3, 8, 0] {
+            let parallel = pareto_sweep_with(
+                design(),
+                &targets,
+                &SweepOptions {
+                    jobs,
+                    memoize: true,
+                },
+            )
+            .expect("sweeps");
+            // Exact equality: Ratio cycle times, areas, flags — the lot.
+            assert_eq!(parallel.front, serial.front, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn sweep_cache_is_shared_across_targets() {
+        // A ladder with repeated targets guarantees overlap: the second
+        // run of each target replays configurations the first computed.
+        let targets = [30, 30, 100, 100];
+        let report = pareto_sweep_with(
+            design(),
+            &targets,
+            &SweepOptions {
+                jobs: 1,
+                memoize: true,
+            },
+        )
+        .expect("sweeps");
+        assert!(
+            report.cache.analysis_hits > 0,
+            "expected cross-target cache hits: {:?}",
+            report.cache
+        );
+        assert!(report.cache.analysis_hit_rate() > 0.0);
     }
 }

@@ -1,0 +1,121 @@
+//! Determinism and cache-correctness of the parallel exploration engine
+//! on the paper's motivating example (Section 2 topology).
+//!
+//! The contract under test: `analyze_design_with_jobs`, `explore_with`,
+//! and `pareto_sweep_with` return **bit-identical** results — exact
+//! rational cycle times, critical sets, areas, trace actions — at any
+//! thread count, with or without the memoization cache.
+
+use ermes::{
+    analyze_design, analyze_design_with_jobs, explore, explore_with, pareto_sweep,
+    pareto_sweep_with, Design, EngineCache, ExplorationConfig, ExploreOptions, SweepOptions,
+};
+use hlsim::{HlsKnobs, MicroArch, ParetoSet};
+use sysgraph::MotivatingExample;
+
+/// The Section 2 topology with a three-point Pareto frontier per process
+/// (fast/large through slow/small), starting from the deadlocking
+/// statement ordering the paper opens with.
+fn motivating_design() -> Design {
+    let ex = MotivatingExample::new();
+    let pareto: Vec<ParetoSet> = ex
+        .system
+        .process_ids()
+        .map(|p| {
+            let base = ex.system.process(p).latency().max(1);
+            ParetoSet::from_candidates(
+                [(base, 4.0), (base * 2, 2.0), (base * 4, 1.0)]
+                    .iter()
+                    .map(|&(latency, area)| MicroArch {
+                        knobs: HlsKnobs::baseline(),
+                        latency,
+                        area,
+                    })
+                    .collect(),
+            )
+        })
+        .collect();
+    Design::new(ex.system, pareto).expect("sizes match")
+}
+
+#[test]
+fn analysis_is_bit_identical_across_thread_counts() {
+    let mut design = motivating_design();
+    // The deadlock ordering must be diagnosed identically everywhere.
+    let serial = analyze_design(&design);
+    assert!(serial.is_deadlock());
+    for jobs in [2, 4, 0] {
+        assert_eq!(analyze_design_with_jobs(&design, jobs), serial);
+    }
+    // Repair the ordering and compare the live verdicts.
+    let solution = chanorder::order_channels(design.system());
+    solution
+        .ordering
+        .apply_to(design.system_mut())
+        .expect("valid");
+    let live = analyze_design(&design);
+    let ct = live.cycle_time().expect("repaired system is live");
+    for jobs in [2, 4, 8, 0] {
+        let parallel = analyze_design_with_jobs(&design, jobs);
+        assert_eq!(parallel, live, "jobs = {jobs}");
+        assert_eq!(parallel.cycle_time(), Some(ct));
+    }
+}
+
+#[test]
+fn exploration_with_cache_and_jobs_is_bit_identical() {
+    let config = ExplorationConfig::with_target(40);
+    let plain = explore(motivating_design(), config).expect("explores");
+    let cache = EngineCache::new();
+    for jobs in [1, 2, 4] {
+        let opts = ExploreOptions {
+            jobs,
+            cache: Some(&cache),
+        };
+        let run = explore_with(motivating_design(), config, &opts).expect("explores");
+        assert_eq!(run.iterations, plain.iterations, "jobs = {jobs}");
+        assert_eq!(run.best_index, plain.best_index);
+        assert_eq!(run.design.selection(), plain.design.selection());
+    }
+    let stats = cache.stats();
+    assert!(stats.analysis_hits > 0, "repeat runs must hit: {stats:?}");
+    assert!(stats.ordering_hits > 0, "repeat runs must hit: {stats:?}");
+}
+
+#[test]
+fn sweep_front_is_bit_identical_across_thread_counts() {
+    let targets = [20, 30, 40, 60, 90, 140];
+    let serial = pareto_sweep_with(
+        motivating_design(),
+        &targets,
+        &SweepOptions {
+            jobs: 1,
+            memoize: true,
+        },
+    )
+    .expect("sweeps");
+    assert!(!serial.front.is_empty());
+    assert_eq!(
+        serial.front,
+        pareto_sweep(motivating_design(), &targets).expect("sweeps"),
+        "pareto_sweep delegates to the serial engine"
+    );
+    for jobs in [2, 3, 4, 8, 0] {
+        let parallel = pareto_sweep_with(
+            motivating_design(),
+            &targets,
+            &SweepOptions {
+                jobs,
+                memoize: true,
+            },
+        )
+        .expect("sweeps");
+        assert_eq!(parallel.front, serial.front, "jobs = {jobs}");
+    }
+    // Neighboring targets walk through shared configurations.
+    assert!(
+        serial.cache.analysis_hits > 0,
+        "cross-target reuse expected: {:?}",
+        serial.cache
+    );
+}

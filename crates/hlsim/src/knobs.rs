@@ -21,7 +21,11 @@ pub enum SharingLevel {
 
 impl SharingLevel {
     /// All levels, from fastest to slowest.
-    pub const ALL: [SharingLevel; 3] = [SharingLevel::None, SharingLevel::Partial, SharingLevel::Full];
+    pub const ALL: [SharingLevel; 3] = [
+        SharingLevel::None,
+        SharingLevel::Partial,
+        SharingLevel::Full,
+    ];
 
     /// Functional units available per loop-body instance.
     #[must_use]

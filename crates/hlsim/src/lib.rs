@@ -65,7 +65,11 @@ mod tests {
     fn characterize_produces_multiple_tradeoffs() {
         let kernel = KernelSpec::new("me", 128, 64, 0.05, 0.003);
         let pareto = characterize(&kernel);
-        assert!(pareto.len() >= 4, "expected a rich frontier, got {}", pareto.len());
+        assert!(
+            pareto.len() >= 4,
+            "expected a rich frontier, got {}",
+            pareto.len()
+        );
     }
 
     #[test]

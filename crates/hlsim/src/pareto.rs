@@ -81,7 +81,9 @@ impl ParetoSet {
     /// The index of the point with the given latency, if present.
     #[must_use]
     pub fn position_of_latency(&self, latency: u64) -> Option<usize> {
-        self.points.binary_search_by_key(&latency, |p| p.latency).ok()
+        self.points
+            .binary_search_by_key(&latency, |p| p.latency)
+            .ok()
     }
 
     /// Iterates over `(latency, area)` pairs.

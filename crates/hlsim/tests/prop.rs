@@ -5,9 +5,8 @@ use hlsim::{characterize, knob_grid, synthesize, HlsKnobs, KernelSpec, SharingLe
 use proptest::prelude::*;
 
 fn arb_kernel() -> impl Strategy<Value = KernelSpec> {
-    (1u64..200, 1u64..500, 0.0f64..0.5, 0.0001f64..0.05).prop_map(|(ops, trips, base, per)| {
-        KernelSpec::new("k", ops, trips, base, per)
-    })
+    (1u64..200, 1u64..500, 0.0f64..0.5, 0.0001f64..0.05)
+        .prop_map(|(ops, trips, base, per)| KernelSpec::new("k", ops, trips, base, per))
 }
 
 proptest! {

@@ -116,9 +116,7 @@ mod tests {
         assert!(n <= 16, "oracle only for tiny problems");
         let mut best: Option<(f64, Vec<f64>)> = None;
         for mask in 0..(1u32 << n) {
-            let values: Vec<f64> = (0..n)
-                .map(|j| f64::from((mask >> j) & 1))
-                .collect();
+            let values: Vec<f64> = (0..n).map(|j| f64::from((mask >> j) & 1)).collect();
             let feasible = problem.constraints.iter().all(|c| {
                 let lhs: f64 = c.terms.iter().map(|&(v, a)| a * values[v.index()]).sum();
                 match c.sense {
@@ -152,7 +150,10 @@ mod tests {
         }
         p.add_constraint(
             "cap",
-            vars.iter().enumerate().map(|(i, &v)| (v, weights[i])).collect(),
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, weights[i]))
+                .collect(),
             Sense::Le,
             6.0,
         );
@@ -175,8 +176,18 @@ mod tests {
         for (i, &v) in g2.iter().enumerate() {
             p.set_objective_coeff(v, vals[1][i]);
         }
-        p.add_constraint("pick1", g1.iter().map(|&v| (v, 1.0)).collect(), Sense::Eq, 1.0);
-        p.add_constraint("pick2", g2.iter().map(|&v| (v, 1.0)).collect(), Sense::Eq, 1.0);
+        p.add_constraint(
+            "pick1",
+            g1.iter().map(|&v| (v, 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        );
+        p.add_constraint(
+            "pick2",
+            g2.iter().map(|&v| (v, 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        );
         let mut cap: Vec<(VarId, f64)> = Vec::new();
         for (i, &v) in g1.iter().enumerate() {
             cap.push((v, wts[0][i]));
@@ -187,7 +198,12 @@ mod tests {
         p.add_constraint("cap", cap, Sense::Le, 7.0);
         let s = p.solve().expect("feasible");
         let (oracle_obj, _) = brute(&p).expect("feasible");
-        assert!((s.objective - oracle_obj).abs() < 1e-6, "{} vs {}", s.objective, oracle_obj);
+        assert!(
+            (s.objective - oracle_obj).abs() < 1e-6,
+            "{} vs {}",
+            s.objective,
+            oracle_obj
+        );
     }
 
     #[test]

@@ -121,14 +121,14 @@ pub fn solve_multiple_choice_knapsack(
         let mut next = vec![(NEG_INF, usize::MAX, usize::MAX); width];
         for (idx, item) in items.iter().enumerate() {
             let w = usize::try_from(item.weight - offsets[g]).expect("shifted weight >= 0");
-            for old in 0..width {
-                if prev[old].0 == NEG_INF {
+            for (old, entry) in prev.iter().enumerate() {
+                if entry.0 == NEG_INF {
                     continue;
                 }
                 let Some(new_w) = old.checked_add(w).filter(|&x| x < width) else {
                     continue;
                 };
-                let cand = prev[old].0 + item.value;
+                let cand = entry.0 + item.value;
                 if cand > next[new_w].0 {
                     next[new_w] = (cand, idx, old);
                 }
@@ -278,7 +278,12 @@ mod tests {
             match (oracle, dp) {
                 (None, Err(KnapsackError::Infeasible)) => {}
                 (Some((val, _)), Ok(s)) => {
-                    assert!((s.value - val).abs() < 1e-9, "dp {} oracle {}", s.value, val);
+                    assert!(
+                        (s.value - val).abs() < 1e-9,
+                        "dp {} oracle {}",
+                        s.value,
+                        val
+                    );
                     assert!(s.weight <= capacity);
                 }
                 (oracle, dp) => panic!("divergence: oracle {oracle:?} dp {dp:?}"),

@@ -107,8 +107,8 @@ pub(crate) fn solve_relaxation_fixed(
     for i in 0..m {
         let flip = std_form.rhs[i] < 0.0;
         let sgn = if flip { -1.0 } else { 1.0 };
-        for j in 0..n {
-            tab[i][j] = sgn * std_form.rows[i][j];
+        for (j, &coeff) in std_form.rows[i].iter().enumerate().take(n) {
+            tab[i][j] = sgn * coeff;
         }
         tab[i][ncols] = sgn * std_form.rhs[i];
         let sense = effective_sense(std_form.senses[i], std_form.rhs[i]);
@@ -154,9 +154,7 @@ pub(crate) fn solve_relaxation_fixed(
         // redundant.
         for i in 0..m {
             if basis[i] < ncols && is_artificial[basis[i]] {
-                if let Some(j) =
-                    (0..ncols).find(|&j| !is_artificial[j] && tab[i][j].abs() > EPS)
-                {
+                if let Some(j) = (0..ncols).find(|&j| !is_artificial[j] && tab[i][j].abs() > EPS) {
                     pivot(&mut tab, &mut cost, &mut basis, i, j);
                 }
             }
@@ -405,8 +403,7 @@ mod tests {
         p.set_objective_coeff(a, 5.0);
         p.set_objective_coeff(b, 3.0);
         p.add_constraint("cap", vec![(a, 1.0), (b, 1.0)], Sense::Le, 1.0);
-        let lp =
-            solve_relaxation_fixed(&p, &[Some(false), None]).expect("feasible");
+        let lp = solve_relaxation_fixed(&p, &[Some(false), None]).expect("feasible");
         assert!((lp.objective - 3.0).abs() < 1e-6);
         assert_eq!(lp.values[a.index()], 0.0);
     }

@@ -175,7 +175,11 @@ pub fn encode_sequence_rate_controlled(
                 search_range: config.search_range,
             },
         );
-        qscale = rate_control_update(qscale, encoded.bytes.len() as u64 * 8, target_bits_per_frame);
+        qscale = rate_control_update(
+            qscale,
+            encoded.bytes.len() as u64 * 8,
+            target_bits_per_frame,
+        );
         reference = encoded.reconstructed.clone();
         out.push(encoded);
     }
@@ -254,8 +258,20 @@ mod tests {
     #[test]
     fn coarser_quantization_costs_fewer_bits_and_quality() {
         let frames = sequence(3);
-        let fine = encode_sequence(&frames, CodecConfig { qscale: 2, search_range: 4 });
-        let coarse = encode_sequence(&frames, CodecConfig { qscale: 24, search_range: 4 });
+        let fine = encode_sequence(
+            &frames,
+            CodecConfig {
+                qscale: 2,
+                search_range: 4,
+            },
+        );
+        let coarse = encode_sequence(
+            &frames,
+            CodecConfig {
+                qscale: 24,
+                search_range: 4,
+            },
+        );
         let bits = |e: &[EncodedFrame]| -> usize { e.iter().map(|f| f.bytes.len()).sum() };
         assert!(bits(&coarse) < bits(&fine));
         let last = frames.len() - 1;
@@ -285,13 +301,28 @@ mod tests {
             .map(|i| Frame::synthetic(FUNC_WIDTH, FUNC_HEIGHT, i * 5, i * 3))
             .collect();
         // A deliberately tight budget: the controller must raise qscale.
-        let open_loop = encode_sequence(&frames, CodecConfig { qscale: 2, search_range: 4 });
+        let open_loop = encode_sequence(
+            &frames,
+            CodecConfig {
+                qscale: 2,
+                search_range: 4,
+            },
+        );
         let open_bits: usize = open_loop.iter().map(|e| e.bytes.len() * 8).sum();
         let budget = (open_bits / frames.len() / 2) as u64;
-        let closed =
-            encode_sequence_rate_controlled(&frames, CodecConfig { qscale: 2, search_range: 4 }, budget);
+        let closed = encode_sequence_rate_controlled(
+            &frames,
+            CodecConfig {
+                qscale: 2,
+                search_range: 4,
+            },
+            budget,
+        );
         let closed_bits: usize = closed.iter().map(|e| e.bytes.len() * 8).sum();
-        assert!(closed_bits < open_bits, "controller must reduce the bitrate");
+        assert!(
+            closed_bits < open_bits,
+            "controller must reduce the bitrate"
+        );
         // The closed-loop stream still decodes drift-free.
         let chunks: Vec<Vec<u8>> = closed.iter().map(|e| e.bytes.clone()).collect();
         let decoded = decode_sequence(&chunks, FUNC_WIDTH, FUNC_HEIGHT).expect("valid");

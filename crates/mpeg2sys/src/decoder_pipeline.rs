@@ -234,8 +234,7 @@ mod tests {
     #[test]
     fn decoder_network_matches_straight_line_decoder() {
         let (_, chunks) = chunks(4);
-        let golden =
-            decode_sequence(&chunks, FUNC_WIDTH, FUNC_HEIGHT).expect("valid stream");
+        let golden = decode_sequence(&chunks, FUNC_WIDTH, FUNC_HEIGHT).expect("valid stream");
         let outcome = run_decoder_pipeline(chunks);
         assert!(!outcome.deadlocked, "decoder network must not stall");
         assert_eq!(outcome.frames.len(), golden.len());

@@ -32,7 +32,7 @@ impl Frame {
     pub fn filled(width: usize, height: usize, value: u8) -> Self {
         assert!(width > 0 && height > 0, "frame must be non-empty");
         assert!(
-            width % BLOCK == 0 && height % BLOCK == 0,
+            width.is_multiple_of(BLOCK) && height.is_multiple_of(BLOCK),
             "dimensions must be multiples of 8"
         );
         Frame {

@@ -49,8 +49,8 @@ pub mod zigzag;
 
 pub use bitstream::{BitReader, BitWriter, ReadBitsError};
 pub use codec::{
-    decode_frame, decode_sequence, encode_frame, encode_sequence,
-    encode_sequence_rate_controlled, rate_control_update, CodecConfig, EncodedFrame,
+    decode_frame, decode_sequence, encode_frame, encode_sequence, encode_sequence_rate_controlled,
+    rate_control_update, CodecConfig, EncodedFrame,
 };
 pub use dct::{forward_dct, inverse_dct};
 pub use decoder_pipeline::{run_decoder_pipeline, DecoderOutcome};

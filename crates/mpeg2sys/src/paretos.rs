@@ -30,7 +30,23 @@ fn mpeg2_knob_grid() -> Vec<HlsKnobs> {
     let mut grid = Vec::new();
     for unroll in [1u64, 2] {
         for sharing in SharingLevel::ALL {
-            for ii in [None, Some(12), Some(16), Some(18), Some(20), Some(24), Some(28), Some(32), Some(34), Some(36), Some(40), Some(44), Some(48), Some(64), Some(96)] {
+            for ii in [
+                None,
+                Some(12),
+                Some(16),
+                Some(18),
+                Some(20),
+                Some(24),
+                Some(28),
+                Some(32),
+                Some(34),
+                Some(36),
+                Some(40),
+                Some(44),
+                Some(48),
+                Some(64),
+                Some(96),
+            ] {
                 grid.push(HlsKnobs {
                     unroll,
                     pipeline_ii: ii,

@@ -61,7 +61,6 @@ impl Packet {
             other => panic!("expected a blocks packet, got {other:?}"),
         }
     }
-
 }
 
 /// Result of a pipeline run.
@@ -116,12 +115,16 @@ pub fn run_pipeline(frames: Vec<Frame>, config: CodecConfig) -> PipelineOutcome 
     sys.add_channel("cur", src, pred, 2).expect("valid");
     sys.add_channel_with_tokens("ref", store, pred, 2, 1)
         .expect("valid"); // the reconstructed-frame feedback loop
-    sys.add_channel("residual", pred, transform, 2).expect("valid");
+    sys.add_channel("residual", pred, transform, 2)
+        .expect("valid");
     sys.add_channel("predicted", pred, recon, 2).expect("valid");
     sys.add_channel("motion", pred, coder, 1).expect("valid");
-    sys.add_channel("qcoeffs", transform, coder, 2).expect("valid");
-    sys.add_channel("qcoeffs_loop", transform, inv, 2).expect("valid");
-    sys.add_channel("rec_residual", inv, recon, 2).expect("valid");
+    sys.add_channel("qcoeffs", transform, coder, 2)
+        .expect("valid");
+    sys.add_channel("qcoeffs_loop", transform, inv, 2)
+        .expect("valid");
+    sys.add_channel("rec_residual", inv, recon, 2)
+        .expect("valid");
     sys.add_channel("recframe", recon, store, 2).expect("valid");
     sys.add_channel("bits", coder, snk, 2).expect("valid");
 
@@ -164,9 +167,15 @@ pub fn run_pipeline(frames: Vec<Frame>, config: CodecConfig) -> PipelineOutcome 
                 .collect();
             Box::new(FnKernel::new(move |inputs: &[Packet]| {
                 let (cur, reference) = if first_is_cur {
-                    (inputs[0].clone().into_frame(), inputs[1].clone().into_frame())
+                    (
+                        inputs[0].clone().into_frame(),
+                        inputs[1].clone().into_frame(),
+                    )
                 } else {
-                    (inputs[1].clone().into_frame(), inputs[0].clone().into_frame())
+                    (
+                        inputs[1].clone().into_frame(),
+                        inputs[0].clone().into_frame(),
+                    )
                 };
                 let motion = estimate_motion(&cur, &reference, range);
                 let predicted = compensate(&reference, &motion);
@@ -330,13 +339,17 @@ pub fn run_pipeline_rate_controlled(
     sys.add_channel("cur", src, pred, 2).expect("valid");
     sys.add_channel_with_tokens("ref", store, pred, 2, 1)
         .expect("valid");
-    sys.add_channel("residual", pred, transform, 2).expect("valid");
+    sys.add_channel("residual", pred, transform, 2)
+        .expect("valid");
     sys.add_channel("predicted", pred, recon, 2).expect("valid");
     sys.add_channel("motion", pred, coder, 1).expect("valid");
     sys.add_channel("qset", rate, transform, 1).expect("valid");
-    sys.add_channel("qcoeffs", transform, coder, 2).expect("valid");
-    sys.add_channel("qcoeffs_loop", transform, inv, 2).expect("valid");
-    sys.add_channel("rec_residual", inv, recon, 2).expect("valid");
+    sys.add_channel("qcoeffs", transform, coder, 2)
+        .expect("valid");
+    sys.add_channel("qcoeffs_loop", transform, inv, 2)
+        .expect("valid");
+    sys.add_channel("rec_residual", inv, recon, 2)
+        .expect("valid");
     sys.add_channel("recframe", recon, store, 2).expect("valid");
     sys.add_channel("bits", coder, snk, 2).expect("valid");
     sys.add_channel_with_tokens("bits_used", coder, rate, 1, 1)
@@ -371,9 +384,15 @@ pub fn run_pipeline_rate_controlled(
                 .collect();
             Box::new(FnKernel::new(move |inputs: &[Packet]| {
                 let (cur, reference) = if first_is_cur {
-                    (inputs[0].clone().into_frame(), inputs[1].clone().into_frame())
+                    (
+                        inputs[0].clone().into_frame(),
+                        inputs[1].clone().into_frame(),
+                    )
                 } else {
-                    (inputs[1].clone().into_frame(), inputs[0].clone().into_frame())
+                    (
+                        inputs[1].clone().into_frame(),
+                        inputs[0].clone().into_frame(),
+                    )
                 };
                 let motion = estimate_motion(&cur, &reference, range);
                 let predicted = compensate(&reference, &motion);
@@ -419,10 +438,7 @@ pub fn run_pipeline_rate_controlled(
                 .iter()
                 .map(|b| quantize(&forward_dct(b), qscale))
                 .collect();
-            let tagged = Packet::Quantized {
-                qscale,
-                blocks: q,
-            };
+            let tagged = Packet::Quantized { qscale, blocks: q };
             KernelOutput {
                 outputs: vec![tagged.clone(), tagged],
                 latency: 4,
@@ -577,8 +593,8 @@ mod tests {
     fn pipeline_output_decodes_losslessly_against_encoder_recon() {
         let frames = sequence(3);
         let piped = run_pipeline(frames.clone(), CodecConfig::default());
-        let decoded = decode_sequence(&piped.encoded, FUNC_WIDTH, FUNC_HEIGHT)
-            .expect("well-formed stream");
+        let decoded =
+            decode_sequence(&piped.encoded, FUNC_WIDTH, FUNC_HEIGHT).expect("well-formed stream");
         let golden = encode_sequence(&frames, CodecConfig::default());
         for (d, g) in decoded.iter().zip(&golden) {
             assert_eq!(*d, g.reconstructed);
@@ -588,16 +604,20 @@ mod tests {
     #[test]
     fn rate_controlled_pipeline_matches_golden_bit_for_bit() {
         let frames = sequence(6);
-        let config = CodecConfig { qscale: 2, search_range: 4 };
+        let config = CodecConfig {
+            qscale: 2,
+            search_range: 4,
+        };
         // A budget tight enough to force several qscale updates.
         let probe = crate::codec::encode_sequence(&frames, config);
-        let budget = (probe.iter().map(|e| e.bytes.len() * 8).sum::<usize>()
-            / frames.len()
-            / 2) as u64;
-        let golden =
-            crate::codec::encode_sequence_rate_controlled(&frames, config, budget);
+        let budget =
+            (probe.iter().map(|e| e.bytes.len() * 8).sum::<usize>() / frames.len() / 2) as u64;
+        let golden = crate::codec::encode_sequence_rate_controlled(&frames, config, budget);
         let piped = run_pipeline_rate_controlled(frames, config, budget);
-        assert!(!piped.deadlocked, "the rate-controlled network must not stall");
+        assert!(
+            !piped.deadlocked,
+            "the rate-controlled network must not stall"
+        );
         assert_eq!(piped.encoded.len(), golden.len());
         for (i, (a, b)) in piped.encoded.iter().zip(&golden).enumerate() {
             assert_eq!(a, &b.bytes, "frame {i} bitstreams differ");

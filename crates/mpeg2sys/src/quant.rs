@@ -10,14 +10,9 @@ use crate::frame::{Block, BLOCK};
 /// The default intra weighting matrix (MPEG-2's Table, abbreviated to its
 /// structure: lighter quantization near DC, heavier at high frequencies).
 pub const INTRA_MATRIX: [u16; BLOCK * BLOCK] = [
-    8, 16, 19, 22, 26, 27, 29, 34,
-    16, 16, 22, 24, 27, 29, 34, 37,
-    19, 22, 26, 27, 29, 34, 34, 38,
-    22, 22, 26, 27, 29, 34, 37, 40,
-    22, 26, 27, 29, 32, 35, 40, 48,
-    26, 27, 29, 32, 35, 40, 48, 58,
-    26, 27, 29, 34, 38, 46, 56, 69,
-    27, 29, 35, 38, 46, 56, 69, 83,
+    8, 16, 19, 22, 26, 27, 29, 34, 16, 16, 22, 24, 27, 29, 34, 37, 19, 22, 26, 27, 29, 34, 34, 38,
+    22, 22, 26, 27, 29, 34, 37, 40, 22, 26, 27, 29, 32, 35, 40, 48, 26, 27, 29, 32, 35, 40, 48, 58,
+    26, 27, 29, 34, 38, 46, 56, 69, 27, 29, 35, 38, 46, 56, 69, 83,
 ];
 
 /// Effective quantizer step for coefficient position `i` under `qscale`.
@@ -52,7 +47,11 @@ pub fn quantize(coeffs: &Block, qscale: u16) -> Block {
     for (i, (&c, o)) in coeffs.iter().zip(out.iter_mut()).enumerate() {
         let s = step(i, qscale).max(1);
         let c = i32::from(c);
-        let q = if c >= 0 { (c + s / 2) / s } else { (c - s / 2) / s };
+        let q = if c >= 0 {
+            (c + s / 2) / s
+        } else {
+            (c - s / 2) / s
+        };
         *o = q.clamp(-2047, 2047) as i16;
     }
     out

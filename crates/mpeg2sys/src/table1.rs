@@ -33,8 +33,7 @@ impl Table1 {
         Table1 {
             processes: crate::topology::Stage::ALL.len(),
             channels: topo.encoder_channels.len(),
-            pareto_points: design.pareto_point_count()
-                - 2, // exclude the two single-point testbench sets
+            pareto_points: design.pareto_point_count() - 2, // exclude the two single-point testbench sets
             channel_latency_min: lats.iter().copied().min().unwrap_or(0),
             channel_latency_max: lats.iter().copied().max().unwrap_or(0),
             image_size: (crate::topology::FRAME_WIDTH, crate::topology::FRAME_HEIGHT),

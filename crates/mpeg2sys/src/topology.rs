@@ -142,7 +142,10 @@ impl Mpeg2Topology {
     /// Handle of a stage's process.
     #[must_use]
     pub fn stage(&self, s: Stage) -> ProcessId {
-        self.stages[Stage::ALL.iter().position(|&x| x == s).expect("stage exists")]
+        self.stages[Stage::ALL
+            .iter()
+            .position(|&x| x == s)
+            .expect("stage exists")]
     }
 }
 
@@ -199,7 +202,7 @@ pub fn build_topology() -> Mpeg2Topology {
         (CurStore, MeCoarse, lat(mb), 0),
         (CurStore, MeFine, lat(mb), 0),
         (MbSplit, MeCoarse, lat(mb), 0),
-        (MbSplit, Residual, lat(mb), 0),     // reconvergent with MC path
+        (MbSplit, Residual, lat(mb), 0), // reconvergent with MC path
         (MbSplit, ActStats, lat(mb), 0),
         (MbSplit, ModeDecision, lat(mb), 0), // intra candidate
         (RefStore, MeCoarse, lat(search_window), 0),
@@ -244,7 +247,7 @@ pub fn build_topology() -> Mpeg2Topology {
         (GopCtrl, ModeDecision, lat(ctrl), 0),
         (GopCtrl, Iquant, lat(ctrl), 0),
         (GopCtrl, Idct, lat(ctrl), 0),
-        (MbSplit, DctLuma, lat(ctrl), 0),    // block position metadata
+        (MbSplit, DctLuma, lat(ctrl), 0), // block position metadata
         (MbSplit, DctChroma, lat(ctrl), 0),
         (VlcHeader, RateCtrl, lat(ctrl), 1), // feedback: header bits spent
         (RateCtrl, VlcMb, lat(ctrl), 0),     // qscale used for coding
@@ -326,8 +329,7 @@ mod tests {
     fn topology_is_live_under_some_ordering() {
         let topo = build_topology();
         let solution = chanorder::order_channels(&topo.system);
-        let verdict =
-            chanorder::cycle_time_of(&topo.system, &solution.ordering).expect("valid");
+        let verdict = chanorder::cycle_time_of(&topo.system, &solution.ordering).expect("valid");
         assert!(!verdict.is_deadlock(), "encoder must be orderable");
     }
 

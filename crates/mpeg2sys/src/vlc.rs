@@ -139,9 +139,9 @@ mod tests {
         let blocks: Vec<Block> = (0..20)
             .map(|k| {
                 let mut b = [0i16; 64];
-                for i in 0..64 {
+                for (i, v) in b.iter_mut().enumerate() {
                     if (i * 7 + k) % 9 == 0 {
-                        b[i] = ((i as i16) - 30) / 3;
+                        *v = ((i as i16) - 30) / 3;
                     }
                 }
                 b

@@ -1,0 +1,82 @@
+//! Determinism and cache-correctness of the parallel exploration engine
+//! on the full MPEG-2 case study (26 processes / 60 channels).
+//!
+//! The sweep must return bit-identical exact cycle times and areas at
+//! any thread count, and the shared cache must not change any result.
+
+use ermes::{
+    analyze_design, analyze_design_with_jobs, pareto_sweep_with, EngineCache, ExplorationConfig,
+    ExploreOptions, SweepOptions,
+};
+use mpeg2sys::m2_design;
+
+#[test]
+fn mpeg2_analysis_is_bit_identical_across_thread_counts() {
+    let (design, _) = m2_design();
+    let serial = analyze_design(&design);
+    assert!(serial.cycle_time().is_some(), "M2 is live");
+    for jobs in [2, 4, 0] {
+        assert_eq!(
+            analyze_design_with_jobs(&design, jobs),
+            serial,
+            "jobs = {jobs}"
+        );
+    }
+}
+
+#[test]
+fn mpeg2_sweep_is_bit_identical_and_caches() {
+    let (design, _) = m2_design();
+    let base = analyze_design(&design)
+        .cycle_time()
+        .expect("M2 is live")
+        .to_f64();
+    // A short ladder bracketing the M2 cycle time.
+    let targets: Vec<u64> = [0.5, 0.9, 1.1, 1.5]
+        .iter()
+        .map(|f| (base * f) as u64)
+        .collect();
+    let serial = pareto_sweep_with(
+        design.clone(),
+        &targets,
+        &SweepOptions {
+            jobs: 1,
+            memoize: true,
+        },
+    )
+    .expect("sweeps");
+    assert!(!serial.front.is_empty());
+    let parallel = pareto_sweep_with(
+        design.clone(),
+        &targets,
+        &SweepOptions {
+            jobs: 4,
+            memoize: true,
+        },
+    )
+    .expect("sweeps");
+    assert_eq!(
+        parallel.front, serial.front,
+        "exact Ratio cycle times match"
+    );
+    assert!(
+        serial.cache.analysis_misses > 0,
+        "sweep ran the analysis: {:?}",
+        serial.cache
+    );
+}
+
+#[test]
+fn mpeg2_cached_exploration_matches_fresh() {
+    let (design, _) = m2_design();
+    let config = ExplorationConfig::with_target(2_500_000);
+    let fresh = ermes::explore(design.clone(), config).expect("explores");
+    let cache = EngineCache::new();
+    let opts = ExploreOptions {
+        jobs: 2,
+        cache: Some(&cache),
+    };
+    let cached = ermes::explore_with(design, config, &opts).expect("explores");
+    assert_eq!(cached.iterations, fresh.iterations);
+    assert_eq!(cached.design.selection(), fresh.design.selection());
+}

@@ -1,0 +1,146 @@
+//! Minimal deterministic fork-join parallelism.
+//!
+//! The exploration engine needs exactly one primitive: map a function
+//! over a slice on `N` threads and get the results back **in input
+//! order**, so that downstream reductions are bit-identical to the
+//! serial code path at any thread count. This crate provides that
+//! primitive on top of `std::thread::scope` — no work stealing, no
+//! global pool, no external dependencies. Workers pull indices from a
+//! shared atomic counter and send `(index, result)` pairs back over a
+//! channel; the caller reassembles them positionally.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// Number of hardware threads available, at least 1.
+#[must_use]
+pub fn max_jobs() -> usize {
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Resolves a user-facing `--jobs` value: `0` means "all hardware
+/// threads", anything else is taken literally.
+#[must_use]
+pub fn resolve_jobs(jobs: usize) -> usize {
+    if jobs == 0 {
+        max_jobs()
+    } else {
+        jobs
+    }
+}
+
+/// Applies `f` to every element of `items` using up to `jobs` worker
+/// threads and returns the results in input order.
+///
+/// `f` receives `(index, &item)`. With `jobs <= 1` (or fewer than two
+/// items) the map runs inline on the calling thread with zero
+/// synchronization overhead — the two code paths produce identical
+/// results because assembly is positional either way.
+///
+/// # Panics
+///
+/// Propagates the first panic raised inside `f` (the scope re-raises
+/// worker panics on join).
+pub fn par_map<T, R, F>(jobs: usize, items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = resolve_jobs(jobs).min(n);
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, t)| f(i, t)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, R)>();
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
+    slots.resize_with(n, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            let tx = tx.clone();
+            let next = &next;
+            let f = &f;
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n {
+                    break;
+                }
+                let r = f(i, &items[i]);
+                if tx.send((i, r)).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        // If a worker panics its sender is dropped; `recv` then fails
+        // once the rest drain and the scope re-raises the panic below.
+        for _ in 0..n {
+            match rx.recv() {
+                Ok((i, r)) => slots[i] = Some(r),
+                Err(_) => break,
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index was dispatched"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn matches_serial_map_in_order() {
+        let items: Vec<u64> = (0..1000).collect();
+        let serial: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for jobs in [0, 1, 2, 3, 8] {
+            let parallel = par_map(jobs, &items, |_, &x| x * x);
+            assert_eq!(parallel, serial, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn index_argument_matches_position() {
+        let items = vec!["a", "b", "c", "d", "e"];
+        let got = par_map(4, &items, |i, &s| format!("{i}:{s}"));
+        assert_eq!(got, vec!["0:a", "1:b", "2:c", "3:d", "4:e"]);
+    }
+
+    #[test]
+    fn empty_and_singleton_inputs() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(4, &empty, |_, &x| x).is_empty());
+        assert_eq!(par_map(4, &[7u32], |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn more_jobs_than_items() {
+        let items: Vec<usize> = (0..3).collect();
+        assert_eq!(par_map(64, &items, |_, &x| x * 2), vec![0, 2, 4]);
+    }
+
+    #[test]
+    fn zero_means_all_cores() {
+        assert_eq!(resolve_jobs(0), max_jobs());
+        assert_eq!(resolve_jobs(5), 5);
+        assert!(max_jobs() >= 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "scoped thread panicked")]
+    fn worker_panics_propagate() {
+        let items: Vec<u32> = (0..16).collect();
+        let _ = par_map(4, &items, |_, &x| {
+            assert!(x != 9, "boom");
+            x
+        });
+    }
+}

@@ -300,9 +300,7 @@ pub fn run<T: Clone + Default>(
                 Pc::Compute => {
                     let inputs = std::mem::take(&mut inputs_gathered[p]);
                     if config.record_sink_inputs && is_sink[p] {
-                        if let Some(rec) = sink_inputs
-                            .iter_mut()
-                            .find(|(pid, _)| pid.index() == p)
+                        if let Some(rec) = sink_inputs.iter_mut().find(|(pid, _)| pid.index() == p)
                         {
                             rec.1.extend(inputs.iter().cloned());
                         }
@@ -415,7 +413,7 @@ pub fn run<T: Clone + Default>(
         let _ = &mut time;
     }
 
-    let any_done = pc.iter().any(|&s| s == Pc::Done);
+    let any_done = pc.contains(&Pc::Done);
     let stop = stop_reached(&iterations, &pc);
     let deadlocked = !stop && !timed_out && !any_done && events.is_empty();
 

@@ -119,7 +119,10 @@ mod tests {
             fast_stall > 0.8,
             "the fast stage must wait most of the time: {fast_stall}"
         );
-        assert!(slow_stall < 0.1, "the bottleneck barely waits: {slow_stall}");
+        assert!(
+            slow_stall < 0.1,
+            "the bottleneck barely waits: {slow_stall}"
+        );
     }
 
     #[test]

@@ -143,7 +143,8 @@ mod tests {
         for c in sys.channel_ids() {
             assert!(
                 vcd.contains(&format!(" {} $end", sys.channel(c).name())),
-                "channel {} missing", sys.channel(c).name()
+                "channel {} missing",
+                sys.channel(c).name()
             );
         }
         assert!(vcd.contains("$enddefinitions $end"));

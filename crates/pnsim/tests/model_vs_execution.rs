@@ -26,14 +26,16 @@ fn build_system(
         .collect();
     let snk = sys.add_process("snk", next_lat());
     for (i, &p) in l1.iter().enumerate() {
-        sys.add_channel(format!("s{i}"), src, p, next_lat()).expect("valid");
+        sys.add_channel(format!("s{i}"), src, p, next_lat())
+            .expect("valid");
     }
     let mut seen = std::collections::HashSet::new();
     for (k, (a, b)) in edges.into_iter().enumerate() {
         let p = l1[a as usize % l1.len()];
         let q = l2[b as usize % l2.len()];
         if seen.insert((p, q)) {
-            sys.add_channel(format!("m{k}"), p, q, next_lat()).expect("valid");
+            sys.add_channel(format!("m{k}"), p, q, next_lat())
+                .expect("valid");
         }
     }
     for (i, &q) in l2.iter().enumerate() {
@@ -41,7 +43,8 @@ fn build_system(
             sys.add_channel(format!("fill{i}"), l1[i % l1.len()], q, next_lat())
                 .expect("valid");
         }
-        sys.add_channel(format!("o{i}"), q, snk, next_lat()).expect("valid");
+        sys.add_channel(format!("o{i}"), q, snk, next_lat())
+            .expect("valid");
     }
     if feedback {
         // An initialized feedback channel from a layer-2 node back to a

@@ -115,20 +115,17 @@ pub fn generate(config: SocGenConfig) -> GeneratedSoc {
     // Backbone: every process gets one input from the previous layer and
     // the first layer hangs off the source.
     let mut chan_idx = 0usize;
-    let mut add = |sys: &mut SystemGraph,
-                   from: ProcessId,
-                   to: ProcessId,
-                   lat: u64,
-                   feedback: bool| {
-        let name = format!("c{chan_idx}");
-        chan_idx += 1;
-        if feedback {
-            sys.add_channel_with_tokens(name, from, to, lat, 1)
-        } else {
-            sys.add_channel(name, from, to, lat)
-        }
-        .expect("generated endpoints are valid")
-    };
+    let mut add =
+        |sys: &mut SystemGraph, from: ProcessId, to: ProcessId, lat: u64, feedback: bool| {
+            let name = format!("c{chan_idx}");
+            chan_idx += 1;
+            if feedback {
+                sys.add_channel_with_tokens(name, from, to, lat, 1)
+            } else {
+                sys.add_channel(name, from, to, lat)
+            }
+            .expect("generated endpoints are valid")
+        };
     for &p in &layer_members[0] {
         let lat = chan_lat(&mut rng);
         add(&mut sys, src, p, lat, false);
@@ -201,12 +198,14 @@ pub fn generate(config: SocGenConfig) -> GeneratedSoc {
         .collect();
 
     // Processes start on their smallest implementation.
-    for i in 0..sys.process_count() {
-        let p = ProcessId::from_index(i);
-        sys.set_latency(p, pareto[i].smallest().latency);
+    for (i, set) in pareto.iter().enumerate() {
+        sys.set_latency(ProcessId::from_index(i), set.smallest().latency);
     }
 
-    GeneratedSoc { system: sys, pareto }
+    GeneratedSoc {
+        system: sys,
+        pareto,
+    }
 }
 
 #[cfg(test)]
@@ -257,8 +256,7 @@ mod tests {
         for seed in 0..5 {
             let soc = generate(SocGenConfig::sized(40, 70, seed));
             let solution = chanorder::order_channels(&soc.system);
-            let verdict =
-                chanorder::cycle_time_of(&soc.system, &solution.ordering).expect("valid");
+            let verdict = chanorder::cycle_time_of(&soc.system, &solution.ordering).expect("valid");
             assert!(!verdict.is_deadlock(), "seed {seed} deadlocked");
         }
     }
@@ -311,7 +309,10 @@ impl SocStats {
     /// Panics if the system has no channels.
     #[must_use]
     pub fn measure(system: &SystemGraph) -> Self {
-        assert!(system.channel_count() > 0, "stats need at least one channel");
+        assert!(
+            system.channel_count() > 0,
+            "stats need at least one channel"
+        );
         let latencies: Vec<u64> = system
             .channel_ids()
             .map(|c| system.channel(c).latency())
@@ -353,8 +354,10 @@ mod stats_tests {
         let stats = SocStats::measure(&soc.system);
         assert!(stats.feedback_channels > 0, "feedback loops present");
         assert!(stats.reconvergence_points > 0, "reconvergent paths present");
-        assert!(stats.channel_latency_max > stats.channel_latency_min * 10,
-            "latency range spans orders of magnitude");
+        assert!(
+            stats.channel_latency_max > stats.channel_latency_min * 10,
+            "latency range spans orders of magnitude"
+        );
         assert!(stats.max_fan_in >= 2 && stats.max_fan_out >= 2);
     }
 

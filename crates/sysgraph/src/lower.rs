@@ -270,10 +270,7 @@ mod tests {
         sys.add_channel("in", src, p, 1).expect("valid");
         sys.add_channel("out", p, snk, 1).expect("valid");
         let lowered = lower_to_tmg(&sys);
-        assert_eq!(
-            analyze(lowered.tmg()).cycle_time(),
-            Some(Ratio::new(9, 1))
-        );
+        assert_eq!(analyze(lowered.tmg()).cycle_time(), Some(Ratio::new(9, 1)));
     }
 
     #[test]
@@ -348,10 +345,7 @@ mod tests {
         let mut sys = SystemGraph::new();
         let _lonely = sys.add_process("lonely", 5);
         let lowered = lower_to_tmg(&sys);
-        assert_eq!(
-            analyze(lowered.tmg()).cycle_time(),
-            Some(Ratio::new(5, 1))
-        );
+        assert_eq!(analyze(lowered.tmg()).cycle_time(), Some(Ratio::new(5, 1)));
     }
 
     #[test]
@@ -363,7 +357,8 @@ mod tests {
         let a = sys.add_process("a", 2);
         let b = sys.add_process("b", 3);
         sys.add_channel("fwd", a, b, 1).expect("valid");
-        sys.add_channel_with_tokens("fb", b, a, 1, 1).expect("valid");
+        sys.add_channel_with_tokens("fb", b, a, 1, 1)
+            .expect("valid");
         let lowered = lower_to_tmg(&sys);
         let verdict = analyze(lowered.tmg());
         assert!(!verdict.is_deadlock(), "initialized loop must be live");

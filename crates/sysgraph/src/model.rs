@@ -291,12 +291,14 @@ impl SystemGraph {
 
     /// Source processes: those with no input channels (testbench stimuli).
     pub fn sources(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.process_ids().filter(|p| self.gets[p.index()].is_empty())
+        self.process_ids()
+            .filter(|p| self.gets[p.index()].is_empty())
     }
 
     /// Sink processes: those with no output channels (testbench monitors).
     pub fn sinks(&self) -> impl Iterator<Item = ProcessId> + '_ {
-        self.process_ids().filter(|p| self.puts[p.index()].is_empty())
+        self.process_ids()
+            .filter(|p| self.puts[p.index()].is_empty())
     }
 
     /// Size of the ordering design space: `Π_p (|in(p)|! · |out(p)|!)`,
@@ -304,7 +306,9 @@ impl SystemGraph {
     #[must_use]
     pub fn ordering_space(&self) -> u128 {
         fn factorial(n: usize) -> u128 {
-            (2..=n as u128).try_fold(1u128, u128::checked_mul).unwrap_or(u128::MAX)
+            (2..=n as u128)
+                .try_fold(1u128, u128::checked_mul)
+                .unwrap_or(u128::MAX)
         }
         self.process_ids()
             .map(|p| {
@@ -419,8 +423,10 @@ mod tests {
         let join = sys.add_process("join", 1);
         for i in 0..3 {
             let mid = sys.add_process(format!("m{i}"), 1);
-            sys.add_channel(format!("o{i}"), hub, mid, 1).expect("valid");
-            sys.add_channel(format!("i{i}"), mid, join, 1).expect("valid");
+            sys.add_channel(format!("o{i}"), hub, mid, 1)
+                .expect("valid");
+            sys.add_channel(format!("i{i}"), mid, join, 1)
+                .expect("valid");
         }
         assert_eq!(sys.ordering_space(), 36);
     }

@@ -119,7 +119,10 @@ mod tests {
         let mut chans = Vec::new();
         for i in 0..3 {
             let leaf = sys.add_process(format!("leaf{i}"), 1);
-            chans.push(sys.add_channel(format!("c{i}"), hub, leaf, 1).expect("valid"));
+            chans.push(
+                sys.add_channel(format!("c{i}"), hub, leaf, 1)
+                    .expect("valid"),
+            );
         }
         (sys, hub, chans)
     }

@@ -99,18 +99,32 @@ impl Verdict {
 /// ```
 #[must_use]
 pub fn analyze(graph: &Tmg) -> Verdict {
+    analyze_with_jobs(graph, 1)
+}
+
+/// [`analyze`] with the per-SCC Howard solves spread over up to `jobs`
+/// worker threads (`0` = all hardware threads, `1` = inline/serial).
+///
+/// Strongly connected components share no cycles, so each is solved
+/// independently; the per-component results are then reduced **in
+/// component order** with the same strictly-greater comparison as the
+/// serial loop. The verdict — cycle time *and* critical-cycle witness —
+/// is therefore bit-identical at any thread count.
+#[must_use]
+pub fn analyze_with_jobs(graph: &Tmg, jobs: usize) -> Verdict {
     if let Some(witness) = find_token_free_cycle(graph) {
         return Verdict::Deadlock { witness };
     }
     let rg = RatioGraph::from_tmg(graph);
     let scc = tarjan(&rg);
+    let components = scc.members();
+    let results = parx::par_map(jobs, &components, |_, members| {
+        howard_on_component(&rg, &scc, members)
+    });
     let mut best: Option<CycleRatioResult> = None;
-    for members in scc.members() {
-        let result = howard_on_component(&rg, &scc, &members);
-        if let Some(r) = result {
-            if best.as_ref().is_none_or(|b| r.ratio > b.ratio) {
-                best = Some(r);
-            }
+    for r in results.into_iter().flatten() {
+        if best.as_ref().is_none_or(|b| r.ratio > b.ratio) {
+            best = Some(r);
         }
     }
     // Fallback: if Howard declined (iteration cap) we still owe an exact
@@ -259,7 +273,38 @@ mod tests {
         b.add_place(t[2], t[0], 1);
         b.add_place(t[0], t[2], 1);
         let g = b.build().expect("valid");
-        assert_eq!(analyze(&g).cycle_time(), analyze_parametric(&g).cycle_time());
+        assert_eq!(
+            analyze(&g).cycle_time(),
+            analyze_parametric(&g).cycle_time()
+        );
+    }
+
+    #[test]
+    fn parallel_analysis_is_bit_identical() {
+        // A dozen disjoint rings of distinct sizes/delays → a dozen SCCs
+        // with distinct ratios, plus cross-SCC edges to keep Tarjan busy.
+        let mut b = TmgBuilder::new();
+        let mut firsts = Vec::new();
+        for k in 0..12u64 {
+            let n = 3 + (k as usize % 4);
+            let t: Vec<_> = (0..n)
+                .map(|i| b.add_transition(format!("r{k}_{i}"), k + i as u64 + 1))
+                .collect();
+            for i in 0..n {
+                b.add_place(t[i], t[(i + 1) % n], u64::from(i == 0) + k % 2);
+            }
+            firsts.push(t[0]);
+        }
+        for pair in firsts.windows(2) {
+            b.add_place(pair[0], pair[1], 1);
+        }
+        let g = b.build().expect("valid");
+        let serial = analyze_with_jobs(&g, 1);
+        assert!(serial.cycle_time().is_some(), "rings are live");
+        for jobs in [2, 3, 4, 8, 0] {
+            assert_eq!(analyze_with_jobs(&g, jobs), serial, "jobs = {jobs}");
+        }
+        assert_eq!(analyze(&g), serial);
     }
 
     #[test]

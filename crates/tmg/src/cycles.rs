@@ -50,7 +50,14 @@ pub(crate) fn enumerate_elementary_cycles(graph: &RatioGraph) -> Vec<Vec<EdgeIdx
 
     for root in 0..n {
         on_path[root] = true;
-        dfs(graph, root, root, &mut on_path, &mut path_edges, &mut cycles);
+        dfs(
+            graph,
+            root,
+            root,
+            &mut on_path,
+            &mut path_edges,
+            &mut cycles,
+        );
         on_path[root] = false;
     }
     cycles

@@ -121,7 +121,9 @@ mod tests {
     fn witness_cycle_is_closed_and_token_free() {
         // Diamond with one empty cycle buried among token-carrying places.
         let mut b = TmgBuilder::new();
-        let t: Vec<_> = (0..4).map(|i| b.add_transition(format!("t{i}"), 1)).collect();
+        let t: Vec<_> = (0..4)
+            .map(|i| b.add_transition(format!("t{i}"), 1))
+            .collect();
         b.add_place(t[0], t[1], 1);
         b.add_place(t[1], t[0], 1);
         b.add_place(t[1], t[2], 0);

@@ -341,7 +341,9 @@ impl Marking {
 
     /// Iterates over enabled transitions under this marking.
     pub fn enabled<'g>(&'g self, graph: &'g Tmg) -> impl Iterator<Item = TransitionId> + 'g {
-        graph.transition_ids().filter(move |&t| self.is_enabled(graph, t))
+        graph
+            .transition_ids()
+            .filter(move |&t| self.is_enabled(graph, t))
     }
 }
 

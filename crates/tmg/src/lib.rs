@@ -66,7 +66,7 @@ mod ratio_graph;
 mod scc;
 mod sim;
 
-pub use analysis::{analyze, analyze_parametric, CriticalCycle, Verdict};
+pub use analysis::{analyze, analyze_parametric, analyze_with_jobs, CriticalCycle, Verdict};
 pub use deadlock::find_token_free_cycle;
 pub use dot::to_dot;
 pub use error::TmgError;
@@ -155,13 +155,20 @@ mod oracle_tests {
                 }
             }
         }
-        assert!(live > 50, "oracle family too degenerate: {live} live graphs");
+        assert!(
+            live > 50,
+            "oracle family too degenerate: {live} live graphs"
+        );
     }
 
     #[test]
     fn karp_matches_oracle_on_unit_token_graphs() {
         for seed in 1..120u64 {
-            let mut g = random_graph(seed.wrapping_mul(977), 2 + (seed % 5) as usize, 3 + (seed % 7) as usize);
+            let mut g = random_graph(
+                seed.wrapping_mul(977),
+                2 + (seed % 5) as usize,
+                3 + (seed % 7) as usize,
+            );
             for e in &mut g.edges {
                 e.tokens = 1;
             }

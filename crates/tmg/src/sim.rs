@@ -76,11 +76,7 @@ pub fn simulate(graph: &Tmg, observed: TransitionId, rounds: u64) -> SimulationO
     // Per-place FIFO of token availability times.
     let mut tokens: Vec<VecDeque<u64>> = graph
         .place_ids()
-        .map(|p| {
-            (0..graph.place(p).initial_tokens())
-                .map(|_| 0u64)
-                .collect()
-        })
+        .map(|p| (0..graph.place(p).initial_tokens()).map(|_| 0u64).collect())
         .collect();
     let mut firings = vec![0u64; graph.transition_count()];
     let mut observed_times = Vec::new();

@@ -11,7 +11,10 @@ use tmg::{analyze, analyze_parametric, find_token_free_cycle, simulate, Tmg, Tmg
 /// Strategy: a random TMG built as a ring (guaranteeing strong
 /// connectivity and at least one cycle) plus random chord places.
 fn arb_ring_tmg() -> impl Strategy<Value = Tmg> {
-    (2usize..8, proptest::collection::vec((0usize..8, 0usize..8, 0u64..6, 0u64..3), 0..10))
+    (
+        2usize..8,
+        proptest::collection::vec((0usize..8, 0usize..8, 0u64..6, 0u64..3), 0..10),
+    )
         .prop_map(|(n, chords)| {
             let mut b = TmgBuilder::new();
             let ts: Vec<_> = (0..n)

@@ -43,13 +43,24 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Evidence 2: the analytic verdict. ------------------------------
     let verdict = tmg::analyze(lowered.tmg());
-    println!("\nTMG verdict: {}", if verdict.is_deadlock() { "DEADLOCK" } else { "live" });
+    println!(
+        "\nTMG verdict: {}",
+        if verdict.is_deadlock() {
+            "DEADLOCK"
+        } else {
+            "live"
+        }
+    );
 
     // --- Evidence 3: executing the system hangs. ------------------------
     let run = pnsim::simulate_timing(&ex.system, 10);
     println!(
         "cycle-accurate execution: {} after {} cycles",
-        if run.deadlocked { "stalled" } else { "completed" },
+        if run.deadlocked {
+            "stalled"
+        } else {
+            "completed"
+        },
         run.time
     );
 
@@ -77,7 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "  verdict: {} at cycle time {}",
-        if fixed.is_deadlock() { "deadlock" } else { "live" },
+        if fixed.is_deadlock() {
+            "deadlock"
+        } else {
+            "live"
+        },
         fixed.cycle_time().expect("live")
     );
 

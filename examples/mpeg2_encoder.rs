@@ -81,7 +81,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     println!(
         "process-network bitstream vs golden encoder: {}",
-        if identical { "bit-identical" } else { "MISMATCH" }
+        if identical {
+            "bit-identical"
+        } else {
+            "MISMATCH"
+        }
     );
 
     let total_bytes: usize = piped.encoded.iter().map(Vec::len).sum();

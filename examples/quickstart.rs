@@ -47,7 +47,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // 3. A design = system + one selected implementation per process.
     let mut design = Design::new(
         sys,
-        vec![fixed_point(1), filter_pareto, transform_pareto, fixed_point(1)],
+        vec![
+            fixed_point(1),
+            filter_pareto,
+            transform_pareto,
+            fixed_point(1),
+        ],
     )?;
     design.select_smallest();
     let report = analyze_design(&design);

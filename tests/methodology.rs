@@ -22,8 +22,8 @@ fn exploration_improves_generated_benchmarks() {
             .expect("live")
             .to_f64();
         let target = (baseline * 0.7) as u64;
-        let trace = explore(design, ExplorationConfig::with_target(target))
-            .expect("exploration runs");
+        let trace =
+            explore(design, ExplorationConfig::with_target(target)).expect("exploration runs");
         assert!(
             trace.best().cycle_time.to_f64() <= baseline,
             "seed {seed}: exploration regressed"

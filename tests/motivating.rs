@@ -8,7 +8,11 @@ use tmg::Ratio;
 #[test]
 fn section2_numbers() {
     let ex = MotivatingExample::new();
-    assert_eq!(ex.system.ordering_space(), 36, "paper: 36 order combinations");
+    assert_eq!(
+        ex.system.ordering_space(),
+        36,
+        "paper: 36 order combinations"
+    );
 
     // The deadlocking order of Section 2.
     let bad = cycle_time_of(&ex.system, &ex.deadlock_ordering()).expect("valid");

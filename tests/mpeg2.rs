@@ -27,10 +27,24 @@ fn anchors_reproduce_the_paper_scale() {
     let (m2, _) = m2_design();
     let ct1 = analyze_design(&m1).cycle_time().expect("live").to_f64();
     let ct2 = analyze_design(&m2).cycle_time().expect("live").to_f64();
-    assert!((ct1 - 1_906_000.0).abs() / 1_906_000.0 < 0.10, "M1 CT {ct1}");
-    assert!((ct2 - 3_597_000.0).abs() / 3_597_000.0 < 0.10, "M2 CT {ct2}");
-    assert!((m1.area() - 2.267).abs() / 2.267 < 0.10, "M1 area {}", m1.area());
-    assert!((m2.area() - 1.562).abs() / 1.562 < 0.10, "M2 area {}", m2.area());
+    assert!(
+        (ct1 - 1_906_000.0).abs() / 1_906_000.0 < 0.10,
+        "M1 CT {ct1}"
+    );
+    assert!(
+        (ct2 - 3_597_000.0).abs() / 3_597_000.0 < 0.10,
+        "M2 CT {ct2}"
+    );
+    assert!(
+        (m1.area() - 2.267).abs() / 2.267 < 0.10,
+        "M1 area {}",
+        m1.area()
+    );
+    assert!(
+        (m2.area() - 1.562).abs() / 1.562 < 0.10,
+        "M2 area {}",
+        m2.area()
+    );
     assert!(ct1 < ct2 && m1.area() > m2.area());
 }
 
@@ -49,7 +63,11 @@ fn m1_reordering_preserves_performance_at_zero_area() {
     let area_before = design.area();
     let (before, after) = ermes::reordering_gain(&mut design).expect("live");
     let rel = (after.to_f64() - before.to_f64()) / before.to_f64();
-    assert!(rel.abs() < 0.01, "reordering changed CT by {:.3}%", rel * 100.0);
+    assert!(
+        rel.abs() < 0.01,
+        "reordering changed CT by {:.3}%",
+        rel * 100.0
+    );
     assert_eq!(design.area(), area_before, "no area change");
 }
 
@@ -115,10 +133,7 @@ fn mpeg2_timing_model_agrees_with_execution() {
         .ordering
         .apply_to(design.system_mut())
         .expect("valid");
-    let analytic = analyze_design(&design)
-        .cycle_time()
-        .expect("live")
-        .to_f64();
+    let analytic = analyze_design(&design).cycle_time().expect("live").to_f64();
     let outcome = pnsim::simulate_timing(design.system(), 60);
     let simulated = outcome.estimated_cycle_time().expect("live");
     assert!(
