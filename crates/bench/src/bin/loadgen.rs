@@ -1,0 +1,294 @@
+//! Load generator for the `ermesd` analysis service.
+//!
+//! ```text
+//! loadgen [--connections <n>] [--requests <n>] [--workers <n>] [--addr <host:port>]
+//! ```
+//!
+//! Without `--addr` it spawns an in-process server on an ephemeral port
+//! (so the numbers include no network beyond loopback). Each connection
+//! drives a keep-alive HTTP/1.1 session with a mixed workload over the
+//! MPEG-2 encoder system and a synthetic `socgen` SoC — `/analyze`,
+//! `/explore`, and `/sweep` — and every response is checked against the
+//! equivalent direct command output (the daemon's bit-identity
+//! contract), so the load test is also a correctness test. The workload
+//! runs twice: the *cold* phase starts with empty caches, the *warm*
+//! phase repeats the identical request set against warm ones — the
+//! before/after of the shared cross-request cache.
+
+use ermesd::{Server, ServerConfig, SystemSpec};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Instant;
+
+// Both targets sit below what the systems can reach, so every request
+// runs the full exploration loop instead of stopping at iteration 0 —
+// that is the compute the shared cross-request cache gets to save.
+const EXPLORE_TARGET: u64 = 1_000_000;
+const SWEEP_TARGETS: &str = "22000,44000,88000";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// One request of the workload: `(endpoint label, path, body, expected response)`.
+struct WorkItem {
+    label: &'static str,
+    path: String,
+    body: String,
+    expected: String,
+}
+
+/// Strips the CLI's run-history cache-stats line (absent from daemon
+/// responses by design).
+fn strip_cache_line(text: &str) -> String {
+    let mut out: String = text
+        .lines()
+        .filter(|l| !l.starts_with("cache:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    out.push('\n');
+    out
+}
+
+fn build_workload() -> Vec<WorkItem> {
+    let (mpeg2, _) = mpeg2sys::mpeg2_design();
+    let mpeg2_spec = SystemSpec::from_design(&mpeg2);
+    let soc = socgen::generate(socgen::SocGenConfig::sized(40, 80, 7));
+    let soc_design = ermes::Design::new(soc.system, soc.pareto).expect("socgen is well-formed");
+    let soc_spec = SystemSpec::from_design(&soc_design);
+
+    let analyze_mpeg2 = ermesd::cmd_analyze(&mpeg2_spec).expect("mpeg2 analyzes");
+    let analyze_soc = ermesd::cmd_analyze(&soc_spec).expect("socgen analyzes");
+    let (explore_report, explore_json) =
+        ermesd::cmd_explore(&mpeg2_spec, EXPLORE_TARGET, 1).expect("mpeg2 explores");
+    let explore_expected = format!("{}{explore_json}\n", strip_cache_line(&explore_report));
+    let sweep_targets: Vec<u64> = SWEEP_TARGETS
+        .split(',')
+        .map(|t| t.parse().expect("targets are numeric"))
+        .collect();
+    let sweep_expected =
+        strip_cache_line(&ermesd::cmd_sweep(&soc_spec, &sweep_targets, 1).expect("socgen sweeps"));
+
+    vec![
+        WorkItem {
+            label: "analyze(mpeg2)",
+            path: "/analyze".into(),
+            body: mpeg2_spec.to_json_pretty(),
+            expected: analyze_mpeg2,
+        },
+        WorkItem {
+            label: "analyze(socgen)",
+            path: "/analyze".into(),
+            body: soc_spec.to_json_pretty(),
+            expected: analyze_soc,
+        },
+        WorkItem {
+            label: "explore(mpeg2)",
+            path: format!("/explore?target={EXPLORE_TARGET}"),
+            body: mpeg2_spec.to_json_pretty(),
+            expected: explore_expected,
+        },
+        WorkItem {
+            label: "sweep(socgen)",
+            path: format!("/sweep?targets={SWEEP_TARGETS}"),
+            body: soc_spec.to_json_pretty(),
+            expected: sweep_expected,
+        },
+    ]
+}
+
+/// Sends one keep-alive POST and reads the full response.
+fn post(
+    writer: &mut TcpStream,
+    reader: &mut BufReader<TcpStream>,
+    path: &str,
+    body: &str,
+) -> std::io::Result<(u16, String)> {
+    write!(
+        writer,
+        "POST {path} HTTP/1.1\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )?;
+    writer.flush()?;
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line)?;
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| std::io::Error::other(format!("bad status line `{status_line}`")))?;
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line)?;
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v
+                .trim()
+                .parse()
+                .map_err(|_| std::io::Error::other("bad content-length"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok((
+        status,
+        String::from_utf8(body).map_err(|_| std::io::Error::other("non-UTF-8 body"))?,
+    ))
+}
+
+/// Per-phase outcome of one connection.
+struct ConnStats {
+    latencies_us: Vec<u64>,
+    mismatches: usize,
+    failures: usize,
+}
+
+fn drive_connection(addr: &str, items: &[WorkItem], requests: usize) -> ConnStats {
+    let mut stats = ConnStats {
+        latencies_us: Vec::with_capacity(requests),
+        mismatches: 0,
+        failures: 0,
+    };
+    let Ok(stream) = TcpStream::connect(addr) else {
+        stats.failures = requests;
+        return stats;
+    };
+    let _ = stream.set_nodelay(true);
+    let Ok(read_half) = stream.try_clone() else {
+        stats.failures = requests;
+        return stats;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    for i in 0..requests {
+        let item = &items[i % items.len()];
+        let started = Instant::now();
+        match post(&mut writer, &mut reader, &item.path, &item.body) {
+            Ok((200, body)) => {
+                stats
+                    .latencies_us
+                    .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                if body != item.expected {
+                    stats.mismatches += 1;
+                    eprintln!(
+                        "MISMATCH on {}: daemon response differs from CLI",
+                        item.label
+                    );
+                }
+            }
+            Ok((429, _)) => stats.failures += 1, // shed under overload: expected behavior
+            Ok((status, body)) => {
+                stats.failures += 1;
+                eprintln!("unexpected {status} on {}: {}", item.label, body.trim_end());
+            }
+            Err(e) => {
+                stats.failures += 1;
+                eprintln!("transport error on {}: {e}", item.label);
+                return stats;
+            }
+        }
+    }
+    stats
+}
+
+fn percentile(sorted_us: &[u64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return f64::NAN;
+    }
+    let rank = (p / 100.0 * (sorted_us.len() - 1) as f64).round() as usize;
+    sorted_us[rank] as f64 / 1000.0
+}
+
+fn run_phase(name: &str, addr: &str, items: &[WorkItem], connections: usize, requests: usize) {
+    let started = Instant::now();
+    let stats: Vec<ConnStats> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..connections)
+            .map(|_| scope.spawn(|| drive_connection(addr, items, requests)))
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let wall = started.elapsed().as_secs_f64();
+    let mut latencies: Vec<u64> = stats.iter().flat_map(|s| s.latencies_us.clone()).collect();
+    latencies.sort_unstable();
+    let ok = latencies.len();
+    let mismatches: usize = stats.iter().map(|s| s.mismatches).sum();
+    let failures: usize = stats.iter().map(|s| s.failures).sum();
+    println!(
+        "{name:<5}  {ok:>5}  {failures:>6}  {:>9.1}  {:>8.2}  {:>8.2}  {:>8.2}  {:>8.2}",
+        ok as f64 / wall,
+        percentile(&latencies, 50.0),
+        percentile(&latencies, 90.0),
+        percentile(&latencies, 99.0),
+        latencies.last().map_or(f64::NAN, |&l| l as f64 / 1000.0),
+    );
+    assert_eq!(
+        mismatches, 0,
+        "daemon responses must match the CLI bit for bit"
+    );
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let connections: usize = flag(&args, "--connections").map_or(8, |s| {
+        s.parse().expect("--connections takes a positive integer")
+    });
+    let requests: usize = flag(&args, "--requests").map_or(24, |s| {
+        s.parse().expect("--requests takes a positive integer")
+    });
+    let workers = parx::parse_jobs("--workers", flag(&args, "--workers").as_deref(), 0)
+        .unwrap_or_else(|e| {
+            eprintln!("{e}");
+            std::process::exit(2);
+        });
+
+    println!("building workload (mpeg2sys + socgen, expected outputs via direct commands)…");
+    let items = build_workload();
+
+    let (addr, server_thread) = match flag(&args, "--addr") {
+        Some(addr) => (addr, None),
+        None => {
+            let server = Server::start(ServerConfig {
+                workers,
+                ..ServerConfig::default()
+            })
+            .expect("bind ephemeral port");
+            let addr = server.addr().to_string();
+            let handle = std::thread::spawn(move || server.run());
+            (addr, Some(handle))
+        }
+    };
+    println!(
+        "target {addr}: {connections} connections x {requests} requests, {} workers\n",
+        if workers == 0 {
+            "all".to_string()
+        } else {
+            workers.to_string()
+        }
+    );
+    println!("phase     ok  failed  req/s      p50[ms]   p90[ms]   p99[ms]   max[ms]");
+    run_phase("cold", &addr, &items, connections, requests);
+    run_phase("warm", &addr, &items, connections, requests);
+
+    if let Some(handle) = server_thread {
+        let mut stream = TcpStream::connect(&addr).expect("server alive");
+        stream
+            .write_all(b"POST /shutdown HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n")
+            .expect("shutdown request");
+        let mut drain = String::new();
+        let _ = stream.read_to_string(&mut drain);
+        handle
+            .join()
+            .expect("server thread")
+            .expect("server drains cleanly");
+        println!("\nserver drained cleanly");
+    }
+}

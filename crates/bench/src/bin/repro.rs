@@ -333,11 +333,18 @@ fn main() {
         .position(|a| a == "--experiment")
         .and_then(|i| args.get(i + 1))
         .map_or("all", String::as_str);
-    let jobs: usize = args
-        .iter()
-        .position(|a| a == "--jobs")
-        .and_then(|i| args.get(i + 1))
-        .map_or(0, |s| s.parse().expect("--jobs takes a number"));
+    let jobs = parx::parse_jobs(
+        "--jobs",
+        args.iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str),
+        0,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
 
     match experiment {
         "fig2" => run_fig2(),

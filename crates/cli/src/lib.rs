@@ -10,14 +10,18 @@
 //! ermes analyze design.json
 //! ermes order design.json --out ordered.json
 //! ermes explore design.json --target 2000000 --out best.json
+//! ermes serve --addr 127.0.0.1:7878
 //! ```
+//!
+//! The spec format and the command functions are implemented in the
+//! [`ermesd`] crate (so the long-running daemon and the CLI share one
+//! implementation, keeping their outputs bit-identical); this crate
+//! re-exports them under their historical paths.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod commands;
-pub mod json;
-pub mod spec;
+pub use ermesd::{commands, json, spec};
 
 pub use commands::{
     cmd_analyze, cmd_buffers, cmd_dot, cmd_explore, cmd_fsm, cmd_order, cmd_refine, cmd_simulate,

@@ -19,9 +19,12 @@ USAGE:
     ermes stalls   <spec.json> [--iterations <n>]
     ermes dot      <spec.json>
     ermes fsm      <spec.json> <process>
+    ermes serve    [--addr <host:port>] [--workers <n>] [--queue <n>]
 
 `--jobs <n>` threads the exploration engine (0 = all hardware threads,
-default 1); results are bit-identical at any value.
+default 1); results are bit-identical at any value. `serve` runs the
+analysis daemon (see the `ermesd` crate): POST /analyze, /order,
+/explore?target=N, /sweep?targets=a,b,c; GET /healthz, /metrics.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -30,8 +33,28 @@ fn flag(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let defaults = ermesd::ServerConfig::default();
+    let config = ermesd::ServerConfig {
+        addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+        workers: parx::parse_jobs("--workers", flag(args, "--workers").as_deref(), 0)?,
+        queue_capacity: flag(args, "--queue").map_or(Ok(defaults.queue_capacity), |s| {
+            s.parse().map_err(|_| "--queue takes a positive integer")
+        })?,
+        ..defaults
+    };
+    let server = ermesd::Server::start(config)?;
+    println!("ermesd listening on http://{}", server.addr());
+    server.run()?;
+    println!("ermesd drained and stopped");
+    Ok(())
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        return serve(&args);
+    }
     let (Some(command), Some(path)) = (args.first(), args.get(1)) else {
         eprint!("{USAGE}");
         std::process::exit(2);
@@ -52,7 +75,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             let target: u64 = flag(&args, "--target")
                 .ok_or("explore requires --target <cycles>")?
                 .parse()?;
-            let jobs: usize = flag(&args, "--jobs").map_or(Ok(1), |s| s.parse())?;
+            let jobs = parx::parse_jobs("--jobs", flag(&args, "--jobs").as_deref(), 1)?;
             let (report, json) = cmd_explore(&spec, target, jobs)?;
             print!("{report}");
             if let Some(out) = flag(&args, "--out") {
@@ -89,7 +112,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
                 .split(',')
                 .map(|t| t.trim().parse())
                 .collect::<Result<_, _>>()?;
-            let jobs: usize = flag(&args, "--jobs").map_or(Ok(1), |s| s.parse())?;
+            let jobs = parx::parse_jobs("--jobs", flag(&args, "--jobs").as_deref(), 1)?;
             print!("{}", cmd_sweep(&spec, &targets, jobs)?);
         }
         "stalls" => {

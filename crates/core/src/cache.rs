@@ -14,6 +14,14 @@
 //! them). The sweep creates one cache per call and shares it across all
 //! parallel targets; this is sound because the cached computations are
 //! deterministic — any interleaving stores the same values.
+//!
+//! For batch use (one sweep, one exploration) the cache is unbounded —
+//! the working set is the run's own trajectory. A long-running service
+//! ([`ermesd`](https://example.invalid/ermes)) instead creates the cache
+//! with [`EngineCache::with_capacity`]: each memo table is bounded and
+//! evicts its least-recently-used entry, so the daemon's memory stays
+//! proportional to the hot set rather than to its uptime. Evictions are
+//! counted in [`CacheStats::evictions`].
 
 use crate::analysis::{analyze_design_with_jobs, PerfReport};
 use crate::design::Design;
@@ -65,6 +73,9 @@ pub struct CacheStats {
     pub ordering_hits: u64,
     /// Channel orderings computed (and stored).
     pub ordering_misses: u64,
+    /// Entries dropped by LRU eviction (both tables; always 0 for an
+    /// unbounded cache).
+    pub evictions: u64,
 }
 
 impl CacheStats {
@@ -89,6 +100,80 @@ impl CacheStats {
             self.ordering_hits as f64 / total as f64
         }
     }
+
+    /// Field-wise sum — aggregates the counters of several caches (the
+    /// daemon keeps one cache per base design but reports one total).
+    #[must_use]
+    pub fn merged(&self, other: &CacheStats) -> CacheStats {
+        CacheStats {
+            analysis_hits: self.analysis_hits + other.analysis_hits,
+            analysis_misses: self.analysis_misses + other.analysis_misses,
+            ordering_hits: self.ordering_hits + other.ordering_hits,
+            ordering_misses: self.ordering_misses + other.ordering_misses,
+            evictions: self.evictions + other.evictions,
+        }
+    }
+}
+
+/// One bounded-or-unbounded memo table with LRU bookkeeping.
+///
+/// Recency is a per-entry stamp from a shared tick counter; eviction
+/// scans for the minimum stamp. The scan is O(len), which is fine at
+/// service-sized capacities (thousands): eviction only happens on a
+/// miss, whose analysis/ordering computation dwarfs the scan.
+#[derive(Debug)]
+struct Memo<V> {
+    entries: HashMap<ConfigKey, (V, u64)>,
+    tick: u64,
+}
+
+impl<V: Clone> Default for Memo<V> {
+    fn default() -> Self {
+        Memo::new()
+    }
+}
+
+impl<V: Clone> Memo<V> {
+    fn new() -> Self {
+        Memo {
+            entries: HashMap::new(),
+            tick: 0,
+        }
+    }
+
+    fn get(&mut self, key: &ConfigKey) -> Option<V> {
+        self.tick += 1;
+        let tick = self.tick;
+        self.entries.get_mut(key).map(|(value, used)| {
+            *used = tick;
+            value.clone()
+        })
+    }
+
+    /// Inserts `value`, evicting the least-recently-used entry first if
+    /// the table is at `capacity`. Returns the number of evictions (0/1).
+    fn insert(&mut self, key: ConfigKey, value: V, capacity: Option<usize>) -> u64 {
+        self.tick += 1;
+        let mut evicted = 0;
+        if let Some(cap) = capacity {
+            if cap == 0 {
+                return 0; // degenerate bound: cache nothing
+            }
+            if self.entries.len() >= cap && !self.entries.contains_key(&key) {
+                if let Some(oldest) = self
+                    .entries
+                    .iter()
+                    .min_by_key(|(_, (_, used))| *used)
+                    .map(|(k, _)| k.clone())
+                {
+                    self.entries.remove(&oldest);
+                    evicted = 1;
+                }
+            }
+        }
+        self.entries.insert(key, (value, self.tick));
+        evicted
+    }
 }
 
 /// Shared memoization cache for analysis and channel-ordering results.
@@ -101,52 +186,92 @@ impl CacheStats {
 /// harmless because the computations are deterministic.
 #[derive(Debug, Default)]
 pub struct EngineCache {
-    analysis: Mutex<HashMap<ConfigKey, PerfReport>>,
-    ordering: Mutex<HashMap<ConfigKey, ChannelOrdering>>,
+    analysis: Mutex<Memo<PerfReport>>,
+    ordering: Mutex<Memo<ChannelOrdering>>,
+    /// Per-table entry bound; `None` = unbounded (the batch default).
+    capacity: Option<usize>,
     analysis_hits: AtomicU64,
     analysis_misses: AtomicU64,
     ordering_hits: AtomicU64,
     ordering_misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl EngineCache {
-    /// An empty cache.
+    /// An empty, unbounded cache (the batch-run default: a sweep's
+    /// working set is its own trajectory, which it must keep).
     #[must_use]
     pub fn new() -> Self {
         EngineCache::default()
     }
 
+    /// An empty cache holding at most `capacity` entries **per table**
+    /// (analysis and ordering are bounded independently), evicting the
+    /// least-recently-used entry on overflow. This is the configuration
+    /// for long-running services, where the cache must not grow with
+    /// uptime. `capacity = 0` disables storage entirely (every query
+    /// recomputes) while keeping the counters — useful as a baseline.
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        EngineCache {
+            capacity: Some(capacity),
+            ..EngineCache::default()
+        }
+    }
+
+    /// The configured per-table bound (`None` = unbounded).
+    #[must_use]
+    pub fn capacity(&self) -> Option<usize> {
+        self.capacity
+    }
+
+    /// Current number of entries in the (analysis, ordering) tables.
+    #[must_use]
+    pub fn entry_counts(&self) -> (usize, usize) {
+        (
+            self.analysis.lock().expect("cache poisoned").entries.len(),
+            self.ordering.lock().expect("cache poisoned").entries.len(),
+        )
+    }
+
     /// [`crate::analyze_design`] through the cache. `jobs` is forwarded
-    /// to the per-SCC Howard solve on a miss.
-    pub(crate) fn analyze(&self, design: &Design, jobs: usize) -> PerfReport {
+    /// to the per-SCC Howard solve on a miss. Public so that services
+    /// holding a cross-request cache can analyze through it; the result
+    /// is bit-identical to a direct [`crate::analyze_design_with_jobs`]
+    /// call (the cached computation is deterministic).
+    pub fn analyze(&self, design: &Design, jobs: usize) -> PerfReport {
         let key = ConfigKey::of(design);
         if let Some(hit) = self.analysis.lock().expect("cache poisoned").get(&key) {
             self.analysis_hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            return hit;
         }
         self.analysis_misses.fetch_add(1, Ordering::Relaxed);
         let report = analyze_design_with_jobs(design, jobs);
-        self.analysis
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, report.clone());
+        let evicted = self.analysis.lock().expect("cache poisoned").insert(
+            key,
+            report.clone(),
+            self.capacity,
+        );
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         report
     }
 
     /// `chanorder::order_channels` through the cache, returning only the
     /// ordering (labels are not needed by the loop).
-    pub(crate) fn order(&self, design: &Design) -> ChannelOrdering {
+    pub fn order(&self, design: &Design) -> ChannelOrdering {
         let key = ConfigKey::of(design);
         if let Some(hit) = self.ordering.lock().expect("cache poisoned").get(&key) {
             self.ordering_hits.fetch_add(1, Ordering::Relaxed);
-            return hit.clone();
+            return hit;
         }
         self.ordering_misses.fetch_add(1, Ordering::Relaxed);
         let ordering = chanorder::order_channels(design.system()).ordering;
-        self.ordering
-            .lock()
-            .expect("cache poisoned")
-            .insert(key, ordering.clone());
+        let evicted = self.ordering.lock().expect("cache poisoned").insert(
+            key,
+            ordering.clone(),
+            self.capacity,
+        );
+        self.evictions.fetch_add(evicted, Ordering::Relaxed);
         ordering
     }
 
@@ -158,6 +283,7 @@ impl EngineCache {
             analysis_misses: self.analysis_misses.load(Ordering::Relaxed),
             ordering_hits: self.ordering_hits.load(Ordering::Relaxed),
             ordering_misses: self.ordering_misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -228,6 +354,116 @@ mod tests {
         assert_eq!(cache.order(&design), direct);
         let stats = cache.stats();
         assert_eq!((stats.ordering_hits, stats.ordering_misses), (1, 1));
+    }
+
+    /// A design with `n` selectable points on process `a`, so the cache
+    /// can be driven through `n` distinct configurations.
+    fn many_config_design(n: u64) -> Design {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 0);
+        let b = sys.add_process("b", 0);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        let set = |lats: Vec<u64>| {
+            ParetoSet::from_candidates(
+                lats.iter()
+                    .map(|&latency| MicroArch {
+                        knobs: HlsKnobs::baseline(),
+                        latency,
+                        area: 100.0 / latency as f64,
+                    })
+                    .collect(),
+            )
+        };
+        let mut design =
+            Design::new(sys, vec![set((1..=n).collect()), set(vec![3])]).expect("sizes");
+        design.select_fastest();
+        design
+    }
+
+    #[test]
+    fn bounded_cache_evicts_least_recently_used() {
+        let mut design = many_config_design(4);
+        let cache = EngineCache::with_capacity(2);
+        let a = sysgraph::ProcessId::from_index(0);
+        for idx in 0..3 {
+            design.select(a, idx).expect("valid");
+            let _ = cache.analyze(&design, 1);
+        }
+        // Capacity 2, three distinct configs: one eviction, table full.
+        let stats = cache.stats();
+        assert_eq!(stats.evictions, 1, "{stats:?}");
+        assert_eq!(cache.entry_counts().0, 2);
+        // Config 0 was the least recently used: re-querying it misses,
+        // while config 2 (most recent) still hits.
+        design.select(a, 2).expect("valid");
+        let _ = cache.analyze(&design, 1);
+        assert_eq!(cache.stats().analysis_hits, 1);
+        design.select(a, 0).expect("valid");
+        let _ = cache.analyze(&design, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.analysis_misses, 4, "config 0 was evicted");
+        assert_eq!(stats.evictions, 2);
+    }
+
+    #[test]
+    fn lru_refresh_protects_hot_entries() {
+        let mut design = many_config_design(3);
+        let cache = EngineCache::with_capacity(2);
+        let a = sysgraph::ProcessId::from_index(0);
+        // Fill with configs 0 and 1, then touch 0 so 1 becomes the LRU.
+        for idx in [0, 1, 0] {
+            design.select(a, idx).expect("valid");
+            let _ = cache.analyze(&design, 1);
+        }
+        // Config 2 evicts config 1, not the recently-touched config 0.
+        design.select(a, 2).expect("valid");
+        let _ = cache.analyze(&design, 1);
+        design.select(a, 0).expect("valid");
+        let _ = cache.analyze(&design, 1);
+        let stats = cache.stats();
+        assert_eq!(stats.analysis_hits, 2, "config 0 survived: {stats:?}");
+        assert_eq!(stats.evictions, 1);
+    }
+
+    #[test]
+    fn zero_capacity_recomputes_every_query() {
+        let design = many_config_design(2);
+        let cache = EngineCache::with_capacity(0);
+        let fresh = analyze_design(&design);
+        assert_eq!(cache.analyze(&design, 1), fresh);
+        assert_eq!(cache.analyze(&design, 1), fresh);
+        let stats = cache.stats();
+        assert_eq!((stats.analysis_hits, stats.analysis_misses), (0, 2));
+        assert_eq!(cache.entry_counts(), (0, 0));
+        assert_eq!(stats.evictions, 0);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let mut design = many_config_design(16);
+        let cache = EngineCache::new();
+        assert_eq!(cache.capacity(), None);
+        let a = sysgraph::ProcessId::from_index(0);
+        for idx in 0..16 {
+            design.select(a, idx).expect("valid");
+            let _ = cache.analyze(&design, 1);
+        }
+        assert_eq!(cache.stats().evictions, 0);
+        assert_eq!(cache.entry_counts().0, 16);
+    }
+
+    #[test]
+    fn merged_stats_sum_fieldwise() {
+        let a = CacheStats {
+            analysis_hits: 1,
+            analysis_misses: 2,
+            ordering_hits: 3,
+            ordering_misses: 4,
+            evictions: 5,
+        };
+        let b = a.merged(&a);
+        assert_eq!(b.analysis_hits, 2);
+        assert_eq!(b.evictions, 10);
     }
 
     #[test]

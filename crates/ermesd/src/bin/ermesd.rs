@@ -1,0 +1,67 @@
+//! Standalone launcher for the ERMES analysis daemon (the CLI's
+//! `ermes serve` is the same server behind the same flags).
+
+use ermesd::{Server, ServerConfig};
+
+const USAGE: &str = "\
+ermesd — long-running ERMES analysis service
+
+USAGE:
+    ermesd [--addr <host:port>] [--workers <n>] [--queue <n>]
+           [--cache <n>] [--deadline-ms <n>]
+
+    --addr <host:port>   bind address (default 127.0.0.1:7878, :0 = ephemeral)
+    --workers <n>        analysis worker threads (0 = all hardware threads)
+    --queue <n>          admission-queue bound; beyond it requests shed with 429
+    --cache <n>          per-design engine-cache bound (entries per table)
+    --deadline-ms <n>    default per-request deadline (0 = none)
+
+Endpoints: POST /analyze, /order, /explore?target=N, /sweep?targets=a,b,c,
+/shutdown; GET /healthz, /metrics.
+";
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn run() -> Result<(), Box<dyn std::error::Error>> {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print!("{USAGE}");
+        return Ok(());
+    }
+    let defaults = ServerConfig::default();
+    let config = ServerConfig {
+        addr: flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
+        workers: parx::parse_jobs("--workers", flag(&args, "--workers").as_deref(), 0)?,
+        queue_capacity: flag(&args, "--queue").map_or(Ok(defaults.queue_capacity), |s| {
+            s.parse().map_err(|_| "--queue takes a positive integer")
+        })?,
+        cache_capacity: flag(&args, "--cache").map_or(Ok(defaults.cache_capacity), |s| {
+            s.parse()
+                .map_err(|_| "--cache takes a non-negative integer")
+        })?,
+        default_deadline_ms: flag(&args, "--deadline-ms").map_or(
+            Ok(defaults.default_deadline_ms),
+            |s| {
+                s.parse()
+                    .map_err(|_| "--deadline-ms takes a non-negative integer")
+            },
+        )?,
+        ..defaults
+    };
+    let server = Server::start(config)?;
+    println!("ermesd listening on http://{}", server.addr());
+    server.run()?;
+    println!("ermesd drained and stopped");
+    Ok(())
+}
+
+fn main() {
+    if let Err(e) = run() {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}

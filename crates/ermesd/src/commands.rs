@@ -67,6 +67,27 @@ pub fn parse_spec(json: &str) -> Result<SystemSpec, CliError> {
 pub fn cmd_analyze(spec: &SystemSpec) -> Result<String, CliError> {
     let design = spec.to_design()?;
     let report = ermes::analyze_design(&design);
+    render_analysis(&design, &report)
+}
+
+/// [`cmd_analyze`] through a shared [`ermes::EngineCache`] (the daemon's
+/// path). The output is bit-identical to [`cmd_analyze`] — the cached
+/// computation is deterministic and the analysis report carries no
+/// run-history state.
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs.
+pub fn cmd_analyze_cached(
+    spec: &SystemSpec,
+    cache: &ermes::EngineCache,
+) -> Result<String, CliError> {
+    let design = spec.to_design()?;
+    let report = cache.analyze(&design, 1);
+    render_analysis(&design, &report)
+}
+
+fn render_analysis(design: &ermes::Design, report: &ermes::PerfReport) -> Result<String, CliError> {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -104,7 +125,7 @@ pub fn cmd_analyze(spec: &SystemSpec) -> Result<String, CliError> {
                 .map(|&p| design.system().process(p).name())
                 .collect();
             let _ = writeln!(out, "critical processes: {names:?}");
-            if let Some(bottleneck) = ermes::bottleneck_report(&design) {
+            if let Some(bottleneck) = ermes::bottleneck_report(design) {
                 let _ = write!(out, "{}", bottleneck.render());
             }
         }
@@ -151,11 +172,30 @@ pub fn cmd_explore(
     target: u64,
     jobs: usize,
 ) -> Result<(String, String), CliError> {
-    let design = spec.to_design()?;
     let cache = ermes::EngineCache::new();
+    let (mut out, json) = cmd_explore_cached(spec, target, jobs, &cache)?;
+    out.push_str(&cache_stats_line(&cache.stats()));
+    Ok((out, json))
+}
+
+/// [`cmd_explore`] through a shared [`ermes::EngineCache`], without the
+/// trailing per-run cache-statistics line (which would vary with the
+/// cache's warmth and so cannot appear in a bit-stable daemon response;
+/// the daemon serves those counters, aggregated, at `GET /metrics`).
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs or a deadlocking system.
+pub fn cmd_explore_cached(
+    spec: &SystemSpec,
+    target: u64,
+    jobs: usize,
+    cache: &ermes::EngineCache,
+) -> Result<(String, String), CliError> {
+    let design = spec.to_design()?;
     let options = ermes::ExploreOptions {
         jobs,
-        cache: Some(&cache),
+        cache: Some(cache),
     };
     let trace = ermes::explore_with(design, ExplorationConfig::with_target(target), &options)?;
     let mut out = String::new();
@@ -181,19 +221,21 @@ pub fn cmd_explore(
         trace.best().cycle_time,
         trace.best().area
     );
-    let stats = cache.stats();
-    let _ = writeln!(
-        out,
-        "cache: analysis {}/{} hits ({:.0}%), ordering {}/{} hits ({:.0}%)",
+    let new_spec = spec.with_system_state(trace.design.system());
+    Ok((out, new_spec.to_json_pretty()))
+}
+
+/// The CLI's per-run cache-statistics footer.
+fn cache_stats_line(stats: &ermes::CacheStats) -> String {
+    format!(
+        "cache: analysis {}/{} hits ({:.0}%), ordering {}/{} hits ({:.0}%)\n",
         stats.analysis_hits,
         stats.analysis_hits + stats.analysis_misses,
         stats.analysis_hit_rate() * 100.0,
         stats.ordering_hits,
         stats.ordering_hits + stats.ordering_misses,
         stats.ordering_hit_rate() * 100.0,
-    );
-    let new_spec = spec.with_system_state(trace.design.system());
-    Ok((out, new_spec.to_json_pretty()))
+    )
 }
 
 /// `ermes simulate <spec> --iterations <n> [--vcd <file>]` —
@@ -329,14 +371,33 @@ pub fn cmd_refine(spec: &SystemSpec, passes: usize) -> Result<(String, String), 
 ///
 /// [`CliError`] on malformed specs or exploration failure.
 pub fn cmd_sweep(spec: &SystemSpec, targets: &[u64], jobs: usize) -> Result<String, CliError> {
+    let cache = ermes::EngineCache::new();
+    let mut out = cmd_sweep_cached(spec, targets, jobs, &cache)?;
+    out.push_str(&cache_stats_line(&cache.stats()));
+    Ok(out)
+}
+
+/// [`cmd_sweep`] through a shared [`ermes::EngineCache`], without the
+/// trailing cache-statistics line (see [`cmd_explore_cached`] for why).
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs or exploration failure.
+pub fn cmd_sweep_cached(
+    spec: &SystemSpec,
+    targets: &[u64],
+    jobs: usize,
+    cache: &ermes::EngineCache,
+) -> Result<String, CliError> {
     let design = spec.to_design()?;
-    let report = ermes::pareto_sweep_with(
+    let report = ermes::pareto_sweep_cached(
         design,
         targets,
         &ermes::SweepOptions {
             jobs,
             memoize: true,
         },
+        cache,
     )?;
     let mut out = String::new();
     let _ = writeln!(out, "target        best-ct        area  meets");
@@ -350,17 +411,6 @@ pub fn cmd_sweep(spec: &SystemSpec, targets: &[u64], jobs: usize) -> Result<Stri
             if p.meets_target { "yes" } else { "no" }
         );
     }
-    let stats = report.cache;
-    let _ = writeln!(
-        out,
-        "cache: analysis {}/{} hits ({:.0}%), ordering {}/{} hits ({:.0}%)",
-        stats.analysis_hits,
-        stats.analysis_hits + stats.analysis_misses,
-        stats.analysis_hit_rate() * 100.0,
-        stats.ordering_hits,
-        stats.ordering_hits + stats.ordering_misses,
-        stats.ordering_hit_rate() * 100.0,
-    );
     Ok(out)
 }
 

@@ -1,0 +1,70 @@
+//! `ermesd` — the ERMES analysis service.
+//!
+//! The DAC'14 methodology is an *iterative* CAD loop: designers analyze,
+//! reorder, re-select, and re-analyze against an evolving spec. Run as a
+//! one-shot CLI, every invocation pays the full cost from a cold start;
+//! run as a long-lived daemon, the memoized engine ([`ermes::EngineCache`])
+//! amortizes across requests — the same serving architecture as an
+//! inference stack: request admission, a cached backend, observability.
+//!
+//! The crate has three layers:
+//!
+//! - **Front end** ([`json`], [`spec`], [`commands`]): the on-disk JSON
+//!   system-spec format and the pure command functions (`analyze`,
+//!   `order`, `explore`, `sweep`, …). These moved here from `ermes-cli`
+//!   (which re-exports them unchanged) so both the CLI and the daemon
+//!   share one implementation — responses are **bit-identical** to the
+//!   corresponding CLI invocation by construction.
+//! - **Transport** ([`http`]): a hand-rolled HTTP/1.1 request parser and
+//!   response writer on `std::net` only, per the workspace's
+//!   no-unjustified-dependencies rule (no tokio, no hyper).
+//! - **Service** ([`server`], [`metrics`]): a fixed worker pool over a
+//!   bounded queue ([`parx::Pool`]) with load-shedding `429`s when the
+//!   queue is full, per-request deadlines, a shared cross-request LRU of
+//!   per-design [`ermes::EngineCache`]s, Prometheus-text `/metrics`, and
+//!   graceful drain-on-shutdown.
+//!
+//! # Endpoints
+//!
+//! | Route | Body | Response |
+//! |---|---|---|
+//! | `POST /analyze` | spec JSON | `ermes analyze` stdout |
+//! | `POST /order` | spec JSON | `ermes order` stdout (report + ordered spec) |
+//! | `POST /explore?target=N[&jobs=J]` | spec JSON | `ermes explore` stdout (sans cache-stats line) + explored spec |
+//! | `POST /sweep?targets=a,b,c[&jobs=J]` | spec JSON | `ermes sweep` stdout (sans cache-stats line) |
+//! | `GET /healthz` | — | `ok` |
+//! | `GET /metrics` | — | Prometheus text format |
+//! | `POST /shutdown` | — | acknowledges, then drains in-flight work and exits |
+//!
+//! The CLI's per-run cache-statistics line is deliberately absent from
+//! daemon responses: under a shared warm cache those counters depend on
+//! request history, which would break the bit-identity contract. The
+//! same information is served, aggregated, at `GET /metrics`.
+//!
+//! ```no_run
+//! let server = ermesd::Server::start(ermesd::ServerConfig {
+//!     addr: "127.0.0.1:0".into(),
+//!     ..ermesd::ServerConfig::default()
+//! })?;
+//! println!("listening on {}", server.addr());
+//! server.run()?; // blocks until POST /shutdown, then drains
+//! # Ok::<(), std::io::Error>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod commands;
+pub mod http;
+pub mod json;
+pub mod metrics;
+pub mod server;
+pub mod spec;
+
+pub use commands::{
+    cmd_analyze, cmd_analyze_cached, cmd_buffers, cmd_dot, cmd_explore, cmd_explore_cached,
+    cmd_fsm, cmd_order, cmd_refine, cmd_simulate, cmd_simulate_traced, cmd_stalls, cmd_sweep,
+    cmd_sweep_cached, parse_spec, CliError,
+};
+pub use server::{Server, ServerConfig};
+pub use spec::{ChannelSpec, ParetoPointSpec, ProcessSpec, SpecError, SystemSpec};

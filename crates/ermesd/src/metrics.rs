@@ -1,0 +1,224 @@
+//! Service observability: counters, latency histogram, and the
+//! Prometheus text-format renderer behind `GET /metrics`.
+//!
+//! The registry is plain `std::sync` — per-(endpoint, status) request
+//! counters behind a mutex (scrape-ordered deterministically), a
+//! fixed-bucket latency histogram on atomics, and gauges sampled at
+//! scrape time (queue depth, cache sizes). Cache hit/miss/eviction
+//! counters are not duplicated here: they live in the per-design
+//! [`ermes::EngineCache`]s and are aggregated into the scrape by the
+//! server, so `/metrics` and the engine can never disagree.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Upper bounds (seconds) of the latency histogram buckets; a `+Inf`
+/// bucket is implicit. Spans 100 µs (cache-hit analyze on a small spec)
+/// to 10 s (cold multi-target sweep on a large one).
+pub const LATENCY_BUCKETS: [f64; 14] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 10.0,
+];
+
+/// Shared metrics state of one server.
+#[derive(Debug, Default)]
+pub struct Metrics {
+    /// `(endpoint, status)` → count. BTreeMap keeps the scrape output
+    /// deterministically ordered.
+    requests: Mutex<BTreeMap<(&'static str, u16), u64>>,
+    /// Cumulative bucket counts (`le` = [`LATENCY_BUCKETS`] + `+Inf`).
+    latency_buckets: [AtomicU64; LATENCY_BUCKETS.len() + 1],
+    /// Sum of observed latencies, in microseconds.
+    latency_sum_micros: AtomicU64,
+    latency_count: AtomicU64,
+    /// Requests rejected because the admission queue was full.
+    shed_queue_full: AtomicU64,
+    /// Requests rejected because their deadline expired while queued.
+    shed_deadline: AtomicU64,
+}
+
+impl Metrics {
+    /// A zeroed registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Metrics::default()
+    }
+
+    /// Records one finished request.
+    pub fn record_request(&self, endpoint: &'static str, status: u16) {
+        *self
+            .requests
+            .lock()
+            .expect("metrics poisoned")
+            .entry((endpoint, status))
+            .or_insert(0) += 1;
+    }
+
+    /// Records the service latency (arrival to response ready) of one
+    /// analysis request.
+    pub fn observe_latency(&self, elapsed: Duration) {
+        let seconds = elapsed.as_secs_f64();
+        for (i, &bound) in LATENCY_BUCKETS.iter().enumerate() {
+            if seconds <= bound {
+                self.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
+            }
+        }
+        self.latency_buckets[LATENCY_BUCKETS.len()].fetch_add(1, Ordering::Relaxed);
+        self.latency_sum_micros.fetch_add(
+            elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
+            Ordering::Relaxed,
+        );
+        self.latency_count.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one load-shed rejection (`queue_full` distinguishes a full
+    /// queue from an expired deadline).
+    pub fn record_shed(&self, queue_full: bool) {
+        if queue_full {
+            self.shed_queue_full.fetch_add(1, Ordering::Relaxed);
+        } else {
+            self.shed_deadline.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+
+    /// Total requests recorded, across endpoints and statuses.
+    #[must_use]
+    pub fn total_requests(&self) -> u64 {
+        self.requests
+            .lock()
+            .expect("metrics poisoned")
+            .values()
+            .sum()
+    }
+
+    /// Renders the Prometheus text exposition. `gauges` supplies the
+    /// point-in-time values sampled by the server at scrape time
+    /// (queue depth, cache aggregates, …), each as
+    /// `(metric_name, help, value)`.
+    #[must_use]
+    pub fn render(&self, gauges: &[(&str, &str, f64)]) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "# HELP ermesd_requests_total Requests served, by endpoint and status.\n\
+             # TYPE ermesd_requests_total counter"
+        );
+        for ((endpoint, status), count) in self.requests.lock().expect("metrics poisoned").iter() {
+            let _ = writeln!(
+                out,
+                "ermesd_requests_total{{endpoint=\"{endpoint}\",status=\"{status}\"}} {count}"
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP ermesd_request_seconds Service latency of analysis requests (arrival to response ready).\n\
+             # TYPE ermesd_request_seconds histogram"
+        );
+        for (i, &bound) in LATENCY_BUCKETS.iter().enumerate() {
+            let _ = writeln!(
+                out,
+                "ermesd_request_seconds_bucket{{le=\"{bound}\"}} {}",
+                self.latency_buckets[i].load(Ordering::Relaxed)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ermesd_request_seconds_bucket{{le=\"+Inf\"}} {}",
+            self.latency_buckets[LATENCY_BUCKETS.len()].load(Ordering::Relaxed)
+        );
+        let _ = writeln!(
+            out,
+            "ermesd_request_seconds_sum {}",
+            self.latency_sum_micros.load(Ordering::Relaxed) as f64 / 1e6
+        );
+        let _ = writeln!(
+            out,
+            "ermesd_request_seconds_count {}",
+            self.latency_count.load(Ordering::Relaxed)
+        );
+        for (name, help, counter) in [
+            (
+                "ermesd_shed_queue_full_total",
+                "Requests rejected with 429 because the admission queue was full.",
+                &self.shed_queue_full,
+            ),
+            (
+                "ermesd_shed_deadline_total",
+                "Requests rejected with 429 because their deadline expired while queued.",
+                &self.shed_deadline,
+            ),
+        ] {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}",
+                counter.load(Ordering::Relaxed)
+            );
+        }
+        for (name, help, value) in gauges {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}"
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_counters_accumulate_per_endpoint_and_status() {
+        let m = Metrics::new();
+        m.record_request("analyze", 200);
+        m.record_request("analyze", 200);
+        m.record_request("analyze", 400);
+        m.record_request("explore", 200);
+        assert_eq!(m.total_requests(), 4);
+        let text = m.render(&[]);
+        assert!(
+            text.contains("ermesd_requests_total{endpoint=\"analyze\",status=\"200\"} 2"),
+            "{text}"
+        );
+        assert!(text.contains("ermesd_requests_total{endpoint=\"analyze\",status=\"400\"} 1"));
+        assert!(text.contains("ermesd_requests_total{endpoint=\"explore\",status=\"200\"} 1"));
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative() {
+        let m = Metrics::new();
+        m.observe_latency(Duration::from_micros(200)); // ≤ 0.00025 …
+        m.observe_latency(Duration::from_millis(30)); // ≤ 0.05 …
+        let text = m.render(&[]);
+        assert!(
+            text.contains("ermesd_request_seconds_bucket{le=\"0.0001\"} 0"),
+            "{text}"
+        );
+        assert!(text.contains("ermesd_request_seconds_bucket{le=\"0.00025\"} 1"));
+        assert!(text.contains("ermesd_request_seconds_bucket{le=\"0.05\"} 2"));
+        assert!(text.contains("ermesd_request_seconds_bucket{le=\"+Inf\"} 2"));
+        assert!(text.contains("ermesd_request_seconds_count 2"));
+    }
+
+    #[test]
+    fn shed_counters_split_by_cause() {
+        let m = Metrics::new();
+        m.record_shed(true);
+        m.record_shed(true);
+        m.record_shed(false);
+        let text = m.render(&[]);
+        assert!(text.contains("ermesd_shed_queue_full_total 2"), "{text}");
+        assert!(text.contains("ermesd_shed_deadline_total 1"));
+    }
+
+    #[test]
+    fn gauges_render_with_help_and_type() {
+        let m = Metrics::new();
+        let text = m.render(&[("ermesd_queue_depth", "Jobs waiting.", 3.0)]);
+        assert!(text.contains("# TYPE ermesd_queue_depth gauge"), "{text}");
+        assert!(text.contains("ermesd_queue_depth 3"));
+    }
+}

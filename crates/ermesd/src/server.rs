@@ -1,0 +1,668 @@
+//! The daemon: admission control, the shared cache, and the HTTP loop.
+//!
+//! One acceptor thread hands each connection to its own thread (parsing
+//! and response writing are cheap; connections are few), and every
+//! *analysis* request is executed on a fixed [`parx::Pool`] whose bounded
+//! queue is the admission-control knob: when it is full the request is
+//! rejected immediately with `429` instead of queueing latent work. A
+//! request may carry a `deadline_ms` query parameter; if the deadline has
+//! passed by the time a worker picks the job up, the work is skipped and
+//! the client gets a `429` as well (the classic load-shedding pair).
+//!
+//! # Response identity
+//!
+//! Responses are **bit-identical to the CLI** at any worker count and any
+//! cache warmth:
+//!
+//! - `POST /analyze` = `ermes analyze` stdout;
+//! - `POST /order` = `ermes order` stdout (report, then the ordered spec);
+//! - `POST /explore` = `ermes explore` stdout *minus the cache-stats
+//!   line*, followed by the explored spec (what the CLI writes to
+//!   `--out`);
+//! - `POST /sweep` = `ermes sweep` stdout *minus the cache-stats line*.
+//!
+//! The cache-stats line is the one part of CLI output that depends on
+//! run history, so it cannot appear in a response served from a shared
+//! warm cache; its counters are served, aggregated, at `GET /metrics`.
+//!
+//! # The shared cache
+//!
+//! An [`EngineCache`] memoizes per *base design* (topology, channel
+//! latencies, Pareto frontiers) — its keys only cover selection and
+//! ordering state. The server therefore keeps an LRU of `EngineCache`s
+//! keyed by the canonical JSON of the incoming spec: requests for the
+//! same system share a warm cache, requests for different systems can
+//! never alias. Each engine cache is itself bounded
+//! ([`EngineCache::with_capacity`]), so memory is bounded by
+//! `design_cache_capacity * cache_capacity` entries regardless of uptime.
+
+use crate::commands::{
+    cmd_analyze_cached, cmd_explore_cached, cmd_order, cmd_sweep_cached, CliError,
+};
+use crate::http::{read_request, ReadError, Request, Response};
+use crate::metrics::Metrics;
+use crate::spec::SystemSpec;
+use ermes::{CacheStats, EngineCache};
+use std::collections::HashMap;
+use std::io::{self, BufReader, Write as _};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Configuration of a [`Server`].
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address, e.g. `127.0.0.1:7878` (`:0` = ephemeral port).
+    pub addr: String,
+    /// Analysis worker threads (`0` = all hardware threads).
+    pub workers: usize,
+    /// Bound on the admission queue; a full queue sheds with `429`.
+    pub queue_capacity: usize,
+    /// Per-table bound of each design's [`EngineCache`].
+    pub cache_capacity: usize,
+    /// How many distinct base designs keep a warm cache (LRU beyond).
+    pub design_cache_capacity: usize,
+    /// Largest request body (a spec JSON) the server will buffer.
+    pub max_body_bytes: usize,
+    /// Default per-request deadline in milliseconds (`0` = none); the
+    /// `deadline_ms` query parameter overrides it per request.
+    pub default_deadline_ms: u64,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".into(),
+            workers: 0,
+            queue_capacity: 64,
+            cache_capacity: 4096,
+            design_cache_capacity: 32,
+            max_body_bytes: 4 * 1024 * 1024,
+            default_deadline_ms: 0,
+        }
+    }
+}
+
+/// LRU of per-design engine caches, keyed by canonical spec JSON.
+struct CacheLru {
+    entries: HashMap<String, (Arc<EngineCache>, u64)>,
+    tick: u64,
+    capacity: usize,
+    engine_capacity: usize,
+}
+
+impl CacheLru {
+    fn new(capacity: usize, engine_capacity: usize) -> CacheLru {
+        CacheLru {
+            entries: HashMap::new(),
+            tick: 0,
+            capacity: capacity.max(1),
+            engine_capacity,
+        }
+    }
+
+    /// The cache for `key`, created (evicting the least recently used
+    /// design if at capacity) when absent.
+    fn get(&mut self, key: &str) -> Arc<EngineCache> {
+        self.tick += 1;
+        if let Some((cache, stamp)) = self.entries.get_mut(key) {
+            *stamp = self.tick;
+            return Arc::clone(cache);
+        }
+        if self.entries.len() >= self.capacity {
+            if let Some(oldest) = self
+                .entries
+                .iter()
+                .min_by_key(|(_, (_, stamp))| *stamp)
+                .map(|(k, _)| k.clone())
+            {
+                self.entries.remove(&oldest);
+            }
+        }
+        let cache = Arc::new(EngineCache::with_capacity(self.engine_capacity));
+        self.entries
+            .insert(key.to_string(), (Arc::clone(&cache), self.tick));
+        cache
+    }
+
+    /// Aggregated hit/miss/eviction counters and total stored entries
+    /// across every live design cache.
+    fn aggregate(&self) -> (CacheStats, usize) {
+        let mut stats = CacheStats::default();
+        let mut entries = 0;
+        for (cache, _) in self.entries.values() {
+            stats = stats.merged(&cache.stats());
+            let (a, o) = cache.entry_counts();
+            entries += a + o;
+        }
+        (stats, entries)
+    }
+}
+
+/// Why an analysis request was not executed.
+enum Shed {
+    /// The admission queue was full.
+    QueueFull,
+    /// The request's deadline passed before a worker picked it up.
+    Deadline,
+    /// The server is draining.
+    ShuttingDown,
+    /// The worker executing the job disappeared (panic).
+    WorkerLost,
+}
+
+struct Inner {
+    metrics: Metrics,
+    caches: Mutex<CacheLru>,
+    /// `None` once shutdown has begun (taken by the drainer).
+    pool: Mutex<Option<parx::Pool>>,
+    shutting_down: AtomicBool,
+    /// Requests currently between parse and response write; the drainer
+    /// waits for this to reach zero so no response is cut off mid-write.
+    active: Mutex<usize>,
+    idle: Condvar,
+    max_body: usize,
+    default_deadline_ms: u64,
+}
+
+impl Inner {
+    /// Runs `job` on the worker pool, waiting for its result.
+    fn run_job<T: Send + 'static>(
+        &self,
+        deadline: Option<Instant>,
+        job: impl FnOnce() -> T + Send + 'static,
+    ) -> Result<T, Shed> {
+        let (tx, rx) = mpsc::channel();
+        {
+            let pool = self.pool.lock().expect("pool slot poisoned");
+            let Some(pool) = pool.as_ref() else {
+                return Err(Shed::ShuttingDown);
+            };
+            pool.try_submit(move || {
+                if deadline.is_some_and(|d| Instant::now() > d) {
+                    let _ = tx.send(Err(Shed::Deadline));
+                } else {
+                    let _ = tx.send(Ok(job()));
+                }
+            })
+            .map_err(|_| Shed::QueueFull)?;
+        }
+        rx.recv().unwrap_or(Err(Shed::WorkerLost))
+    }
+}
+
+/// A running analysis service.
+///
+/// [`Server::start`] binds and spawns the worker pool; [`Server::run`]
+/// serves until a `POST /shutdown` arrives, then drains every queued and
+/// running job before returning.
+pub struct Server {
+    listener: TcpListener,
+    addr: SocketAddr,
+    inner: Arc<Inner>,
+}
+
+impl Server {
+    /// Binds the listener and spawns the worker pool.
+    ///
+    /// # Errors
+    ///
+    /// I/O errors binding `config.addr`.
+    pub fn start(config: ServerConfig) -> io::Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let inner = Arc::new(Inner {
+            metrics: Metrics::new(),
+            caches: Mutex::new(CacheLru::new(
+                config.design_cache_capacity,
+                config.cache_capacity,
+            )),
+            pool: Mutex::new(Some(parx::Pool::new(
+                config.workers,
+                config.queue_capacity.max(1),
+            ))),
+            shutting_down: AtomicBool::new(false),
+            active: Mutex::new(0),
+            idle: Condvar::new(),
+            max_body: config.max_body_bytes,
+            default_deadline_ms: config.default_deadline_ms,
+        });
+        Ok(Server {
+            listener,
+            addr,
+            inner,
+        })
+    }
+
+    /// The bound address (resolves `:0` to the actual port).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serves requests until `POST /shutdown`, then drains: the listener
+    /// stops accepting, every queued and running analysis job finishes,
+    /// and every in-flight response is written before this returns.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener I/O errors (per-connection errors only drop that
+    /// connection).
+    pub fn run(self) -> io::Result<()> {
+        let addr = self.addr;
+        for stream in self.listener.incoming() {
+            if self.inner.shutting_down.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                Ok(stream) => {
+                    // Responses are written headers-then-body; without
+                    // this, Nagle + delayed ACK stalls keep-alive
+                    // round-trips by ~40 ms each.
+                    let _ = stream.set_nodelay(true);
+                    let inner = Arc::clone(&self.inner);
+                    std::thread::spawn(move || handle_connection(&inner, stream, addr));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: stop admitting (the slot becomes `None`), run every job
+        // already accepted, then wait for the responses to hit the wire.
+        let pool = self.inner.pool.lock().expect("pool slot poisoned").take();
+        if let Some(pool) = pool {
+            pool.shutdown();
+        }
+        let mut active = self.inner.active.lock().expect("active poisoned");
+        while *active > 0 {
+            active = self.inner.idle.wait(active).expect("active poisoned");
+        }
+        Ok(())
+    }
+}
+
+/// Decrements the active-request count on drop, waking the drainer.
+struct ActiveGuard<'a>(&'a Inner);
+
+impl<'a> ActiveGuard<'a> {
+    fn enter(inner: &'a Inner) -> ActiveGuard<'a> {
+        *inner.active.lock().expect("active poisoned") += 1;
+        ActiveGuard(inner)
+    }
+}
+
+impl Drop for ActiveGuard<'_> {
+    fn drop(&mut self) {
+        let mut active = self.0.active.lock().expect("active poisoned");
+        *active -= 1;
+        if *active == 0 {
+            self.0.idle.notify_all();
+        }
+    }
+}
+
+fn handle_connection(inner: &Inner, stream: TcpStream, server_addr: SocketAddr) {
+    let Ok(read_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    loop {
+        match read_request(&mut reader, inner.max_body) {
+            Ok(req) => {
+                let guard = ActiveGuard::enter(inner);
+                let started = Instant::now();
+                let outcome = route(inner, &req);
+                let endpoint = outcome.endpoint;
+                inner
+                    .metrics
+                    .record_request(endpoint, outcome.response.status);
+                if matches!(endpoint, "analyze" | "order" | "explore" | "sweep") {
+                    inner.metrics.observe_latency(started.elapsed());
+                }
+                let keep = req.keep_alive() && !outcome.close_after;
+                let write_ok = outcome.response.write_to(&mut writer, keep).is_ok();
+                drop(guard);
+                if outcome.initiate_shutdown {
+                    initiate_shutdown(inner, server_addr);
+                }
+                if !write_ok || !keep {
+                    return;
+                }
+            }
+            Err(ReadError::Closed) => return,
+            Err(ReadError::Malformed { status, reason }) => {
+                inner.metrics.record_request("malformed", status);
+                let _ = Response::text(status, reason + "\n").write_to(&mut writer, false);
+                return;
+            }
+            Err(ReadError::Io(_)) => return,
+        }
+    }
+}
+
+/// Flags the server as draining and unblocks the acceptor (which sits in
+/// `accept()`) with a throwaway connection to itself.
+fn initiate_shutdown(inner: &Inner, addr: SocketAddr) {
+    if !inner.shutting_down.swap(true, Ordering::SeqCst) {
+        if let Ok(mut stream) = TcpStream::connect(addr) {
+            let _ = stream.write_all(b"");
+        }
+    }
+}
+
+struct Outcome {
+    response: Response,
+    endpoint: &'static str,
+    close_after: bool,
+    initiate_shutdown: bool,
+}
+
+impl Outcome {
+    fn reply(endpoint: &'static str, response: Response) -> Outcome {
+        Outcome {
+            response,
+            endpoint,
+            close_after: false,
+            initiate_shutdown: false,
+        }
+    }
+}
+
+fn route(inner: &Inner, req: &Request) -> Outcome {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => Outcome::reply("healthz", Response::text(200, "ok\n")),
+        ("GET", "/metrics") => Outcome::reply("metrics", metrics_response(inner)),
+        ("POST", "/shutdown") => Outcome {
+            response: Response::text(200, "draining\n"),
+            endpoint: "shutdown",
+            close_after: true,
+            initiate_shutdown: true,
+        },
+        ("POST", "/analyze") => analysis_endpoint(inner, req, "analyze"),
+        ("POST", "/order") => analysis_endpoint(inner, req, "order"),
+        ("POST", "/explore") => analysis_endpoint(inner, req, "explore"),
+        ("POST", "/sweep") => analysis_endpoint(inner, req, "sweep"),
+        (
+            _,
+            "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/order" | "/explore" | "/sweep",
+        ) => Outcome::reply("other", Response::text(405, "method not allowed\n")),
+        _ => Outcome::reply("other", Response::text(404, "no such endpoint\n")),
+    }
+}
+
+fn metrics_response(inner: &Inner) -> Response {
+    let (queue_depth, running, workers) = {
+        let pool = inner.pool.lock().expect("pool slot poisoned");
+        pool.as_ref()
+            .map_or((0, 0, 0), |p| (p.queue_depth(), p.running(), p.workers()))
+    };
+    let (stats, cache_entries, designs) = {
+        let caches = inner.caches.lock().expect("cache lru poisoned");
+        let (stats, entries) = caches.aggregate();
+        (stats, entries, caches.entries.len())
+    };
+    let gauges: Vec<(&str, &str, f64)> = vec![
+        (
+            "ermesd_queue_depth",
+            "Analysis jobs waiting in the admission queue.",
+            queue_depth as f64,
+        ),
+        (
+            "ermesd_jobs_running",
+            "Analysis jobs currently executing.",
+            running as f64,
+        ),
+        ("ermesd_workers", "Analysis worker threads.", workers as f64),
+        (
+            "ermesd_design_caches",
+            "Distinct base designs with a live engine cache.",
+            designs as f64,
+        ),
+        (
+            "ermesd_cache_entries",
+            "Memoized results stored across all engine caches.",
+            cache_entries as f64,
+        ),
+        (
+            "ermesd_cache_analysis_hits",
+            "Aggregated analysis-cache hits across live engine caches.",
+            stats.analysis_hits as f64,
+        ),
+        (
+            "ermesd_cache_analysis_misses",
+            "Aggregated analysis-cache misses across live engine caches.",
+            stats.analysis_misses as f64,
+        ),
+        (
+            "ermesd_cache_ordering_hits",
+            "Aggregated ordering-cache hits across live engine caches.",
+            stats.ordering_hits as f64,
+        ),
+        (
+            "ermesd_cache_ordering_misses",
+            "Aggregated ordering-cache misses across live engine caches.",
+            stats.ordering_misses as f64,
+        ),
+        (
+            "ermesd_cache_evictions",
+            "Aggregated LRU evictions across live engine caches.",
+            stats.evictions as f64,
+        ),
+    ];
+    Response::text(200, inner.metrics.render(&gauges))
+}
+
+/// Parses, admits, and executes one analysis request end to end.
+fn analysis_endpoint(inner: &Inner, req: &Request, endpoint: &'static str) -> Outcome {
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return Outcome::reply(endpoint, Response::text(400, "body is not UTF-8\n"));
+        }
+    };
+    let spec = match SystemSpec::from_json(body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return Outcome::reply(endpoint, Response::text(400, format!("json error: {e}\n")));
+        }
+    };
+    // Validate model-level constraints up front so schema errors never
+    // consume a worker slot.
+    if let Err(e) = spec.to_design() {
+        return Outcome::reply(endpoint, Response::text(400, format!("spec error: {e}\n")));
+    }
+    let params = match AnalysisParams::from_request(req, endpoint, inner.default_deadline_ms) {
+        Ok(params) => params,
+        Err(msg) => return Outcome::reply(endpoint, Response::text(400, msg + "\n")),
+    };
+    let cache = inner
+        .caches
+        .lock()
+        .expect("cache lru poisoned")
+        .get(&spec.to_json_pretty());
+    let deadline = params.deadline;
+    let job = move || run_command(endpoint, &spec, &params, &cache);
+    match inner.run_job(deadline, job) {
+        Ok(Ok(body)) => Outcome::reply(endpoint, Response::text(200, body)),
+        Ok(Err(e)) => Outcome::reply(endpoint, error_response(&e)),
+        Err(shed) => {
+            let (status, message) = match shed {
+                Shed::QueueFull => {
+                    inner.metrics.record_shed(true);
+                    (429, "admission queue full; retry later\n")
+                }
+                Shed::Deadline => {
+                    inner.metrics.record_shed(false);
+                    (429, "deadline expired before a worker was free\n")
+                }
+                Shed::ShuttingDown => (503, "server is draining\n"),
+                Shed::WorkerLost => (500, "analysis worker failed\n"),
+            };
+            let mut response = Response::text(status, message);
+            if status == 429 {
+                response.extra_headers.push(("retry-after", "1".into()));
+            }
+            Outcome::reply(endpoint, response)
+        }
+    }
+}
+
+/// Per-request parameters of the analysis endpoints.
+struct AnalysisParams {
+    target: u64,
+    targets: Vec<u64>,
+    jobs: usize,
+    deadline: Option<Instant>,
+}
+
+impl AnalysisParams {
+    fn from_request(
+        req: &Request,
+        endpoint: &str,
+        default_deadline_ms: u64,
+    ) -> Result<AnalysisParams, String> {
+        let jobs = parx::parse_jobs("jobs", req.query_param("jobs"), 1)?;
+        let target = match endpoint {
+            "explore" => req
+                .query_param("target")
+                .ok_or("explore requires ?target=<cycles>")?
+                .parse()
+                .map_err(|_| "target must be a non-negative integer".to_string())?,
+            _ => 0,
+        };
+        let targets = match endpoint {
+            "sweep" => req
+                .query_param("targets")
+                .ok_or("sweep requires ?targets=<a,b,c>")?
+                .split(',')
+                .map(|t| t.trim().parse())
+                .collect::<Result<Vec<u64>, _>>()
+                .map_err(|_| "targets must be comma-separated non-negative integers".to_string())?,
+            _ => Vec::new(),
+        };
+        let deadline_ms = match req.query_param("deadline_ms") {
+            None => default_deadline_ms,
+            Some(text) => text
+                .parse()
+                .map_err(|_| "deadline_ms must be a non-negative integer".to_string())?,
+        };
+        let deadline =
+            (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+        Ok(AnalysisParams {
+            target,
+            targets,
+            jobs,
+            deadline,
+        })
+    }
+}
+
+/// Executes one command; the response body composition is the identity
+/// contract documented at the top of this module.
+fn run_command(
+    endpoint: &str,
+    spec: &SystemSpec,
+    params: &AnalysisParams,
+    cache: &EngineCache,
+) -> Result<String, CliError> {
+    match endpoint {
+        "analyze" => cmd_analyze_cached(spec, cache),
+        "order" => {
+            let (report, json) = cmd_order(spec)?;
+            Ok(format!("{report}{json}\n"))
+        }
+        "explore" => {
+            let (report, json) = cmd_explore_cached(spec, params.target, params.jobs, cache)?;
+            Ok(format!("{report}{json}\n"))
+        }
+        "sweep" => cmd_sweep_cached(spec, &params.targets, params.jobs, cache),
+        _ => unreachable!("routed endpoints only"),
+    }
+}
+
+fn error_response(e: &CliError) -> Response {
+    match e {
+        CliError::Json(_) | CliError::Spec(_) | CliError::Usage(_) => {
+            Response::text(400, format!("{e}\n"))
+        }
+        CliError::Ermes(_) => Response::text(422, format!("{e}\n")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_lru_shares_and_evicts_by_recency() {
+        let mut lru = CacheLru::new(2, 16);
+        let a1 = lru.get("a");
+        let a2 = lru.get("a");
+        assert!(Arc::ptr_eq(&a1, &a2), "same design shares one cache");
+        let _b = lru.get("b");
+        let _a3 = lru.get("a"); // touch a, so b is now the oldest
+        let _c = lru.get("c"); // evicts b
+        assert!(lru.entries.contains_key("a"));
+        assert!(lru.entries.contains_key("c"));
+        assert!(!lru.entries.contains_key("b"), "LRU victim is b");
+        let a4 = lru.get("a");
+        assert!(Arc::ptr_eq(&a1, &a4), "survivor keeps its warmth");
+    }
+
+    #[test]
+    fn cache_lru_aggregates_stats_over_live_caches() {
+        let mut lru = CacheLru::new(4, 16);
+        let spec = SystemSpec::from_json(
+            r#"{
+                "processes": [
+                    {"name": "a", "latency": 2},
+                    {"name": "b", "latency": 3}
+                ],
+                "channels": [
+                    {"name": "f", "from": "a", "to": "b", "latency": 1},
+                    {"name": "r", "from": "b", "to": "a", "latency": 1, "initial_tokens": 1}
+                ]
+            }"#,
+        )
+        .expect("valid");
+        let design = spec.to_design().expect("valid");
+        let cache = lru.get("x");
+        cache.analyze(&design, 1);
+        cache.analyze(&design, 1);
+        let (stats, entries) = lru.aggregate();
+        assert_eq!(stats.analysis_misses, 1);
+        assert_eq!(stats.analysis_hits, 1);
+        assert_eq!(entries, 1);
+    }
+
+    #[test]
+    fn deadline_zero_means_none() {
+        let req = Request {
+            method: "POST".into(),
+            path: "/analyze".into(),
+            query: vec![("deadline_ms".into(), "0".into())],
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        let params = AnalysisParams::from_request(&req, "analyze", 500).expect("valid");
+        assert!(params.deadline.is_none(), "explicit 0 disables the default");
+    }
+
+    #[test]
+    fn bad_query_parameters_are_structured_errors() {
+        let mut req = Request {
+            method: "POST".into(),
+            path: "/explore".into(),
+            query: vec![("target".into(), "soon".into())],
+            headers: Vec::new(),
+            body: Vec::new(),
+        };
+        assert!(AnalysisParams::from_request(&req, "explore", 0).is_err());
+        req.query = vec![("target".into(), "10".into()), ("jobs".into(), "-2".into())];
+        assert!(AnalysisParams::from_request(&req, "explore", 0).is_err());
+        req.query = vec![("target".into(), "10".into())];
+        assert!(AnalysisParams::from_request(&req, "explore", 0).is_ok());
+    }
+}

@@ -65,7 +65,9 @@ pub struct SystemSpec {
     pub channels: Vec<ChannelSpec>,
 }
 
-/// Errors turning a spec into a model.
+/// Errors turning a spec into a model. Every variant names the offending
+/// element, so a service can hand the message straight back to the
+/// client as a structured 400.
 #[derive(Debug, Clone, PartialEq, Eq)]
 #[non_exhaustive]
 pub enum SpecError {
@@ -75,6 +77,14 @@ pub enum SpecError {
     UnknownName(String),
     /// An explicit order is not a permutation of the process's channels.
     InvalidOrder(String),
+    /// A channel connects a process to itself (blocking rendezvous on a
+    /// self-channel can never complete).
+    SelfChannel(String),
+    /// A process declares an explicit, empty Pareto frontier — it would
+    /// have no implementation to select.
+    EmptyPareto(String),
+    /// A Pareto point's area is not a finite, non-negative number.
+    InvalidArea(String),
 }
 
 impl fmt::Display for SpecError {
@@ -86,6 +96,18 @@ impl fmt::Display for SpecError {
                 write!(
                     f,
                     "explicit order for `{p}` is not a permutation of its channels"
+                )
+            }
+            SpecError::SelfChannel(c) => {
+                write!(f, "channel `{c}` connects a process to itself")
+            }
+            SpecError::EmptyPareto(p) => {
+                write!(f, "process `{p}`: `pareto` must not be an empty array")
+            }
+            SpecError::InvalidArea(p) => {
+                write!(
+                    f,
+                    "process `{p}`: `area` must be a finite, non-negative number"
                 )
             }
         }
@@ -130,6 +152,22 @@ fn name_array(value: &Value, context: &str, key: &str) -> Result<Option<Vec<Stri
                 .collect::<Result<Vec<_>, _>>()
                 .map(Some)
         }
+    }
+}
+
+fn check_permutation(
+    explicit: &[sysgraph::ChannelId],
+    actual: &[sysgraph::ChannelId],
+    process: &str,
+) -> Result<(), SpecError> {
+    let mut want = actual.to_vec();
+    let mut got = explicit.to_vec();
+    want.sort_unstable();
+    got.sort_unstable();
+    if want == got {
+        Ok(())
+    } else {
+        Err(SpecError::InvalidOrder(process.to_string()))
     }
 }
 
@@ -301,12 +339,17 @@ impl SystemSpec {
             let to = *procs
                 .get(c.to.as_str())
                 .ok_or_else(|| SpecError::UnknownName(c.to.clone()))?;
+            if from == to {
+                return Err(SpecError::SelfChannel(c.name.clone()));
+            }
             let id = sys
                 .add_channel_with_tokens(&c.name, from, to, c.latency, c.initial_tokens)
                 .map_err(|_| SpecError::UnknownName(c.name.clone()))?;
             chans.insert(c.name.as_str(), id);
         }
-        // Explicit statement orders.
+        // Explicit statement orders: resolve names, check each list is a
+        // permutation of the process's actual channels (so the error can
+        // name the process), then apply.
         let mut ordering = ChannelOrdering::of(&sys);
         for p in &self.processes {
             let pid = procs[p.name.as_str()];
@@ -320,6 +363,7 @@ impl SystemSpec {
                             .ok_or_else(|| SpecError::UnknownName(n.clone()))
                     })
                     .collect::<Result<Vec<_>, _>>()?;
+                check_permutation(&ids, sys.get_order(pid), &p.name)?;
                 ordering.set_gets(pid, ids);
             }
             if let Some(order) = &p.put_order {
@@ -332,6 +376,7 @@ impl SystemSpec {
                             .ok_or_else(|| SpecError::UnknownName(n.clone()))
                     })
                     .collect::<Result<Vec<_>, _>>()?;
+                check_permutation(&ids, sys.put_order(pid), &p.name)?;
                 ordering.set_puts(pid, ids);
             }
         }
@@ -349,6 +394,19 @@ impl SystemSpec {
     /// [`SpecError`] as for [`SystemSpec::to_system`].
     pub fn to_design(&self) -> Result<Design, SpecError> {
         let sys = self.to_system()?;
+        for p in &self.processes {
+            if let Some(points) = &p.pareto {
+                if points.is_empty() {
+                    return Err(SpecError::EmptyPareto(p.name.clone()));
+                }
+                if points
+                    .iter()
+                    .any(|pt| !pt.area.is_finite() || pt.area < 0.0)
+                {
+                    return Err(SpecError::InvalidArea(p.name.clone()));
+                }
+            }
+        }
         let pareto: Vec<ParetoSet> = self
             .processes
             .iter()
@@ -372,6 +430,67 @@ impl SystemSpec {
             })
             .collect();
         Design::new(sys, pareto).map_err(|_| SpecError::InvalidOrder("pareto".into()))
+    }
+
+    /// Captures a [`SystemGraph`] as a spec, recording the current
+    /// statement orders explicitly. Processes get no Pareto frontier
+    /// (a single implied point at their current latency).
+    #[must_use]
+    pub fn from_system(system: &SystemGraph) -> SystemSpec {
+        let processes = (0..system.process_count())
+            .map(|i| {
+                let pid = sysgraph::ProcessId::from_index(i);
+                let channel_names = |ids: &[sysgraph::ChannelId]| {
+                    ids.iter()
+                        .map(|&c| system.channel(c).name().to_string())
+                        .collect::<Vec<_>>()
+                };
+                ProcessSpec {
+                    name: system.process(pid).name().to_string(),
+                    latency: system.process(pid).latency(),
+                    pareto: None,
+                    get_order: Some(channel_names(system.get_order(pid))),
+                    put_order: Some(channel_names(system.put_order(pid))),
+                }
+            })
+            .collect();
+        let channels = (0..system.channel_count())
+            .map(|i| {
+                let c = system.channel(sysgraph::ChannelId::from_index(i));
+                ChannelSpec {
+                    name: c.name().to_string(),
+                    from: system.process(c.from()).name().to_string(),
+                    to: system.process(c.to()).name().to_string(),
+                    latency: c.latency(),
+                    initial_tokens: c.initial_tokens(),
+                }
+            })
+            .collect();
+        SystemSpec {
+            processes,
+            channels,
+        }
+    }
+
+    /// Captures a [`Design`] as a spec, including each process's Pareto
+    /// frontier (so selection state survives the round trip).
+    #[must_use]
+    pub fn from_design(design: &Design) -> SystemSpec {
+        let mut spec = SystemSpec::from_system(design.system());
+        for (i, p) in spec.processes.iter_mut().enumerate() {
+            let pid = sysgraph::ProcessId::from_index(i);
+            p.pareto = Some(
+                design
+                    .pareto(pid)
+                    .iter()
+                    .map(|m| ParetoPointSpec {
+                        latency: m.latency,
+                        area: m.area,
+                    })
+                    .collect(),
+            );
+        }
+        spec
     }
 
     /// Captures a system (with its current statement orders) back into a
@@ -498,6 +617,75 @@ mod tests {
             .map(|&c| sys.channel(c).name())
             .collect();
         assert_eq!(names, vec!["in2", "in"]);
+    }
+
+    #[test]
+    fn self_channels_are_rejected() {
+        let mut spec = sample();
+        spec.channels[0].to = "src".into();
+        assert_eq!(spec.to_system(), Err(SpecError::SelfChannel("in".into())));
+    }
+
+    #[test]
+    fn empty_pareto_is_rejected() {
+        let mut spec = sample();
+        spec.processes[1].pareto = Some(Vec::new());
+        assert_eq!(
+            spec.to_design().err(),
+            Some(SpecError::EmptyPareto("p".into()))
+        );
+    }
+
+    #[test]
+    fn non_finite_and_negative_areas_are_rejected() {
+        let mut spec = sample();
+        spec.processes[1].pareto = Some(vec![ParetoPointSpec {
+            latency: 3,
+            area: f64::INFINITY,
+        }]);
+        assert_eq!(
+            spec.to_design().err(),
+            Some(SpecError::InvalidArea("p".into()))
+        );
+        spec.processes[1].pareto = Some(vec![ParetoPointSpec {
+            latency: 3,
+            area: -1.0,
+        }]);
+        assert_eq!(
+            spec.to_design().err(),
+            Some(SpecError::InvalidArea("p".into()))
+        );
+        // `1e999` overflows to +inf while parsing; it must come back as a
+        // structured error, not a panic deep in the sweep.
+        let mut inf = sample();
+        inf.processes[1].pareto = Some(vec![ParetoPointSpec {
+            latency: 3,
+            area: "1e999".parse().expect("parses to inf"),
+        }]);
+        assert!(inf.to_design().is_err());
+    }
+
+    #[test]
+    fn bad_explicit_order_names_the_process() {
+        let mut spec = sample();
+        // Duplicate entry: right length, not a permutation.
+        spec.processes[1].get_order = Some(vec!["in".into(), "in".into()]);
+        assert_eq!(spec.to_system(), Err(SpecError::InvalidOrder("p".into())));
+    }
+
+    #[test]
+    fn from_design_roundtrips_frontiers_and_orders() {
+        let spec = sample();
+        let design = spec.to_design().expect("valid");
+        let captured = SystemSpec::from_design(&design);
+        assert_eq!(captured.processes.len(), 3);
+        assert_eq!(captured.processes[1].pareto.as_ref().map(Vec::len), Some(2));
+        let rebuilt = captured.to_design().expect("round-trips");
+        assert_eq!(
+            rebuilt.system().process_count(),
+            design.system().process_count()
+        );
+        assert_eq!(captured, SystemSpec::from_design(&rebuilt));
     }
 
     #[test]

@@ -1,0 +1,387 @@
+//! End-to-end tests of the daemon: concurrent clients against a live
+//! server on an ephemeral port, checked bit for bit against the serial
+//! command output; admission control (queue-full and deadline 429s);
+//! metrics consistency; worker-count determinism; graceful drain.
+
+use ermesd::{Server, ServerConfig, SystemSpec};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+const MOTIVATING: &str = include_str!("../../cli/testdata/motivating.json");
+
+fn start(config: ServerConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::start(config).expect("bind ephemeral port");
+    let addr = server.addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+/// One-shot request on its own connection; returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("server reachable");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request written");
+    stream.flush().expect("flushed");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line `{status_line}`"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("numeric content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
+    request(addr, "POST", path, body)
+}
+
+fn get(addr: SocketAddr, path: &str) -> (u16, String) {
+    request(addr, "GET", path, "")
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<std::io::Result<()>>) {
+    let (status, _) = post(addr, "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean drain");
+}
+
+fn mpeg2_spec_json() -> String {
+    SystemSpec::from_design(&mpeg2sys::mpeg2_design().0).to_json_pretty()
+}
+
+/// Strips the run-history cache-stats line from CLI output.
+fn strip_cache_line(text: &str) -> String {
+    let mut out: String = text
+        .lines()
+        .filter(|l| !l.starts_with("cache:"))
+        .collect::<Vec<_>>()
+        .join("\n");
+    out.push('\n');
+    out
+}
+
+fn metric_value(metrics: &str, line_prefix: &str) -> u64 {
+    metrics
+        .lines()
+        .find(|l| l.starts_with(line_prefix))
+        .and_then(|l| l.rsplit(' ').next())
+        .and_then(|v| v.parse().ok())
+        .unwrap_or_else(|| panic!("metric `{line_prefix}` missing in:\n{metrics}"))
+}
+
+/// Polls `/metrics` until `line_prefix` reports `want` (the gauges are
+/// sampled at scrape time, so this observes real server state).
+fn wait_for_gauge(addr: SocketAddr, line_prefix: &str, want: u64) {
+    for _ in 0..3000 {
+        let (_, metrics) = get(addr, "/metrics");
+        if metric_value(&metrics, line_prefix) == want {
+            return;
+        }
+        std::thread::sleep(Duration::from_millis(10));
+    }
+    panic!("gauge `{line_prefix}` never reached {want}");
+}
+
+#[test]
+fn concurrent_clients_get_cli_identical_responses_and_metrics_add_up() {
+    const CLIENTS: usize = 32;
+    const TARGET: u64 = 1_000_000_000;
+    let (addr, handle) = start(ServerConfig {
+        workers: 2,
+        queue_capacity: 256,
+        ..ServerConfig::default()
+    });
+
+    let motivating = SystemSpec::from_json(MOTIVATING).expect("testdata parses");
+    let mpeg2_json = mpeg2_spec_json();
+    let mpeg2 = SystemSpec::from_json(&mpeg2_json).expect("round-trips");
+
+    // The serial ground truth, computed once via the shared command layer
+    // (identical to `ermes analyze` / `ermes explore` stdout).
+    let expect_analyze_motivating = ermesd::cmd_analyze(&motivating).expect("analyzes");
+    let expect_analyze_mpeg2 = ermesd::cmd_analyze(&mpeg2).expect("analyzes");
+    let explore_expected = |spec: &SystemSpec| {
+        let (report, json) = ermesd::cmd_explore(spec, TARGET, 1).expect("explores");
+        format!("{}{json}\n", strip_cache_line(&report))
+    };
+    let expect_explore_motivating = explore_expected(&motivating);
+    let expect_explore_mpeg2 = explore_expected(&mpeg2);
+
+    let outcomes: Vec<(usize, u16, String)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|i| {
+                let motivating_json = MOTIVATING.to_string();
+                let mpeg2_json = mpeg2_json.clone();
+                scope.spawn(move || {
+                    let (path, body): (String, &str) = match i % 4 {
+                        0 => ("/analyze".into(), &motivating_json),
+                        1 => ("/analyze".into(), &mpeg2_json),
+                        2 => (format!("/explore?target={TARGET}"), &motivating_json),
+                        _ => (format!("/explore?target={TARGET}"), &mpeg2_json),
+                    };
+                    let (status, response) = post(addr, &path, body);
+                    (i, status, response)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+
+    for (i, status, response) in outcomes {
+        assert_eq!(status, 200, "client {i}: {response}");
+        let expected = match i % 4 {
+            0 => &expect_analyze_motivating,
+            1 => &expect_analyze_mpeg2,
+            2 => &expect_explore_motivating,
+            _ => &expect_explore_mpeg2,
+        };
+        assert_eq!(&response, expected, "client {i} diverged from the CLI");
+    }
+
+    let (status, metrics) = get(addr, "/metrics");
+    assert_eq!(status, 200);
+    let analyze_ok = metric_value(
+        &metrics,
+        "ermesd_requests_total{endpoint=\"analyze\",status=\"200\"}",
+    );
+    let explore_ok = metric_value(
+        &metrics,
+        "ermesd_requests_total{endpoint=\"explore\",status=\"200\"}",
+    );
+    assert_eq!(analyze_ok, (CLIENTS / 2) as u64);
+    assert_eq!(explore_ok, (CLIENTS / 2) as u64);
+    assert_eq!(
+        metric_value(&metrics, "ermesd_request_seconds_count"),
+        CLIENTS as u64,
+        "every analysis request observed exactly once"
+    );
+    // Two distinct base designs were served, each behind one shared cache.
+    assert_eq!(metric_value(&metrics, "ermesd_design_caches"), 2);
+    let hits = metric_value(&metrics, "ermesd_cache_analysis_hits");
+    let misses = metric_value(&metrics, "ermesd_cache_analysis_misses");
+    assert!(
+        hits > 0,
+        "32 clients on 2 designs must share work:\n{metrics}"
+    );
+    assert!(misses > 0);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn responses_are_identical_at_any_worker_count() {
+    const TARGET: u64 = 900; // forces real exploration on the motivating system
+    let sweep_path = "/sweep?targets=900,1200,5000&jobs=2";
+    let mut per_worker_count = Vec::new();
+    for workers in [1, 2, 4] {
+        let (addr, handle) = start(ServerConfig {
+            workers,
+            ..ServerConfig::default()
+        });
+        let explore = post(
+            addr,
+            &format!("/explore?target={TARGET}&jobs=2"),
+            MOTIVATING,
+        );
+        let sweep = post(addr, sweep_path, MOTIVATING);
+        assert_eq!(explore.0, 200, "{}", explore.1);
+        assert_eq!(sweep.0, 200, "{}", sweep.1);
+        per_worker_count.push((explore.1, sweep.1));
+        shutdown(addr, handle);
+    }
+    let spec = SystemSpec::from_json(MOTIVATING).expect("parses");
+    let (report, json) = ermesd::cmd_explore(&spec, TARGET, 1).expect("explores");
+    let expect_explore = format!("{}{json}\n", strip_cache_line(&report));
+    let expect_sweep =
+        strip_cache_line(&ermesd::cmd_sweep(&spec, &[900, 1200, 5000], 1).expect("sweeps"));
+    for (explore, sweep) in per_worker_count {
+        assert_eq!(explore, expect_explore);
+        assert_eq!(sweep, expect_sweep);
+    }
+}
+
+#[test]
+fn full_queue_and_expired_deadlines_shed_with_429() {
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 1,
+        ..ServerConfig::default()
+    });
+    // A deliberately heavy request to occupy the single worker.
+    let soc = socgen::generate(socgen::SocGenConfig::sized(300, 600, 11));
+    let design = ermes::Design::new(soc.system, soc.pareto).expect("well-formed");
+    let heavy = SystemSpec::from_design(&design).to_json_pretty();
+    let heavy_path = "/sweep?targets=1,1000,100000,1000000,100000000,10000000000";
+
+    let (slow, queued, bounced) = std::thread::scope(|scope| {
+        let slow = scope.spawn(|| post(addr, heavy_path, &heavy));
+        // Wait until the heavy request has actually reached the worker
+        // (parsing a 300-process spec takes a while; sleeping a fixed
+        // interval would race it).
+        wait_for_gauge(addr, "ermesd_jobs_running ", 1);
+        // Fills the queue's single slot; its 50 ms deadline will be long
+        // gone by the time the worker frees up.
+        let queued = scope.spawn(|| post(addr, "/analyze?deadline_ms=50", MOTIVATING));
+        wait_for_gauge(addr, "ermesd_queue_depth ", 1);
+        // Queue full: rejected on the spot.
+        let bounced = scope.spawn(|| post(addr, "/analyze", MOTIVATING));
+        (
+            slow.join().expect("client"),
+            queued.join().expect("client"),
+            bounced.join().expect("client"),
+        )
+    });
+    assert_eq!(slow.0, 200, "{}", slow.1);
+    assert_eq!(bounced.0, 429, "queue-full must shed: {}", bounced.1);
+    assert!(bounced.1.contains("queue full"), "{}", bounced.1);
+    assert_eq!(queued.0, 429, "expired deadline must shed: {}", queued.1);
+    assert!(queued.1.contains("deadline"), "{}", queued.1);
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert_eq!(metric_value(&metrics, "ermesd_shed_queue_full_total"), 1);
+    assert_eq!(metric_value(&metrics, "ermesd_shed_deadline_total"), 1);
+    shutdown(addr, handle);
+}
+
+#[test]
+fn malformed_inputs_map_to_clean_http_errors() {
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        ..ServerConfig::default()
+    });
+    // Truncated JSON.
+    let (status, body) = post(addr, "/analyze", &MOTIVATING[..40]);
+    assert_eq!(status, 400, "{body}");
+    // Schema violation names the field.
+    let (status, body) = post(
+        addr,
+        "/analyze",
+        r#"{"processes": [{"name": "p", "latency": -1}], "channels": []}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("latency"), "{body}");
+    // Model violation names the element.
+    let (status, body) = post(
+        addr,
+        "/analyze",
+        r#"{"processes": [{"name": "p", "latency": 1}],
+            "channels": [{"name": "c", "from": "p", "to": "ghost", "latency": 1}]}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("ghost"), "{body}");
+    // Empty Pareto frontier.
+    let (status, body) = post(
+        addr,
+        "/analyze",
+        r#"{"processes": [{"name": "p", "latency": 1, "pareto": []},
+                          {"name": "q", "latency": 1}],
+            "channels": [{"name": "c", "from": "p", "to": "q", "latency": 1}]}"#,
+    );
+    assert_eq!(status, 400);
+    assert!(body.contains("pareto"), "{body}");
+    // Missing required query parameter.
+    let (status, body) = post(addr, "/explore", MOTIVATING);
+    assert_eq!(status, 400);
+    assert!(body.contains("target"), "{body}");
+    // Unknown route and wrong method.
+    assert_eq!(get(addr, "/nope").0, 404);
+    assert_eq!(get(addr, "/analyze").0, 405);
+    // A deadlocking system is a semantic failure, not a bad request.
+    let (status, body) = post(
+        addr,
+        "/explore?target=10",
+        r#"{"processes": [{"name": "a", "latency": 1}, {"name": "b", "latency": 1}],
+            "channels": [{"name": "f", "from": "a", "to": "b", "latency": 1},
+                         {"name": "r", "from": "b", "to": "a", "latency": 1}]}"#,
+    );
+    assert_eq!(status, 422, "{body}");
+    shutdown(addr, handle);
+}
+
+#[test]
+fn graceful_shutdown_drains_in_flight_work() {
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        queue_capacity: 8,
+        ..ServerConfig::default()
+    });
+    let results = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..4)
+            .map(|_| scope.spawn(move || post(addr, "/explore?target=900", MOTIVATING)))
+            .collect();
+        // Let the requests reach the queue, then pull the plug.
+        std::thread::sleep(Duration::from_millis(100));
+        let (status, body) = post(addr, "/shutdown", "");
+        assert_eq!(status, 200, "{body}");
+        clients
+            .into_iter()
+            .map(|c| c.join().expect("client"))
+            .collect::<Vec<_>>()
+    });
+    handle
+        .join()
+        .expect("server thread")
+        .expect("drain returns cleanly");
+    for (status, body) in results {
+        assert_eq!(
+            status, 200,
+            "admitted work must finish during drain: {body}"
+        );
+        assert!(body.contains("best: iteration"), "{body}");
+    }
+}
+
+#[test]
+fn healthz_and_keep_alive_roundtrip() {
+    let (addr, handle) = start(ServerConfig::default());
+    // Two requests over one keep-alive connection.
+    let mut stream = TcpStream::connect(addr).expect("reachable");
+    for _ in 0..2 {
+        stream
+            .write_all(b"GET /healthz HTTP/1.1\r\n\r\n")
+            .expect("written");
+        let mut reader = BufReader::new(stream.try_clone().expect("clone"));
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("status");
+        assert!(line.starts_with("HTTP/1.1 200"), "{line}");
+        let mut content_length = 0;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).expect("header");
+            if header.trim_end().is_empty() {
+                break;
+            }
+            if let Some(v) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = v.trim().parse().expect("length");
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        reader.read_exact(&mut body).expect("body");
+        assert_eq!(body, b"ok\n");
+    }
+    shutdown(addr, handle);
+}

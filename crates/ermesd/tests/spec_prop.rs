@@ -1,0 +1,143 @@
+//! Property tests hardening the spec front end: no input — truncated,
+//! byte-mutated, or structurally invalid — may panic the parser or the
+//! model builders. Malformed inputs must come back as structured errors
+//! (this is what lets the daemon map them to clean HTTP 400s).
+
+use ermesd::{ChannelSpec, ParetoPointSpec, ProcessSpec, SystemSpec};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// A representative valid spec exercising every schema feature: Pareto
+/// frontiers, explicit orders, and initial tokens.
+fn base_json() -> String {
+    r#"{
+        "processes": [
+            {"name": "src", "latency": 1},
+            {"name": "p", "latency": 5,
+             "pareto": [{"latency": 3, "area": 2.5}, {"latency": 5, "area": 1.0}],
+             "get_order": ["in"], "put_order": ["mid", "out2"]},
+            {"name": "snk", "latency": 2}
+        ],
+        "channels": [
+            {"name": "in", "from": "src", "to": "p", "latency": 2},
+            {"name": "mid", "from": "p", "to": "snk", "latency": 1, "initial_tokens": 1},
+            {"name": "out2", "from": "p", "to": "snk", "latency": 3}
+        ]
+    }"#
+    .to_string()
+}
+
+/// Builds a random — but structurally well-formed — spec from integers.
+fn arb_spec() -> impl Strategy<Value = SystemSpec> {
+    (
+        2usize..6,
+        vec((0usize..6, 0usize..6, 0u64..10, 0u64..3), 1..8),
+    )
+        .prop_map(|(nprocs, edges)| {
+            let processes = (0..nprocs)
+                .map(|i| ProcessSpec {
+                    name: format!("p{i}"),
+                    latency: (i as u64 % 7) + 1,
+                    pareto: (i % 2 == 0).then(|| {
+                        vec![
+                            ParetoPointSpec {
+                                latency: (i as u64 % 7) + 1,
+                                area: 1.5 * (i as f64 + 1.0),
+                            },
+                            ParetoPointSpec {
+                                latency: (i as u64 % 7) + 4,
+                                area: 0.5,
+                            },
+                        ]
+                    }),
+                    get_order: None,
+                    put_order: None,
+                })
+                .collect();
+            let channels = edges
+                .into_iter()
+                .enumerate()
+                .map(|(k, (from, to, latency, tokens))| ChannelSpec {
+                    name: format!("c{k}"),
+                    from: format!("p{}", from % nprocs),
+                    to: format!("p{}", to % nprocs),
+                    latency,
+                    initial_tokens: tokens,
+                })
+                .collect();
+            SystemSpec {
+                processes,
+                channels,
+            }
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Any prefix of a valid document parses or errors — never panics.
+    #[test]
+    fn truncated_specs_never_panic(cut in 0usize..2000) {
+        let text = base_json();
+        let cut = cut.min(text.len());
+        // The sample is pure ASCII, so any byte index is a char boundary.
+        let _ = SystemSpec::from_json(&text[..cut]);
+    }
+
+    /// Arbitrary byte substitutions anywhere in the document either
+    /// parse into a spec whose model builders return structured errors,
+    /// or fail to parse — never panic.
+    #[test]
+    fn byte_mutations_never_panic(edits in vec((0usize..4096, 0u8..128), 1..10)) {
+        let mut bytes = base_json().into_bytes();
+        let len = bytes.len();
+        for (pos, byte) in edits {
+            bytes[pos % len] = byte;
+        }
+        if let Ok(text) = String::from_utf8(bytes) {
+            if let Ok(spec) = SystemSpec::from_json(&text) {
+                if let Err(e) = spec.to_design() {
+                    prop_assert!(!e.to_string().is_empty());
+                }
+            }
+        }
+    }
+
+    /// Structurally random specs (possibly with self-channels or
+    /// duplicate endpoints) build a design or report a named error; a
+    /// valid one survives a JSON round trip unchanged.
+    #[test]
+    fn random_specs_build_or_error_cleanly(spec in arb_spec()) {
+        let reparsed = SystemSpec::from_json(&spec.to_json_pretty())
+            .expect("serializer output always parses");
+        prop_assert_eq!(&reparsed, &spec);
+        match spec.to_design() {
+            Ok(design) => {
+                prop_assert_eq!(
+                    design.system().process_count(),
+                    spec.processes.len()
+                );
+            }
+            Err(e) => {
+                // The message must name the offending element.
+                prop_assert!(e.to_string().contains('`'), "unnamed error: {e}");
+            }
+        }
+    }
+
+    /// Number parsing accepts only what the schema promises: huge
+    /// exponents (which overflow `f64` to infinity) in `area` are
+    /// rejected as a structured error, not a crash deep in the sweep.
+    #[test]
+    fn pathological_areas_are_structured_errors(exp in 400u32..999) {
+        let text = format!(
+            r#"{{"processes": [{{"name": "p", "latency": 1,
+                 "pareto": [{{"latency": 1, "area": 1e{exp}}}]}},
+                {{"name": "q", "latency": 1}}],
+                "channels": [{{"name": "c", "from": "p", "to": "q", "latency": 1}}]}}"#
+        );
+        if let Ok(spec) = SystemSpec::from_json(&text) {
+            prop_assert!(spec.to_design().is_err(), "infinite area must not build");
+        }
+    }
+}

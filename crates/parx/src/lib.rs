@@ -12,6 +12,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod pool;
+
+pub use pool::{Pool, PoolFull};
+
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;
 
@@ -31,6 +35,27 @@ pub fn resolve_jobs(jobs: usize) -> usize {
         max_jobs()
     } else {
         jobs
+    }
+}
+
+/// Parses a user-facing thread-count flag (`--jobs`, `--workers`): `0`
+/// means "all hardware threads" and is kept as `0` so callers can
+/// resolve it lazily with [`resolve_jobs`]; `None` yields `default`.
+///
+/// This is the single validated parsing path shared by every binary in
+/// the workspace (`ermes`, `repro`, `loadgen`) so the flags cannot
+/// drift apart in meaning.
+///
+/// # Errors
+///
+/// A human-readable message naming `flag` when `value` is not a
+/// non-negative integer.
+pub fn parse_jobs(flag: &str, value: Option<&str>, default: usize) -> Result<usize, String> {
+    match value {
+        None => Ok(default),
+        Some(text) => text.trim().parse().map_err(|_| {
+            format!("{flag} takes a non-negative integer (0 = all hardware threads), got `{text}`")
+        }),
     }
 }
 

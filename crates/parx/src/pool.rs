@@ -1,0 +1,274 @@
+//! A fixed-size worker pool with a bounded job queue.
+//!
+//! [`par_map`](crate::par_map) covers fork-join parallelism; a long-running
+//! service needs the complementary primitive: a fixed set of worker
+//! threads draining a **bounded** queue of independent jobs, where the
+//! bound is the admission-control knob — when the queue is full the
+//! caller learns immediately ([`PoolFull`]) instead of piling up latent
+//! work. Built on `Mutex` + `Condvar` only (the standard library has no
+//! bounded multi-consumer channel), same zero-dependency rule as the rest
+//! of the crate.
+//!
+//! Shutdown is *draining*: no new jobs are admitted, every job already
+//! queued still runs, and the workers are joined before
+//! [`Pool::shutdown`] returns — the guarantee a graceful daemon needs.
+
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+
+/// A queued unit of work.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// The queue was full (or the pool is shutting down) — the job was *not*
+/// accepted and is handed back to the caller.
+pub struct PoolFull(pub Box<dyn FnOnce() + Send + 'static>);
+
+impl fmt::Debug for PoolFull {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str("PoolFull(..)")
+    }
+}
+
+struct Queue {
+    jobs: VecDeque<Job>,
+    /// Jobs currently executing on a worker (for drain accounting).
+    running: usize,
+    shutdown: bool,
+}
+
+struct Shared {
+    queue: Mutex<Queue>,
+    /// Signals workers that a job (or shutdown) is available.
+    available: Condvar,
+    /// Signals the drainer that a job finished.
+    done: Condvar,
+    capacity: usize,
+}
+
+/// A fixed pool of worker threads over a bounded job queue.
+///
+/// ```
+/// use std::sync::atomic::{AtomicUsize, Ordering};
+/// use std::sync::Arc;
+///
+/// let pool = parx::Pool::new(2, 8);
+/// let hits = Arc::new(AtomicUsize::new(0));
+/// for _ in 0..8 {
+///     let hits = hits.clone();
+///     pool.try_submit(move || {
+///         hits.fetch_add(1, Ordering::SeqCst);
+///     })
+///     .expect("queue has room");
+/// }
+/// pool.shutdown(); // drains: all 8 jobs ran
+/// assert_eq!(hits.load(Ordering::SeqCst), 8);
+/// ```
+pub struct Pool {
+    shared: Arc<Shared>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+impl Pool {
+    /// Spawns `workers` threads (`0` = all hardware threads) sharing a
+    /// queue bounded at `capacity` pending jobs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (a pool that can never accept work).
+    #[must_use]
+    pub fn new(workers: usize, capacity: usize) -> Pool {
+        assert!(capacity > 0, "pool queue needs capacity");
+        let workers = crate::resolve_jobs(workers);
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(Queue {
+                jobs: VecDeque::new(),
+                running: 0,
+                shutdown: false,
+            }),
+            available: Condvar::new(),
+            done: Condvar::new(),
+            capacity,
+        });
+        let handles = (0..workers)
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || worker_loop(&shared))
+            })
+            .collect();
+        Pool {
+            shared,
+            workers: handles,
+        }
+    }
+
+    /// Offers a job to the queue without blocking.
+    ///
+    /// # Errors
+    ///
+    /// [`PoolFull`] (returning the job) when the queue is at capacity or
+    /// the pool is shutting down — the admission-control signal.
+    pub fn try_submit<F>(&self, job: F) -> Result<(), PoolFull>
+    where
+        F: FnOnce() + Send + 'static,
+    {
+        let mut queue = self.shared.queue.lock().expect("pool poisoned");
+        if queue.shutdown || queue.jobs.len() >= self.shared.capacity {
+            return Err(PoolFull(Box::new(job)));
+        }
+        queue.jobs.push_back(Box::new(job));
+        drop(queue);
+        self.shared.available.notify_one();
+        Ok(())
+    }
+
+    /// Number of jobs waiting in the queue (excluding running ones).
+    #[must_use]
+    pub fn queue_depth(&self) -> usize {
+        self.shared.queue.lock().expect("pool poisoned").jobs.len()
+    }
+
+    /// Number of jobs currently executing on a worker.
+    #[must_use]
+    pub fn running(&self) -> usize {
+        self.shared.queue.lock().expect("pool poisoned").running
+    }
+
+    /// Number of worker threads.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Drains and stops the pool: rejects new submissions, waits for
+    /// every queued and running job to finish, then joins the workers.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a worker panic on join.
+    pub fn shutdown(self) {
+        {
+            let mut queue = self.shared.queue.lock().expect("pool poisoned");
+            queue.shutdown = true;
+            // Wait for the queue to empty and every running job to end.
+            while !queue.jobs.is_empty() || queue.running > 0 {
+                queue = self.shared.done.wait(queue).expect("pool poisoned");
+            }
+        }
+        self.shared.available.notify_all();
+        for handle in self.workers {
+            handle.join().expect("pool worker panicked");
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    loop {
+        let job = {
+            let mut queue = shared.queue.lock().expect("pool poisoned");
+            loop {
+                if let Some(job) = queue.jobs.pop_front() {
+                    queue.running += 1;
+                    break job;
+                }
+                if queue.shutdown {
+                    return;
+                }
+                queue = shared.available.wait(queue).expect("pool poisoned");
+            }
+        };
+        job();
+        let mut queue = shared.queue.lock().expect("pool poisoned");
+        queue.running -= 1;
+        let idle = queue.jobs.is_empty() && queue.running == 0;
+        drop(queue);
+        if idle {
+            shared.done.notify_all();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc;
+    use std::time::Duration;
+
+    #[test]
+    fn runs_every_submitted_job() {
+        let pool = Pool::new(4, 64);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..50 {
+            let count = Arc::clone(&count);
+            pool.try_submit(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("capacity 64");
+        }
+        pool.shutdown();
+        assert_eq!(count.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn rejects_when_full_and_returns_the_job() {
+        // One worker, blocked on a gate, so the queue fills up.
+        let pool = Pool::new(1, 2);
+        let (gate_tx, gate_rx) = mpsc::channel::<()>();
+        let (entered_tx, entered_rx) = mpsc::channel::<()>();
+        pool.try_submit(move || {
+            entered_tx.send(()).expect("test alive");
+            gate_rx.recv().expect("gate opens");
+        })
+        .expect("room");
+        entered_rx.recv().expect("worker picked up the blocker");
+        // The worker is busy; two more fill the queue, the third bounces.
+        pool.try_submit(|| {}).expect("slot 1");
+        pool.try_submit(|| {}).expect("slot 2");
+        let ran = Arc::new(AtomicUsize::new(0));
+        let ran2 = Arc::clone(&ran);
+        let rejected = pool
+            .try_submit(move || {
+                ran2.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect_err("queue is full");
+        assert_eq!(pool.queue_depth(), 2);
+        // The caller can still run the bounced job itself.
+        (rejected.0)();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        gate_tx.send(()).expect("worker alive");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queued_jobs() {
+        let pool = Pool::new(1, 32);
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..20 {
+            let count = Arc::clone(&count);
+            pool.try_submit(move || {
+                std::thread::sleep(Duration::from_millis(1));
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("room");
+        }
+        pool.shutdown();
+        assert_eq!(count.load(Ordering::SeqCst), 20, "drain ran everything");
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_rejected() {
+        let pool = Pool::new(2, 4);
+        let shared = Arc::clone(&pool.shared);
+        pool.shutdown();
+        assert!(shared.queue.lock().expect("sane").shutdown);
+    }
+
+    #[test]
+    fn zero_workers_means_all_cores() {
+        let pool = Pool::new(0, 4);
+        assert_eq!(pool.workers(), crate::max_jobs());
+        pool.shutdown();
+    }
+}
