@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! loadgen [--connections <n>] [--requests <n>] [--workers <n>] [--addr <host:port>]
+//!         [--chaos]
 //! ```
 //!
 //! Without `--addr` it spawns an in-process server on an ephemeral port
@@ -14,11 +15,31 @@
 //! runs twice: the *cold* phase starts with empty caches, the *warm*
 //! phase repeats the identical request set against warm ones — the
 //! before/after of the shared cross-request cache.
+//!
+//! `--chaos` turns the client into a fault-tolerant one: 429/500/503
+//! responses and transport errors (a fault-injected short write kills
+//! the connection) are retried with exponential backoff plus
+//! deterministic jitter, reconnecting as needed. Every request must
+//! still eventually succeed **bit-identically** — under chaos the run
+//! asserts no response corruption, no deadlock (bounded retries), and a
+//! clean drain. Against an external daemon, start it with
+//! `ERMES_FAULTPOINTS=...`; without `--addr` the in-process server gets
+//! a default fault plan unless the environment already set one.
 
 use ermesd::{Server, ServerConfig, SystemSpec};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::TcpStream;
-use std::time::Instant;
+use std::time::{Duration, Instant};
+
+/// Fault plan for in-process `--chaos` runs when `ERMES_FAULTPOINTS`
+/// does not override it: occasional worker panics, cache-insert delays,
+/// and response short writes, all on a fixed seed.
+const DEFAULT_CHAOS_PLAN: &str =
+    "seed=42;worker.job=panic@0.1;cache.insert=delay(20)@0.3;http.write=short@0.05";
+
+/// Retry ceiling per request under `--chaos`; hitting it fails the run
+/// (that would be a stuck service, the thing chaos mode must rule out).
+const CHAOS_MAX_ATTEMPTS: u32 = 20;
 
 // Both targets sit below what the systems can reach, so every request
 // runs the full exploration loop instead of stopping at iteration 0 —
@@ -113,7 +134,9 @@ fn post(
     )?;
     writer.flush()?;
     let mut status_line = String::new();
-    reader.read_line(&mut status_line)?;
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::other("connection closed before response"));
+    }
     let status: u16 = status_line
         .split(' ')
         .nth(1)
@@ -122,7 +145,12 @@ fn post(
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
-        reader.read_line(&mut line)?;
+        // EOF before the blank header terminator is a truncated (possibly
+        // fault-injected short-write) response: a transport error, never a
+        // complete-looking success.
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::other("connection closed mid-headers"));
+        }
         let line = line.trim_end();
         if line.is_empty() {
             break;
@@ -147,25 +175,130 @@ struct ConnStats {
     latencies_us: Vec<u64>,
     mismatches: usize,
     failures: usize,
+    retries: usize,
+    server_errors: usize,
+    sheds: usize,
+    transport_errors: usize,
+}
+
+impl ConnStats {
+    fn new(requests: usize) -> Self {
+        ConnStats {
+            latencies_us: Vec::with_capacity(requests),
+            mismatches: 0,
+            failures: 0,
+            retries: 0,
+            server_errors: 0,
+            sheds: 0,
+            transport_errors: 0,
+        }
+    }
+
+    fn all_failed(requests: usize) -> Self {
+        let mut stats = Self::new(requests);
+        stats.failures = requests;
+        stats
+    }
+}
+
+/// SplitMix64 for backoff jitter — deterministic per connection, so a
+/// chaos run is reproducible end to end (the daemon's faultpoint RNG is
+/// seeded too). `bench` takes no RNG dependency; this is 4 lines.
+struct Rng(u64);
+
+impl Rng {
+    fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+}
+
+fn connect(addr: &str) -> std::io::Result<(TcpStream, BufReader<TcpStream>)> {
+    let stream = TcpStream::connect(addr)?;
+    let _ = stream.set_nodelay(true);
+    let reader = BufReader::new(stream.try_clone()?);
+    Ok((stream, reader))
+}
+
+/// Fault-tolerant variant of [`drive_connection`]: retries sheds (429),
+/// isolated worker panics (500), overload (503), and transport errors
+/// (truncated responses kill the connection; we reconnect) with
+/// exponential backoff plus deterministic jitter. Every request must
+/// eventually return 200 **and** match the CLI bit for bit — anything
+/// else after [`CHAOS_MAX_ATTEMPTS`] counts as a failure, which the
+/// phase asserts to zero.
+fn drive_connection_chaos(addr: &str, items: &[WorkItem], requests: usize, id: u64) -> ConnStats {
+    let mut stats = ConnStats::new(requests);
+    let mut rng = Rng(0x10adu64 ^ (id << 32));
+    let mut conn = connect(addr).ok();
+    for i in 0..requests {
+        let item = &items[i % items.len()];
+        let started = Instant::now();
+        let mut done = false;
+        for attempt in 0..CHAOS_MAX_ATTEMPTS {
+            if attempt > 0 {
+                stats.retries += 1;
+                // 2ms, 4ms, 8ms… capped at 64ms, plus up to 100% jitter
+                // to decorrelate the retrying connections.
+                let base = 2u64 << attempt.min(5);
+                std::thread::sleep(Duration::from_millis(base + rng.next() % base));
+            }
+            let Some((writer, reader)) = conn.as_mut() else {
+                conn = connect(addr).ok();
+                continue;
+            };
+            match post(writer, reader, &item.path, &item.body) {
+                Ok((200, body)) => {
+                    stats
+                        .latencies_us
+                        .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    if body != item.expected {
+                        stats.mismatches += 1;
+                        eprintln!(
+                            "MISMATCH on {}: daemon response differs from CLI",
+                            item.label
+                        );
+                    }
+                    done = true;
+                    break;
+                }
+                Ok((429, _)) => stats.sheds += 1,
+                Ok((500 | 503, _)) => stats.server_errors += 1,
+                Ok((status, body)) => {
+                    // Anything else (4xx on a well-formed request) is a
+                    // contract violation, not a transient — don't retry.
+                    stats.failures += 1;
+                    eprintln!("unexpected {status} on {}: {}", item.label, body.trim_end());
+                    done = true;
+                    break;
+                }
+                Err(_) => {
+                    // Truncated or dropped response: the connection state
+                    // is unknowable, so abandon it and reconnect.
+                    stats.transport_errors += 1;
+                    conn = None;
+                }
+            }
+        }
+        if !done {
+            stats.failures += 1;
+            eprintln!(
+                "GAVE UP on {} after {CHAOS_MAX_ATTEMPTS} attempts",
+                item.label
+            );
+        }
+    }
+    stats
 }
 
 fn drive_connection(addr: &str, items: &[WorkItem], requests: usize) -> ConnStats {
-    let mut stats = ConnStats {
-        latencies_us: Vec::with_capacity(requests),
-        mismatches: 0,
-        failures: 0,
+    let mut stats = ConnStats::new(requests);
+    let Ok((mut writer, mut reader)) = connect(addr) else {
+        return ConnStats::all_failed(requests);
     };
-    let Ok(stream) = TcpStream::connect(addr) else {
-        stats.failures = requests;
-        return stats;
-    };
-    let _ = stream.set_nodelay(true);
-    let Ok(read_half) = stream.try_clone() else {
-        stats.failures = requests;
-        return stats;
-    };
-    let mut reader = BufReader::new(read_half);
-    let mut writer = stream;
     for i in 0..requests {
         let item = &items[i % items.len()];
         let started = Instant::now();
@@ -205,11 +338,26 @@ fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[rank] as f64 / 1000.0
 }
 
-fn run_phase(name: &str, addr: &str, items: &[WorkItem], connections: usize, requests: usize) {
+fn run_phase(
+    name: &str,
+    addr: &str,
+    items: &[WorkItem],
+    connections: usize,
+    requests: usize,
+    chaos: bool,
+) {
     let started = Instant::now();
     let stats: Vec<ConnStats> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..connections)
-            .map(|_| scope.spawn(|| drive_connection(addr, items, requests)))
+            .map(|id| {
+                scope.spawn(move || {
+                    if chaos {
+                        drive_connection_chaos(addr, items, requests, id as u64)
+                    } else {
+                        drive_connection(addr, items, requests)
+                    }
+                })
+            })
             .collect();
         handles
             .into_iter()
@@ -230,6 +378,21 @@ fn run_phase(name: &str, addr: &str, items: &[WorkItem], connections: usize, req
         percentile(&latencies, 99.0),
         latencies.last().map_or(f64::NAN, |&l| l as f64 / 1000.0),
     );
+    if chaos {
+        let retries: usize = stats.iter().map(|s| s.retries).sum();
+        let server_errors: usize = stats.iter().map(|s| s.server_errors).sum();
+        let sheds: usize = stats.iter().map(|s| s.sheds).sum();
+        let transport: usize = stats.iter().map(|s| s.transport_errors).sum();
+        println!(
+            "       chaos: {retries} retries ({server_errors} 5xx, {sheds} 429, \
+             {transport} truncated/dropped), {ok}/{} eventually ok",
+            connections * requests
+        );
+        assert_eq!(
+            failures, 0,
+            "under chaos every request must eventually succeed"
+        );
+    }
     assert_eq!(
         mismatches, 0,
         "daemon responses must match the CLI bit for bit"
@@ -249,6 +412,7 @@ fn main() {
             eprintln!("{e}");
             std::process::exit(2);
         });
+    let chaos = args.iter().any(|a| a == "--chaos");
 
     println!("building workload (mpeg2sys + socgen, expected outputs via direct commands)…");
     let items = build_workload();
@@ -256,6 +420,9 @@ fn main() {
     let (addr, server_thread) = match flag(&args, "--addr") {
         Some(addr) => (addr, None),
         None => {
+            if chaos && std::env::var(parx::faultpoint::FAULTPOINTS_ENV).is_err() {
+                parx::faultpoint::activate(DEFAULT_CHAOS_PLAN).expect("default plan parses");
+            }
             let server = Server::start(ServerConfig {
                 workers,
                 ..ServerConfig::default()
@@ -266,6 +433,19 @@ fn main() {
             (addr, Some(handle))
         }
     };
+    if chaos {
+        match server_thread {
+            Some(_) => println!(
+                "chaos mode: retrying client, fault plan {}",
+                std::env::var(parx::faultpoint::FAULTPOINTS_ENV)
+                    .unwrap_or_else(|_| DEFAULT_CHAOS_PLAN.into())
+            ),
+            None => println!(
+                "chaos mode: retrying client (fault plan is the remote daemon's {})",
+                parx::faultpoint::FAULTPOINTS_ENV
+            ),
+        }
+    }
     println!(
         "target {addr}: {connections} connections x {requests} requests, {} workers\n",
         if workers == 0 {
@@ -275,8 +455,8 @@ fn main() {
         }
     );
     println!("phase     ok  failed  req/s      p50[ms]   p90[ms]   p99[ms]   max[ms]");
-    run_phase("cold", &addr, &items, connections, requests);
-    run_phase("warm", &addr, &items, connections, requests);
+    run_phase("cold", &addr, &items, connections, requests, chaos);
+    run_phase("warm", &addr, &items, connections, requests, chaos);
 
     if let Some(handle) = server_thread {
         let mut stream = TcpStream::connect(&addr).expect("server alive");

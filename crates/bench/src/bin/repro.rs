@@ -215,7 +215,7 @@ stall cycles on the motivating example (200 iterations):"
 }
 
 fn run_ablation() {
-    banner("Ablation — design-choice studies (DESIGN.md §6)");
+    banner("Ablation — design-choice studies (DESIGN.md §7)");
     let r = experiments::ablation();
     println!(
         "tie-break (symmetric systems, {} trials):",

@@ -418,7 +418,7 @@ pub fn motivating_stalls() -> (u64, u64) {
     )
 }
 
-/// Ablation results (design-choice studies promised in DESIGN.md §6).
+/// Ablation results (design-choice studies promised in DESIGN.md §7).
 #[derive(Debug, Clone, PartialEq)]
 pub struct AblationResult {
     /// Of `symmetric_trials` symmetric systems, how many deadlock under

@@ -106,8 +106,35 @@ pub fn analyze_design(design: &Design) -> PerfReport {
 /// [`tmg::analyze_with_jobs`]).
 #[must_use]
 pub fn analyze_design_with_jobs(design: &Design, jobs: usize) -> PerfReport {
+    analyze_design_inner(design, jobs, None).expect("no cancel token, cannot be cancelled")
+}
+
+/// [`analyze_design_with_jobs`], but cooperatively cancellable: the
+/// per-SCC Howard solves poll `cancel` between policy-improvement
+/// rounds (see [`tmg::analyze_with_cancel`]). On the `Ok` path the
+/// report is bit-identical to the uncancellable call.
+///
+/// # Errors
+///
+/// [`parx::Cancelled`] when the token fired before analysis finished.
+pub fn analyze_design_cancellable(
+    design: &Design,
+    jobs: usize,
+    cancel: &parx::CancelToken,
+) -> Result<PerfReport, parx::Cancelled> {
+    analyze_design_inner(design, jobs, Some(cancel))
+}
+
+fn analyze_design_inner(
+    design: &Design,
+    jobs: usize,
+    cancel: Option<&parx::CancelToken>,
+) -> Result<PerfReport, parx::Cancelled> {
     let lowered = lower_to_tmg(design.system());
-    let verdict = tmg::analyze_with_jobs(lowered.tmg(), jobs);
+    let verdict = match cancel {
+        Some(token) => tmg::analyze_with_cancel(lowered.tmg(), jobs, token)?,
+        None => tmg::analyze_with_jobs(lowered.tmg(), jobs),
+    };
     let (critical_processes, critical_channels) = match &verdict {
         Verdict::Live { critical, .. } => (
             lowered.processes_of(&critical.transitions),
@@ -115,11 +142,11 @@ pub fn analyze_design_with_jobs(design: &Design, jobs: usize) -> PerfReport {
         ),
         _ => (Vec::new(), Vec::new()),
     };
-    PerfReport {
+    Ok(PerfReport {
         verdict,
         critical_processes,
         critical_channels,
-    }
+    })
 }
 
 #[cfg(test)]

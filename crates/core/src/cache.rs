@@ -23,7 +23,7 @@
 //! proportional to the hot set rather than to its uptime. Evictions are
 //! counted in [`CacheStats::evictions`].
 
-use crate::analysis::{analyze_design_with_jobs, PerfReport};
+use crate::analysis::{analyze_design_cancellable, analyze_design_with_jobs, PerfReport};
 use crate::design::Design;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -240,20 +240,59 @@ impl EngineCache {
     /// is bit-identical to a direct [`crate::analyze_design_with_jobs`]
     /// call (the cached computation is deterministic).
     pub fn analyze(&self, design: &Design, jobs: usize) -> PerfReport {
+        self.analyze_inner(design, jobs, None)
+            .expect("no cancel token, cannot be cancelled")
+    }
+
+    /// [`EngineCache::analyze`], but cooperatively cancellable. Hits are
+    /// served as usual (they are complete by construction); on a miss
+    /// the analysis runs under `cancel`, and a cancelled computation is
+    /// **never inserted** — the cache only ever holds fully-computed
+    /// entries, so no later request can be served a partial result.
+    ///
+    /// # Errors
+    ///
+    /// [`parx::Cancelled`] when the token fired before the (miss-path)
+    /// analysis finished. The cache is unchanged in that case.
+    pub fn analyze_cancellable(
+        &self,
+        design: &Design,
+        jobs: usize,
+        cancel: &parx::CancelToken,
+    ) -> Result<PerfReport, parx::Cancelled> {
+        self.analyze_inner(design, jobs, Some(cancel))
+    }
+
+    fn analyze_inner(
+        &self,
+        design: &Design,
+        jobs: usize,
+        cancel: Option<&parx::CancelToken>,
+    ) -> Result<PerfReport, parx::Cancelled> {
         let key = ConfigKey::of(design);
         if let Some(hit) = self.analysis.lock().expect("cache poisoned").get(&key) {
             self.analysis_hits.fetch_add(1, Ordering::Relaxed);
-            return hit;
+            return Ok(hit);
         }
         self.analysis_misses.fetch_add(1, Ordering::Relaxed);
-        let report = analyze_design_with_jobs(design, jobs);
+        let report = match cancel {
+            Some(token) => analyze_design_cancellable(design, jobs, token)?,
+            None => analyze_design_with_jobs(design, jobs),
+        };
+        // The report is complete here; one last poll keeps a cancelled
+        // job from publishing an entry its requester will never read
+        // (and lets chaos tests slow this window with a delay fault).
+        let _ = parx::faultpoint::hit("cache.insert");
+        if let Some(token) = cancel {
+            token.check()?;
+        }
         let evicted = self.analysis.lock().expect("cache poisoned").insert(
             key,
             report.clone(),
             self.capacity,
         );
         self.evictions.fetch_add(evicted, Ordering::Relaxed);
-        report
+        Ok(report)
     }
 
     /// `chanorder::order_channels` through the cache, returning only the
@@ -464,6 +503,34 @@ mod tests {
         let b = a.merged(&a);
         assert_eq!(b.analysis_hits, 2);
         assert_eq!(b.evictions, 10);
+    }
+
+    #[test]
+    fn cancelled_analysis_inserts_nothing() {
+        use parx::{CancelReason, CancelToken};
+        let design = two_stage();
+        let cache = EngineCache::new();
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Disconnected);
+        let err = cache
+            .analyze_cancellable(&design, 1, &token)
+            .expect_err("token already fired");
+        assert_eq!(err.reason, CancelReason::Disconnected);
+        assert_eq!(
+            cache.entry_counts(),
+            (0, 0),
+            "a cancelled job must not populate the cache"
+        );
+        // A live token computes, inserts, and later hits as usual.
+        let live = CancelToken::new();
+        let fresh = analyze_design(&design);
+        assert_eq!(
+            cache.analyze_cancellable(&design, 1, &live).expect("live"),
+            fresh
+        );
+        assert_eq!(cache.entry_counts().0, 1);
+        assert_eq!(cache.analyze(&design, 1), fresh);
+        assert_eq!(cache.stats().analysis_hits, 1);
     }
 
     #[test]

@@ -28,6 +28,19 @@ pub enum ErmesError {
     Deadlock,
     /// The underlying ILP solver failed.
     Ilp(ilp::SolveError),
+    /// The computation was cooperatively cancelled (deadline expiry,
+    /// client disconnect, or service shutdown) before it finished.
+    /// `completed`/`total` report partial progress in the unit of the
+    /// cancelled operation: exploration iterations for [`crate::explore`],
+    /// sweep targets for [`crate::pareto_sweep_cancellable`].
+    Cancelled {
+        /// Why the work was stopped.
+        reason: parx::CancelReason,
+        /// Units of work finished before cancellation.
+        completed: usize,
+        /// Units of work the full run would have performed.
+        total: usize,
+    },
 }
 
 impl fmt::Display for ErmesError {
@@ -50,6 +63,11 @@ impl fmt::Display for ErmesError {
             ),
             ErmesError::Deadlock => write!(f, "system deadlocks under every produced ordering"),
             ErmesError::Ilp(e) => write!(f, "ilp solver failed: {e}"),
+            ErmesError::Cancelled {
+                reason,
+                completed,
+                total,
+            } => write!(f, "cancelled ({reason}) after {completed} of {total} steps"),
         }
     }
 }
@@ -80,5 +98,19 @@ mod tests {
         let e = ErmesError::Ilp(ilp::SolveError::Infeasible);
         assert!(e.source().is_some());
         assert!(e.to_string().contains("infeasible"));
+    }
+
+    #[test]
+    fn cancelled_reports_reason_and_progress() {
+        let e = ErmesError::Cancelled {
+            reason: parx::CancelReason::Deadline,
+            completed: 3,
+            total: 16,
+        };
+        assert_eq!(
+            e.to_string(),
+            "cancelled (deadline expired) after 3 of 16 steps"
+        );
+        assert!(e.source().is_none());
     }
 }

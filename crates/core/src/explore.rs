@@ -8,7 +8,9 @@
 //! latencies. Previously visited configurations are excluded by no-good
 //! cuts; the loop stops when the active optimization proposes no change.
 
-use crate::analysis::{analyze_design, analyze_design_with_jobs, target_ratio, PerfReport};
+use crate::analysis::{
+    analyze_design, analyze_design_cancellable, analyze_design_with_jobs, target_ratio, PerfReport,
+};
 use crate::cache::EngineCache;
 use crate::design::Design;
 use crate::error::ErmesError;
@@ -60,23 +62,33 @@ pub struct ExploreOptions<'a> {
     pub jobs: usize,
     /// Memoization cache shared across runs on the same base design.
     pub cache: Option<&'a EngineCache>,
+    /// Cooperative cancellation token. When set, the loop polls it at
+    /// every iteration boundary and the underlying analysis polls it
+    /// between Howard policy-improvement rounds, so a fired token stops
+    /// the exploration within one bounded iteration instead of at run
+    /// completion. The `Ok` path is bit-identical with or without it.
+    pub cancel: Option<&'a parx::CancelToken>,
 }
 
 impl Default for ExploreOptions<'_> {
-    /// Serial analysis, no cache — the behavior of plain [`explore`].
+    /// Serial analysis, no cache, no cancellation — the behavior of
+    /// plain [`explore`].
     fn default() -> Self {
         ExploreOptions {
             jobs: 1,
             cache: None,
+            cancel: None,
         }
     }
 }
 
 impl<'a> ExploreOptions<'a> {
-    fn analyze(&self, design: &Design) -> PerfReport {
-        match self.cache {
-            Some(cache) => cache.analyze(design, self.jobs),
-            None => analyze_design_with_jobs(design, self.jobs),
+    fn analyze(&self, design: &Design) -> Result<PerfReport, parx::Cancelled> {
+        match (self.cache, self.cancel) {
+            (Some(cache), Some(token)) => cache.analyze_cancellable(design, self.jobs, token),
+            (Some(cache), None) => Ok(cache.analyze(design, self.jobs)),
+            (None, Some(token)) => analyze_design_cancellable(design, self.jobs, token),
+            (None, None) => Ok(analyze_design_with_jobs(design, self.jobs)),
         }
     }
 
@@ -270,14 +282,28 @@ pub fn explore(design: Design, config: ExplorationConfig) -> Result<ExplorationT
     explore_with(design, config, &ExploreOptions::default())
 }
 
+/// Maps a low-level [`parx::Cancelled`] into the methodology-level
+/// error carrying exploration progress: `completed` iterations out of
+/// the `total` the configuration allows.
+fn cancelled(err: parx::Cancelled, completed: usize, total: usize) -> ErmesError {
+    ErmesError::Cancelled {
+        reason: err.reason,
+        completed,
+        total,
+    }
+}
+
 /// [`explore`] with explicit engine options: worker threads for the
-/// analysis and an optional shared [`EngineCache`]. The trace is
-/// bit-identical to the plain serial run at any `jobs` value, with or
-/// without the cache.
+/// analysis, an optional shared [`EngineCache`], and an optional
+/// [`parx::CancelToken`]. The trace is bit-identical to the plain
+/// serial run at any `jobs` value, with or without the cache or a
+/// (non-firing) token.
 ///
 /// # Errors
 ///
-/// Same as [`explore`].
+/// Same as [`explore`]; additionally [`ErmesError::Cancelled`] — with
+/// the iterations completed before the stop — when `options.cancel`
+/// fires mid-run.
 pub fn explore_with(
     mut design: Design,
     config: ExplorationConfig,
@@ -288,10 +314,15 @@ pub fn explore_with(
     // part of each optimization iteration. A start that deadlocks under
     // its given ordering is repaired by reordering right away — deadlock
     // removal is the ordering algorithm's first job (Section 4).
-    let mut report = options.analyze(&design);
+    let total = config.max_iterations;
+    let mut report = options
+        .analyze(&design)
+        .map_err(|c| cancelled(c, 0, total))?;
     if report.is_deadlock() && config.reorder {
         options.reorder(&mut design);
-        report = options.analyze(&design);
+        report = options
+            .analyze(&design)
+            .map_err(|c| cancelled(c, 0, total))?;
     }
     let mut iterations = vec![record(
         0,
@@ -322,6 +353,9 @@ pub fn explore_with(
     let mut stalled = 0usize;
 
     for index in 1..=config.max_iterations {
+        if let Some(token) = options.cancel {
+            token.check().map_err(|c| cancelled(c, index - 1, total))?;
+        }
         let cycle_time = report.cycle_time().ok_or(ErmesError::Deadlock)?;
         // Dispatch on the exact rational slack sign (slack = 0, the
         // target met with nothing to spare, recovers area with a zero
@@ -364,7 +398,9 @@ pub fn explore_with(
                     options.reorder(&mut design);
                 }
                 orderings.push(sysgraph::ChannelOrdering::of(design.system()));
-                report = options.analyze(&design);
+                report = options
+                    .analyze(&design)
+                    .map_err(|c| cancelled(c, index - 1, total))?;
                 let rec = record(index, action, &report, &design, config.target_cycle_time)?;
                 if improves(&rec, &incumbent) {
                     incumbent = rec.clone();
@@ -611,6 +647,7 @@ mod tests {
             let opts = ExploreOptions {
                 jobs,
                 cache: Some(&cache),
+                cancel: None,
             };
             let run = explore_with(make(), config, &opts).expect("explores");
             assert_eq!(run.iterations, plain.iterations, "jobs = {jobs}");
@@ -624,6 +661,53 @@ mod tests {
         let stats = cache.stats();
         // The second run revisits every configuration of the first.
         assert!(stats.analysis_hits > 0, "cache was exercised: {stats:?}");
+    }
+
+    #[test]
+    fn live_token_leaves_the_trace_bit_identical() {
+        let make = || {
+            let mut d = pipeline_design();
+            d.select_smallest();
+            d
+        };
+        let config = ExplorationConfig::with_target(50);
+        let plain = explore(make(), config).expect("explores");
+        let token = parx::CancelToken::new();
+        let opts = ExploreOptions {
+            jobs: 1,
+            cache: None,
+            cancel: Some(&token),
+        };
+        let run = explore_with(make(), config, &opts).expect("token never fires");
+        assert_eq!(run.iterations, plain.iterations);
+        assert_eq!(run.design.selection(), plain.design.selection());
+    }
+
+    #[test]
+    fn fired_token_stops_exploration_with_progress() {
+        let mut design = pipeline_design();
+        design.select_smallest();
+        let token = parx::CancelToken::new();
+        token.cancel(parx::CancelReason::Deadline);
+        let opts = ExploreOptions {
+            jobs: 1,
+            cache: None,
+            cancel: Some(&token),
+        };
+        let err = explore_with(design, ExplorationConfig::with_target(50), &opts)
+            .expect_err("token already fired");
+        match err {
+            ErmesError::Cancelled {
+                reason,
+                completed,
+                total,
+            } => {
+                assert_eq!(reason, parx::CancelReason::Deadline);
+                assert_eq!(completed, 0, "stopped before the first iteration");
+                assert_eq!(total, 16);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
     }
 
     #[test]

@@ -66,7 +66,9 @@ mod explore;
 mod opt;
 mod sweep;
 
-pub use analysis::{analyze_design, analyze_design_with_jobs, target_ratio, PerfReport};
+pub use analysis::{
+    analyze_design, analyze_design_cancellable, analyze_design_with_jobs, target_ratio, PerfReport,
+};
 pub use bottleneck::{bottleneck_report, BottleneckItem, BottleneckReport};
 pub use buffers::{buffer_sensitivity, size_buffers, BufferEffect};
 pub use cache::{CacheStats, EngineCache};
@@ -79,5 +81,6 @@ pub use explore::{
 };
 pub use opt::{area_recovery, timing_optimization, IpSelection, OptStrategy};
 pub use sweep::{
-    pareto_sweep, pareto_sweep_cached, pareto_sweep_with, SweepOptions, SweepPoint, SweepReport,
+    pareto_sweep, pareto_sweep_cached, pareto_sweep_cancellable, pareto_sweep_with, SweepOptions,
+    SweepPoint, SweepReport,
 };

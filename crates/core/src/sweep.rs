@@ -140,10 +140,43 @@ pub fn pareto_sweep_cached(
     options: &SweepOptions,
     cache: &EngineCache,
 ) -> Result<SweepReport, ErmesError> {
+    sweep_inner(design, targets, options, cache, None)
+}
+
+/// [`pareto_sweep_cached`] under a [`parx::CancelToken`]: every
+/// per-target exploration polls the token at its iteration boundaries
+/// (and inside the analysis), so a fired token stops the whole sweep
+/// within one bounded iteration of each in-flight target instead of at
+/// sweep completion. A cancelled target never populates `cache`. The
+/// `Ok` path is bit-identical to [`pareto_sweep_cached`].
+///
+/// # Errors
+///
+/// [`ErmesError::Cancelled`] — reporting, as partial progress, how many
+/// targets (in ladder order) finished before the stop — when `cancel`
+/// fires mid-sweep; otherwise the same errors as [`pareto_sweep_with`].
+pub fn pareto_sweep_cancellable(
+    design: Design,
+    targets: &[u64],
+    options: &SweepOptions,
+    cache: &EngineCache,
+    cancel: &parx::CancelToken,
+) -> Result<SweepReport, ErmesError> {
+    sweep_inner(design, targets, options, cache, Some(cancel))
+}
+
+fn sweep_inner(
+    design: Design,
+    targets: &[u64],
+    options: &SweepOptions,
+    cache: &EngineCache,
+    cancel: Option<&parx::CancelToken>,
+) -> Result<SweepReport, ErmesError> {
     let outcomes = parx::par_map(options.jobs, targets, |_, &target| {
         let opts = ExploreOptions {
             jobs: 1,
             cache: options.memoize.then_some(cache),
+            cancel,
         };
         let trace = explore_with(
             design.clone(),
@@ -158,11 +191,24 @@ pub fn pareto_sweep_cached(
             meets_target: best.meets_target,
         })
     });
-    // par_map preserves target order, so `?` here reports the error the
-    // serial loop would have reported first.
+    // par_map preserves target order, so the loop below reports the
+    // error the serial sweep would have reported first. A cancellation
+    // is re-scoped from iterations-within-a-target to targets-within-
+    // the-sweep: every outcome before the first error is a completed
+    // target, which is the partial progress a sweeping client can use.
     let mut points = Vec::with_capacity(targets.len());
-    for outcome in outcomes {
-        points.push(outcome?);
+    for (index, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            Ok(point) => points.push(point),
+            Err(ErmesError::Cancelled { reason, .. }) => {
+                return Err(ErmesError::Cancelled {
+                    reason,
+                    completed: index,
+                    total: targets.len(),
+                })
+            }
+            Err(other) => return Err(other),
+        }
     }
     Ok(SweepReport {
         front: prune_dominated(points),
@@ -283,6 +329,42 @@ mod tests {
             .expect("sweeps");
             // Exact equality: Ratio cycle times, areas, flags — the lot.
             assert_eq!(parallel.front, serial.front, "jobs = {jobs}");
+        }
+    }
+
+    #[test]
+    fn cancellable_sweep_matches_plain_when_live_and_stops_when_fired() {
+        use parx::{CancelReason, CancelToken};
+        let targets = [10, 15, 25, 50, 100];
+        let plain = pareto_sweep(design(), &targets).expect("sweeps");
+        let cache = EngineCache::new();
+        let live = CancelToken::new();
+        let run =
+            pareto_sweep_cancellable(design(), &targets, &SweepOptions::default(), &cache, &live)
+                .expect("token never fires");
+        assert_eq!(run.front, plain, "bit-identical under a live token");
+
+        let fired = CancelToken::new();
+        fired.cancel(CancelReason::Disconnected);
+        let err = pareto_sweep_cancellable(
+            design(),
+            &targets,
+            &SweepOptions::default(),
+            &EngineCache::new(),
+            &fired,
+        )
+        .expect_err("token already fired");
+        match err {
+            ErmesError::Cancelled {
+                reason,
+                completed,
+                total,
+            } => {
+                assert_eq!(reason, CancelReason::Disconnected);
+                assert_eq!(completed, 0);
+                assert_eq!(total, targets.len());
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
         }
     }
 

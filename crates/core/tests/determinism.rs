@@ -71,6 +71,7 @@ fn exploration_with_cache_and_jobs_is_bit_identical() {
         let opts = ExploreOptions {
             jobs,
             cache: Some(&cache),
+            cancel: None,
         };
         let run = explore_with(motivating_design(), config, &opts).expect("explores");
         assert_eq!(run.iterations, plain.iterations, "jobs = {jobs}");

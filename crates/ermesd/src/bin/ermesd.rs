@@ -18,6 +18,11 @@ USAGE:
 
 Endpoints: POST /analyze, /order, /explore?target=N, /sweep?targets=a,b,c,
 /shutdown; GET /healthz, /metrics.
+
+Chaos testing: set ERMES_FAULTPOINTS to a deterministic fault plan, e.g.
+    ERMES_FAULTPOINTS='seed=42;worker.job=panic@0.05;http.write=short@0.02'
+Named points: worker.job, json.parse, cache.insert, http.write.
+Actions: panic, delay(MS), short; optional @probability and #max-firings.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {

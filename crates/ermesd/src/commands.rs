@@ -55,8 +55,23 @@ impl From<ermes::ErmesError> for CliError {
 /// # Errors
 ///
 /// [`CliError::Json`] on malformed JSON.
+///
+/// # Panics
+///
+/// Only under an active fault plan naming `json.parse` (chaos testing).
 pub fn parse_spec(json: &str) -> Result<SystemSpec, CliError> {
+    let _ = parx::faultpoint::hit("json.parse");
     Ok(SystemSpec::from_json(json)?)
+}
+
+/// Maps a [`parx::Cancelled`] poll result into the structured
+/// [`ermes::ErmesError::Cancelled`] with partial-progress metadata.
+fn cancelled(err: parx::Cancelled, completed: usize, total: usize) -> CliError {
+    CliError::Ermes(ermes::ErmesError::Cancelled {
+        reason: err.reason,
+        completed,
+        total,
+    })
 }
 
 /// `ermes analyze <spec>` — cycle time, throughput, critical cycle.
@@ -84,6 +99,26 @@ pub fn cmd_analyze_cached(
 ) -> Result<String, CliError> {
     let design = spec.to_design()?;
     let report = cache.analyze(&design, 1);
+    render_analysis(&design, &report)
+}
+
+/// [`cmd_analyze_cached`] polling a [`parx::CancelToken`] at analysis
+/// iteration boundaries. With a live token the output is bit-identical
+/// to [`cmd_analyze_cached`].
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs; [`ermes::ErmesError::Cancelled`]
+/// (wrapped) when the token fires mid-analysis.
+pub fn cmd_analyze_cancellable(
+    spec: &SystemSpec,
+    cache: &ermes::EngineCache,
+    cancel: &parx::CancelToken,
+) -> Result<String, CliError> {
+    let design = spec.to_design()?;
+    let report = cache
+        .analyze_cancellable(&design, 1, cancel)
+        .map_err(|e| cancelled(e, 0, 1))?;
     render_analysis(&design, &report)
 }
 
@@ -192,10 +227,39 @@ pub fn cmd_explore_cached(
     jobs: usize,
     cache: &ermes::EngineCache,
 ) -> Result<(String, String), CliError> {
+    explore_inner(spec, target, jobs, cache, None)
+}
+
+/// [`cmd_explore_cached`] polling a [`parx::CancelToken`] at exploration
+/// iteration boundaries (and inside each cycle-time analysis). With a
+/// live token the output is bit-identical to [`cmd_explore_cached`].
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs, a deadlocking system, or a fired
+/// token ([`ermes::ErmesError::Cancelled`] with progress metadata).
+pub fn cmd_explore_cancellable(
+    spec: &SystemSpec,
+    target: u64,
+    jobs: usize,
+    cache: &ermes::EngineCache,
+    cancel: &parx::CancelToken,
+) -> Result<(String, String), CliError> {
+    explore_inner(spec, target, jobs, cache, Some(cancel))
+}
+
+fn explore_inner(
+    spec: &SystemSpec,
+    target: u64,
+    jobs: usize,
+    cache: &ermes::EngineCache,
+    cancel: Option<&parx::CancelToken>,
+) -> Result<(String, String), CliError> {
     let design = spec.to_design()?;
     let options = ermes::ExploreOptions {
         jobs,
         cache: Some(cache),
+        cancel,
     };
     let trace = ermes::explore_with(design, ExplorationConfig::with_target(target), &options)?;
     let mut out = String::new();
@@ -389,16 +453,43 @@ pub fn cmd_sweep_cached(
     jobs: usize,
     cache: &ermes::EngineCache,
 ) -> Result<String, CliError> {
+    sweep_inner(spec, targets, jobs, cache, None)
+}
+
+/// [`cmd_sweep_cached`] polling a [`parx::CancelToken`]; cancellation
+/// progress counts completed targets in ladder order. With a live token
+/// the output is bit-identical to [`cmd_sweep_cached`].
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs, exploration failure, or a fired
+/// token ([`ermes::ErmesError::Cancelled`] with progress metadata).
+pub fn cmd_sweep_cancellable(
+    spec: &SystemSpec,
+    targets: &[u64],
+    jobs: usize,
+    cache: &ermes::EngineCache,
+    cancel: &parx::CancelToken,
+) -> Result<String, CliError> {
+    sweep_inner(spec, targets, jobs, cache, Some(cancel))
+}
+
+fn sweep_inner(
+    spec: &SystemSpec,
+    targets: &[u64],
+    jobs: usize,
+    cache: &ermes::EngineCache,
+    cancel: Option<&parx::CancelToken>,
+) -> Result<String, CliError> {
     let design = spec.to_design()?;
-    let report = ermes::pareto_sweep_cached(
-        design,
-        targets,
-        &ermes::SweepOptions {
-            jobs,
-            memoize: true,
-        },
-        cache,
-    )?;
+    let options = ermes::SweepOptions {
+        jobs,
+        memoize: true,
+    };
+    let report = match cancel {
+        Some(token) => ermes::pareto_sweep_cancellable(design, targets, &options, cache, token)?,
+        None => ermes::pareto_sweep_cached(design, targets, &options, cache)?,
+    };
     let mut out = String::new();
     let _ = writeln!(out, "target        best-ct        area  meets");
     for p in report.front {

@@ -263,6 +263,10 @@ impl Response {
             413 => "Content Too Large",
             422 => "Unprocessable Content",
             429 => "Too Many Requests",
+            // nginx's convention for "client hung up before the response
+            // was ready"; the body can only ever land in a packet capture,
+            // but the status keeps the request log truthful.
+            499 => "Client Closed Request",
             500 => "Internal Server Error",
             503 => "Service Unavailable",
             _ => "Unknown",
@@ -291,6 +295,19 @@ impl Response {
             head.push_str("\r\n");
         }
         head.push_str("\r\n");
+        if parx::faultpoint::hit("http.write").fired() {
+            // Simulate a dying peer / full socket buffer: emit a prefix of
+            // the head and fail. The truncation point is before the blank
+            // line, so the client can never mistake the fragment for a
+            // complete response — a detectable failure, not corruption.
+            let cut = head.len() / 2;
+            writer.write_all(&head.as_bytes()[..cut])?;
+            let _ = writer.flush();
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::WriteZero,
+                "faultpoint `http.write`: injected short write",
+            ));
+        }
         writer.write_all(head.as_bytes())?;
         writer.write_all(&self.body)?;
         writer.flush()

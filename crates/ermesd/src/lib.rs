@@ -24,6 +24,22 @@
 //!   per-design [`ermes::EngineCache`]s, Prometheus-text `/metrics`, and
 //!   graceful drain-on-shutdown.
 //!
+//! # Fault tolerance
+//!
+//! Long-running jobs are **cooperatively cancellable**: each request
+//! carries a [`parx::CancelToken`] that self-cancels when the request
+//! deadline passes and is cancelled by the server when the client hangs
+//! up mid-run; the engine polls it at iteration boundaries, so a doomed
+//! job frees its worker within one iteration instead of running to
+//! completion. A mid-run deadline maps to `429` (with `retry-after` and
+//! an `x-ermes-progress: completed/total` header), a disconnect to
+//! `499`. A job that *panics* is isolated: the pool catches the panic,
+//! respawns the worker, and only that request sees a `500`; the restart
+//! shows up in `ermes_worker_restarts_total` and on `/healthz`. The
+//! failure paths are exercised by a deterministic fault-injection
+//! harness ([`parx::faultpoint`], env `ERMES_FAULTPOINTS`) that is
+//! compiled into the production binary.
+//!
 //! # Endpoints
 //!
 //! | Route | Body | Response |
@@ -32,7 +48,7 @@
 //! | `POST /order` | spec JSON | `ermes order` stdout (report + ordered spec) |
 //! | `POST /explore?target=N[&jobs=J]` | spec JSON | `ermes explore` stdout (sans cache-stats line) + explored spec |
 //! | `POST /sweep?targets=a,b,c[&jobs=J]` | spec JSON | `ermes sweep` stdout (sans cache-stats line) |
-//! | `GET /healthz` | — | `ok` |
+//! | `GET /healthz` | — | `ok` + worker liveness and restart count |
 //! | `GET /metrics` | — | Prometheus text format |
 //! | `POST /shutdown` | — | acknowledges, then drains in-flight work and exits |
 //!
@@ -62,9 +78,10 @@ pub mod server;
 pub mod spec;
 
 pub use commands::{
-    cmd_analyze, cmd_analyze_cached, cmd_buffers, cmd_dot, cmd_explore, cmd_explore_cached,
-    cmd_fsm, cmd_order, cmd_refine, cmd_simulate, cmd_simulate_traced, cmd_stalls, cmd_sweep,
-    cmd_sweep_cached, parse_spec, CliError,
+    cmd_analyze, cmd_analyze_cached, cmd_analyze_cancellable, cmd_buffers, cmd_dot, cmd_explore,
+    cmd_explore_cached, cmd_explore_cancellable, cmd_fsm, cmd_order, cmd_refine, cmd_simulate,
+    cmd_simulate_traced, cmd_stalls, cmd_sweep, cmd_sweep_cached, cmd_sweep_cancellable,
+    parse_spec, CliError,
 };
 pub use server::{Server, ServerConfig};
 pub use spec::{ChannelSpec, ParetoPointSpec, ProcessSpec, SpecError, SystemSpec};

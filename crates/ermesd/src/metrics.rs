@@ -37,6 +37,12 @@ pub struct Metrics {
     shed_queue_full: AtomicU64,
     /// Requests rejected because their deadline expired while queued.
     shed_deadline: AtomicU64,
+    /// Jobs cancelled mid-execution because their deadline expired.
+    cancelled_deadline: AtomicU64,
+    /// Jobs cancelled mid-execution because the client disconnected.
+    cancelled_disconnect: AtomicU64,
+    /// Jobs that panicked on their worker (caught; worker respawned).
+    jobs_panicked: AtomicU64,
 }
 
 impl Metrics {
@@ -83,6 +89,21 @@ impl Metrics {
         }
     }
 
+    /// Counts one job cancelled mid-execution by its expired deadline.
+    pub fn record_cancelled_deadline(&self) {
+        self.cancelled_deadline.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one job cancelled mid-execution by a client disconnect.
+    pub fn record_cancelled_disconnect(&self) {
+        self.cancelled_disconnect.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one job that panicked on its worker.
+    pub fn record_job_panicked(&self) {
+        self.jobs_panicked.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Total requests recorded, across endpoints and statuses.
     #[must_use]
     pub fn total_requests(&self) -> u64 {
@@ -95,10 +116,15 @@ impl Metrics {
 
     /// Renders the Prometheus text exposition. `gauges` supplies the
     /// point-in-time values sampled by the server at scrape time
-    /// (queue depth, cache aggregates, …), each as
-    /// `(metric_name, help, value)`.
+    /// (queue depth, cache aggregates, …) and `sampled_counters` the
+    /// monotone counters owned elsewhere and read at scrape time (worker
+    /// restarts live in the pool), each as `(metric_name, help, value)`.
     #[must_use]
-    pub fn render(&self, gauges: &[(&str, &str, f64)]) -> String {
+    pub fn render(
+        &self,
+        gauges: &[(&str, &str, f64)],
+        sampled_counters: &[(&str, &str, u64)],
+    ) -> String {
         let mut out = String::new();
         let _ = writeln!(
             out,
@@ -149,11 +175,32 @@ impl Metrics {
                 "Requests rejected with 429 because their deadline expired while queued.",
                 &self.shed_deadline,
             ),
+            (
+                "ermesd_cancelled_deadline_total",
+                "Jobs cancelled mid-execution because their deadline expired.",
+                &self.cancelled_deadline,
+            ),
+            (
+                "ermesd_cancelled_disconnect_total",
+                "Jobs cancelled mid-execution because the client disconnected.",
+                &self.cancelled_disconnect,
+            ),
+            (
+                "ermesd_jobs_panicked_total",
+                "Jobs that panicked on their worker (caught; worker respawned).",
+                &self.jobs_panicked,
+            ),
         ] {
             let _ = writeln!(
                 out,
                 "# HELP {name} {help}\n# TYPE {name} counter\n{name} {}",
                 counter.load(Ordering::Relaxed)
+            );
+        }
+        for (name, help, value) in sampled_counters {
+            let _ = writeln!(
+                out,
+                "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}"
             );
         }
         for (name, help, value) in gauges {
@@ -178,7 +225,7 @@ mod tests {
         m.record_request("analyze", 400);
         m.record_request("explore", 200);
         assert_eq!(m.total_requests(), 4);
-        let text = m.render(&[]);
+        let text = m.render(&[], &[]);
         assert!(
             text.contains("ermesd_requests_total{endpoint=\"analyze\",status=\"200\"} 2"),
             "{text}"
@@ -192,7 +239,7 @@ mod tests {
         let m = Metrics::new();
         m.observe_latency(Duration::from_micros(200)); // ≤ 0.00025 …
         m.observe_latency(Duration::from_millis(30)); // ≤ 0.05 …
-        let text = m.render(&[]);
+        let text = m.render(&[], &[]);
         assert!(
             text.contains("ermesd_request_seconds_bucket{le=\"0.0001\"} 0"),
             "{text}"
@@ -209,7 +256,7 @@ mod tests {
         m.record_shed(true);
         m.record_shed(true);
         m.record_shed(false);
-        let text = m.render(&[]);
+        let text = m.render(&[], &[]);
         assert!(text.contains("ermesd_shed_queue_full_total 2"), "{text}");
         assert!(text.contains("ermesd_shed_deadline_total 1"));
     }
@@ -217,8 +264,33 @@ mod tests {
     #[test]
     fn gauges_render_with_help_and_type() {
         let m = Metrics::new();
-        let text = m.render(&[("ermesd_queue_depth", "Jobs waiting.", 3.0)]);
+        let text = m.render(
+            &[("ermesd_queue_depth", "Jobs waiting.", 3.0)],
+            &[(
+                "ermes_worker_restarts_total",
+                "Workers respawned after a panic.",
+                2,
+            )],
+        );
         assert!(text.contains("# TYPE ermesd_queue_depth gauge"), "{text}");
         assert!(text.contains("ermesd_queue_depth 3"));
+        assert!(
+            text.contains("# TYPE ermes_worker_restarts_total counter"),
+            "{text}"
+        );
+        assert!(text.contains("ermes_worker_restarts_total 2"));
+    }
+
+    #[test]
+    fn cancellation_and_panic_counters_render() {
+        let m = Metrics::new();
+        m.record_cancelled_deadline();
+        m.record_cancelled_deadline();
+        m.record_cancelled_disconnect();
+        m.record_job_panicked();
+        let text = m.render(&[], &[]);
+        assert!(text.contains("ermesd_cancelled_deadline_total 2"), "{text}");
+        assert!(text.contains("ermesd_cancelled_disconnect_total 1"));
+        assert!(text.contains("ermesd_jobs_panicked_total 1"));
     }
 }

@@ -37,18 +37,25 @@
 //! `design_cache_capacity * cache_capacity` entries regardless of uptime.
 
 use crate::commands::{
-    cmd_analyze_cached, cmd_explore_cached, cmd_order, cmd_sweep_cached, CliError,
+    cmd_analyze_cancellable, cmd_explore_cancellable, cmd_order, cmd_sweep_cancellable, CliError,
 };
 use crate::http::{read_request, ReadError, Request, Response};
 use crate::metrics::Metrics;
 use crate::spec::SystemSpec;
 use ermes::{CacheStats, EngineCache};
+use parx::{CancelReason, CancelToken};
 use std::collections::HashMap;
 use std::io::{self, BufReader, Write as _};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
+
+/// How often the connection thread wakes while its job runs to poll the
+/// socket for a client disconnect. Bounds disconnect-detection latency;
+/// cancellation latency itself is additionally bounded by the job's
+/// innermost polling loop.
+const DISCONNECT_POLL_INTERVAL: Duration = Duration::from_millis(100);
 
 /// Configuration of a [`Server`].
 #[derive(Debug, Clone)]
@@ -140,7 +147,8 @@ impl CacheLru {
     }
 }
 
-/// Why an analysis request was not executed.
+/// Why an analysis request was not executed (or executed but produced
+/// no result).
 enum Shed {
     /// The admission queue was full.
     QueueFull,
@@ -148,8 +156,9 @@ enum Shed {
     Deadline,
     /// The server is draining.
     ShuttingDown,
-    /// The worker executing the job disappeared (panic).
-    WorkerLost,
+    /// The job panicked on its worker. The panic was caught by the pool,
+    /// the worker was respawned, and only this request is affected.
+    JobPanicked,
 }
 
 struct Inner {
@@ -167,10 +176,17 @@ struct Inner {
 }
 
 impl Inner {
-    /// Runs `job` on the worker pool, waiting for its result.
+    /// Runs `job` on the worker pool, waiting for its result. While the
+    /// job runs, the connection socket (when given) is polled for EOF so
+    /// a client that hangs up cancels its own in-flight work via
+    /// `cancel`; the pool worker is never abandoned — this always waits
+    /// for the job to yield (a cancelled job yields within one polling
+    /// iteration of its innermost loop).
     fn run_job<T: Send + 'static>(
         &self,
         deadline: Option<Instant>,
+        cancel: &CancelToken,
+        conn: Option<&TcpStream>,
         job: impl FnOnce() -> T + Send + 'static,
     ) -> Result<T, Shed> {
         let (tx, rx) = mpsc::channel();
@@ -188,8 +204,46 @@ impl Inner {
             })
             .map_err(|_| Shed::QueueFull)?;
         }
-        rx.recv().unwrap_or(Err(Shed::WorkerLost))
+        loop {
+            match rx.recv_timeout(DISCONNECT_POLL_INTERVAL) {
+                Ok(result) => return result,
+                // The sender was dropped without sending: the job
+                // panicked mid-execution (the pool caught it and
+                // respawned the worker).
+                Err(mpsc::RecvTimeoutError::Disconnected) => return Err(Shed::JobPanicked),
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if peer_disconnected(conn) {
+                        cancel.cancel(CancelReason::Disconnected);
+                        // Keep waiting: the job observes the token and
+                        // returns shortly; the worker slot is freed by
+                        // the job itself, never by walking away.
+                    }
+                }
+            }
+        }
     }
+}
+
+/// Nonblocking EOF probe: true when the client has closed (or reset) the
+/// connection. Pipelined request bytes and quiet-but-open sockets both
+/// report false. `peek` consumes nothing, so a pipelined request is left
+/// intact for the connection loop.
+fn peer_disconnected(conn: Option<&TcpStream>) -> bool {
+    let Some(stream) = conn else {
+        return false;
+    };
+    if stream.set_nonblocking(true).is_err() {
+        return true;
+    }
+    let mut probe = [0u8; 1];
+    let gone = match stream.peek(&mut probe) {
+        Ok(0) => true,
+        Ok(_) => false,
+        Err(e) if e.kind() == io::ErrorKind::WouldBlock => false,
+        Err(_) => true,
+    };
+    let _ = stream.set_nonblocking(false);
+    gone
 }
 
 /// A running analysis service.
@@ -313,7 +367,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream, server_addr: SocketAddr) 
             Ok(req) => {
                 let guard = ActiveGuard::enter(inner);
                 let started = Instant::now();
-                let outcome = route(inner, &req);
+                let outcome = route(inner, &req, Some(&writer));
                 let endpoint = outcome.endpoint;
                 inner
                     .metrics
@@ -370,9 +424,9 @@ impl Outcome {
     }
 }
 
-fn route(inner: &Inner, req: &Request) -> Outcome {
+fn route(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
     match (req.method.as_str(), req.path.as_str()) {
-        ("GET", "/healthz") => Outcome::reply("healthz", Response::text(200, "ok\n")),
+        ("GET", "/healthz") => Outcome::reply("healthz", healthz_response(inner)),
         ("GET", "/metrics") => Outcome::reply("metrics", metrics_response(inner)),
         ("POST", "/shutdown") => Outcome {
             response: Response::text(200, "draining\n"),
@@ -380,10 +434,10 @@ fn route(inner: &Inner, req: &Request) -> Outcome {
             close_after: true,
             initiate_shutdown: true,
         },
-        ("POST", "/analyze") => analysis_endpoint(inner, req, "analyze"),
-        ("POST", "/order") => analysis_endpoint(inner, req, "order"),
-        ("POST", "/explore") => analysis_endpoint(inner, req, "explore"),
-        ("POST", "/sweep") => analysis_endpoint(inner, req, "sweep"),
+        ("POST", "/analyze") => analysis_endpoint(inner, req, "analyze", conn),
+        ("POST", "/order") => analysis_endpoint(inner, req, "order", conn),
+        ("POST", "/explore") => analysis_endpoint(inner, req, "explore", conn),
+        ("POST", "/sweep") => analysis_endpoint(inner, req, "sweep", conn),
         (
             _,
             "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/order" | "/explore" | "/sweep",
@@ -392,11 +446,36 @@ fn route(inner: &Inner, req: &Request) -> Outcome {
     }
 }
 
-fn metrics_response(inner: &Inner) -> Response {
-    let (queue_depth, running, workers) = {
+/// Liveness with worker-pool detail. The first line stays exactly `ok`
+/// (probes and scripts grep for it); the following lines report worker
+/// liveness and restart history. A panicked worker is respawned before
+/// its thread exits, so health stays green across panics — the restart
+/// counter is how an operator notices them.
+fn healthz_response(inner: &Inner) -> Response {
+    let (alive, workers, restarts) = {
         let pool = inner.pool.lock().expect("pool slot poisoned");
-        pool.as_ref()
-            .map_or((0, 0, 0), |p| (p.queue_depth(), p.running(), p.workers()))
+        pool.as_ref().map_or((0, 0, 0), |p| {
+            (p.alive_workers(), p.workers(), p.worker_restarts())
+        })
+    };
+    Response::text(
+        200,
+        format!("ok\nworkers: {alive}/{workers} alive\nworker restarts: {restarts}\n"),
+    )
+}
+
+fn metrics_response(inner: &Inner) -> Response {
+    let (queue_depth, running, workers, alive, restarts) = {
+        let pool = inner.pool.lock().expect("pool slot poisoned");
+        pool.as_ref().map_or((0, 0, 0, 0, 0), |p| {
+            (
+                p.queue_depth(),
+                p.running(),
+                p.workers(),
+                p.alive_workers(),
+                p.worker_restarts(),
+            )
+        })
     };
     let (stats, cache_entries, designs) = {
         let caches = inner.caches.lock().expect("cache lru poisoned");
@@ -415,6 +494,11 @@ fn metrics_response(inner: &Inner) -> Response {
             running as f64,
         ),
         ("ermesd_workers", "Analysis worker threads.", workers as f64),
+        (
+            "ermesd_workers_alive",
+            "Analysis worker threads currently alive (respawn closes any gap).",
+            alive as f64,
+        ),
         (
             "ermesd_design_caches",
             "Distinct base designs with a live engine cache.",
@@ -451,21 +535,31 @@ fn metrics_response(inner: &Inner) -> Response {
             stats.evictions as f64,
         ),
     ];
-    Response::text(200, inner.metrics.render(&gauges))
+    let sampled_counters: Vec<(&str, &str, u64)> = vec![(
+        "ermes_worker_restarts_total",
+        "Pool workers respawned after a job panicked on them.",
+        restarts,
+    )];
+    Response::text(200, inner.metrics.render(&gauges, &sampled_counters))
 }
 
 /// Parses, admits, and executes one analysis request end to end.
-fn analysis_endpoint(inner: &Inner, req: &Request, endpoint: &'static str) -> Outcome {
+fn analysis_endpoint(
+    inner: &Inner,
+    req: &Request,
+    endpoint: &'static str,
+    conn: Option<&TcpStream>,
+) -> Outcome {
     let body = match std::str::from_utf8(&req.body) {
         Ok(text) => text,
         Err(_) => {
             return Outcome::reply(endpoint, Response::text(400, "body is not UTF-8\n"));
         }
     };
-    let spec = match SystemSpec::from_json(body) {
+    let spec = match crate::commands::parse_spec(body) {
         Ok(spec) => spec,
         Err(e) => {
-            return Outcome::reply(endpoint, Response::text(400, format!("json error: {e}\n")));
+            return Outcome::reply(endpoint, Response::text(400, format!("{e}\n")));
         }
     };
     // Validate model-level constraints up front so schema errors never
@@ -483,10 +577,15 @@ fn analysis_endpoint(inner: &Inner, req: &Request, endpoint: &'static str) -> Ou
         .expect("cache lru poisoned")
         .get(&spec.to_json_pretty());
     let deadline = params.deadline;
-    let job = move || run_command(endpoint, &spec, &params, &cache);
-    match inner.run_job(deadline, job) {
-        Ok(Ok(body)) => Outcome::reply(endpoint, Response::text(200, body)),
-        Ok(Err(e)) => Outcome::reply(endpoint, error_response(&e)),
+    // One token per request: it self-cancels when the deadline passes
+    // mid-run, and the connection poll in `run_job` cancels it when the
+    // client hangs up. The job polls it at iteration boundaries.
+    let cancel = CancelToken::with_deadline(deadline);
+    let job_token = cancel.clone();
+    let job = move || run_command(endpoint, &spec, &params, &cache, &job_token);
+    let response = match inner.run_job(deadline, &cancel, conn, job) {
+        Ok(Ok(body)) => Response::text(200, body),
+        Ok(Err(e)) => error_response(inner, &e),
         Err(shed) => {
             let (status, message) = match shed {
                 Shed::QueueFull => {
@@ -498,14 +597,29 @@ fn analysis_endpoint(inner: &Inner, req: &Request, endpoint: &'static str) -> Ou
                     (429, "deadline expired before a worker was free\n")
                 }
                 Shed::ShuttingDown => (503, "server is draining\n"),
-                Shed::WorkerLost => (500, "analysis worker failed\n"),
+                Shed::JobPanicked => {
+                    inner.metrics.record_job_panicked();
+                    (
+                        500,
+                        "analysis worker panicked on this request; worker restarted\n",
+                    )
+                }
             };
             let mut response = Response::text(status, message);
             if status == 429 {
                 response.extra_headers.push(("retry-after", "1".into()));
             }
-            Outcome::reply(endpoint, response)
+            response
         }
+    };
+    // A 499 means the client is gone; drop the connection after the
+    // (best-effort) write instead of waiting for another request.
+    let close_after = response.status == 499;
+    Outcome {
+        response,
+        endpoint,
+        close_after,
+        initiate_shutdown: false,
     }
 }
 
@@ -560,35 +674,80 @@ impl AnalysisParams {
 }
 
 /// Executes one command; the response body composition is the identity
-/// contract documented at the top of this module.
+/// contract documented at the top of this module. Every command polls
+/// `cancel` at its iteration boundaries; with a live token the output is
+/// bit-identical to the plain CLI command.
 fn run_command(
     endpoint: &str,
     spec: &SystemSpec,
     params: &AnalysisParams,
     cache: &EngineCache,
+    cancel: &CancelToken,
 ) -> Result<String, CliError> {
     match endpoint {
-        "analyze" => cmd_analyze_cached(spec, cache),
+        "analyze" => cmd_analyze_cancellable(spec, cache, cancel),
+        // `order` runs one combinatorial pass with no iteration structure
+        // to poll; it is fast enough to always run to completion.
         "order" => {
             let (report, json) = cmd_order(spec)?;
             Ok(format!("{report}{json}\n"))
         }
         "explore" => {
-            let (report, json) = cmd_explore_cached(spec, params.target, params.jobs, cache)?;
+            let (report, json) =
+                cmd_explore_cancellable(spec, params.target, params.jobs, cache, cancel)?;
             Ok(format!("{report}{json}\n"))
         }
-        "sweep" => cmd_sweep_cached(spec, &params.targets, params.jobs, cache),
+        "sweep" => cmd_sweep_cancellable(spec, &params.targets, params.jobs, cache, cancel),
         _ => unreachable!("routed endpoints only"),
     }
 }
 
-fn error_response(e: &CliError) -> Response {
+fn error_response(inner: &Inner, e: &CliError) -> Response {
+    if let CliError::Ermes(ermes::ErmesError::Cancelled {
+        reason,
+        completed,
+        total,
+    }) = e
+    {
+        return cancelled_response(inner, *reason, *completed, *total);
+    }
     match e {
         CliError::Json(_) | CliError::Spec(_) | CliError::Usage(_) => {
             Response::text(400, format!("{e}\n"))
         }
         CliError::Ermes(_) => Response::text(422, format!("{e}\n")),
     }
+}
+
+/// Maps a mid-execution cancellation to its HTTP shape: deadline → 429
+/// (retryable — the work *was* admitted but ran out of time), client
+/// disconnect → 499 (nobody left to answer), shutdown → 503. All three
+/// carry the partial-progress metadata in the body and an
+/// `x-ermes-progress: completed/total` header.
+fn cancelled_response(
+    inner: &Inner,
+    reason: CancelReason,
+    completed: usize,
+    total: usize,
+) -> Response {
+    let body = format!("cancelled ({reason}) after {completed} of {total} steps\n");
+    let mut response = match reason {
+        CancelReason::Deadline => {
+            inner.metrics.record_cancelled_deadline();
+            let mut r = Response::text(429, body);
+            r.extra_headers.push(("retry-after", "1".into()));
+            r
+        }
+        CancelReason::Disconnected => {
+            inner.metrics.record_cancelled_disconnect();
+            Response::text(499, body)
+        }
+        CancelReason::Shutdown => Response::text(503, body),
+    };
+    response
+        .extra_headers
+        .push(("x-ermes-progress", format!("{completed}/{total}")));
+    response
 }
 
 #[cfg(test)]

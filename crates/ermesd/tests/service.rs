@@ -381,7 +381,12 @@ fn healthz_and_keep_alive_roundtrip() {
         }
         let mut body = vec![0u8; content_length];
         reader.read_exact(&mut body).expect("body");
-        assert_eq!(body, b"ok\n");
+        // First line is the stable probe token; the rest reports worker
+        // liveness and restart history.
+        let text = String::from_utf8(body).expect("utf-8");
+        assert_eq!(text.lines().next(), Some("ok"), "{text}");
+        assert!(text.contains("alive"), "{text}");
+        assert!(text.contains("worker restarts: 0"), "{text}");
     }
     shutdown(addr, handle);
 }

@@ -75,6 +75,7 @@ fn mpeg2_cached_exploration_matches_fresh() {
     let opts = ExploreOptions {
         jobs: 2,
         cache: Some(&cache),
+        cancel: None,
     };
     let cached = ermes::explore_with(design, config, &opts).expect("explores");
     assert_eq!(cached.iterations, fresh.iterations);

@@ -1,0 +1,241 @@
+//! Cooperative cancellation for long-running jobs.
+//!
+//! A [`CancelToken`] is a cheap, cloneable handle shared between the
+//! party that *requests* cancellation (a server noticing a closed
+//! connection, a deadline sweep) and the computation that must *observe*
+//! it. The computation polls [`CancelToken::check`] at iteration
+//! boundaries — Howard policy-improvement rounds, exploration-loop
+//! iterations, per-target sweep steps — so cancellation latency is
+//! bounded by one iteration of the innermost loop that polls, never by
+//! the full run time of the job.
+//!
+//! The token can carry an optional **deadline**: once the instant
+//! passes, any poll latches the token into the cancelled state with
+//! [`CancelReason::Deadline`]. This makes deadline enforcement
+//! independent of any external watcher thread — the computation cancels
+//! itself the next time it looks.
+//!
+//! Built on one `AtomicU8` behind an `Arc`; no new dependencies.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Why a computation was cancelled.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CancelReason {
+    /// The request's deadline passed while the job was running.
+    Deadline,
+    /// The client hung up (EOF on the connection) before the result
+    /// was ready; nobody is left to read the answer.
+    Disconnected,
+    /// The service is shutting down.
+    Shutdown,
+}
+
+impl fmt::Display for CancelReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            CancelReason::Deadline => "deadline expired",
+            CancelReason::Disconnected => "client disconnected",
+            CancelReason::Shutdown => "service shutting down",
+        })
+    }
+}
+
+/// The error a cancelled computation returns from its polling sites.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Cancelled {
+    /// Why the computation was told to stop.
+    pub reason: CancelReason,
+}
+
+impl fmt::Display for Cancelled {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cancelled ({})", self.reason)
+    }
+}
+
+impl std::error::Error for Cancelled {}
+
+// Flag encoding: 0 = live, otherwise a CancelReason. First cancel wins;
+// later requests (a deadline firing after a disconnect, say) are no-ops
+// so the reported reason is the one that actually stopped the work.
+const LIVE: u8 = 0;
+
+fn encode(reason: CancelReason) -> u8 {
+    match reason {
+        CancelReason::Deadline => 1,
+        CancelReason::Disconnected => 2,
+        CancelReason::Shutdown => 3,
+    }
+}
+
+fn decode(flag: u8) -> Option<CancelReason> {
+    match flag {
+        1 => Some(CancelReason::Deadline),
+        2 => Some(CancelReason::Disconnected),
+        3 => Some(CancelReason::Shutdown),
+        _ => None,
+    }
+}
+
+struct TokenInner {
+    flag: AtomicU8,
+    deadline: Option<Instant>,
+}
+
+/// A cloneable cancellation handle shared between a canceller and a
+/// cooperating computation.
+///
+/// ```
+/// use parx::{CancelReason, CancelToken};
+///
+/// let token = CancelToken::new();
+/// assert!(token.check().is_ok());
+/// token.cancel(CancelReason::Disconnected);
+/// assert_eq!(token.check().unwrap_err().reason, CancelReason::Disconnected);
+/// ```
+#[derive(Clone)]
+pub struct CancelToken {
+    inner: Arc<TokenInner>,
+}
+
+impl fmt::Debug for CancelToken {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("CancelToken")
+            .field("cancelled", &self.is_cancelled())
+            .field("deadline", &self.inner.deadline)
+            .finish()
+    }
+}
+
+impl Default for CancelToken {
+    fn default() -> Self {
+        CancelToken::new()
+    }
+}
+
+impl CancelToken {
+    /// A live token with no deadline; cancels only on explicit
+    /// [`cancel`](CancelToken::cancel).
+    #[must_use]
+    pub fn new() -> CancelToken {
+        CancelToken::with_deadline(None)
+    }
+
+    /// A live token that self-cancels (reason [`CancelReason::Deadline`])
+    /// on the first poll after `deadline` passes. `None` behaves like
+    /// [`CancelToken::new`].
+    #[must_use]
+    pub fn with_deadline(deadline: Option<Instant>) -> CancelToken {
+        CancelToken {
+            inner: Arc::new(TokenInner {
+                flag: AtomicU8::new(LIVE),
+                deadline,
+            }),
+        }
+    }
+
+    /// Requests cancellation. The first reason to arrive sticks; later
+    /// calls are no-ops.
+    pub fn cancel(&self, reason: CancelReason) {
+        let _ = self.inner.flag.compare_exchange(
+            LIVE,
+            encode(reason),
+            Ordering::AcqRel,
+            Ordering::Acquire,
+        );
+    }
+
+    /// The reason this token was cancelled, if it has been. Latches the
+    /// deadline into the flag when it has passed, so the reason observed
+    /// here and by later polls agree.
+    #[must_use]
+    pub fn is_cancelled(&self) -> Option<CancelReason> {
+        if let Some(reason) = decode(self.inner.flag.load(Ordering::Acquire)) {
+            return Some(reason);
+        }
+        if self.inner.deadline.is_some_and(|d| Instant::now() > d) {
+            self.cancel(CancelReason::Deadline);
+            // Re-read: an explicit cancel may have raced us in; the
+            // latched value is authoritative either way.
+            return decode(self.inner.flag.load(Ordering::Acquire));
+        }
+        None
+    }
+
+    /// Polls the token: `Err(Cancelled)` once cancellation was requested
+    /// or the deadline passed. This is the call loops sprinkle at their
+    /// iteration boundaries.
+    ///
+    /// # Errors
+    ///
+    /// [`Cancelled`] carrying the first [`CancelReason`] that fired.
+    pub fn check(&self) -> Result<(), Cancelled> {
+        match self.is_cancelled() {
+            Some(reason) => Err(Cancelled { reason }),
+            None => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn fresh_token_is_live() {
+        let t = CancelToken::new();
+        assert_eq!(t.is_cancelled(), None);
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn first_cancel_reason_wins() {
+        let t = CancelToken::new();
+        t.cancel(CancelReason::Disconnected);
+        t.cancel(CancelReason::Shutdown);
+        assert_eq!(t.is_cancelled(), Some(CancelReason::Disconnected));
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let t = CancelToken::new();
+        let u = t.clone();
+        t.cancel(CancelReason::Shutdown);
+        assert_eq!(u.check().unwrap_err().reason, CancelReason::Shutdown);
+    }
+
+    #[test]
+    fn deadline_latches_on_poll() {
+        let t = CancelToken::with_deadline(Some(Instant::now() - Duration::from_millis(1)));
+        assert_eq!(t.is_cancelled(), Some(CancelReason::Deadline));
+        // Latched: stays Deadline even if someone cancels afterwards.
+        t.cancel(CancelReason::Disconnected);
+        assert_eq!(t.is_cancelled(), Some(CancelReason::Deadline));
+    }
+
+    #[test]
+    fn future_deadline_stays_live() {
+        let t = CancelToken::with_deadline(Some(Instant::now() + Duration::from_secs(3600)));
+        assert!(t.check().is_ok());
+    }
+
+    #[test]
+    fn explicit_cancel_beats_pending_deadline() {
+        let t = CancelToken::with_deadline(Some(Instant::now() + Duration::from_secs(3600)));
+        t.cancel(CancelReason::Disconnected);
+        assert_eq!(t.is_cancelled(), Some(CancelReason::Disconnected));
+    }
+
+    #[test]
+    fn cancelled_error_displays_reason() {
+        let err = Cancelled {
+            reason: CancelReason::Deadline,
+        };
+        assert_eq!(err.to_string(), "cancelled (deadline expired)");
+    }
+}

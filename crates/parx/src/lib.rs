@@ -12,9 +12,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod cancel;
+pub mod faultpoint;
 mod pool;
 
-pub use pool::{Pool, PoolFull};
+pub use cancel::{CancelReason, CancelToken, Cancelled};
+pub use faultpoint::Fault;
+pub use pool::{PanicRecord, Pool, PoolFull};
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::mpsc;

@@ -12,9 +12,21 @@
 //! Shutdown is *draining*: no new jobs are admitted, every job already
 //! queued still runs, and the workers are joined before
 //! [`Pool::shutdown`] returns — the guarantee a graceful daemon needs.
+//!
+//! Jobs are **panic-isolated**: each runs under `catch_unwind`, so a
+//! panicking job takes down neither its worker's siblings nor the jobs
+//! queued behind it. The worker that caught the panic retires (its
+//! stack just unwound through arbitrary job state) and a fresh
+//! replacement is spawned *before* the retiring worker releases its
+//! drain accounting, so pool capacity never dips and a draining
+//! [`Pool::shutdown`] can never strand queued jobs. Each caught panic
+//! is recorded as a [`PanicRecord`] and counted in
+//! [`Pool::worker_restarts`] for the service's metrics.
 
 use std::collections::VecDeque;
 use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 
@@ -28,6 +40,30 @@ pub struct PoolFull(pub Box<dyn FnOnce() + Send + 'static>);
 impl fmt::Debug for PoolFull {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str("PoolFull(..)")
+    }
+}
+
+/// One caught job panic: which worker caught it and the stringified
+/// payload, for diagnostics and the shutdown report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicRecord {
+    /// Index of the worker (stable across respawns: the replacement
+    /// inherits the slot) that was running the job.
+    pub worker: usize,
+    /// The panic payload rendered as text, or a placeholder when the
+    /// payload was not a string.
+    pub payload: String,
+}
+
+/// Renders a caught panic payload for humans: the common `&str` /
+/// `String` payloads verbatim, anything exotic as a placeholder.
+fn payload_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(text) = payload.downcast_ref::<&str>() {
+        (*text).to_string()
+    } else if let Some(text) = payload.downcast_ref::<String>() {
+        text.clone()
+    } else {
+        "<non-string panic payload>".to_string()
     }
 }
 
@@ -45,6 +81,17 @@ struct Shared {
     /// Signals the drainer that a job finished.
     done: Condvar,
     capacity: usize,
+    /// Current worker handles, indexed by worker slot. A worker that
+    /// catches a panic replaces its own entry with its successor's
+    /// handle and parks its old handle in `retired`.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Handles of workers that retired after catching a panic; joined
+    /// (and long since exited) at shutdown.
+    retired: Mutex<Vec<JoinHandle<()>>>,
+    /// Panics caught in the worker loop, oldest first.
+    panics: Mutex<Vec<PanicRecord>>,
+    /// Total workers respawned after catching a panic.
+    restarts: AtomicU64,
 }
 
 /// A fixed pool of worker threads over a bounded job queue.
@@ -67,7 +114,7 @@ struct Shared {
 /// ```
 pub struct Pool {
     shared: Arc<Shared>,
-    workers: Vec<JoinHandle<()>>,
+    worker_count: usize,
 }
 
 impl Pool {
@@ -90,16 +137,20 @@ impl Pool {
             available: Condvar::new(),
             done: Condvar::new(),
             capacity,
+            handles: Mutex::new(Vec::with_capacity(workers)),
+            retired: Mutex::new(Vec::new()),
+            panics: Mutex::new(Vec::new()),
+            restarts: AtomicU64::new(0),
         });
-        let handles = (0..workers)
-            .map(|_| {
-                let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&shared))
-            })
-            .collect();
+        {
+            let mut handles = shared.handles.lock().expect("pool poisoned");
+            for index in 0..workers {
+                handles.push(spawn_worker(&shared, index));
+            }
+        }
         Pool {
             shared,
-            workers: handles,
+            worker_count: workers,
         }
     }
 
@@ -135,10 +186,37 @@ impl Pool {
         self.shared.queue.lock().expect("pool poisoned").running
     }
 
-    /// Number of worker threads.
+    /// Number of worker threads (the configured size; respawns keep it
+    /// constant).
     #[must_use]
     pub fn workers(&self) -> usize {
-        self.workers.len()
+        self.worker_count
+    }
+
+    /// Number of worker threads currently alive. Transiently this can
+    /// read low while a replacement worker is being spawned, but a
+    /// healthy pool always returns to [`Pool::workers`].
+    #[must_use]
+    pub fn alive_workers(&self) -> usize {
+        self.shared
+            .handles
+            .lock()
+            .expect("pool poisoned")
+            .iter()
+            .filter(|handle| !handle.is_finished())
+            .count()
+    }
+
+    /// Total workers respawned after a job panicked on them.
+    #[must_use]
+    pub fn worker_restarts(&self) -> u64 {
+        self.shared.restarts.load(Ordering::Relaxed)
+    }
+
+    /// The panics caught in the worker loop so far, oldest first.
+    #[must_use]
+    pub fn caught_panics(&self) -> Vec<PanicRecord> {
+        self.shared.panics.lock().expect("pool poisoned").clone()
     }
 
     /// Drains and stops the pool: rejects new submissions, waits for
@@ -146,7 +224,9 @@ impl Pool {
     ///
     /// # Panics
     ///
-    /// Re-raises a worker panic on join.
+    /// If a worker thread itself died of an uncaught panic (job panics
+    /// are caught in the loop, so this means a bug in the pool), panics
+    /// with a message naming the worker and its panic payload.
     pub fn shutdown(self) {
         {
             let mut queue = self.shared.queue.lock().expect("pool poisoned");
@@ -157,13 +237,35 @@ impl Pool {
             }
         }
         self.shared.available.notify_all();
-        for handle in self.workers {
-            handle.join().expect("pool worker panicked");
+        let handles = std::mem::take(&mut *self.shared.handles.lock().expect("pool poisoned"));
+        for (index, handle) in handles.into_iter().enumerate() {
+            if let Err(payload) = handle.join() {
+                panic!(
+                    "pool worker {index} panicked outside a job: {}",
+                    payload_text(payload.as_ref())
+                );
+            }
+        }
+        let retired = std::mem::take(&mut *self.shared.retired.lock().expect("pool poisoned"));
+        for handle in retired {
+            // Retired workers caught their job's panic and returned
+            // normally; a join error here is a pool bug.
+            if let Err(payload) = handle.join() {
+                panic!(
+                    "retired pool worker panicked outside a job: {}",
+                    payload_text(payload.as_ref())
+                );
+            }
         }
     }
 }
 
-fn worker_loop(shared: &Shared) {
+fn spawn_worker(shared: &Arc<Shared>, index: usize) -> JoinHandle<()> {
+    let shared = Arc::clone(shared);
+    std::thread::spawn(move || worker_loop(&shared, index))
+}
+
+fn worker_loop(shared: &Arc<Shared>, index: usize) {
     loop {
         let job = {
             let mut queue = shared.queue.lock().expect("pool poisoned");
@@ -178,13 +280,58 @@ fn worker_loop(shared: &Shared) {
                 queue = shared.available.wait(queue).expect("pool poisoned");
             }
         };
-        job();
+        // Isolate the job: a panic is caught here, recorded, and the
+        // worker retires in favour of a fresh replacement. AssertUnwindSafe
+        // is sound because neither the boxed job nor anything it captures
+        // is observed again after an unwind.
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            let _ = crate::faultpoint::hit("worker.job");
+            job();
+        }));
+        let panicked = match caught {
+            Ok(()) => false,
+            Err(payload) => {
+                shared
+                    .panics
+                    .lock()
+                    .expect("pool poisoned")
+                    .push(PanicRecord {
+                        worker: index,
+                        payload: payload_text(payload.as_ref()),
+                    });
+                shared.restarts.fetch_add(1, Ordering::Relaxed);
+                // Respawn BEFORE releasing the drain accounting below:
+                // between the two, `running` still counts this job, so a
+                // concurrent shutdown cannot conclude the pool is idle
+                // while its worker set is one short — queued jobs always
+                // have a live worker coming for them.
+                let replacement = spawn_worker(shared, index);
+                let mut handles = shared.handles.lock().expect("pool poisoned");
+                if let Some(slot) = handles.get_mut(index) {
+                    let old = std::mem::replace(slot, replacement);
+                    shared.retired.lock().expect("pool poisoned").push(old);
+                } else {
+                    // Shutdown already took the handles; no successor is
+                    // needed (the queue is drained) — retire both.
+                    shared
+                        .retired
+                        .lock()
+                        .expect("pool poisoned")
+                        .push(replacement);
+                }
+                true
+            }
+        };
         let mut queue = shared.queue.lock().expect("pool poisoned");
         queue.running -= 1;
         let idle = queue.jobs.is_empty() && queue.running == 0;
         drop(queue);
         if idle {
             shared.done.notify_all();
+        }
+        if panicked {
+            // Retire: the replacement spawned above owns this slot now.
+            return;
         }
     }
 }
@@ -269,6 +416,101 @@ mod tests {
     fn zero_workers_means_all_cores() {
         let pool = Pool::new(0, 4);
         assert_eq!(pool.workers(), crate::max_jobs());
+        pool.shutdown();
+    }
+
+    #[test]
+    fn panicking_job_does_not_poison_the_pool() {
+        let pool = Pool::new(2, 32);
+        let count = Arc::new(AtomicUsize::new(0));
+        for i in 0..20 {
+            let count = Arc::clone(&count);
+            pool.try_submit(move || {
+                assert!(i != 7, "job 7 blows up");
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("room");
+        }
+        pool.shutdown(); // must not re-raise: the panic was isolated
+        assert_eq!(count.load(Ordering::SeqCst), 19, "the other 19 ran");
+    }
+
+    #[test]
+    fn caught_panics_are_recorded_and_counted() {
+        let pool = Pool::new(1, 8);
+        pool.try_submit(|| panic!("first failure")).expect("room");
+        pool.try_submit(|| {}).expect("room");
+        pool.try_submit(|| panic!("second failure")).expect("room");
+        // Wait for the queue to drain so the records are in.
+        while pool.queue_depth() > 0 || pool.running() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.worker_restarts(), 2);
+        let panics = pool.caught_panics();
+        assert_eq!(panics.len(), 2);
+        assert_eq!(panics[0].worker, 0);
+        assert_eq!(panics[0].payload, "first failure");
+        assert_eq!(panics[1].payload, "second failure");
+        pool.shutdown();
+    }
+
+    #[test]
+    fn respawned_worker_keeps_serving_jobs() {
+        let pool = Pool::new(1, 64);
+        pool.try_submit(|| panic!("kill the only worker"))
+            .expect("room");
+        let count = Arc::new(AtomicUsize::new(0));
+        for _ in 0..10 {
+            let count = Arc::clone(&count);
+            pool.try_submit(move || {
+                count.fetch_add(1, Ordering::SeqCst);
+            })
+            .expect("room");
+        }
+        while pool.queue_depth() > 0 || pool.running() > 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            count.load(Ordering::SeqCst),
+            10,
+            "replacement worker drained the queue"
+        );
+        assert_eq!(pool.worker_restarts(), 1);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn alive_workers_recovers_after_a_panic() {
+        let pool = Pool::new(2, 8);
+        assert_eq!(pool.alive_workers(), 2);
+        pool.try_submit(|| panic!("die")).expect("room");
+        while pool.worker_restarts() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // The replacement is installed before the retiree exits, so the
+        // slot count never drops below the configured size for long.
+        for _ in 0..100 {
+            if pool.alive_workers() == 2 {
+                break;
+            }
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(pool.alive_workers(), 2);
+        pool.shutdown();
+    }
+
+    #[test]
+    fn non_string_payloads_get_a_placeholder() {
+        let pool = Pool::new(1, 4);
+        pool.try_submit(|| std::panic::panic_any(42_u32))
+            .expect("room");
+        while pool.worker_restarts() == 0 {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(
+            pool.caught_panics()[0].payload,
+            "<non-string panic payload>"
+        );
         pool.shutdown();
     }
 }

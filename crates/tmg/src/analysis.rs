@@ -112,27 +112,62 @@ pub fn analyze(graph: &Tmg) -> Verdict {
 /// is therefore bit-identical at any thread count.
 #[must_use]
 pub fn analyze_with_jobs(graph: &Tmg, jobs: usize) -> Verdict {
+    analyze_inner(graph, jobs, None).expect("no cancel token, cannot be cancelled")
+}
+
+/// [`analyze_with_jobs`], but cooperatively cancellable: every per-SCC
+/// Howard solve polls `cancel` between policy-improvement rounds, so a
+/// fired token stops the analysis within one round per in-flight
+/// component rather than at solve completion.
+///
+/// On the `Ok` path the verdict is bit-identical to
+/// [`analyze_with_jobs`] at any thread count.
+///
+/// # Errors
+///
+/// [`Cancelled`](parx::Cancelled) when the token fired before the
+/// analysis finished. A cancelled analysis never falls back to the
+/// (uncancellable) parametric solver.
+pub fn analyze_with_cancel(
+    graph: &Tmg,
+    jobs: usize,
+    cancel: &parx::CancelToken,
+) -> Result<Verdict, parx::Cancelled> {
+    analyze_inner(graph, jobs, Some(cancel))
+}
+
+fn analyze_inner(
+    graph: &Tmg,
+    jobs: usize,
+    cancel: Option<&parx::CancelToken>,
+) -> Result<Verdict, parx::Cancelled> {
     if let Some(witness) = find_token_free_cycle(graph) {
-        return Verdict::Deadlock { witness };
+        return Ok(Verdict::Deadlock { witness });
     }
     let rg = RatioGraph::from_tmg(graph);
     let scc = tarjan(&rg);
     let components = scc.members();
     let results = parx::par_map(jobs, &components, |_, members| {
-        howard_on_component(&rg, &scc, members)
+        howard_on_component(&rg, &scc, members, cancel)
     });
     let mut best: Option<CycleRatioResult> = None;
-    for r in results.into_iter().flatten() {
-        if best.as_ref().is_none_or(|b| r.ratio > b.ratio) {
-            best = Some(r);
+    for r in results {
+        if let Some(r) = r? {
+            if best.as_ref().is_none_or(|b| r.ratio > b.ratio) {
+                best = Some(r);
+            }
         }
     }
     // Fallback: if Howard declined (iteration cap) we still owe an exact
-    // answer. The parametric solver is slower but unconditional.
+    // answer. The parametric solver is slower but unconditional — poll
+    // the token once more before committing to it.
     if best.is_none() && crate::parametric::find_any_cycle(&rg).is_some() {
+        if let Some(token) = cancel {
+            token.check()?;
+        }
         best = max_cycle_ratio_parametric(&rg);
     }
-    match best {
+    Ok(match best {
         None => Verdict::Acyclic,
         Some(result) => {
             let places: Vec<PlaceId> = result
@@ -160,7 +195,7 @@ pub fn analyze_with_jobs(graph: &Tmg, jobs: usize) -> Verdict {
                 },
             }
         }
-    }
+    })
 }
 
 /// Exact cycle time computed with the parametric baseline solver instead
@@ -305,6 +340,23 @@ mod tests {
             assert_eq!(analyze_with_jobs(&g, jobs), serial, "jobs = {jobs}");
         }
         assert_eq!(analyze(&g), serial);
+    }
+
+    #[test]
+    fn cancellable_analysis_matches_plain_analysis_when_live() {
+        use parx::{CancelReason, CancelToken};
+        let mut b = TmgBuilder::new();
+        let a = b.add_transition("a", 3);
+        let c = b.add_transition("c", 2);
+        b.add_place(a, c, 1);
+        b.add_place(c, a, 0);
+        let g = b.build().expect("valid");
+        let token = CancelToken::new();
+        let verdict = analyze_with_cancel(&g, 1, &token).expect("token is live");
+        assert_eq!(verdict, analyze(&g), "same verdict, bit-identical");
+        token.cancel(CancelReason::Deadline);
+        let err = analyze_with_cancel(&g, 1, &token).expect_err("token fired");
+        assert_eq!(err.reason, CancelReason::Deadline);
     }
 
     #[test]

@@ -17,6 +17,7 @@
 use crate::ratio::Ratio;
 use crate::ratio_graph::{EdgeIdx, RatioGraph};
 use crate::scc::SccDecomposition;
+use parx::{CancelToken, Cancelled};
 
 /// A critical cycle with its exact ratio.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -34,14 +35,17 @@ fn reduced_cost(delay: i64, tokens: i64, ratio: Ratio) -> i128 {
 /// Runs Howard's algorithm on one strongly connected component.
 ///
 /// `members` lists the vertices of the component; all cycles through them
-/// are assumed to have positive token sums. Returns `None` if the
+/// are assumed to have positive token sums. Returns `Ok(None)` if the
 /// component contains no cycle (single vertex without self-loop) or if the
-/// iteration cap is hit (callers fall back to the parametric solver).
+/// iteration cap is hit (callers fall back to the parametric solver), and
+/// `Err(Cancelled)` when `cancel` fires between policy-improvement rounds —
+/// the poll granularity that bounds cancellation latency to one round.
 pub(crate) fn howard_on_component(
     graph: &RatioGraph,
     scc: &SccDecomposition,
     members: &[usize],
-) -> Option<CycleRatioResult> {
+    cancel: Option<&CancelToken>,
+) -> Result<Option<CycleRatioResult>, Cancelled> {
     let k = members.len();
     let comp = scc.component[members[0]];
     // Local relabeling.
@@ -59,7 +63,7 @@ pub(crate) fn howard_on_component(
         }
     }
     if !has_edge {
-        return None;
+        return Ok(None);
     }
     // In a non-trivial SCC every vertex has an internal out-edge; a trivial
     // SCC (single vertex) only qualifies with a self-loop, checked above.
@@ -74,6 +78,9 @@ pub(crate) fn howard_on_component(
     let max_iterations = 64 + 8 * k;
 
     for _ in 0..max_iterations {
+        if let Some(token) = cancel {
+            token.check()?;
+        }
         // --- Evaluate the current policy. -------------------------------
         state.iter_mut().for_each(|s| *s = 0);
         for start in 0..k {
@@ -184,10 +191,10 @@ pub(crate) fn howard_on_component(
             let best = (0..k)
                 .max_by(|&a, &b| lambda[a].cmp(&lambda[b]))
                 .expect("component non-empty");
-            return Some(extract_policy_cycle(graph, &local, &policy, best));
+            return Ok(Some(extract_policy_cycle(graph, &local, &policy, best)));
         }
     }
-    None
+    Ok(None)
 }
 
 /// Follows the policy from `start` until a vertex repeats and returns the
@@ -228,13 +235,28 @@ mod tests {
         let scc = tarjan(g);
         let mut best: Option<CycleRatioResult> = None;
         for members in scc.members() {
-            if let Some(r) = howard_on_component(g, &scc, &members) {
+            if let Some(r) = howard_on_component(g, &scc, &members, None).expect("not cancelled") {
                 if best.as_ref().is_none_or(|b| r.ratio > b.ratio) {
                     best = Some(r);
                 }
             }
         }
         best
+    }
+
+    #[test]
+    fn cancelled_token_stops_the_solve() {
+        use parx::{CancelReason, CancelToken};
+        let mut g = RatioGraph::with_nodes(2);
+        g.add_edge(0, 1, 1, 1, None);
+        g.add_edge(1, 0, 1, 1, None);
+        let scc = tarjan(&g);
+        let members = scc.members();
+        let token = CancelToken::new();
+        token.cancel(CancelReason::Disconnected);
+        let err = howard_on_component(&g, &scc, &members[0], Some(&token))
+            .expect_err("token already cancelled");
+        assert_eq!(err.reason, CancelReason::Disconnected);
     }
 
     #[test]

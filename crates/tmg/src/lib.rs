@@ -66,7 +66,9 @@ mod ratio_graph;
 mod scc;
 mod sim;
 
-pub use analysis::{analyze, analyze_parametric, analyze_with_jobs, CriticalCycle, Verdict};
+pub use analysis::{
+    analyze, analyze_parametric, analyze_with_cancel, analyze_with_jobs, CriticalCycle, Verdict,
+};
 pub use deadlock::find_token_free_cycle;
 pub use dot::to_dot;
 pub use error::TmgError;
@@ -91,7 +93,7 @@ mod oracle_tests {
         let scc = tarjan(g);
         let mut best: Option<Ratio> = None;
         for members in scc.members() {
-            if let Some(r) = howard_on_component(g, &scc, &members) {
+            if let Some(r) = howard_on_component(g, &scc, &members, None).expect("not cancelled") {
                 if best.is_none_or(|b| r.ratio > b) {
                     best = Some(r.ratio);
                 }
