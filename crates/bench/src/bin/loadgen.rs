@@ -170,9 +170,10 @@ fn post(
     ))
 }
 
-/// Per-phase outcome of one connection.
+/// Per-phase outcome of one connection. Latencies carry the workload
+/// item index so the phase report can split them per endpoint.
 struct ConnStats {
-    latencies_us: Vec<u64>,
+    latencies_us: Vec<(usize, u64)>,
     mismatches: usize,
     failures: usize,
     retries: usize,
@@ -252,9 +253,10 @@ fn drive_connection_chaos(addr: &str, items: &[WorkItem], requests: usize, id: u
             };
             match post(writer, reader, &item.path, &item.body) {
                 Ok((200, body)) => {
-                    stats
-                        .latencies_us
-                        .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                    stats.latencies_us.push((
+                        i % items.len(),
+                        u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                    ));
                     if body != item.expected {
                         stats.mismatches += 1;
                         eprintln!(
@@ -304,9 +306,10 @@ fn drive_connection(addr: &str, items: &[WorkItem], requests: usize) -> ConnStat
         let started = Instant::now();
         match post(&mut writer, &mut reader, &item.path, &item.body) {
             Ok((200, body)) => {
-                stats
-                    .latencies_us
-                    .push(u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX));
+                stats.latencies_us.push((
+                    i % items.len(),
+                    u64::try_from(started.elapsed().as_micros()).unwrap_or(u64::MAX),
+                ));
                 if body != item.expected {
                     stats.mismatches += 1;
                     eprintln!(
@@ -338,6 +341,138 @@ fn percentile(sorted_us: &[u64], p: f64) -> f64 {
     sorted_us[rank] as f64 / 1000.0
 }
 
+/// Prints one latency histogram per workload endpoint, bucketed on the
+/// same logarithmic bounds the daemon uses for `ermesd_request_seconds`
+/// ([`ermesd::metrics::LATENCY_BUCKETS`]) so the client-side view lines
+/// up with a `/metrics` scrape. Empty buckets are elided.
+fn print_endpoint_histograms(items: &[WorkItem], stats: &[ConnStats]) {
+    const BUCKETS: [f64; 14] = ermesd::metrics::LATENCY_BUCKETS;
+    for (index, item) in items.iter().enumerate() {
+        let mut counts = [0u64; BUCKETS.len() + 1];
+        let mut total = 0u64;
+        let mut sum_us = 0u64;
+        for &(i, us) in stats.iter().flat_map(|s| &s.latencies_us) {
+            if i != index {
+                continue;
+            }
+            let seconds = us as f64 / 1e6;
+            let bucket = BUCKETS
+                .iter()
+                .position(|&b| seconds <= b)
+                .unwrap_or(BUCKETS.len());
+            counts[bucket] += 1;
+            total += 1;
+            sum_us += us;
+        }
+        if total == 0 {
+            continue;
+        }
+        println!(
+            "       {:<16} {total} ok, mean {:.2} ms",
+            item.label,
+            sum_us as f64 / total as f64 / 1000.0
+        );
+        let widest = counts.iter().copied().max().unwrap_or(1).max(1);
+        for (bucket, &count) in counts.iter().enumerate() {
+            if count == 0 {
+                continue;
+            }
+            let le = if bucket < BUCKETS.len() {
+                format!("{:>8.4}", BUCKETS[bucket])
+            } else {
+                "    +Inf".into()
+            };
+            let bar = "#".repeat((count * 32).div_ceil(widest) as usize);
+            println!("         le={le}s {count:>5}  {bar}");
+        }
+    }
+}
+
+/// Sends one keep-alive GET and reads the full response body.
+fn get(addr: &str, path: &str) -> std::io::Result<String> {
+    let (mut writer, mut reader) = connect(addr)?;
+    write!(
+        writer,
+        "GET {path} HTTP/1.1\r\ncontent-length: 0\r\nconnection: close\r\n\r\n"
+    )?;
+    writer.flush()?;
+    let mut status_line = String::new();
+    if reader.read_line(&mut status_line)? == 0 {
+        return Err(std::io::Error::other("connection closed before response"));
+    }
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        if reader.read_line(&mut line)? == 0 {
+            return Err(std::io::Error::other("connection closed mid-headers"));
+        }
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v
+                .trim()
+                .parse()
+                .map_err(|_| std::io::Error::other("bad content-length"))?;
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    String::from_utf8(body).map_err(|_| std::io::Error::other("non-UTF-8 body"))
+}
+
+/// Scrapes `/metrics` and prints the engine's per-phase time split
+/// (`ermes_phase_seconds_sum`/`_count`): where the daemon actually spent
+/// the workload's compute, as opposed to the client-side request
+/// latencies above. Degrades to a notice if the scrape fails (e.g. a
+/// remote daemon built without tracing).
+fn print_phase_report(addr: &str) {
+    let body = match get(addr, "/metrics") {
+        Ok(body) => body,
+        Err(e) => {
+            println!("\nno per-phase report: /metrics scrape failed ({e})");
+            return;
+        }
+    };
+    let mut phases: Vec<(String, f64, u64)> = Vec::new();
+    for line in body.lines() {
+        let Some(rest) = line.strip_prefix("ermes_phase_seconds_sum{phase=\"") else {
+            continue;
+        };
+        let Some((phase, sum)) = rest.split_once("\"} ") else {
+            continue;
+        };
+        let count = body
+            .lines()
+            .find_map(|l| {
+                l.strip_prefix(&format!("ermes_phase_seconds_count{{phase=\"{phase}\"}} "))
+            })
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+        if let Ok(sum) = sum.parse::<f64>() {
+            phases.push((phase.to_string(), sum, count));
+        }
+    }
+    if phases.is_empty() {
+        println!("\nno per-phase report: daemon exported no ermes_phase_seconds");
+        return;
+    }
+    phases.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("\ndaemon-side phase totals (ermes_phase_seconds from /metrics):");
+    println!("  phase            count     total[s]      mean[ms]");
+    for (phase, sum, count) in phases {
+        println!(
+            "  {phase:<14} {count:>7} {sum:>12.3} {:>13.4}",
+            if count == 0 {
+                f64::NAN
+            } else {
+                sum * 1000.0 / count as f64
+            }
+        );
+    }
+}
+
 fn run_phase(
     name: &str,
     addr: &str,
@@ -365,7 +500,10 @@ fn run_phase(
             .collect()
     });
     let wall = started.elapsed().as_secs_f64();
-    let mut latencies: Vec<u64> = stats.iter().flat_map(|s| s.latencies_us.clone()).collect();
+    let mut latencies: Vec<u64> = stats
+        .iter()
+        .flat_map(|s| s.latencies_us.iter().map(|&(_, us)| us))
+        .collect();
     latencies.sort_unstable();
     let ok = latencies.len();
     let mismatches: usize = stats.iter().map(|s| s.mismatches).sum();
@@ -388,6 +526,7 @@ fn run_phase(
              {transport} truncated/dropped), {ok}/{} eventually ok",
             connections * requests
         );
+        print_endpoint_histograms(items, &stats);
         assert_eq!(
             failures, 0,
             "under chaos every request must eventually succeed"
@@ -457,6 +596,7 @@ fn main() {
     println!("phase     ok  failed  req/s      p50[ms]   p90[ms]   p99[ms]   max[ms]");
     run_phase("cold", &addr, &items, connections, requests, chaos);
     run_phase("warm", &addr, &items, connections, requests, chaos);
+    print_phase_report(&addr);
 
     if let Some(handle) = server_thread {
         let mut stream = TcpStream::connect(&addr).expect("server alive");

@@ -1,0 +1,64 @@
+//! Emit the JSON system spec for one of the built-in example designs.
+//!
+//! The CLI and daemon consume specs as JSON files; the example systems
+//! (MPEG-2 encoder variants, synthetic SoC generators) live in Rust.
+//! `mkspec` bridges the two so smoke tests and traces can run against
+//! the paper's case studies without checked-in generated files:
+//!
+//! ```text
+//! mkspec mpeg2 > mpeg2.json
+//! ermes sweep mpeg2.json --targets 4000,6000 --trace-out trace.json
+//! ```
+
+use ermesd::SystemSpec;
+
+const USAGE: &str = "\
+mkspec — print the JSON spec of a built-in example design
+
+USAGE:
+    mkspec <design>
+
+DESIGNS:
+    mpeg2        full MPEG-2 encoder system (paper case study)
+    m1           M1 implementation point of the encoder
+    m2           M2 implementation point of the encoder
+    soc:<n>      synthetic SoC with <n> worker processes (socgen, seed 42)
+";
+
+fn main() {
+    let arg = match std::env::args().nth(1) {
+        Some(a) => a,
+        None => {
+            eprint!("{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let design = match arg.as_str() {
+        "mpeg2" => mpeg2sys::mpeg2_design().0,
+        "m1" => mpeg2sys::m1_design().0,
+        "m2" => mpeg2sys::m2_design().0,
+        other => match other.split_once(':') {
+            Some(("soc", n)) => {
+                let n = parse_size(n);
+                let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 42));
+                ermes::Design::new(soc.system, soc.pareto)
+                    .expect("socgen emits one Pareto set per process")
+            }
+            _ => {
+                eprintln!("unknown design `{other}`\n{USAGE}");
+                std::process::exit(2);
+            }
+        },
+    };
+    println!("{}", SystemSpec::from_design(&design).to_json_pretty());
+}
+
+fn parse_size(text: &str) -> usize {
+    match text.parse() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("design size must be a positive integer, got `{text}`");
+            std::process::exit(2);
+        }
+    }
+}

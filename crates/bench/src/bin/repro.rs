@@ -5,7 +5,7 @@
 //! ```
 //!
 //! Ids: `fig2`, `fig2b`, `fig3`, `fig4`, `orders`, `table1`, `m1`,
-//! `fig6-timing`, `fig6-area`, `scalability`, `pipeline`, or `all`
+//! `fig6-timing`, `fig6-area`, `scalability`, `phases`, `pipeline`, or `all`
 //! (default). `--jobs` sets the worker-thread count of the parallel
 //! part of E9 (`0` = all hardware threads, the default). See
 //! EXPERIMENTS.md for the paper-versus-measured record.
@@ -282,6 +282,27 @@ fn run_scalability(jobs: usize) {
     println!(" Ratio equality; hit-rate is the analysis cache over both engine runs)");
 }
 
+fn run_phases(jobs: usize) {
+    banner("E13 — per-phase time breakdown, MPEG-2 sweep (seed / cold / warm)");
+    let targets = [900_000, 1_200_000, 1_500_000, 1_800_000, 2_400_000];
+    println!("targets: {targets:?}, jobs: {}", parx::resolve_jobs(jobs));
+    for row in experiments::phase_breakdown(&targets, jobs) {
+        println!("\n{} stage — wall {:.1} ms", row.stage, row.wall_ms);
+        println!("  phase            count     total[ms]    % of wall");
+        for (phase, count, total_ms) in &row.phases {
+            println!(
+                "  {phase:<14} {count:>7} {total_ms:>13.1} {:>11.1}%",
+                100.0 * total_ms / row.wall_ms
+            );
+        }
+    }
+    println!("\n(phases nest — howard inside analysis inside a cache probe — and with");
+    println!(" jobs > 1 they accumulate across workers, so columns are not additive and");
+    println!(" can exceed wall time; the warm stage shows the cache absorbing analysis");
+    println!(" and chanorder into sub-millisecond probes, leaving ILP as the one phase");
+    println!(" the memo cannot remove)");
+}
+
 fn run_pipeline() {
     banner("Functional MPEG-2-style pipeline on the process-network engine");
     let frames: Vec<mpeg2sys::Frame> = (0..6)
@@ -365,6 +386,7 @@ fn main() {
             "paper: -32.46% area, <1% CT degradation",
         ),
         "scalability" => run_scalability(jobs),
+        "phases" => run_phases(jobs),
         "pipeline" => run_pipeline(),
         "ablation" => run_ablation(),
         "sweep" => run_sweep(),
@@ -390,11 +412,12 @@ fn main() {
             run_ablation();
             run_sweep();
             run_scalability(jobs);
+            run_phases(jobs);
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability pipeline ablation sweep all"
+                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases pipeline ablation sweep all"
             );
             std::process::exit(2);
         }

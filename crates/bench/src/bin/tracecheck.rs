@@ -1,0 +1,125 @@
+//! Validate a Chrome-trace JSON file produced by `--trace-out`.
+//!
+//! ```text
+//! tracecheck <trace.json> [--require howard,ilp,chanorder,cache]
+//! ```
+//!
+//! Checks the structural invariants the trace exporter guarantees —
+//! chrome://tracing silently tolerates (and mis-renders) violations, so
+//! CI asserts them here instead:
+//!
+//! - every event is a duration begin (`ph: "B"`) or end (`ph: "E"`),
+//! - per thread lane, timestamps are monotonically non-decreasing,
+//! - per thread lane, B/E events nest LIFO with matching names and no
+//!   dangling begin at end of file.
+//!
+//! `--require` additionally asserts that the named phases appear at
+//! least once, which is how the CI smoke test proves a traced sweep
+//! exercised the whole engine (Howard analysis, ILP sizing, channel
+//! ordering, cache probes) rather than silently short-circuiting.
+
+use ermesd::json::{self, Value};
+use std::collections::BTreeMap;
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("tracecheck: {message}");
+    std::process::exit(1);
+}
+
+fn field<'a>(event: &'a Value, key: &str, index: usize) -> &'a Value {
+    event
+        .get(key)
+        .unwrap_or_else(|| fail(format_args!("event {index} has no `{key}` field")))
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!("usage: tracecheck <trace.json> [--require phase,phase,…]");
+        std::process::exit(2);
+    };
+    let required: Vec<String> = args
+        .iter()
+        .position(|a| a == "--require")
+        .and_then(|i| args.get(i + 1))
+        .map(|list| list.split(',').map(str::to_string).collect())
+        .unwrap_or_default();
+
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+    let root = json::parse(&text).unwrap_or_else(|e| fail(format_args!("invalid JSON: {e}")));
+    let events = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .or_else(|| root.as_array())
+        .unwrap_or_else(|| fail("expected a `traceEvents` array (or a bare event array)"));
+
+    // Per thread lane: the currently open B names and the last timestamp.
+    let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
+    let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
+    let mut names: BTreeMap<String, u64> = BTreeMap::new();
+    for (index, event) in events.iter().enumerate() {
+        let ph = field(event, "ph", index)
+            .as_str()
+            .unwrap_or_else(|| fail(format_args!("event {index}: `ph` is not a string")));
+        let name = field(event, "name", index)
+            .as_str()
+            .unwrap_or_else(|| fail(format_args!("event {index}: `name` is not a string")));
+        let ts = field(event, "ts", index)
+            .as_f64()
+            .unwrap_or_else(|| fail(format_args!("event {index}: `ts` is not a number")));
+        let tid = field(event, "tid", index)
+            .as_u64()
+            .unwrap_or_else(|| fail(format_args!("event {index}: `tid` is not an integer")));
+        if let Some(&prev) = last_ts.get(&tid) {
+            if ts < prev {
+                fail(format_args!(
+                    "event {index} ({name}): ts {ts} goes backwards on tid {tid} (prev {prev})"
+                ));
+            }
+        }
+        last_ts.insert(tid, ts);
+        let stack = stacks.entry(tid).or_default();
+        match ph {
+            "B" => {
+                stack.push(name.to_string());
+                *names.entry(name.to_string()).or_insert(0) += 1;
+            }
+            "E" => match stack.pop() {
+                Some(open) if open == name => {}
+                Some(open) => fail(format_args!(
+                    "event {index}: E `{name}` closes B `{open}` on tid {tid}"
+                )),
+                None => fail(format_args!(
+                    "event {index}: E `{name}` with no open B on tid {tid}"
+                )),
+            },
+            other => fail(format_args!(
+                "event {index} ({name}): unexpected ph `{other}`"
+            )),
+        }
+    }
+    for (tid, stack) in &stacks {
+        if let Some(open) = stack.last() {
+            fail(format_args!(
+                "tid {tid}: B `{open}` never closed ({} dangling)",
+                stack.len()
+            ));
+        }
+    }
+    for phase in &required {
+        if !names.contains_key(phase) {
+            fail(format_args!("required phase `{phase}` absent from trace"));
+        }
+    }
+    let spans: u64 = names.values().sum();
+    println!(
+        "tracecheck: ok — {spans} spans on {} threads ({})",
+        stacks.len(),
+        names
+            .iter()
+            .map(|(n, c)| format!("{n}×{c}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    );
+}

@@ -1,0 +1,121 @@
+//! Gate on the cost of *disabled* tracing.
+//!
+//! The span macros stay in the engine's hot paths permanently, so the
+//! promise that matters is not "tracing is fast" but "not tracing is
+//! free". This binary estimates the disabled-path tax on a warm
+//! cached sweep (the E11 workload shape: every analysis a cache hit,
+//! so span entry/exit is as large a fraction of the work as it ever
+//! gets) and fails if it exceeds the budget:
+//!
+//! 1. microbenchmark `trace::span()` + `trace::attr()` with tracing
+//!    disabled → cost per span site in ns,
+//! 2. run the warm sweep with tracing *enabled* once → exact span
+//!    count per sweep,
+//! 3. time the warm sweep with tracing disabled → baseline runtime,
+//! 4. assert `spans × cost_per_span < 2% × runtime`.
+//!
+//! ```text
+//! traceover [--budget-percent <f>] [--processes <n>] [--repeat <n>]
+//! ```
+
+use std::hint::black_box;
+use std::time::Instant;
+
+const DEFAULT_BUDGET_PERCENT: f64 = 2.0;
+
+fn flag(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+/// Disabled-path cost of one span site (creation, one attribute, drop),
+/// median of `rounds` timing rounds to shake scheduler noise.
+fn disabled_span_cost_ns(rounds: usize, iters: u64) -> f64 {
+    assert!(!trace::enabled(), "microbenchmark needs tracing disabled");
+    let mut samples: Vec<f64> = (0..rounds)
+        .map(|_| {
+            let started = Instant::now();
+            for i in 0..iters {
+                let _span = trace::span("traceover_probe");
+                trace::attr("i", black_box(i));
+            }
+            started.elapsed().as_secs_f64() * 1e9 / iters as f64
+        })
+        .collect();
+    samples.sort_by(f64::total_cmp);
+    samples[samples.len() / 2]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let budget: f64 = flag(&args, "--budget-percent").map_or(DEFAULT_BUDGET_PERCENT, |s| {
+        s.parse().expect("--budget-percent takes a number")
+    });
+    let processes: usize = flag(&args, "--processes").map_or(24, |s| {
+        s.parse().expect("--processes takes a positive integer")
+    });
+    let repeat: usize = flag(&args, "--repeat")
+        .map_or(5, |s| s.parse().expect("--repeat takes a positive integer"));
+
+    // The E11 workload shape: a socgen SoC swept over a target ladder
+    // through a shared cache. Warm it first so the timed runs measure
+    // the cache-hit path, where spans are densest relative to compute.
+    let soc = socgen::generate(socgen::SocGenConfig::sized(
+        processes,
+        processes * 3 / 2,
+        42,
+    ));
+    let design = ermes::Design::new(soc.system, soc.pareto).expect("socgen is well-formed");
+    let base = ermes::analyze_design(&design)
+        .cycle_time()
+        .expect("socgen designs are live")
+        .to_f64();
+    let targets: Vec<u64> = [0.5, 0.8, 1.0, 1.5, 2.0, 3.0, 5.0]
+        .iter()
+        .map(|f| (base * f) as u64)
+        .collect();
+    let options = ermes::SweepOptions {
+        jobs: 1,
+        memoize: true,
+    };
+    let cache = ermes::EngineCache::new();
+    let warm = |cache: &ermes::EngineCache| {
+        ermes::pareto_sweep_cached(design.clone(), &targets, &options, cache)
+            .expect("sweep succeeds")
+    };
+    black_box(warm(&cache)); // cold run: populate the cache
+
+    // Exact span count of one warm sweep, measured rather than guessed.
+    trace::set_enabled(true);
+    trace::reset();
+    black_box(warm(&cache));
+    let spans = trace::spans_recorded();
+    trace::set_enabled(false);
+    trace::reset();
+
+    let cost_ns = disabled_span_cost_ns(7, 2_000_000);
+
+    let mut runtimes: Vec<f64> = (0..repeat)
+        .map(|_| {
+            let started = Instant::now();
+            black_box(warm(&cache));
+            started.elapsed().as_secs_f64()
+        })
+        .collect();
+    runtimes.sort_by(f64::total_cmp);
+    let runtime = runtimes[runtimes.len() / 2];
+
+    let overhead = spans as f64 * cost_ns / 1e9;
+    let percent = 100.0 * overhead / runtime;
+    println!(
+        "traceover: {spans} spans/sweep x {cost_ns:.1} ns disabled-path cost \
+         = {:.3} ms over a {:.1} ms warm sweep ({percent:.3}% <= {budget}% budget)",
+        overhead * 1e3,
+        runtime * 1e3,
+    );
+    if percent > budget {
+        eprintln!("traceover: FAIL — disabled tracing exceeds the {budget}% overhead budget");
+        std::process::exit(1);
+    }
+}

@@ -397,6 +397,87 @@ pub fn mpeg2_sweep() -> Vec<ermes::SweepPoint> {
     .expect("MPEG-2 sweeps")
 }
 
+/// E13 — one stage of the per-phase time breakdown: where a sweep of
+/// the MPEG-2 encoder actually spends its milliseconds.
+#[derive(Debug, Clone)]
+pub struct PhaseBreakdownRow {
+    /// `"seed"` (serial, unmemoized), `"cold"` (shared cache, first
+    /// sweep), or `"warm"` (re-sweep against the filled cache).
+    pub stage: &'static str,
+    /// Wall-clock time of the stage, in milliseconds.
+    pub wall_ms: f64,
+    /// Per-phase `(span name, spans observed, total milliseconds)`,
+    /// sorted by total time descending. Phases overlap (a `howard` span
+    /// runs inside an `analysis` span), so the totals exceed wall time.
+    pub phases: Vec<(&'static str, u64, f64)>,
+}
+
+/// Runs E13: the MPEG-2 encoder swept over `targets` three times — seed
+/// engine, cold shared cache, warm re-sweep (the same three stages as
+/// E11) — with engine tracing enabled, reporting each stage's per-phase
+/// time split from the `ermes_phase_seconds` histograms. This is the
+/// observability counterpart of E11: it shows *which* phases the cache
+/// removes (analysis, ILP, ordering collapse to cache probes) rather
+/// than just that the total shrinks.
+///
+/// # Panics
+///
+/// Panics if the MPEG-2 design fails to sweep (it is live by
+/// construction).
+#[must_use]
+pub fn phase_breakdown(targets: &[u64], jobs: usize) -> Vec<PhaseBreakdownRow> {
+    let (design, _) = mpeg2sys::mpeg2_design();
+    let options = ermes::SweepOptions {
+        jobs,
+        memoize: true,
+    };
+    let cache = ermes::EngineCache::new();
+    let was_enabled = trace::enabled();
+    trace::set_enabled(true);
+
+    let stage = |name: &'static str, run: &mut dyn FnMut()| -> PhaseBreakdownRow {
+        trace::reset();
+        let t = Instant::now();
+        run();
+        let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let mut phases: Vec<(&'static str, u64, f64)> = trace::phase_snapshot()
+            .iter()
+            .map(|p| (p.phase, p.count, p.sum_seconds * 1e3))
+            .collect();
+        phases.sort_by(|a, b| b.2.total_cmp(&a.2));
+        PhaseBreakdownRow {
+            stage: name,
+            wall_ms,
+            phases,
+        }
+    };
+
+    let rows = vec![
+        stage("seed", &mut || {
+            ermes::pareto_sweep_with(
+                design.clone(),
+                targets,
+                &ermes::SweepOptions {
+                    jobs: 1,
+                    memoize: false,
+                },
+            )
+            .expect("seed sweep succeeds");
+        }),
+        stage("cold", &mut || {
+            ermes::pareto_sweep_cached(design.clone(), targets, &options, &cache)
+                .expect("cold sweep succeeds");
+        }),
+        stage("warm", &mut || {
+            ermes::pareto_sweep_cached(design.clone(), targets, &options, &cache)
+                .expect("warm sweep succeeds");
+        }),
+    ];
+    trace::set_enabled(was_enabled);
+    trace::reset();
+    rows
+}
+
 /// Stall statistics of the motivating example under its two live
 /// orderings: `(suboptimal stall cycles, optimal stall cycles)` summed
 /// over all processes of a 200-iteration run.

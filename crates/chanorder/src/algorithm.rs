@@ -169,8 +169,11 @@ pub fn order_channels(system: &SystemGraph) -> OrderingSolution {
 /// ablation studies.
 #[must_use]
 pub fn order_channels_with(system: &SystemGraph, options: OrderingOptions) -> OrderingSolution {
+    let _span = trace::span("chanorder");
     let n = system.process_count();
     let m = system.channel_count();
+    trace::attr("processes", n);
+    trace::attr("channels", m);
 
     // ---------------- Forward Labeling ---------------------------------
     let fwd_feedback = feedback_arcs(system);

@@ -89,6 +89,7 @@ pub fn refine_ordering(
     start: &ChannelOrdering,
     config: RefineConfig,
 ) -> RefineResult {
+    let _span = trace::span("refine");
     let mut best = start.clone();
     let mut best_ct = cycle_time_of(system, &best)
         .expect("start ordering fits the system")
@@ -117,6 +118,7 @@ pub fn refine_ordering(
             None => break,
         }
     }
+    trace::attr("moves", moves);
     RefineResult {
         ordering: best,
         cycle_time: best_ct,

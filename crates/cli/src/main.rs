@@ -24,7 +24,16 @@ USAGE:
 `--jobs <n>` threads the exploration engine (0 = all hardware threads,
 default 1); results are bit-identical at any value. `serve` runs the
 analysis daemon (see the `ermesd` crate): POST /analyze, /order,
-/explore?target=N, /sweep?targets=a,b,c; GET /healthz, /metrics.
+/explore?target=N, /sweep?targets=a,b,c; GET /healthz, /metrics, /trace.
+
+Every analysis command also accepts:
+    --trace-out <file>   write a Chrome-trace JSON of the run (open in
+                         chrome://tracing or https://ui.perfetto.dev)
+    --trace-summary      print per-phase time, cache hit rate, and the
+                         slowest SCCs after the command's normal output
+
+Tracing stays off (a single atomic check per engine phase) unless one of
+the flags is given; results are bit-identical either way.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -59,6 +68,13 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
+    let trace_out = flag(&args, "--trace-out");
+    let trace_summary = args.iter().any(|a| a == "--trace-summary");
+    if trace_out.is_some() || trace_summary {
+        trace::set_enabled(true);
+    }
+    let command_span = trace::span("command");
+    trace::attr("cmd", command.as_str());
     let text = std::fs::read_to_string(path)?;
     let spec = parse_spec(&text)?;
     match command.as_str() {
@@ -128,6 +144,15 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
             eprintln!("unknown command `{other}`\n{USAGE}");
             std::process::exit(2);
         }
+    }
+    // Close the root span before exporting so the command's own tree is
+    // complete in the journal.
+    drop(command_span);
+    if let Some(out) = trace_out {
+        std::fs::write(out, trace::chrome_trace())?;
+    }
+    if trace_summary {
+        print!("\n{}", trace::summary_report());
     }
     Ok(())
 }

@@ -269,12 +269,16 @@ impl EngineCache {
         jobs: usize,
         cancel: Option<&parx::CancelToken>,
     ) -> Result<PerfReport, parx::Cancelled> {
+        let _span = trace::span("cache");
+        trace::attr("table", "analysis");
         let key = ConfigKey::of(design);
         if let Some(hit) = self.analysis.lock().expect("cache poisoned").get(&key) {
             self.analysis_hits.fetch_add(1, Ordering::Relaxed);
+            trace::attr("cache", "hit");
             return Ok(hit);
         }
         self.analysis_misses.fetch_add(1, Ordering::Relaxed);
+        trace::attr("cache", "miss");
         let report = match cancel {
             Some(token) => analyze_design_cancellable(design, jobs, token)?,
             None => analyze_design_with_jobs(design, jobs),
@@ -298,12 +302,16 @@ impl EngineCache {
     /// `chanorder::order_channels` through the cache, returning only the
     /// ordering (labels are not needed by the loop).
     pub fn order(&self, design: &Design) -> ChannelOrdering {
+        let _span = trace::span("cache");
+        trace::attr("table", "ordering");
         let key = ConfigKey::of(design);
         if let Some(hit) = self.ordering.lock().expect("cache poisoned").get(&key) {
             self.ordering_hits.fetch_add(1, Ordering::Relaxed);
+            trace::attr("cache", "hit");
             return hit;
         }
         self.ordering_misses.fetch_add(1, Ordering::Relaxed);
+        trace::attr("cache", "miss");
         let ordering = chanorder::order_channels(design.system()).ordering;
         let evicted = self.ordering.lock().expect("cache poisoned").insert(
             key,

@@ -309,6 +309,8 @@ pub fn explore_with(
     config: ExplorationConfig,
     options: &ExploreOptions<'_>,
 ) -> Result<ExplorationTrace, ErmesError> {
+    let _span = trace::span("explore");
+    trace::attr("target", config.target_cycle_time);
     // The initial record reflects the design as given (the paper's Fig. 6
     // starts at M2 under its conservative ordering); reordering happens as
     // part of each optimization iteration. A start that deadlocks under
@@ -353,6 +355,8 @@ pub fn explore_with(
     let mut stalled = 0usize;
 
     for index in 1..=config.max_iterations {
+        let _iteration_span = trace::span("iteration");
+        trace::attr("iter", index);
         if let Some(token) = options.cancel {
             token.check().map_err(|c| cancelled(c, index - 1, total))?;
         }
@@ -361,6 +365,7 @@ pub fn explore_with(
         // target met with nothing to spare, recovers area with a zero
         // latency budget rather than re-optimizing timing).
         let action = choose_action(cycle_time, config.target_cycle_time);
+        trace::attr("action", format!("{action:?}"));
         let proposal = match action {
             StepAction::AreaRecovery => area_recovery(
                 &design,

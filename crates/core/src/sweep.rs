@@ -173,6 +173,8 @@ fn sweep_inner(
     cancel: Option<&parx::CancelToken>,
 ) -> Result<SweepReport, ErmesError> {
     let outcomes = parx::par_map(options.jobs, targets, |_, &target| {
+        let _span = trace::span("sweep_target");
+        trace::attr("target", target);
         let opts = ExploreOptions {
             jobs: 1,
             cache: options.memoize.then_some(cache),

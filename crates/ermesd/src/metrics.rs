@@ -17,10 +17,10 @@ use std::time::Duration;
 
 /// Upper bounds (seconds) of the latency histogram buckets; a `+Inf`
 /// bucket is implicit. Spans 100 µs (cache-hit analyze on a small spec)
-/// to 10 s (cold multi-target sweep on a large one).
-pub const LATENCY_BUCKETS: [f64; 14] = [
-    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 10.0,
-];
+/// to 10 s (cold multi-target sweep on a large one). Shared with the
+/// engine's per-phase histograms (`trace`) so request latency and phase
+/// time line up on one dashboard axis.
+pub const LATENCY_BUCKETS: [f64; 14] = trace::LATENCY_BUCKETS;
 
 /// Shared metrics state of one server.
 #[derive(Debug, Default)]
@@ -33,6 +33,9 @@ pub struct Metrics {
     /// Sum of observed latencies, in microseconds.
     latency_sum_micros: AtomicU64,
     latency_count: AtomicU64,
+    /// Per-endpoint latency histograms (same buckets as the aggregate,
+    /// which is kept for dashboard compatibility).
+    endpoint_latency: Mutex<BTreeMap<&'static str, EndpointHistogram>>,
     /// Requests rejected because the admission queue was full.
     shed_queue_full: AtomicU64,
     /// Requests rejected because their deadline expired while queued.
@@ -43,6 +46,14 @@ pub struct Metrics {
     cancelled_disconnect: AtomicU64,
     /// Jobs that panicked on their worker (caught; worker respawned).
     jobs_panicked: AtomicU64,
+}
+
+/// Cumulative bucket counts plus sum/count for one endpoint.
+#[derive(Debug, Default, Clone)]
+struct EndpointHistogram {
+    buckets: [u64; LATENCY_BUCKETS.len() + 1],
+    sum_micros: u64,
+    count: u64,
 }
 
 impl Metrics {
@@ -63,20 +74,30 @@ impl Metrics {
     }
 
     /// Records the service latency (arrival to response ready) of one
-    /// analysis request.
-    pub fn observe_latency(&self, elapsed: Duration) {
+    /// analysis request, both in the aggregate histogram and under the
+    /// request's endpoint label.
+    pub fn observe_latency(&self, endpoint: &'static str, elapsed: Duration) {
         let seconds = elapsed.as_secs_f64();
+        let micros = elapsed.as_micros().min(u128::from(u64::MAX)) as u64;
         for (i, &bound) in LATENCY_BUCKETS.iter().enumerate() {
             if seconds <= bound {
                 self.latency_buckets[i].fetch_add(1, Ordering::Relaxed);
             }
         }
         self.latency_buckets[LATENCY_BUCKETS.len()].fetch_add(1, Ordering::Relaxed);
-        self.latency_sum_micros.fetch_add(
-            elapsed.as_micros().min(u128::from(u64::MAX)) as u64,
-            Ordering::Relaxed,
-        );
+        self.latency_sum_micros.fetch_add(micros, Ordering::Relaxed);
         self.latency_count.fetch_add(1, Ordering::Relaxed);
+
+        let mut per_endpoint = self.endpoint_latency.lock().expect("metrics poisoned");
+        let h = per_endpoint.entry(endpoint).or_default();
+        for (i, &bound) in LATENCY_BUCKETS.iter().enumerate() {
+            if seconds <= bound {
+                h.buckets[i] += 1;
+            }
+        }
+        h.buckets[LATENCY_BUCKETS.len()] += 1;
+        h.sum_micros += micros;
+        h.count += 1;
     }
 
     /// Counts one load-shed rejection (`queue_full` distinguishes a full
@@ -164,6 +185,37 @@ impl Metrics {
             "ermesd_request_seconds_count {}",
             self.latency_count.load(Ordering::Relaxed)
         );
+        // The same histogram broken out per endpoint; the unlabelled
+        // aggregate above is kept for existing dashboards.
+        for (endpoint, h) in self
+            .endpoint_latency
+            .lock()
+            .expect("metrics poisoned")
+            .iter()
+        {
+            for (i, &bound) in LATENCY_BUCKETS.iter().enumerate() {
+                let _ = writeln!(
+                    out,
+                    "ermesd_request_seconds_bucket{{endpoint=\"{endpoint}\",le=\"{bound}\"}} {}",
+                    h.buckets[i]
+                );
+            }
+            let _ = writeln!(
+                out,
+                "ermesd_request_seconds_bucket{{endpoint=\"{endpoint}\",le=\"+Inf\"}} {}",
+                h.buckets[LATENCY_BUCKETS.len()]
+            );
+            let _ = writeln!(
+                out,
+                "ermesd_request_seconds_sum{{endpoint=\"{endpoint}\"}} {}",
+                h.sum_micros as f64 / 1e6
+            );
+            let _ = writeln!(
+                out,
+                "ermesd_request_seconds_count{{endpoint=\"{endpoint}\"}} {}",
+                h.count
+            );
+        }
         for (name, help, counter) in [
             (
                 "ermesd_shed_queue_full_total",
@@ -213,6 +265,51 @@ impl Metrics {
     }
 }
 
+/// Renders the engine's per-phase time histograms
+/// (`ermes_phase_seconds{phase=...}`) from the tracing layer's
+/// process-wide aggregates. Phases are span names (`howard`, `ilp`,
+/// `chanorder`, `cache`, …); buckets are [`LATENCY_BUCKETS`].
+#[must_use]
+pub fn render_phase_histograms() -> String {
+    let phases = trace::phase_snapshot();
+    if phases.is_empty() {
+        return String::new();
+    }
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "# HELP ermes_phase_seconds Engine time per phase (span durations from the tracing layer).\n\
+         # TYPE ermes_phase_seconds histogram"
+    );
+    for p in &phases {
+        let mut cumulative = 0u64;
+        for (i, &bound) in trace::LATENCY_BUCKETS.iter().enumerate() {
+            cumulative += p.buckets[i];
+            let _ = writeln!(
+                out,
+                "ermes_phase_seconds_bucket{{phase=\"{}\",le=\"{bound}\"}} {cumulative}",
+                p.phase
+            );
+        }
+        let _ = writeln!(
+            out,
+            "ermes_phase_seconds_bucket{{phase=\"{}\",le=\"+Inf\"}} {}",
+            p.phase, p.count
+        );
+        let _ = writeln!(
+            out,
+            "ermes_phase_seconds_sum{{phase=\"{}\"}} {}",
+            p.phase, p.sum_seconds
+        );
+        let _ = writeln!(
+            out,
+            "ermes_phase_seconds_count{{phase=\"{}\"}} {}",
+            p.phase, p.count
+        );
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -237,8 +334,8 @@ mod tests {
     #[test]
     fn histogram_buckets_are_cumulative() {
         let m = Metrics::new();
-        m.observe_latency(Duration::from_micros(200)); // ≤ 0.00025 …
-        m.observe_latency(Duration::from_millis(30)); // ≤ 0.05 …
+        m.observe_latency("analyze", Duration::from_micros(200)); // ≤ 0.00025 …
+        m.observe_latency("analyze", Duration::from_millis(30)); // ≤ 0.05 …
         let text = m.render(&[], &[]);
         assert!(
             text.contains("ermesd_request_seconds_bucket{le=\"0.0001\"} 0"),
@@ -248,6 +345,27 @@ mod tests {
         assert!(text.contains("ermesd_request_seconds_bucket{le=\"0.05\"} 2"));
         assert!(text.contains("ermesd_request_seconds_bucket{le=\"+Inf\"} 2"));
         assert!(text.contains("ermesd_request_seconds_count 2"));
+    }
+
+    #[test]
+    fn per_endpoint_histograms_ride_alongside_the_aggregate() {
+        let m = Metrics::new();
+        m.observe_latency("sweep", Duration::from_millis(30));
+        m.observe_latency("analyze", Duration::from_micros(200));
+        let text = m.render(&[], &[]);
+        // Aggregate (unlabelled) series is unchanged…
+        assert!(
+            text.contains("ermesd_request_seconds_bucket{le=\"+Inf\"} 2"),
+            "{text}"
+        );
+        // …and each endpoint gets its own full histogram.
+        assert!(text.contains("ermesd_request_seconds_bucket{endpoint=\"sweep\",le=\"0.05\"} 1"));
+        assert!(text.contains("ermesd_request_seconds_bucket{endpoint=\"sweep\",le=\"+Inf\"} 1"));
+        assert!(text.contains("ermesd_request_seconds_count{endpoint=\"sweep\"} 1"));
+        assert!(
+            text.contains("ermesd_request_seconds_bucket{endpoint=\"analyze\",le=\"0.00025\"} 1")
+        );
+        assert!(text.contains("ermesd_request_seconds_count{endpoint=\"analyze\"} 1"));
     }
 
     #[test]

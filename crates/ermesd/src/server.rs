@@ -145,6 +145,32 @@ impl CacheLru {
         }
         (stats, entries)
     }
+
+    /// Per-base-design `(fingerprint, stored entries, evictions)` rows,
+    /// sorted by fingerprint so the `/metrics` output is deterministic.
+    fn per_design(&self) -> Vec<(String, usize, u64)> {
+        let mut rows: Vec<(String, usize, u64)> = self
+            .entries
+            .iter()
+            .map(|(key, (cache, _))| {
+                let (a, o) = cache.entry_counts();
+                (design_fingerprint(key), a + o, cache.stats().evictions)
+            })
+            .collect();
+        rows.sort();
+        rows
+    }
+}
+
+/// Short stable identifier for a base design, for metric labels: FNV-1a
+/// over the canonical spec JSON the [`CacheLru`] is keyed by.
+fn design_fingerprint(key: &str) -> String {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in key.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    format!("{hash:016x}")
 }
 
 /// Why an analysis request was not executed (or executed but produced
@@ -264,6 +290,11 @@ impl Server {
     ///
     /// I/O errors binding `config.addr`.
     pub fn start(config: ServerConfig) -> io::Result<Server> {
+        // The daemon always runs with tracing on: `/trace` and the
+        // per-phase histograms on `/metrics` are part of its API. (The
+        // disabled-by-default path matters for the CLI and benchmarks,
+        // not here.)
+        trace::set_enabled(true);
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
         let inner = Arc::new(Inner {
@@ -373,7 +404,7 @@ fn handle_connection(inner: &Inner, stream: TcpStream, server_addr: SocketAddr) 
                     .metrics
                     .record_request(endpoint, outcome.response.status);
                 if matches!(endpoint, "analyze" | "order" | "explore" | "sweep") {
-                    inner.metrics.observe_latency(started.elapsed());
+                    inner.metrics.observe_latency(endpoint, started.elapsed());
                 }
                 let keep = req.keep_alive() && !outcome.close_after;
                 let write_ok = outcome.response.write_to(&mut writer, keep).is_ok();
@@ -428,6 +459,7 @@ fn route(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => Outcome::reply("healthz", healthz_response(inner)),
         ("GET", "/metrics") => Outcome::reply("metrics", metrics_response(inner)),
+        ("GET", "/trace") => Outcome::reply("trace", trace_response(req)),
         ("POST", "/shutdown") => Outcome {
             response: Response::text(200, "draining\n"),
             endpoint: "shutdown",
@@ -440,7 +472,8 @@ fn route(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
         ("POST", "/sweep") => analysis_endpoint(inner, req, "sweep", conn),
         (
             _,
-            "/healthz" | "/metrics" | "/shutdown" | "/analyze" | "/order" | "/explore" | "/sweep",
+            "/healthz" | "/metrics" | "/trace" | "/shutdown" | "/analyze" | "/order" | "/explore"
+            | "/sweep",
         ) => Outcome::reply("other", Response::text(405, "method not allowed\n")),
         _ => Outcome::reply("other", Response::text(404, "no such endpoint\n")),
     }
@@ -477,10 +510,10 @@ fn metrics_response(inner: &Inner) -> Response {
             )
         })
     };
-    let (stats, cache_entries, designs) = {
+    let (stats, cache_entries, designs, per_design) = {
         let caches = inner.caches.lock().expect("cache lru poisoned");
         let (stats, entries) = caches.aggregate();
-        (stats, entries, caches.entries.len())
+        (stats, entries, caches.entries.len(), caches.per_design())
     };
     let gauges: Vec<(&str, &str, f64)> = vec![
         (
@@ -540,7 +573,118 @@ fn metrics_response(inner: &Inner) -> Response {
         "Pool workers respawned after a job panicked on them.",
         restarts,
     )];
-    Response::text(200, inner.metrics.render(&gauges, &sampled_counters))
+    let mut body = inner.metrics.render(&gauges, &sampled_counters);
+    body.push_str(&render_per_design_cache(&per_design));
+    body.push_str(&crate::metrics::render_phase_histograms());
+    Response::text(200, body)
+}
+
+/// Opens up the per-base-design cache LRU: one `ermes_cache_entries`
+/// gauge and one `ermes_cache_evictions_total` counter per live design,
+/// labelled with the design's spec fingerprint.
+fn render_per_design_cache(per_design: &[(String, usize, u64)]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    if per_design.is_empty() {
+        return out;
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ermes_cache_entries Memoized results stored, per base design.\n\
+         # TYPE ermes_cache_entries gauge"
+    );
+    for (design, entries, _) in per_design {
+        let _ = writeln!(out, "ermes_cache_entries{{design=\"{design}\"}} {entries}");
+    }
+    let _ = writeln!(
+        out,
+        "# HELP ermes_cache_evictions_total Engine-cache LRU evictions, per base design.\n\
+         # TYPE ermes_cache_evictions_total counter"
+    );
+    for (design, _, evictions) in per_design {
+        let _ = writeln!(
+            out,
+            "ermes_cache_evictions_total{{design=\"{design}\"}} {evictions}"
+        );
+    }
+    out
+}
+
+/// `GET /trace`: the last `n` (default 32, `?n=` to override, capped at
+/// the journal capacity) completed job span trees, as JSON. Trees for
+/// cancelled or panicked jobs are present too, truncated where work
+/// stopped and tagged with `outcome` on the root span.
+fn trace_response(req: &Request) -> Response {
+    let n = req
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(32)
+        .clamp(1, trace::DEFAULT_JOURNAL_CAPACITY);
+    let trees = trace::completed_trees(n);
+    let mut out = String::from("[");
+    for (i, tree) in trees.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_tree_json(&mut out, tree);
+    }
+    out.push_str("]\n");
+    let mut response = Response::text(200, out);
+    response.content_type = "application/json";
+    response
+}
+
+fn write_tree_json(out: &mut String, tree: &trace::SpanTree) {
+    use std::fmt::Write as _;
+    let r = &tree.record;
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"id\":{},\"parent\":{},\"thread\":{},\"start_ns\":{},\"end_ns\":{},\"duration_ns\":{}",
+        json_escape(r.name),
+        r.id,
+        r.parent,
+        r.thread,
+        r.start_ns,
+        r.end_ns,
+        r.duration_ns(),
+    );
+    if !r.attrs.is_empty() {
+        out.push_str(",\"attrs\":{");
+        for (i, (k, v)) in r.attrs.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", json_escape(k), json_escape(v));
+        }
+        out.push('}');
+    }
+    out.push_str(",\"children\":[");
+    for (i, child) in tree.children.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        write_tree_json(out, child);
+    }
+    out.push_str("]}");
+}
+
+fn json_escape(s: &str) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// Parses, admits, and executes one analysis request end to end.
@@ -582,8 +726,27 @@ fn analysis_endpoint(
     // client hangs up. The job polls it at iteration boundaries.
     let cancel = CancelToken::with_deadline(deadline);
     let job_token = cancel.clone();
+    // Root span of this request's trace tree. It is open on this thread
+    // while the job is submitted, so `Pool::try_submit` captures it and
+    // the worker's engine spans parent under it; it closes here, after
+    // the job has yielded, which is what makes a tree "completed" —
+    // including truncated trees of cancelled and panicked jobs.
+    let request_span = trace::span("request");
+    trace::attr("endpoint", endpoint);
     let job = move || run_command(endpoint, &spec, &params, &cache, &job_token);
-    let response = match inner.run_job(deadline, &cancel, conn, job) {
+    let result = inner.run_job(deadline, &cancel, conn, job);
+    trace::attr(
+        "outcome",
+        match &result {
+            Ok(Ok(_)) => "ok",
+            Ok(Err(CliError::Ermes(ermes::ErmesError::Cancelled { .. }))) => "cancelled",
+            Ok(Err(_)) => "error",
+            Err(Shed::JobPanicked) => "panic",
+            Err(_) => "shed",
+        },
+    );
+    drop(request_span);
+    let response = match result {
         Ok(Ok(body)) => Response::text(200, body),
         Ok(Err(e)) => error_response(inner, &e),
         Err(shed) => {

@@ -1,0 +1,211 @@
+//! Integration tests for the daemon's tracing surface: the `/trace`
+//! endpoint, its agreement with the `ermes_phase_seconds` histograms on
+//! `/metrics`, and the shape of trees left behind by faulted jobs.
+//!
+//! The span journal and phase histograms are process-global, so every
+//! test serializes on [`GATE`] and makes *relative* assertions (its own
+//! tree, metric deltas) rather than assuming a quiet journal.
+
+use ermesd::json::{self, Value};
+use ermesd::{Server, ServerConfig};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Mutex;
+use std::thread::JoinHandle;
+
+/// Serializes tests: fault plans and the trace journal are global.
+static GATE: Mutex<()> = Mutex::new(());
+
+const MOTIVATING: &str = include_str!("../../cli/testdata/motivating.json");
+
+fn start(config: ServerConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
+    let server = Server::start(config).expect("bind ephemeral port");
+    let addr = server.addr();
+    let handle = std::thread::spawn(move || server.run());
+    (addr, handle)
+}
+
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send request");
+    stream.flush().expect("flush");
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line `{status_line}`"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("body");
+    (status, String::from_utf8(body).expect("UTF-8 body"))
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<std::io::Result<()>>) {
+    let (status, _) = request(addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    handle.join().expect("server thread").expect("clean drain");
+}
+
+/// The `attrs.<key>` string of a tree node, if present.
+fn attr<'a>(node: &'a Value, key: &str) -> Option<&'a str> {
+    node.get("attrs")?.get(key)?.as_str()
+}
+
+/// Fetches `/trace` and returns the trees whose root carries the given
+/// `outcome` attribute, newest last (the endpoint's order).
+fn trees_with_outcome(addr: SocketAddr, outcome: &str) -> Vec<Value> {
+    let (status, body) = request(addr, "GET", "/trace?n=256", "");
+    assert_eq!(status, 200, "{body}");
+    let trees = json::parse(&body).expect("trace endpoint emits valid JSON");
+    trees
+        .as_array()
+        .expect("top level is an array")
+        .iter()
+        .filter(|t| attr(t, "outcome") == Some(outcome))
+        .cloned()
+        .collect()
+}
+
+/// Recursively checks tree well-formedness: every node's interval is
+/// ordered and contained in its parent's, and counts spans per name.
+fn check_tree(node: &Value, bounds: Option<(u64, u64)>, counts: &mut Vec<(String, u64)>) {
+    let name = node.get("name").and_then(Value::as_str).expect("name");
+    let start = node.get("start_ns").and_then(Value::as_u64).expect("start");
+    let end = node.get("end_ns").and_then(Value::as_u64).expect("end");
+    assert!(start <= end, "span {name} ends before it starts");
+    if let Some((lo, hi)) = bounds {
+        assert!(
+            start >= lo && end <= hi,
+            "span {name} [{start}, {end}] escapes its parent [{lo}, {hi}]"
+        );
+    }
+    match counts.iter_mut().find(|(n, _)| n == name) {
+        Some((_, c)) => *c += 1,
+        None => counts.push((name.to_string(), 1)),
+    }
+    for child in node
+        .get("children")
+        .and_then(Value::as_array)
+        .expect("children")
+    {
+        check_tree(child, Some((start, end)), counts);
+    }
+}
+
+fn phase_count(metrics: &str, phase: &str) -> u64 {
+    let prefix = format!("ermes_phase_seconds_count{{phase=\"{phase}\"}} ");
+    metrics
+        .lines()
+        .find_map(|l| l.strip_prefix(prefix.as_str()))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(0)
+}
+
+/// A successful sweep leaves one completed `request` tree whose spans
+/// nest correctly, and every span in it is also accounted for by the
+/// `ermes_phase_seconds` histograms on `/metrics` — the two views of
+/// the same journal must agree.
+#[test]
+fn trace_tree_agrees_with_phase_metrics() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    parx::faultpoint::deactivate();
+    let (addr, handle) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    let (_, before) = request(addr, "GET", "/metrics", "");
+    let (status, body) = request(addr, "POST", "/sweep?targets=40,60,90", MOTIVATING);
+    assert_eq!(status, 200, "{body}");
+
+    let trees = trees_with_outcome(addr, "ok");
+    let tree = trees.last().expect("the sweep left a completed tree");
+    assert_eq!(tree.get("name").and_then(Value::as_str), Some("request"));
+    assert_eq!(attr(tree, "endpoint"), Some("sweep"));
+
+    let mut counts = Vec::new();
+    check_tree(tree, None, &mut counts);
+    let count_of = |name: &str| {
+        counts
+            .iter()
+            .find(|(n, _)| n == name)
+            .map_or(0, |&(_, c)| c)
+    };
+    assert_eq!(count_of("request"), 1);
+    assert_eq!(count_of("sweep_target"), 3, "one span per target");
+    assert!(count_of("explore") >= 3);
+    assert!(count_of("cache") >= 1);
+
+    // Every span recorded in the tree was also observed by the phase
+    // histograms (which additionally see spans from other jobs, hence >=).
+    let (_, after) = request(addr, "GET", "/metrics", "");
+    for (name, count) in &counts {
+        let delta = phase_count(&after, name) - phase_count(&before, name);
+        assert!(
+            delta >= *count,
+            "phase `{name}`: metrics saw {delta} spans, tree holds {count}"
+        );
+    }
+
+    shutdown(addr, handle);
+}
+
+/// Chaos acceptance: a worker panic mid-job still yields a well-formed
+/// `/trace` tree — truncated where the work stopped, root tagged
+/// `outcome=panic` — because span guards record on unwind.
+#[test]
+fn worker_panic_leaves_well_formed_tree_tagged_panic() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    parx::faultpoint::activate("seed=5;worker.job=panic#1").expect("plan parses");
+    let (addr, handle) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+
+    let (status, body) = request(addr, "POST", "/analyze", MOTIVATING);
+    assert_eq!(status, 500, "the faulted request reports the panic");
+    assert!(body.contains("panicked"), "{body}");
+
+    let trees = trees_with_outcome(addr, "panic");
+    let tree = trees.last().expect("the panicked job left a tree");
+    assert_eq!(tree.get("name").and_then(Value::as_str), Some("request"));
+    assert_eq!(attr(tree, "endpoint"), Some("analyze"));
+    let mut counts = Vec::new();
+    check_tree(tree, None, &mut counts);
+
+    // The same request retried without the fault succeeds and leaves a
+    // complete `ok` tree — the journal survives the panic untorn.
+    parx::faultpoint::deactivate();
+    let ok_before = trees_with_outcome(addr, "ok").len();
+    let (status, _) = request(addr, "POST", "/analyze", MOTIVATING);
+    assert_eq!(status, 200);
+    let ok_trees = trees_with_outcome(addr, "ok");
+    assert!(ok_trees.len() > ok_before);
+    let mut counts = Vec::new();
+    check_tree(ok_trees.last().expect("ok tree"), None, &mut counts);
+    assert!(
+        counts.iter().any(|(n, _)| n == "analysis"),
+        "healthy analyze reaches the analysis phase: {counts:?}"
+    );
+
+    shutdown(addr, handle);
+}

@@ -41,11 +41,15 @@ impl Problem {
     /// # Ok::<(), ilp::SolveError>(())
     /// ```
     pub fn solve(&self) -> Result<Solution, SolveError> {
+        let _span = trace::span("ilp");
         let n = self.variable_count();
+        trace::attr("vars", n);
         let mut best: Option<Solution> = None;
         let mut stack: Vec<Vec<Option<bool>>> = vec![vec![None; n]];
+        let mut explored = 0u64;
 
         while let Some(fixed) = stack.pop() {
+            explored += 1;
             let lp = match solve_relaxation_fixed(self, &fixed) {
                 Ok(lp) => lp,
                 Err(SolveError::Infeasible) => continue,
@@ -101,6 +105,7 @@ impl Problem {
                 }
             }
         }
+        trace::attr("bb_nodes", explored);
         best.ok_or(SolveError::Infeasible)
     }
 }

@@ -90,19 +90,26 @@ where
     let (tx, rx) = mpsc::channel::<(usize, R)>();
     let mut slots: Vec<Option<R>> = Vec::with_capacity(n);
     slots.resize_with(n, || None);
+    // Carry the caller's trace position into the workers so spans opened
+    // inside `f` parent under the caller's span instead of starting
+    // disconnected per-thread roots.
+    let ctx = trace::current_context();
     std::thread::scope(|scope| {
         for _ in 0..workers {
             let tx = tx.clone();
             let next = &next;
             let f = &f;
-            scope.spawn(move || loop {
-                let i = next.fetch_add(1, Ordering::Relaxed);
-                if i >= n {
-                    break;
-                }
-                let r = f(i, &items[i]);
-                if tx.send((i, r)).is_err() {
-                    break;
+            scope.spawn(move || {
+                let _trace = trace::adopt(ctx);
+                loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let r = f(i, &items[i]);
+                    if tx.send((i, r)).is_err() {
+                        break;
+                    }
                 }
             });
         }

@@ -164,6 +164,13 @@ impl Pool {
     where
         F: FnOnce() + Send + 'static,
     {
+        // Capture the submitter's trace position now; the worker adopts
+        // it so the job's spans land in the submitting request's tree.
+        let ctx = trace::current_context();
+        let job = move || {
+            let _trace = trace::adopt(ctx);
+            job();
+        };
         let mut queue = self.shared.queue.lock().expect("pool poisoned");
         if queue.shutdown || queue.jobs.len() >= self.shared.capacity {
             return Err(PoolFull(Box::new(job)));

@@ -141,13 +141,18 @@ fn analyze_inner(
     jobs: usize,
     cancel: Option<&parx::CancelToken>,
 ) -> Result<Verdict, parx::Cancelled> {
+    let _span = trace::span("analysis");
     if let Some(witness) = find_token_free_cycle(graph) {
         return Ok(Verdict::Deadlock { witness });
     }
     let rg = RatioGraph::from_tmg(graph);
     let scc = tarjan(&rg);
     let components = scc.members();
-    let results = parx::par_map(jobs, &components, |_, members| {
+    trace::attr("sccs", components.len());
+    let results = parx::par_map(jobs, &components, |i, members| {
+        let _span = trace::span("howard");
+        trace::attr("scc", i);
+        trace::attr("nodes", members.len());
         howard_on_component(&rg, &scc, members, cancel)
     });
     let mut best: Option<CycleRatioResult> = None;

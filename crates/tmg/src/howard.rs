@@ -77,7 +77,7 @@ pub(crate) fn howard_on_component(
     let mut state = vec![0u8; k];
     let max_iterations = 64 + 8 * k;
 
-    for _ in 0..max_iterations {
+    for iteration in 0..max_iterations {
         if let Some(token) = cancel {
             token.check()?;
         }
@@ -188,12 +188,14 @@ pub(crate) fn howard_on_component(
         }
         if !bias_improved {
             // Converged: extract the best policy cycle.
+            trace::attr("iters", iteration + 1);
             let best = (0..k)
                 .max_by(|&a, &b| lambda[a].cmp(&lambda[b]))
                 .expect("component non-empty");
             return Ok(Some(extract_policy_cycle(graph, &local, &policy, best)));
         }
     }
+    trace::attr("iters", max_iterations);
     Ok(None)
 }
 

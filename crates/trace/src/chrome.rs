@@ -1,0 +1,184 @@
+//! Chrome-trace ("Trace Event Format") export.
+//!
+//! Emits the JSON consumed by `chrome://tracing` and
+//! <https://ui.perfetto.dev>: one `B`/`E` duration-event pair per span,
+//! timestamps in microseconds, one track per trace thread. Within a
+//! thread spans are nested-or-disjoint (they come from an RAII stack), so
+//! the emitter replays each thread's records through an interval stack —
+//! every `B` gets a matching `E`, properly nested, with monotone
+//! timestamps, even for zero-length spans sharing a boundary timestamp.
+
+use crate::SpanRecord;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Render `records` as a Chrome-trace JSON document.
+#[must_use]
+pub fn chrome_trace(records: &[SpanRecord]) -> String {
+    let mut by_thread: BTreeMap<u64, Vec<&SpanRecord>> = BTreeMap::new();
+    for r in records {
+        by_thread.entry(r.thread).or_default().push(r);
+    }
+
+    let mut out = String::with_capacity(records.len() * 192 + 64);
+    out.push_str("{\"traceEvents\":[");
+    let mut first = true;
+    for (tid, mut recs) in by_thread {
+        // Outer spans first: earlier start, then longer duration, then
+        // opening order (span ids are allocated at open).
+        recs.sort_by_key(|r| (r.start_ns, u64::MAX - r.end_ns, r.id));
+        let mut stack: Vec<&SpanRecord> = Vec::new();
+        for cur in recs {
+            while let Some(&top) = stack.last() {
+                if cur.start_ns >= top.start_ns && cur.end_ns <= top.end_ns {
+                    break; // nested inside `top`
+                }
+                emit(&mut out, &mut first, tid, top, false);
+                stack.pop();
+            }
+            emit(&mut out, &mut first, tid, cur, true);
+            stack.push(cur);
+        }
+        while let Some(top) = stack.pop() {
+            emit(&mut out, &mut first, tid, top, false);
+        }
+    }
+    out.push_str("]}");
+    out
+}
+
+fn emit(out: &mut String, first: &mut bool, tid: u64, r: &SpanRecord, begin: bool) {
+    if !*first {
+        out.push(',');
+    }
+    *first = false;
+    let (ph, ts) = if begin {
+        ('B', r.start_ns)
+    } else {
+        ('E', r.end_ns)
+    };
+    // ts is in microseconds; keep nanosecond precision as decimals.
+    let _ = write!(
+        out,
+        "{{\"name\":\"{}\",\"cat\":\"ermes\",\"ph\":\"{ph}\",\"ts\":{}.{:03},\"pid\":1,\"tid\":{tid}",
+        escape(r.name),
+        ts / 1_000,
+        ts % 1_000,
+    );
+    if begin && !r.attrs.is_empty() {
+        out.push_str(",\"args\":{");
+        for (j, (k, v)) in r.attrs.iter().enumerate() {
+            if j > 0 {
+                out.push(',');
+            }
+            let _ = write!(out, "\"{}\":\"{}\"", escape(k), escape(v));
+        }
+        out.push('}');
+    }
+    out.push('}');
+}
+
+fn escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, thread: u64, name: &'static str, start: u64, end: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id: 1,
+            id,
+            parent: 0,
+            name,
+            start_ns: start,
+            end_ns: end,
+            thread,
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Walk the emitted JSON with a tiny ad-hoc scan: per tid, every `E`
+    /// must close the most recent unclosed `B` of the same name and
+    /// timestamps must be monotone.
+    fn validate(json: &str) {
+        let mut stacks: std::collections::HashMap<String, Vec<String>> = Default::default();
+        let mut last_ts: std::collections::HashMap<String, f64> = Default::default();
+        let mut events = 0usize;
+        for ev in json.split("{\"name\":").skip(1) {
+            events += 1;
+            let name = ev.split('"').nth(1).expect("name").to_owned();
+            let ph = ev.split("\"ph\":\"").nth(1).expect("ph")[..1].to_owned();
+            let ts: f64 = ev
+                .split("\"ts\":")
+                .nth(1)
+                .and_then(|s| s.split(',').next())
+                .expect("ts")
+                .parse()
+                .expect("ts parses");
+            let tid = ev
+                .split("\"tid\":")
+                .nth(1)
+                .map(|s| {
+                    s.chars()
+                        .take_while(char::is_ascii_digit)
+                        .collect::<String>()
+                })
+                .expect("tid");
+            let prev = last_ts.entry(tid.clone()).or_insert(0.0);
+            assert!(ts >= *prev, "ts monotone per tid ({name}: {ts} < {prev})");
+            *prev = ts;
+            let stack = stacks.entry(tid).or_default();
+            if ph == "B" {
+                stack.push(name);
+            } else {
+                assert_eq!(stack.pop().as_deref(), Some(name.as_str()), "E matches B");
+            }
+        }
+        assert!(events > 0, "emitted at least one event");
+        for (tid, stack) in stacks {
+            assert!(stack.is_empty(), "unclosed spans on tid {tid}: {stack:?}");
+        }
+    }
+
+    #[test]
+    fn events_nest_and_stay_monotone_per_thread() {
+        let records = vec![
+            rec(2, 1, "inner", 150, 300),
+            rec(1, 1, "outer", 100, 400),
+            rec(3, 2, "other-thread", 120, 130),
+            // Zero-length span sharing its parent's start timestamp.
+            rec(5, 1, "instant", 100, 100),
+            // Sibling opening exactly when its predecessor closes.
+            rec(6, 1, "next", 400, 450),
+        ];
+        let json = chrome_trace(&records);
+        validate(&json);
+        assert!(json.contains("\"ts\":0.150"));
+        assert!(json.contains("\"tid\":2"));
+    }
+
+    #[test]
+    fn attrs_become_args_and_strings_are_escaped() {
+        let mut r = rec(1, 1, "phase", 0, 10);
+        r.attrs.push(("cache", "hit \"quoted\"\n".to_owned()));
+        let json = chrome_trace(&[r]);
+        validate(&json);
+        assert!(json.contains("\"args\":{\"cache\":\"hit \\\"quoted\\\"\\n\"}"));
+    }
+}

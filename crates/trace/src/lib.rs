@@ -1,0 +1,489 @@
+//! `trace` — dependency-free engine tracing for the ERMES workspace.
+//!
+//! The DAC'14 methodology is an iterative loop (analyze → extract critical
+//! cycle → ILP selection → channel reordering); knowing *where* a slow sweep
+//! spends its time requires per-phase evidence, not just the end-to-end
+//! latency the service measures at its HTTP boundary. This crate provides
+//! that evidence with zero dependencies and near-zero disabled cost:
+//!
+//! - **Spans** ([`span`]) are RAII guards around a phase of work. Opening a
+//!   span when tracing is disabled is a single relaxed atomic load and a
+//!   branch — cheap enough to leave in the hot paths of `tmg::howard`,
+//!   `ilp`, and the exploration loop unconditionally.
+//! - **Attributes** ([`attr`]) attach structured `key=value` pairs to the
+//!   innermost open span (`scc=3 nodes=41 iters=7`, `cache=hit`).
+//! - **Context propagation** ([`current_context`] / [`adopt`]) carries the
+//!   (trace id, parent span id) pair across threads so work fanned out via
+//!   `parx::par_map` or a `parx::Pool` reassembles into one tree per job.
+//! - **The journal** ([`ring::Journal`]) is a bounded ring buffer of closed
+//!   spans: a lock-free `fetch_add` cursor claims slots, per-slot mutexes
+//!   make each record's write atomic with respect to readers (no torn
+//!   records, no `unsafe`), and old records are overwritten FIFO.
+//! - **Per-phase histograms** ([`phase_snapshot`]) aggregate span durations
+//!   into the same log-spaced buckets `ermesd` uses for request latency, so
+//!   the daemon can export `ermes_phase_seconds{phase=...}` without keeping
+//!   every span.
+//! - **Exports**: [`chrome_trace`] renders records as Chrome-trace JSON
+//!   (open in `chrome://tracing` or <https://ui.perfetto.dev>);
+//!   [`assemble_trees`] rebuilds span trees for the daemon's `/trace`
+//!   endpoint; [`summary_report`] prints a per-phase table with quantiles,
+//!   cache hit rate, and the slowest SCCs.
+//!
+//! Spans are recorded when they *close*, which the RAII guard guarantees
+//! even during unwinding: a panicking job closes its open spans (tagged
+//! `outcome=panic`) before `parx::Pool`'s `catch_unwind` sees the payload,
+//! so a crashed or cancelled job still yields a well-formed, truncated tree.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod chrome;
+pub mod phase;
+pub mod ring;
+mod summary;
+mod tree;
+
+pub use phase::{phase_snapshot, PhaseSnapshot, LATENCY_BUCKETS};
+pub use ring::Journal;
+pub use summary::summary_report;
+pub use tree::{assemble_trees, SpanTree};
+
+use std::cell::RefCell;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Default capacity (in spans) of the global journal.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 16_384;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+static NEXT_SPAN_ID: AtomicU64 = AtomicU64::new(1);
+static NEXT_THREAD_ID: AtomicU64 = AtomicU64::new(1);
+
+/// Turn tracing on or off process-wide.
+///
+/// While disabled (the default), [`span`] and [`attr`] are a relaxed
+/// atomic load and a branch; nothing is allocated or recorded.
+pub fn set_enabled(on: bool) {
+    if on {
+        // Pin the clock epoch before the first span so timestamps are
+        // comparable across threads from the first record on.
+        let _ = epoch();
+    }
+    ENABLED.store(on, Ordering::Relaxed);
+}
+
+/// Whether tracing is currently enabled.
+#[inline]
+#[must_use]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+fn epoch() -> Instant {
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+    *EPOCH.get_or_init(Instant::now)
+}
+
+/// Monotonic nanoseconds since the process trace epoch.
+#[must_use]
+pub fn now_ns() -> u64 {
+    u64::try_from(epoch().elapsed().as_nanos()).unwrap_or(u64::MAX)
+}
+
+/// One closed span, as stored in the journal.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Id of the root span of the tree this span belongs to.
+    pub trace_id: u64,
+    /// This span's unique id (process-wide, never reused).
+    pub id: u64,
+    /// Id of the enclosing span, or 0 for a root.
+    pub parent: u64,
+    /// Phase name (static so hot paths never allocate for it).
+    pub name: &'static str,
+    /// Start time, nanoseconds since the trace epoch.
+    pub start_ns: u64,
+    /// End time, nanoseconds since the trace epoch.
+    pub end_ns: u64,
+    /// Trace-local id of the thread the span ran on.
+    pub thread: u64,
+    /// Structured `key=value` attributes, in insertion order.
+    pub attrs: Vec<(&'static str, String)>,
+}
+
+impl SpanRecord {
+    /// Span duration in nanoseconds.
+    #[must_use]
+    pub fn duration_ns(&self) -> u64 {
+        self.end_ns.saturating_sub(self.start_ns)
+    }
+
+    /// Value of attribute `key`, if present (last write wins).
+    #[must_use]
+    pub fn attr(&self, key: &str) -> Option<&str> {
+        self.attrs
+            .iter()
+            .rev()
+            .find(|(k, _)| *k == key)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+struct Frame {
+    trace_id: u64,
+    id: u64,
+    parent: u64,
+    name: &'static str,
+    start_ns: u64,
+    attrs: Vec<(&'static str, String)>,
+    /// True for frames pushed by [`adopt`]: they carry a remote parent for
+    /// child spans but are never recorded themselves.
+    adopted: bool,
+}
+
+struct ThreadState {
+    tid: u64,
+    stack: Vec<Frame>,
+}
+
+thread_local! {
+    static STATE: RefCell<ThreadState> = RefCell::new(ThreadState {
+        tid: NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed),
+        stack: Vec::new(),
+    });
+}
+
+/// RAII guard for an open span; the span is recorded when this drops.
+///
+/// Guards must be kept in a local so they nest lexically (LIFO); the
+/// journal records children before their parents as a consequence.
+#[must_use = "a span is measured between its creation and its drop"]
+pub struct Span {
+    armed: bool,
+}
+
+/// Open a span named `name` under the innermost open span (or as a root).
+///
+/// When tracing is disabled this returns an inert guard without touching
+/// thread-local state.
+pub fn span(name: &'static str) -> Span {
+    if !enabled() {
+        return Span { armed: false };
+    }
+    let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+    let start_ns = now_ns();
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        let (trace_id, parent) = match s.stack.last() {
+            Some(f) => (f.trace_id, f.id),
+            None => (id, 0),
+        };
+        s.stack.push(Frame {
+            trace_id,
+            id,
+            parent,
+            name,
+            start_ns,
+            attrs: Vec::new(),
+            adopted: false,
+        });
+    });
+    Span { armed: true }
+}
+
+impl Drop for Span {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        let end_ns = now_ns();
+        let record = STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            // Defensive: only pop our own (non-adopted) frame. A mismatch
+            // would mean a leaked guard; losing one record beats panicking
+            // inside a destructor that may already be unwinding.
+            if !matches!(s.stack.last(), Some(f) if !f.adopted) {
+                return None;
+            }
+            let mut f = s.stack.pop().expect("checked non-empty");
+            if std::thread::panicking() && f.attrs.iter().all(|(k, _)| *k != "outcome") {
+                f.attrs.push(("outcome", "panic".to_owned()));
+            }
+            Some(SpanRecord {
+                trace_id: f.trace_id,
+                id: f.id,
+                parent: f.parent,
+                name: f.name,
+                start_ns: f.start_ns,
+                end_ns,
+                thread: s.tid,
+                attrs: f.attrs,
+            })
+        });
+        if let Some(record) = record {
+            phase::observe(record.name, record.duration_ns());
+            journal().push(record);
+        }
+    }
+}
+
+/// Attach `key=value` to the innermost open (non-adopted) span.
+///
+/// A no-op when tracing is disabled or no span is open.
+pub fn attr(key: &'static str, value: impl fmt::Display) {
+    if !enabled() {
+        return;
+    }
+    STATE.with(|s| {
+        if let Some(f) = s.borrow_mut().stack.iter_mut().rev().find(|f| !f.adopted) {
+            f.attrs.push((key, value.to_string()));
+        }
+    });
+}
+
+/// A (trace id, parent span id) pair capturing "where we are" in a trace,
+/// for hand-off to another thread. `Copy` and 16 bytes, so capturing one
+/// per job is free.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Context {
+    trace_id: u64,
+    parent: u64,
+}
+
+impl Context {
+    /// The empty context: adopting it is a no-op.
+    #[must_use]
+    pub const fn none() -> Self {
+        Context {
+            trace_id: 0,
+            parent: 0,
+        }
+    }
+
+    /// Whether this context carries an active trace position.
+    #[must_use]
+    pub const fn is_active(&self) -> bool {
+        self.trace_id != 0
+    }
+}
+
+/// Capture the current trace position for another thread to [`adopt`].
+#[must_use]
+pub fn current_context() -> Context {
+    if !enabled() {
+        return Context::none();
+    }
+    STATE.with(|s| {
+        s.borrow()
+            .stack
+            .last()
+            .map_or(Context::none(), |f| Context {
+                trace_id: f.trace_id,
+                parent: f.id,
+            })
+    })
+}
+
+/// Guard for an adopted [`Context`]; restores the previous position on drop.
+#[must_use = "the context is adopted only while the guard lives"]
+pub struct Adopted {
+    armed: bool,
+}
+
+/// Make spans opened on this thread children of `ctx` while the returned
+/// guard lives. Used by `parx` so pool workers parent their spans under
+/// the submitting job's span.
+pub fn adopt(ctx: Context) -> Adopted {
+    if !enabled() || !ctx.is_active() {
+        return Adopted { armed: false };
+    }
+    STATE.with(|s| {
+        s.borrow_mut().stack.push(Frame {
+            trace_id: ctx.trace_id,
+            id: ctx.parent,
+            parent: 0,
+            name: "",
+            start_ns: 0,
+            attrs: Vec::new(),
+            adopted: true,
+        });
+    });
+    Adopted { armed: true }
+}
+
+impl Drop for Adopted {
+    fn drop(&mut self) {
+        if !self.armed {
+            return;
+        }
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            if matches!(s.stack.last(), Some(f) if f.adopted) {
+                s.stack.pop();
+            }
+        });
+    }
+}
+
+fn journal() -> &'static Journal {
+    static JOURNAL: OnceLock<Journal> = OnceLock::new();
+    JOURNAL.get_or_init(|| Journal::with_capacity(DEFAULT_JOURNAL_CAPACITY))
+}
+
+/// Snapshot the global journal, oldest record first.
+#[must_use]
+pub fn snapshot() -> Vec<SpanRecord> {
+    journal().snapshot()
+}
+
+/// Total spans recorded since process start (including overwritten ones).
+#[must_use]
+pub fn spans_recorded() -> u64 {
+    journal().pushed()
+}
+
+/// Clear the journal and the per-phase histograms (tests and benchmarks).
+pub fn reset() {
+    journal().clear();
+    phase::reset();
+}
+
+/// Render the Chrome-trace JSON for every record currently in the journal.
+#[must_use]
+pub fn chrome_trace() -> String {
+    chrome::chrome_trace(&snapshot())
+}
+
+/// Assemble the last `n` completed span trees from the journal, oldest
+/// first. A tree is complete when its root span has closed; because guards
+/// close during unwinding, cancelled and panicked jobs still appear here.
+#[must_use]
+pub fn completed_trees(n: usize) -> Vec<SpanTree> {
+    tree::assemble_trees(&snapshot(), n)
+}
+
+// The enable flag, journal, and phase registry are process-global;
+// serialize tests that use them.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    LOCK.lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn guard() -> std::sync::MutexGuard<'static, ()> {
+        test_guard()
+    }
+
+    #[test]
+    fn disabled_spans_record_nothing() {
+        let _g = guard();
+        set_enabled(false);
+        reset();
+        let before = spans_recorded();
+        {
+            let _s = span("noop");
+            attr("k", 1);
+        }
+        assert_eq!(spans_recorded(), before);
+        assert_eq!(current_context(), Context::none());
+    }
+
+    #[test]
+    fn nested_spans_close_lifo_and_link_parents() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _root = span("root");
+            attr("kind", "test");
+            {
+                let _mid = span("mid");
+                let _leaf = span("leaf");
+            }
+        }
+        set_enabled(false);
+        let recs = snapshot();
+        assert_eq!(
+            recs.iter().map(|r| r.name).collect::<Vec<_>>(),
+            vec!["leaf", "mid", "root"],
+            "children must be recorded before parents (LIFO close)"
+        );
+        let root = &recs[2];
+        let mid = &recs[1];
+        let leaf = &recs[0];
+        assert_eq!(root.parent, 0);
+        assert_eq!(mid.parent, root.id);
+        assert_eq!(leaf.parent, mid.id);
+        assert!(recs.iter().all(|r| r.trace_id == root.id));
+        assert!(leaf.start_ns >= mid.start_ns && mid.start_ns >= root.start_ns);
+        assert!(leaf.end_ns <= mid.end_ns && mid.end_ns <= root.end_ns);
+        assert_eq!(root.attr("kind"), Some("test"));
+    }
+
+    #[test]
+    fn adopt_parents_remote_spans_into_one_tree() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _root = span("root");
+            let ctx = current_context();
+            assert!(ctx.is_active());
+            std::thread::spawn(move || {
+                let _a = adopt(ctx);
+                let _w = span("worker");
+            })
+            .join()
+            .expect("worker thread");
+        }
+        set_enabled(false);
+        let recs = snapshot();
+        let root = recs.iter().find(|r| r.name == "root").expect("root");
+        let worker = recs.iter().find(|r| r.name == "worker").expect("worker");
+        assert_eq!(worker.parent, root.id);
+        assert_eq!(worker.trace_id, root.id);
+        assert_ne!(worker.thread, root.thread);
+    }
+
+    #[test]
+    fn panicking_span_closes_tagged_with_outcome() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let res = std::panic::catch_unwind(|| {
+            let _s = span("doomed");
+            panic!("boom");
+        });
+        assert!(res.is_err());
+        set_enabled(false);
+        let recs = snapshot();
+        let doomed = recs.iter().find(|r| r.name == "doomed").expect("recorded");
+        assert_eq!(doomed.attr("outcome"), Some("panic"));
+    }
+
+    #[test]
+    fn trees_assemble_from_journal() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        for _ in 0..3 {
+            let _r = span("job");
+            let _c = span("inner");
+        }
+        set_enabled(false);
+        let trees = completed_trees(2);
+        assert_eq!(trees.len(), 2);
+        for t in &trees {
+            assert_eq!(t.record.name, "job");
+            assert_eq!(t.children.len(), 1);
+            assert_eq!(t.children[0].record.name, "inner");
+        }
+    }
+}

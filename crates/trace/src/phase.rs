@@ -1,0 +1,125 @@
+//! Cumulative per-phase duration histograms.
+//!
+//! The journal is a bounded window; these histograms are not. Every span
+//! close also lands in the histogram for its phase name, so the daemon can
+//! export `ermes_phase_seconds{phase=...}` covering the whole process
+//! lifetime even after the ring has wrapped.
+
+use std::collections::BTreeMap;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// Log-spaced histogram bucket upper bounds, in seconds.
+///
+/// Deliberately identical to `ermesd`'s request-latency buckets so phase
+/// and request histograms line up on one dashboard axis.
+pub const LATENCY_BUCKETS: [f64; 14] = [
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1.0, 10.0,
+];
+
+#[derive(Clone, Default)]
+struct Hist {
+    /// One count per bucket plus the +Inf overflow bucket.
+    buckets: [u64; LATENCY_BUCKETS.len() + 1],
+    sum_ns: u128,
+    count: u64,
+}
+
+/// Aggregated statistics for one phase (span name).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PhaseSnapshot {
+    /// The span name the durations were recorded under.
+    pub phase: &'static str,
+    /// Non-cumulative counts per bucket of [`LATENCY_BUCKETS`], with a
+    /// final +Inf bucket appended.
+    pub buckets: [u64; LATENCY_BUCKETS.len() + 1],
+    /// Total time spent in this phase, in seconds.
+    pub sum_seconds: f64,
+    /// Number of spans observed.
+    pub count: u64,
+}
+
+impl PhaseSnapshot {
+    /// Estimate the `q`-quantile (`0.0..=1.0`) in seconds from the bucket
+    /// counts, using each bucket's upper bound (conservative).
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q * self.count as f64).ceil().max(1.0) as u64;
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                return LATENCY_BUCKETS.get(i).copied().unwrap_or(f64::INFINITY);
+            }
+        }
+        f64::INFINITY
+    }
+}
+
+fn registry() -> &'static Mutex<BTreeMap<&'static str, Hist>> {
+    static REGISTRY: OnceLock<Mutex<BTreeMap<&'static str, Hist>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(BTreeMap::new()))
+}
+
+fn lock() -> std::sync::MutexGuard<'static, BTreeMap<&'static str, Hist>> {
+    registry().lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Record one span duration under `phase`.
+pub(crate) fn observe(phase: &'static str, duration_ns: u64) {
+    let seconds = duration_ns as f64 / 1e9;
+    let idx = LATENCY_BUCKETS
+        .iter()
+        .position(|&b| seconds <= b)
+        .unwrap_or(LATENCY_BUCKETS.len());
+    let mut map = lock();
+    let h = map.entry(phase).or_default();
+    h.buckets[idx] += 1;
+    h.sum_ns += u128::from(duration_ns);
+    h.count += 1;
+}
+
+/// Snapshot every phase histogram, sorted by phase name.
+#[must_use]
+pub fn phase_snapshot() -> Vec<PhaseSnapshot> {
+    lock()
+        .iter()
+        .map(|(phase, h)| PhaseSnapshot {
+            phase,
+            buckets: h.buckets,
+            sum_seconds: h.sum_ns as f64 / 1e9,
+            count: h.count,
+        })
+        .collect()
+}
+
+/// Forget all recorded phases (tests and benchmarks).
+pub(crate) fn reset() {
+    lock().clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_accumulate_and_quantiles_are_sane() {
+        let _g = crate::test_guard();
+        reset();
+        observe("t_phase", 50_000); // 50µs -> first bucket (<=100µs)
+        observe("t_phase", 2_000_000); // 2ms -> <=2.5ms bucket
+        observe("t_phase", 30_000_000_000); // 30s -> +Inf bucket
+        let snap = phase_snapshot();
+        let p = snap.iter().find(|p| p.phase == "t_phase").expect("present");
+        assert_eq!(p.count, 3);
+        assert_eq!(p.buckets[0], 1);
+        assert_eq!(p.buckets[4], 1);
+        assert_eq!(p.buckets[LATENCY_BUCKETS.len()], 1);
+        assert!((p.sum_seconds - 30.00205).abs() < 1e-6);
+        assert_eq!(p.quantile(0.5), 0.0025);
+        assert_eq!(p.quantile(0.99), f64::INFINITY);
+        reset();
+    }
+}

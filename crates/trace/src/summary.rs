@@ -1,0 +1,113 @@
+//! Human-readable per-phase summary table (`ermes ... --trace-summary`).
+
+use crate::{phase_snapshot, snapshot, SpanRecord};
+
+/// Render the per-phase summary for the current process: total/mean time
+/// and p50/p99 per phase, engine-cache hit rate, and the five slowest
+/// Howard (per-SCC) spans.
+///
+/// Totals and counts come from the cumulative phase histograms (complete
+/// over the process lifetime); quantiles and the slowest-SCC table come
+/// from the journal window, so on very long runs they describe the most
+/// recent [`crate::DEFAULT_JOURNAL_CAPACITY`] spans.
+#[must_use]
+pub fn summary_report() -> String {
+    let phases = phase_snapshot();
+    let records = snapshot();
+    let mut out = String::new();
+
+    out.push_str(
+        "phase            count     total[ms]      mean[ms]       p50[ms]       p99[ms]\n",
+    );
+    for p in &phases {
+        // Exact quantiles from the journal window when we still have the
+        // spans; bucket upper bounds otherwise.
+        let mut window: Vec<u64> = records
+            .iter()
+            .filter(|r| r.name == p.phase)
+            .map(SpanRecord::duration_ns)
+            .collect();
+        window.sort_unstable();
+        let (p50, p99) = if window.is_empty() {
+            (p.quantile(0.5) * 1e3, p.quantile(0.99) * 1e3)
+        } else {
+            (
+                window[(window.len() - 1) / 2] as f64 / 1e6,
+                window[(window.len() - 1) * 99 / 100] as f64 / 1e6,
+            )
+        };
+        let total_ms = p.sum_seconds * 1e3;
+        let mean_ms = if p.count == 0 {
+            0.0
+        } else {
+            total_ms / p.count as f64
+        };
+        out.push_str(&format!(
+            "{:<14} {:>7} {:>13.3} {:>13.4} {:>13.4} {:>13.4}\n",
+            p.phase, p.count, total_ms, mean_ms, p50, p99
+        ));
+    }
+
+    let hits = records
+        .iter()
+        .filter(|r| r.name == "cache" && r.attr("cache") == Some("hit"))
+        .count();
+    let misses = records
+        .iter()
+        .filter(|r| r.name == "cache" && r.attr("cache") == Some("miss"))
+        .count();
+    if hits + misses > 0 {
+        out.push_str(&format!(
+            "\ncache: {} hits / {} misses ({:.1}% hit rate)\n",
+            hits,
+            misses,
+            100.0 * hits as f64 / (hits + misses) as f64
+        ));
+    }
+
+    let mut howards: Vec<&SpanRecord> = records.iter().filter(|r| r.name == "howard").collect();
+    howards.sort_by_key(|r| std::cmp::Reverse(r.duration_ns()));
+    if !howards.is_empty() {
+        out.push_str("\nslowest SCCs (howard):\n");
+        for r in howards.iter().take(5) {
+            out.push_str(&format!(
+                "  {:>10.3} ms  scc={} nodes={} iters={}\n",
+                r.duration_ns() as f64 / 1e6,
+                r.attr("scc").unwrap_or("?"),
+                r.attr("nodes").unwrap_or("?"),
+                r.attr("iters").unwrap_or("?"),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn summary_mentions_recorded_phases() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _c = crate::span("cache");
+            crate::attr("cache", "hit");
+        }
+        {
+            let _c = crate::span("cache");
+            crate::attr("cache", "miss");
+        }
+        {
+            let _h = crate::span("howard");
+            crate::attr("scc", 0);
+            crate::attr("nodes", 7);
+            crate::attr("iters", 3);
+        }
+        crate::set_enabled(false);
+        let report = super::summary_report();
+        assert!(report.contains("cache"));
+        assert!(report.contains("howard"));
+        assert!(report.contains("1 hits / 1 misses (50.0% hit rate)"));
+        assert!(report.contains("scc=0 nodes=7 iters=3"));
+    }
+}

@@ -1,0 +1,126 @@
+//! Reassembling journal records into span trees.
+
+use crate::SpanRecord;
+use std::collections::HashMap;
+
+/// A span with its (recursively nested) children, ordered by start time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanTree {
+    /// The span itself.
+    pub record: SpanRecord,
+    /// Child spans, sorted by `(start_ns, id)`.
+    pub children: Vec<SpanTree>,
+}
+
+impl SpanTree {
+    /// Number of spans in this tree, including the root.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        1 + self.children.iter().map(SpanTree::len).sum::<usize>()
+    }
+
+    /// Whether the tree is a bare root with no children.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.children.is_empty()
+    }
+}
+
+/// Rebuild the last `n` *completed* span trees from `records`, ordered
+/// oldest root first.
+///
+/// A tree counts as completed when its root record (`parent == 0`) is
+/// present: children close before their parent (RAII, even during
+/// unwinding), so a closed root implies every descendant either closed
+/// too or was already overwritten in the ring. Descendants whose parent
+/// record was overwritten are grafted onto the tree root rather than
+/// dropped, keeping truncated trees well-formed.
+#[must_use]
+pub fn assemble_trees(records: &[SpanRecord], n: usize) -> Vec<SpanTree> {
+    let present: HashMap<u64, &SpanRecord> = records.iter().map(|r| (r.id, r)).collect();
+    let mut roots: Vec<&SpanRecord> = records.iter().filter(|r| r.parent == 0).collect();
+    roots.sort_by_key(|r| (r.end_ns, r.id));
+    let keep = roots.len().saturating_sub(n);
+    let roots = &roots[keep..];
+
+    // children[parent id] = records directly under it. A record whose
+    // parent is missing from the window attaches to its trace root.
+    let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for r in records {
+        if r.parent == 0 {
+            continue;
+        }
+        let anchor = if present.contains_key(&r.parent) {
+            r.parent
+        } else {
+            r.trace_id
+        };
+        if anchor != r.id {
+            children.entry(anchor).or_default().push(r);
+        }
+    }
+    for v in children.values_mut() {
+        v.sort_by_key(|r| (r.start_ns, r.id));
+    }
+
+    roots.iter().map(|root| build(root, &children)).collect()
+}
+
+fn build(record: &SpanRecord, children: &HashMap<u64, Vec<&SpanRecord>>) -> SpanTree {
+    SpanTree {
+        record: record.clone(),
+        children: children
+            .get(&record.id)
+            .map(|kids| kids.iter().map(|k| build(k, children)).collect())
+            .unwrap_or_default(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(id: u64, parent: u64, trace_id: u64, name: &'static str, start: u64) -> SpanRecord {
+        SpanRecord {
+            trace_id,
+            id,
+            parent,
+            name,
+            start_ns: start,
+            end_ns: start + 10,
+            thread: 1,
+            attrs: Vec::new(),
+        }
+    }
+
+    #[test]
+    fn assembles_nested_trees_and_limits_to_last_n() {
+        let records = vec![
+            rec(3, 2, 1, "leaf", 30),
+            rec(2, 1, 1, "mid", 20),
+            rec(1, 0, 1, "root-a", 10),
+            rec(5, 4, 4, "only", 50),
+            rec(4, 0, 4, "root-b", 40),
+        ];
+        let trees = assemble_trees(&records, 10);
+        assert_eq!(trees.len(), 2);
+        assert_eq!(trees[0].record.name, "root-a");
+        assert_eq!(trees[0].children[0].record.name, "mid");
+        assert_eq!(trees[0].children[0].children[0].record.name, "leaf");
+        assert_eq!(trees[0].len(), 3);
+        assert_eq!(trees[1].record.name, "root-b");
+
+        let last = assemble_trees(&records, 1);
+        assert_eq!(last.len(), 1);
+        assert_eq!(last[0].record.name, "root-b");
+    }
+
+    #[test]
+    fn orphaned_children_graft_onto_the_trace_root() {
+        // Parent id 7 was overwritten in the ring; 8 still references it.
+        let records = vec![rec(8, 7, 1, "orphan", 25), rec(1, 0, 1, "root", 10)];
+        let trees = assemble_trees(&records, 10);
+        assert_eq!(trees.len(), 1);
+        assert_eq!(trees[0].children[0].record.name, "orphan");
+    }
+}
