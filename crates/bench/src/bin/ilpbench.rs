@@ -1,0 +1,327 @@
+//! E14 — A/B benchmark of the two exact ILP engines on the MPEG-2
+//! exploration ladder.
+//!
+//! ```text
+//! ilpbench [--jobs <n>] [--out <path>] [--check-nodes]
+//! ```
+//!
+//! Runs the E13 target ladder (five targets on the MPEG-2 encoder)
+//! twice per engine — cold (empty analysis cache) and warm (re-run
+//! against the filled cache, the iterative-DSE case where the ILP is
+//! the only phase the memo cannot remove) — once with the bounded
+//! branch & bound (`OptStrategy::Exact`) and once with the frozen seed
+//! engine (`OptStrategy::ExactSeed`).
+//!
+//! The run **fails (exit 1)** when the engines disagree beyond the
+//! solver's 1e-9 optimality tolerance, or when either engine's warm
+//! ladder is not bit-identical to its own cold ladder. Knife-edge ties
+//! — both engines proving optima whose objectives agree within 1e-9
+//! but selecting different micro-architectures — are certified, printed
+//! per target, and tolerated: each engine is deterministic, the tied
+//! selections are alternate optima of the same ILP, and which one a
+//! given search order reaches first is a traversal artifact (the frozen
+//! seed's DFS included). With `--check-nodes` the run additionally
+//! fails if the bounded engine explored *more* branch & bound nodes
+//! than the seed engine on the cold ladder — the regression CI guards
+//! against.
+//!
+//! `--out` writes the measurements as JSON (same counters as
+//! `BENCH_ilp.json` from `repro --experiment phases`, split by engine
+//! and stage).
+
+use std::time::Instant;
+
+use ermes::{ExplorationConfig, ExplorationTrace, ExploreOptions, OptStrategy};
+
+const TARGETS: [u64; 5] = [900_000, 1_200_000, 1_500_000, 1_800_000, 2_400_000];
+
+struct StageResult {
+    engine: &'static str,
+    stage: &'static str,
+    wall_ms: f64,
+    ilp: ilp::IlpStats,
+    traces: Vec<ExplorationTrace>,
+}
+
+/// Explores every ladder target once with the given strategy, sharing
+/// `cache` across targets (so a "warm" call after a "cold" one probes a
+/// filled analysis/ordering cache and spends its time in the solver).
+fn run_ladder(
+    engine: &'static str,
+    stage: &'static str,
+    strategy: OptStrategy,
+    jobs: usize,
+    cache: &ermes::EngineCache,
+) -> StageResult {
+    let (design, _) = mpeg2sys::mpeg2_design();
+    let options = ExploreOptions {
+        jobs,
+        cache: Some(cache),
+        cancel: None,
+    };
+    let before = ilp::stats();
+    let t = Instant::now();
+    let traces = TARGETS
+        .iter()
+        .map(|&target| {
+            let mut config = ExplorationConfig::with_target(target);
+            config.strategy = strategy;
+            ermes::explore_with(design.clone(), config, &options)
+                .expect("the MPEG-2 encoder explores without error")
+        })
+        .collect();
+    let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+    let ilp = ilp::stats().delta_since(&before);
+    StageResult {
+        engine,
+        stage,
+        wall_ms,
+        ilp,
+        traces,
+    }
+}
+
+/// Outcome of comparing one target's exploration between two runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Verdict {
+    /// Bit-identical traces, best points, and final selections.
+    Identical,
+    /// The runs fork at a knife-edge tie: at the first differing
+    /// iteration both engines report the same cycle time and areas
+    /// within the solver's 1e-9 optimality tolerance — two alternate
+    /// optimal selections of the same ILP, each proved optimal by its
+    /// engine. Deterministic per engine, legitimate either way.
+    Tie,
+    /// A real divergence: the engines disagree beyond solver tolerance.
+    Diverged,
+}
+
+/// Compares two runs target by target, printing every non-identical
+/// case to stderr so a CI failure is diagnosable from the log alone.
+/// Returns the worst verdict observed.
+fn compare(a: &StageResult, b: &StageResult) -> Verdict {
+    let mut worst = Verdict::Identical;
+    let note = |v: Verdict, worst: &mut Verdict| {
+        if v == Verdict::Diverged || *worst == Verdict::Identical {
+            *worst = v;
+        }
+    };
+    for (i, (ta, tb)) in a.traces.iter().zip(&b.traces).enumerate() {
+        let target = TARGETS[i];
+        let label = format!("{}/{} vs {}/{}", a.engine, a.stage, b.engine, b.stage);
+        if ta.iterations != tb.iterations {
+            let diff = ta
+                .iterations
+                .iter()
+                .zip(&tb.iterations)
+                .find(|(ra, rb)| ra != rb);
+            match diff {
+                Some((ra, rb)) => {
+                    // A fork whose first difference is a same-cycle-time
+                    // point with areas within the solver's optimality
+                    // tolerance is a certified alternate optimum.
+                    let tie = ra.cycle_time == rb.cycle_time
+                        && ra.action == rb.action
+                        && (ra.area - rb.area).abs() <= 1e-9;
+                    note(
+                        if tie { Verdict::Tie } else { Verdict::Diverged },
+                        &mut worst,
+                    );
+                    eprintln!(
+                        "target {target}: {label} fork at iteration {} ({}):\n  {ra:?}\n  {rb:?}\n  best: CT {} area {:.17} vs CT {} area {:.17}",
+                        ra.index,
+                        if tie { "knife-edge tie, alternate optima" } else { "DIVERGENCE" },
+                        ta.best().cycle_time,
+                        ta.best().area,
+                        tb.best().cycle_time,
+                        tb.best().area,
+                    );
+                }
+                None => {
+                    note(Verdict::Diverged, &mut worst);
+                    eprintln!(
+                        "target {target}: {label}: {} vs {} iterations",
+                        ta.iterations.len(),
+                        tb.iterations.len()
+                    );
+                }
+            }
+        } else if ta.best_index != tb.best_index {
+            note(Verdict::Diverged, &mut worst);
+            eprintln!(
+                "target {target}: {label}: best index {} vs {}",
+                ta.best_index, tb.best_index
+            );
+        } else if ta.design.selection() != tb.design.selection() {
+            // Identical recorded trace (cycle times AND areas bit-equal)
+            // but a different selection behind the best point: an exact
+            // tie between micro-architecture selections of equal area.
+            note(Verdict::Tie, &mut worst);
+            eprintln!("target {target}: {label}: equal trace, alternate equal-area selections");
+        }
+    }
+    if a.traces.len() != b.traces.len() {
+        note(Verdict::Diverged, &mut worst);
+    }
+    worst
+}
+
+fn json_report(jobs: usize, rows: &[&StageResult], same: bool, cross: &str) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E14\",\n");
+    let targets: Vec<String> = TARGETS.iter().map(ToString::to_string).collect();
+    out.push_str(&format!("  \"targets\": [{}],\n", targets.join(", ")));
+    out.push_str(&format!("  \"jobs\": {},\n", parx::resolve_jobs(jobs)));
+    out.push_str(&format!("  \"identical\": {same},\n"));
+    out.push_str(&format!("  \"cross_engine\": \"{cross}\",\n"));
+    out.push_str("  \"stages\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"engine\": \"{}\",\n", row.engine));
+        out.push_str(&format!("      \"stage\": \"{}\",\n", row.stage));
+        out.push_str(&format!("      \"wall_ms\": {:.3},\n", row.wall_ms));
+        out.push_str(&format!("      \"ilp_solves\": {},\n", row.ilp.solves));
+        out.push_str(&format!("      \"ilp_nodes\": {},\n", row.ilp.nodes));
+        out.push_str(&format!(
+            "      \"warmstart_hits\": {},\n",
+            row.ilp.warmstart_hits
+        ));
+        out.push_str(&format!(
+            "      \"warmstart_misses\": {},\n",
+            row.ilp.warmstart_misses
+        ));
+        out.push_str(&format!(
+            "      \"warmstart_rate\": {:.4},\n",
+            row.ilp.warmstart_rate()
+        ));
+        out.push_str(&format!(
+            "      \"presolve_fixed\": {}\n",
+            row.ilp.presolve_fixed
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let check_nodes = args.iter().any(|a| a == "--check-nodes");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let jobs = parx::parse_jobs(
+        "--jobs",
+        args.iter()
+            .position(|a| a == "--jobs")
+            .and_then(|i| args.get(i + 1))
+            .map(String::as_str),
+        1,
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("{e}");
+        std::process::exit(2);
+    });
+
+    println!("E14 — exact-engine A/B on the MPEG-2 ladder {TARGETS:?}");
+    println!("jobs: {}\n", parx::resolve_jobs(jobs));
+
+    // One cache per engine: cold fills it, warm reuses it. The caches
+    // memoize analysis and ordering only, never solver state, so they
+    // cannot leak results between engines anyway — separate caches just
+    // keep the cold stages comparable.
+    let bounded_cache = ermes::EngineCache::new();
+    let seed_cache = ermes::EngineCache::new();
+    let rows = [
+        run_ladder("bounded", "cold", OptStrategy::Exact, jobs, &bounded_cache),
+        run_ladder("bounded", "warm", OptStrategy::Exact, jobs, &bounded_cache),
+        run_ladder("seed", "cold", OptStrategy::ExactSeed, jobs, &seed_cache),
+        run_ladder("seed", "warm", OptStrategy::ExactSeed, jobs, &seed_cache),
+    ];
+    let [bounded_cold, bounded_warm, seed_cold, seed_warm] = &rows;
+
+    println!("engine   stage  wall[ms]  solves   nodes  warm-hit  warm-miss  presolve");
+    for row in &rows {
+        println!(
+            "{:<8} {:<5} {:>9.1} {:>7} {:>7} {:>9} {:>10} {:>9}",
+            row.engine,
+            row.stage,
+            row.wall_ms,
+            row.ilp.solves,
+            row.ilp.nodes,
+            row.ilp.warmstart_hits,
+            row.ilp.warmstart_misses,
+            row.ilp.presolve_fixed
+        );
+    }
+    println!(
+        "\nwarm ilp speedup (seed {:.1} ms / bounded {:.1} ms): {:.2}x",
+        seed_warm.wall_ms,
+        bounded_warm.wall_ms,
+        seed_warm.wall_ms / bounded_warm.wall_ms
+    );
+
+    // Within one engine, warm state must not change anything: cold and
+    // warm ladders are required to be bit-identical, no tie excuse.
+    let bounded_repro = compare(bounded_cold, bounded_warm);
+    let seed_repro = compare(seed_cold, seed_warm);
+    // Across engines, knife-edge ties (alternate optima within the
+    // solver's 1e-9 tolerance) are certified and tolerated; anything
+    // beyond tolerance fails.
+    let cross = compare(bounded_cold, seed_cold);
+    let same = cross == Verdict::Identical
+        && bounded_repro == Verdict::Identical
+        && seed_repro == Verdict::Identical;
+    println!(
+        "cross-engine traces: {}",
+        match cross {
+            Verdict::Identical => "bit-identical",
+            Verdict::Tie => "identical up to knife-edge ties (alternate optima within 1e-9)",
+            Verdict::Diverged => "DIVERGED",
+        }
+    );
+
+    if let Some(path) = out_path {
+        let cross_str = match cross {
+            Verdict::Identical => "identical",
+            Verdict::Tie => "tie",
+            Verdict::Diverged => "diverged",
+        };
+        let json = json_report(jobs, &rows.iter().collect::<Vec<_>>(), same, cross_str);
+        match std::fs::write(&path, json) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    if bounded_repro != Verdict::Identical || seed_repro != Verdict::Identical {
+        eprintln!("FAIL: an engine is not reproducible between its cold and warm ladders");
+        std::process::exit(1);
+    }
+    if cross == Verdict::Diverged {
+        eprintln!("FAIL: engines disagree beyond solver tolerance — a correctness bug");
+        std::process::exit(1);
+    }
+    if check_nodes && bounded_cold.ilp.nodes > seed_cold.ilp.nodes {
+        eprintln!(
+            "FAIL: bounded engine explored {} nodes, seed engine {} — node regression",
+            bounded_cold.ilp.nodes, seed_cold.ilp.nodes
+        );
+        std::process::exit(1);
+    }
+    if check_nodes {
+        println!(
+            "node check passed: bounded {} <= seed {}",
+            bounded_cold.ilp.nodes, seed_cold.ilp.nodes
+        );
+    }
+}

@@ -282,11 +282,54 @@ fn run_scalability(jobs: usize) {
     println!(" Ratio equality; hit-rate is the analysis cache over both engine runs)");
 }
 
+/// Hand-rolled JSON for E13's machine-readable record: no serde in the
+/// workspace, and the schema is five flat fields per stage.
+fn phases_json(targets: &[u64], jobs: usize, rows: &[experiments::PhaseBreakdownRow]) -> String {
+    let mut out = String::from("{\n");
+    out.push_str("  \"experiment\": \"E13\",\n");
+    let targets: Vec<String> = targets.iter().map(ToString::to_string).collect();
+    out.push_str(&format!("  \"targets\": [{}],\n", targets.join(", ")));
+    out.push_str(&format!("  \"jobs\": {},\n", parx::resolve_jobs(jobs)));
+    out.push_str("  \"stages\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"stage\": \"{}\",\n", row.stage));
+        out.push_str(&format!("      \"wall_ms\": {:.3},\n", row.wall_ms));
+        out.push_str(&format!("      \"ilp_ms\": {:.3},\n", row.phase_ms("ilp")));
+        out.push_str(&format!("      \"ilp_solves\": {},\n", row.ilp.solves));
+        out.push_str(&format!("      \"ilp_nodes\": {},\n", row.ilp.nodes));
+        out.push_str(&format!(
+            "      \"warmstart_hits\": {},\n",
+            row.ilp.warmstart_hits
+        ));
+        out.push_str(&format!(
+            "      \"warmstart_misses\": {},\n",
+            row.ilp.warmstart_misses
+        ));
+        out.push_str(&format!(
+            "      \"warmstart_rate\": {:.4},\n",
+            row.ilp.warmstart_rate()
+        ));
+        out.push_str(&format!(
+            "      \"presolve_fixed\": {}\n",
+            row.ilp.presolve_fixed
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 fn run_phases(jobs: usize) {
     banner("E13 — per-phase time breakdown, MPEG-2 sweep (seed / cold / warm)");
     let targets = [900_000, 1_200_000, 1_500_000, 1_800_000, 2_400_000];
     println!("targets: {targets:?}, jobs: {}", parx::resolve_jobs(jobs));
-    for row in experiments::phase_breakdown(&targets, jobs) {
+    let rows = experiments::phase_breakdown(&targets, jobs);
+    for row in &rows {
         println!("\n{} stage — wall {:.1} ms", row.stage, row.wall_ms);
         println!("  phase            count     total[ms]    % of wall");
         for (phase, count, total_ms) in &row.phases {
@@ -295,6 +338,20 @@ fn run_phases(jobs: usize) {
                 100.0 * total_ms / row.wall_ms
             );
         }
+        println!(
+            "  ilp solver: {} solves, {} nodes, warm-start {}/{} ({:.0}%), {} presolve-fixed",
+            row.ilp.solves,
+            row.ilp.nodes,
+            row.ilp.warmstart_hits,
+            row.ilp.warmstart_hits + row.ilp.warmstart_misses,
+            100.0 * row.ilp.warmstart_rate(),
+            row.ilp.presolve_fixed
+        );
+    }
+    let json = phases_json(&targets, jobs, &rows);
+    match std::fs::write("BENCH_ilp.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_ilp.json (solver wall time + counters per stage)"),
+        Err(e) => eprintln!("\ncould not write BENCH_ilp.json: {e}"),
     }
     println!("\n(phases nest — howard inside analysis inside a cache probe — and with");
     println!(" jobs > 1 they accumulate across workers, so columns are not additive and");

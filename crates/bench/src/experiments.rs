@@ -410,6 +410,22 @@ pub struct PhaseBreakdownRow {
     /// sorted by total time descending. Phases overlap (a `howard` span
     /// runs inside an `analysis` span), so the totals exceed wall time.
     pub phases: Vec<(&'static str, u64, f64)>,
+    /// ILP solver counter increments attributable to this stage
+    /// (solves, branch & bound nodes, warm-start hits/misses,
+    /// presolve-fixed variables).
+    pub ilp: ilp::IlpStats,
+}
+
+impl PhaseBreakdownRow {
+    /// Total milliseconds spent in spans of the given phase during this
+    /// stage, `0.0` when the phase never ran.
+    #[must_use]
+    pub fn phase_ms(&self, phase: &str) -> f64 {
+        self.phases
+            .iter()
+            .find(|(name, _, _)| *name == phase)
+            .map_or(0.0, |(_, _, ms)| *ms)
+    }
 }
 
 /// Runs E13: the MPEG-2 encoder swept over `targets` three times — seed
@@ -437,9 +453,11 @@ pub fn phase_breakdown(targets: &[u64], jobs: usize) -> Vec<PhaseBreakdownRow> {
 
     let stage = |name: &'static str, run: &mut dyn FnMut()| -> PhaseBreakdownRow {
         trace::reset();
+        let before = ilp::stats();
         let t = Instant::now();
         run();
         let wall_ms = t.elapsed().as_secs_f64() * 1e3;
+        let ilp = ilp::stats().delta_since(&before);
         let mut phases: Vec<(&'static str, u64, f64)> = trace::phase_snapshot()
             .iter()
             .map(|p| (p.phase, p.count, p.sum_seconds * 1e3))
@@ -449,6 +467,7 @@ pub fn phase_breakdown(targets: &[u64], jobs: usize) -> Vec<PhaseBreakdownRow> {
             stage: name,
             wall_ms,
             phases,
+            ilp,
         }
     };
 

@@ -29,8 +29,9 @@ analysis daemon (see the `ermesd` crate): POST /analyze, /order,
 Every analysis command also accepts:
     --trace-out <file>   write a Chrome-trace JSON of the run (open in
                          chrome://tracing or https://ui.perfetto.dev)
-    --trace-summary      print per-phase time, cache hit rate, and the
-                         slowest SCCs after the command's normal output
+    --trace-summary      print per-phase time, cache hit rate, ILP
+                         solver counters (nodes, warm-start hits), and
+                         the slowest SCCs after the command's output
 
 Tracing stays off (a single atomic check per engine phase) unless one of
 the flags is given; results are bit-identical either way.
@@ -153,6 +154,18 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     }
     if trace_summary {
         print!("\n{}", trace::summary_report());
+        let ilp = ilp::stats();
+        if ilp.solves > 0 {
+            println!(
+                "ilp solver: {} solves, {} nodes, warm-start {}/{} ({:.0}%), {} presolve-fixed",
+                ilp.solves,
+                ilp.nodes,
+                ilp.warmstart_hits,
+                ilp.warmstart_hits + ilp.warmstart_misses,
+                100.0 * ilp.warmstart_rate(),
+                ilp.presolve_fixed
+            );
+        }
     }
     Ok(())
 }

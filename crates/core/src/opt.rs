@@ -33,7 +33,8 @@ pub struct IpSelection {
 /// Solver strategy for the selection problems.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum OptStrategy {
-    /// Exact 0/1 ILP (simplex relaxation + branch & bound).
+    /// Exact 0/1 ILP (bounded-variable simplex + branch & bound, with
+    /// warm-started bases when an [`OptContext`] is carried across calls).
     Exact,
     /// Greedy frontier walk (used for very large designs).
     Greedy,
@@ -41,6 +42,11 @@ pub enum OptStrategy {
     /// [`OptStrategy::Greedy`].
     #[default]
     Auto,
+    /// [`OptStrategy::Exact`] pinned to the frozen seed engine (two-phase
+    /// simplex, DFS branch & bound, no warm starts). Selected solutions
+    /// are bit-identical to [`OptStrategy::Exact`]; this variant exists
+    /// for differential tests and the `ilpbench` A/B benchmark.
+    ExactSeed,
 }
 
 const AUTO_EXACT_LIMIT: usize = 400;
@@ -55,6 +61,45 @@ fn resolve(strategy: OptStrategy, variables: usize) -> OptStrategy {
             }
         }
         s => s,
+    }
+}
+
+/// Reusable solver state carried across the selection problems of one
+/// exploration run.
+///
+/// Consecutive ILPs of the loop differ only by a handful of no-good
+/// cuts and the shifting current selection, so each problem class keeps
+/// its own [`ilp::Solver`] whose saved root basis warm-starts the next
+/// solve (the solver falls back to a cold start whenever the dimensions
+/// changed too much for the basis to reinstate). Construct one per
+/// exploration and pass it to the `*_with` entry points; the one-shot
+/// [`area_recovery`] / [`timing_optimization`] wrappers build a fresh
+/// (cold) context per call.
+#[derive(Debug, Default)]
+pub struct OptContext {
+    area: ilp::Solver,
+    timing_dual: ilp::Solver,
+    timing_max: ilp::Solver,
+}
+
+impl OptContext {
+    /// A fresh context whose solvers match `strategy`
+    /// ([`OptStrategy::ExactSeed`] pins the frozen seed engine; every
+    /// other strategy uses the bounded-variable engine).
+    #[must_use]
+    pub fn new(strategy: OptStrategy) -> Self {
+        let make = || {
+            if strategy == OptStrategy::ExactSeed {
+                ilp::Solver::seed_reference()
+            } else {
+                ilp::Solver::new()
+            }
+        };
+        OptContext {
+            area: make(),
+            timing_dual: make(),
+            timing_max: make(),
+        }
     }
 }
 
@@ -79,6 +124,33 @@ pub fn area_recovery(
     target_cycle_time: Option<u64>,
     strategy: OptStrategy,
 ) -> Result<Option<IpSelection>, ErmesError> {
+    let mut ctx = OptContext::new(strategy);
+    area_recovery_with(
+        design,
+        critical,
+        slack,
+        forbidden,
+        target_cycle_time,
+        strategy,
+        &mut ctx,
+    )
+}
+
+/// [`area_recovery`] with a caller-owned [`OptContext`], so the optimal
+/// basis of this solve warm-starts the next one.
+///
+/// # Errors
+///
+/// Propagates ILP failures as [`ErmesError::Ilp`].
+pub fn area_recovery_with(
+    design: &Design,
+    critical: &[ProcessId],
+    slack: i64,
+    forbidden: &[Vec<usize>],
+    target_cycle_time: Option<u64>,
+    strategy: OptStrategy,
+    ctx: &mut OptContext,
+) -> Result<Option<IpSelection>, ErmesError> {
     let variables: usize = design
         .system()
         .process_ids()
@@ -89,7 +161,7 @@ pub fn area_recovery(
         OptStrategy::Greedy => Ok(area_recovery_greedy(
             design, critical, slack, forbidden, &caps,
         )),
-        _ => area_recovery_exact(design, critical, slack, forbidden, &caps),
+        _ => area_recovery_exact(design, critical, slack, forbidden, &caps, &mut ctx.area),
     }
 }
 
@@ -125,6 +197,7 @@ fn area_recovery_exact(
     slack: i64,
     forbidden: &[Vec<usize>],
     caps: &[u64],
+    solver: &mut ilp::Solver,
 ) -> Result<Option<IpSelection>, ErmesError> {
     let sys = design.system();
     let crit = is_critical(design, critical);
@@ -161,7 +234,7 @@ fn area_recovery_exact(
     }
     add_no_good_cuts(&mut problem, &vars, forbidden);
 
-    let solution = match problem.solve() {
+    let solution = match solver.solve(&problem) {
         Ok(s) => s,
         Err(ilp::SolveError::Infeasible) => return Ok(None),
         Err(e) => return Err(e.into()),
@@ -262,12 +335,30 @@ pub fn timing_optimization(
     forbidden: &[Vec<usize>],
     strategy: OptStrategy,
 ) -> Result<Option<IpSelection>, ErmesError> {
+    let mut ctx = OptContext::new(strategy);
+    timing_optimization_with(design, critical, deficit, forbidden, strategy, &mut ctx)
+}
+
+/// [`timing_optimization`] with a caller-owned [`OptContext`], so the
+/// optimal basis of this solve warm-starts the next one.
+///
+/// # Errors
+///
+/// Propagates ILP failures as [`ErmesError::Ilp`].
+pub fn timing_optimization_with(
+    design: &Design,
+    critical: &[ProcessId],
+    deficit: i64,
+    forbidden: &[Vec<usize>],
+    strategy: OptStrategy,
+    ctx: &mut OptContext,
+) -> Result<Option<IpSelection>, ErmesError> {
     let variables: usize = critical.iter().map(|&p| design.pareto(p).len()).sum();
     match resolve(strategy, variables) {
         OptStrategy::Greedy => Ok(timing_optimization_greedy(
             design, critical, deficit, forbidden,
         )),
-        _ => timing_optimization_exact(design, critical, deficit, forbidden),
+        _ => timing_optimization_exact(design, critical, deficit, forbidden, ctx),
     }
 }
 
@@ -276,15 +367,18 @@ fn timing_optimization_exact(
     critical: &[ProcessId],
     deficit: i64,
     forbidden: &[Vec<usize>],
+    ctx: &mut OptContext,
 ) -> Result<Option<IpSelection>, ErmesError> {
     // Primary: minimize area increase subject to gain >= deficit.
     if deficit > 0 {
-        if let Some(sel) = timing_dual_exact(design, critical, deficit, forbidden)? {
+        if let Some(sel) =
+            timing_dual_exact(design, critical, deficit, forbidden, &mut ctx.timing_dual)?
+        {
             return Ok(Some(sel));
         }
     }
     // Fallback: the deficit is unreachable — buy all the speed there is.
-    timing_max_gain_exact(design, critical, forbidden)
+    timing_max_gain_exact(design, critical, forbidden, &mut ctx.timing_max)
 }
 
 /// Builds the shared variable structure of the timing problems: one
@@ -322,6 +416,7 @@ fn timing_dual_exact(
     critical: &[ProcessId],
     deficit: i64,
     forbidden: &[Vec<usize>],
+    solver: &mut ilp::Solver,
 ) -> Result<Option<IpSelection>, ErmesError> {
     let sys = design.system();
     let crit = is_critical(design, critical);
@@ -344,7 +439,7 @@ fn timing_dual_exact(
     }
     problem.add_constraint("deficit", gain_terms, Sense::Ge, deficit as f64);
     add_timing_cuts(&mut problem, design, &crit, &vars, forbidden);
-    match problem.solve() {
+    match solver.solve(&problem) {
         Ok(s) => {
             let sel = extract_selection(design, &vars, &s);
             if sel.selection == design.selection() {
@@ -363,6 +458,7 @@ fn timing_max_gain_exact(
     design: &Design,
     critical: &[ProcessId],
     forbidden: &[Vec<usize>],
+    solver: &mut ilp::Solver,
 ) -> Result<Option<IpSelection>, ErmesError> {
     let sys = design.system();
     let crit = is_critical(design, critical);
@@ -380,7 +476,7 @@ fn timing_max_gain_exact(
         }
     }
     add_timing_cuts(&mut problem, design, &crit, &vars, forbidden);
-    let solution = match problem.solve() {
+    let solution = match solver.solve(&problem) {
         Ok(s) => s,
         Err(ilp::SolveError::Infeasible) => return Ok(None),
         Err(e) => return Err(e.into()),
@@ -688,5 +784,88 @@ mod tests {
         let auto = area_recovery(&d, &crit, 4, &[], None, OptStrategy::Auto).expect("ok");
         let exact = area_recovery(&d, &crit, 4, &[], None, OptStrategy::Exact).expect("ok");
         assert_eq!(auto, exact);
+    }
+
+    #[test]
+    fn exact_seed_is_bit_identical_to_exact() {
+        let d = design();
+        let crit = all_processes(&d);
+        for slack in [0i64, 4, 7, 100] {
+            let new = area_recovery(&d, &crit, slack, &[], None, OptStrategy::Exact).expect("ok");
+            let old =
+                area_recovery(&d, &crit, slack, &[], None, OptStrategy::ExactSeed).expect("ok");
+            match (new, old) {
+                (None, None) => {}
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.selection, b.selection, "slack {slack}");
+                    assert_eq!(
+                        a.objective.to_bits(),
+                        b.objective.to_bits(),
+                        "slack {slack}"
+                    );
+                }
+                (a, b) => panic!("engine divergence at slack {slack}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    /// The exploration loop's usage pattern: one context across a chain
+    /// of problems that grow by one no-good cut each step. Warm-started
+    /// results must be bit-identical to one-shot (cold) solves.
+    #[test]
+    fn warm_context_matches_cold_calls_across_cut_chain() {
+        let d = design();
+        let crit = all_processes(&d);
+        let mut ctx = OptContext::new(OptStrategy::Exact);
+        let mut forbidden: Vec<Vec<usize>> = Vec::new();
+        loop {
+            let warm = area_recovery_with(
+                &d,
+                &crit,
+                100,
+                &forbidden,
+                None,
+                OptStrategy::Exact,
+                &mut ctx,
+            )
+            .expect("ok");
+            let cold =
+                area_recovery(&d, &crit, 100, &forbidden, None, OptStrategy::Exact).expect("ok");
+            match (warm, cold) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.selection, b.selection);
+                    assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+                    forbidden.push(a.selection);
+                }
+                (a, b) => panic!("warm/cold divergence: {a:?} vs {b:?}"),
+            }
+        }
+        assert!(!forbidden.is_empty(), "chain exercised at least one cut");
+    }
+
+    #[test]
+    fn warm_context_timing_matches_cold() {
+        let mut d = design();
+        d.select_smallest();
+        let crit = all_processes(&d);
+        let mut ctx = OptContext::new(OptStrategy::Exact);
+        let mut forbidden: Vec<Vec<usize>> = Vec::new();
+        loop {
+            let warm =
+                timing_optimization_with(&d, &crit, 3, &forbidden, OptStrategy::Exact, &mut ctx)
+                    .expect("ok");
+            let cold =
+                timing_optimization(&d, &crit, 3, &forbidden, OptStrategy::Exact).expect("ok");
+            match (warm, cold) {
+                (None, None) => break,
+                (Some(a), Some(b)) => {
+                    assert_eq!(a.selection, b.selection);
+                    assert_eq!(a.objective.to_bits(), b.objective.to_bits());
+                    forbidden.push(a.selection);
+                }
+                (a, b) => panic!("warm/cold divergence: {a:?} vs {b:?}"),
+            }
+        }
     }
 }

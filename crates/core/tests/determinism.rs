@@ -8,7 +8,8 @@
 
 use ermes::{
     analyze_design, analyze_design_with_jobs, explore, explore_with, pareto_sweep,
-    pareto_sweep_with, Design, EngineCache, ExplorationConfig, ExploreOptions, SweepOptions,
+    pareto_sweep_with, Design, EngineCache, ExplorationConfig, ExploreOptions, OptStrategy,
+    SweepOptions,
 };
 use hlsim::{HlsKnobs, MicroArch, ParetoSet};
 use sysgraph::MotivatingExample;
@@ -81,6 +82,48 @@ fn exploration_with_cache_and_jobs_is_bit_identical() {
     let stats = cache.stats();
     assert!(stats.analysis_hits > 0, "repeat runs must hit: {stats:?}");
     assert!(stats.ordering_hits > 0, "repeat runs must hit: {stats:?}");
+}
+
+/// The warm-started bounded-variable ILP engine must select the same
+/// configurations — bit-identical objectives, traces, and final
+/// selections — as the frozen seed engine, across a ladder of targets
+/// and at several thread counts. This is the PR's central invariant:
+/// swapping solver engines never changes a chosen micro-architecture.
+#[test]
+fn exploration_engines_are_bit_identical() {
+    for target in [20, 40, 60, 140] {
+        let mut config = ExplorationConfig::with_target(target);
+        config.strategy = OptStrategy::Exact;
+        let new_engine = explore(motivating_design(), config).expect("explores");
+        let mut seed_config = config;
+        seed_config.strategy = OptStrategy::ExactSeed;
+        let seed = explore(motivating_design(), seed_config).expect("explores");
+        assert_eq!(
+            new_engine.iterations, seed.iterations,
+            "target = {target}: engine changed the trace"
+        );
+        assert_eq!(new_engine.best_index, seed.best_index, "target = {target}");
+        assert_eq!(
+            new_engine.design.selection(),
+            seed.design.selection(),
+            "target = {target}: engine changed the selected micro-architectures"
+        );
+        // And the warm path stays identical under parallel analysis.
+        let cache = EngineCache::new();
+        for jobs in [1, 4] {
+            let opts = ExploreOptions {
+                jobs,
+                cache: Some(&cache),
+                cancel: None,
+            };
+            let run = explore_with(motivating_design(), config, &opts).expect("explores");
+            assert_eq!(
+                run.iterations, seed.iterations,
+                "target = {target}, jobs = {jobs}"
+            );
+            assert_eq!(run.design.selection(), seed.design.selection());
+        }
+    }
 }
 
 #[test]

@@ -568,11 +568,24 @@ fn metrics_response(inner: &Inner) -> Response {
             stats.evictions as f64,
         ),
     ];
-    let sampled_counters: Vec<(&str, &str, u64)> = vec![(
-        "ermes_worker_restarts_total",
-        "Pool workers respawned after a job panicked on them.",
-        restarts,
-    )];
+    let ilp = ilp::stats();
+    let sampled_counters: Vec<(&str, &str, u64)> = vec![
+        (
+            "ermes_worker_restarts_total",
+            "Pool workers respawned after a job panicked on them.",
+            restarts,
+        ),
+        (
+            "ermes_ilp_nodes_total",
+            "Branch & bound nodes explored by the selection-ILP solver.",
+            ilp.nodes,
+        ),
+        (
+            "ermes_ilp_warmstart_hits_total",
+            "Node LPs satisfied by simplex basis reuse instead of a cold solve.",
+            ilp.warmstart_hits,
+        ),
+    ];
     let mut body = inner.metrics.render(&gauges, &sampled_counters);
     body.push_str(&render_per_design_cache(&per_design));
     body.push_str(&crate::metrics::render_phase_histograms());

@@ -135,14 +135,16 @@ fn wait_for_metric_at_least(addr: SocketAddr, line_prefix: &str, want: u64) -> u
 
 /// A deliberately heavy request: a large synthetic SoC swept over a long
 /// target ladder, taking seconds — plenty of iterations for a
-/// cancellation to land in.
+/// cancellation to land in. Sized so the sweep comfortably outlasts the
+/// deadlines below even with the warm-started ILP engine (which made
+/// the previous 300-process spec finish in well under 300 ms).
 fn heavy_spec() -> String {
-    let soc = socgen::generate(socgen::SocGenConfig::sized(300, 600, 11));
+    let soc = socgen::generate(socgen::SocGenConfig::sized(4_000, 6_000, 11));
     let design = ermes::Design::new(soc.system, soc.pareto).expect("well-formed");
     SystemSpec::from_design(&design).to_json_pretty()
 }
 
-const HEAVY_SWEEP: &str = "/sweep?targets=1,1000,100000,1000000,100000000,10000000000";
+const HEAVY_SWEEP: &str = "/sweep?targets=1,5,1000,5000,100000,500000,1000000,5000000,100000000,500000000,10000000000,50000000000";
 
 /// Acceptance: an injected worker panic yields a 500 for exactly that
 /// request; concurrent requests complete bit-identically to the CLI;
@@ -208,14 +210,22 @@ fn mid_run_deadline_returns_timely_429_with_progress() {
     parx::faultpoint::deactivate();
     let (addr, handle) = start(ServerConfig {
         workers: 1,
+        // The heavy spec's JSON exceeds the default 4 MiB body cap.
+        max_body_bytes: 32 * 1024 * 1024,
         ..ServerConfig::default()
     });
     let heavy = heavy_spec();
+    // The deadline must sit between the request's pre-run overhead
+    // (reading and parsing an ~9 MB spec, which counts against the
+    // deadline before the first sweep step) and the full sweep time.
+    // Both scale with machine speed, but debug builds inflate the parse
+    // far more than the sweep, so the window is profile-dependent.
+    let deadline_ms = if cfg!(debug_assertions) { 2_000 } else { 400 };
     let started = Instant::now();
     let reply = try_request(
         addr,
         "POST",
-        &format!("{HEAVY_SWEEP}&deadline_ms=300"),
+        &format!("{HEAVY_SWEEP}&deadline_ms={deadline_ms}"),
         &heavy,
     )
     .expect("transport");
@@ -228,10 +238,10 @@ fn mid_run_deadline_returns_timely_429_with_progress() {
         "{}",
         reply.body
     );
-    assert!(reply.body.contains("of 6 steps"), "{}", reply.body);
+    assert!(reply.body.contains("of 12 steps"), "{}", reply.body);
     assert!(reply.header("retry-after").is_some());
     let progress = reply.header("x-ermes-progress").expect("progress header");
-    assert!(progress.ends_with("/6"), "{progress}");
+    assert!(progress.ends_with("/12"), "{progress}");
     // Timely: the full sweep takes far longer than the deadline plus a
     // generous bound on one Howard iteration of this system.
     assert!(elapsed < Duration::from_secs(10), "{elapsed:?}");
@@ -250,6 +260,8 @@ fn client_disconnect_cancels_in_flight_work() {
     parx::faultpoint::deactivate();
     let (addr, handle) = start(ServerConfig {
         workers: 1,
+        // The heavy spec's JSON exceeds the default 4 MiB body cap.
+        max_body_bytes: 32 * 1024 * 1024,
         ..ServerConfig::default()
     });
     let heavy = heavy_spec();

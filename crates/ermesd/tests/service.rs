@@ -189,6 +189,13 @@ fn concurrent_clients_get_cli_identical_responses_and_metrics_add_up() {
         "32 clients on 2 designs must share work:\n{metrics}"
     );
     assert!(misses > 0);
+    // The explore requests above drove the selection ILP, so the sampled
+    // solver counters must be present and non-zero.
+    assert!(
+        metric_value(&metrics, "ermes_ilp_nodes_total") > 0,
+        "exploration must have explored branch & bound nodes:\n{metrics}"
+    );
+    let _ = metric_value(&metrics, "ermes_ilp_warmstart_hits_total");
     shutdown(addr, handle);
 }
 
@@ -229,10 +236,14 @@ fn full_queue_and_expired_deadlines_shed_with_429() {
     let (addr, handle) = start(ServerConfig {
         workers: 1,
         queue_capacity: 1,
+        // The heavy spec's JSON exceeds the default 4 MiB body cap.
+        max_body_bytes: 32 * 1024 * 1024,
         ..ServerConfig::default()
     });
-    // A deliberately heavy request to occupy the single worker.
-    let soc = socgen::generate(socgen::SocGenConfig::sized(300, 600, 11));
+    // A deliberately heavy request to occupy the single worker — sized
+    // so the sweep outlasts the 50 ms deadline below by a wide margin
+    // even with the warm-started ILP engine.
+    let soc = socgen::generate(socgen::SocGenConfig::sized(2_000, 3_000, 11));
     let design = ermes::Design::new(soc.system, soc.pareto).expect("well-formed");
     let heavy = SystemSpec::from_design(&design).to_json_pretty();
     let heavy_path = "/sweep?targets=1,1000,100000,1000000,100000000,10000000000";
@@ -240,7 +251,7 @@ fn full_queue_and_expired_deadlines_shed_with_429() {
     let (slow, queued, bounced) = std::thread::scope(|scope| {
         let slow = scope.spawn(|| post(addr, heavy_path, &heavy));
         // Wait until the heavy request has actually reached the worker
-        // (parsing a 300-process spec takes a while; sleeping a fixed
+        // (parsing a 2000-process spec takes a while; sleeping a fixed
         // interval would race it).
         wait_for_gauge(addr, "ermesd_jobs_running ", 1);
         // Fills the queue's single slot; its 50 ms deadline will be long

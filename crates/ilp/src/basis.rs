@@ -1,0 +1,213 @@
+//! Basis snapshots for warm-starting the bounded-variable simplex.
+//!
+//! Branch & bound children and consecutive exploration-loop ILPs differ
+//! from an already-solved LP only by a bound change or a few appended
+//! no-good-cut rows, so their optimal bases are one or two pivots away
+//! from the parent's. A [`SavedBasis`] records which columns were basic
+//! and where every nonbasic column rested; [`Tableau::load`] reinstates
+//! it into a *fresh* tableau by Gauss–Jordan pivoting each saved basic
+//! column into a row — `m` deterministic pivots, after which the reduced
+//! costs are automatically repriced (every pivot updates them) and a
+//! short dual run finishes the solve.
+//!
+//! The snapshot may have *fewer* rows than the new problem: the
+//! exploration loop only ever appends cuts, so the old constraints are a
+//! prefix of the new ones. Saved basic columns are pivoted into the
+//! prefix rows only; appended rows keep their own slack basic, which the
+//! elimination never disturbs (prefix rows hold zeros in appended-slack
+//! columns throughout). A snapshot whose variable count differs, or
+//! whose reinstatement meets a near-singular pivot, is rejected and the
+//! caller solves cold.
+
+use crate::simplex::{Tableau, VarStatus};
+
+/// Minimum acceptable magnitude for a reinstatement pivot; below this
+/// the saved basis is treated as singular for the new problem.
+const PIVOT_TOL: f64 = 1e-7;
+
+/// A basis snapshot: enough to reproduce the simplex state on a freshly
+/// built tableau for the same (or a cut-extended) problem.
+#[derive(Debug, Clone)]
+pub(crate) struct SavedBasis {
+    /// Structural variable count of the snapshotted problem.
+    pub(crate) n: usize,
+    /// Constraint row count of the snapshotted problem.
+    pub(crate) m: usize,
+    /// Basic column per row.
+    pub(crate) basis: Vec<usize>,
+    /// Rest point per column (`n + m` entries; basic columns hold
+    /// [`VarStatus::Basic`]).
+    pub(crate) status: Vec<VarStatus>,
+}
+
+impl Tableau {
+    /// Snapshots the current basis and rest points.
+    pub(crate) fn snapshot(&self) -> SavedBasis {
+        SavedBasis {
+            n: self.n,
+            m: self.m,
+            basis: self.basis.clone(),
+            status: self.status.clone(),
+        }
+    }
+
+    /// Reinstates `saved` into this freshly built tableau (all-slack
+    /// basis, untransformed rows). Returns `false` — leaving the tableau
+    /// in an unspecified state the caller must rebuild from — when the
+    /// snapshot does not fit (different variable count, more rows than
+    /// this problem, or a singular basis under the new coefficients).
+    #[must_use]
+    pub(crate) fn load(&mut self, saved: &SavedBasis) -> bool {
+        if saved.n != self.n || saved.m > self.m {
+            return false;
+        }
+        // Restore rest points first: structural columns share indices,
+        // and saved slack i lives at n + i in both layouts. Appended
+        // rows' slacks stay basic.
+        for j in 0..self.n {
+            self.status[j] = saved.status[j];
+        }
+        for i in 0..saved.m {
+            self.status[self.n + i] = saved.status[saved.n + i];
+        }
+        // Pivot every saved basic column into one of the prefix rows.
+        let mut hosted = vec![false; saved.m];
+        for &q in &saved.basis {
+            if q >= self.ncols {
+                return false; // malformed snapshot
+            }
+            // Already basic in the right region (its own slack row)?
+            let mut best_row = None;
+            let mut best_mag = PIVOT_TOL;
+            for (r, taken) in hosted.iter().enumerate() {
+                if *taken {
+                    continue;
+                }
+                let mag = self.rows[r][q].abs();
+                if mag > best_mag {
+                    best_mag = mag;
+                    best_row = Some(r);
+                }
+            }
+            let Some(r) = best_row else {
+                return false;
+            };
+            hosted[r] = true;
+            self.status[q] = VarStatus::Basic;
+            let old = self.basis[r];
+            if old != q {
+                // The displaced slack's rest point comes from the saved
+                // statuses (restored above); pivot() rewires the rest.
+                self.pivot(r, q);
+                if self.status[old] == VarStatus::Basic {
+                    // Slack of a prefix row the snapshot did not keep
+                    // basic anywhere: rest it on a finite bound.
+                    self.status[old] = if self.upper[old].is_finite() {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                }
+            }
+        }
+        // Canonicalize: every nonbasic pinned column rests at its pinned
+        // value, and no finite-check is violated.
+        for j in 0..self.ncols {
+            if self.status[j] == VarStatus::Basic {
+                continue;
+            }
+            if self.lower[j] >= self.upper[j]
+                || (self.status[j] == VarStatus::AtUpper && !self.upper[j].is_finite())
+            {
+                self.status[j] = VarStatus::AtLower;
+            } else if self.status[j] == VarStatus::AtLower && !self.lower[j].is_finite() {
+                self.status[j] = VarStatus::AtUpper;
+            }
+        }
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::model::{Problem, Sense};
+    use crate::simplex::Tableau;
+
+    fn knapsack() -> Problem {
+        let mut p = Problem::new();
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        let c = p.add_binary("c");
+        p.set_objective_coeff(a, 6.0);
+        p.set_objective_coeff(b, 5.0);
+        p.set_objective_coeff(c, 4.0);
+        p.add_constraint("cap", vec![(a, 4.0), (b, 3.0), (c, 2.0)], Sense::Le, 6.0);
+        p
+    }
+
+    #[test]
+    fn snapshot_roundtrip_reoptimizes_in_place() {
+        let p = knapsack();
+        let free = vec![None; 3];
+        let mut tab = Tableau::build(&p, &free);
+        tab.solve_cold().expect("solves");
+        let reference = tab.extract(&p, &free);
+        let saved = tab.snapshot();
+
+        let mut fresh = Tableau::build(&p, &free);
+        assert!(fresh.load(&saved), "snapshot fits the same problem");
+        assert!(fresh.reoptimize().expect("reoptimizes"));
+        let warm = fresh.extract(&p, &free);
+        assert!(
+            (warm.objective - reference.objective).abs() < 1e-9,
+            "warm {} vs cold {}",
+            warm.objective,
+            reference.objective
+        );
+        assert_eq!(warm.values, reference.values);
+    }
+
+    #[test]
+    fn snapshot_survives_appended_cut_rows() {
+        let mut p = knapsack();
+        let free = vec![None; 3];
+        let mut tab = Tableau::build(&p, &free);
+        tab.solve_cold().expect("solves");
+        let saved = tab.snapshot();
+
+        // Append a no-good cut; the old rows stay a prefix.
+        use crate::model::VarId;
+        p.add_constraint(
+            "cut",
+            vec![(VarId(0), 1.0), (VarId(2), 1.0)],
+            Sense::Le,
+            1.0,
+        );
+        let mut extended = Tableau::build(&p, &free);
+        assert!(extended.load(&saved), "prefix snapshot fits");
+        assert!(extended.reoptimize().expect("reoptimizes"));
+        let warm = extended.extract(&p, &free);
+        let cold = crate::simplex::solve_relaxation(&p).expect("feasible");
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-7,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn mismatched_variable_count_is_rejected() {
+        let p = knapsack();
+        let free = vec![None; 3];
+        let mut tab = Tableau::build(&p, &free);
+        tab.solve_cold().expect("solves");
+        let saved = tab.snapshot();
+
+        let mut other = Problem::new();
+        let a = other.add_binary("a");
+        other.set_objective_coeff(a, 1.0);
+        let mut small = Tableau::build(&other, &[None]);
+        assert!(!small.load(&saved));
+    }
+}

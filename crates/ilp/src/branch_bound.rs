@@ -1,17 +1,530 @@
-//! Branch & bound for 0/1 integer programs over the simplex relaxation.
+//! Best-first branch & bound for 0/1 integer programs over the
+//! bounded-variable simplex relaxation.
 //!
-//! Depth-first search with best-bound pruning: each node fixes a subset of
-//! the binaries, solves the LP relaxation of the rest, prunes when the
-//! bound cannot beat the incumbent, and branches on the most fractional
-//! variable. Exact for the problem sizes ERMES produces.
+//! Each node fixes a subset of the binaries (a bound change, not a row
+//! edit — see [`crate::simplex`]), solves the LP relaxation warm-started
+//! from its parent's optimal basis, prunes when the bound cannot beat
+//! the incumbent, and branches on the most fractional variable. Nodes
+//! are explored **best-first** from a priority queue with a fully
+//! deterministic order: higher parent bound first, then deeper nodes
+//! (so the search dives like the seed solver's DFS until a better bound
+//! appears), then the lowest branched variable index, then insertion
+//! order (the rounded-up child before the rounded-down one, matching
+//! the seed's stack discipline). After every node with an incumbent,
+//! nonbasic variables whose reduced cost proves they cannot participate
+//! in a strictly better solution are fixed for the whole subtree.
+//!
+//! # Determinism and bit-identity
+//!
+//! The solver is fully deterministic at any `--jobs` count, and
+//! objective-bit-identical to [`crate::seed`] (the exploration
+//! determinism suites and `ilpbench` assert this end to end). Four
+//! properties carry that guarantee:
+//!
+//! 1. every candidate's objective is recomputed with the seed solver's
+//!    exact expression (`Σ values[j] · c[j]` in index order over exact
+//!    0/1 values), so equal selections produce equal bits;
+//! 2. the incumbent only ever improves *strictly* (`>`), and nodes are
+//!    pruned with the same `bound <= incumbent + 1e-9` test the seed
+//!    uses, so no candidate strictly better than an engine's answer
+//!    can survive in the other engine;
+//! 3. every tie in the node queue, the branching rule
+//!    ([`branch_variable`]), and the simplex pricing loops resolves by
+//!    lowest index, independent of memory layout or thread count;
+//! 4. a basis carried across solves by [`Solver`] is accepted at the
+//!    root only when the reoptimized optimum is **integral and unique**
+//!    (no zero-reduced-cost direction) — the one case where it provably
+//!    equals the cold result. Any other warm root (fractional,
+//!    ambiguous, or infeasible) is discarded and re-solved cold, so the
+//!    search tree never depends on which alternate optimal vertex a
+//!    warm start happened to land on.
+//!
+//! The one place the engines may legitimately differ is a **knife-edge
+//! tie**: an instance with several optima within the shared 1e-9
+//! tolerance. Both engines keep the *first* such candidate their search
+//! reaches, and the search orders differ (best-first here, LIFO DFS in
+//! the seed), so each deterministically returns a possibly different,
+//! provably equal-value vertex. The determinism suites accept such a
+//! divergence only after certifying it — bit-equal traces and bit-equal
+//! final areas — and `ilpbench` classifies anything beyond the
+//! tolerance as a hard failure.
 
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::rc::Rc;
+
+use crate::basis::SavedBasis;
 use crate::model::{Problem, Solution, SolveError};
-use crate::simplex::solve_relaxation_fixed;
+use crate::presolve::presolve;
+use crate::simplex::{LpSolution, Tableau, VarStatus};
+use crate::stats;
 
 const INT_TOL: f64 = 1e-6;
+/// Pruning tolerance shared with the seed solver: a node whose LP bound
+/// is within this of the incumbent cannot contain a *strictly* better
+/// solution worth visiting.
+const PRUNE_TOL: f64 = 1e-9;
+
+/// Picks the branching variable: the free variable whose LP value is
+/// most fractional.
+///
+/// Ties break toward the **lowest index**: the scan runs in ascending
+/// index order with a strict `>`, so a later variable only wins by
+/// being strictly more fractional. This was already true of the seed
+/// solver's inline loop, but there it was an accident of iteration
+/// order; the best-first queue orders sibling subtrees by this index,
+/// so the tie-break is now load-bearing and pinned by a unit test.
+pub(crate) fn branch_variable(values: &[f64], fixed: &[Option<bool>]) -> Option<usize> {
+    let mut branch = None;
+    let mut most_fractional = INT_TOL;
+    for (j, &v) in values.iter().enumerate() {
+        if fixed[j].is_none() {
+            let frac = (v - v.round()).abs();
+            if frac > most_fractional {
+                most_fractional = frac;
+                branch = Some(j);
+            }
+        }
+    }
+    branch
+}
+
+/// A queued subproblem. `bound` is the parent's LP objective (an upper
+/// bound for the subtree); the root uses `+inf`.
+struct Node {
+    bound: f64,
+    depth: u32,
+    branch_var: usize,
+    seq: u64,
+    fixed: Vec<Option<bool>>,
+    basis: Option<Rc<SavedBasis>>,
+}
+
+impl Node {
+    /// Total order for the max-heap: bound desc, depth desc (dive),
+    /// branched variable asc, insertion sequence asc.
+    fn key_cmp(&self, other: &Self) -> Ordering {
+        self.bound
+            .total_cmp(&other.bound)
+            .then_with(|| self.depth.cmp(&other.depth))
+            .then_with(|| other.branch_var.cmp(&self.branch_var))
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl PartialEq for Node {
+    fn eq(&self, other: &Self) -> bool {
+        self.key_cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Node {}
+impl PartialOrd for Node {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Node {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.key_cmp(other)
+    }
+}
+
+/// How a node's LP got solved.
+struct NodeLp {
+    lp: LpSolution,
+    /// The tableau holds this node's optimal state (false after the
+    /// seed-simplex fallback, whose basis we cannot reuse).
+    from_tableau: bool,
+    /// A carried basis was reinstated and reoptimized successfully.
+    warm_used: bool,
+}
+
+/// Solves one node's LP: fast in-place path when the tableau already
+/// holds the parent state, otherwise rebuild + basis reinstatement,
+/// otherwise cold, with the seed simplex as the last resort for
+/// iteration-limited pathologies. `Ok(None)` means the node is
+/// infeasible.
+fn eval_node(
+    problem: &Problem,
+    node: &Node,
+    tab: &mut Tableau,
+    tab_current: &mut Option<Rc<SavedBasis>>,
+) -> Result<Option<NodeLp>, SolveError> {
+    // Fast path: the tableau still holds exactly the state this node's
+    // snapshot was taken from (typical when diving parent -> child).
+    let fast = matches!((&node.basis, &*tab_current),
+        (Some(nb), Some(cur)) if Rc::ptr_eq(nb, cur));
+    if fast {
+        tab.set_bounds(&node.fixed);
+        match tab.reoptimize() {
+            Ok(true) => {
+                return Ok(Some(NodeLp {
+                    lp: tab.extract(problem, &node.fixed),
+                    from_tableau: true,
+                    warm_used: true,
+                }));
+            }
+            Err(SolveError::Infeasible) => {
+                *tab_current = None;
+                return Ok(None);
+            }
+            Ok(false) | Err(SolveError::IterationLimit) => {}
+            Err(e) => return Err(e),
+        }
+    }
+    *tab_current = None;
+    *tab = Tableau::build(problem, &node.fixed);
+    if let Some(nb) = &node.basis {
+        if tab.load(nb) {
+            match tab.reoptimize() {
+                Ok(true) => {
+                    return Ok(Some(NodeLp {
+                        lp: tab.extract(problem, &node.fixed),
+                        from_tableau: true,
+                        warm_used: true,
+                    }));
+                }
+                Err(SolveError::Infeasible) => return Ok(None),
+                Ok(false) | Err(SolveError::IterationLimit) => {}
+                Err(e) => return Err(e),
+            }
+        }
+        // Reinstatement failed or stalled: start over cold.
+        *tab = Tableau::build(problem, &node.fixed);
+    }
+    match tab.solve_cold() {
+        Ok(()) => Ok(Some(NodeLp {
+            lp: tab.extract(problem, &node.fixed),
+            from_tableau: true,
+            warm_used: false,
+        })),
+        Err(SolveError::Infeasible) => Ok(None),
+        Err(SolveError::IterationLimit) => {
+            // Pathological LP: fall back to the reference two-phase
+            // simplex, whose Bland rule has the textbook guarantee.
+            match crate::seed::solve_relaxation_fixed(problem, &node.fixed) {
+                Ok(lp) => Ok(Some(NodeLp {
+                    lp,
+                    from_tableau: false,
+                    warm_used: false,
+                })),
+                Err(SolveError::Infeasible) => Ok(None),
+                Err(e) => Err(e),
+            }
+        }
+        Err(e) => Err(e),
+    }
+}
+
+/// Solves the 0/1 problem by warm-started best-first branch & bound.
+/// `warm` carries the root basis across successive related problems
+/// (consecutive DSE iterations differ only by a few no-good cuts); on
+/// success the slot is refreshed with this problem's root basis.
+pub(crate) fn solve_with(
+    problem: &Problem,
+    warm: Option<&mut Option<SavedBasis>>,
+) -> Result<Solution, SolveError> {
+    let _span = trace::span("ilp");
+    let n = problem.variable_count();
+    trace::attr("vars", n);
+    stats::record_solve();
+
+    let pre = presolve(problem);
+    trace::attr("presolve_fixed", pre.eliminated);
+    stats::record_presolve_fixed(pre.eliminated as u64);
+    let mut explored = 0u64;
+    if pre.infeasible {
+        trace::attr("bb_nodes", explored);
+        return Err(SolveError::Infeasible);
+    }
+
+    let root_basis = warm
+        .as_ref()
+        .and_then(|w| w.as_ref())
+        .map(|saved| Rc::new(saved.clone()));
+    let warm_attempted = root_basis.is_some();
+    let mut warm_hit = false;
+
+    let mut heap: BinaryHeap<Node> = BinaryHeap::new();
+    let mut seq = 0u64;
+    heap.push(Node {
+        bound: f64::INFINITY,
+        depth: 0,
+        branch_var: 0,
+        seq,
+        fixed: pre.fixed,
+        basis: root_basis,
+    });
+
+    let mut best: Option<Solution> = None;
+    // Reusable tableau plus the identity of the snapshot it extends.
+    let mut tab = Tableau::build(problem, &vec![None; n]);
+    let mut tab_current: Option<Rc<SavedBasis>> = None;
+    let mut root_snapshot: Option<SavedBasis> = None;
+
+    let mut node_warm_hits = 0u64;
+    let mut node_warm_misses = 0u64;
+
+    let result = loop {
+        let Some(node) = heap.pop() else {
+            break best.ok_or(SolveError::Infeasible);
+        };
+        explored += 1;
+        if let Some(ref incumbent) = best {
+            // Best-first: the parent bound is exact for pruning.
+            if node.bound <= incumbent.objective + PRUNE_TOL {
+                continue;
+            }
+        }
+        let root_carried = node.depth == 0 && node.basis.is_some();
+        let mut outcome = eval_node(problem, &node, &mut tab, &mut tab_current);
+        if root_carried {
+            // Determinism gate on the cross-solve warm start: the
+            // carried basis may land on an *alternate* optimal vertex
+            // of the root LP, which would steer branching — and tied
+            // incumbents — differently from the canonical cold start
+            // (and from the seed engine). Accept the warm result only
+            // when it is provably the cold result too: the optimum is
+            // integral (search ends here, values snap to exact 0/1)
+            // and unique (no zero-reduced-cost direction, so every
+            // solver reaches this same solution). Anything else —
+            // fractional, ambiguous, or a warm infeasibility verdict —
+            // re-solves the root cold.
+            let accept = match &outcome {
+                Ok(Some(e)) if e.warm_used => {
+                    branch_variable(&e.lp.values, &node.fixed).is_none() && tab.unique_optimum()
+                }
+                Ok(Some(_)) | Err(_) => true, // already cold, or a hard error
+                Ok(None) => false,            // don't trust warm infeasibility
+            };
+            if !accept {
+                tab_current = None;
+                let cold_root = Node {
+                    bound: node.bound,
+                    depth: node.depth,
+                    branch_var: node.branch_var,
+                    seq: node.seq,
+                    fixed: node.fixed.clone(),
+                    basis: None,
+                };
+                outcome = eval_node(problem, &cold_root, &mut tab, &mut tab_current);
+            }
+        }
+        let evaluated = match outcome {
+            Ok(Some(e)) => e,
+            Ok(None) => continue,
+            Err(e) => break Err(e),
+        };
+        let NodeLp {
+            lp,
+            from_tableau,
+            warm_used,
+        } = evaluated;
+        if warm_used {
+            node_warm_hits += 1;
+        } else {
+            node_warm_misses += 1;
+        }
+        if node.depth == 0 {
+            warm_hit = warm_used;
+            if from_tableau {
+                root_snapshot = Some(tab.snapshot());
+            }
+        }
+        if let Some(ref incumbent) = best {
+            if lp.objective <= incumbent.objective + PRUNE_TOL {
+                continue; // bound cannot improve the incumbent
+            }
+        }
+        match branch_variable(&lp.values, &node.fixed) {
+            None => {
+                // Integral: candidate solution, reconstructed and scored
+                // exactly as the seed solver does.
+                let values: Vec<f64> = lp
+                    .values
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| match node.fixed[j] {
+                        Some(true) => 1.0,
+                        Some(false) => 0.0,
+                        None => v.round(),
+                    })
+                    .collect();
+                let objective: f64 = values
+                    .iter()
+                    .zip(&problem.objective)
+                    .map(|(&v, &c)| v * c)
+                    .sum();
+                if best.as_ref().is_none_or(|b| objective > b.objective) {
+                    best = Some(Solution { objective, values });
+                }
+            }
+            Some(j) => {
+                let mut template = node.fixed.clone();
+                if from_tableau {
+                    if let Some(ref incumbent) = best {
+                        // Reduced-cost fixing: a nonbasic variable whose
+                        // move off its bound cannot reach strictly above
+                        // the incumbent is pinned for the whole subtree.
+                        for (k, slot) in template.iter_mut().enumerate() {
+                            if slot.is_some() || k == j {
+                                continue;
+                            }
+                            match tab.status[k] {
+                                VarStatus::AtLower => {
+                                    if lp.objective + tab.cost[k] <= incumbent.objective + PRUNE_TOL
+                                    {
+                                        *slot = Some(false);
+                                    }
+                                }
+                                VarStatus::AtUpper => {
+                                    if lp.objective - tab.cost[k] <= incumbent.objective + PRUNE_TOL
+                                    {
+                                        *slot = Some(true);
+                                    }
+                                }
+                                VarStatus::Basic => {}
+                            }
+                        }
+                    }
+                }
+                let snap = if from_tableau {
+                    let rc = Rc::new(tab.snapshot());
+                    tab_current = Some(rc.clone());
+                    Some(rc)
+                } else {
+                    tab_current = None;
+                    None
+                };
+                // Rounded-up child first (lower seq wins queue ties).
+                let mut up = template.clone();
+                up[j] = Some(true);
+                seq += 1;
+                heap.push(Node {
+                    bound: lp.objective,
+                    depth: node.depth + 1,
+                    branch_var: j,
+                    seq,
+                    fixed: up,
+                    basis: snap.clone(),
+                });
+                let mut down = template;
+                down[j] = Some(false);
+                seq += 1;
+                heap.push(Node {
+                    bound: lp.objective,
+                    depth: node.depth + 1,
+                    branch_var: j,
+                    seq,
+                    fixed: down,
+                    basis: snap,
+                });
+            }
+        }
+    };
+
+    trace::attr("bb_nodes", explored);
+    stats::record_nodes(explored);
+    stats::record_warmstarts(node_warm_hits, node_warm_misses);
+    if warm_attempted {
+        trace::attr("warm_hit", u64::from(warm_hit));
+    }
+    if let (Some(w), Some(snapshot)) = (warm, root_snapshot) {
+        *w = Some(snapshot);
+    }
+    result
+}
+
+/// A reusable solver handle that carries warm-start state between
+/// related problems.
+///
+/// Consecutive ILPs in the DSE loop differ only by a few no-good cuts,
+/// so the optimal basis of one root LP is pivots away from the next.
+/// A `Solver` keeps the last root basis and reinstates it on the next
+/// [`Solver::solve`] call. The reuse is gated for determinism: the
+/// warm root is accepted only when its optimum is integral and unique
+/// (see the module docs); otherwise — and when the snapshot no longer
+/// fits the problem — the root re-solves cold and the attempt counts
+/// as a warm-start miss in [`crate::stats`].
+///
+/// # Examples
+///
+/// ```
+/// use ilp::{Problem, Sense, Solver};
+/// let mut solver = Solver::new();
+/// let mut p = Problem::new();
+/// let a = p.add_binary("a");
+/// let b = p.add_binary("b");
+/// p.set_objective_coeff(a, 3.0);
+/// p.set_objective_coeff(b, 4.0);
+/// p.add_constraint("cap", vec![(a, 2.0), (b, 3.0)], Sense::Le, 3.0);
+/// let first = solver.solve(&p)?;
+/// // A no-good cut forbidding {b} — the warm start absorbs it.
+/// p.add_constraint("cut", vec![(b, 1.0)], Sense::Le, 0.0);
+/// let second = solver.solve(&p)?;
+/// assert!(first.is_one(b) && second.is_one(a));
+/// # Ok::<(), ilp::SolveError>(())
+/// ```
+#[derive(Debug, Default)]
+pub struct Solver {
+    engine: Engine,
+    warm: Option<SavedBasis>,
+}
+
+#[derive(Debug, Default, Clone, Copy, PartialEq, Eq)]
+enum Engine {
+    /// Bounded-variable simplex with warm-started best-first B&B.
+    #[default]
+    Bounded,
+    /// The frozen reference solver ([`crate::seed`]).
+    Seed,
+}
+
+impl Solver {
+    /// A warm-starting solver using the production bounded-variable
+    /// engine.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A solver pinned to the frozen reference ("seed") engine, for A/B
+    /// benchmarking and differential tests. Never warm-starts.
+    #[must_use]
+    pub fn seed_reference() -> Self {
+        Solver {
+            engine: Engine::Seed,
+            warm: None,
+        }
+    }
+
+    /// True when this handle uses the reference engine.
+    #[must_use]
+    pub fn is_seed_reference(&self) -> bool {
+        self.engine == Engine::Seed
+    }
+
+    /// Solves the 0/1 problem exactly, reusing the previous call's root
+    /// basis when it fits.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when no 0/1 assignment satisfies the
+    /// constraints; [`SolveError::Unbounded`] /
+    /// [`SolveError::IterationLimit`] propagate simplex failures.
+    pub fn solve(&mut self, problem: &Problem) -> Result<Solution, SolveError> {
+        match self.engine {
+            Engine::Seed => crate::seed::solve(problem),
+            Engine::Bounded => solve_with(problem, Some(&mut self.warm)),
+        }
+    }
+}
 
 impl Problem {
     /// Solves the 0/1 problem exactly by branch & bound.
+    ///
+    /// One-shot entry point (no warm-start state); use [`Solver`] when
+    /// solving a sequence of related problems.
     ///
     /// # Errors
     ///
@@ -41,72 +554,7 @@ impl Problem {
     /// # Ok::<(), ilp::SolveError>(())
     /// ```
     pub fn solve(&self) -> Result<Solution, SolveError> {
-        let _span = trace::span("ilp");
-        let n = self.variable_count();
-        trace::attr("vars", n);
-        let mut best: Option<Solution> = None;
-        let mut stack: Vec<Vec<Option<bool>>> = vec![vec![None; n]];
-        let mut explored = 0u64;
-
-        while let Some(fixed) = stack.pop() {
-            explored += 1;
-            let lp = match solve_relaxation_fixed(self, &fixed) {
-                Ok(lp) => lp,
-                Err(SolveError::Infeasible) => continue,
-                Err(e) => return Err(e),
-            };
-            if let Some(ref incumbent) = best {
-                if lp.objective <= incumbent.objective + 1e-9 {
-                    continue; // bound cannot improve the incumbent
-                }
-            }
-            // Most fractional variable.
-            let mut branch_var = None;
-            let mut most_fractional = INT_TOL;
-            for (j, &v) in lp.values.iter().enumerate() {
-                if fixed[j].is_none() {
-                    let frac = (v - v.round()).abs();
-                    if frac > most_fractional {
-                        most_fractional = frac;
-                        branch_var = Some(j);
-                    }
-                }
-            }
-            match branch_var {
-                None => {
-                    // Integral: candidate solution.
-                    let values: Vec<f64> = lp
-                        .values
-                        .iter()
-                        .enumerate()
-                        .map(|(j, &v)| match fixed[j] {
-                            Some(true) => 1.0,
-                            Some(false) => 0.0,
-                            None => v.round(),
-                        })
-                        .collect();
-                    let objective: f64 = values
-                        .iter()
-                        .zip(&self.objective)
-                        .map(|(&v, &c)| v * c)
-                        .sum();
-                    if best.as_ref().is_none_or(|b| objective > b.objective) {
-                        best = Some(Solution { objective, values });
-                    }
-                }
-                Some(j) => {
-                    // Explore the rounded-up branch first (often better).
-                    let mut down = fixed.clone();
-                    down[j] = Some(false);
-                    stack.push(down);
-                    let mut up = fixed;
-                    up[j] = Some(true);
-                    stack.push(up);
-                }
-            }
-        }
-        trace::attr("bb_nodes", explored);
-        best.ok_or(SolveError::Infeasible)
+        solve_with(self, None)
     }
 }
 
@@ -232,8 +680,10 @@ mod tests {
     }
 
     #[test]
-    fn randomized_instances_match_oracle() {
-        // Deterministic xorshift family of small random ILPs.
+    fn randomized_instances_match_oracle_and_seed() {
+        // Deterministic xorshift family of small random ILPs; the new
+        // solver must agree with both the brute-force oracle and the
+        // frozen seed engine.
         let mut state = 0x1234_5678_9abc_def0u64;
         let mut next = move || {
             state ^= state << 13;
@@ -273,9 +723,144 @@ mod tests {
                         s.objective,
                         obj
                     );
+                    let seed = crate::seed::solve(&p).expect("seed agrees on feasibility");
+                    assert!(
+                        (s.objective - seed.objective).abs() < 1e-9,
+                        "engines disagree: bounded {} vs seed {}",
+                        s.objective,
+                        seed.objective
+                    );
                 }
                 (oracle, solved) => panic!("divergence: oracle {oracle:?} vs bb {solved:?}"),
             }
         }
+    }
+
+    #[test]
+    fn branch_variable_ties_resolve_to_lowest_index() {
+        // Three equally fractional candidates: index 1 is the first
+        // free one, and 0.5 fractionality later never strictly beats it.
+        let values = [1.0, 0.5, 0.5, 0.5];
+        let fixed = [Some(true), None, None, None];
+        assert_eq!(branch_variable(&values, &fixed), Some(1));
+        // A strictly more fractional later variable still wins...
+        let values = [0.6, 0.5, 0.0];
+        let fixed = [None, None, None];
+        assert_eq!(branch_variable(&values, &fixed), Some(1));
+        // ...and integral vectors produce no branch.
+        let values = [1.0, 0.0, 1.0];
+        assert_eq!(branch_variable(&values, &fixed), None);
+    }
+
+    #[test]
+    fn node_queue_order_is_deterministic() {
+        let mk = |bound: f64, depth: u32, branch_var: usize, seq: u64| Node {
+            bound,
+            depth,
+            branch_var,
+            seq,
+            fixed: Vec::new(),
+            basis: None,
+        };
+        let mut heap = BinaryHeap::new();
+        heap.push(mk(5.0, 1, 2, 4));
+        heap.push(mk(7.0, 1, 0, 3));
+        heap.push(mk(7.0, 2, 1, 2));
+        heap.push(mk(7.0, 2, 1, 1));
+        heap.push(mk(7.0, 2, 0, 5));
+        // Highest bound first; among those, deepest; then lowest
+        // branched var; then earliest insertion.
+        let order: Vec<(f64, u32, usize, u64)> = std::iter::from_fn(|| heap.pop())
+            .map(|n| (n.bound, n.depth, n.branch_var, n.seq))
+            .collect();
+        assert_eq!(
+            order,
+            vec![
+                (7.0, 2, 0, 5),
+                (7.0, 2, 1, 1),
+                (7.0, 2, 1, 2),
+                (7.0, 1, 0, 3),
+                (5.0, 1, 2, 4),
+            ]
+        );
+    }
+
+    #[test]
+    fn warm_start_across_no_good_cuts_is_bit_identical() {
+        // The DSE pattern: same variables, successively more cuts. The
+        // warm-started sequence must produce bitwise the answers a
+        // cold solver produces.
+        let build = |ncuts: usize| {
+            let mut p = Problem::new();
+            let g1: Vec<VarId> = (0..3).map(|i| p.add_binary(format!("a{i}"))).collect();
+            let g2: Vec<VarId> = (0..3).map(|i| p.add_binary(format!("b{i}"))).collect();
+            let vals = [[0.9, 0.5, 0.1], [0.8, 0.4, 0.05]];
+            let wts = [[5.0, 3.0, 1.0], [5.0, 2.0, 1.0]];
+            for (i, &v) in g1.iter().enumerate() {
+                p.set_objective_coeff(v, vals[0][i]);
+            }
+            for (i, &v) in g2.iter().enumerate() {
+                p.set_objective_coeff(v, vals[1][i]);
+            }
+            p.add_constraint(
+                "one_a",
+                g1.iter().map(|&v| (v, 1.0)).collect(),
+                Sense::Eq,
+                1.0,
+            );
+            p.add_constraint(
+                "one_b",
+                g2.iter().map(|&v| (v, 1.0)).collect(),
+                Sense::Eq,
+                1.0,
+            );
+            let mut cap: Vec<(VarId, f64)> = Vec::new();
+            for (i, &v) in g1.iter().enumerate() {
+                cap.push((v, wts[0][i]));
+            }
+            for (i, &v) in g2.iter().enumerate() {
+                cap.push((v, wts[1][i]));
+            }
+            p.add_constraint("cap", cap, Sense::Le, 7.0);
+            let cuts = [
+                vec![(g1[0], 1.0), (g2[1], 1.0)],
+                vec![(g1[1], 1.0), (g2[1], 1.0)],
+            ];
+            for c in cuts.iter().take(ncuts) {
+                p.add_constraint("cut", c.clone(), Sense::Le, 1.0);
+            }
+            p
+        };
+        let mut warm = Solver::new();
+        for ncuts in 0..=2 {
+            let p = build(ncuts);
+            let w = warm.solve(&p).expect("feasible");
+            let c = p.solve().expect("feasible");
+            assert_eq!(
+                w.objective.to_bits(),
+                c.objective.to_bits(),
+                "ncuts={ncuts}"
+            );
+            assert_eq!(w.values, c.values, "ncuts={ncuts}");
+        }
+    }
+
+    #[test]
+    fn solver_is_idempotent_on_repeated_problems() {
+        // Warm-starting from a problem's own optimal basis must land on
+        // exactly the same answer.
+        let mut p = Problem::new();
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        let c = p.add_binary("c");
+        p.set_objective_coeff(a, 6.0);
+        p.set_objective_coeff(b, 5.0);
+        p.set_objective_coeff(c, 4.0);
+        p.add_constraint("cap", vec![(a, 4.0), (b, 3.0), (c, 2.0)], Sense::Le, 6.0);
+        let mut solver = Solver::new();
+        let first = solver.solve(&p).expect("feasible");
+        let second = solver.solve(&p).expect("feasible");
+        assert_eq!(first.objective.to_bits(), second.objective.to_bits());
+        assert_eq!(first.values, second.values);
     }
 }

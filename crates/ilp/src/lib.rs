@@ -3,15 +3,34 @@
 //! The DAC'14 ERMES methodology formulates its IP-selection steps — *area
 //! recovery* and *timing optimization* over the processes of the critical
 //! cycle (Section 5) — as small integer programs, solved in the original
-//! work with GLPK. This crate replaces GLPK with three cooperating exact
+//! work with GLPK. This crate replaces GLPK with cooperating exact
 //! solvers, each validated against the others:
 //!
-//! - [`solve_relaxation`]: dense two-phase primal simplex over the `[0,1]`
-//!   relaxation;
-//! - [`Problem::solve`]: 0/1 branch & bound using the relaxation bound;
+//! - [`Problem::solve`] / [`Solver`]: 0/1 branch & bound over a
+//!   **bounded-variable simplex** (binary bounds handled natively, no
+//!   `x <= 1` rows), with a best-first deterministic node queue,
+//!   reduced-cost fixing, an MCKP-aware presolve, and basis warm-starts
+//!   both between branch & bound nodes and — via [`Solver`] — between
+//!   the successive, nearly identical ILPs of the exploration loop;
+//! - [`solve_relaxation`]: the `[0,1]` LP relaxation on the same
+//!   simplex;
+//! - [`seed`]: the original two-phase-simplex solver, frozen as a
+//!   reference for differential tests, A/B benchmarks (`ilpbench`), and
+//!   as the last-resort fallback on iteration-limited LPs;
 //! - [`solve_multiple_choice_knapsack`]: a pseudo-polynomial DP for the
 //!   multiple-choice knapsack structure that both ERMES problems share
 //!   (each process adopts exactly one Pareto-optimal implementation).
+//!
+//! The branch & bound returns solutions **objective-bit-identical** to
+//! the seed engine: equal selections produce equal objective bits, and
+//! when an instance has several optima tied within the shared 1e-9
+//! pruning tolerance, each engine deterministically returns the first
+//! one its search order reaches — provably equal in value, possibly a
+//! different vertex (see `crate::branch_bound` docs for the argument
+//! and `ilpbench` for the A/B certification). Process-wide counters
+//! (nodes explored, warm-start hits, presolve eliminations) are
+//! exported via [`stats`] for ermesd `/metrics` and the CLI trace
+//! summary.
 //!
 //! # Examples
 //!
@@ -39,11 +58,17 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod basis;
 mod branch_bound;
 mod knapsack;
 mod model;
+mod presolve;
+pub mod seed;
 mod simplex;
+mod stats;
 
+pub use branch_bound::Solver;
 pub use knapsack::{solve_multiple_choice_knapsack, KnapsackError, McItem, McSelection};
 pub use model::{Constraint, Problem, Sense, Solution, SolveError, VarId};
 pub use simplex::{solve_relaxation, LpSolution};
+pub use stats::{stats, IlpStats};

@@ -45,6 +45,32 @@ pub struct Constraint {
     pub(crate) rhs: f64,
 }
 
+impl Constraint {
+    /// The constraint's name (diagnostics only).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The left-hand-side terms as `(variable, coefficient)` pairs.
+    #[must_use]
+    pub fn terms(&self) -> &[(VarId, f64)] {
+        &self.terms
+    }
+
+    /// The constraint sense.
+    #[must_use]
+    pub fn sense(&self) -> Sense {
+        self.sense
+    }
+
+    /// The right-hand side.
+    #[must_use]
+    pub fn rhs(&self) -> f64 {
+        self.rhs
+    }
+}
+
 /// A 0/1 maximization problem.
 ///
 /// # Examples
@@ -129,6 +155,18 @@ impl Problem {
     #[must_use]
     pub fn constraint_count(&self) -> usize {
         self.constraints.len()
+    }
+
+    /// The constraints, in insertion order.
+    #[must_use]
+    pub fn constraints(&self) -> &[Constraint] {
+        &self.constraints
+    }
+
+    /// The objective coefficients, indexed by [`VarId::index`].
+    #[must_use]
+    pub fn objective_coeffs(&self) -> &[f64] {
+        &self.objective
     }
 }
 

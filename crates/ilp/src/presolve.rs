@@ -1,0 +1,265 @@
+//! MCKP-aware presolve: fixes variables before branch & bound starts.
+//!
+//! Both ERMES selection problems are multiple-choice knapsacks: each
+//! process adopts exactly one implementation, encoded as an equality row
+//! `Σ_g x_j = 1` with all-one coefficients over the process's group.
+//! The presolve recognizes those rows structurally and applies two
+//! bit-identity-safe reductions:
+//!
+//! 1. **Dominated-implementation pruning.** Within a group, if
+//!    implementation `i` has a *strictly* better objective than `k`
+//!    (`c_i > c_k`) and swapping `k → i` can never hurt feasibility
+//!    (coefficient-wise: `a_i <= a_k` in every `<=` row, `a_i >= a_k`
+//!    in every `>=` row, `a_i == a_k` in every foreign equality row),
+//!    then *every* solution selecting `k` is strictly beaten by the same
+//!    solution selecting `i`, so `k` appears in no optimal solution and
+//!    can be fixed to 0. Strictness is what makes this bit-identity
+//!    safe: the set of optimal solutions is untouched, so the search
+//!    returns the same argmax it would have without presolve. It also
+//!    makes no-good cuts safe automatically — a cut member has
+//!    coefficient 1 in the cut's `<=` row, so it can never dominate a
+//!    non-member (1 > 0 fails the `<=` test).
+//! 2. **Single-candidate propagation.** A group with every member fixed
+//!    to 0 is infeasible; a group with exactly one unfixed member must
+//!    select it.
+//!
+//! In the DSE loop's area-recovery step this collapses every
+//! *non-critical* process — whose implementations appear in no latency
+//! row — straight to its maximum-gain implementation, often eliminating
+//! the majority of the search space before the first LP solve.
+
+use crate::model::{Problem, Sense};
+
+/// Outcome of the presolve: an initial fixing overlay for branch &
+/// bound (the same mechanism branching uses, so no index remapping).
+#[derive(Debug, Clone)]
+pub(crate) struct Presolve {
+    /// Initial fixings: `Some(v)` pins variable `j` to `v`.
+    pub(crate) fixed: Vec<Option<bool>>,
+    /// Number of variables pinned (either polarity).
+    pub(crate) eliminated: usize,
+    /// True when a group lost all candidates: no 0/1 solution exists.
+    pub(crate) infeasible: bool,
+}
+
+/// Recognizes a multiple-choice group row: `Σ x_j = 1` with all-one
+/// coefficients over distinct variables.
+fn group_members(problem: &Problem, row: usize) -> Option<Vec<usize>> {
+    let c = &problem.constraints[row];
+    if c.sense != Sense::Eq || c.rhs != 1.0 || c.terms.is_empty() {
+        return None;
+    }
+    let mut members = Vec::with_capacity(c.terms.len());
+    for &(v, a) in &c.terms {
+        if a != 1.0 || members.contains(&v.0) {
+            return None;
+        }
+        members.push(v.0);
+    }
+    Some(members)
+}
+
+/// True when selecting `i` instead of `k` can never hurt feasibility in
+/// any row other than the group row itself.
+fn swap_always_feasible(problem: &Problem, group_row: usize, i: usize, k: usize) -> bool {
+    for (r, c) in problem.constraints.iter().enumerate() {
+        if r == group_row {
+            continue;
+        }
+        let mut ai = 0.0;
+        let mut ak = 0.0;
+        for &(v, a) in &c.terms {
+            if v.0 == i {
+                ai += a;
+            } else if v.0 == k {
+                ak += a;
+            }
+        }
+        let ok = match c.sense {
+            Sense::Le => ai <= ak,
+            Sense::Ge => ai >= ak,
+            Sense::Eq => ai == ak,
+        };
+        if !ok {
+            return false;
+        }
+    }
+    true
+}
+
+/// Runs the presolve. Never fixes a variable that could appear in an
+/// optimal solution, so branch & bound over the reduced problem returns
+/// exactly the solution it would have found without presolve.
+pub(crate) fn presolve(problem: &Problem) -> Presolve {
+    let n = problem.variable_count();
+    let mut fixed: Vec<Option<bool>> = vec![None; n];
+
+    // Collect disjoint multiple-choice groups in row order; a variable
+    // shared between two candidate group rows keeps only the first
+    // (overlapping groups would make the swap argument unsound).
+    let mut in_group = vec![false; n];
+    let mut groups: Vec<(usize, Vec<usize>)> = Vec::new();
+    for row in 0..problem.constraints.len() {
+        if let Some(members) = group_members(problem, row) {
+            if members.iter().any(|&j| in_group[j]) {
+                continue;
+            }
+            for &j in &members {
+                in_group[j] = true;
+            }
+            groups.push((row, members));
+        }
+    }
+
+    // Dominance pruning within each group.
+    for (row, members) in &groups {
+        for &k in members {
+            if fixed[k].is_some() {
+                continue;
+            }
+            let dominated = members.iter().any(|&i| {
+                i != k
+                    && fixed[i].is_none()
+                    && problem.objective[i] > problem.objective[k]
+                    && swap_always_feasible(problem, *row, i, k)
+            });
+            if dominated {
+                fixed[k] = Some(false);
+            }
+        }
+    }
+
+    // Single-candidate propagation.
+    let mut infeasible = false;
+    for (_, members) in &groups {
+        let unfixed: Vec<usize> = members
+            .iter()
+            .copied()
+            .filter(|&j| fixed[j] != Some(false))
+            .collect();
+        match unfixed.len() {
+            0 => {
+                infeasible = true;
+                break;
+            }
+            1 => fixed[unfixed[0]] = Some(true),
+            _ => {}
+        }
+    }
+
+    let eliminated = fixed.iter().filter(|f| f.is_some()).count();
+    Presolve {
+        fixed,
+        eliminated,
+        infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Problem, Sense, VarId};
+
+    /// Builds the canonical area-recovery shape: two groups, one slack
+    /// row. Group `b` is non-critical (absent from the slack row).
+    fn two_group_problem() -> Problem {
+        let mut p = Problem::new();
+        let a0 = p.add_binary("a0");
+        let a1 = p.add_binary("a1");
+        let b0 = p.add_binary("b0");
+        let b1 = p.add_binary("b1");
+        p.set_objective_coeff(a0, 0.5);
+        p.set_objective_coeff(a1, 0.9);
+        p.set_objective_coeff(b0, 0.1);
+        p.set_objective_coeff(b1, 0.7);
+        p.add_constraint("one_a", vec![(a0, 1.0), (a1, 1.0)], Sense::Eq, 1.0);
+        p.add_constraint("one_b", vec![(b0, 1.0), (b1, 1.0)], Sense::Eq, 1.0);
+        p.add_constraint("slack", vec![(a0, 1.0), (a1, 3.0)], Sense::Le, 5.0);
+        p
+    }
+
+    #[test]
+    fn noncritical_group_collapses_to_max_gain() {
+        let p = two_group_problem();
+        let pre = presolve(&p);
+        assert!(!pre.infeasible);
+        // b0 is dominated by b1 (0.7 > 0.1, no other rows mention them),
+        // and the group then has a single candidate.
+        assert_eq!(pre.fixed[2], Some(false));
+        assert_eq!(pre.fixed[3], Some(true));
+        // Critical group: a1 pays 3 slack units vs a0's 1, so neither
+        // dominates.
+        assert_eq!(pre.fixed[0], None);
+        assert_eq!(pre.fixed[1], None);
+        assert_eq!(pre.eliminated, 2);
+    }
+
+    #[test]
+    fn equal_objectives_are_never_pruned() {
+        let mut p = Problem::new();
+        let a0 = p.add_binary("a0");
+        let a1 = p.add_binary("a1");
+        p.set_objective_coeff(a0, 0.4);
+        p.set_objective_coeff(a1, 0.4);
+        p.add_constraint("one", vec![(a0, 1.0), (a1, 1.0)], Sense::Eq, 1.0);
+        let pre = presolve(&p);
+        // Tie: both could be optimal; pruning either would change the
+        // argmax the search returns.
+        assert_eq!(pre.fixed, vec![None, None]);
+    }
+
+    #[test]
+    fn cut_members_cannot_dominate_outsiders() {
+        let mut p = two_group_problem();
+        // A no-good cut naming a1 (the would-be dominator of a0 if the
+        // slack row were absent) blocks the swap a0 -> a1.
+        p.add_constraint(
+            "cut",
+            vec![(VarId(1), 1.0), (VarId(3), 1.0)],
+            Sense::Le,
+            1.0,
+        );
+        let pre = presolve(&p);
+        assert_eq!(pre.fixed[0], None, "a0 must survive: a1 is cut-limited");
+    }
+
+    #[test]
+    fn dominance_never_exhausts_a_group() {
+        // The maximal member of a group is never dominated, so pruning
+        // plus single-candidate propagation leaves exactly one pick.
+        let mut p = Problem::new();
+        let a0 = p.add_binary("a0");
+        let a1 = p.add_binary("a1");
+        p.set_objective_coeff(a0, 1.0);
+        p.set_objective_coeff(a1, 2.0);
+        p.add_constraint("one", vec![(a0, 1.0), (a1, 1.0)], Sense::Eq, 1.0);
+        let pre = presolve(&p);
+        assert!(!pre.infeasible);
+        assert_eq!(pre.fixed[0], Some(false));
+        assert_eq!(pre.fixed[1], Some(true));
+    }
+
+    #[test]
+    fn non_group_rows_are_ignored() {
+        let mut p = Problem::new();
+        let a = p.add_binary("a");
+        let b = p.add_binary("b");
+        p.set_objective_coeff(a, 1.0);
+        p.set_objective_coeff(b, 2.0);
+        // Eq but rhs != 1, and Le rows: no group structure to exploit.
+        p.add_constraint("two", vec![(a, 1.0), (b, 1.0)], Sense::Eq, 2.0);
+        p.add_constraint("cap", vec![(a, 1.0), (b, 1.0)], Sense::Le, 2.0);
+        let pre = presolve(&p);
+        assert_eq!(pre.fixed, vec![None, None]);
+        assert_eq!(pre.eliminated, 0);
+    }
+
+    #[test]
+    fn duplicate_variable_rows_are_not_groups() {
+        let mut p = Problem::new();
+        let a = p.add_binary("a");
+        p.set_objective_coeff(a, 1.0);
+        p.add_constraint("dup", vec![(a, 1.0), (a, 1.0)], Sense::Eq, 1.0);
+        assert_eq!(group_members(&p, 0), None);
+    }
+}

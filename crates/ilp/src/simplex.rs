@@ -1,13 +1,42 @@
-//! Dense two-phase primal simplex for the LP relaxations.
+//! Bounded-variable simplex for the LP relaxations.
 //!
-//! Small and dependency-free: the ILPs ERMES produces have at most a few
-//! hundred variables (one per process–implementation pair), for which a
-//! dense tableau is entirely adequate. Binary variables are relaxed to
-//! `0 <= x <= 1` by adding explicit upper-bound rows.
+//! The ERMES selection ILPs relax to LPs whose every structural variable
+//! lives in `0 <= x <= 1` (or is fixed to a single value by branching or
+//! presolve). The first solver this crate shipped (now
+//! [`crate::seed`]) materialized those bounds as explicit `x <= 1` rows,
+//! roughly doubling the row count of every LP at every branch & bound
+//! node. This module handles bounds *natively*: a nonbasic variable rests
+//! at either its lower or its upper bound, the tableau has exactly one
+//! row per constraint, and fixing a variable for branching is a bound
+//! change (`l = u`), not a row edit.
+//!
+//! Two iteration schemes share the tableau:
+//!
+//! - **Primal simplex** ([`Tableau::primal`]): Dantzig pricing with
+//!   bound-flip ratio tests and a Bland-style lowest-index fallback once
+//!   the iteration count grows. Used to reoptimize after objective
+//!   changes from a primal-feasible basis.
+//! - **Dual simplex** ([`Tableau::dual`]): used both for *cold* solves
+//!   (the all-slack basis is made dual-feasible for maximization by
+//!   resting each profitable column at its upper bound, so no phase-1 /
+//!   artificial variables are ever needed) and for *warm* reoptimization
+//!   after bound changes, where the parent basis stays dual-feasible and
+//!   typically needs only a handful of pivots.
+//!
+//! Basic values are recomputed from the nonbasic rest points every
+//! iteration (`x_B = B⁻¹ b − Σ_{j nonbasic} (B⁻¹ A)_j x_j`) rather than
+//! updated incrementally; with one row per constraint this costs no more
+//! than a pivot and sidesteps drift. All candidate scans run in ascending
+//! column order with strict comparisons, so ties deterministically
+//! resolve to the lowest index — a property the branch & bound's
+//! bit-identity guarantee leans on.
 
 use crate::model::{Problem, Sense, SolveError};
 
-const EPS: f64 = 1e-9;
+pub(crate) const EPS: f64 = 1e-9;
+/// Reduced-cost / primal feasibility tolerance (matches the seed
+/// solver's entering threshold).
+pub(crate) const FEAS_TOL: f64 = 1e-7;
 
 /// Result of solving the LP relaxation of a [`Problem`].
 #[derive(Debug, Clone, PartialEq)]
@@ -19,48 +48,502 @@ pub struct LpSolution {
     pub values: Vec<f64>,
 }
 
-/// Extra `x <= 1` bound rows plus the user constraints, in tableau form.
-struct Standardized {
-    /// Row-major coefficients of structural variables.
-    rows: Vec<Vec<f64>>,
-    senses: Vec<Sense>,
-    rhs: Vec<f64>,
+/// Where a variable currently rests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum VarStatus {
+    /// In the basis; value read from the basic solution.
+    Basic,
+    /// Nonbasic at its lower bound.
+    AtLower,
+    /// Nonbasic at its upper bound.
+    AtUpper,
 }
 
-fn standardize(problem: &Problem, fixed: &[Option<bool>]) -> Standardized {
-    let n = problem.variable_count();
-    let mut rows = Vec::new();
-    let mut senses = Vec::new();
-    let mut rhs = Vec::new();
-    for c in &problem.constraints {
-        let mut row = vec![0.0; n];
-        let mut b = c.rhs;
-        for &(v, a) in &c.terms {
-            match fixed[v.0] {
-                Some(true) => b -= a,
-                Some(false) => {}
-                None => row[v.0] += a,
+/// Dense bounded-variable tableau: `n` structural columns, `m` slack
+/// columns (one per constraint row), every row an equality
+/// `A x + s = b`.
+#[derive(Debug, Clone)]
+pub(crate) struct Tableau {
+    /// Structural variable count.
+    pub(crate) n: usize,
+    /// Constraint row count.
+    pub(crate) m: usize,
+    /// Total columns (`n + m`).
+    pub(crate) ncols: usize,
+    /// `m` rows of `ncols + 1` entries; `rows[i][ncols]` is `(B⁻¹ b)_i`.
+    pub(crate) rows: Vec<Vec<f64>>,
+    /// Reduced costs, one per column.
+    pub(crate) cost: Vec<f64>,
+    /// Basic column per row.
+    pub(crate) basis: Vec<usize>,
+    /// Rest point per column.
+    pub(crate) status: Vec<VarStatus>,
+    /// Lower bounds per column.
+    pub(crate) lower: Vec<f64>,
+    /// Upper bounds per column.
+    pub(crate) upper: Vec<f64>,
+    /// Basic values per row (valid after [`Tableau::compute_xb`]).
+    pub(crate) xb: Vec<f64>,
+}
+
+impl Tableau {
+    /// Builds a fresh tableau in the all-slack basis with structural
+    /// bounds derived from the branch fixings (`Some(v)` pins column `j`
+    /// to `v`).
+    pub(crate) fn build(problem: &Problem, fixed: &[Option<bool>]) -> Self {
+        let n = problem.variable_count();
+        let m = problem.constraints.len();
+        let ncols = n + m;
+        let mut rows = vec![vec![0.0; ncols + 1]; m];
+        let mut lower = vec![0.0; ncols];
+        let mut upper = vec![1.0; ncols];
+        for j in 0..n {
+            match fixed[j] {
+                Some(true) => lower[j] = 1.0,
+                Some(false) => upper[j] = 0.0,
+                None => {}
             }
         }
-        rows.push(row);
-        senses.push(c.sense);
-        rhs.push(b);
-    }
-    // Upper bounds x_j <= 1 for free variables.
-    for j in 0..n {
-        if fixed[j].is_none() {
-            let mut row = vec![0.0; n];
-            row[j] = 1.0;
-            rows.push(row);
-            senses.push(Sense::Le);
-            rhs.push(1.0);
+        let mut basis = Vec::with_capacity(m);
+        for (i, c) in problem.constraints.iter().enumerate() {
+            for &(v, a) in &c.terms {
+                rows[i][v.0] += a;
+            }
+            rows[i][n + i] = 1.0;
+            rows[i][ncols] = c.rhs;
+            let (l, u) = match c.sense {
+                Sense::Le => (0.0, f64::INFINITY),
+                Sense::Ge => (f64::NEG_INFINITY, 0.0),
+                Sense::Eq => (0.0, 0.0),
+            };
+            lower[n + i] = l;
+            upper[n + i] = u;
+            basis.push(n + i);
+        }
+        let mut cost = vec![0.0; ncols];
+        cost[..n].copy_from_slice(&problem.objective);
+        let mut status = vec![VarStatus::AtLower; ncols];
+        for &b in &basis {
+            status[b] = VarStatus::Basic;
+        }
+        Tableau {
+            n,
+            m,
+            ncols,
+            rows,
+            cost,
+            basis,
+            status,
+            lower,
+            upper,
+            xb: vec![0.0; m],
         }
     }
-    Standardized { rows, senses, rhs }
+
+    /// Rests every free structural column on the dual-feasible side of
+    /// its box: at the upper bound when its objective coefficient is
+    /// positive, at the lower bound otherwise. With the all-slack basis
+    /// (reduced cost == objective coefficient) this is dual-feasible by
+    /// construction, so a cold solve is a single dual-simplex run — no
+    /// phase 1, no artificial variables. Only valid right after
+    /// [`Tableau::build`].
+    fn rest_dual_feasible(&mut self) {
+        for j in 0..self.n {
+            if self.status[j] == VarStatus::Basic || self.lower[j] >= self.upper[j] {
+                continue;
+            }
+            self.status[j] = if self.cost[j] > 0.0 {
+                VarStatus::AtUpper
+            } else {
+                VarStatus::AtLower
+            };
+        }
+    }
+
+    /// Solves from the fresh all-slack basis: dual simplex to primal
+    /// feasibility, then a primal cleanup pass (a no-op when the dual
+    /// run ends optimal, which is the common case).
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`], [`SolveError::Unbounded`] or
+    /// [`SolveError::IterationLimit`].
+    pub(crate) fn solve_cold(&mut self) -> Result<(), SolveError> {
+        self.rest_dual_feasible();
+        self.dual()?;
+        self.primal()
+    }
+
+    /// Re-applies branch fixings as structural bounds on an
+    /// already-solved tableau and normalizes nonbasic rest points so
+    /// every pinned column sits exactly on its pinned value.
+    pub(crate) fn set_bounds(&mut self, fixed: &[Option<bool>]) {
+        for (j, fix) in fixed.iter().enumerate().take(self.n) {
+            let (l, u) = match fix {
+                Some(true) => (1.0, 1.0),
+                Some(false) => (0.0, 0.0),
+                None => (0.0, 1.0),
+            };
+            self.lower[j] = l;
+            self.upper[j] = u;
+            if self.status[j] != VarStatus::Basic && l >= u {
+                self.status[j] = VarStatus::AtLower;
+            }
+        }
+    }
+
+    /// Reoptimizes after bound or objective changes from the current
+    /// basis. Returns `Ok(false)` when the basis is neither primal
+    /// feasible nor repairable to dual feasibility by bound flips — the
+    /// caller should rebuild and solve cold.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simplex failures; [`SolveError::IterationLimit`] is a
+    /// signal to retry cold.
+    pub(crate) fn reoptimize(&mut self) -> Result<bool, SolveError> {
+        self.compute_xb();
+        let primal_feasible = (0..self.m).all(|i| {
+            let b = self.basis[i];
+            self.xb[i] >= self.lower[b] - FEAS_TOL && self.xb[i] <= self.upper[b] + FEAS_TOL
+        });
+        if primal_feasible {
+            self.primal()?;
+            return Ok(true);
+        }
+        // Repair dual feasibility by flipping nonbasic rest points; a
+        // slack resting against an infinite opposite bound cannot flip.
+        for j in 0..self.ncols {
+            if self.status[j] == VarStatus::Basic || self.lower[j] >= self.upper[j] {
+                continue;
+            }
+            match self.status[j] {
+                VarStatus::AtLower if self.cost[j] > FEAS_TOL => {
+                    if !self.upper[j].is_finite() {
+                        return Ok(false);
+                    }
+                    self.status[j] = VarStatus::AtUpper;
+                }
+                VarStatus::AtUpper if self.cost[j] < -FEAS_TOL => {
+                    if !self.lower[j].is_finite() {
+                        return Ok(false);
+                    }
+                    self.status[j] = VarStatus::AtLower;
+                }
+                _ => {}
+            }
+        }
+        self.dual()?;
+        self.primal()?;
+        Ok(true)
+    }
+
+    /// True when the current optimal basis admits no alternate optimal
+    /// vertex within tolerance: every column free to move (nonbasic and
+    /// not pinned) has a reduced cost strictly away from zero. The
+    /// branch & bound uses this to decide whether a warm-started root
+    /// optimum is provably the same solution a cold solve reaches.
+    pub(crate) fn unique_optimum(&self) -> bool {
+        const UNIQ_TOL: f64 = 1e-6;
+        (0..self.ncols).all(|j| {
+            self.status[j] == VarStatus::Basic
+                || self.upper[j] - self.lower[j] <= 0.0
+                || self.cost[j].abs() > UNIQ_TOL
+        })
+    }
+
+    /// Value a nonbasic column rests at.
+    pub(crate) fn nonbasic_value(&self, j: usize) -> f64 {
+        match self.status[j] {
+            VarStatus::Basic => 0.0,
+            VarStatus::AtLower => self.lower[j],
+            VarStatus::AtUpper => self.upper[j],
+        }
+    }
+
+    /// Recomputes the basic values from the transformed right-hand side
+    /// and the nonbasic rest points.
+    pub(crate) fn compute_xb(&mut self) {
+        for i in 0..self.m {
+            self.xb[i] = self.rows[i][self.ncols];
+        }
+        for j in 0..self.ncols {
+            if self.status[j] == VarStatus::Basic {
+                continue;
+            }
+            let v = self.nonbasic_value(j);
+            if v != 0.0 {
+                for i in 0..self.m {
+                    self.xb[i] -= self.rows[i][j] * v;
+                }
+            }
+        }
+    }
+
+    /// One pivot on `(row, col)`: scales the pivot row, eliminates the
+    /// column elsewhere (right-hand side included) and in the reduced
+    /// costs, and installs `col` in the basis.
+    pub(crate) fn pivot(&mut self, row: usize, col: usize) {
+        let piv = self.rows[row][col];
+        debug_assert!(piv.abs() > EPS, "pivot on a zero element");
+        let inv = 1.0 / piv;
+        for t in self.rows[row].iter_mut() {
+            *t *= inv;
+        }
+        let pivot_row = self.rows[row].clone();
+        for (i, r) in self.rows.iter_mut().enumerate() {
+            if i != row {
+                let factor = r[col];
+                if factor.abs() > EPS {
+                    for (t, &p) in r.iter_mut().zip(pivot_row.iter()) {
+                        *t -= factor * p;
+                    }
+                }
+            }
+        }
+        let factor = self.cost[col];
+        if factor.abs() > EPS {
+            for (c, &p) in self.cost.iter_mut().zip(pivot_row.iter()) {
+                *c -= factor * p;
+            }
+        }
+        self.basis[row] = col;
+    }
+
+    fn iteration_caps(&self) -> (usize, usize) {
+        let bland_after = 20 * (self.m + self.ncols) + 200;
+        let max_iters = 200 * (self.m + self.ncols) + 2_000;
+        (bland_after, max_iters)
+    }
+
+    /// Primal simplex (maximization) from a primal-feasible basis:
+    /// Dantzig pricing with strict comparisons (ties go to the lowest
+    /// column index), bound-flip ratio tests, Bland-style lowest-index
+    /// entering choice once the iteration count grows.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Unbounded`] or [`SolveError::IterationLimit`].
+    pub(crate) fn primal(&mut self) -> Result<(), SolveError> {
+        let (bland_after, max_iters) = self.iteration_caps();
+        for iter in 0..max_iters {
+            self.compute_xb();
+            let use_bland = iter > bland_after;
+            // Entering column: a rest point whose reduced cost pays to
+            // move off it (up from lower, down from upper).
+            let mut entering = None;
+            let mut best = FEAS_TOL;
+            for j in 0..self.ncols {
+                if self.status[j] == VarStatus::Basic || self.lower[j] >= self.upper[j] {
+                    continue;
+                }
+                let score = match self.status[j] {
+                    VarStatus::AtLower => self.cost[j],
+                    VarStatus::AtUpper => -self.cost[j],
+                    VarStatus::Basic => unreachable!(),
+                };
+                if score > best {
+                    entering = Some(j);
+                    if use_bland {
+                        break;
+                    }
+                    best = score;
+                }
+            }
+            let Some(q) = entering else {
+                return Ok(());
+            };
+            let dir = if self.status[q] == VarStatus::AtLower {
+                1.0
+            } else {
+                -1.0
+            };
+            // Ratio test: the entering column moves until a basic
+            // variable hits a bound — or until it reaches its own
+            // opposite bound first, in which case the step is a pure
+            // bound flip with no pivot.
+            let mut limit = self.upper[q] - self.lower[q];
+            let mut leave: Option<(usize, VarStatus)> = None;
+            for i in 0..self.m {
+                let a = dir * self.rows[i][q];
+                let b = self.basis[i];
+                let (step, target) = if a > EPS {
+                    if self.lower[b] == f64::NEG_INFINITY {
+                        continue;
+                    }
+                    (
+                        (self.xb[i] - self.lower[b]).max(0.0) / a,
+                        VarStatus::AtLower,
+                    )
+                } else if a < -EPS {
+                    if self.upper[b] == f64::INFINITY {
+                        continue;
+                    }
+                    (
+                        (self.upper[b] - self.xb[i]).max(0.0) / -a,
+                        VarStatus::AtUpper,
+                    )
+                } else {
+                    continue;
+                };
+                let better = step < limit - EPS
+                    || (use_bland
+                        && (step - limit).abs() <= EPS
+                        && leave.is_some_and(|(l, _)| self.basis[i] < self.basis[l]));
+                if better {
+                    limit = step;
+                    leave = Some((i, target));
+                }
+            }
+            if limit.is_infinite() {
+                return Err(SolveError::Unbounded);
+            }
+            match leave {
+                None => {
+                    // Bound flip: q traverses its whole box.
+                    self.status[q] = if dir > 0.0 {
+                        VarStatus::AtUpper
+                    } else {
+                        VarStatus::AtLower
+                    };
+                }
+                Some((r, target)) => {
+                    let old = self.basis[r];
+                    self.status[old] = target;
+                    self.status[q] = VarStatus::Basic;
+                    self.pivot(r, q);
+                }
+            }
+        }
+        Err(SolveError::IterationLimit)
+    }
+
+    /// Dual simplex from a dual-feasible basis: expels the most
+    /// bound-violating basic variable (lowest basic index once Bland
+    /// kicks in) and enters the minimum-dual-ratio column (lowest
+    /// eligible index under Bland). Terminates optimal when no basic
+    /// variable is out of bounds.
+    ///
+    /// # Errors
+    ///
+    /// [`SolveError::Infeasible`] when a violated row admits no entering
+    /// column, or [`SolveError::IterationLimit`].
+    pub(crate) fn dual(&mut self) -> Result<(), SolveError> {
+        let (bland_after, max_iters) = self.iteration_caps();
+        for iter in 0..max_iters {
+            self.compute_xb();
+            let use_bland = iter > bland_after;
+            // Leaving row: largest bound violation.
+            let mut leaving: Option<(usize, bool)> = None; // (row, violated below)
+            let mut worst = FEAS_TOL;
+            for i in 0..self.m {
+                let b = self.basis[i];
+                let (viol, below) = if self.xb[i] < self.lower[b] {
+                    (self.lower[b] - self.xb[i], true)
+                } else if self.xb[i] > self.upper[b] {
+                    (self.xb[i] - self.upper[b], false)
+                } else {
+                    continue;
+                };
+                if use_bland {
+                    if viol > FEAS_TOL && leaving.is_none_or(|(l, _)| b < self.basis[l]) {
+                        leaving = Some((i, below));
+                    }
+                } else if viol > worst {
+                    worst = viol;
+                    leaving = Some((i, below));
+                }
+            }
+            let Some((r, below)) = leaving else {
+                return Ok(());
+            };
+            // Entering column: dual ratio test over columns whose pivot
+            // sign moves the leaving variable back toward its bound.
+            let mut entering = None;
+            let mut best_ratio = f64::INFINITY;
+            for j in 0..self.ncols {
+                if self.status[j] == VarStatus::Basic || self.lower[j] >= self.upper[j] {
+                    continue;
+                }
+                let a = self.rows[r][j];
+                let eligible = if below {
+                    (self.status[j] == VarStatus::AtLower && a < -EPS)
+                        || (self.status[j] == VarStatus::AtUpper && a > EPS)
+                } else {
+                    (self.status[j] == VarStatus::AtLower && a > EPS)
+                        || (self.status[j] == VarStatus::AtUpper && a < -EPS)
+                };
+                if !eligible {
+                    continue;
+                }
+                if use_bland {
+                    entering = Some(j);
+                    break;
+                }
+                let ratio = self.cost[j].abs() / a.abs();
+                if ratio < best_ratio - EPS {
+                    best_ratio = ratio;
+                    entering = Some(j);
+                }
+            }
+            let Some(q) = entering else {
+                // The violated row cannot be repaired: primal infeasible.
+                return Err(SolveError::Infeasible);
+            };
+            let old = self.basis[r];
+            self.status[old] = if below {
+                VarStatus::AtLower
+            } else {
+                VarStatus::AtUpper
+            };
+            self.status[q] = VarStatus::Basic;
+            self.pivot(r, q);
+        }
+        Err(SolveError::IterationLimit)
+    }
+
+    /// Structural variable values of the current basic solution.
+    /// Requires an up-to-date [`Tableau::compute_xb`].
+    pub(crate) fn structural_values(&self) -> Vec<f64> {
+        let mut values = vec![0.0; self.n];
+        for (j, v) in values.iter_mut().enumerate() {
+            if self.status[j] != VarStatus::Basic {
+                *v = self.nonbasic_value(j);
+            }
+        }
+        for i in 0..self.m {
+            if self.basis[i] < self.n {
+                values[self.basis[i]] = self.xb[i];
+            }
+        }
+        values
+    }
+
+    /// Extracts an [`LpSolution`] with the seed solver's exact objective
+    /// recomputation (fixed variables contribute exact 0/1 terms, free
+    /// variables their LP value) so both engines report identical
+    /// objectives on identical bases.
+    pub(crate) fn extract(&mut self, problem: &Problem, fixed: &[Option<bool>]) -> LpSolution {
+        self.compute_xb();
+        let mut values = self.structural_values();
+        let mut objective = 0.0;
+        for j in 0..self.n {
+            match fixed[j] {
+                Some(true) => {
+                    values[j] = 1.0;
+                    objective += problem.objective[j];
+                }
+                Some(false) => values[j] = 0.0,
+                None => objective += problem.objective[j] * values[j],
+            }
+        }
+        LpSolution { objective, values }
+    }
 }
 
-/// Solves the LP relaxation of `problem` with some variables fixed to
-/// 0/1 (`fixed[j] = Some(value)`), as used by branch & bound.
+/// Solves the LP relaxation with some variables fixed to 0/1, falling
+/// back to the reference two-phase simplex if the bounded solver hits
+/// its iteration cap.
 ///
 /// # Errors
 ///
@@ -70,240 +553,12 @@ pub(crate) fn solve_relaxation_fixed(
     problem: &Problem,
     fixed: &[Option<bool>],
 ) -> Result<LpSolution, SolveError> {
-    let n = problem.variable_count();
-    let std_form = standardize(problem, fixed);
-    let m = std_form.rows.len();
-
-    // Column layout: [structural n] [slack/surplus per row] [artificial per
-    // row where needed]. We allocate slack and artificial lazily below.
-    let mut slack_col = vec![usize::MAX; m];
-    let mut art_col = vec![usize::MAX; m];
-    let mut ncols = n;
-    for i in 0..m {
-        // Normalize to non-negative RHS first.
-        // (handled below by flipping; here only count columns)
-        let sense = effective_sense(std_form.senses[i], std_form.rhs[i]);
-        match sense {
-            Sense::Le => {
-                slack_col[i] = ncols;
-                ncols += 1;
-            }
-            Sense::Ge => {
-                slack_col[i] = ncols;
-                ncols += 1;
-                art_col[i] = ncols;
-                ncols += 1;
-            }
-            Sense::Eq => {
-                art_col[i] = ncols;
-                ncols += 1;
-            }
-        }
+    let mut tab = Tableau::build(problem, fixed);
+    match tab.solve_cold() {
+        Ok(()) => Ok(tab.extract(problem, fixed)),
+        Err(SolveError::IterationLimit) => crate::seed::solve_relaxation_fixed(problem, fixed),
+        Err(e) => Err(e),
     }
-
-    // Build tableau rows: coefficients with flipped sign when rhs < 0.
-    let mut tab = vec![vec![0.0; ncols + 1]; m];
-    let mut basis = vec![usize::MAX; m];
-    for i in 0..m {
-        let flip = std_form.rhs[i] < 0.0;
-        let sgn = if flip { -1.0 } else { 1.0 };
-        for (j, &coeff) in std_form.rows[i].iter().enumerate().take(n) {
-            tab[i][j] = sgn * coeff;
-        }
-        tab[i][ncols] = sgn * std_form.rhs[i];
-        let sense = effective_sense(std_form.senses[i], std_form.rhs[i]);
-        match sense {
-            Sense::Le => {
-                tab[i][slack_col[i]] = 1.0;
-                basis[i] = slack_col[i];
-            }
-            Sense::Ge => {
-                tab[i][slack_col[i]] = -1.0;
-                tab[i][art_col[i]] = 1.0;
-                basis[i] = art_col[i];
-            }
-            Sense::Eq => {
-                tab[i][art_col[i]] = 1.0;
-                basis[i] = art_col[i];
-            }
-        }
-    }
-
-    // Artificial columns may start in the basis but must never *enter*
-    // it — in either phase (an artificial allowed to re-enter during
-    // phase 1 can survive into phase 2 carrying a constraint violation).
-    let is_artificial: Vec<bool> = (0..ncols).map(|j| art_col.contains(&j)).collect();
-
-    // ---- Phase 1: maximize -(sum of artificials). ----------------------
-    let has_artificials = art_col.iter().any(|&c| c != usize::MAX);
-    if has_artificials {
-        let mut cost = vec![0.0; ncols + 1];
-        for &c in &art_col {
-            if c != usize::MAX {
-                cost[c] = -1.0;
-            }
-        }
-        reprice(&mut cost, &tab, &basis);
-        run_simplex(&mut tab, &mut cost, &mut basis, Some(&is_artificial))?;
-        let obj = -cost[ncols];
-        if obj < -1e-7 {
-            return Err(SolveError::Infeasible);
-        }
-        // Pivot any artificial still sitting in the basis (at value 0)
-        // out of it where possible; rows that stay artificial are
-        // redundant.
-        for i in 0..m {
-            if basis[i] < ncols && is_artificial[basis[i]] {
-                if let Some(j) = (0..ncols).find(|&j| !is_artificial[j] && tab[i][j].abs() > EPS) {
-                    pivot(&mut tab, &mut cost, &mut basis, i, j);
-                }
-            }
-        }
-    }
-
-    let banned = is_artificial;
-
-    // ---- Phase 2: original objective. ----------------------------------
-    let mut cost = vec![0.0; ncols + 1];
-    for (j, fix) in fixed.iter().enumerate() {
-        if fix.is_none() {
-            cost[j] = problem.objective[j];
-        }
-    }
-    reprice(&mut cost, &tab, &basis);
-    run_simplex(&mut tab, &mut cost, &mut basis, Some(&banned))?;
-
-    // Extract the solution.
-    let mut values = vec![0.0; n];
-    for i in 0..m {
-        if basis[i] < n {
-            values[basis[i]] = tab[i][ncols];
-        }
-    }
-    let mut objective = 0.0;
-    for j in 0..n {
-        match fixed[j] {
-            Some(true) => {
-                values[j] = 1.0;
-                objective += problem.objective[j];
-            }
-            Some(false) => values[j] = 0.0,
-            None => objective += problem.objective[j] * values[j],
-        }
-    }
-    Ok(LpSolution { objective, values })
-}
-
-/// Sense after the row is normalized to a non-negative RHS.
-fn effective_sense(sense: Sense, rhs: f64) -> Sense {
-    if rhs >= 0.0 {
-        sense
-    } else {
-        match sense {
-            Sense::Le => Sense::Ge,
-            Sense::Ge => Sense::Le,
-            Sense::Eq => Sense::Eq,
-        }
-    }
-}
-
-/// Rewrites `cost` as reduced costs w.r.t. the current basis: subtracts
-/// `cost[basic] * row` for every basic column with non-zero cost.
-fn reprice(cost: &mut [f64], tab: &[Vec<f64>], basis: &[usize]) {
-    for (i, &b) in basis.iter().enumerate() {
-        let cb = cost[b];
-        if cb.abs() > 0.0 {
-            let row = &tab[i];
-            for (c, &t) in cost.iter_mut().zip(row.iter()) {
-                *c -= cb * t;
-            }
-        }
-    }
-}
-
-/// Performs one pivot on `(row, col)`.
-fn pivot(tab: &mut [Vec<f64>], cost: &mut [f64], basis: &mut [usize], row: usize, col: usize) {
-    let piv = tab[row][col];
-    debug_assert!(piv.abs() > EPS, "pivot on a zero element");
-    let inv = 1.0 / piv;
-    for t in tab[row].iter_mut() {
-        *t *= inv;
-    }
-    let pivot_row = tab[row].clone();
-    for (i, r) in tab.iter_mut().enumerate() {
-        if i != row {
-            let factor = r[col];
-            if factor.abs() > EPS {
-                for (t, &p) in r.iter_mut().zip(pivot_row.iter()) {
-                    *t -= factor * p;
-                }
-            }
-        }
-    }
-    let factor = cost[col];
-    if factor.abs() > EPS {
-        for (c, &p) in cost.iter_mut().zip(pivot_row.iter()) {
-            *c -= factor * p;
-        }
-    }
-    basis[row] = col;
-}
-
-/// Runs primal simplex (maximization): Dantzig rule with a Bland fallback
-/// once the iteration count grows, capped to guard against cycling.
-fn run_simplex(
-    tab: &mut [Vec<f64>],
-    cost: &mut [f64],
-    basis: &mut [usize],
-    banned: Option<&[bool]>,
-) -> Result<(), SolveError> {
-    let m = tab.len();
-    let ncols = cost.len() - 1;
-    let bland_after = 20 * (m + ncols) + 200;
-    let max_iters = 200 * (m + ncols) + 2_000;
-    for iter in 0..max_iters {
-        let use_bland = iter > bland_after;
-        // Entering column: positive reduced cost (maximization).
-        let mut entering = None;
-        let mut best = 1e-7;
-        for j in 0..ncols {
-            if banned.is_some_and(|b| b[j]) {
-                continue;
-            }
-            if cost[j] > best {
-                entering = Some(j);
-                if use_bland {
-                    break;
-                }
-                best = cost[j];
-            }
-        }
-        let Some(col) = entering else {
-            return Ok(());
-        };
-        // Leaving row: minimum ratio.
-        let mut leaving = None;
-        let mut best_ratio = f64::INFINITY;
-        for i in 0..m {
-            let a = tab[i][col];
-            if a > EPS {
-                let ratio = tab[i][ncols] / a;
-                if ratio < best_ratio - EPS
-                    || (use_bland
-                        && (ratio - best_ratio).abs() <= EPS
-                        && leaving.is_some_and(|l: usize| basis[i] < basis[l]))
-                {
-                    best_ratio = ratio;
-                    leaving = Some(i);
-                }
-            }
-        }
-        let Some(row) = leaving else {
-            return Err(SolveError::Unbounded);
-        };
-        pivot(tab, cost, basis, row, col);
-    }
-    Err(SolveError::IterationLimit)
 }
 
 /// Solves the `[0, 1]` LP relaxation of `problem`.
@@ -384,7 +639,7 @@ mod tests {
     }
 
     #[test]
-    fn negative_rhs_rows_are_normalized() {
+    fn negative_rhs_rows_need_no_normalization() {
         let mut p = Problem::new();
         let a = p.add_binary("a");
         p.set_objective_coeff(a, 1.0);
@@ -408,40 +663,6 @@ mod tests {
         assert_eq!(lp.values[a.index()], 0.0);
     }
 
-    /// Regression: proptest found an instance where an artificial
-    /// variable re-entered the basis during phase 1 and survived into
-    /// phase 2, silently dropping an equality constraint. Artificials are
-    /// now banned from entering in both phases.
-    #[test]
-    fn artificials_must_not_reenter_phase_one() {
-        let mut p = Problem::new();
-        let x00 = p.add_binary("x00");
-        let x10 = p.add_binary("x10");
-        let x11 = p.add_binary("x11");
-        let x20 = p.add_binary("x20");
-        let x30 = p.add_binary("x30");
-        p.set_objective_coeff(x00, -0.718_959_338_992_342_9);
-        p.set_objective_coeff(x10, 6.006_242_102_509_493);
-        p.add_constraint("g0", vec![(x00, 1.0)], Sense::Eq, 1.0);
-        p.add_constraint("g1", vec![(x10, 1.0), (x11, 1.0)], Sense::Eq, 1.0);
-        p.add_constraint("g2", vec![(x20, 1.0)], Sense::Eq, 1.0);
-        p.add_constraint("g3", vec![(x30, 1.0)], Sense::Eq, 1.0);
-        p.add_constraint(
-            "cap",
-            vec![(x00, 7.0), (x10, 6.0), (x11, 5.0), (x20, 2.0), (x30, 5.0)],
-            Sense::Le,
-            19.0,
-        );
-        let lp = solve_relaxation(&p).expect("feasible");
-        assert!(
-            lp.values[x00.index()] > 1.0 - 1e-6,
-            "equality constraint dropped: x00 = {}",
-            lp.values[x00.index()]
-        );
-        let s = p.solve().expect("feasible");
-        assert!((s.objective + 0.718_959_338_992_342_9).abs() < 1e-6);
-    }
-
     #[test]
     fn ge_constraints_force_values_up() {
         let mut p = Problem::new();
@@ -453,5 +674,71 @@ mod tests {
         let lp = solve_relaxation(&p).expect("feasible");
         // Cheapest way to reach 1.5: a = 1, b = 0.5 -> objective -2.
         assert!((lp.objective + 2.0).abs() < 1e-6, "obj {}", lp.objective);
+    }
+
+    #[test]
+    fn matches_seed_simplex_on_mc_knapsack_shape() {
+        // The exact row shape core::opt emits: one Eq row per group, a
+        // shared Le resource row, and a no-good cut.
+        let mut p = Problem::new();
+        let a0 = p.add_binary("a0");
+        let a1 = p.add_binary("a1");
+        let b0 = p.add_binary("b0");
+        let b1 = p.add_binary("b1");
+        p.set_objective_coeff(a0, 0.7);
+        p.set_objective_coeff(a1, 0.2);
+        p.set_objective_coeff(b1, 1.3);
+        p.add_constraint("one_a", vec![(a0, 1.0), (a1, 1.0)], Sense::Eq, 1.0);
+        p.add_constraint("one_b", vec![(b0, 1.0), (b1, 1.0)], Sense::Eq, 1.0);
+        p.add_constraint(
+            "slack",
+            vec![(a0, 4.0), (a1, 1.0), (b1, 3.0)],
+            Sense::Le,
+            5.0,
+        );
+        p.add_constraint("cut", vec![(a0, 1.0), (b1, 1.0)], Sense::Le, 1.0);
+        let new = solve_relaxation(&p).expect("feasible");
+        let old = crate::seed::solve_relaxation(&p).expect("feasible");
+        assert!(
+            (new.objective - old.objective).abs() < 1e-7,
+            "bounded {} vs seed {}",
+            new.objective,
+            old.objective
+        );
+    }
+
+    #[test]
+    fn reoptimize_after_tightened_bounds_matches_cold() {
+        let mut p = Problem::new();
+        let vars: Vec<_> = (0..4).map(|i| p.add_binary(format!("x{i}"))).collect();
+        let profits = [5.0, 4.0, 3.0, 2.0];
+        let weights = [4.0, 3.0, 2.0, 1.0];
+        for (i, &v) in vars.iter().enumerate() {
+            p.set_objective_coeff(v, profits[i]);
+        }
+        p.add_constraint(
+            "cap",
+            vars.iter()
+                .enumerate()
+                .map(|(i, &v)| (v, weights[i]))
+                .collect(),
+            Sense::Le,
+            5.0,
+        );
+        let free = vec![None; 4];
+        let mut tab = Tableau::build(&p, &free);
+        tab.solve_cold().expect("root solves");
+        // Branch: fix x0 = 0 and reoptimize warm.
+        let fixed = vec![Some(false), None, None, None];
+        tab.set_bounds(&fixed);
+        assert!(tab.reoptimize().expect("reoptimizes"), "warm path taken");
+        let warm = tab.extract(&p, &fixed);
+        let cold = solve_relaxation_fixed(&p, &fixed).expect("feasible");
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-7,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
     }
 }

@@ -93,6 +93,51 @@ proptest! {
         }
     }
 
+    /// The bounded-variable engine and the frozen seed engine agree on
+    /// objective value for every instance (the determinism suites
+    /// additionally check full bit-identity end to end).
+    #[test]
+    fn bounded_and_seed_engines_agree((groups, cap) in arb_mckp()) {
+        let p = mckp_as_ilp(&groups, cap);
+        match (p.solve(), ilp::seed::solve(&p)) {
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (Ok(new), Ok(old)) => {
+                prop_assert!((new.objective - old.objective).abs() < 1e-9,
+                    "bounded {} vs seed {}", new.objective, old.objective);
+            }
+            (new, old) => prop_assert!(false,
+                "feasibility divergence: bounded {new:?} vs seed {old:?}"),
+        }
+    }
+
+    /// Same for the plain LP relaxations.
+    #[test]
+    fn bounded_and_seed_relaxations_agree((groups, cap) in arb_mckp()) {
+        let p = mckp_as_ilp(&groups, cap);
+        match (solve_relaxation(&p), ilp::seed::solve_relaxation(&p)) {
+            (Err(SolveError::Infeasible), Err(SolveError::Infeasible)) => {}
+            (Ok(new), Ok(old)) => {
+                prop_assert!((new.objective - old.objective).abs() < 1e-6,
+                    "bounded {} vs seed {}", new.objective, old.objective);
+            }
+            (new, old) => prop_assert!(false,
+                "feasibility divergence: bounded {new:?} vs seed {old:?}"),
+        }
+    }
+
+    /// A warm-started solver re-solving the same problem lands on
+    /// bitwise the same answer as its first (cold) solve.
+    #[test]
+    fn warm_resolve_is_bitwise_idempotent((groups, cap) in arb_mckp()) {
+        let p = mckp_as_ilp(&groups, cap);
+        let mut solver = ilp::Solver::new();
+        if let Ok(first) = solver.solve(&p) {
+            let second = solver.solve(&p).expect("feasible stays feasible");
+            prop_assert_eq!(first.objective.to_bits(), second.objective.to_bits());
+            prop_assert_eq!(first.values, second.values);
+        }
+    }
+
     /// Integer solutions satisfy every constraint exactly.
     #[test]
     fn integer_solutions_are_feasible((groups, cap) in arb_mckp()) {
