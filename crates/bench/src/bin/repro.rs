@@ -5,8 +5,8 @@
 //! ```
 //!
 //! Ids: `fig2`, `fig2b`, `fig3`, `fig4`, `orders`, `table1`, `m1`,
-//! `fig6-timing`, `fig6-area`, `scalability`, `phases`, `pipeline`, or `all`
-//! (default). `--jobs` sets the worker-thread count of the parallel
+//! `fig6-timing`, `fig6-area`, `scalability`, `phases`, `incremental`,
+//! `pipeline`, or `all` (default). `--jobs` sets the worker-thread count of the parallel
 //! part of E9 (`0` = all hardware threads, the default). See
 //! EXPERIMENTS.md for the paper-versus-measured record.
 
@@ -360,6 +360,50 @@ fn run_phases(jobs: usize) {
     println!(" the memo cannot remove)");
 }
 
+fn incremental_json(r: &experiments::IncrementalResult) -> String {
+    format!(
+        "{{\n  \"experiment\": \"E15\",\n  \"system\": \"mpeg2\",\n  \
+         \"full_reanalysis_us\": {:.3},\n  \"per_edit_us\": {:.3},\n  \
+         \"render_us\": {:.3},\n  \"speedup\": {:.1},\n  \"batches\": {},\n  \
+         \"full_iters_per_batch\": {},\n  \"edit_iters_per_batch\": {}\n}}\n",
+        r.full_us, r.per_edit_us, r.render_us, r.speedup, r.batches, r.full_iters, r.edit_iters
+    )
+}
+
+fn run_incremental() {
+    banner("E15 — incremental session engine: per-edit latency vs stateless re-analysis");
+    let r = experiments::incremental_latency();
+    println!("system: MPEG-2 encoder; one process alternated between two Pareto points");
+    println!(
+        "full stateless pass  : {:>9.1} us  (parse + precheck + cache key + warm cached analyze + render)",
+        r.full_us
+    );
+    println!(
+        "session per-edit     : {:>9.2} us  (dirty-SCC reprice on a live DeltaState)",
+        r.per_edit_us
+    );
+    println!(
+        "render from state    : {:>9.2} us  (bottleneck report off the cached analysis)",
+        r.render_us
+    );
+    println!(
+        "speedup              : {:>9.1} x  (acceptance bar: 50x)",
+        r.speedup
+    );
+    let json = incremental_json(&r);
+    match std::fs::write("BENCH_incremental.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_incremental.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_incremental.json: {e}"),
+    }
+    println!(
+        "\n(each figure is a median over {} batches — {} stateless / {} edit iterations",
+        r.batches, r.full_iters, r.edit_iters
+    );
+    println!(" per batch — because single-iteration timings at this scale are 10-15% noisy;");
+    println!(" the stateless path is measured with its analysis cache warm, so the speedup");
+    println!(" is a floor: a cold or evicted cache would widen it)");
+}
+
 fn run_pipeline() {
     banner("Functional MPEG-2-style pipeline on the process-network engine");
     let frames: Vec<mpeg2sys::Frame> = (0..6)
@@ -444,6 +488,7 @@ fn main() {
         ),
         "scalability" => run_scalability(jobs),
         "phases" => run_phases(jobs),
+        "incremental" => run_incremental(),
         "pipeline" => run_pipeline(),
         "ablation" => run_ablation(),
         "sweep" => run_sweep(),
@@ -470,11 +515,12 @@ fn main() {
             run_sweep();
             run_scalability(jobs);
             run_phases(jobs);
+            run_incremental();
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases pipeline ablation sweep all"
+                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases incremental pipeline ablation sweep all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,170 @@
+//! CI smoke gate for the stateful session API.
+//!
+//! Starts the daemon in-process on an ephemeral port, opens a session on
+//! the MPEG-2 encoder spec, applies three edits (two reselects and a
+//! reorder), closes the session, and byte-compares every response
+//! against a from-scratch `cmd_analyze` of a client-side mirror of the
+//! post-edit spec — the same bit-identity contract the integration tests
+//! assert, but exercised on the release binary in CI. Exits non-zero on
+//! the first divergence.
+
+use ermesd::{Server, ServerConfig, SystemSpec};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpStream};
+
+fn fail(msg: &str) -> ! {
+    eprintln!("sesscheck: FAIL: {msg}");
+    std::process::exit(1);
+}
+
+/// One-shot request; returns (status, lower-cased headers, body).
+#[allow(clippy::type_complexity)]
+fn request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+) -> (u16, Vec<(String, String)>, String) {
+    let mut stream = TcpStream::connect(addr).unwrap_or_else(|e| fail(&format!("connect: {e}")));
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .unwrap_or_else(|e| fail(&format!("write: {e}")));
+    let mut reader = BufReader::new(stream);
+    let mut status_line = String::new();
+    reader
+        .read_line(&mut status_line)
+        .unwrap_or_else(|e| fail(&format!("status line: {e}")));
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| fail(&format!("bad status line `{status_line}`")));
+    let mut headers = Vec::new();
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .unwrap_or_else(|e| fail(&format!("header: {e}")));
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value
+                    .parse()
+                    .unwrap_or_else(|_| fail("non-numeric content-length"));
+            }
+            headers.push((name, value));
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader
+        .read_exact(&mut body)
+        .unwrap_or_else(|e| fail(&format!("body: {e}")));
+    let body = String::from_utf8(body).unwrap_or_else(|_| fail("non-UTF-8 body"));
+    (status, headers, body)
+}
+
+fn check(step: &str, status: u16, served: &str, mirror: &SystemSpec) {
+    if status != 200 {
+        fail(&format!("{step}: status {status}: {served}"));
+    }
+    let scratch = ermesd::cmd_analyze(mirror)
+        .unwrap_or_else(|e| fail(&format!("{step}: mirror analysis: {e}")));
+    if served != scratch {
+        fail(&format!(
+            "{step}: response diverged from from-scratch analysis\n--- served ---\n{served}\n--- scratch ---\n{scratch}"
+        ));
+    }
+}
+
+fn main() {
+    let server = Server::start(ServerConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        ..ServerConfig::default()
+    })
+    .unwrap_or_else(|e| fail(&format!("bind: {e}")));
+    let addr = server.addr();
+    let handle = std::thread::spawn(move || server.run());
+
+    let json = SystemSpec::from_design(&mpeg2sys::mpeg2_design().0).to_json_pretty();
+    let mut mirror =
+        SystemSpec::from_json(&json).unwrap_or_else(|e| fail(&format!("spec round-trip: {e}")));
+
+    let (status, headers, body) = request(addr, "POST", "/session", &json);
+    check("open", status, &body, &mirror);
+    let id = headers
+        .iter()
+        .find(|(k, _)| k == "x-ermes-session")
+        .map(|(_, v)| v.clone())
+        .unwrap_or_else(|| fail("open: no x-ermes-session header"));
+    let edit_path = format!("/session/{id}/edit");
+
+    // Edits 1 and 2: reselect a multi-point process there and back.
+    let pi = mirror
+        .processes
+        .iter()
+        .position(|p| p.pareto.as_ref().is_some_and(|f| f.len() >= 2))
+        .unwrap_or_else(|| fail("mpeg2 spec has no multi-point frontier"));
+    let pname = mirror.processes[pi].name.clone();
+    for point in [1usize, 0] {
+        let edit = format!(r#"{{"reselect": {{"process": "{pname}", "point": {point}}}}}"#);
+        let (status, _, body) = request(addr, "POST", &edit_path, &edit);
+        mirror.processes[pi].latency = mirror.processes[pi].pareto.as_ref().unwrap()[point].latency;
+        check(&format!("reselect->{point}"), status, &body, &mirror);
+    }
+
+    // Edit 3: reverse the get order of a multi-input process.
+    let qi = mirror
+        .processes
+        .iter()
+        .position(|p| p.get_order.as_ref().is_some_and(|g| g.len() >= 2))
+        .unwrap_or_else(|| fail("mpeg2 spec has no multi-input process"));
+    let qname = mirror.processes[qi].name.clone();
+    let mut gets = mirror.processes[qi].get_order.clone().unwrap();
+    gets.reverse();
+    let puts = mirror.processes[qi].put_order.clone().unwrap();
+    let quoted = |names: &[String]| {
+        names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let edit = format!(
+        r#"{{"reorder": {{"process": "{qname}", "gets": [{}], "puts": [{}]}}}}"#,
+        quoted(&gets),
+        quoted(&puts)
+    );
+    let (status, _, body) = request(addr, "POST", &edit_path, &edit);
+    mirror.processes[qi].get_order = Some(gets);
+    check("reorder", status, &body, &mirror);
+
+    let (status, _, body) = request(addr, "DELETE", &format!("/session/{id}"), "");
+    if status != 200 {
+        fail(&format!("close: status {status}: {body}"));
+    }
+    let (status, _, _) = request(addr, "POST", &edit_path, "{}");
+    if status != 404 {
+        fail(&format!("edit after close: expected 404, got {status}"));
+    }
+
+    let (status, _, _) = request(addr, "POST", "/shutdown", "");
+    if status != 200 {
+        fail(&format!("shutdown: status {status}"));
+    }
+    match handle.join() {
+        Ok(Ok(())) => {}
+        Ok(Err(e)) => fail(&format!("drain: {e}")),
+        Err(_) => fail("server thread panicked"),
+    }
+    println!("sesscheck: OK (open + 3 edits + close, all bit-identical to the CLI)");
+}

@@ -623,6 +623,134 @@ pub fn ablation() -> AblationResult {
     }
 }
 
+/// E15 — per-edit latency of the incremental session engine against the
+/// full stateless handler path, on the MPEG-2 encoder.
+#[derive(Debug, Clone)]
+pub struct IncrementalResult {
+    /// Median microseconds for one stateless `/analyze`-equivalent pass
+    /// over an edited spec: JSON parse, design precheck, canonical cache
+    /// key, memoized analysis (kept warm — the *best* case for the
+    /// stateless path), and rendering.
+    pub full_us: f64,
+    /// Median microseconds for one session reselect (dirty-SCC reprice).
+    pub per_edit_us: f64,
+    /// Median microseconds to derive the bottleneck report and render it
+    /// from the cached session state (on top of `per_edit_us` when a
+    /// response body is needed).
+    pub render_us: f64,
+    /// `full_us / per_edit_us`.
+    pub speedup: f64,
+    /// Batches each median is taken over.
+    pub batches: usize,
+    /// Iterations per batch on the stateless path.
+    pub full_iters: usize,
+    /// Iterations per batch on the per-edit and render paths.
+    pub edit_iters: usize,
+}
+
+/// Runs E15: alternates one process of the MPEG-2 encoder between two
+/// Pareto points, measuring (a) the full stateless handler work a
+/// distinct edited spec costs `/analyze` even with the analysis cache
+/// warm, and (b) the same edit applied to a live [`ermes::DeltaState`].
+/// Single-iteration timings at this scale are ±10–15% noisy, so each
+/// figure is a median over batches of many iterations.
+///
+/// # Panics
+///
+/// Panics if the MPEG-2 design has no multi-point frontier (it does by
+/// construction).
+#[must_use]
+pub fn incremental_latency() -> IncrementalResult {
+    let (design, _) = mpeg2sys::mpeg2_design();
+    let p = design
+        .system()
+        .process_ids()
+        .find(|&q| design.pareto(q).len() >= 2)
+        .expect("mpeg2 has a multi-point frontier");
+    let variants: Vec<String> = (0..2)
+        .map(|i| {
+            let mut d = design.clone();
+            d.select(p, i).expect("frontier point");
+            ermesd::SystemSpec::from_design(&d).to_json_pretty()
+        })
+        .collect();
+
+    const BATCHES: usize = 7;
+    const FULL_ITERS: usize = 300;
+    const EDIT_ITERS: usize = 20_000;
+    let median = |mut xs: Vec<f64>| -> f64 {
+        xs.sort_by(f64::total_cmp);
+        xs[xs.len() / 2]
+    };
+
+    // The stateless path, measured at its steady state: the cache is
+    // pre-warmed with both variants so no batch pays a cold miss.
+    let cache = ermes::EngineCache::new();
+    let mut sink = 0usize;
+    for v in &variants {
+        let spec = ermesd::SystemSpec::from_json(v).expect("round-trips");
+        sink += ermesd::cmd_analyze_cached(&spec, &cache)
+            .expect("analyzes")
+            .len();
+    }
+    let full_us = median(
+        (0..BATCHES)
+            .map(|_| {
+                let t = Instant::now();
+                for i in 0..FULL_ITERS {
+                    let spec =
+                        ermesd::SystemSpec::from_json(&variants[i % 2]).expect("round-trips");
+                    let _ = spec.to_design().expect("well-formed"); // endpoint precheck
+                    sink += spec.to_json_pretty().len(); // canonical cache key
+                    sink += ermesd::cmd_analyze_cached(&spec, &cache)
+                        .expect("analyzes")
+                        .len();
+                }
+                t.elapsed().as_secs_f64() * 1e6 / FULL_ITERS as f64
+            })
+            .collect(),
+    );
+
+    // The session path: the same alternating edit as a dirty-SCC reprice.
+    let mut st = ermes::DeltaState::open(design.clone());
+    let per_edit_us = median(
+        (0..BATCHES)
+            .map(|_| {
+                let t = Instant::now();
+                for i in 0..EDIT_ITERS {
+                    let r = st.reselect(p, i % 2, None).expect("valid point");
+                    sink += r.critical_processes.len();
+                }
+                t.elapsed().as_secs_f64() * 1e6 / EDIT_ITERS as f64
+            })
+            .collect(),
+    );
+
+    // Turning the cached state into a response body.
+    let render_us = median(
+        (0..BATCHES)
+            .map(|_| {
+                let t = Instant::now();
+                for _ in 0..EDIT_ITERS {
+                    sink += st.bottleneck().map_or(0, |b| b.render().len());
+                }
+                t.elapsed().as_secs_f64() * 1e6 / EDIT_ITERS as f64
+            })
+            .collect(),
+    );
+    std::hint::black_box(sink);
+
+    IncrementalResult {
+        full_us,
+        per_edit_us,
+        render_us,
+        speedup: full_us / per_edit_us,
+        batches: BATCHES,
+        full_iters: FULL_ITERS,
+        edit_iters: EDIT_ITERS,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -7,7 +7,6 @@
 //! micro-architecture (timing optimization), deepening a FIFO (buffer
 //! sizing), or reordering statements.
 
-use crate::analysis::analyze_design;
 use crate::design::Design;
 use std::fmt::Write as _;
 use sysgraph::lower_to_tmg;
@@ -90,10 +89,24 @@ impl BottleneckReport {
 /// ```
 #[must_use]
 pub fn bottleneck_report(design: &Design) -> Option<BottleneckReport> {
-    let report = analyze_design(design);
-    let cycle_time = report.cycle_time()?;
     let lowered = lower_to_tmg(design.system());
-    let tmg::Verdict::Live { critical, .. } = tmg::analyze(lowered.tmg()) else {
+    let verdict = tmg::analyze(lowered.tmg());
+    bottleneck_report_with(design, &lowered, &verdict)
+}
+
+/// [`bottleneck_report`] from already-computed state: pure formatting of
+/// `verdict` against `design`/`lowered`, with no re-analysis. The stateful
+/// session path ([`crate::DeltaState`]) uses this to diagnose per edit at
+/// rendering cost only; `bottleneck_report(design)` is equivalent to
+/// lowering, analyzing, and calling this.
+#[must_use]
+pub fn bottleneck_report_with(
+    design: &Design,
+    lowered: &sysgraph::LoweredTmg,
+    verdict: &tmg::Verdict,
+) -> Option<BottleneckReport> {
+    let cycle_time = verdict.cycle_time()?;
+    let tmg::Verdict::Live { critical, .. } = verdict else {
         return None;
     };
     let total: u64 = critical.delay_sum.max(1);

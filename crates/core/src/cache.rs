@@ -472,6 +472,38 @@ mod tests {
         assert_eq!(stats.evictions, 1);
     }
 
+    /// Regression for the touch-on-hit contract the session store's LRU
+    /// mirrors: a `get` must refresh recency, so an entry that keeps
+    /// getting hit survives arbitrarily many evictions around it — it is
+    /// never aged out just because it was inserted first.
+    #[test]
+    fn touch_on_hit_keeps_an_entry_alive_under_eviction_pressure() {
+        let mut design = many_config_design(6);
+        let cache = EngineCache::with_capacity(2);
+        let a = sysgraph::ProcessId::from_index(0);
+        for idx in [0, 1] {
+            design.select(a, idx).expect("valid");
+            let _ = cache.analyze(&design, 1);
+        }
+        // Three rounds: hit config 0, then insert a fresh config. If the
+        // hit did not refresh recency, round one would already evict 0.
+        for idx in 2..5 {
+            design.select(a, 0).expect("valid");
+            let _ = cache.analyze(&design, 1);
+            design.select(a, idx).expect("valid");
+            let _ = cache.analyze(&design, 1);
+        }
+        design.select(a, 0).expect("valid");
+        let _ = cache.analyze(&design, 1);
+        let stats = cache.stats();
+        assert_eq!(
+            stats.analysis_hits, 4,
+            "config 0 survived every round: {stats:?}"
+        );
+        assert_eq!(stats.analysis_misses, 5, "configs 0..5 computed once each");
+        assert_eq!(stats.evictions, 3, "each fresh config evicted a cold one");
+    }
+
     #[test]
     fn zero_capacity_recomputes_every_query() {
         let design = many_config_design(2);

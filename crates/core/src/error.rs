@@ -26,6 +26,9 @@ pub enum ErmesError {
     /// The system deadlocks under every ordering the tool produced; the
     /// topology itself is starved (e.g. an uninitialized feedback loop).
     Deadlock,
+    /// A proposed channel reordering was rejected by the system graph
+    /// (e.g. not a permutation of the process's channels).
+    Ordering(sysgraph::SysGraphError),
     /// The underlying ILP solver failed.
     Ilp(ilp::SolveError),
     /// The computation was cooperatively cancelled (deadline expiry,
@@ -62,6 +65,7 @@ impl fmt::Display for ErmesError {
                 "selection {selected} out of range for process {process} ({available} implementations)"
             ),
             ErmesError::Deadlock => write!(f, "system deadlocks under every produced ordering"),
+            ErmesError::Ordering(e) => write!(f, "invalid channel reordering: {e}"),
             ErmesError::Ilp(e) => write!(f, "ilp solver failed: {e}"),
             ErmesError::Cancelled {
                 reason,
@@ -76,6 +80,7 @@ impl Error for ErmesError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             ErmesError::Ilp(e) => Some(e),
+            ErmesError::Ordering(e) => Some(e),
             _ => None,
         }
     }

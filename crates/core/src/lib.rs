@@ -60,6 +60,7 @@ mod bottleneck;
 mod buffers;
 mod cache;
 mod chart;
+mod delta;
 mod design;
 mod error;
 mod explore;
@@ -69,10 +70,11 @@ mod sweep;
 pub use analysis::{
     analyze_design, analyze_design_cancellable, analyze_design_with_jobs, target_ratio, PerfReport,
 };
-pub use bottleneck::{bottleneck_report, BottleneckItem, BottleneckReport};
+pub use bottleneck::{bottleneck_report, bottleneck_report_with, BottleneckItem, BottleneckReport};
 pub use buffers::{buffer_sensitivity, size_buffers, BufferEffect};
 pub use cache::{CacheStats, EngineCache};
 pub use chart::render_trace;
+pub use delta::DeltaState;
 pub use design::Design;
 pub use error::ErmesError;
 pub use explore::{

@@ -8,16 +8,18 @@ ermesd — long-running ERMES analysis service
 
 USAGE:
     ermesd [--addr <host:port>] [--workers <n>] [--queue <n>]
-           [--cache <n>] [--deadline-ms <n>]
+           [--cache <n>] [--sessions <n>] [--deadline-ms <n>]
 
     --addr <host:port>   bind address (default 127.0.0.1:7878, :0 = ephemeral)
     --workers <n>        analysis worker threads (0 = all hardware threads)
     --queue <n>          admission-queue bound; beyond it requests shed with 429
     --cache <n>          per-design engine-cache bound (entries per table)
+    --sessions <n>       live interactive-session bound (LRU beyond it)
     --deadline-ms <n>    default per-request deadline (0 = none)
 
 Endpoints: POST /analyze, /order, /explore?target=N, /sweep?targets=a,b,c,
-/shutdown; GET /healthz, /metrics.
+/session, /session/{id}/edit, /shutdown; DELETE /session/{id};
+GET /healthz, /metrics.
 
 Chaos testing: set ERMES_FAULTPOINTS to a deterministic fault plan, e.g.
     ERMES_FAULTPOINTS='seed=42;worker.job=panic@0.05;http.write=short@0.02'
@@ -47,6 +49,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         cache_capacity: flag(&args, "--cache").map_or(Ok(defaults.cache_capacity), |s| {
             s.parse()
                 .map_err(|_| "--cache takes a non-negative integer")
+        })?,
+        session_capacity: flag(&args, "--sessions").map_or(Ok(defaults.session_capacity), |s| {
+            s.parse().map_err(|_| "--sessions takes a positive integer")
         })?,
         default_deadline_ms: flag(&args, "--deadline-ms").map_or(
             Ok(defaults.default_deadline_ms),

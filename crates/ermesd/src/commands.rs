@@ -123,6 +123,27 @@ pub fn cmd_analyze_cancellable(
 }
 
 fn render_analysis(design: &ermes::Design, report: &ermes::PerfReport) -> Result<String, CliError> {
+    Ok(render_report(design, report, None))
+}
+
+/// Renders a session's cached analysis — byte-identical to
+/// [`cmd_analyze`] on a spec capturing the session's current design,
+/// without re-running any analysis: the lowered TMG and the bottleneck
+/// diagnosis come from the [`ermes::DeltaState`] itself.
+#[must_use]
+pub fn render_session_report(state: &ermes::DeltaState) -> String {
+    render_report(state.design(), state.report(), Some(state))
+}
+
+/// The one `analyze` response composition. `session` supplies the
+/// cached lowering and bottleneck state on the stateful path; the
+/// stateless path recomputes both (the bit-identity contract between
+/// the two rests on this being a single function).
+fn render_report(
+    design: &ermes::Design,
+    report: &ermes::PerfReport,
+    session: Option<&ermes::DeltaState>,
+) -> String {
     let mut out = String::new();
     let _ = writeln!(
         out,
@@ -135,7 +156,14 @@ fn render_analysis(design: &ermes::Design, report: &ermes::PerfReport) -> Result
         None => {
             let _ = writeln!(out, "verdict: DEADLOCK");
             if let tmg::Verdict::Deadlock { witness } = &report.verdict {
-                let lowered = sysgraph::lower_to_tmg(design.system());
+                let fresh;
+                let lowered = match session {
+                    Some(s) => s.lowered(),
+                    None => {
+                        fresh = sysgraph::lower_to_tmg(design.system());
+                        &fresh
+                    }
+                };
                 let _ = writeln!(out, "token-free cycle ({} places):", witness.len());
                 for p in witness {
                     let place = lowered.tmg().place(*p);
@@ -160,12 +188,16 @@ fn render_analysis(design: &ermes::Design, report: &ermes::PerfReport) -> Result
                 .map(|&p| design.system().process(p).name())
                 .collect();
             let _ = writeln!(out, "critical processes: {names:?}");
-            if let Some(bottleneck) = ermes::bottleneck_report(design) {
+            let bottleneck = match session {
+                Some(s) => s.bottleneck(),
+                None => ermes::bottleneck_report(design),
+            };
+            if let Some(bottleneck) = bottleneck {
                 let _ = write!(out, "{}", bottleneck.render());
             }
         }
     }
-    Ok(out)
+    out
 }
 
 /// `ermes order <spec>` — run Algorithm 1 and return the report plus the

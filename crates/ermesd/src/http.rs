@@ -65,7 +65,7 @@ pub enum ReadError {
     /// A protocol violation; the connection must be answered with the
     /// given status and then closed.
     Malformed {
-        /// HTTP status to respond with (400 or 413).
+        /// HTTP status to respond with (400, 413, or 501).
         status: u16,
         /// Human-readable reason, sent as the body.
         reason: String,
@@ -124,6 +124,20 @@ pub fn read_request<R: BufRead>(reader: &mut R, max_body: usize) -> Result<Reque
             return Err(malformed(400, format!("malformed header line `{line}`")));
         };
         headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    // Bodies are framed by Content-Length only. A request using a
+    // transfer encoding (e.g. `chunked`) would be parsed as body-less and
+    // its chunk data then misread as the next pipelined request on the
+    // keep-alive connection — so reject it outright, before any body byte
+    // is consumed. `identity` is the no-op encoding and equivalent to the
+    // header's absence.
+    if let Some((_, te)) = headers.iter().find(|(k, _)| k == "transfer-encoding") {
+        if !te.eq_ignore_ascii_case("identity") {
+            return Err(malformed(
+                501,
+                format!("transfer-encoding `{te}` is not supported; use content-length framing"),
+            ));
+        }
     }
     let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
         None => 0,
@@ -268,6 +282,7 @@ impl Response {
             // but the status keeps the request log truthful.
             499 => "Client Closed Request",
             500 => "Internal Server Error",
+            501 => "Not Implemented",
             503 => "Service Unavailable",
             _ => "Unknown",
         }
@@ -383,6 +398,42 @@ mod tests {
             parse(&text),
             Err(ReadError::Malformed { status: 413, .. })
         ));
+    }
+
+    #[test]
+    fn chunked_transfer_encoding_is_rejected_with_501() {
+        // Without the check, this parsed as a body-less request and the
+        // chunk data (`5\r\nhello\r\n0\r\n\r\n`) was then misread as the
+        // next pipelined request on the keep-alive connection.
+        let text = "POST /analyze HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n\
+                    5\r\nhello\r\n0\r\n\r\n";
+        let mut reader = BufReader::new(text.as_bytes());
+        let err = read_request(&mut reader, 1024).expect_err("chunked must be rejected");
+        match err {
+            ReadError::Malformed { status, reason } => {
+                assert_eq!(status, 501);
+                assert!(reason.contains("chunked"), "{reason}");
+            }
+            other => panic!("expected Malformed, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn compressed_transfer_encoding_is_rejected_with_501() {
+        let text =
+            "POST /analyze HTTP/1.1\r\nTransfer-Encoding: gzip\r\nContent-Length: 2\r\n\r\nok";
+        assert!(matches!(
+            parse(text),
+            Err(ReadError::Malformed { status: 501, .. })
+        ));
+    }
+
+    #[test]
+    fn identity_transfer_encoding_is_equivalent_to_absent() {
+        let text =
+            "POST /analyze HTTP/1.1\r\nTransfer-Encoding: identity\r\nContent-Length: 2\r\n\r\nok";
+        let req = parse(text).expect("identity encoding is a no-op");
+        assert_eq!(req.body, b"ok");
     }
 
     #[test]

@@ -48,9 +48,31 @@
 //! | `POST /order` | spec JSON | `ermes order` stdout (report + ordered spec) |
 //! | `POST /explore?target=N[&jobs=J]` | spec JSON | `ermes explore` stdout (sans cache-stats line) + explored spec |
 //! | `POST /sweep?targets=a,b,c[&jobs=J]` | spec JSON | `ermes sweep` stdout (sans cache-stats line) |
+//! | `POST /session` | spec JSON | full analysis + `x-ermes-session: {id}` header |
+//! | `POST /session/{id}/edit` | edit JSON | full analysis after the edit, computed incrementally |
+//! | `DELETE /session/{id}` | — | closes the session |
 //! | `GET /healthz` | — | `ok` + worker liveness and restart count |
 //! | `GET /metrics` | — | Prometheus text format |
 //! | `POST /shutdown` | — | acknowledges, then drains in-flight work and exits |
+//!
+//! # Sessions
+//!
+//! The stateless endpoints re-run the full spec-parse → lower → analyze
+//! pipeline per request. An *interactive* client — an IDE plugin, a
+//! designer iterating on one system — edits one knob at a time, so the
+//! daemon also offers stateful sessions: `POST /session` pins an
+//! [`ermes::DeltaState`] server-side and every
+//! `POST /session/{id}/edit` (`{"reselect": {"process": p, "point": n}}`
+//! or `{"reorder": {"process": p, "gets": [...], "puts": [...]}}`)
+//! re-analyzes incrementally — only the strongly connected components a
+//! reselect's latency change touches are re-solved, and a reorder
+//! rebuilds with untouched components reused. Every edit response is
+//! bit-identical to `POST /analyze` on a spec capturing the session's
+//! post-edit design; it is just computed in microseconds instead of
+//! re-running the pipeline. Sessions live in an LRU bounded by
+//! [`ServerConfig::session_capacity`]; edits follow the same deadline,
+//! cancellation, and panic-isolation rules as stateless requests (a
+//! panicked edit drops only its own session).
 //!
 //! The CLI's per-run cache-statistics line is deliberately absent from
 //! daemon responses: under a shared warm cache those counters depend on
@@ -75,13 +97,14 @@ pub mod http;
 pub mod json;
 pub mod metrics;
 pub mod server;
+mod session;
 pub mod spec;
 
 pub use commands::{
     cmd_analyze, cmd_analyze_cached, cmd_analyze_cancellable, cmd_buffers, cmd_dot, cmd_explore,
     cmd_explore_cached, cmd_explore_cancellable, cmd_fsm, cmd_order, cmd_refine, cmd_simulate,
     cmd_simulate_traced, cmd_stalls, cmd_sweep, cmd_sweep_cached, cmd_sweep_cancellable,
-    parse_spec, CliError,
+    parse_spec, render_session_report, CliError,
 };
 pub use server::{Server, ServerConfig};
 pub use spec::{ChannelSpec, ParetoPointSpec, ProcessSpec, SpecError, SystemSpec};

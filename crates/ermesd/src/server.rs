@@ -37,10 +37,12 @@
 //! `design_cache_capacity * cache_capacity` entries regardless of uptime.
 
 use crate::commands::{
-    cmd_analyze_cancellable, cmd_explore_cancellable, cmd_order, cmd_sweep_cancellable, CliError,
+    cmd_analyze_cancellable, cmd_explore_cancellable, cmd_order, cmd_sweep_cancellable,
+    render_session_report, CliError,
 };
 use crate::http::{read_request, ReadError, Request, Response};
 use crate::metrics::Metrics;
+use crate::session::{apply_edit, parse_edit, SessionStore};
 use crate::spec::SystemSpec;
 use ermes::{CacheStats, EngineCache};
 use parx::{CancelReason, CancelToken};
@@ -75,6 +77,9 @@ pub struct ServerConfig {
     /// Default per-request deadline in milliseconds (`0` = none); the
     /// `deadline_ms` query parameter overrides it per request.
     pub default_deadline_ms: u64,
+    /// How many interactive sessions stay live at once; opening one
+    /// beyond the bound evicts the least recently edited session.
+    pub session_capacity: usize,
 }
 
 impl Default for ServerConfig {
@@ -87,6 +92,7 @@ impl Default for ServerConfig {
             design_cache_capacity: 32,
             max_body_bytes: 4 * 1024 * 1024,
             default_deadline_ms: 0,
+            session_capacity: 64,
         }
     }
 }
@@ -190,6 +196,7 @@ enum Shed {
 struct Inner {
     metrics: Metrics,
     caches: Mutex<CacheLru>,
+    sessions: SessionStore,
     /// `None` once shutdown has begun (taken by the drainer).
     pool: Mutex<Option<parx::Pool>>,
     shutting_down: AtomicBool,
@@ -303,6 +310,7 @@ impl Server {
                 config.design_cache_capacity,
                 config.cache_capacity,
             )),
+            sessions: SessionStore::new(config.session_capacity),
             pool: Mutex::new(Some(parx::Pool::new(
                 config.workers,
                 config.queue_capacity.max(1),
@@ -403,7 +411,10 @@ fn handle_connection(inner: &Inner, stream: TcpStream, server_addr: SocketAddr) 
                 inner
                     .metrics
                     .record_request(endpoint, outcome.response.status);
-                if matches!(endpoint, "analyze" | "order" | "explore" | "sweep") {
+                if matches!(
+                    endpoint,
+                    "analyze" | "order" | "explore" | "sweep" | "session_open" | "session_edit"
+                ) {
                     inner.metrics.observe_latency(endpoint, started.elapsed());
                 }
                 let keep = req.keep_alive() && !outcome.close_after;
@@ -470,11 +481,44 @@ fn route(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
         ("POST", "/order") => analysis_endpoint(inner, req, "order", conn),
         ("POST", "/explore") => analysis_endpoint(inner, req, "explore", conn),
         ("POST", "/sweep") => analysis_endpoint(inner, req, "sweep", conn),
+        ("POST", "/session") => session_open_endpoint(inner, req, conn),
+        (method, path) if path == "/session" || path.starts_with("/session/") => {
+            session_route(inner, method, path, req, conn)
+        }
         (
             _,
             "/healthz" | "/metrics" | "/trace" | "/shutdown" | "/analyze" | "/order" | "/explore"
             | "/sweep",
         ) => Outcome::reply("other", Response::text(405, "method not allowed\n")),
+        _ => Outcome::reply("other", Response::text(404, "no such endpoint\n")),
+    }
+}
+
+/// Dispatches `/session` (wrong method) and `/session/{id}[/edit]`.
+fn session_route(
+    inner: &Inner,
+    method: &str,
+    path: &str,
+    req: &Request,
+    conn: Option<&TcpStream>,
+) -> Outcome {
+    let Some(tail) = path.strip_prefix("/session/") else {
+        // `/session` with a non-POST method.
+        return Outcome::reply("other", Response::text(405, "method not allowed\n"));
+    };
+    let (id_text, action) = match tail.split_once('/') {
+        None => (tail, None),
+        Some((id, action)) => (id, Some(action)),
+    };
+    let Ok(id) = id_text.parse::<u64>() else {
+        return Outcome::reply("other", Response::text(404, "no such endpoint\n"));
+    };
+    match (method, action) {
+        ("POST", Some("edit")) => session_edit_endpoint(inner, req, id, conn),
+        ("DELETE", None) => session_close_endpoint(inner, id),
+        (_, Some("edit") | None) => {
+            Outcome::reply("other", Response::text(405, "method not allowed\n"))
+        }
         _ => Outcome::reply("other", Response::text(404, "no such endpoint\n")),
     }
 }
@@ -567,6 +611,11 @@ fn metrics_response(inner: &Inner) -> Response {
             "Aggregated LRU evictions across live engine caches.",
             stats.evictions as f64,
         ),
+        (
+            "ermes_sessions_live",
+            "Interactive analysis sessions currently open.",
+            inner.sessions.live() as f64,
+        ),
     ];
     let ilp = ilp::stats();
     let sampled_counters: Vec<(&str, &str, u64)> = vec![
@@ -584,6 +633,31 @@ fn metrics_response(inner: &Inner) -> Response {
             "ermes_ilp_warmstart_hits_total",
             "Node LPs satisfied by simplex basis reuse instead of a cold solve.",
             ilp.warmstart_hits,
+        ),
+        (
+            "ermes_session_opened_total",
+            "Interactive sessions opened.",
+            inner.sessions.opened.load(Ordering::Relaxed),
+        ),
+        (
+            "ermes_session_edits_total",
+            "Session edits applied (incremental re-analyses served).",
+            inner.sessions.edits.load(Ordering::Relaxed),
+        ),
+        (
+            "ermes_session_closed_total",
+            "Interactive sessions closed by the client.",
+            inner.sessions.closed.load(Ordering::Relaxed),
+        ),
+        (
+            "ermes_session_evicted_total",
+            "Interactive sessions evicted by the LRU bound.",
+            inner.sessions.evicted.load(Ordering::Relaxed),
+        ),
+        (
+            "ermes_session_dropped_total",
+            "Interactive sessions dropped after a panicked edit.",
+            inner.sessions.dropped.load(Ordering::Relaxed),
         ),
     ];
     let mut body = inner.metrics.render(&gauges, &sampled_counters);
@@ -762,31 +836,7 @@ fn analysis_endpoint(
     let response = match result {
         Ok(Ok(body)) => Response::text(200, body),
         Ok(Err(e)) => error_response(inner, &e),
-        Err(shed) => {
-            let (status, message) = match shed {
-                Shed::QueueFull => {
-                    inner.metrics.record_shed(true);
-                    (429, "admission queue full; retry later\n")
-                }
-                Shed::Deadline => {
-                    inner.metrics.record_shed(false);
-                    (429, "deadline expired before a worker was free\n")
-                }
-                Shed::ShuttingDown => (503, "server is draining\n"),
-                Shed::JobPanicked => {
-                    inner.metrics.record_job_panicked();
-                    (
-                        500,
-                        "analysis worker panicked on this request; worker restarted\n",
-                    )
-                }
-            };
-            let mut response = Response::text(status, message);
-            if status == 429 {
-                response.extra_headers.push(("retry-after", "1".into()));
-            }
-            response
-        }
+        Err(shed) => shed_response(inner, &shed),
     };
     // A 499 means the client is gone; drop the connection after the
     // (best-effort) write instead of waiting for another request.
@@ -832,14 +882,7 @@ impl AnalysisParams {
                 .map_err(|_| "targets must be comma-separated non-negative integers".to_string())?,
             _ => Vec::new(),
         };
-        let deadline_ms = match req.query_param("deadline_ms") {
-            None => default_deadline_ms,
-            Some(text) => text
-                .parse()
-                .map_err(|_| "deadline_ms must be a non-negative integer".to_string())?,
-        };
-        let deadline =
-            (deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms));
+        let deadline = request_deadline(req, default_deadline_ms)?;
         Ok(AnalysisParams {
             target,
             targets,
@@ -847,6 +890,18 @@ impl AnalysisParams {
             deadline,
         })
     }
+}
+
+/// Resolves a request's deadline: the `deadline_ms` query parameter,
+/// falling back to the server default; `0` disables the deadline.
+fn request_deadline(req: &Request, default_deadline_ms: u64) -> Result<Option<Instant>, String> {
+    let deadline_ms = match req.query_param("deadline_ms") {
+        None => default_deadline_ms,
+        Some(text) => text
+            .parse()
+            .map_err(|_| "deadline_ms must be a non-negative integer".to_string())?,
+    };
+    Ok((deadline_ms > 0).then(|| Instant::now() + Duration::from_millis(deadline_ms)))
 }
 
 /// Executes one command; the response body composition is the identity
@@ -878,6 +933,244 @@ fn run_command(
     }
 }
 
+/// `POST /session`: parses the spec, runs the initial full analysis on
+/// the worker pool, stores the resulting session, and answers with the
+/// analysis — bit-identical to `POST /analyze` on the same spec — plus
+/// an `x-ermes-session: {id}` header the client quotes back on edits.
+fn session_open_endpoint(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
+    const ENDPOINT: &str = "session_open";
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return Outcome::reply(ENDPOINT, Response::text(400, "body is not UTF-8\n"));
+        }
+    };
+    let spec = match crate::commands::parse_spec(body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return Outcome::reply(ENDPOINT, Response::text(400, format!("{e}\n")));
+        }
+    };
+    // Like the stateless endpoints: schema errors never consume a
+    // worker slot. The design built here is the one the session keeps.
+    let design = match spec.to_design() {
+        Ok(design) => design,
+        Err(e) => {
+            return Outcome::reply(ENDPOINT, Response::text(400, format!("spec error: {e}\n")));
+        }
+    };
+    let deadline = match request_deadline(req, inner.default_deadline_ms) {
+        Ok(deadline) => deadline,
+        Err(msg) => return Outcome::reply(ENDPOINT, Response::text(400, msg + "\n")),
+    };
+    let cancel = CancelToken::with_deadline(deadline);
+    let job_token = cancel.clone();
+    let request_span = trace::span("request");
+    trace::attr("endpoint", ENDPOINT);
+    let job = move || {
+        ermes::DeltaState::open_cancellable(design, Some(&job_token)).map(|state| {
+            let body = render_session_report(&state);
+            (state, body)
+        })
+    };
+    let result = inner.run_job(deadline, &cancel, conn, job);
+    trace::attr(
+        "outcome",
+        match &result {
+            Ok(Ok(_)) => "ok",
+            Ok(Err(ermes::ErmesError::Cancelled { .. })) => "cancelled",
+            Ok(Err(_)) => "error",
+            Err(Shed::JobPanicked) => "panic",
+            Err(_) => "shed",
+        },
+    );
+    drop(request_span);
+    let response = match result {
+        Ok(Ok((state, body))) => {
+            let id = inner.sessions.insert(state);
+            let mut response = Response::text(200, body);
+            response
+                .extra_headers
+                .push(("x-ermes-session", id.to_string()));
+            response
+        }
+        Ok(Err(e)) => error_response(inner, &CliError::Ermes(e)),
+        Err(shed) => shed_response(inner, &shed),
+    };
+    let close_after = response.status == 499;
+    Outcome {
+        response,
+        endpoint: ENDPOINT,
+        close_after,
+        initiate_shutdown: false,
+    }
+}
+
+/// `POST /session/{id}/edit`: applies one reselect/reorder edit to the
+/// session under its lock on the worker pool and answers with the full
+/// re-analysis — bit-identical to `POST /analyze` on a spec capturing
+/// the session's post-edit design, but computed incrementally (dirty-SCC
+/// reprice for reselects, component-reusing rebuild for reorders).
+///
+/// A cancelled edit (deadline / disconnect / drain) leaves the edit
+/// applied and the analysis pending; the next edit settles it first. A
+/// *panicked* edit poisons only this session: the session is dropped,
+/// the worker restarted, and every other session keeps working.
+fn session_edit_endpoint(
+    inner: &Inner,
+    req: &Request,
+    id: u64,
+    conn: Option<&TcpStream>,
+) -> Outcome {
+    const ENDPOINT: &str = "session_edit";
+    let Some(session) = inner.sessions.get(id) else {
+        return Outcome::reply(ENDPOINT, Response::text(404, format!("no session {id}\n")));
+    };
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return Outcome::reply(ENDPOINT, Response::text(400, "body is not UTF-8\n"));
+        }
+    };
+    let edit = match parse_edit(body) {
+        Ok(edit) => edit,
+        Err(msg) => return Outcome::reply(ENDPOINT, Response::text(400, msg + "\n")),
+    };
+    let deadline = match request_deadline(req, inner.default_deadline_ms) {
+        Ok(deadline) => deadline,
+        Err(msg) => return Outcome::reply(ENDPOINT, Response::text(400, msg + "\n")),
+    };
+    let cancel = CancelToken::with_deadline(deadline);
+    let job_token = cancel.clone();
+    let request_span = trace::span("request");
+    trace::attr("endpoint", ENDPOINT);
+    trace::attr("session", id);
+    // `None` = the session mutex is poisoned: an earlier edit panicked
+    // on its worker while holding the lock.
+    let job = move || -> Option<Result<String, CliError>> {
+        let Ok(mut state) = session.lock() else {
+            return None;
+        };
+        Some(
+            apply_edit(&mut state, &edit, Some(&job_token)).map(|()| render_session_report(&state)),
+        )
+    };
+    let result = inner.run_job(deadline, &cancel, conn, job);
+    trace::attr(
+        "outcome",
+        match &result {
+            Ok(Some(Ok(_))) => "ok",
+            Ok(Some(Err(CliError::Ermes(ermes::ErmesError::Cancelled { .. })))) => "cancelled",
+            Ok(Some(Err(_))) => "error",
+            Ok(None) => "poisoned",
+            Err(Shed::JobPanicked) => "panic",
+            Err(_) => "shed",
+        },
+    );
+    drop(request_span);
+    let response = match result {
+        Ok(Some(Ok(body))) => {
+            inner.sessions.edits.fetch_add(1, Ordering::Relaxed);
+            let mut response = Response::text(200, body);
+            response
+                .extra_headers
+                .push(("x-ermes-session", id.to_string()));
+            response
+        }
+        Ok(Some(Err(e))) => error_response(inner, &e),
+        Ok(None) => {
+            inner.sessions.remove(id, &inner.sessions.dropped);
+            Response::text(
+                500,
+                format!("session {id} was corrupted by a panicked edit and has been dropped\n"),
+            )
+        }
+        Err(Shed::JobPanicked) => {
+            inner.metrics.record_job_panicked();
+            inner.sessions.remove(id, &inner.sessions.dropped);
+            Response::text(
+                500,
+                format!(
+                    "analysis worker panicked on this edit; worker restarted, session {id} dropped\n"
+                ),
+            )
+        }
+        Err(shed) => shed_response(inner, &shed),
+    };
+    let close_after = response.status == 499;
+    Outcome {
+        response,
+        endpoint: ENDPOINT,
+        close_after,
+        initiate_shutdown: false,
+    }
+}
+
+/// `DELETE /session/{id}`: drops the session (no pool round-trip —
+/// freeing the state is cheap and must work even under a full queue).
+fn session_close_endpoint(inner: &Inner, id: u64) -> Outcome {
+    const ENDPOINT: &str = "session_close";
+    let response = if inner.sessions.remove(id, &inner.sessions.closed) {
+        Response::text(200, format!("session {id} closed\n"))
+    } else {
+        Response::text(404, format!("no session {id}\n"))
+    };
+    Outcome::reply(ENDPOINT, response)
+}
+
+/// Maps a shed verdict to its HTTP shape, recording the matching
+/// metric. `429`s carry a `retry-after` computed from the pool's
+/// current backlog (see [`retry_after_secs`]).
+fn shed_response(inner: &Inner, shed: &Shed) -> Response {
+    let (status, message) = match shed {
+        Shed::QueueFull => {
+            inner.metrics.record_shed(true);
+            (429, "admission queue full; retry later\n")
+        }
+        Shed::Deadline => {
+            inner.metrics.record_shed(false);
+            (429, "deadline expired before a worker was free\n")
+        }
+        Shed::ShuttingDown => (503, "server is draining\n"),
+        Shed::JobPanicked => {
+            inner.metrics.record_job_panicked();
+            (
+                500,
+                "analysis worker panicked on this request; worker restarted\n",
+            )
+        }
+    };
+    let mut response = Response::text(status, message);
+    if status == 429 {
+        response
+            .extra_headers
+            .push(("retry-after", retry_after_secs(inner).to_string()));
+    }
+    response
+}
+
+/// Seconds a `429`'d client should wait before retrying, from the
+/// pool's state at response time: the backlog (queued + running jobs)
+/// divided by the worker count is how many drain rounds stand between
+/// the client and a free worker. Clamped to `[1, 30]` — an idle server
+/// still answers 1, a saturated one never suggests more than half a
+/// minute.
+fn retry_after_secs(inner: &Inner) -> u64 {
+    let (depth, running, workers) = {
+        let pool = inner.pool.lock().expect("pool slot poisoned");
+        pool.as_ref()
+            .map_or((0, 0, 0), |p| (p.queue_depth(), p.running(), p.workers()))
+    };
+    retry_after_from(depth, running, workers)
+}
+
+/// The pure backlog → retry-after mapping behind [`retry_after_secs`].
+fn retry_after_from(queue_depth: usize, running: usize, workers: usize) -> u64 {
+    ((queue_depth + running) as u64)
+        .div_ceil(workers.max(1) as u64)
+        .clamp(1, 30)
+}
+
 fn error_response(inner: &Inner, e: &CliError) -> Response {
     if let CliError::Ermes(ermes::ErmesError::Cancelled {
         reason,
@@ -899,7 +1192,9 @@ fn error_response(inner: &Inner, e: &CliError) -> Response {
 /// (retryable — the work *was* admitted but ran out of time), client
 /// disconnect → 499 (nobody left to answer), shutdown → 503. All three
 /// carry the partial-progress metadata in the body and an
-/// `x-ermes-progress: completed/total` header.
+/// `x-ermes-progress: completed/total` header; the 429's `retry-after`
+/// reflects the pool's backlog at response time (see
+/// [`retry_after_secs`]).
 fn cancelled_response(
     inner: &Inner,
     reason: CancelReason,
@@ -911,7 +1206,8 @@ fn cancelled_response(
         CancelReason::Deadline => {
             inner.metrics.record_cancelled_deadline();
             let mut r = Response::text(429, body);
-            r.extra_headers.push(("retry-after", "1".into()));
+            r.extra_headers
+                .push(("retry-after", retry_after_secs(inner).to_string()));
             r
         }
         CancelReason::Disconnected => {
@@ -970,6 +1266,16 @@ mod tests {
         assert_eq!(stats.analysis_misses, 1);
         assert_eq!(stats.analysis_hits, 1);
         assert_eq!(entries, 1);
+    }
+
+    #[test]
+    fn retry_after_scales_with_backlog() {
+        assert_eq!(retry_after_from(0, 0, 4), 1, "idle server says 1");
+        assert_eq!(retry_after_from(1, 1, 1), 2);
+        assert_eq!(retry_after_from(8, 2, 2), 5);
+        assert_eq!(retry_after_from(7, 1, 2), 4, "rounds up");
+        assert_eq!(retry_after_from(1000, 16, 4), 30, "clamped at 30");
+        assert_eq!(retry_after_from(3, 1, 0), 4, "zero workers treated as one");
     }
 
     #[test]

@@ -201,6 +201,72 @@ fn injected_worker_panic_is_isolated_to_one_request() {
     shutdown(addr, handle);
 }
 
+/// A panic during a session edit is isolated to that session: the
+/// poisoned state is dropped (the client sees a 500 and then 404s),
+/// while other sessions keep serving bit-identical edits and the
+/// worker is respawned.
+#[test]
+fn injected_panic_during_edit_drops_only_that_session() {
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    parx::faultpoint::deactivate();
+    let (addr, handle) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let json = SystemSpec::from_design(&mpeg2sys::mpeg2_design().0).to_json_pretty();
+    let spec = SystemSpec::from_json(&json).expect("round-trips");
+    let pname = &spec
+        .processes
+        .iter()
+        .find(|p| p.pareto.is_some())
+        .expect("mpeg2 has a frontier")
+        .name;
+    let edit = format!(r#"{{"reselect": {{"process": "{pname}", "point": 0}}}}"#);
+
+    let open = |_| {
+        let reply = try_request(addr, "POST", "/session", &json).expect("transport");
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        reply.header("x-ermes-session").expect("id").to_string()
+    };
+    let a = open(());
+    let b = open(());
+
+    // The next pool job is the doomed edit (session routes skip the pool
+    // for close, and nothing else is in flight).
+    parx::faultpoint::activate("seed=7;worker.job=panic#1").expect("plan parses");
+    let reply = try_request(addr, "POST", &format!("/session/{a}/edit"), &edit).expect("transport");
+    assert_eq!(reply.status, 500, "{}", reply.body);
+    assert!(
+        reply.body.contains("panicked") && reply.body.contains("dropped"),
+        "{}",
+        reply.body
+    );
+    parx::faultpoint::deactivate();
+
+    // The corrupted session is gone; its sibling is untouched and still
+    // bit-identical to a from-scratch analysis of the edited design.
+    let (status, _) = request(addr, "POST", &format!("/session/{a}/edit"), &edit);
+    assert_eq!(status, 404, "poisoned session must be dropped");
+    let reply = try_request(addr, "POST", &format!("/session/{b}/edit"), &edit).expect("transport");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    let mut mirror = spec.clone();
+    let pi = mirror
+        .processes
+        .iter()
+        .position(|p| &p.name == pname)
+        .unwrap();
+    mirror.processes[pi].latency = mirror.processes[pi].pareto.as_ref().unwrap()[0].latency;
+    let expected = ermesd::cmd_analyze(&mirror).expect("analyzes");
+    assert_eq!(reply.body, expected, "sibling session diverged");
+
+    wait_for_metric_at_least(addr, "ermes_worker_restarts_total", 1);
+    let (_, metrics) = request(addr, "GET", "/metrics", "");
+    assert_eq!(metric_value(&metrics, "ermesd_workers_alive"), 2);
+    assert_eq!(metric_value(&metrics, "ermes_session_dropped_total"), 1);
+    assert_eq!(metric_value(&metrics, "ermes_sessions_live"), 1);
+    shutdown(addr, handle);
+}
+
 /// Satellite: a deadline that expires mid-execution (after the worker
 /// picked the job up) returns a timely 429 with partial-progress
 /// metadata instead of blocking until the sweep completes.

@@ -18,8 +18,24 @@ fn start(config: ServerConfig) -> (SocketAddr, JoinHandle<std::io::Result<()>>) 
     (addr, handle)
 }
 
-/// One-shot request on its own connection; returns `(status, body)`.
-fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+/// A fully parsed response: status, headers (lower-cased names), body.
+struct Reply {
+    status: u16,
+    headers: Vec<(String, String)>,
+    body: String,
+}
+
+impl Reply {
+    fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// One-shot request on its own connection, headers included.
+fn request_full(addr: SocketAddr, method: &str, path: &str, body: &str) -> Reply {
     let mut stream = TcpStream::connect(addr).expect("server reachable");
     write!(
         stream,
@@ -36,6 +52,7 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
         .nth(1)
         .and_then(|s| s.parse().ok())
         .unwrap_or_else(|| panic!("bad status line `{status_line}`"));
+    let mut headers = Vec::new();
     let mut content_length = 0usize;
     loop {
         let mut line = String::new();
@@ -44,13 +61,28 @@ fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, Stri
         if line.is_empty() {
             break;
         }
-        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
-            content_length = v.trim().parse().expect("numeric content-length");
+        if let Some((name, value)) = line.split_once(':') {
+            let name = name.trim().to_ascii_lowercase();
+            let value = value.trim().to_string();
+            if name == "content-length" {
+                content_length = value.parse().expect("numeric content-length");
+            }
+            headers.push((name, value));
         }
     }
     let mut body = vec![0u8; content_length];
     reader.read_exact(&mut body).expect("body");
-    (status, String::from_utf8(body).expect("utf-8 body"))
+    Reply {
+        status,
+        headers,
+        body: String::from_utf8(body).expect("utf-8 body"),
+    }
+}
+
+/// One-shot request on its own connection; returns `(status, body)`.
+fn request(addr: SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    let reply = request_full(addr, method, path, body);
+    (reply.status, reply.body)
 }
 
 fn post(addr: SocketAddr, path: &str, body: &str) -> (u16, String) {
@@ -259,7 +291,7 @@ fn full_queue_and_expired_deadlines_shed_with_429() {
         let queued = scope.spawn(|| post(addr, "/analyze?deadline_ms=50", MOTIVATING));
         wait_for_gauge(addr, "ermesd_queue_depth ", 1);
         // Queue full: rejected on the spot.
-        let bounced = scope.spawn(|| post(addr, "/analyze", MOTIVATING));
+        let bounced = scope.spawn(|| request_full(addr, "POST", "/analyze", MOTIVATING));
         (
             slow.join().expect("client"),
             queued.join().expect("client"),
@@ -267,8 +299,20 @@ fn full_queue_and_expired_deadlines_shed_with_429() {
         )
     });
     assert_eq!(slow.0, 200, "{}", slow.1);
-    assert_eq!(bounced.0, 429, "queue-full must shed: {}", bounced.1);
-    assert!(bounced.1.contains("queue full"), "{}", bounced.1);
+    assert_eq!(
+        bounced.status, 429,
+        "queue-full must shed: {}",
+        bounced.body
+    );
+    assert!(bounced.body.contains("queue full"), "{}", bounced.body);
+    // The hint scales with the backlog: at bounce time one job is
+    // running and one is queued behind a single worker, so the advice
+    // is two job-drains, not the old hardcoded `1`.
+    assert_eq!(
+        bounced.header("retry-after"),
+        Some("2"),
+        "retry-after must reflect backlog / workers"
+    );
     assert_eq!(queued.0, 429, "expired deadline must shed: {}", queued.1);
     assert!(queued.1.contains("deadline"), "{}", queued.1);
 
@@ -364,6 +408,191 @@ fn graceful_shutdown_drains_in_flight_work() {
         );
         assert!(body.contains("best: iteration"), "{body}");
     }
+}
+
+/// Tentpole: every `/session/{id}/edit` response must be byte-identical
+/// to `POST /analyze` on a spec capturing the session's post-edit
+/// design. The test mirrors each edit onto a client-side spec and
+/// compares against the from-scratch command layer.
+#[test]
+fn session_edits_are_bit_identical_to_stateless_analysis() {
+    let (addr, handle) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let json = mpeg2_spec_json();
+    let mut mirror = SystemSpec::from_json(&json).expect("round-trips");
+
+    let opened = request_full(addr, "POST", "/session", &json);
+    assert_eq!(opened.status, 200, "{}", opened.body);
+    let id = opened
+        .header("x-ermes-session")
+        .expect("open returns the session id")
+        .to_string();
+    assert_eq!(
+        opened.body,
+        ermesd::cmd_analyze(&mirror).expect("analyzes"),
+        "the opening analysis matches the CLI"
+    );
+    let edit_path = format!("/session/{id}/edit");
+
+    // Re-select a process with a multi-point frontier, there and back.
+    let pi = mirror
+        .processes
+        .iter()
+        .position(|p| p.pareto.as_ref().is_some_and(|f| f.len() >= 2))
+        .expect("mpeg2 has a multi-point frontier");
+    let pname = mirror.processes[pi].name.clone();
+    for point in [1usize, 0] {
+        let body = format!(r#"{{"reselect": {{"process": "{pname}", "point": {point}}}}}"#);
+        let reply = request_full(addr, "POST", &edit_path, &body);
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        assert_eq!(reply.header("x-ermes-session"), Some(id.as_str()));
+        // Mirror the edit: selection round-trips through the spec as the
+        // declared latency snapping to the matching frontier point.
+        mirror.processes[pi].latency = mirror.processes[pi].pareto.as_ref().unwrap()[point].latency;
+        assert_eq!(
+            reply.body,
+            ermesd::cmd_analyze(&mirror).expect("analyzes"),
+            "reselect to point {point} diverged from a from-scratch analysis"
+        );
+    }
+
+    // Reorder a multi-input process: reverse its get order.
+    let qi = mirror
+        .processes
+        .iter()
+        .position(|p| p.get_order.as_ref().is_some_and(|g| g.len() >= 2))
+        .expect("mpeg2 has a multi-input process");
+    let qname = mirror.processes[qi].name.clone();
+    let mut gets = mirror.processes[qi]
+        .get_order
+        .clone()
+        .expect("from_design sets orders");
+    gets.reverse();
+    let puts = mirror.processes[qi]
+        .put_order
+        .clone()
+        .expect("from_design sets orders");
+    let quoted = |names: &[String]| {
+        names
+            .iter()
+            .map(|n| format!("\"{n}\""))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    let body = format!(
+        r#"{{"reorder": {{"process": "{qname}", "gets": [{}], "puts": [{}]}}}}"#,
+        quoted(&gets),
+        quoted(&puts)
+    );
+    let reply = request_full(addr, "POST", &edit_path, &body);
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    mirror.processes[qi].get_order = Some(gets);
+    assert_eq!(
+        reply.body,
+        ermesd::cmd_analyze(&mirror).expect("analyzes"),
+        "reorder diverged from a from-scratch analysis"
+    );
+
+    // Close; the id is gone for edits and for a second close alike.
+    assert_eq!(
+        request(addr, "DELETE", &format!("/session/{id}"), "").0,
+        200
+    );
+    assert_eq!(post(addr, &edit_path, &body).0, 404);
+    assert_eq!(
+        request(addr, "DELETE", &format!("/session/{id}"), "").0,
+        404
+    );
+    shutdown(addr, handle);
+}
+
+/// Sessions are LRU-bounded, invalid edits fail without killing the
+/// session, and the lifecycle counters add up on `/metrics`.
+#[test]
+fn sessions_are_lru_bounded_and_bad_edits_fail_cleanly() {
+    let (addr, handle) = start(ServerConfig {
+        workers: 1,
+        session_capacity: 1,
+        ..ServerConfig::default()
+    });
+    let json = mpeg2_spec_json();
+    let spec = SystemSpec::from_json(&json).expect("round-trips");
+    let open = |_| {
+        let reply = request_full(addr, "POST", "/session", &json);
+        assert_eq!(reply.status, 200, "{}", reply.body);
+        reply
+            .header("x-ermes-session")
+            .expect("id header")
+            .to_string()
+    };
+
+    let a = open(());
+    let a_edit = format!("/session/{a}/edit");
+    // Malformed, unknown-name, and out-of-range edits are clean client
+    // errors; none of them consumes the session.
+    assert_eq!(post(addr, &a_edit, "not json").0, 400);
+    assert_eq!(
+        post(
+            addr,
+            &a_edit,
+            r#"{"reselect": {"process": "ghost", "point": 0}}"#
+        )
+        .0,
+        400
+    );
+    let pname = &spec
+        .processes
+        .iter()
+        .find(|p| p.pareto.is_some())
+        .expect("a process with a frontier")
+        .name;
+    let (status, body) = post(
+        addr,
+        &a_edit,
+        &format!(r#"{{"reselect": {{"process": "{pname}", "point": 999}}}}"#),
+    );
+    assert_eq!(status, 422, "{body}");
+
+    // Still alive after the failures: a valid edit succeeds.
+    let ok_edit = format!(r#"{{"reselect": {{"process": "{pname}", "point": 0}}}}"#);
+    assert_eq!(post(addr, &a_edit, &ok_edit).0, 200);
+
+    // Capacity 1: opening a second session evicts the first.
+    let b = open(());
+    assert_ne!(a, b, "session ids are never reused");
+    assert_eq!(
+        post(addr, &a_edit, &ok_edit).0,
+        404,
+        "evicted session is gone"
+    );
+    assert_eq!(post(addr, &format!("/session/{b}/edit"), &ok_edit).0, 200);
+
+    // Route-shape errors.
+    assert_eq!(get(addr, &format!("/session/{b}/edit")).0, 405);
+    assert_eq!(get(addr, "/session").0, 405);
+    assert_eq!(post(addr, "/session/abc/edit", &ok_edit).0, 404);
+    assert_eq!(request(addr, "DELETE", "/session/abc", "").0, 404);
+
+    let (_, metrics) = get(addr, "/metrics");
+    assert_eq!(metric_value(&metrics, "ermes_sessions_live"), 1);
+    assert_eq!(metric_value(&metrics, "ermes_session_opened_total"), 2);
+    assert_eq!(metric_value(&metrics, "ermes_session_evicted_total"), 1);
+    assert_eq!(metric_value(&metrics, "ermes_session_edits_total"), 2);
+    assert_eq!(
+        metric_value(
+            &metrics,
+            "ermesd_requests_total{endpoint=\"session_edit\",status=\"200\"}"
+        ),
+        2
+    );
+
+    assert_eq!(request(addr, "DELETE", &format!("/session/{b}"), "").0, 200);
+    let (_, metrics) = get(addr, "/metrics");
+    assert_eq!(metric_value(&metrics, "ermes_sessions_live"), 0);
+    assert_eq!(metric_value(&metrics, "ermes_session_closed_total"), 1);
+    shutdown(addr, handle);
 }
 
 #[test]

@@ -1,0 +1,111 @@
+//! Differential property tests for the incremental session engine: a
+//! [`ermes::DeltaState`] driven through a random edit sequence must be
+//! *bit-identical* — report equality, `f64::to_bits` on areas and
+//! slacks, and the rendered service response byte for byte — to a
+//! from-scratch analysis of the same post-edit design, on every prefix
+//! of the sequence, across socgen-generated SoC families.
+
+use ermesd::SystemSpec;
+use proptest::collection::vec;
+use proptest::prelude::*;
+use sysgraph::ProcessId;
+
+/// One raw edit, mapped onto the concrete design inside the test (so
+/// every generated value is valid by construction).
+#[derive(Debug, Clone)]
+enum RawEdit {
+    /// Select `point % frontier_len` on process `proc % nprocs`.
+    Reselect { proc: usize, point: usize },
+    /// Rotate the get order of `proc % nprocs` left by `spin`, and its
+    /// put order left by `spin / 2`.
+    Reorder { proc: usize, spin: usize },
+}
+
+fn arb_edits() -> impl Strategy<Value = Vec<RawEdit>> {
+    vec(
+        (0usize..2, 0usize..64, 0usize..8).prop_map(|(kind, proc, n)| {
+            if kind == 0 {
+                RawEdit::Reselect { proc, point: n }
+            } else {
+                RawEdit::Reorder { proc, spin: n + 1 }
+            }
+        }),
+        1..10,
+    )
+}
+
+fn rotated<T: Clone>(items: &[T], by: usize) -> Vec<T> {
+    let mut out = items.to_vec();
+    let len = out.len();
+    if len > 0 {
+        out.rotate_left(by % len);
+    }
+    out
+}
+
+/// Asserts the session state agrees with a from-scratch analysis of
+/// `mirror` down to the bit level, including the rendered response the
+/// daemon would serve.
+fn assert_bit_identical(st: &ermes::DeltaState, mirror: &ermes::Design, step: usize) {
+    let fresh = ermes::analyze_design(mirror);
+    assert_eq!(st.report(), &fresh, "report diverged after edit {step}");
+    assert_eq!(
+        st.design().area().to_bits(),
+        mirror.area().to_bits(),
+        "area diverged after edit {step}"
+    );
+    assert_eq!(
+        st.report().slack(1_000).map(f64::to_bits),
+        fresh.slack(1_000).map(f64::to_bits),
+        "slack diverged after edit {step}"
+    );
+    let served = ermesd::render_session_report(st);
+    let scratch = ermesd::cmd_analyze(&SystemSpec::from_design(mirror))
+        .expect("a well-formed design analyzes");
+    assert_eq!(
+        served, scratch,
+        "rendered response diverged after edit {step}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The tentpole invariant: incremental == from-scratch, bit for bit,
+    /// at every step of a random edit sequence.
+    #[test]
+    fn random_edit_sequences_stay_bit_identical_to_full_reanalysis(
+        procs in 3usize..16,
+        chans_extra in 0usize..12,
+        seed in 0u64..200,
+        edits in arb_edits(),
+    ) {
+        let soc = socgen::generate(socgen::SocGenConfig::sized(procs, procs + chans_extra, seed));
+        let design = ermes::Design::new(soc.system, soc.pareto).expect("socgen is well-formed");
+        let mut mirror = design.clone();
+        let mut st = ermes::DeltaState::open(design);
+        assert_bit_identical(&st, &mirror, 0);
+
+        let nprocs = mirror.system().process_count();
+        for (step, edit) in edits.iter().enumerate() {
+            match *edit {
+                RawEdit::Reselect { proc, point } => {
+                    let p = ProcessId::from_index(proc % nprocs);
+                    let idx = point % mirror.pareto(p).len();
+                    st.reselect(p, idx, None).expect("valid index analyzes");
+                    mirror.select(p, idx).expect("valid index applies");
+                }
+                RawEdit::Reorder { proc, spin } => {
+                    let p = ProcessId::from_index(proc % nprocs);
+                    let gets = rotated(mirror.system().get_order(p), spin);
+                    let puts = rotated(mirror.system().put_order(p), spin / 2);
+                    st.reorder(p, gets.clone(), puts.clone(), None)
+                        .expect("a rotation is a permutation");
+                    mirror.system_mut().set_get_order(p, gets).expect("permutation");
+                    mirror.system_mut().set_put_order(p, puts).expect("permutation");
+                }
+            }
+            assert_bit_identical(&st, &mirror, step + 1);
+        }
+    }
+}

@@ -10,14 +10,27 @@
 //! costs are automatically repriced (every pivot updates them) and a
 //! short dual run finishes the solve.
 //!
-//! The snapshot may have *fewer* rows than the new problem: the
-//! exploration loop only ever appends cuts, so the old constraints are a
-//! prefix of the new ones. Saved basic columns are pivoted into the
-//! prefix rows only; appended rows keep their own slack basic, which the
-//! elimination never disturbs (prefix rows hold zeros in appended-slack
-//! columns throughout). A snapshot whose variable count differs, or
-//! whose reinstatement meets a near-singular pivot, is rejected and the
-//! caller solves cold.
+//! The snapshot may differ from the new problem in row count, as long as
+//! the shared rows are a *prefix* on both sides:
+//!
+//! - *Fewer* saved rows (the loop appended cuts): saved basic columns
+//!   are pivoted into the prefix rows only; appended rows keep their own
+//!   slack basic, which the elimination never disturbs (prefix rows hold
+//!   zeros in appended-slack columns throughout).
+//! - *More* saved rows (a fresh per-edit problem dropped the previous
+//!   solve's trailing cuts): dropped-row slacks no longer exist and are
+//!   skipped, and once every surviving row hosts a basic column the
+//!   surplus saved basics rest on a bound for the dual run to re-price.
+//!
+//! The snapshot's coefficients need not match either — a per-edit
+//! re-solve perturbs one objective or constraint entry — because the
+//! reinstatement pivots run on the *new* tableau's numbers. Determinism
+//! is preserved by the acceptance gate in the branch & bound root (warm
+//! results are only trusted when provably equal to the cold result), so
+//! attempting a slightly-off basis is always sound: the worst case is a
+//! rejected warm start that re-solves cold. A snapshot whose variable
+//! count differs, or whose reinstatement meets a near-singular pivot, is
+//! rejected and the caller solves cold.
 
 use crate::simplex::{Tableau, VarStatus};
 
@@ -54,27 +67,44 @@ impl Tableau {
     /// Reinstates `saved` into this freshly built tableau (all-slack
     /// basis, untransformed rows). Returns `false` — leaving the tableau
     /// in an unspecified state the caller must rebuild from — when the
-    /// snapshot does not fit (different variable count, more rows than
-    /// this problem, or a singular basis under the new coefficients).
+    /// snapshot does not fit (different variable count, or a singular
+    /// basis under the new coefficients).
     #[must_use]
     pub(crate) fn load(&mut self, saved: &SavedBasis) -> bool {
-        if saved.n != self.n || saved.m > self.m {
+        if saved.n != self.n {
             return false;
         }
         // Restore rest points first: structural columns share indices,
-        // and saved slack i lives at n + i in both layouts. Appended
-        // rows' slacks stay basic.
+        // and saved slack i lives at n + i in both layouts for the rows
+        // both problems have. Appended rows' slacks stay basic; dropped
+        // rows' slacks no longer exist.
+        let shared_rows = saved.m.min(self.m);
         for j in 0..self.n {
             self.status[j] = saved.status[j];
         }
-        for i in 0..saved.m {
+        for i in 0..shared_rows {
             self.status[self.n + i] = saved.status[saved.n + i];
         }
         // Pivot every saved basic column into one of the prefix rows.
-        let mut hosted = vec![false; saved.m];
+        let mut hosted = vec![false; shared_rows];
         for &q in &saved.basis {
-            if q >= self.ncols {
+            if q >= saved.n + saved.m {
                 return false; // malformed snapshot
+            }
+            if q >= self.n + self.m {
+                // Slack of a dropped row: the column does not exist in
+                // the new problem.
+                continue;
+            }
+            if hosted.iter().all(|t| *t) {
+                // Row shrink left more surviving basics than rows; the
+                // surplus rests on a bound and the dual run re-prices.
+                self.status[q] = if self.upper[q].is_finite() {
+                    VarStatus::AtUpper
+                } else {
+                    VarStatus::AtLower
+                };
+                continue;
             }
             // Already basic in the right region (its own slack row)?
             let mut best_row = None;
@@ -188,6 +218,63 @@ mod tests {
         assert!(extended.reoptimize().expect("reoptimizes"));
         let warm = extended.extract(&p, &free);
         let cold = crate::simplex::solve_relaxation(&p).expect("feasible");
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-7,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn snapshot_survives_dropped_cut_rows() {
+        // Snapshot the *extended* problem (with a cut), then load it into
+        // the base problem: the saved basis has more rows than the target.
+        let mut extended = knapsack();
+        use crate::model::VarId;
+        extended.add_constraint(
+            "cut",
+            vec![(VarId(0), 1.0), (VarId(1), 1.0)],
+            Sense::Le,
+            1.0,
+        );
+        let free = vec![None; 3];
+        let mut tab = Tableau::build(&extended, &free);
+        tab.solve_cold().expect("solves");
+        let saved = tab.snapshot();
+
+        let base = knapsack();
+        let mut shrunk = Tableau::build(&base, &free);
+        assert!(shrunk.load(&saved), "row-shrink snapshot fits");
+        assert!(shrunk.reoptimize().expect("reoptimizes"));
+        let warm = shrunk.extract(&base, &free);
+        let cold = crate::simplex::solve_relaxation(&base).expect("feasible");
+        assert!(
+            (warm.objective - cold.objective).abs() < 1e-7,
+            "warm {} vs cold {}",
+            warm.objective,
+            cold.objective
+        );
+    }
+
+    #[test]
+    fn snapshot_survives_single_coefficient_perturbation() {
+        let p = knapsack();
+        let free = vec![None; 3];
+        let mut tab = Tableau::build(&p, &free);
+        tab.solve_cold().expect("solves");
+        let saved = tab.snapshot();
+
+        // Perturb one constraint coefficient (a per-edit re-solve): the
+        // reinstatement pivots run on the new numbers.
+        let mut perturbed = knapsack();
+        use crate::model::VarId;
+        perturbed.set_constraint_coeff(0, VarId(1), 3.5);
+        let mut fresh = Tableau::build(&perturbed, &free);
+        assert!(fresh.load(&saved), "perturbed snapshot fits");
+        assert!(fresh.reoptimize().expect("reoptimizes"));
+        let warm = fresh.extract(&perturbed, &free);
+        let cold = crate::simplex::solve_relaxation(&perturbed).expect("feasible");
         assert!(
             (warm.objective - cold.objective).abs() < 1e-7,
             "warm {} vs cold {}",

@@ -846,6 +846,90 @@ mod tests {
     }
 
     #[test]
+    fn warm_start_across_coefficient_perturbations_is_bit_identical() {
+        // The per-edit pattern: same shape, one coefficient nudged per
+        // solve (a reselect changes one latency in one constraint). The
+        // warm-started sequence must match a cold solver bit for bit.
+        let build = |tweak: f64| {
+            let mut p = Problem::new();
+            let vars: Vec<VarId> = (0..4).map(|i| p.add_binary(format!("x{i}"))).collect();
+            let values = [6.0, 5.0, 4.0, 3.0];
+            for (i, &v) in vars.iter().enumerate() {
+                p.set_objective_coeff(v, values[i]);
+            }
+            p.add_constraint(
+                "cap",
+                vec![
+                    (vars[0], 4.0),
+                    (vars[1], 3.0),
+                    (vars[2], 2.0),
+                    (vars[3], 1.0),
+                ],
+                Sense::Le,
+                6.0,
+            );
+            p.set_constraint_coeff(0, vars[1], tweak);
+            p
+        };
+        let mut warm = Solver::new();
+        for tweak in [3.0, 3.5, 2.0, 4.5, 3.0] {
+            let p = build(tweak);
+            let w = warm.solve(&p).expect("feasible");
+            let c = p.solve().expect("feasible");
+            assert_eq!(
+                w.objective.to_bits(),
+                c.objective.to_bits(),
+                "tweak={tweak}"
+            );
+            assert_eq!(w.values, c.values, "tweak={tweak}");
+        }
+    }
+
+    #[test]
+    fn warm_start_survives_dropped_cut_rows_bit_identical() {
+        // The reverse of the cut-append pattern: the snapshotted problem
+        // had trailing cuts the next (fresh per-edit) problem lacks.
+        let build = |ncuts: usize| {
+            let mut p = Problem::new();
+            let vars: Vec<VarId> = (0..4).map(|i| p.add_binary(format!("x{i}"))).collect();
+            let values = [6.0, 5.0, 4.0, 3.0];
+            let weights = [4.0, 3.0, 2.0, 1.0];
+            for (i, &v) in vars.iter().enumerate() {
+                p.set_objective_coeff(v, values[i]);
+            }
+            p.add_constraint(
+                "cap",
+                vars.iter()
+                    .enumerate()
+                    .map(|(i, &v)| (v, weights[i]))
+                    .collect(),
+                Sense::Le,
+                6.0,
+            );
+            let cuts = [
+                vec![(vars[0], 1.0), (vars[2], 1.0)],
+                vec![(vars[1], 1.0), (vars[3], 1.0)],
+            ];
+            for c in cuts.iter().take(ncuts) {
+                p.add_constraint("cut", c.clone(), Sense::Le, 1.0);
+            }
+            p
+        };
+        let mut warm = Solver::new();
+        for ncuts in [2usize, 0, 1, 0] {
+            let p = build(ncuts);
+            let w = warm.solve(&p).expect("feasible");
+            let c = p.solve().expect("feasible");
+            assert_eq!(
+                w.objective.to_bits(),
+                c.objective.to_bits(),
+                "ncuts={ncuts}"
+            );
+            assert_eq!(w.values, c.values, "ncuts={ncuts}");
+        }
+    }
+
+    #[test]
     fn solver_is_idempotent_on_repeated_problems() {
         // Warm-starting from a problem's own optimal basis must land on
         // exactly the same answer.

@@ -145,6 +145,26 @@ impl Problem {
         });
     }
 
+    /// Sets the coefficient of `var` in constraint `row` (insertion
+    /// order), adding the term if the constraint does not mention `var`.
+    ///
+    /// This is the single-coefficient perturbation an interactive edit
+    /// produces (one latency change touches one entry of the performance
+    /// constraint); [`Solver`](crate::Solver) warm-starts across it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `row` is out of range or `var` was not created by this
+    /// problem.
+    pub fn set_constraint_coeff(&mut self, row: usize, var: VarId, coeff: f64) {
+        assert!(var.0 < self.var_names.len(), "unknown variable {var}");
+        let terms = &mut self.constraints[row].terms;
+        match terms.iter_mut().find(|(v, _)| *v == var) {
+            Some(term) => term.1 = coeff,
+            None => terms.push((var, coeff)),
+        }
+    }
+
     /// Number of variables.
     #[must_use]
     pub fn variable_count(&self) -> usize {

@@ -76,6 +76,22 @@ impl LoweredTmg {
         self.channel_transitions[c.index()]
     }
 
+    /// Updates the delay of the computation transition of process `p` in
+    /// place, without re-lowering.
+    ///
+    /// Keeps a lowered graph in sync with a process reselect (latency
+    /// change): the lowering maps a process's latency onto exactly one
+    /// transition delay, so this is equivalent to — and much cheaper than —
+    /// lowering the updated system from scratch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range.
+    pub fn set_process_latency(&mut self, p: ProcessId, latency: u64) {
+        self.tmg
+            .set_transition_delay(self.process_transitions[p.index()], latency);
+    }
+
     /// Maps a TMG transition back to its system-level origin.
     ///
     /// # Panics

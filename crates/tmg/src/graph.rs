@@ -235,6 +235,20 @@ impl Tmg {
         &self.in_places[t.index()]
     }
 
+    /// Updates the firing delay of transition `id` in place.
+    ///
+    /// This is the only mutation the graph supports after construction: it
+    /// changes timing, never structure, so structural analyses (deadlock,
+    /// SCC decomposition) computed before the call remain valid. The
+    /// incremental analyzer relies on exactly that invariant.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` does not belong to this graph.
+    pub fn set_transition_delay(&mut self, id: TransitionId, delay: u64) {
+        self.transitions[id.index()].delay = delay;
+    }
+
     /// Sum of the initial marking over all places.
     ///
     /// This quantity is invariant under firing for the *whole graph only

@@ -59,6 +59,7 @@ mod error;
 mod graph;
 mod howard;
 mod ids;
+mod incremental;
 mod karp;
 mod parametric;
 mod ratio;
@@ -74,6 +75,7 @@ pub use dot::to_dot;
 pub use error::TmgError;
 pub use graph::{Marking, Place, Tmg, TmgBuilder, Transition};
 pub use ids::{PlaceId, TransitionId};
+pub use incremental::IncrementalAnalysis;
 pub use ratio::Ratio;
 pub use sim::{simulate, SimulationOutcome};
 

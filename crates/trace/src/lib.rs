@@ -43,7 +43,7 @@ pub mod ring;
 mod summary;
 mod tree;
 
-pub use phase::{phase_snapshot, PhaseSnapshot, LATENCY_BUCKETS};
+pub use phase::{phase_snapshot, PhaseSnapshot, QuantileEstimate, LATENCY_BUCKETS};
 pub use ring::Journal;
 pub use summary::summary_report;
 pub use tree::{assemble_trees, SpanTree};

@@ -38,23 +38,62 @@ pub struct PhaseSnapshot {
     pub count: u64,
 }
 
-impl PhaseSnapshot {
-    /// Estimate the `q`-quantile (`0.0..=1.0`) in seconds from the bucket
-    /// counts, using each bucket's upper bound (conservative).
+/// A quantile read off a bucketed histogram. The histogram caps out at
+/// [`LATENCY_BUCKETS`]' largest bound, so a quantile that lands in the
+/// +Inf overflow bucket has no upper bound — only the largest finite
+/// bound as a floor. Collapsing that case to a plain number either
+/// under-reports (clamping to the last bucket) or renders as `inf`;
+/// carrying the distinction lets callers print an honest `>bound`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum QuantileEstimate {
+    /// The quantile is at most this many seconds (a bucket upper bound).
+    AtMost(f64),
+    /// The quantile fell in the overflow bucket: it exceeds this many
+    /// seconds (the largest finite bucket bound) by an unknown amount.
+    Exceeds(f64),
+}
+
+impl QuantileEstimate {
+    /// The estimate as a plain number of seconds; overflow maps to +Inf.
     #[must_use]
-    pub fn quantile(&self, q: f64) -> f64 {
+    pub fn seconds(self) -> f64 {
+        match self {
+            QuantileEstimate::AtMost(s) => s,
+            QuantileEstimate::Exceeds(_) => f64::INFINITY,
+        }
+    }
+}
+
+impl PhaseSnapshot {
+    /// Estimate the `q`-quantile (`0.0..=1.0`) from the bucket counts,
+    /// using each bucket's upper bound (conservative). Mass in the +Inf
+    /// overflow bucket is reported as [`QuantileEstimate::Exceeds`] the
+    /// largest finite bound, never silently clamped to it.
+    #[must_use]
+    pub fn quantile_estimate(&self, q: f64) -> QuantileEstimate {
+        let last = *LATENCY_BUCKETS.last().expect("non-empty bucket table");
         if self.count == 0 {
-            return 0.0;
+            return QuantileEstimate::AtMost(0.0);
         }
         let rank = (q * self.count as f64).ceil().max(1.0) as u64;
         let mut seen = 0u64;
         for (i, &c) in self.buckets.iter().enumerate() {
             seen += c;
             if seen >= rank {
-                return LATENCY_BUCKETS.get(i).copied().unwrap_or(f64::INFINITY);
+                return match LATENCY_BUCKETS.get(i) {
+                    Some(&bound) => QuantileEstimate::AtMost(bound),
+                    None => QuantileEstimate::Exceeds(last),
+                };
             }
         }
-        f64::INFINITY
+        QuantileEstimate::Exceeds(last)
+    }
+
+    /// [`Self::quantile_estimate`] as a plain number of seconds; a
+    /// quantile beyond the largest bucket reads as +Inf.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        self.quantile_estimate(q).seconds()
     }
 }
 
@@ -120,6 +159,10 @@ mod tests {
         assert!((p.sum_seconds - 30.00205).abs() < 1e-6);
         assert_eq!(p.quantile(0.5), 0.0025);
         assert_eq!(p.quantile(0.99), f64::INFINITY);
+        assert_eq!(p.quantile_estimate(0.5), QuantileEstimate::AtMost(0.0025));
+        // The overflow bucket surfaces as a tagged lower bound, not a
+        // clamp to the 10 s bucket.
+        assert_eq!(p.quantile_estimate(0.99), QuantileEstimate::Exceeds(10.0));
         reset();
     }
 }

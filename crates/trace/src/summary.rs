@@ -1,6 +1,16 @@
 //! Human-readable per-phase summary table (`ermes ... --trace-summary`).
 
-use crate::{phase_snapshot, snapshot, SpanRecord};
+use crate::{phase_snapshot, snapshot, QuantileEstimate, SpanRecord};
+
+/// One 13-wide quantile cell in milliseconds. An estimate beyond the
+/// largest histogram bucket renders as a tagged lower bound
+/// (`>10000.0`), not as `inf` in a fixed-point column.
+fn quantile_cell(q: QuantileEstimate) -> String {
+    match q {
+        QuantileEstimate::AtMost(s) => format!("{:>13.4}", s * 1e3),
+        QuantileEstimate::Exceeds(s) => format!("{:>13}", format!(">{:.1}", s * 1e3)),
+    }
+}
 
 /// Render the per-phase summary for the current process: total/mean time
 /// and p50/p99 per phase, engine-cache hit rate, and the five slowest
@@ -29,11 +39,17 @@ pub fn summary_report() -> String {
             .collect();
         window.sort_unstable();
         let (p50, p99) = if window.is_empty() {
-            (p.quantile(0.5) * 1e3, p.quantile(0.99) * 1e3)
+            (
+                quantile_cell(p.quantile_estimate(0.5)),
+                quantile_cell(p.quantile_estimate(0.99)),
+            )
         } else {
             (
-                window[(window.len() - 1) / 2] as f64 / 1e6,
-                window[(window.len() - 1) * 99 / 100] as f64 / 1e6,
+                format!("{:>13.4}", window[(window.len() - 1) / 2] as f64 / 1e6),
+                format!(
+                    "{:>13.4}",
+                    window[(window.len() - 1) * 99 / 100] as f64 / 1e6
+                ),
             )
         };
         let total_ms = p.sum_seconds * 1e3;
@@ -43,7 +59,7 @@ pub fn summary_report() -> String {
             total_ms / p.count as f64
         };
         out.push_str(&format!(
-            "{:<14} {:>7} {:>13.3} {:>13.4} {:>13.4} {:>13.4}\n",
+            "{:<14} {:>7} {:>13.3} {:>13.4} {} {}\n",
             p.phase, p.count, total_ms, mean_ms, p50, p99
         ));
     }
@@ -109,5 +125,23 @@ mod tests {
         assert!(report.contains("howard"));
         assert!(report.contains("1 hits / 1 misses (50.0% hit rate)"));
         assert!(report.contains("scc=0 nodes=7 iters=3"));
+    }
+
+    #[test]
+    fn overflowed_quantiles_render_as_tagged_lower_bounds() {
+        let _g = crate::test_guard();
+        crate::reset();
+        // Land a phase's whole mass in the +Inf overflow bucket while
+        // keeping the journal window empty for it, so the table falls
+        // back to the histogram quantiles.
+        crate::phase::observe("t_glacial", 30_000_000_000);
+        let report = super::summary_report();
+        let row = report
+            .lines()
+            .find(|l| l.starts_with("t_glacial"))
+            .expect("phase row present");
+        assert!(row.contains(">10000.0"), "{row}");
+        assert!(!row.contains("inf"), "{row}");
+        crate::reset();
     }
 }
