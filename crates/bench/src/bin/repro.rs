@@ -404,6 +404,74 @@ fn run_incremental() {
     println!(" is a floor: a cold or evicted cache would widen it)");
 }
 
+fn verify_json(sizes: &[usize], rows: &[experiments::VerifyRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"E16\",\n");
+    out.push_str(&format!("  \"sizes\": {sizes:?},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"processes\": {},\n", row.processes));
+        out.push_str(&format!("      \"channels\": {},\n", row.channels));
+        out.push_str(&format!("      \"components\": {},\n", row.components));
+        out.push_str(&format!("      \"method\": \"{}\",\n", row.method));
+        out.push_str(&format!("      \"states\": {},\n", row.states));
+        out.push_str(&format!("      \"events\": {},\n", row.events));
+        out.push_str(&format!("      \"verify_ms\": {:.3},\n", row.verify_ms));
+        out.push_str(&format!("      \"howard_ms\": {:.3},\n", row.howard_ms));
+        out.push_str(&format!(
+            "      \"bits_identical\": {}\n",
+            row.bits_identical
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+fn run_verify() {
+    banner("E16 — formal certification wall time vs design size (socgen ladder)");
+    let sizes = [8, 16, 32, 64, 128];
+    let rows = experiments::verify_ladder(&sizes);
+    println!(
+        "  procs  chans  comps  method      states     events  verify[ms]  howard[ms]  period"
+    );
+    for row in &rows {
+        println!(
+            "  {:>5}  {:>5}  {:>5}  {:<9} {:>8} {:>10}  {:>10.2}  {:>10.2}  {}",
+            row.processes,
+            row.channels,
+            row.components,
+            row.method,
+            row.states,
+            row.events,
+            row.verify_ms,
+            row.howard_ms,
+            if row.bits_identical {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+    }
+    assert!(
+        rows.iter().all(|r| r.bits_identical),
+        "every certified period must match Howard bit for bit"
+    );
+    let json = verify_json(&sizes, &rows);
+    match std::fs::write("BENCH_verify.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_verify.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_verify.json: {e}"),
+    }
+    println!("\n(verify = static pass + untimed reachability/k-induction + exact recurrence");
+    println!(" extraction; howard = one spectral analysis of the same lowered TMG. The");
+    println!(" certifier pays for deadlock *proof* and an exact period, the spectral pass");
+    println!(" only for the period — the gap is the price of the certificate)");
+}
+
 fn run_pipeline() {
     banner("Functional MPEG-2-style pipeline on the process-network engine");
     let frames: Vec<mpeg2sys::Frame> = (0..6)
@@ -489,6 +557,7 @@ fn main() {
         "scalability" => run_scalability(jobs),
         "phases" => run_phases(jobs),
         "incremental" => run_incremental(),
+        "verify" => run_verify(),
         "pipeline" => run_pipeline(),
         "ablation" => run_ablation(),
         "sweep" => run_sweep(),
@@ -516,11 +585,12 @@ fn main() {
             run_scalability(jobs);
             run_phases(jobs);
             run_incremental();
+            run_verify();
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases incremental pipeline ablation sweep all"
+                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases incremental verify pipeline ablation sweep all"
             );
             std::process::exit(2);
         }

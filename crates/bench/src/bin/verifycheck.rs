@@ -1,0 +1,128 @@
+//! CI smoke test for the formal verifier.
+//!
+//! ```text
+//! verifycheck
+//! ```
+//!
+//! Exercises the full `/verify` path end to end, in process:
+//!
+//! 1. the MPEG-2 encoder (and its M1/M2 variants) must certify
+//!    deadlock-free with an exact period whose f64 bits equal Howard's
+//!    cycle time, and the rendered report the daemon/CLI would serve
+//!    must say so;
+//! 2. two seeded-broken specs — the Section 2 self-blocking reorder and
+//!    a feedback loop drained of its initial tokens — must be *refuted*
+//!    with a concrete counterexample trace, not merely fail to certify.
+//!
+//! Exits non-zero with a diagnostic on the first violated invariant.
+
+use sysgraph::{lower_to_tmg, MotivatingExample, SystemGraph};
+use verify::VerifyVerdict;
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("verifycheck: {message}");
+    std::process::exit(1);
+}
+
+fn howard(system: &SystemGraph) -> tmg::Verdict {
+    tmg::analyze(lower_to_tmg(system).tmg())
+}
+
+/// The rendered report (what `ermes verify` prints and `/verify`
+/// serves) for a system, via the shared command layer.
+fn rendered(system: &SystemGraph) -> String {
+    ermesd::render_verify_system(system, None)
+        .unwrap_or_else(|e| fail(format_args!("render failed: {e}")))
+}
+
+fn check_certified(name: &str, system: &SystemGraph) {
+    let report = verify::verify(system);
+    if !report.is_certified() {
+        fail(format_args!(
+            "{name}: expected a certificate, got {:?}",
+            report.verdict
+        ));
+    }
+    let period = report
+        .period()
+        .unwrap_or_else(|| fail(format_args!("{name}: certified but no exact period")));
+    let reference = howard(system)
+        .cycle_time()
+        .unwrap_or_else(|| fail(format_args!("{name}: Howard disagrees (deadlock)")));
+    if period.to_f64().to_bits() != reference.to_f64().to_bits() {
+        fail(format_args!(
+            "{name}: period {period} != howard {reference} (f64 bits differ)"
+        ));
+    }
+    let text = rendered(system);
+    for needle in ["CERTIFIED deadlock-free", "f64 bit-identical"] {
+        if !text.contains(needle) {
+            fail(format_args!("{name}: report lacks `{needle}`:\n{text}"));
+        }
+    }
+    println!("verifycheck: {name} certified, period {period}, bit-identical to Howard");
+}
+
+fn check_refuted(name: &str, system: &SystemGraph) {
+    let report = verify::verify(system);
+    let VerifyVerdict::Refuted { cycle, blocked, .. } = &report.verdict else {
+        fail(format_args!(
+            "{name}: expected refutation, got {:?}",
+            report.verdict
+        ));
+    };
+    if cycle.is_empty() {
+        fail(format_args!("{name}: refuted without a structural witness"));
+    }
+    if blocked.is_empty() {
+        fail(format_args!(
+            "{name}: refuted without naming the parked operations"
+        ));
+    }
+    if !howard(system).is_deadlock() {
+        fail(format_args!("{name}: verify refutes but Howard says live"));
+    }
+    let text = rendered(system);
+    for needle in ["REFUTED", "token-free cycle", "counterexample"] {
+        if !text.contains(needle) {
+            fail(format_args!("{name}: report lacks `{needle}`:\n{text}"));
+        }
+    }
+    println!(
+        "verifycheck: {name} refuted with a {}-op cycle, {} parked operation(s)",
+        cycle.len(),
+        blocked.len()
+    );
+}
+
+fn main() {
+    for (name, (design, _topology)) in [
+        ("mpeg2", mpeg2sys::mpeg2_design()),
+        ("m1", mpeg2sys::m1_design()),
+        ("m2", mpeg2sys::m2_design()),
+    ] {
+        check_certified(name, design.system());
+    }
+
+    // Seeded bug #1: the Section 2 self-blocking statement order.
+    let mut ex = MotivatingExample::new();
+    ex.deadlock_ordering()
+        .apply_to(&mut ex.system)
+        .unwrap_or_else(|e| fail(format_args!("deadlock ordering must fit: {e}")));
+    check_refuted("self-blocking reorder", &ex.system);
+
+    // Seeded bug #2: a feedback loop drained of its initial tokens.
+    let mut sys = SystemGraph::new();
+    let a = sys.add_process("a", 2);
+    let b = sys.add_process("b", 3);
+    sys.add_channel("fwd", a, b, 1)
+        .unwrap_or_else(|e| fail(format_args!("fwd: {e}")));
+    let fb = sys
+        .add_channel_with_tokens("fb", b, a, 1, 2)
+        .unwrap_or_else(|e| fail(format_args!("fb: {e}")));
+    check_certified("feedback loop (2 tokens)", &sys);
+    sys.set_initial_tokens(fb, 0);
+    check_refuted("zero-capacity feedback loop", &sys);
+
+    println!("verifycheck: ok");
+}

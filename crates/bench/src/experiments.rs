@@ -266,6 +266,87 @@ pub fn scalability(sizes: &[usize]) -> Vec<ScalabilityRow> {
         .collect()
 }
 
+/// One row of the E16 verification ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct VerifyRow {
+    /// Worker process count requested from the generator.
+    pub processes: usize,
+    /// Channel count of the generated system.
+    pub channels: usize,
+    /// Weakly-connected components the checker split the system into.
+    pub components: usize,
+    /// How the certificate was obtained (`bmc` or `induction`).
+    pub method: &'static str,
+    /// States the bounded search visited across all components.
+    pub states: usize,
+    /// Simulation events the period extractor replayed.
+    pub events: u64,
+    /// Milliseconds for the full certification (statics + BMC/induction
+    /// + period extraction).
+    pub verify_ms: f64,
+    /// Milliseconds for one Howard cycle-time analysis of the same
+    /// system (the cross-checked reference).
+    pub howard_ms: f64,
+    /// The certified period's f64 bits equal Howard's.
+    pub bits_identical: bool,
+}
+
+/// Runs E16: formal certification wall time vs. design size on the
+/// socgen ladder, with the period cross-checked against Howard per row.
+///
+/// # Panics
+///
+/// Panics if a generated benchmark fails to certify or the certified
+/// period misses the recurrence budget — both would invalidate the
+/// experiment rather than merely slow it down.
+#[must_use]
+pub fn verify_ladder(sizes: &[usize]) -> Vec<VerifyRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            // As in the paper's flow (and E9): order statements first —
+            // raw generated systems can self-block under the default
+            // insertion orders, which is the verifier's *refutation*
+            // case, not its certification ladder.
+            let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 42));
+            let mut sys = soc.system;
+            let solution = order_channels(&sys);
+            solution.ordering.apply_to(&mut sys).expect("valid");
+
+            let t0 = Instant::now();
+            let report = verify::verify(&sys);
+            let verify_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let t1 = Instant::now();
+            let verdict = tmg::analyze(lower_to_tmg(&sys).tmg());
+            let howard_ms = t1.elapsed().as_secs_f64() * 1e3;
+
+            let verify::VerifyVerdict::Certified {
+                method,
+                states,
+                period,
+                events,
+            } = &report.verdict
+            else {
+                panic!("generated benchmarks are live: {:?}", report.verdict)
+            };
+            let period = period.expect("recurrence within budget");
+            let reference = verdict.cycle_time().expect("live");
+            VerifyRow {
+                processes: n,
+                channels: sys.channel_count(),
+                components: report.components,
+                method: method.name(),
+                states: *states,
+                events: *events,
+                verify_ms,
+                howard_ms,
+                bits_identical: period.to_f64().to_bits() == reference.to_f64().to_bits(),
+            }
+        })
+        .collect()
+}
+
 /// One row of the E9 parallel-sweep benchmark: the same multi-target
 /// Pareto sweep, serial versus parallel, on one synthetic SoC.
 #[derive(Debug, Clone, PartialEq)]

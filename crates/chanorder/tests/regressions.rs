@@ -52,6 +52,29 @@ fn conservative_ordering_is_deadlock_free_on_shrunk_case() {
     assert!(!verdict.is_deadlock());
 }
 
+/// Third oracle on the seed corpus: every ordering the optimizer calls
+/// live must also *certify* under the model checker, with an exact
+/// period whose f64 bits match the spectral verdict.
+#[test]
+fn model_checker_agrees_on_every_corpus_ordering() {
+    let sys = shrunk_system();
+    for ordering in [
+        chanorder::order_channels(&sys).ordering,
+        chanorder::conservative_ordering(&sys),
+    ] {
+        let verdict = chanorder::cycle_time_of(&sys, &ordering).expect("fits the system");
+        let mut candidate = sys.clone();
+        ordering.apply_to(&mut candidate).expect("fits the system");
+        let report = verify::verify(&candidate);
+        assert!(report.is_certified(), "chanorder's live verdict holds up");
+        assert_eq!(
+            report.period().expect("live").to_f64().to_bits(),
+            verdict.cycle_time().expect("live").to_f64().to_bits(),
+            "third oracle must match the spectral one bit for bit"
+        );
+    }
+}
+
 #[test]
 fn algorithm_is_near_exhaustive_optimum_on_shrunk_case() {
     let sys = shrunk_system();

@@ -25,6 +25,6 @@ pub use ermesd::{commands, json, spec};
 
 pub use commands::{
     cmd_analyze, cmd_buffers, cmd_dot, cmd_explore, cmd_fsm, cmd_order, cmd_refine, cmd_simulate,
-    cmd_simulate_traced, cmd_stalls, cmd_sweep, parse_spec, CliError,
+    cmd_simulate_traced, cmd_stalls, cmd_sweep, cmd_verify, parse_spec, CliError,
 };
 pub use spec::{ChannelSpec, ParetoPointSpec, ProcessSpec, SpecError, SystemSpec};

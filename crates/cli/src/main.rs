@@ -2,7 +2,7 @@
 
 use ermes_cli::{
     cmd_analyze, cmd_buffers, cmd_dot, cmd_explore, cmd_fsm, cmd_order, cmd_refine,
-    cmd_simulate_traced, cmd_stalls, cmd_sweep, parse_spec,
+    cmd_simulate_traced, cmd_stalls, cmd_sweep, cmd_verify, parse_spec,
 };
 
 const USAGE: &str = "\
@@ -10,6 +10,7 @@ ermes — compositional HLS methodology (DAC'14 reproduction)
 
 USAGE:
     ermes analyze  <spec.json>
+    ermes verify   <spec.json>
     ermes order    <spec.json> [--out <file>]
     ermes refine   <spec.json> [--passes <n>] [--out <file>]
     ermes sweep    <spec.json> --targets <a,b,c> [--jobs <n>]
@@ -24,7 +25,10 @@ USAGE:
 `--jobs <n>` threads the exploration engine (0 = all hardware threads,
 default 1); results are bit-identical at any value. `serve` runs the
 analysis daemon (see the `ermesd` crate): POST /analyze, /order,
-/explore?target=N, /sweep?targets=a,b,c; GET /healthz, /metrics, /trace.
+/explore?target=N, /sweep?targets=a,b,c, /verify; GET /healthz,
+/metrics, /trace. `verify` certifies the spec deadlock-free (exact
+steady-state period, cross-checked against the spectral analysis) or
+refutes it with a concrete counterexample trace.
 
 Every analysis command also accepts:
     --trace-out <file>   write a Chrome-trace JSON of the run (open in
@@ -80,6 +84,7 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     let spec = parse_spec(&text)?;
     match command.as_str() {
         "analyze" => print!("{}", cmd_analyze(&spec)?),
+        "verify" => print!("{}", cmd_verify(&spec)?),
         "order" => {
             let (report, json) = cmd_order(&spec)?;
             print!("{report}");

@@ -200,6 +200,170 @@ fn render_report(
     out
 }
 
+/// `ermes verify <spec>` — formal deadlock-freedom certification with
+/// the exact steady-state period, cross-checked against Howard's cycle
+/// ratio on the lowered TMG (the two must agree to `f64` bit identity).
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs.
+pub fn cmd_verify(spec: &SystemSpec) -> Result<String, CliError> {
+    let sys = spec.to_system()?;
+    render_verify_system(&sys, None)
+}
+
+/// [`cmd_verify`] polling a [`parx::CancelToken`] inside both the state
+/// search and the cross-check. With a live token the output is
+/// bit-identical to [`cmd_verify`].
+///
+/// # Errors
+///
+/// [`CliError`] on malformed specs; [`ermes::ErmesError::Cancelled`]
+/// (wrapped) when the token fires mid-verification.
+pub fn cmd_verify_cancellable(
+    spec: &SystemSpec,
+    cancel: &parx::CancelToken,
+) -> Result<String, CliError> {
+    let sys = spec.to_system()?;
+    render_verify_system(&sys, Some(cancel))
+}
+
+/// The one `verify` response composition, shared by the stateless
+/// command and the session endpoint (which verifies its live design
+/// directly). Progress metadata on cancellation counts two steps: the
+/// certifier itself, then the Howard cross-check.
+///
+/// # Errors
+///
+/// [`ermes::ErmesError::Cancelled`] (wrapped) when `cancel` fires.
+pub fn render_verify_system(
+    sys: &sysgraph::SystemGraph,
+    cancel: Option<&parx::CancelToken>,
+) -> Result<String, CliError> {
+    let report = verify::verify_system(sys, &verify::VerifyConfig::default(), cancel)
+        .map_err(|e| cancelled(e, 0, 2))?;
+    let lowered = sysgraph::lower_to_tmg(sys);
+    let howard = match cancel {
+        Some(token) => {
+            tmg::analyze_with_cancel(lowered.tmg(), 1, token).map_err(|e| cancelled(e, 1, 2))?
+        }
+        None => tmg::analyze(lowered.tmg()),
+    };
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "processes: {}  channels: {}  components: {}",
+        report.processes, report.channels, report.components
+    );
+    if report.statics.is_clean() {
+        let _ = writeln!(out, "static analysis: clean");
+    } else {
+        let _ = writeln!(
+            out,
+            "static analysis: {} finding(s)",
+            report.statics.findings.len()
+        );
+        for finding in &report.statics.findings {
+            let _ = writeln!(out, "  - {finding}");
+        }
+    }
+    match &report.verdict {
+        verify::VerifyVerdict::Certified {
+            method,
+            states,
+            period,
+            ..
+        } => {
+            let _ = writeln!(
+                out,
+                "verdict: CERTIFIED deadlock-free ({}, {} states)",
+                method.name(),
+                states
+            );
+            match period {
+                Some(period) => {
+                    let _ = writeln!(out, "period: {period} cycles (exact)");
+                }
+                None => {
+                    let _ = writeln!(out, "period: unavailable (recurrence budget exhausted)");
+                }
+            }
+            match howard.cycle_time() {
+                Some(reference) => {
+                    let identical = *period == Some(reference)
+                        && period
+                            .is_some_and(|p| p.to_f64().to_bits() == reference.to_f64().to_bits());
+                    if identical {
+                        let _ = writeln!(
+                            out,
+                            "cross-check: howard cycle time {reference} — f64 bit-identical"
+                        );
+                    } else if period.is_none() {
+                        let _ = writeln!(out, "cross-check: howard cycle time {reference}");
+                    } else {
+                        let _ = writeln!(
+                            out,
+                            "cross-check: MISMATCH — howard says {reference}, verify says {:?}",
+                            period.map(|p| p.to_string())
+                        );
+                    }
+                }
+                None => {
+                    let _ = writeln!(
+                        out,
+                        "cross-check: MISMATCH — howard says DEADLOCK, verify certified"
+                    );
+                }
+            }
+        }
+        verify::VerifyVerdict::Refuted {
+            processes,
+            cycle,
+            trace,
+            blocked,
+        } => {
+            let _ = writeln!(
+                out,
+                "verdict: REFUTED — deadlock in component {processes:?}"
+            );
+            let _ = writeln!(out, "token-free cycle ({} ops):", cycle.len());
+            for line in cycle {
+                let _ = writeln!(out, "  {line}");
+            }
+            if trace.is_empty() {
+                let _ = writeln!(
+                    out,
+                    "counterexample: blocked from reset (no step completes)"
+                );
+            } else {
+                let _ = writeln!(out, "counterexample trace ({} steps):", trace.len());
+                for line in trace {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+            if !blocked.is_empty() {
+                let _ = writeln!(out, "blocked operations:");
+                for line in blocked {
+                    let _ = writeln!(out, "  {line}");
+                }
+            }
+            if howard.is_deadlock() {
+                let _ = writeln!(out, "cross-check: howard agrees (DEADLOCK)");
+            } else {
+                let _ = writeln!(
+                    out,
+                    "cross-check: MISMATCH — howard says live, verify refuted"
+                );
+            }
+        }
+        verify::VerifyVerdict::Unknown { reason, states } => {
+            let _ = writeln!(out, "verdict: UNKNOWN — {reason} ({states} states)");
+        }
+    }
+    Ok(out)
+}
+
 /// `ermes order <spec>` — run Algorithm 1 and return the report plus the
 /// updated spec JSON (with explicit statement orders).
 ///
@@ -613,6 +777,65 @@ mod tests {
         assert!(out.contains("verdict: live"));
         assert!(out.contains("cycle time: 8 cycles"));
         assert!(out.contains("worker"));
+    }
+
+    #[test]
+    fn verify_certifies_live_specs_with_bit_identical_period() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let out = cmd_verify(&spec).expect("verifies");
+        assert!(out.contains("verdict: CERTIFIED deadlock-free"), "{out}");
+        assert!(out.contains("period: 8 cycles (exact)"), "{out}");
+        assert!(
+            out.contains("cross-check: howard cycle time 8 — f64 bit-identical"),
+            "{out}"
+        );
+        assert!(out.contains("static analysis: clean"), "{out}");
+    }
+
+    #[test]
+    fn verify_refutes_a_starved_loop_with_a_witness() {
+        let spec = parse_spec(
+            r#"{
+                "processes": [
+                    {"name": "a", "latency": 2},
+                    {"name": "b", "latency": 3}
+                ],
+                "channels": [
+                    {"name": "fwd", "from": "a", "to": "b", "latency": 1},
+                    {"name": "fb", "from": "b", "to": "a", "latency": 1}
+                ]
+            }"#,
+        )
+        .expect("valid");
+        let out = cmd_verify(&spec).expect("renders");
+        assert!(out.contains("verdict: REFUTED"), "{out}");
+        assert!(out.contains("token-free cycle"), "{out}");
+        assert!(
+            out.contains("cross-check: howard agrees (DEADLOCK)"),
+            "{out}"
+        );
+        assert!(out.contains("starved channel cycle"), "{out}");
+    }
+
+    #[test]
+    fn verify_cancellable_is_bit_identical_with_a_live_token() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let token = parx::CancelToken::new();
+        let plain = cmd_verify(&spec).expect("verifies");
+        let cancellable = cmd_verify_cancellable(&spec, &token).expect("verifies");
+        assert_eq!(plain, cancellable);
+    }
+
+    #[test]
+    fn verify_cancelled_token_maps_to_structured_error() {
+        let spec = parse_spec(SAMPLE).expect("valid");
+        let token = parx::CancelToken::new();
+        token.cancel(parx::CancelReason::Shutdown);
+        let err = cmd_verify_cancellable(&spec, &token).expect_err("cancelled");
+        assert!(matches!(
+            err,
+            CliError::Ermes(ermes::ErmesError::Cancelled { .. })
+        ));
     }
 
     #[test]

@@ -48,8 +48,10 @@
 //! | `POST /order` | spec JSON | `ermes order` stdout (report + ordered spec) |
 //! | `POST /explore?target=N[&jobs=J]` | spec JSON | `ermes explore` stdout (sans cache-stats line) + explored spec |
 //! | `POST /sweep?targets=a,b,c[&jobs=J]` | spec JSON | `ermes sweep` stdout (sans cache-stats line) |
+//! | `POST /verify` | spec JSON | `ermes verify` stdout (deadlock certificate or counterexample) |
 //! | `POST /session` | spec JSON | full analysis + `x-ermes-session: {id}` header |
 //! | `POST /session/{id}/edit` | edit JSON | full analysis after the edit, computed incrementally |
+//! | `POST /session/{id}/verify` | — | certificate/counterexample for the session's current design |
 //! | `DELETE /session/{id}` | — | closes the session |
 //! | `GET /healthz` | — | `ok` + worker liveness and restart count |
 //! | `GET /metrics` | — | Prometheus text format |
@@ -104,7 +106,8 @@ pub use commands::{
     cmd_analyze, cmd_analyze_cached, cmd_analyze_cancellable, cmd_buffers, cmd_dot, cmd_explore,
     cmd_explore_cached, cmd_explore_cancellable, cmd_fsm, cmd_order, cmd_refine, cmd_simulate,
     cmd_simulate_traced, cmd_stalls, cmd_sweep, cmd_sweep_cached, cmd_sweep_cancellable,
-    parse_spec, render_session_report, CliError,
+    cmd_verify, cmd_verify_cancellable, parse_spec, render_session_report, render_verify_system,
+    CliError,
 };
 pub use server::{Server, ServerConfig};
 pub use spec::{ChannelSpec, ParetoPointSpec, ProcessSpec, SpecError, SystemSpec};

@@ -38,7 +38,7 @@
 
 use crate::commands::{
     cmd_analyze_cancellable, cmd_explore_cancellable, cmd_order, cmd_sweep_cancellable,
-    render_session_report, CliError,
+    cmd_verify_cancellable, render_session_report, render_verify_system, CliError,
 };
 use crate::http::{read_request, ReadError, Request, Response};
 use crate::metrics::Metrics;
@@ -413,7 +413,14 @@ fn handle_connection(inner: &Inner, stream: TcpStream, server_addr: SocketAddr) 
                     .record_request(endpoint, outcome.response.status);
                 if matches!(
                     endpoint,
-                    "analyze" | "order" | "explore" | "sweep" | "session_open" | "session_edit"
+                    "analyze"
+                        | "order"
+                        | "explore"
+                        | "sweep"
+                        | "verify"
+                        | "session_open"
+                        | "session_edit"
+                        | "session_verify"
                 ) {
                     inner.metrics.observe_latency(endpoint, started.elapsed());
                 }
@@ -481,17 +488,29 @@ fn route(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
         ("POST", "/order") => analysis_endpoint(inner, req, "order", conn),
         ("POST", "/explore") => analysis_endpoint(inner, req, "explore", conn),
         ("POST", "/sweep") => analysis_endpoint(inner, req, "sweep", conn),
+        ("POST", "/verify") => analysis_endpoint(inner, req, "verify", conn),
         ("POST", "/session") => session_open_endpoint(inner, req, conn),
         (method, path) if path == "/session" || path.starts_with("/session/") => {
             session_route(inner, method, path, req, conn)
         }
-        (
-            _,
-            "/healthz" | "/metrics" | "/trace" | "/shutdown" | "/analyze" | "/order" | "/explore"
-            | "/sweep",
-        ) => Outcome::reply("other", Response::text(405, "method not allowed\n")),
+        // Known paths with the wrong method: 405 with the allowed verb,
+        // never a 404 (the resource exists; the method is the problem).
+        (_, "/healthz" | "/metrics" | "/trace") => {
+            Outcome::reply("other", method_not_allowed("GET"))
+        }
+        (_, "/shutdown" | "/analyze" | "/order" | "/explore" | "/sweep" | "/verify") => {
+            Outcome::reply("other", method_not_allowed("POST"))
+        }
         _ => Outcome::reply("other", Response::text(404, "no such endpoint\n")),
     }
+}
+
+/// A `405` naming the method the path does support, per RFC 9110 §15.5.6
+/// (the `Allow` header is mandatory on 405).
+fn method_not_allowed(allow: &'static str) -> Response {
+    let mut response = Response::text(405, "method not allowed\n");
+    response.extra_headers.push(("allow", allow.to_string()));
+    response
 }
 
 /// Dispatches `/session` (wrong method) and `/session/{id}[/edit]`.
@@ -504,7 +523,7 @@ fn session_route(
 ) -> Outcome {
     let Some(tail) = path.strip_prefix("/session/") else {
         // `/session` with a non-POST method.
-        return Outcome::reply("other", Response::text(405, "method not allowed\n"));
+        return Outcome::reply("other", method_not_allowed("POST"));
     };
     let (id_text, action) = match tail.split_once('/') {
         None => (tail, None),
@@ -515,10 +534,10 @@ fn session_route(
     };
     match (method, action) {
         ("POST", Some("edit")) => session_edit_endpoint(inner, req, id, conn),
+        ("POST", Some("verify")) => session_verify_endpoint(inner, req, id, conn),
         ("DELETE", None) => session_close_endpoint(inner, id),
-        (_, Some("edit") | None) => {
-            Outcome::reply("other", Response::text(405, "method not allowed\n"))
-        }
+        (_, Some("edit" | "verify")) => Outcome::reply("other", method_not_allowed("POST")),
+        (_, None) => Outcome::reply("other", method_not_allowed("DELETE")),
         _ => Outcome::reply("other", Response::text(404, "no such endpoint\n")),
     }
 }
@@ -929,6 +948,10 @@ fn run_command(
             Ok(format!("{report}{json}\n"))
         }
         "sweep" => cmd_sweep_cancellable(spec, &params.targets, params.jobs, cache, cancel),
+        // `verify` builds its own transition system per request; the
+        // engine cache memoizes TMG analysis, not certification, so the
+        // command takes only the spec and the token.
+        "verify" => cmd_verify_cancellable(spec, cancel),
         _ => unreachable!("routed endpoints only"),
     }
 }
@@ -1092,6 +1115,91 @@ fn session_edit_endpoint(
                 500,
                 format!(
                     "analysis worker panicked on this edit; worker restarted, session {id} dropped\n"
+                ),
+            )
+        }
+        Err(shed) => shed_response(inner, &shed),
+    };
+    let close_after = response.status == 499;
+    Outcome {
+        response,
+        endpoint: ENDPOINT,
+        close_after,
+        initiate_shutdown: false,
+    }
+}
+
+/// `POST /session/{id}/verify`: certifies the session's *current*
+/// design — after any number of incremental edits — deadlock-free (or
+/// refutes it), bit-identical to `POST /verify` on a spec capturing the
+/// session's present state. Runs on the worker pool under the session
+/// lock with the same deadline/cancellation/panic rules as an edit; a
+/// panicked verification drops only this session.
+fn session_verify_endpoint(
+    inner: &Inner,
+    req: &Request,
+    id: u64,
+    conn: Option<&TcpStream>,
+) -> Outcome {
+    const ENDPOINT: &str = "session_verify";
+    let Some(session) = inner.sessions.get(id) else {
+        return Outcome::reply(ENDPOINT, Response::text(404, format!("no session {id}\n")));
+    };
+    let deadline = match request_deadline(req, inner.default_deadline_ms) {
+        Ok(deadline) => deadline,
+        Err(msg) => return Outcome::reply(ENDPOINT, Response::text(400, msg + "\n")),
+    };
+    let cancel = CancelToken::with_deadline(deadline);
+    let job_token = cancel.clone();
+    let request_span = trace::span("request");
+    trace::attr("endpoint", ENDPOINT);
+    trace::attr("session", id);
+    // `None` = the session mutex is poisoned by an earlier panicked edit.
+    let job = move || -> Option<Result<String, CliError>> {
+        let Ok(state) = session.lock() else {
+            return None;
+        };
+        Some(render_verify_system(
+            state.design().system(),
+            Some(&job_token),
+        ))
+    };
+    let result = inner.run_job(deadline, &cancel, conn, job);
+    trace::attr(
+        "outcome",
+        match &result {
+            Ok(Some(Ok(_))) => "ok",
+            Ok(Some(Err(CliError::Ermes(ermes::ErmesError::Cancelled { .. })))) => "cancelled",
+            Ok(Some(Err(_))) => "error",
+            Ok(None) => "poisoned",
+            Err(Shed::JobPanicked) => "panic",
+            Err(_) => "shed",
+        },
+    );
+    drop(request_span);
+    let response = match result {
+        Ok(Some(Ok(body))) => {
+            let mut response = Response::text(200, body);
+            response
+                .extra_headers
+                .push(("x-ermes-session", id.to_string()));
+            response
+        }
+        Ok(Some(Err(e))) => error_response(inner, &e),
+        Ok(None) => {
+            inner.sessions.remove(id, &inner.sessions.dropped);
+            Response::text(
+                500,
+                format!("session {id} was corrupted by a panicked edit and has been dropped\n"),
+            )
+        }
+        Err(Shed::JobPanicked) => {
+            inner.metrics.record_job_panicked();
+            inner.sessions.remove(id, &inner.sessions.dropped);
+            Response::text(
+                500,
+                format!(
+                    "analysis worker panicked verifying session {id}; worker restarted, session dropped\n"
                 ),
             )
         }

@@ -365,6 +365,29 @@ fn malformed_inputs_map_to_clean_http_errors() {
     // Unknown route and wrong method.
     assert_eq!(get(addr, "/nope").0, 404);
     assert_eq!(get(addr, "/analyze").0, 405);
+    // RFC 9110: a 405 on a known path names the allowed method.
+    for path in [
+        "/analyze", "/order", "/explore", "/sweep", "/verify", "/session",
+    ] {
+        let reply = request_full(addr, "GET", path, "");
+        assert_eq!(reply.status, 405, "GET {path}");
+        assert_eq!(reply.header("allow"), Some("POST"), "GET {path}");
+    }
+    for path in ["/healthz", "/metrics", "/trace"] {
+        let reply = request_full(addr, "POST", path, "");
+        assert_eq!(reply.status, 405, "POST {path}");
+        assert_eq!(reply.header("allow"), Some("GET"), "POST {path}");
+    }
+    for sub in ["/session/0/edit", "/session/0/verify"] {
+        let reply = request_full(addr, "PUT", sub, "");
+        assert_eq!(reply.status, 405, "PUT {sub}");
+        assert_eq!(reply.header("allow"), Some("POST"), "PUT {sub}");
+    }
+    let reply = request_full(addr, "GET", "/session/0", "");
+    assert_eq!(reply.status, 405);
+    assert_eq!(reply.header("allow"), Some("DELETE"));
+    // Sub-resources that don't exist stay 404 regardless of method.
+    assert_eq!(post(addr, "/session/0/nope", "").0, 404);
     // A deadlocking system is a semantic failure, not a bad request.
     let (status, body) = post(
         addr,
@@ -505,6 +528,78 @@ fn session_edits_are_bit_identical_to_stateless_analysis() {
         request(addr, "DELETE", &format!("/session/{id}"), "").0,
         404
     );
+    shutdown(addr, handle);
+}
+
+/// `/verify` certifies a live spec bit-identically to the CLI command,
+/// and `/session/{id}/verify` tracks the session's *current* design
+/// across edits rather than the spec it was opened with.
+#[test]
+fn verify_endpoints_certify_and_track_session_edits() {
+    let (addr, handle) = start(ServerConfig {
+        workers: 2,
+        ..ServerConfig::default()
+    });
+    let json = mpeg2_spec_json();
+    let mut mirror = SystemSpec::from_json(&json).expect("round-trips");
+
+    // Stateless: the daemon's certificate is the CLI's, byte for byte.
+    let (status, body) = post(addr, "/verify", &json);
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("CERTIFIED deadlock-free"), "{body}");
+    assert!(body.contains("f64 bit-identical"), "{body}");
+    assert_eq!(body, ermesd::cmd_verify(&mirror).expect("verifies"));
+
+    // A structurally broken spec is refuted with a witness, not a 4xx:
+    // the request itself is well-formed.
+    let (status, body) = post(
+        addr,
+        "/verify",
+        r#"{"processes": [{"name": "a", "latency": 1}, {"name": "b", "latency": 1}],
+            "channels": [{"name": "f", "from": "a", "to": "b", "latency": 1},
+                         {"name": "r", "from": "b", "to": "a", "latency": 1}]}"#,
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains("REFUTED"), "{body}");
+    assert!(body.contains("token-free cycle"), "{body}");
+
+    // Stateful: open a session, verify, edit, verify again — each
+    // certificate matches a from-scratch `verify` of the mirrored spec.
+    let opened = request_full(addr, "POST", "/session", &json);
+    assert_eq!(opened.status, 200, "{}", opened.body);
+    let id = opened.header("x-ermes-session").expect("id").to_string();
+    let verify_path = format!("/session/{id}/verify");
+
+    let reply = request_full(addr, "POST", &verify_path, "");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(reply.header("x-ermes-session"), Some(id.as_str()));
+    assert_eq!(reply.body, ermesd::cmd_verify(&mirror).expect("verifies"));
+
+    let pi = mirror
+        .processes
+        .iter()
+        .position(|p| p.pareto.as_ref().is_some_and(|f| f.len() >= 2))
+        .expect("mpeg2 has a multi-point frontier");
+    let pname = mirror.processes[pi].name.clone();
+    let edit = format!(r#"{{"reselect": {{"process": "{pname}", "point": 1}}}}"#);
+    let (status, body) = post(addr, &format!("/session/{id}/edit"), &edit);
+    assert_eq!(status, 200, "{body}");
+    mirror.processes[pi].latency = mirror.processes[pi].pareto.as_ref().unwrap()[1].latency;
+
+    let reply = request_full(addr, "POST", &verify_path, "");
+    assert_eq!(reply.status, 200, "{}", reply.body);
+    assert_eq!(
+        reply.body,
+        ermesd::cmd_verify(&mirror).expect("verifies"),
+        "session verify must see the post-edit design"
+    );
+
+    // Gone session: clean 404.
+    assert_eq!(
+        request(addr, "DELETE", &format!("/session/{id}"), "").0,
+        200
+    );
+    assert_eq!(post(addr, &verify_path, "").0, 404);
     shutdown(addr, handle);
 }
 

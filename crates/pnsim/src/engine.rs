@@ -158,6 +158,9 @@ pub fn run<T: Clone + Default>(
         "one kernel per process"
     );
     let n = system.process_count();
+    let sim_span = trace::span("pnsim");
+    trace::attr("processes", n);
+    trace::attr("channels", system.channel_count());
     let mut pc: Vec<Pc> = system
         .process_ids()
         .map(|p| {
@@ -207,6 +210,7 @@ pub fn run<T: Clone + Default>(
 
     let mut events: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|p| Reverse((0, p))).collect();
     let mut now = 0u64;
+    let mut event_count = 0u64;
     let mut timed_out = false;
     let mut transfers: Vec<TransferRecord> = Vec::new();
 
@@ -225,6 +229,7 @@ pub fn run<T: Clone + Default>(
     };
 
     'engine: while let Some(Reverse((t, p))) = events.pop() {
+        event_count += 1;
         if t > config.max_cycles {
             timed_out = true;
             break;
@@ -416,6 +421,20 @@ pub fn run<T: Clone + Default>(
     let any_done = pc.contains(&Pc::Done);
     let stop = stop_reached(&iterations, &pc);
     let deadlocked = !stop && !timed_out && !any_done && events.is_empty();
+
+    trace::attr("events", event_count);
+    trace::attr("cycles", now);
+    trace::attr(
+        "outcome",
+        if deadlocked {
+            "deadlock"
+        } else if timed_out {
+            "timeout"
+        } else {
+            "ok"
+        },
+    );
+    drop(sim_span);
 
     transfers.sort_by_key(|t| (t.start, t.channel));
     (

@@ -1,0 +1,48 @@
+//! The simulator's engine loop shows up in the span journal: one
+//! `pnsim` span per `run`, carrying the event count and the outcome, so
+//! `--trace-summary` and the daemon's `/trace` cover simulation too.
+
+use pnsim::{run, FixedLatency, SimConfig};
+use sysgraph::{MotivatingExample, SystemGraph};
+
+fn simulate(sys: &SystemGraph) -> bool {
+    let kernels: Vec<Box<dyn pnsim::Kernel<u32>>> = sys
+        .process_ids()
+        .map(|p| {
+            let outputs = sys.put_order(p).len();
+            Box::new(FixedLatency::new(sys.process(p).latency(), outputs, 0u32)) as _
+        })
+        .collect();
+    let (outcome, _) = run(
+        sys,
+        kernels,
+        SimConfig {
+            max_iterations: Some(16),
+            ..SimConfig::default()
+        },
+    );
+    outcome.deadlocked
+}
+
+#[test]
+fn engine_runs_record_a_span_with_events_and_outcome() {
+    trace::set_enabled(true);
+
+    let mut sys = SystemGraph::new();
+    let a = sys.add_process("a", 1);
+    let b = sys.add_process("b", 2);
+    sys.add_channel("x", a, b, 1).expect("valid");
+    assert!(!simulate(&sys));
+
+    let deadlock = MotivatingExample::new();
+    assert!(simulate(&deadlock.system));
+
+    let json = trace::chrome_trace();
+    assert!(json.contains(r#""name":"pnsim""#), "span recorded: {json}");
+    assert!(json.contains(r#""outcome":"ok""#), "live run: {json}");
+    assert!(
+        json.contains(r#""outcome":"deadlock""#),
+        "deadlocked run: {json}"
+    );
+    assert!(json.contains(r#""events":"#), "event count: {json}");
+}

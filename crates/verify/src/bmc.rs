@@ -1,0 +1,391 @@
+//! Explicit-state bounded model checking of one component.
+//!
+//! Breadth-first search over the blocking transition system of
+//! [`crate::encode`]: a global state is the vector of per-process I/O
+//! positions plus the occupancy of every FIFO channel. The *bad* states
+//! are those where no transition is enabled — every process of the
+//! component is parked on a `get` or `put` that can never complete on its
+//! own, which is exactly the system-level deadlock of Section 2 of the
+//! paper (and the `deadlocked` flag of [`pnsim::run`], restricted to the
+//! component).
+//!
+//! Timing is deliberately erased: whether a state is *reachable* depends
+//! only on the interleaving of I/O completions, never on latencies, so
+//! the untimed search covers every schedule of the timed engine. BFS is
+//! exhaustive up to the configured state budget:
+//!
+//! - the frontier empties with no bad state → **proof** (the reachable
+//!   set was enumerated completely);
+//! - a bad state is found → **refutation**, with the shortest concrete
+//!   trace of I/O completions reaching it (parent links);
+//! - the budget is hit first → **exhausted**: the search alone says
+//!   nothing, and the caller must fall back on the k-induction argument
+//!   of [`crate::induction`] (or report `Unknown`).
+
+use crate::encode::{Component, Encoded, Op};
+use parx::{CancelToken, Cancelled};
+use std::collections::HashMap;
+
+/// One step of a counterexample trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Step {
+    /// A `get`/`put` completed against FIFO slack (no partner needed).
+    Fifo {
+        /// The process whose operation completed (dense index).
+        process: usize,
+        /// The operation.
+        op: Op,
+    },
+    /// A rendezvous transfer: the producer's `put` and the consumer's
+    /// `get` completed together.
+    Rendezvous {
+        /// The channel (dense index).
+        channel: usize,
+    },
+}
+
+/// What the search concluded for one component.
+#[derive(Debug, Clone)]
+pub enum BmcOutcome {
+    /// The reachable set was enumerated and holds no deadlock.
+    Proven {
+        /// Reachable states enumerated.
+        states: usize,
+    },
+    /// A reachable deadlock exists; `trace` is a shortest path to it.
+    Deadlock {
+        /// I/O completions from reset to the blocked state.
+        trace: Vec<Step>,
+        /// For every process of the component: the operation it is
+        /// irrecoverably parked on, as `(process, op)`.
+        blocked: Vec<(usize, Op)>,
+        /// States explored before the deadlock surfaced.
+        states: usize,
+    },
+    /// The state budget ran out before the frontier emptied.
+    Exhausted {
+        /// States explored when the budget hit.
+        states: usize,
+    },
+}
+
+/// How often the search polls its cancellation token.
+const CANCEL_POLL_STRIDE: usize = 1024;
+
+/// Exhaustively searches one component for a reachable deadlock, up to
+/// `max_states` distinct states.
+///
+/// # Errors
+///
+/// [`Cancelled`] when `cancel` fires; the search polls it every
+/// [`CANCEL_POLL_STRIDE`] states.
+pub fn check_component(
+    enc: &Encoded,
+    component: &Component,
+    max_states: usize,
+    cancel: Option<&CancelToken>,
+) -> Result<BmcOutcome, Cancelled> {
+    let _span = trace::span("bmc");
+    trace::attr("processes", component.procs.len());
+    let model = ComponentModel::new(enc, component);
+    let init = model.initial_state();
+
+    let mut index: HashMap<Vec<u32>, u32> = HashMap::new();
+    let mut states: Vec<Vec<u32>> = Vec::new();
+    // Parent state index and the step taken from it (u32::MAX = root).
+    let mut parents: Vec<(u32, Step)> = Vec::new();
+    index.insert(init.clone(), 0);
+    states.push(init);
+    parents.push((
+        u32::MAX,
+        Step::Fifo {
+            process: 0,
+            op: Op::Get(0),
+        },
+    ));
+
+    let mut cursor = 0usize;
+    let mut enabled = Vec::new();
+    while cursor < states.len() {
+        if cursor.is_multiple_of(CANCEL_POLL_STRIDE) {
+            if let Some(token) = cancel {
+                token.check()?;
+            }
+        }
+        let state = states[cursor].clone();
+        model.enabled_steps(&state, &mut enabled);
+        if enabled.is_empty() {
+            let trace_steps = rebuild_trace(&parents, cursor);
+            let blocked = model.blocked_ops(&state);
+            trace::attr("states", cursor + 1);
+            trace::attr("outcome", "deadlock");
+            return Ok(BmcOutcome::Deadlock {
+                trace: trace_steps,
+                blocked,
+                states: states.len(),
+            });
+        }
+        for &step in &enabled {
+            let next = model.apply(&state, step);
+            if !index.contains_key(&next) {
+                if states.len() >= max_states {
+                    trace::attr("states", states.len());
+                    trace::attr("outcome", "exhausted");
+                    return Ok(BmcOutcome::Exhausted {
+                        states: states.len(),
+                    });
+                }
+                index.insert(next.clone(), states.len() as u32);
+                states.push(next);
+                parents.push((cursor as u32, step));
+            }
+        }
+        cursor += 1;
+    }
+    trace::attr("states", states.len());
+    trace::attr("outcome", "proven");
+    Ok(BmcOutcome::Proven {
+        states: states.len(),
+    })
+}
+
+fn rebuild_trace(parents: &[(u32, Step)], mut at: usize) -> Vec<Step> {
+    let mut steps = Vec::new();
+    while parents[at].0 != u32::MAX {
+        steps.push(parents[at].1);
+        at = parents[at].0 as usize;
+    }
+    steps.reverse();
+    steps
+}
+
+/// The dense per-component view: local process/channel numbering and the
+/// transition relation.
+struct ComponentModel<'a> {
+    enc: &'a Encoded,
+    /// Component member processes (global indices).
+    procs: &'a [usize],
+    /// Local slot of each global process index.
+    proc_slot: HashMap<usize, usize>,
+    /// FIFO channels of the component (global indices); their occupancy
+    /// is the state beyond the process positions.
+    fifos: Vec<usize>,
+    /// Local occupancy slot of each global FIFO channel index.
+    fifo_slot: HashMap<usize, usize>,
+}
+
+impl<'a> ComponentModel<'a> {
+    fn new(enc: &'a Encoded, component: &'a Component) -> ComponentModel<'a> {
+        let proc_slot = component
+            .procs
+            .iter()
+            .enumerate()
+            .map(|(slot, &p)| (p, slot))
+            .collect();
+        let fifos: Vec<usize> = component
+            .chans
+            .iter()
+            .copied()
+            .filter(|&c| !enc.chans[c].is_rendezvous())
+            .collect();
+        let fifo_slot = fifos
+            .iter()
+            .enumerate()
+            .map(|(slot, &c)| (c, slot))
+            .collect();
+        ComponentModel {
+            enc,
+            procs: &component.procs,
+            proc_slot,
+            fifos,
+            fifo_slot,
+        }
+    }
+
+    /// Layout: `[pc per process ..., occupancy per FIFO ...]`. Every
+    /// process starts at its first I/O operation; every FIFO starts full
+    /// (pre-loaded with its initial items).
+    fn initial_state(&self) -> Vec<u32> {
+        let mut state = vec![0u32; self.procs.len()];
+        state.extend(
+            self.fifos
+                .iter()
+                .map(|&c| u32::try_from(self.enc.chans[c].capacity).expect("capacity fits u32")),
+        );
+        state
+    }
+
+    fn pc(&self, state: &[u32], slot: usize) -> usize {
+        state[slot] as usize
+    }
+
+    fn occupancy(&self, state: &[u32], chan: usize) -> u32 {
+        state[self.procs.len() + self.fifo_slot[&chan]]
+    }
+
+    /// The operation process-slot `slot` is parked on.
+    fn op_at(&self, state: &[u32], slot: usize) -> Op {
+        let p = self.procs[slot];
+        self.enc.procs[p].ops[self.pc(state, slot)]
+    }
+
+    /// Collects every enabled step, in deterministic (process-slot,
+    /// then step-kind) order. Rendezvous steps are generated once, from
+    /// the producer's side.
+    fn enabled_steps(&self, state: &[u32], out: &mut Vec<Step>) {
+        out.clear();
+        for (slot, &p) in self.procs.iter().enumerate() {
+            let op = self.op_at(state, slot);
+            match op {
+                Op::Get(c) => {
+                    if !self.enc.chans[c].is_rendezvous() && self.occupancy(state, c) > 0 {
+                        out.push(Step::Fifo { process: p, op });
+                    }
+                    // Rendezvous gets fire from the producer's put.
+                }
+                Op::Put(c) => {
+                    let chan = &self.enc.chans[c];
+                    if chan.is_rendezvous() {
+                        let consumer_slot = self.proc_slot[&chan.to];
+                        if self.op_at(state, consumer_slot) == Op::Get(c) {
+                            out.push(Step::Rendezvous { channel: c });
+                        }
+                    } else if u64::from(self.occupancy(state, c)) < chan.capacity {
+                        out.push(Step::Fifo { process: p, op });
+                    }
+                }
+            }
+        }
+    }
+
+    fn advance(&self, state: &mut [u32], p: usize) {
+        let slot = self.proc_slot[&p];
+        let len = self.enc.procs[p].ops.len() as u32;
+        state[slot] = (state[slot] + 1) % len;
+    }
+
+    fn apply(&self, state: &[u32], step: Step) -> Vec<u32> {
+        let mut next = state.to_vec();
+        match step {
+            Step::Fifo { process, op } => {
+                let occ = self.procs.len() + self.fifo_slot[&op.channel()];
+                match op {
+                    Op::Get(_) => next[occ] -= 1,
+                    Op::Put(_) => next[occ] += 1,
+                }
+                self.advance(&mut next, process);
+            }
+            Step::Rendezvous { channel } => {
+                let chan = &self.enc.chans[channel];
+                self.advance(&mut next, chan.from);
+                self.advance(&mut next, chan.to);
+            }
+        }
+        next
+    }
+
+    /// What every process of a blocked state is parked on.
+    fn blocked_ops(&self, state: &[u32]) -> Vec<(usize, Op)> {
+        self.procs
+            .iter()
+            .enumerate()
+            .map(|(slot, &p)| (p, self.op_at(state, slot)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use sysgraph::{MotivatingExample, SystemGraph};
+
+    fn check_all(sys: &SystemGraph, max_states: usize) -> Vec<BmcOutcome> {
+        let enc = encode(sys);
+        enc.components
+            .iter()
+            .map(|c| check_component(&enc, c, max_states, None).expect("no token"))
+            .collect()
+    }
+
+    #[test]
+    fn pipeline_is_proven_live() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 2);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        let outcomes = check_all(&sys, 1 << 16);
+        assert!(matches!(outcomes[0], BmcOutcome::Proven { .. }));
+    }
+
+    #[test]
+    fn motivating_deadlock_order_is_refuted_with_a_trace() {
+        let ex = MotivatingExample::new();
+        let outcomes = check_all(&ex.system, 1 << 20);
+        let BmcOutcome::Deadlock { trace, blocked, .. } = &outcomes[0] else {
+            panic!("the Section 2 ordering must deadlock, got {outcomes:?}");
+        };
+        assert!(!trace.is_empty() || !blocked.is_empty());
+        assert_eq!(
+            blocked.len(),
+            ex.system.process_count(),
+            "every process is parked in a blocked state"
+        );
+    }
+
+    #[test]
+    fn motivating_optimal_order_is_proven() {
+        let mut ex = MotivatingExample::new();
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        let outcomes = check_all(&ex.system, 1 << 20);
+        assert!(matches!(outcomes[0], BmcOutcome::Proven { .. }));
+    }
+
+    #[test]
+    fn starved_feedback_loop_deadlocks_immediately() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 2);
+        let b = sys.add_process("b", 3);
+        sys.add_channel("fwd", a, b, 1).expect("valid");
+        sys.add_channel("fb", b, a, 1).expect("valid");
+        let outcomes = check_all(&sys, 1 << 16);
+        let BmcOutcome::Deadlock { trace, .. } = &outcomes[0] else {
+            panic!("token-free loop must deadlock");
+        };
+        assert!(trace.is_empty(), "blocked from reset, before any transfer");
+    }
+
+    #[test]
+    fn initialized_feedback_loop_is_proven() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 2);
+        let b = sys.add_process("b", 3);
+        sys.add_channel("fwd", a, b, 1).expect("valid");
+        sys.add_channel_with_tokens("fb", b, a, 1, 1)
+            .expect("valid");
+        let outcomes = check_all(&sys, 1 << 16);
+        assert!(matches!(outcomes[0], BmcOutcome::Proven { .. }));
+    }
+
+    #[test]
+    fn tiny_budget_exhausts_instead_of_lying() {
+        let ex = MotivatingExample::new();
+        let enc = encode(&ex.system);
+        let out = check_component(&enc, &enc.components[0], 2, None).expect("no token");
+        assert!(matches!(
+            out,
+            BmcOutcome::Exhausted { .. } | BmcOutcome::Deadlock { .. }
+        ));
+    }
+
+    #[test]
+    fn cancellation_stops_the_search() {
+        let token = CancelToken::new();
+        token.cancel(parx::CancelReason::Shutdown);
+        let ex = MotivatingExample::new();
+        let enc = encode(&ex.system);
+        assert!(check_component(&enc, &enc.components[0], 1 << 20, Some(&token)).is_err());
+    }
+}

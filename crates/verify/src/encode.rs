@@ -1,0 +1,297 @@
+//! Lowering the per-process FSMs into a finite transition system.
+//!
+//! The encoder starts from the same Fig. 2(b) FSMs a commercial HLS tool
+//! would generate ([`pnsim::process_fsm`]) and keeps exactly the state
+//! that determines blocking: for every process the cyclic sequence of its
+//! I/O operations (the computation chain never blocks, so it collapses
+//! into the edge between the last `get` and the first `put`), and for
+//! every initialized channel a bounded queue-occupancy counter. The
+//! result is deliberately *not* derived from [`sysgraph::lower_to_tmg`] —
+//! the point of the verifier is to be an independent oracle, so it builds
+//! its own model straight from the FSM view and the engine semantics of
+//! [`pnsim`]:
+//!
+//! - an uninitialized channel is a pure rendezvous: the producer's `put`
+//!   and the consumer's `get` complete together;
+//! - a channel pre-loaded with `k` items is a `k`-deep FIFO that starts
+//!   full: a `get` needs occupancy > 0 and decrements it, a `put` needs a
+//!   free slot (occupancy < `k`) and increments it.
+//!
+//! Weakly connected components are split apart: blocking cannot propagate
+//! across components, so each is verified on its own (much smaller) state
+//! space, and a deadlock verdict names the component that blocks.
+
+use pnsim::{process_fsm, FsmState};
+use sysgraph::SystemGraph;
+
+/// One I/O operation of a process, in its FSM order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Op {
+    /// Blocking `get` on the channel (by dense channel index).
+    Get(usize),
+    /// Blocking `put` on the channel (by dense channel index).
+    Put(usize),
+}
+
+impl Op {
+    /// The channel the operation touches.
+    #[must_use]
+    pub fn channel(self) -> usize {
+        match self {
+            Op::Get(c) | Op::Put(c) => c,
+        }
+    }
+}
+
+/// A process, reduced to what can block: its cyclic I/O sequence.
+#[derive(Debug, Clone)]
+pub struct ProcNode {
+    /// Display name (from the system graph).
+    pub name: String,
+    /// Micro-architecture latency of the computation chain (used only by
+    /// the timed period extraction; irrelevant for reachability).
+    pub latency: u64,
+    /// I/O operations in FSM order: every `get`, then every `put`.
+    pub ops: Vec<Op>,
+}
+
+/// A channel, reduced to its blocking discipline.
+#[derive(Debug, Clone)]
+pub struct ChanNode {
+    /// Display name (from the system graph).
+    pub name: String,
+    /// Producer process (dense index).
+    pub from: usize,
+    /// Consumer process (dense index).
+    pub to: usize,
+    /// Transfer latency in cycles (timed period extraction only).
+    pub latency: u64,
+    /// FIFO depth = the channel's initial token count; `0` = rendezvous.
+    pub capacity: u64,
+}
+
+impl ChanNode {
+    /// True when the channel is a pure rendezvous (no slack).
+    #[must_use]
+    pub fn is_rendezvous(&self) -> bool {
+        self.capacity == 0
+    }
+}
+
+/// One weakly connected component of the process/channel graph.
+#[derive(Debug, Clone)]
+pub struct Component {
+    /// Member processes (dense indices, ascending).
+    pub procs: Vec<usize>,
+    /// Member channels (dense indices, ascending).
+    pub chans: Vec<usize>,
+}
+
+/// The transition system: processes, channels, and their components.
+#[derive(Debug, Clone)]
+pub struct Encoded {
+    /// Per-process blocking view, indexed like
+    /// [`sysgraph::ProcessId::index`].
+    pub procs: Vec<ProcNode>,
+    /// Per-channel blocking view, indexed like
+    /// [`sysgraph::ChannelId::index`].
+    pub chans: Vec<ChanNode>,
+    /// Weakly connected components with at least one channel. Processes
+    /// with no channels at all are trivially live and appear in no
+    /// component.
+    pub components: Vec<Component>,
+}
+
+impl Encoded {
+    /// Total FIFO slots across all channels.
+    #[must_use]
+    pub fn fifo_slots(&self) -> u64 {
+        self.chans.iter().map(|c| c.capacity).sum()
+    }
+
+    /// Number of pure rendezvous channels.
+    #[must_use]
+    pub fn rendezvous_count(&self) -> usize {
+        self.chans.iter().filter(|c| c.is_rendezvous()).count()
+    }
+
+    /// Human-readable description of one operation, e.g. ``a2: put `x```.
+    #[must_use]
+    pub fn describe(&self, process: usize, op: Op) -> String {
+        let verb = match op {
+            Op::Get(_) => "get",
+            Op::Put(_) => "put",
+        };
+        format!(
+            "{}: {} `{}`",
+            self.procs[process].name,
+            verb,
+            self.chans[op.channel()].name
+        )
+    }
+}
+
+/// Encodes `system` into the blocking transition system, via the
+/// per-process FSMs of [`pnsim::process_fsm`].
+///
+/// # Examples
+///
+/// ```
+/// use sysgraph::MotivatingExample;
+///
+/// let ex = MotivatingExample::new();
+/// let enc = verify::encode(&ex.system);
+/// assert_eq!(enc.procs.len(), ex.system.process_count());
+/// // The motivating example is one connected component.
+/// assert_eq!(enc.components.len(), 1);
+/// ```
+#[must_use]
+pub fn encode(system: &SystemGraph) -> Encoded {
+    let _span = trace::span("encode");
+    let procs: Vec<ProcNode> = system
+        .process_ids()
+        .map(|p| {
+            let fsm = process_fsm(system, p);
+            let ops = fsm
+                .states()
+                .iter()
+                .filter_map(|s| match s {
+                    FsmState::Input(c) => Some(Op::Get(c.index())),
+                    FsmState::Output(c) => Some(Op::Put(c.index())),
+                    FsmState::Reset | FsmState::Compute { .. } => None,
+                })
+                .collect();
+            ProcNode {
+                name: system.process(p).name().to_string(),
+                latency: system.process(p).latency(),
+                ops,
+            }
+        })
+        .collect();
+    let chans: Vec<ChanNode> = system
+        .channel_ids()
+        .map(|c| {
+            let ch = system.channel(c);
+            ChanNode {
+                name: ch.name().to_string(),
+                from: ch.from().index(),
+                to: ch.to().index(),
+                latency: ch.latency(),
+                capacity: ch.initial_tokens(),
+            }
+        })
+        .collect();
+    let components = split_components(procs.len(), &chans);
+    trace::attr("processes", procs.len());
+    trace::attr("channels", chans.len());
+    trace::attr("components", components.len());
+    Encoded {
+        procs,
+        chans,
+        components,
+    }
+}
+
+/// Union-find over processes, joined by channels.
+fn split_components(process_count: usize, chans: &[ChanNode]) -> Vec<Component> {
+    let mut parent: Vec<usize> = (0..process_count).collect();
+    fn find(parent: &mut [usize], mut x: usize) -> usize {
+        while parent[x] != x {
+            parent[x] = parent[parent[x]];
+            x = parent[x];
+        }
+        x
+    }
+    for c in chans {
+        let (a, b) = (find(&mut parent, c.from), find(&mut parent, c.to));
+        if a != b {
+            parent[a] = b;
+        }
+    }
+    // Group, keeping only components that contain a channel; order
+    // components by their smallest process index so output is stable.
+    let mut root_of = vec![usize::MAX; process_count];
+    for (p, root) in root_of.iter_mut().enumerate() {
+        *root = find(&mut parent, p);
+    }
+    let mut components: Vec<Component> = Vec::new();
+    let mut slot_of_root: Vec<Option<usize>> = vec![None; process_count];
+    for (i, c) in chans.iter().enumerate() {
+        let root = root_of[c.from];
+        let slot = match slot_of_root[root] {
+            Some(slot) => slot,
+            None => {
+                slot_of_root[root] = Some(components.len());
+                components.push(Component {
+                    procs: Vec::new(),
+                    chans: Vec::new(),
+                });
+                components.len() - 1
+            }
+        };
+        components[slot].chans.push(i);
+    }
+    for p in 0..process_count {
+        if let Some(slot) = slot_of_root[root_of[p]] {
+            components[slot].procs.push(p);
+        }
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_islands() -> SystemGraph {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 2);
+        let c = sys.add_process("c", 3);
+        let d = sys.add_process("d", 4);
+        let _lonely = sys.add_process("lonely", 5);
+        sys.add_channel("ab", a, b, 1).expect("valid");
+        sys.add_channel("cd", c, d, 1).expect("valid");
+        sys
+    }
+
+    #[test]
+    fn ops_follow_fsm_order() {
+        let ex = sysgraph::MotivatingExample::new();
+        let enc = encode(&ex.system);
+        for (i, p) in enc.procs.iter().enumerate() {
+            let pid = sysgraph::ProcessId::from_index(i);
+            let gets = ex.system.get_order(pid).len();
+            let puts = ex.system.put_order(pid).len();
+            assert_eq!(p.ops.len(), gets + puts);
+            // Gets strictly precede puts (three-phase execution).
+            assert!(p.ops[..gets].iter().all(|o| matches!(o, Op::Get(_))));
+            assert!(p.ops[gets..].iter().all(|o| matches!(o, Op::Put(_))));
+        }
+    }
+
+    #[test]
+    fn components_split_islands_and_skip_isolated() {
+        let enc = encode(&two_islands());
+        assert_eq!(enc.components.len(), 2);
+        assert_eq!(enc.components[0].procs, vec![0, 1]);
+        assert_eq!(enc.components[1].procs, vec![2, 3]);
+        let in_any: usize = enc.components.iter().map(|c| c.procs.len()).sum();
+        assert_eq!(in_any, 4, "the isolated process joins no component");
+    }
+
+    #[test]
+    fn capacity_mirrors_initial_tokens() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 1);
+        sys.add_channel("rdv", a, b, 1).expect("valid");
+        sys.add_channel_with_tokens("fifo", b, a, 2, 3)
+            .expect("valid");
+        let enc = encode(&sys);
+        assert!(enc.chans[0].is_rendezvous());
+        assert_eq!(enc.chans[1].capacity, 3);
+        assert_eq!(enc.fifo_slots(), 3);
+        assert_eq!(enc.rendezvous_count(), 1);
+    }
+}

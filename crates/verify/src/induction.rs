@@ -1,0 +1,287 @@
+//! The k-induction argument: cycle token sums are invariant.
+//!
+//! The blocking transition system of [`crate::encode`] is a *marked
+//! graph*: every dependency edge has exactly one producer and one
+//! consumer operation. The verifier builds its own dependency graph — it
+//! shares no code with [`sysgraph::lower_to_tmg`] — with one node per I/O
+//! completion:
+//!
+//! - the two sides of a **rendezvous** channel complete together, so its
+//!   `put` and `get` collapse into a single node;
+//! - a **FIFO** channel keeps distinct `put`/`get` nodes, coupled by a
+//!   *data* edge (`put → get`, initially carrying the channel's `k`
+//!   pre-loaded items) and a *credit* edge (`get → put`, initially empty:
+//!   the FIFO starts full, the producer owns no free slot);
+//! - each process contributes its cyclic I/O chain, with one token on the
+//!   wrap-around edge (the process sits before its first operation after
+//!   reset).
+//!
+//! **Invariant (the inductive step, k = 1):** firing any node moves one
+//! token from each of its input edges to each of its output edges, so
+//! the token sum around *any* cycle never changes. **Base case:** a node
+//! can be permanently blocked only if it lies on a cycle whose edges are
+//! all empty — chasing the empty edge each starved node waits on must
+//! close a cycle, and by the invariant a token-free cycle stays token-free
+//! forever, while a cycle carrying a token always has some fireable node
+//! on it. Hence:
+//!
+//! - **no token-free cycle at reset ⇒ deadlock-free forever** (the
+//!   certificate this module produces), and
+//! - **a token-free cycle at reset ⇒ its nodes can never fire**, a
+//!   definite refutation independent of timing and scheduling.
+//!
+//! For this model class the argument is complete, which is why
+//! [`crate::verify_system`] can upgrade a BMC budget exhaustion to
+//! `Certified` when this check passes — and must report `Unknown` when
+//! the caller disables it (see `DESIGN.md`).
+
+use crate::encode::{Encoded, Op};
+
+/// One node of the dependency graph, for witness rendering.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NodeKind {
+    /// A rendezvous transfer (both sides at once) on the channel.
+    Rendezvous(usize),
+    /// A FIFO `put` by the producer of the channel.
+    FifoPut(usize),
+    /// A FIFO `get` by the consumer of the channel.
+    FifoGet(usize),
+}
+
+/// A token-free cycle: the inductive invariant's counterexample witness.
+#[derive(Debug, Clone)]
+pub struct TokenFreeCycle {
+    /// The starved I/O completions, in cycle order.
+    pub nodes: Vec<NodeKind>,
+}
+
+impl TokenFreeCycle {
+    /// Renders the witness as one line per starved operation.
+    #[must_use]
+    pub fn describe(&self, enc: &Encoded) -> Vec<String> {
+        self.nodes
+            .iter()
+            .map(|node| match *node {
+                NodeKind::Rendezvous(c) => {
+                    let ch = &enc.chans[c];
+                    format!(
+                        "rendezvous `{}` ({} -> {})",
+                        ch.name, enc.procs[ch.from].name, enc.procs[ch.to].name
+                    )
+                }
+                NodeKind::FifoPut(c) => {
+                    let ch = &enc.chans[c];
+                    format!("{}: put `{}` (fifo full)", enc.procs[ch.from].name, ch.name)
+                }
+                NodeKind::FifoGet(c) => {
+                    let ch = &enc.chans[c];
+                    format!("{}: get `{}` (fifo empty)", enc.procs[ch.to].name, ch.name)
+                }
+            })
+            .collect()
+    }
+}
+
+/// Searches the dependency graph for a token-free cycle.
+///
+/// Returns `None` when every cycle carries at least one token — the
+/// inductive certificate of deadlock freedom — and a witness cycle
+/// otherwise.
+#[must_use]
+pub fn find_token_free_cycle(enc: &Encoded) -> Option<TokenFreeCycle> {
+    let _span = trace::span("induction");
+    let graph = DependencyGraph::build(enc);
+    trace::attr("nodes", graph.kinds.len());
+    trace::attr(
+        "zero_edges",
+        graph.zero_out.iter().map(Vec::len).sum::<usize>(),
+    );
+    let cycle = graph.zero_cycle();
+    trace::attr(
+        "outcome",
+        if cycle.is_some() {
+            "cycle"
+        } else {
+            "certified"
+        },
+    );
+    cycle.map(|nodes| TokenFreeCycle {
+        nodes: nodes.into_iter().map(|n| graph.kinds[n]).collect(),
+    })
+}
+
+/// The dependency graph restricted to what the cycle search needs: node
+/// kinds and the adjacency of *empty* (zero-token) edges. Edges that
+/// carry tokens cannot be part of a token-free cycle, so they are never
+/// materialized.
+struct DependencyGraph {
+    kinds: Vec<NodeKind>,
+    zero_out: Vec<Vec<usize>>,
+}
+
+impl DependencyGraph {
+    fn build(enc: &Encoded) -> DependencyGraph {
+        let mut kinds: Vec<NodeKind> = Vec::new();
+        // Per channel: the node completing its put / its get.
+        let mut put_node = vec![usize::MAX; enc.chans.len()];
+        let mut get_node = vec![usize::MAX; enc.chans.len()];
+        for (c, chan) in enc.chans.iter().enumerate() {
+            if chan.is_rendezvous() {
+                let n = kinds.len();
+                kinds.push(NodeKind::Rendezvous(c));
+                put_node[c] = n;
+                get_node[c] = n;
+            } else {
+                put_node[c] = kinds.len();
+                kinds.push(NodeKind::FifoPut(c));
+                get_node[c] = kinds.len();
+                kinds.push(NodeKind::FifoGet(c));
+            }
+        }
+        let mut zero_out: Vec<Vec<usize>> = vec![Vec::new(); kinds.len()];
+        // FIFO coupling: the data edge carries the pre-loaded items (> 0
+        // by definition of a FIFO channel here), so only the credit edge
+        // (initially empty) can starve.
+        for (c, chan) in enc.chans.iter().enumerate() {
+            if !chan.is_rendezvous() {
+                zero_out[get_node[c]].push(put_node[c]);
+            }
+        }
+        // Process chains: the wrap-around edge carries the control token,
+        // every other consecutive pair is empty.
+        for proc in &enc.procs {
+            let node_of = |op: Op| match op {
+                Op::Get(c) => get_node[c],
+                Op::Put(c) => put_node[c],
+            };
+            for window in proc.ops.windows(2) {
+                zero_out[node_of(window[0])].push(node_of(window[1]));
+            }
+        }
+        DependencyGraph { kinds, zero_out }
+    }
+
+    /// Any cycle in the zero-token subgraph, by iterative DFS with an
+    /// explicit on-stack mark.
+    fn zero_cycle(&self) -> Option<Vec<usize>> {
+        #[derive(Clone, Copy, PartialEq)]
+        enum Mark {
+            White,
+            Grey,
+            Black,
+        }
+        let n = self.kinds.len();
+        let mut mark = vec![Mark::White; n];
+        // DFS path as (node, next-edge-index) frames.
+        for root in 0..n {
+            if mark[root] != Mark::White {
+                continue;
+            }
+            let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+            mark[root] = Mark::Grey;
+            while let Some(&(node, edge)) = stack.last() {
+                if edge >= self.zero_out[node].len() {
+                    mark[node] = Mark::Black;
+                    stack.pop();
+                    continue;
+                }
+                stack.last_mut().expect("nonempty").1 += 1;
+                let next = self.zero_out[node][edge];
+                match mark[next] {
+                    Mark::White => {
+                        mark[next] = Mark::Grey;
+                        stack.push((next, 0));
+                    }
+                    Mark::Grey => {
+                        // Found: unwind the stack down to `next`.
+                        let start = stack
+                            .iter()
+                            .position(|&(n, _)| n == next)
+                            .expect("grey node is on the stack");
+                        return Some(stack[start..].iter().map(|&(n, _)| n).collect());
+                    }
+                    Mark::Black => {}
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use sysgraph::{MotivatingExample, SystemGraph};
+
+    #[test]
+    fn pipeline_has_no_token_free_cycle() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 2);
+        let c = sys.add_process("c", 3);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        sys.add_channel("y", b, c, 1).expect("valid");
+        assert!(find_token_free_cycle(&encode(&sys)).is_none());
+    }
+
+    #[test]
+    fn motivating_deadlock_order_has_a_witness_cycle() {
+        let ex = MotivatingExample::new();
+        let enc = encode(&ex.system);
+        let cycle = find_token_free_cycle(&enc).expect("Section 2 ordering deadlocks");
+        assert!(cycle.nodes.len() >= 2);
+        let lines = cycle.describe(&enc);
+        assert_eq!(lines.len(), cycle.nodes.len());
+    }
+
+    #[test]
+    fn optimal_order_clears_the_witness() {
+        let mut ex = MotivatingExample::new();
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        assert!(find_token_free_cycle(&encode(&ex.system)).is_none());
+    }
+
+    #[test]
+    fn feedback_tokens_break_the_cycle() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 2);
+        let b = sys.add_process("b", 3);
+        sys.add_channel("fwd", a, b, 1).expect("valid");
+        sys.add_channel("fb", b, a, 1).expect("valid");
+        assert!(find_token_free_cycle(&encode(&sys)).is_some());
+
+        let mut sys2 = SystemGraph::new();
+        let a = sys2.add_process("a", 2);
+        let b = sys2.add_process("b", 3);
+        sys2.add_channel("fwd", a, b, 1).expect("valid");
+        sys2.add_channel_with_tokens("fb", b, a, 1, 1)
+            .expect("valid");
+        assert!(find_token_free_cycle(&encode(&sys2)).is_none());
+    }
+
+    #[test]
+    fn agreement_with_bmc_on_small_systems() {
+        // The two oracles inside the verifier must agree with each other.
+        use crate::bmc::{check_component, BmcOutcome};
+        for (orderings, expect_deadlock) in [(false, true), (true, false)] {
+            let mut ex = MotivatingExample::new();
+            if orderings {
+                ex.optimal_ordering()
+                    .apply_to(&mut ex.system)
+                    .expect("valid");
+            }
+            let enc = encode(&ex.system);
+            let cycle = find_token_free_cycle(&enc);
+            let bmc = check_component(&enc, &enc.components[0], 1 << 20, None).expect("no token");
+            assert_eq!(cycle.is_some(), expect_deadlock);
+            match bmc {
+                BmcOutcome::Deadlock { .. } => assert!(expect_deadlock),
+                BmcOutcome::Proven { .. } => assert!(!expect_deadlock),
+                BmcOutcome::Exhausted { .. } => panic!("budget generous enough"),
+            }
+        }
+    }
+}

@@ -1,0 +1,456 @@
+//! Formal deadlock-freedom and throughput certification — the third
+//! differential oracle.
+//!
+//! The suite already answers "how fast is this design?" twice: the exact
+//! TMG analysis ([`tmg::analyze`] over [`sysgraph::lower_to_tmg`]) and
+//! the discrete-event simulation ([`pnsim::run`]). Both, however, share
+//! an asymmetry: the TMG verdict is a *model* of the blocking semantics,
+//! and the simulation observes only *one* schedule. This crate closes the
+//! triangle with an independent certifier built straight from the
+//! per-process FSM view:
+//!
+//! 1. [`encode`] lowers the FSMs into a finite transition system over
+//!    process I/O positions and FIFO occupancies ([`Encoded`]);
+//! 2. [`static_report`] runs cheap structural checks (rate matching,
+//!    starved cycles, crossed orderings) before any search;
+//! 3. [`check_component`] exhaustively model-checks each weakly
+//!    connected component for reachable deadlocks (BFS with shortest
+//!    counterexample traces);
+//! 4. [`find_token_free_cycle`] supplies the k-induction argument that
+//!    upgrades a budget-exhausted search to a proof — or refutes with a
+//!    structural witness;
+//! 5. [`extract_period`] re-runs the timed semantics exactly and reads
+//!    off the steady-state period as an exact [`Ratio`] at the first
+//!    repeated configuration.
+//!
+//! [`verify_system`] composes the five into one [`VerifyReport`]. For a
+//! live system the reported period is **bit-identical** (at the `f64`
+//! level) to Howard's max cycle ratio on the lowered TMG — the property
+//! the `ermes verify` CLI and the `/verify` service endpoint cross-check
+//! on every request.
+//!
+//! ```
+//! use sysgraph::MotivatingExample;
+//! use verify::{verify, VerifyVerdict};
+//!
+//! // The paper's Section 2 ordering deadlocks; the verifier refutes it
+//! // with a concrete counterexample.
+//! let ex = MotivatingExample::new();
+//! let report = verify(&ex.system);
+//! assert!(matches!(report.verdict, VerifyVerdict::Refuted { .. }));
+//!
+//! // The optimal ordering is certified with the exact period.
+//! let mut ex = MotivatingExample::new();
+//! ex.optimal_ordering().apply_to(&mut ex.system).unwrap();
+//! let report = verify(&ex.system);
+//! assert_eq!(report.period(), Some(tmg::Ratio::new(12, 1)));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod bmc;
+mod encode;
+mod induction;
+mod period;
+mod static_analysis;
+
+pub use bmc::{check_component, BmcOutcome, Step};
+pub use encode::{encode, ChanNode, Component, Encoded, Op, ProcNode};
+pub use induction::{find_token_free_cycle, NodeKind, TokenFreeCycle};
+pub use period::{extract_period, PeriodOutcome};
+pub use static_analysis::{analyze as static_report, StaticReport};
+
+use parx::{CancelToken, Cancelled};
+use sysgraph::SystemGraph;
+use tmg::Ratio;
+
+/// Budgets and switches for [`verify_system`].
+#[derive(Debug, Clone, Copy)]
+pub struct VerifyConfig {
+    /// Maximum distinct states enumerated per component before the BFS
+    /// gives up and the induction argument takes over.
+    pub max_states: usize,
+    /// Maximum timed events processed during period extraction.
+    pub max_events: u64,
+    /// Allow the k-induction argument to certify (or refute) when the
+    /// BFS budget runs out. With this off, budget exhaustion yields
+    /// [`VerifyVerdict::Unknown`] — never a certificate.
+    pub use_induction: bool,
+}
+
+impl Default for VerifyConfig {
+    fn default() -> Self {
+        VerifyConfig {
+            max_states: 250_000,
+            max_events: 2_000_000,
+            use_induction: true,
+        }
+    }
+}
+
+/// Which argument produced a [`VerifyVerdict::Certified`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Method {
+    /// Every component's reachable state space was enumerated in full.
+    Bmc,
+    /// The BFS budget ran out on some component; the cycle-token-sum
+    /// invariant closed the proof.
+    Induction,
+}
+
+impl Method {
+    /// Stable lower-case name (wire format and rendering).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Method::Bmc => "bmc",
+            Method::Induction => "induction",
+        }
+    }
+}
+
+/// The certifier's conclusion.
+#[derive(Debug, Clone)]
+pub enum VerifyVerdict {
+    /// No reachable deadlock exists, under any schedule.
+    Certified {
+        /// Which argument closed the proof.
+        method: Method,
+        /// Total states enumerated across components.
+        states: usize,
+        /// Exact steady-state period, when the timed recurrence closed
+        /// within budget (`None` for e.g. the empty system).
+        period: Option<Ratio>,
+        /// Timed events processed by the period extraction.
+        events: u64,
+    },
+    /// A deadlock exists (reachable, or structural via a token-free
+    /// cycle — the two coincide for this model class).
+    Refuted {
+        /// Processes of the deadlocking component.
+        processes: Vec<String>,
+        /// The token-free dependency cycle, one line per starved
+        /// operation.
+        cycle: Vec<String>,
+        /// Shortest concrete I/O trace from reset into the deadlock
+        /// (empty when the system is blocked from reset, or when only
+        /// the structural argument fired within budget).
+        trace: Vec<String>,
+        /// What each process of the component is parked on (empty when
+        /// only the structural argument fired within budget).
+        blocked: Vec<String>,
+    },
+    /// All budgets ran out with induction disabled: no claim either way.
+    Unknown {
+        /// Why no verdict was reached.
+        reason: String,
+        /// States enumerated before giving up.
+        states: usize,
+    },
+}
+
+/// Everything [`verify_system`] learned.
+#[derive(Debug, Clone)]
+pub struct VerifyReport {
+    /// Process count of the verified system.
+    pub processes: usize,
+    /// Channel count of the verified system.
+    pub channels: usize,
+    /// Weakly connected components searched.
+    pub components: usize,
+    /// The pre-search structural findings.
+    pub statics: StaticReport,
+    /// The conclusion.
+    pub verdict: VerifyVerdict,
+}
+
+impl VerifyReport {
+    /// True when the system was certified deadlock-free.
+    #[must_use]
+    pub fn is_certified(&self) -> bool {
+        matches!(self.verdict, VerifyVerdict::Certified { .. })
+    }
+
+    /// The certified steady-state period, if any.
+    #[must_use]
+    pub fn period(&self) -> Option<Ratio> {
+        match self.verdict {
+            VerifyVerdict::Certified { period, .. } => period,
+            _ => None,
+        }
+    }
+}
+
+/// [`verify_system`] with the default configuration and no cancellation.
+#[must_use]
+pub fn verify(system: &SystemGraph) -> VerifyReport {
+    verify_system(system, &VerifyConfig::default(), None)
+        .expect("no cancel token, cannot be cancelled")
+}
+
+/// Certifies `system` deadlock-free (with its exact steady-state period)
+/// or refutes it with a concrete witness.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when `cancel` fires; both the state-space search
+/// and the timed recurrence run poll it.
+pub fn verify_system(
+    system: &SystemGraph,
+    config: &VerifyConfig,
+    cancel: Option<&CancelToken>,
+) -> Result<VerifyReport, Cancelled> {
+    let _span = trace::span("verify");
+    let enc = encode(system);
+    let statics = static_report(&enc);
+
+    // (component index, interleaving trace, parked ops at the dead state).
+    type DeadlockWitness = (usize, Vec<Step>, Vec<(usize, Op)>);
+    let mut total_states = 0usize;
+    let mut exhausted = false;
+    let mut deadlock: Option<DeadlockWitness> = None;
+    for (i, component) in enc.components.iter().enumerate() {
+        match check_component(&enc, component, config.max_states, cancel)? {
+            BmcOutcome::Proven { states } => total_states += states,
+            BmcOutcome::Exhausted { states } => {
+                total_states += states;
+                exhausted = true;
+            }
+            BmcOutcome::Deadlock {
+                trace: steps,
+                blocked,
+                states,
+            } => {
+                total_states += states;
+                deadlock = Some((i, steps, blocked));
+                break;
+            }
+        }
+    }
+
+    let verdict = if let Some((component, steps, blocked)) = deadlock {
+        let cycle = find_token_free_cycle(&enc)
+            .map(|c| c.describe(&enc))
+            .unwrap_or_default();
+        VerifyVerdict::Refuted {
+            processes: component_names(&enc, component),
+            cycle,
+            trace: steps.iter().map(|s| describe_step(&enc, *s)).collect(),
+            blocked: blocked.iter().map(|&(p, op)| enc.describe(p, op)).collect(),
+        }
+    } else if exhausted {
+        if config.use_induction {
+            match find_token_free_cycle(&enc) {
+                None => VerifyVerdict::Certified {
+                    method: Method::Induction,
+                    states: total_states,
+                    period: None,
+                    events: 0,
+                },
+                Some(cycle) => {
+                    let component = component_of_cycle(&enc, &cycle);
+                    VerifyVerdict::Refuted {
+                        processes: component_names(&enc, component),
+                        cycle: cycle.describe(&enc),
+                        trace: Vec::new(),
+                        blocked: Vec::new(),
+                    }
+                }
+            }
+        } else {
+            VerifyVerdict::Unknown {
+                reason: format!(
+                    "state budget ({} per component) exhausted and induction is disabled",
+                    config.max_states
+                ),
+                states: total_states,
+            }
+        }
+    } else {
+        VerifyVerdict::Certified {
+            method: Method::Bmc,
+            states: total_states,
+            period: None,
+            events: 0,
+        }
+    };
+
+    // A certificate earns the exact period; a refutation has none.
+    let verdict = if let VerifyVerdict::Certified { method, states, .. } = verdict {
+        match extract_period(&enc, config.max_events, cancel)? {
+            PeriodOutcome::Period { period, events, .. } => VerifyVerdict::Certified {
+                method,
+                states,
+                period: Some(period),
+                events,
+            },
+            PeriodOutcome::Exhausted { events } | PeriodOutcome::Stalled { events } => {
+                VerifyVerdict::Certified {
+                    method,
+                    states,
+                    period: None,
+                    events,
+                }
+            }
+        }
+    } else {
+        verdict
+    };
+
+    trace::attr(
+        "outcome",
+        match &verdict {
+            VerifyVerdict::Certified { .. } => "certified",
+            VerifyVerdict::Refuted { .. } => "refuted",
+            VerifyVerdict::Unknown { .. } => "unknown",
+        },
+    );
+    Ok(VerifyReport {
+        processes: enc.procs.len(),
+        channels: enc.chans.len(),
+        components: enc.components.len(),
+        statics,
+        verdict,
+    })
+}
+
+/// Names of a component's member processes.
+fn component_names(enc: &Encoded, component: usize) -> Vec<String> {
+    enc.components[component]
+        .procs
+        .iter()
+        .map(|&p| enc.procs[p].name.clone())
+        .collect()
+}
+
+/// The component containing the witness cycle's first channel.
+fn component_of_cycle(enc: &Encoded, cycle: &TokenFreeCycle) -> usize {
+    let chan = match cycle.nodes[0] {
+        NodeKind::Rendezvous(c) | NodeKind::FifoPut(c) | NodeKind::FifoGet(c) => c,
+    };
+    enc.components
+        .iter()
+        .position(|comp| comp.chans.contains(&chan))
+        .expect("every channel belongs to a component")
+}
+
+/// One counterexample step as a human-readable line.
+fn describe_step(enc: &Encoded, step: Step) -> String {
+    match step {
+        Step::Fifo { process, op } => enc.describe(process, op),
+        Step::Rendezvous { channel } => {
+            let ch = &enc.chans[channel];
+            format!(
+                "rendezvous `{}` ({} -> {})",
+                ch.name, enc.procs[ch.from].name, enc.procs[ch.to].name
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sysgraph::MotivatingExample;
+
+    #[test]
+    fn motivating_example_round_trip() {
+        let ex = MotivatingExample::new();
+        let report = verify(&ex.system);
+        assert!(!report.is_certified());
+        let VerifyVerdict::Refuted {
+            processes,
+            cycle,
+            blocked,
+            ..
+        } = &report.verdict
+        else {
+            panic!("Section 2 ordering must be refuted");
+        };
+        assert_eq!(processes.len(), ex.system.process_count());
+        assert!(
+            !cycle.is_empty(),
+            "structural witness accompanies the trace"
+        );
+        assert_eq!(blocked.len(), ex.system.process_count());
+    }
+
+    #[test]
+    fn certified_period_matches_the_model() {
+        for (ordering, expect) in [(0, 12), (1, 20)] {
+            let mut ex = MotivatingExample::new();
+            let ord = if ordering == 0 {
+                ex.optimal_ordering()
+            } else {
+                ex.suboptimal_ordering()
+            };
+            ord.apply_to(&mut ex.system).expect("valid");
+            let report = verify(&ex.system);
+            assert_eq!(report.period(), Some(Ratio::new(expect, 1)));
+            let VerifyVerdict::Certified { method, states, .. } = report.verdict else {
+                panic!("live ordering must certify");
+            };
+            assert_eq!(method, Method::Bmc);
+            assert!(states > 0);
+        }
+    }
+
+    #[test]
+    fn tiny_state_budget_falls_back_on_induction() {
+        let mut ex = MotivatingExample::new();
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        let config = VerifyConfig {
+            max_states: 2,
+            ..VerifyConfig::default()
+        };
+        let report = verify_system(&ex.system, &config, None).expect("no cancel");
+        let VerifyVerdict::Certified { method, period, .. } = report.verdict else {
+            panic!("induction must close the proof");
+        };
+        assert_eq!(method, Method::Induction);
+        assert_eq!(period, Some(Ratio::new(12, 1)));
+    }
+
+    #[test]
+    fn induction_disabled_yields_unknown_not_certified() {
+        let mut ex = MotivatingExample::new();
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        let config = VerifyConfig {
+            max_states: 2,
+            use_induction: false,
+            ..VerifyConfig::default()
+        };
+        let report = verify_system(&ex.system, &config, None).expect("no cancel");
+        assert!(matches!(report.verdict, VerifyVerdict::Unknown { .. }));
+    }
+
+    #[test]
+    fn tiny_budget_still_refutes_broken_systems() {
+        // Even with a BFS budget too small to reach the deadlock, the
+        // structural argument refutes — with the cycle as the witness.
+        let ex = MotivatingExample::new();
+        let config = VerifyConfig {
+            max_states: 1,
+            ..VerifyConfig::default()
+        };
+        let report = verify_system(&ex.system, &config, None).expect("no cancel");
+        let VerifyVerdict::Refuted { cycle, .. } = report.verdict else {
+            panic!("broken ordering must still be refuted");
+        };
+        assert!(!cycle.is_empty());
+    }
+
+    #[test]
+    fn cancellation_propagates() {
+        let token = parx::CancelToken::new();
+        token.cancel(parx::CancelReason::Shutdown);
+        let ex = MotivatingExample::new();
+        let result = verify_system(&ex.system, &VerifyConfig::default(), Some(&token));
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,460 @@
+//! Exact steady-state period extraction by recurrence detection.
+//!
+//! Re-executes the *timed* semantics of [`pnsim`]'s engine — with unit
+//! data, since throughput does not depend on values — as an independent
+//! exact-integer discrete-event run, and watches for a repeated global
+//! configuration. Timed event graphs are ultimately K-periodic, so a live
+//! system is guaranteed to revisit a configuration; when it does, the
+//! whole execution repeats shifted by `Δt` cycles and `Δiter[p]`
+//! iterations per process, giving each process the *exact* rational
+//! period `Δt / Δiter[p]` with no transient-estimation error. The system
+//! period is the slowest process's, i.e. `Δt / min_p Δiter[p]`.
+//!
+//! Because the result is an exact [`tmg::Ratio`] describing the same
+//! rational number Howard's algorithm computes on the lowered TMG, the
+//! two reduce to the identical fraction and hence the identical `f64`
+//! bit pattern — the property `ermes verify` cross-checks.
+//!
+//! Configurations are compared *normalized*: every stored timestamp is
+//! replaced by its offset from the current instant, with past timestamps
+//! clamped to "now" (every use inside the engine is `max(now', t)` with
+//! `now' ≥ now`, so anything already in the past behaves identically).
+//! Without the clamp no configuration would ever repeat — absolute times
+//! only grow.
+
+use crate::encode::{Encoded, Op};
+use parx::{CancelToken, Cancelled};
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+use tmg::Ratio;
+
+/// Result of the timed recurrence run.
+#[derive(Debug, Clone)]
+pub enum PeriodOutcome {
+    /// A configuration repeated: the exact steady-state period.
+    Period {
+        /// `Δt / min_p Δiter[p]`, the system cycle time.
+        period: Ratio,
+        /// The recurrence window `Δt` in cycles.
+        window: u64,
+        /// Events processed before the recurrence closed.
+        events: u64,
+    },
+    /// The event budget ran out before any configuration repeated
+    /// (pathological latencies, or a zero-latency runaway loop).
+    Exhausted {
+        /// Events processed.
+        events: u64,
+    },
+    /// The run stalled with no pending events — a deadlock. Callers
+    /// certify liveness before extracting the period, so this is only
+    /// reachable when invoked directly on a broken system.
+    Stalled {
+        /// Events processed before the stall.
+        events: u64,
+    },
+}
+
+/// Program counter within the three-phase iteration (cf. the engine's
+/// private `Pc`; `Done` is impossible here — unit sources never exhaust).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Pc {
+    Get(usize),
+    Compute,
+    Put(usize),
+}
+
+/// Channel state, mirroring the engine's `ChannelState<T>` with the data
+/// dropped: only the timestamps drive throughput.
+struct Chan {
+    pending_put: Option<u64>,
+    pending_get: Option<u64>,
+    /// Availability times of queued items (pre-loaded items at time 0).
+    items: VecDeque<u64>,
+    /// Times at which FIFO slots become free; starts empty (FIFO full).
+    free_slots: VecDeque<u64>,
+    capacity: u64,
+    latency: u64,
+}
+
+/// Runs the timed semantics until a configuration repeats.
+///
+/// # Errors
+///
+/// Returns [`Cancelled`] when `cancel` fires (polled every few thousand
+/// events).
+pub fn extract_period(
+    enc: &Encoded,
+    max_events: u64,
+    cancel: Option<&CancelToken>,
+) -> Result<PeriodOutcome, Cancelled> {
+    let _span = trace::span("period");
+    let outcome = run_recurrence(enc, max_events, cancel)?;
+    match &outcome {
+        PeriodOutcome::Period {
+            period,
+            window,
+            events,
+        } => {
+            trace::attr("outcome", "period");
+            trace::attr("period", period.to_f64());
+            trace::attr("window", *window);
+            trace::attr("events", *events);
+        }
+        PeriodOutcome::Exhausted { events } => {
+            trace::attr("outcome", "exhausted");
+            trace::attr("events", *events);
+        }
+        PeriodOutcome::Stalled { events } => {
+            trace::attr("outcome", "stalled");
+            trace::attr("events", *events);
+        }
+    }
+    Ok(outcome)
+}
+
+#[allow(clippy::too_many_lines)]
+fn run_recurrence(
+    enc: &Encoded,
+    max_events: u64,
+    cancel: Option<&CancelToken>,
+) -> Result<PeriodOutcome, Cancelled> {
+    let n = enc.procs.len();
+    // Split each process's op list into its get prefix and put suffix.
+    let gets: Vec<Vec<usize>> = enc
+        .procs
+        .iter()
+        .map(|p| {
+            p.ops
+                .iter()
+                .filter_map(|op| match *op {
+                    Op::Get(c) => Some(c),
+                    Op::Put(_) => None,
+                })
+                .collect()
+        })
+        .collect();
+    let puts: Vec<Vec<usize>> = enc
+        .procs
+        .iter()
+        .map(|p| {
+            p.ops
+                .iter()
+                .filter_map(|op| match *op {
+                    Op::Put(c) => Some(c),
+                    Op::Get(_) => None,
+                })
+                .collect()
+        })
+        .collect();
+    let mut pc: Vec<Pc> = (0..n)
+        .map(|p| {
+            if gets[p].is_empty() {
+                Pc::Compute
+            } else {
+                Pc::Get(0)
+            }
+        })
+        .collect();
+    let mut chans: Vec<Chan> = enc
+        .chans
+        .iter()
+        .map(|c| Chan {
+            pending_put: None,
+            pending_get: None,
+            items: (0..c.capacity).map(|_| 0u64).collect(),
+            free_slots: VecDeque::new(),
+            capacity: c.capacity,
+            latency: c.latency,
+        })
+        .collect();
+    let mut iterations = vec![0u64; n];
+    let mut events: BinaryHeap<Reverse<(u64, usize)>> = (0..n).map(|p| Reverse((0, p))).collect();
+    let mut now = 0u64;
+    let mut processed = 0u64;
+    // Normalized configuration -> (time, iterations) at first sight.
+    let mut seen: HashMap<Vec<u64>, (u64, Vec<u64>)> = HashMap::new();
+
+    loop {
+        let Some(&Reverse((t, _))) = events.peek() else {
+            return Ok(PeriodOutcome::Stalled { events: processed });
+        };
+        if t > now {
+            // Time advances: a stable inter-event boundary — snapshot.
+            now = t;
+            let key = snapshot(&pc, &chans, &events, now);
+            if let Some((t0, iter0)) = seen.get(&key) {
+                let dt = now - t0;
+                let min_iter = (0..n).map(|p| iterations[p] - iter0[p]).min().unwrap_or(0);
+                if dt == 0 || min_iter == 0 {
+                    // A repeat with no progress can only mean a stalled
+                    // subsystem; the budget path reports it.
+                    return Ok(PeriodOutcome::Exhausted { events: processed });
+                }
+                let (Ok(num), Ok(den)) = (i64::try_from(dt), i64::try_from(min_iter)) else {
+                    return Ok(PeriodOutcome::Exhausted { events: processed });
+                };
+                return Ok(PeriodOutcome::Period {
+                    period: Ratio::new(num, den),
+                    window: dt,
+                    events: processed,
+                });
+            }
+            seen.insert(key, (now, iterations.clone()));
+        }
+        let Reverse((t, p)) = events.pop().expect("peeked above");
+        processed += 1;
+        if processed > max_events {
+            return Ok(PeriodOutcome::Exhausted { events: processed });
+        }
+        // Polled every event: recurrence windows can close within a
+        // handful of events, well under any useful stride.
+        if let Some(token) = cancel {
+            token.check()?;
+        }
+        // Advance process `p` as far as it can go at time `t`, exactly
+        // like the engine's inner loop.
+        let time = t;
+        loop {
+            match pc[p] {
+                Pc::Get(i) => {
+                    if i == gets[p].len() {
+                        pc[p] = Pc::Compute;
+                        continue;
+                    }
+                    let c = gets[p][i];
+                    let lat = chans[c].latency;
+                    let ch = &mut chans[c];
+                    if let Some(ta) = ch.items.pop_front() {
+                        let done = time.max(ta) + lat;
+                        pc[p] = Pc::Get(i + 1);
+                        events.push(Reverse((done, p)));
+                        if let Some(tp) = ch.pending_put.take() {
+                            let avail = done.max(tp);
+                            ch.items.push_back(avail);
+                            let q = enc.chans[c].from;
+                            let Pc::Put(j) = pc[q] else {
+                                unreachable!("producer must be parked on a put")
+                            };
+                            pc[q] = Pc::Put(j + 1);
+                            events.push(Reverse((avail, q)));
+                        } else {
+                            ch.free_slots.push_back(done);
+                        }
+                        break;
+                    } else if let Some(tp) = ch.pending_put.take() {
+                        let done = time.max(tp) + lat;
+                        pc[p] = Pc::Get(i + 1);
+                        events.push(Reverse((done, p)));
+                        let q = enc.chans[c].from;
+                        let Pc::Put(j) = pc[q] else {
+                            unreachable!("producer must be parked on a put")
+                        };
+                        pc[q] = Pc::Put(j + 1);
+                        events.push(Reverse((done, q)));
+                        break;
+                    }
+                    ch.pending_get = Some(time);
+                    break; // parked
+                }
+                Pc::Compute => {
+                    pc[p] = Pc::Put(0);
+                    events.push(Reverse((time + enc.procs[p].latency, p)));
+                    break;
+                }
+                Pc::Put(i) => {
+                    if i == puts[p].len() {
+                        iterations[p] += 1;
+                        pc[p] = if gets[p].is_empty() {
+                            Pc::Compute
+                        } else {
+                            Pc::Get(0)
+                        };
+                        continue;
+                    }
+                    let c = puts[p][i];
+                    let lat = chans[c].latency;
+                    let ch = &mut chans[c];
+                    if ch.capacity > 0 {
+                        if let Some(ts) = ch.free_slots.pop_front() {
+                            let avail = time.max(ts);
+                            pc[p] = Pc::Put(i + 1);
+                            events.push(Reverse((avail, p)));
+                            if let Some(tg) = ch.pending_get.take() {
+                                let done = avail.max(tg) + lat;
+                                let q = enc.chans[c].to;
+                                let Pc::Get(j) = pc[q] else {
+                                    unreachable!("consumer must be parked on a get")
+                                };
+                                pc[q] = Pc::Get(j + 1);
+                                events.push(Reverse((done, q)));
+                                ch.free_slots.push_back(done);
+                            } else {
+                                ch.items.push_back(avail);
+                            }
+                            break;
+                        }
+                        ch.pending_put = Some(time);
+                        break; // parked: the FIFO is full
+                    }
+                    if let Some(tg) = ch.pending_get.take() {
+                        let done = time.max(tg) + lat;
+                        pc[p] = Pc::Put(i + 1);
+                        events.push(Reverse((done, p)));
+                        let q = enc.chans[c].to;
+                        let Pc::Get(j) = pc[q] else {
+                            unreachable!("consumer must be parked on a get")
+                        };
+                        pc[q] = Pc::Get(j + 1);
+                        events.push(Reverse((done, q)));
+                        break;
+                    }
+                    ch.pending_put = Some(time);
+                    break; // parked
+                }
+            }
+        }
+    }
+}
+
+/// Serializes the configuration with all timestamps as offsets from
+/// `now` (clamped below at zero; see the module docs for why that is
+/// sound). Lengths are interleaved so the flat `Vec<u64>` is
+/// unambiguous.
+fn snapshot(
+    pc: &[Pc],
+    chans: &[Chan],
+    events: &BinaryHeap<Reverse<(u64, usize)>>,
+    now: u64,
+) -> Vec<u64> {
+    let off = |t: u64| t.saturating_sub(now);
+    let mut key = Vec::new();
+    for p in pc {
+        let (phase, idx) = match *p {
+            Pc::Get(i) => (0u64, i as u64),
+            Pc::Compute => (1, 0),
+            Pc::Put(i) => (2, i as u64),
+        };
+        key.push(phase);
+        key.push(idx);
+    }
+    for ch in chans {
+        match ch.pending_put {
+            Some(t) => {
+                key.push(1);
+                key.push(off(t));
+            }
+            None => key.push(0),
+        }
+        match ch.pending_get {
+            Some(t) => {
+                key.push(1);
+                key.push(off(t));
+            }
+            None => key.push(0),
+        }
+        key.push(ch.items.len() as u64);
+        key.extend(ch.items.iter().map(|&t| off(t)));
+        key.push(ch.free_slots.len() as u64);
+        key.extend(ch.free_slots.iter().map(|&t| off(t)));
+    }
+    let mut pending: Vec<(u64, u64)> = events
+        .iter()
+        .map(|&Reverse((t, p))| (t - now, p as u64))
+        .collect();
+    pending.sort_unstable();
+    key.push(pending.len() as u64);
+    for (dt, p) in pending {
+        key.push(dt);
+        key.push(p);
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use sysgraph::{lower_to_tmg, MotivatingExample, SystemGraph};
+
+    fn period_of(sys: &SystemGraph) -> Ratio {
+        match extract_period(&encode(sys), 1 << 22, None).expect("no cancel") {
+            PeriodOutcome::Period { period, .. } => period,
+            other => panic!("expected a period, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn pipeline_period_matches_bottleneck_loop() {
+        let mut sys = SystemGraph::new();
+        let src = sys.add_process("src", 1);
+        let mid = sys.add_process("mid", 4);
+        let snk = sys.add_process("snk", 1);
+        sys.add_channel("a", src, mid, 1).expect("valid");
+        sys.add_channel("b", mid, snk, 1).expect("valid");
+        // mid's loop: get(1) + compute(4) + put(1) = 6 cycles per item.
+        assert_eq!(period_of(&sys), Ratio::new(6, 1));
+    }
+
+    #[test]
+    fn motivating_orderings_reproduce_the_paper_numbers() {
+        let mut ex = MotivatingExample::new();
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        assert_eq!(period_of(&ex.system), Ratio::new(12, 1));
+
+        let mut ex = MotivatingExample::new();
+        ex.suboptimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        assert_eq!(period_of(&ex.system), Ratio::new(20, 1));
+    }
+
+    #[test]
+    fn period_bits_match_howard_on_the_motivating_example() {
+        let mut ex = MotivatingExample::new();
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        let howard = tmg::analyze(lower_to_tmg(&ex.system).tmg())
+            .cycle_time()
+            .expect("live");
+        let ours = period_of(&ex.system);
+        assert_eq!(ours, howard);
+        assert_eq!(ours.to_f64().to_bits(), howard.to_f64().to_bits());
+    }
+
+    #[test]
+    fn deadlocked_order_stalls() {
+        let ex = MotivatingExample::new();
+        match extract_period(&encode(&ex.system), 1 << 22, None).expect("no cancel") {
+            PeriodOutcome::Stalled { .. } => {}
+            other => panic!("expected a stall, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn tiny_budget_exhausts() {
+        let mut ex = MotivatingExample::new();
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        match extract_period(&encode(&ex.system), 3, None).expect("no cancel") {
+            PeriodOutcome::Exhausted { .. } => {}
+            other => panic!("expected exhaustion, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn cancellation_stops_the_run() {
+        let mut ex = MotivatingExample::new();
+        ex.optimal_ordering()
+            .apply_to(&mut ex.system)
+            .expect("valid");
+        let token = CancelToken::new();
+        token.cancel(parx::CancelReason::Shutdown);
+        let result = extract_period(&encode(&ex.system), u64::MAX, Some(&token));
+        assert!(result.is_err(), "fired token must cancel the run");
+    }
+}

@@ -1,0 +1,251 @@
+//! The static channel-analysis pass, run before any state-space search.
+//!
+//! In the spirit of Rosendahl & Kirkeby's static communication analysis:
+//! cheap structural checks over the FSM view that catch a useful class of
+//! protocol bugs without enumerating a single state. Three checks:
+//!
+//! 1. **Rate matching** — every channel must appear exactly once among
+//!    its producer's `put` states and exactly once among its consumer's
+//!    `get` states. The three-phase model makes this true by
+//!    construction; the pass *verifies* rather than assumes it, so a
+//!    future front end that breaks the invariant is caught here.
+//! 2. **Starved channel cycles** — because every process completes all
+//!    of its `get`s before its first `put`, *any* process-level cycle
+//!    whose channels all start empty is a guaranteed deadlock, whatever
+//!    the statement orders are: each process on the cycle would have to
+//!    receive before it sends. Initial tokens are the only way to break
+//!    such a cycle.
+//! 3. **Self-blocking orderings** — two processes connected by two or
+//!    more empty channels in the same direction deadlock when the
+//!    producer sends them in one order and the consumer expects them in
+//!    another (the crossed-pair pattern; the general order-induced case
+//!    is left to the search, which this pass only pre-screens).
+//!
+//! Findings are *warnings* feeding the report; the authoritative verdict
+//! still comes from the model checker and the induction argument, which
+//! will confirm every definite finding with a concrete witness.
+
+use crate::encode::{Encoded, Op};
+
+/// Result of the static pass.
+#[derive(Debug, Clone, Default)]
+pub struct StaticReport {
+    /// Every channel has exactly one `put` and one `get` site.
+    pub rates_consistent: bool,
+    /// Definite-deadlock findings (the search will confirm them).
+    pub findings: Vec<String>,
+}
+
+impl StaticReport {
+    /// True when the pass found nothing wrong.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.rates_consistent && self.findings.is_empty()
+    }
+}
+
+/// Runs the three structural checks.
+#[must_use]
+pub fn analyze(enc: &Encoded) -> StaticReport {
+    let _span = trace::span("static");
+    let mut report = StaticReport {
+        rates_consistent: check_rates(enc, &mut Vec::new()),
+        findings: Vec::new(),
+    };
+    if !report.rates_consistent {
+        let mut detail = Vec::new();
+        check_rates(enc, &mut detail);
+        report.findings.extend(detail);
+    }
+    check_starved_cycles(enc, &mut report.findings);
+    check_crossed_pairs(enc, &mut report.findings);
+    trace::attr("findings", report.findings.len());
+    report
+}
+
+/// Check 1: each channel appears exactly once per side.
+fn check_rates(enc: &Encoded, detail: &mut Vec<String>) -> bool {
+    let mut puts = vec![0usize; enc.chans.len()];
+    let mut gets = vec![0usize; enc.chans.len()];
+    for proc in &enc.procs {
+        for op in &proc.ops {
+            match *op {
+                Op::Put(c) => puts[c] += 1,
+                Op::Get(c) => gets[c] += 1,
+            }
+        }
+    }
+    let mut ok = true;
+    for (c, chan) in enc.chans.iter().enumerate() {
+        if puts[c] != 1 || gets[c] != 1 {
+            ok = false;
+            detail.push(format!(
+                "unmatched rates on `{}`: {} put site(s), {} get site(s) (want 1/1)",
+                chan.name, puts[c], gets[c]
+            ));
+        }
+    }
+    ok
+}
+
+/// Check 2: a cycle of processes linked only by empty channels.
+fn check_starved_cycles(enc: &Encoded, findings: &mut Vec<String>) {
+    // DFS over the process graph restricted to zero-token channels.
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mark {
+        White,
+        Grey,
+        Black,
+    }
+    let n = enc.procs.len();
+    let mut out: Vec<Vec<(usize, usize)>> = vec![Vec::new(); n];
+    for (c, chan) in enc.chans.iter().enumerate() {
+        if chan.is_rendezvous() {
+            out[chan.from].push((chan.to, c));
+        }
+    }
+    let mut mark = vec![Mark::White; n];
+    for root in 0..n {
+        if mark[root] != Mark::White {
+            continue;
+        }
+        // Frames: (process, next edge, channel that led here).
+        let mut stack: Vec<(usize, usize, usize)> = vec![(root, 0, usize::MAX)];
+        mark[root] = Mark::Grey;
+        while let Some(&(node, edge, _)) = stack.last() {
+            if edge >= out[node].len() {
+                mark[node] = Mark::Black;
+                stack.pop();
+                continue;
+            }
+            stack.last_mut().expect("nonempty").1 += 1;
+            let (next, via) = out[node][edge];
+            match mark[next] {
+                Mark::White => {
+                    mark[next] = Mark::Grey;
+                    stack.push((next, 0, via));
+                }
+                Mark::Grey => {
+                    let start = stack
+                        .iter()
+                        .position(|&(p, _, _)| p == next)
+                        .expect("grey node is on the stack");
+                    let mut names: Vec<&str> = stack[start + 1..]
+                        .iter()
+                        .map(|&(_, _, c)| enc.chans[c].name.as_str())
+                        .collect();
+                    names.push(enc.chans[via].name.as_str());
+                    findings.push(format!(
+                        "starved channel cycle (no initial tokens): {}",
+                        names.join(" -> ")
+                    ));
+                    return; // One witness is enough for a warning.
+                }
+                Mark::Black => {}
+            }
+        }
+    }
+}
+
+/// Check 3: crossed put/get orders on parallel empty channels.
+fn check_crossed_pairs(enc: &Encoded, findings: &mut Vec<String>) {
+    for (p, proc) in enc.procs.iter().enumerate() {
+        // Rendezvous puts of this process, in order, per consumer.
+        let puts: Vec<usize> = proc
+            .ops
+            .iter()
+            .filter_map(|op| match *op {
+                Op::Put(c) if enc.chans[c].is_rendezvous() => Some(c),
+                _ => None,
+            })
+            .collect();
+        for (i, &c1) in puts.iter().enumerate() {
+            for &c2 in &puts[i + 1..] {
+                if enc.chans[c1].to != enc.chans[c2].to {
+                    continue;
+                }
+                let consumer = &enc.procs[enc.chans[c1].to];
+                let pos = |c: usize| {
+                    consumer
+                        .ops
+                        .iter()
+                        .position(|&op| op == Op::Get(c))
+                        .unwrap_or(usize::MAX)
+                };
+                if pos(c2) < pos(c1) {
+                    findings.push(format!(
+                        "self-blocking order between `{}` and `{}`: `{}` sends `{}` then `{}`, \
+                         `{}` expects them reversed",
+                        enc.procs[p].name,
+                        consumer.name,
+                        enc.procs[p].name,
+                        enc.chans[c1].name,
+                        enc.chans[c2].name,
+                        consumer.name,
+                    ));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode::encode;
+    use sysgraph::SystemGraph;
+
+    #[test]
+    fn clean_pipeline_reports_clean() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 2);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        let report = analyze(&encode(&sys));
+        assert!(report.is_clean());
+        assert!(report.rates_consistent);
+    }
+
+    #[test]
+    fn starved_loop_is_flagged_without_search() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 2);
+        sys.add_channel("fwd", a, b, 1).expect("valid");
+        sys.add_channel("fb", b, a, 1).expect("valid");
+        let report = analyze(&encode(&sys));
+        assert!(!report.is_clean());
+        assert!(report.findings[0].contains("starved channel cycle"));
+    }
+
+    #[test]
+    fn initial_tokens_silence_the_cycle_warning() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 2);
+        sys.add_channel("fwd", a, b, 1).expect("valid");
+        sys.add_channel_with_tokens("fb", b, a, 1, 1)
+            .expect("valid");
+        assert!(analyze(&encode(&sys)).is_clean());
+    }
+
+    #[test]
+    fn crossed_pair_is_flagged() {
+        let mut sys = SystemGraph::new();
+        let p = sys.add_process("p", 1);
+        let q = sys.add_process("q", 1);
+        let c1 = sys.add_channel("c1", p, q, 1).expect("valid");
+        let c2 = sys.add_channel("c2", p, q, 1).expect("valid");
+        sys.set_put_order(p, vec![c1, c2]).expect("permutation");
+        sys.set_get_order(q, vec![c2, c1]).expect("permutation");
+        let report = analyze(&encode(&sys));
+        assert!(report
+            .findings
+            .iter()
+            .any(|f| f.contains("self-blocking order")));
+
+        // Matching orders are clean.
+        sys.set_get_order(q, vec![c1, c2]).expect("permutation");
+        assert!(analyze(&encode(&sys)).is_clean());
+    }
+}
