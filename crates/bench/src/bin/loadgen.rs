@@ -473,6 +473,55 @@ fn print_phase_report(addr: &str) {
     }
 }
 
+/// Asserts the structured `/healthz` contract: the first line is
+/// exactly `ok`, and every per-component line is present and parseable
+/// (`workers: A/B alive`, `worker restarts: N`, `sessions live: N`,
+/// `queue depth: N`). Scripts and cluster coordinators rely on these
+/// shapes, so the load test pins them. Retries a few times — under
+/// `--chaos` a fault-injected short write can truncate any response.
+fn assert_structured_healthz(addr: &str) {
+    let mut last_err = String::new();
+    for _ in 0..10 {
+        match get(addr, "/healthz") {
+            Ok(body) => {
+                assert_eq!(
+                    body.lines().next(),
+                    Some("ok"),
+                    "healthz first line must be exactly `ok`:\n{body}"
+                );
+                let component = |prefix: &str| -> String {
+                    body.lines()
+                        .find_map(|l| l.strip_prefix(prefix))
+                        .unwrap_or_else(|| panic!("healthz misses `{prefix}`:\n{body}"))
+                        .to_string()
+                };
+                let workers = component("workers: ");
+                let (alive, total) = workers
+                    .trim_end_matches(" alive")
+                    .split_once('/')
+                    .expect("workers line is A/B alive");
+                let alive: u64 = alive.parse().expect("alive count is numeric");
+                let total: u64 = total.parse().expect("worker count is numeric");
+                assert!(alive <= total, "alive workers bounded by pool size");
+                let _: u64 = component("worker restarts: ")
+                    .parse()
+                    .expect("restart count is numeric");
+                let _: u64 = component("sessions live: ")
+                    .parse()
+                    .expect("session count is numeric");
+                let _: u64 = component("queue depth: ")
+                    .parse()
+                    .expect("queue depth is numeric");
+                println!("healthz structured: {total} workers ({alive} alive)");
+                return;
+            }
+            Err(e) => last_err = e.to_string(),
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    panic!("healthz unreachable after retries: {last_err}");
+}
+
 fn run_phase(
     name: &str,
     addr: &str,
@@ -596,6 +645,7 @@ fn main() {
     println!("phase     ok  failed  req/s      p50[ms]   p90[ms]   p99[ms]   max[ms]");
     run_phase("cold", &addr, &items, connections, requests, chaos);
     run_phase("warm", &addr, &items, connections, requests, chaos);
+    assert_structured_healthz(&addr);
     print_phase_report(&addr);
 
     if let Some(handle) = server_thread {

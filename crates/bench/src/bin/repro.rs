@@ -472,6 +472,219 @@ fn run_verify() {
     println!(" only for the period — the gap is the price of the certificate)");
 }
 
+/// Minimal HTTP client for the cluster experiment: one-shot POST (or
+/// GET for `body == None`) on its own connection.
+fn cluster_http(addr: std::net::SocketAddr, method: &str, path: &str, body: &str) -> (u16, String) {
+    use std::io::{BufRead as _, Read as _, Write as _};
+    let mut stream = std::net::TcpStream::connect(addr).expect("daemon reachable");
+    let _ = stream.set_nodelay(true);
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("request written");
+    stream.flush().expect("flushed");
+    let mut reader = std::io::BufReader::new(stream);
+    let mut status_line = String::new();
+    reader.read_line(&mut status_line).expect("status line");
+    let status: u16 = status_line
+        .split(' ')
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or_else(|| panic!("bad status line `{status_line}`"));
+    let mut content_length = 0usize;
+    loop {
+        let mut line = String::new();
+        reader.read_line(&mut line).expect("header line");
+        let line = line.trim_end();
+        if line.is_empty() {
+            break;
+        }
+        if let Some(v) = line.to_ascii_lowercase().strip_prefix("content-length:") {
+            content_length = v.trim().parse().expect("numeric content-length");
+        }
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body).expect("complete body");
+    (status, String::from_utf8(body).expect("utf-8 body"))
+}
+
+struct ClusterRow {
+    workers: usize,
+    wall_s: f64,
+    sweeps_per_s: f64,
+    speedup: f64,
+    bits_identical: bool,
+    degraded: u64,
+}
+
+fn cluster_json(targets: &[u64], rounds: usize, rows: &[ClusterRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"E17\",\n");
+    out.push_str("  \"system\": \"socgen-240\",\n");
+    out.push_str(&format!("  \"targets\": {targets:?},\n"));
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"workers\": {},\n", row.workers));
+        out.push_str(&format!("      \"wall_s\": {:.4},\n", row.wall_s));
+        out.push_str(&format!(
+            "      \"sweeps_per_s\": {:.4},\n",
+            row.sweeps_per_s
+        ));
+        out.push_str(&format!("      \"speedup\": {:.3},\n", row.speedup));
+        out.push_str(&format!("      \"degraded_jobs\": {},\n", row.degraded));
+        out.push_str(&format!(
+            "      \"bits_identical\": {}\n",
+            row.bits_identical
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// E17: clustered sweep throughput at 1/2/3/4 workers. Every sweep is
+/// cold (distinct socgen seeds per round, same seeds across worker
+/// counts) so the fan-out parallelism — not cache warmth — is what the
+/// ladder measures, and every clustered response is checked bit for bit
+/// against a single-node daemon.
+fn run_cluster() {
+    banner("E17 — clustered sweep throughput vs worker count (socgen ladder)");
+    let targets: Vec<u64> = vec![
+        500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+        2_500_000,
+    ];
+    let path = format!(
+        "/sweep?targets={}",
+        targets
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    const ROUNDS: usize = 3;
+    let specs: Vec<String> = (0..ROUNDS)
+        .map(|round| {
+            let soc = socgen::generate(socgen::SocGenConfig::sized(240, 360, 1_000 + round as u64));
+            let design = ermes::Design::new(soc.system, soc.pareto).expect("well-formed");
+            ermesd::SystemSpec::from_design(&design).to_json_pretty()
+        })
+        .collect();
+
+    // Single-node reference bytes, one per round's design.
+    let single = ermesd::Server::start(ermesd::ServerConfig::default()).expect("bind");
+    let single_addr = single.addr();
+    let single_handle = std::thread::spawn(move || single.run());
+    let expected: Vec<String> = specs
+        .iter()
+        .map(|spec| {
+            let (status, body) = cluster_http(single_addr, "POST", &path, spec);
+            assert_eq!(status, 200, "{body}");
+            body
+        })
+        .collect();
+    let (status, _) = cluster_http(single_addr, "POST", "/shutdown", "");
+    assert_eq!(status, 200);
+    single_handle.join().expect("thread").expect("clean drain");
+
+    println!("  workers  wall[s]  sweeps/s  speedup  degraded  identity");
+    let mut rows: Vec<ClusterRow> = Vec::new();
+    let mut base_wall = f64::NAN;
+    for workers in [1usize, 2, 3, 4] {
+        let fleet: Vec<(std::net::SocketAddr, _)> = (0..workers)
+            .map(|_| {
+                let server = ermesd::Server::start(ermesd::ServerConfig {
+                    workers: 1,
+                    ..ermesd::ServerConfig::default()
+                })
+                .expect("bind worker");
+                let addr = server.addr();
+                (addr, std::thread::spawn(move || server.run()))
+            })
+            .collect();
+        let mut cluster =
+            ermesd::ClusterConfig::new(fleet.iter().map(|(addr, _)| addr.to_string()).collect());
+        cluster.probe_interval_ms = 200;
+        let coordinator = ermesd::Server::start(ermesd::ServerConfig {
+            cluster: Some(cluster),
+            ..ermesd::ServerConfig::default()
+        })
+        .expect("bind coordinator");
+        let coord_addr = coordinator.addr();
+        let coord_handle = std::thread::spawn(move || coordinator.run());
+
+        let started = std::time::Instant::now();
+        let mut identical = true;
+        for (spec, want) in specs.iter().zip(&expected) {
+            let (status, body) = cluster_http(coord_addr, "POST", &path, spec);
+            assert_eq!(status, 200, "{body}");
+            identical &= body == *want;
+        }
+        let wall = started.elapsed().as_secs_f64();
+        let (_, metrics) = cluster_http(coord_addr, "GET", "/metrics", "");
+        let degraded = metrics
+            .lines()
+            .find(|l| l.starts_with("ermes_cluster_degraded_total"))
+            .and_then(|l| l.rsplit(' ').next())
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(0);
+
+        let (status, _) = cluster_http(coord_addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        coord_handle.join().expect("thread").expect("clean drain");
+        for (addr, handle) in fleet {
+            let (status, _) = cluster_http(addr, "POST", "/shutdown", "");
+            assert_eq!(status, 200);
+            handle.join().expect("thread").expect("clean drain");
+        }
+
+        if workers == 1 {
+            base_wall = wall;
+        }
+        let row = ClusterRow {
+            workers,
+            wall_s: wall,
+            sweeps_per_s: ROUNDS as f64 / wall,
+            speedup: base_wall / wall,
+            bits_identical: identical,
+            degraded,
+        };
+        println!(
+            "  {:>7}  {:>7.2}  {:>8.3}  {:>6.2}x  {:>8}  {}",
+            row.workers,
+            row.wall_s,
+            row.sweeps_per_s,
+            row.speedup,
+            row.degraded,
+            if row.bits_identical {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+        rows.push(row);
+    }
+    assert!(
+        rows.iter().all(|r| r.bits_identical),
+        "every clustered sweep must match the single-node daemon bit for bit"
+    );
+    let json = cluster_json(&targets, ROUNDS, &rows);
+    match std::fs::write("BENCH_cluster.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_cluster.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_cluster.json: {e}"),
+    }
+    println!("\n(each round sweeps a fresh design, so caches start cold and the ladder");
+    println!(" measures fan-out parallelism; speedup saturates at min(workers, cores,");
+    println!(" ladder length). Degraded jobs are subjobs the fleet could not serve that");
+    println!(" the coordinator computed locally — nonzero means the run saw faults)");
+}
+
 fn run_pipeline() {
     banner("Functional MPEG-2-style pipeline on the process-network engine");
     let frames: Vec<mpeg2sys::Frame> = (0..6)
@@ -558,6 +771,7 @@ fn main() {
         "phases" => run_phases(jobs),
         "incremental" => run_incremental(),
         "verify" => run_verify(),
+        "cluster" => run_cluster(),
         "pipeline" => run_pipeline(),
         "ablation" => run_ablation(),
         "sweep" => run_sweep(),
@@ -586,11 +800,12 @@ fn main() {
             run_phases(jobs);
             run_incremental();
             run_verify();
+            run_cluster();
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases incremental verify pipeline ablation sweep all"
+                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases incremental verify cluster pipeline ablation sweep all"
             );
             std::process::exit(2);
         }

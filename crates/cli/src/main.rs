@@ -21,6 +21,7 @@ USAGE:
     ermes dot      <spec.json>
     ermes fsm      <spec.json> <process>
     ermes serve    [--addr <host:port>] [--workers <n>] [--queue <n>]
+                   [--coordinator]  (then --workers lists host:port peers)
 
 `--jobs <n>` threads the exploration engine (0 = all hardware threads,
 default 1); results are bit-identical at any value. `serve` runs the
@@ -49,9 +50,32 @@ fn flag(args: &[String], name: &str) -> Option<String> {
 
 fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let defaults = ermesd::ServerConfig::default();
+    // `--coordinator` repurposes `--workers` as the fleet address list,
+    // mirroring the standalone `ermesd` binary.
+    let (workers, cluster) = if args.iter().any(|a| a == "--coordinator") {
+        let list = flag(args, "--workers")
+            .ok_or("--coordinator requires --workers <host:port,host:port,...>")?;
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if addrs.is_empty() || addrs.iter().any(|a| !a.contains(':')) {
+            return Err(
+                "--workers must list host:port worker addresses in coordinator mode".into(),
+            );
+        }
+        (0, Some(ermesd::ClusterConfig::new(addrs)))
+    } else {
+        (
+            parx::parse_jobs("--workers", flag(args, "--workers").as_deref(), 0)?,
+            None,
+        )
+    };
     let config = ermesd::ServerConfig {
         addr: flag(args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
-        workers: parx::parse_jobs("--workers", flag(args, "--workers").as_deref(), 0)?,
+        workers,
+        cluster,
         queue_capacity: flag(args, "--queue").map_or(Ok(defaults.queue_capacity), |s| {
             s.parse().map_err(|_| "--queue takes a positive integer")
         })?,

@@ -1,0 +1,287 @@
+//! SCC partition surface for distribution layers.
+//!
+//! The engine's Howard analysis is already organized per strongly
+//! connected component (inside `tmg`), but that decomposition lives on
+//! the *lowered* timed marked graph and is private to the analysis. A
+//! cluster coordinator needs the same structural information one level
+//! up — on the process/channel graph — to make placement decisions:
+//! which processes always travel together (an SCC is the minimal unit
+//! that cannot be split without cutting a cycle), how heavy each unit
+//! is, and a stable fingerprint to key consistent-hash placement on.
+//!
+//! This module computes that view with an iterative Tarjan over the
+//! [`SystemGraph`]. It is deliberately dependency-free of the lowering:
+//! the partition of the process graph is what a sharding layer can act
+//! on (processes are the unit of Pareto selection and ILP), while the
+//! lowered TMG is an implementation detail of one analysis backend.
+
+use std::fmt::Write as _;
+use sysgraph::SystemGraph;
+
+/// One strongly connected component of the process graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccComponent {
+    /// Names of member processes, in first-discovery order of the
+    /// deterministic DFS (stable for a given graph).
+    pub processes: Vec<String>,
+    /// Sum of member process latencies — a crude but monotone load
+    /// weight for placement.
+    pub total_latency: u64,
+    /// Channels with both endpoints inside the component (the edges a
+    /// partition along SCC boundaries never cuts).
+    pub internal_channels: usize,
+}
+
+/// The SCC decomposition of a system's process graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SccPartition {
+    /// Components in reverse-topological order (Tarjan emission
+    /// order): every channel between components points from a later
+    /// entry to an earlier one.
+    pub components: Vec<SccComponent>,
+    /// Channels whose endpoints lie in different components — the cut
+    /// set a distribution layer pays communication for.
+    pub cross_channels: usize,
+}
+
+impl SccPartition {
+    /// Number of components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// True when the graph has no processes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// FNV-1a fingerprint of the membership structure: component
+    /// boundaries and member names, independent of latencies or
+    /// selections. Two systems with the same communication topology
+    /// hash alike, which is what consistent-hash placement wants —
+    /// re-selecting a process implementation must not move its shard.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut text = String::new();
+        for component in &self.components {
+            for name in &component.processes {
+                let _ = write!(text, "{name},");
+            }
+            text.push(';');
+        }
+        fnv1a(&text)
+    }
+}
+
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Computes the SCC partition of `system`'s process graph.
+///
+/// Iterative Tarjan (explicit stacks, no recursion — SoC graphs reach
+/// 10k processes and a recursive DFS would overflow), visiting
+/// processes and adjacency in index order so the output is
+/// deterministic for a given graph.
+#[must_use]
+pub fn scc_partition(system: &SystemGraph) -> SccPartition {
+    let n = system.process_count();
+    // Forward adjacency in channel-index order.
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for c in system.channel_ids() {
+        let ch = system.channel(c);
+        succs[ch.from().index()].push(ch.to().index());
+    }
+
+    const UNVISITED: usize = usize::MAX;
+    let mut index = vec![UNVISITED; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    // Component id per process, assigned in Tarjan emission order.
+    let mut component_of = vec![UNVISITED; n];
+    let mut component_members: Vec<Vec<usize>> = Vec::new();
+
+    // DFS frames: (node, next-successor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    for root in 0..n {
+        if index[root] != UNVISITED {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            if let Some(&w) = succs[v].get(*pos) {
+                *pos += 1;
+                if index[w] == UNVISITED {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    lowlink[parent] = lowlink[parent].min(lowlink[v]);
+                }
+                if lowlink[v] == index[v] {
+                    let id = component_members.len();
+                    let mut members = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w] = false;
+                        component_of[w] = id;
+                        members.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    // Pop order is reverse of push; restore discovery order.
+                    members.reverse();
+                    component_members.push(members);
+                }
+            }
+        }
+    }
+
+    let mut internal = vec![0usize; component_members.len()];
+    let mut cross_channels = 0usize;
+    for c in system.channel_ids() {
+        let ch = system.channel(c);
+        let (a, b) = (
+            component_of[ch.from().index()],
+            component_of[ch.to().index()],
+        );
+        if a == b {
+            internal[a] += 1;
+        } else {
+            cross_channels += 1;
+        }
+    }
+
+    let components = component_members
+        .into_iter()
+        .zip(internal)
+        .map(|(members, internal_channels)| SccComponent {
+            total_latency: members
+                .iter()
+                .map(|&p| system.process(sysgraph::ProcessId::from_index(p)).latency())
+                .sum(),
+            processes: members
+                .into_iter()
+                .map(|p| {
+                    system
+                        .process(sysgraph::ProcessId::from_index(p))
+                        .name()
+                        .to_string()
+                })
+                .collect(),
+            internal_channels,
+        })
+        .collect();
+    SccPartition {
+        components,
+        cross_channels,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// a <-> b form one SCC; c is a sink of its own.
+    fn two_component_system() -> SystemGraph {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 3);
+        let b = sys.add_process("b", 4);
+        let c = sys.add_process("c", 5);
+        sys.add_channel("ab", a, b, 1).expect("valid");
+        sys.add_channel("ba", b, a, 1).expect("valid");
+        sys.add_channel("bc", b, c, 1).expect("valid");
+        sys
+    }
+
+    #[test]
+    fn cycle_and_sink_partition_into_two_components() {
+        let part = scc_partition(&two_component_system());
+        assert_eq!(part.len(), 2);
+        assert_eq!(part.cross_channels, 1, "only bc crosses");
+        let cycle = part
+            .components
+            .iter()
+            .find(|comp| comp.processes.len() == 2)
+            .expect("the a<->b component");
+        assert_eq!(cycle.processes, vec!["a", "b"]);
+        assert_eq!(cycle.total_latency, 7);
+        assert_eq!(cycle.internal_channels, 2);
+        let sink = part
+            .components
+            .iter()
+            .find(|comp| comp.processes.len() == 1)
+            .expect("the c component");
+        assert_eq!(sink.processes, vec!["c"]);
+        assert_eq!(sink.internal_channels, 0);
+    }
+
+    #[test]
+    fn emission_order_is_reverse_topological() {
+        let part = scc_partition(&two_component_system());
+        // c (downstream) must be emitted before the a<->b component.
+        assert_eq!(part.components[0].processes, vec!["c"]);
+    }
+
+    #[test]
+    fn acyclic_chain_is_all_singletons() {
+        let mut sys = SystemGraph::new();
+        let a = sys.add_process("a", 1);
+        let b = sys.add_process("b", 1);
+        let c = sys.add_process("c", 1);
+        sys.add_channel("x", a, b, 1).expect("valid");
+        sys.add_channel("y", b, c, 1).expect("valid");
+        let part = scc_partition(&sys);
+        assert_eq!(part.len(), 3);
+        assert_eq!(part.cross_channels, 2);
+        assert!(part.components.iter().all(|c| c.processes.len() == 1));
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure_not_latency() {
+        let base = scc_partition(&two_component_system());
+        let mut relat = two_component_system();
+        relat.set_latency(sysgraph::ProcessId::from_index(0), 99);
+        assert_eq!(
+            base.fingerprint(),
+            scc_partition(&relat).fingerprint(),
+            "latency changes must not move shards"
+        );
+        let mut cut = two_component_system();
+        let d = cut.add_process("d", 1);
+        cut.add_channel("cd", sysgraph::ProcessId::from_index(2), d, 1)
+            .expect("valid");
+        assert_ne!(base.fingerprint(), scc_partition(&cut).fingerprint());
+    }
+
+    #[test]
+    fn empty_graph_partitions_empty() {
+        let part = scc_partition(&SystemGraph::new());
+        assert!(part.is_empty());
+        assert_eq!(part.len(), 0);
+        assert_eq!(part.cross_channels, 0);
+    }
+}

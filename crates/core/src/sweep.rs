@@ -173,25 +173,7 @@ fn sweep_inner(
     cancel: Option<&parx::CancelToken>,
 ) -> Result<SweepReport, ErmesError> {
     let outcomes = parx::par_map(options.jobs, targets, |_, &target| {
-        let _span = trace::span("sweep_target");
-        trace::attr("target", target);
-        let opts = ExploreOptions {
-            jobs: 1,
-            cache: options.memoize.then_some(cache),
-            cancel,
-        };
-        let trace = explore_with(
-            design.clone(),
-            ExplorationConfig::with_target(target),
-            &opts,
-        )?;
-        let best = trace.best();
-        Ok::<SweepPoint, ErmesError>(SweepPoint {
-            target_cycle_time: target,
-            cycle_time: best.cycle_time,
-            area: best.area,
-            meets_target: best.meets_target,
-        })
+        sweep_point(design.clone(), target, options, cache, cancel)
     });
     // par_map preserves target order, so the loop below reports the
     // error the serial sweep would have reported first. A cancellation
@@ -213,14 +195,67 @@ fn sweep_inner(
         }
     }
     Ok(SweepReport {
-        front: prune_dominated(points),
+        front: prune_front(points),
         cache: cache.stats(),
+    })
+}
+
+/// The per-target unit of a sweep: one exploration of `design` against
+/// `target`, reduced to its best `(cycle time, area)` outcome.
+///
+/// This is exactly the closure [`pareto_sweep_with`] fans across its
+/// worker threads, exposed so a distribution layer (the ermesd cluster
+/// coordinator) can fan targets out across *nodes* instead and
+/// reassemble the identical front with [`prune_front`]. Per-target
+/// explorations are independent and deterministic — memoization via
+/// `cache` changes only speed, never results — which is what makes
+/// cross-node re-dispatch (retries, hedges, degraded local fallback)
+/// bit-identical to a single-node sweep.
+///
+/// # Errors
+///
+/// The underlying exploration failure ([`ErmesError`]), including
+/// [`ErmesError::Cancelled`] when `cancel` fires mid-exploration.
+pub fn sweep_point(
+    design: Design,
+    target: u64,
+    options: &SweepOptions,
+    cache: &EngineCache,
+    cancel: Option<&parx::CancelToken>,
+) -> Result<SweepPoint, ErmesError> {
+    let _span = trace::span("sweep_target");
+    trace::attr("target", target);
+    let opts = ExploreOptions {
+        jobs: 1,
+        cache: options.memoize.then_some(cache),
+        cancel,
+    };
+    let trace = explore_with(design, ExplorationConfig::with_target(target), &opts)?;
+    let best = trace.best();
+    Ok(SweepPoint {
+        target_cycle_time: target,
+        cycle_time: best.cycle_time,
+        area: best.area,
+        meets_target: best.meets_target,
     })
 }
 
 /// Prunes dominated points: sort by cycle time then area, keep strict
 /// improvements (for each cycle time, the smallest area).
-fn prune_dominated(mut points: Vec<SweepPoint>) -> Vec<SweepPoint> {
+///
+/// This is the reduction step of every sweep, public so that a
+/// coordinator reassembling remotely computed [`sweep_point`]s applies
+/// the *same* pruning the single-node sweep does — domination is a
+/// property of the whole ladder, so it must run after all targets are
+/// gathered, never per shard.
+///
+/// Ties matter: when two targets reach the same `(cycle time, area)`,
+/// the stable sort keeps whichever appears first in `points`, so a
+/// caller gathering points from remote shards must present them **in
+/// ladder order** (as `par_map` reassembly does) to stay bit-identical
+/// with the single-node sweep.
+#[must_use]
+pub fn prune_front(mut points: Vec<SweepPoint>) -> Vec<SweepPoint> {
     points.sort_by(|a, b| {
         a.cycle_time
             .cmp(&b.cycle_time)
@@ -368,6 +403,32 @@ mod tests {
             }
             other => panic!("expected Cancelled, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn external_fan_out_reassembles_the_identical_front() {
+        // A distribution layer computes points one at a time (possibly
+        // on different nodes, in any order) and prunes at the end; the
+        // result must be the front the one-call sweep produces.
+        let targets = [10, 15, 25, 50, 100];
+        let whole = pareto_sweep(design(), &targets).expect("sweeps");
+        let options = SweepOptions::default();
+        // Compute out of ladder order (remote completions arrive in any
+        // order) but *gather* in ladder order, as par_map reassembly
+        // does — equal-(ct, area) ties keep the earlier ladder entry.
+        let mut computed: Vec<SweepPoint> = targets
+            .iter()
+            .rev()
+            .map(|&t| {
+                let cache = EngineCache::new(); // each "node" starts cold
+                sweep_point(design(), t, &options, &cache, None).expect("explores")
+            })
+            .collect();
+        computed.reverse();
+        // Re-dispatch: a retried subjob recomputes one point; the
+        // duplicate must not perturb the pruned front.
+        computed.push(computed[4].clone());
+        assert_eq!(prune_front(computed), whole);
     }
 
     #[test]

@@ -9,6 +9,7 @@ ermesd — long-running ERMES analysis service
 USAGE:
     ermesd [--addr <host:port>] [--workers <n>] [--queue <n>]
            [--cache <n>] [--sessions <n>] [--deadline-ms <n>]
+    ermesd --coordinator --workers <host:port,host:port,...> [--addr ...]
 
     --addr <host:port>   bind address (default 127.0.0.1:7878, :0 = ephemeral)
     --workers <n>        analysis worker threads (0 = all hardware threads)
@@ -16,6 +17,10 @@ USAGE:
     --cache <n>          per-design engine-cache bound (entries per table)
     --sessions <n>       live interactive-session bound (LRU beyond it)
     --deadline-ms <n>    default per-request deadline (0 = none)
+    --coordinator        cluster mode: fan /explore and /sweep out to the
+                         worker daemons listed in --workers (health-probed,
+                         consistent-hash sharded, retried across replicas;
+                         responses stay bit-identical to a single node)
 
 Endpoints: POST /analyze, /order, /explore?target=N, /sweep?targets=a,b,c,
 /session, /session/{id}/edit, /shutdown; DELETE /session/{id};
@@ -23,8 +28,10 @@ GET /healthz, /metrics.
 
 Chaos testing: set ERMES_FAULTPOINTS to a deterministic fault plan, e.g.
     ERMES_FAULTPOINTS='seed=42;worker.job=panic@0.05;http.write=short@0.02'
-Named points: worker.job, json.parse, cache.insert, http.write.
-Actions: panic, delay(MS), short; optional @probability and #max-firings.
+Named points: worker.job, json.parse, cache.insert, http.write,
+cluster.request (the coordinator's worker-client path).
+Actions: panic, delay(MS), short, conn.refuse, conn.reset, resp.truncate,
+resp.delay(MS); optional @probability and #max-firings.
 ";
 
 fn flag(args: &[String], name: &str) -> Option<String> {
@@ -40,9 +47,33 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
         return Ok(());
     }
     let defaults = ServerConfig::default();
+    // In coordinator mode `--workers` names the fleet (host:port list)
+    // instead of sizing the local pool; the pool keeps its hardware
+    // default so degraded-mode fallbacks still have threads to run on.
+    let (workers, cluster) = if args.iter().any(|a| a == "--coordinator") {
+        let list = flag(&args, "--workers")
+            .ok_or("--coordinator requires --workers <host:port,host:port,...>")?;
+        let addrs: Vec<String> = list
+            .split(',')
+            .map(|a| a.trim().to_string())
+            .filter(|a| !a.is_empty())
+            .collect();
+        if addrs.is_empty() || addrs.iter().any(|a| !a.contains(':')) {
+            return Err(
+                "--workers must list host:port worker addresses in coordinator mode".into(),
+            );
+        }
+        (0, Some(ermesd::ClusterConfig::new(addrs)))
+    } else {
+        (
+            parx::parse_jobs("--workers", flag(&args, "--workers").as_deref(), 0)?,
+            None,
+        )
+    };
     let config = ServerConfig {
         addr: flag(&args, "--addr").unwrap_or_else(|| "127.0.0.1:7878".into()),
-        workers: parx::parse_jobs("--workers", flag(&args, "--workers").as_deref(), 0)?,
+        workers,
+        cluster,
         queue_capacity: flag(&args, "--queue").map_or(Ok(defaults.queue_capacity), |s| {
             s.parse().map_err(|_| "--queue takes a positive integer")
         })?,

@@ -686,9 +686,18 @@ fn sweep_inner(
         Some(token) => ermes::pareto_sweep_cancellable(design, targets, &options, cache, token)?,
         None => ermes::pareto_sweep_cached(design, targets, &options, cache)?,
     };
+    Ok(render_sweep_front(&report.front))
+}
+
+/// Renders a pruned sweep front as the `ermes sweep` table. This is the
+/// single serialization point for sweep results: the CLI, the daemon's
+/// `/sweep`, and the cluster coordinator reassembling remotely computed
+/// points all call it, which is what makes their bytes identical.
+#[must_use]
+pub fn render_sweep_front(front: &[ermes::SweepPoint]) -> String {
     let mut out = String::new();
     let _ = writeln!(out, "target        best-ct        area  meets");
-    for p in report.front {
+    for p in front {
         let _ = writeln!(
             out,
             "{:>9} {:>12} {:>11.4}  {}",
@@ -698,7 +707,7 @@ fn sweep_inner(
             if p.meets_target { "yes" } else { "no" }
         );
     }
-    Ok(out)
+    out
 }
 
 /// `ermes stalls <spec> --iterations <n>` — per-process stall statistics

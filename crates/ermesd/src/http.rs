@@ -329,6 +329,146 @@ impl Response {
     }
 }
 
+/// A parsed HTTP response — the client side of the protocol, used by
+/// the cluster coordinator to talk to worker ermesd instances. Same
+/// deliberately small slice as [`read_request`]: status line, headers,
+/// `Content-Length` body.
+#[derive(Debug, Clone)]
+pub struct ClientResponse {
+    /// Status code from the status line.
+    pub status: u16,
+    /// Header `(name, value)` pairs; names lower-cased.
+    pub headers: Vec<(String, String)>,
+    /// The body bytes (empty when no `Content-Length`).
+    pub body: Vec<u8>,
+}
+
+impl ClientResponse {
+    /// First value of header `name` (lower-case), if present.
+    #[must_use]
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+fn invalid(reason: impl Into<String>) -> std::io::Error {
+    std::io::Error::new(std::io::ErrorKind::InvalidData, reason.into())
+}
+
+/// Reads one response from `reader`. `max_body` bounds the body the
+/// client is willing to buffer (a worker's sweep-point lines are tiny;
+/// a relayed explore report is bounded by the server's own cap).
+///
+/// # Errors
+///
+/// `InvalidData` on protocol violations (including a missing or
+/// oversized `Content-Length`), `UnexpectedEof` when the peer closes
+/// mid-response — the signal the coordinator's retry logic treats as a
+/// transient worker failure.
+pub fn read_response<R: BufRead>(
+    reader: &mut R,
+    max_body: usize,
+) -> std::io::Result<ClientResponse> {
+    let mut header_bytes = 0usize;
+    let status_line = match read_line(reader, &mut header_bytes) {
+        Ok(Some(line)) => line,
+        Ok(None) => {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "connection closed before the status line",
+            ))
+        }
+        Err(ReadError::Io(e)) => return Err(e),
+        Err(ReadError::Malformed { reason, .. }) => return Err(invalid(reason)),
+        Err(ReadError::Closed) => unreachable!("read_line reports EOF as None"),
+    };
+    let mut parts = status_line.splitn(3, ' ');
+    let (Some(version), Some(status), _) = (parts.next(), parts.next(), parts.next()) else {
+        return Err(invalid(format!("malformed status line `{status_line}`")));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return Err(invalid(format!("unexpected protocol `{version}`")));
+    }
+    let status: u16 = status
+        .parse()
+        .map_err(|_| invalid(format!("non-numeric status `{status}`")))?;
+    let mut headers = Vec::new();
+    loop {
+        let line = match read_line(reader, &mut header_bytes) {
+            Ok(Some(line)) => line,
+            Ok(None) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-headers",
+                ))
+            }
+            Err(ReadError::Io(e)) => return Err(e),
+            Err(ReadError::Malformed { reason, .. }) => return Err(invalid(reason)),
+            Err(ReadError::Closed) => unreachable!("read_line reports EOF as None"),
+        };
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(invalid(format!("malformed header line `{line}`")));
+        };
+        headers.push((name.trim().to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let content_length = match headers.iter().find(|(k, _)| k == "content-length") {
+        None => 0,
+        Some((_, v)) => v
+            .parse::<usize>()
+            .map_err(|_| invalid(format!("invalid content-length `{v}`")))?,
+    };
+    if content_length > max_body {
+        return Err(invalid(format!(
+            "response body of {content_length} bytes exceeds the {max_body}-byte limit"
+        )));
+    }
+    let mut body = vec![0u8; content_length];
+    reader.read_exact(&mut body)?;
+    Ok(ClientResponse {
+        status,
+        headers,
+        body,
+    })
+}
+
+/// Serializes one client request to `writer`: the coordinator's worker
+/// link always closes the connection after one exchange (subjobs are
+/// coarse, and per-request connections make retry/hedge bookkeeping
+/// trivially correct).
+///
+/// # Errors
+///
+/// Propagates I/O failures; the caller treats them as a transient
+/// worker failure and retries on the next ring replica.
+pub fn write_request<W: Write>(
+    writer: &mut W,
+    method: &str,
+    target: &str,
+    headers: &[(&str, String)],
+    body: &[u8],
+) -> std::io::Result<()> {
+    let mut head = format!(
+        "{method} {target} HTTP/1.1\r\nconnection: close\r\ncontent-length: {}\r\n",
+        body.len()
+    );
+    for (name, value) in headers {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    writer.write_all(head.as_bytes())?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -455,6 +595,75 @@ mod tests {
         assert!(text.contains("content-length: 4\r\n"));
         assert!(text.contains("connection: keep-alive\r\n"));
         assert!(text.ends_with("\r\n\r\nbody"));
+    }
+
+    #[test]
+    fn client_response_round_trips_through_the_server_writer() {
+        let mut wire = Vec::new();
+        let mut response = Response::text(429, "busy\n");
+        response
+            .extra_headers
+            .push(("retry-after", "3".to_string()));
+        response.write_to(&mut wire, false).expect("writes");
+        let parsed =
+            read_response(&mut BufReader::new(wire.as_slice()), 1024).expect("parses back");
+        assert_eq!(parsed.status, 429);
+        assert_eq!(parsed.body, b"busy\n");
+        assert_eq!(parsed.header("retry-after"), Some("3"));
+        assert_eq!(parsed.header("connection"), Some("close"));
+    }
+
+    #[test]
+    fn truncated_response_reports_unexpected_eof() {
+        let mut wire = Vec::new();
+        Response::text(200, "0123456789")
+            .write_to(&mut wire, false)
+            .expect("writes");
+        for cut in 0..wire.len() {
+            let err = read_response(&mut BufReader::new(&wire[..cut]), 1024)
+                .expect_err("must not parse a prefix");
+            // A cut at a line boundary reads as EOF; mid-line it reads
+            // as a malformed line. Either way the coordinator sees an
+            // error (a retryable one), never a truncated-but-Ok body.
+            assert!(
+                matches!(
+                    err.kind(),
+                    std::io::ErrorKind::UnexpectedEof | std::io::ErrorKind::InvalidData
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn oversized_response_body_is_rejected() {
+        let mut wire = Vec::new();
+        Response::text(200, vec![b'x'; 64])
+            .write_to(&mut wire, false)
+            .expect("writes");
+        let err = read_response(&mut BufReader::new(wire.as_slice()), 16).expect_err("too big");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn client_request_round_trips_through_the_server_parser() {
+        let mut wire = Vec::new();
+        write_request(
+            &mut wire,
+            "POST",
+            "/shard/sweeppoint?target=1200",
+            &[("x-ermes-trace", "7/9".to_string())],
+            b"{\"spec\":1}",
+        )
+        .expect("writes");
+        let req =
+            read_request(&mut BufReader::new(wire.as_slice()), 1024).expect("server parses it");
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/shard/sweeppoint");
+        assert_eq!(req.query_param("target"), Some("1200"));
+        assert_eq!(req.header("x-ermes-trace"), Some("7/9"));
+        assert_eq!(req.body, b"{\"spec\":1}");
+        assert!(!req.keep_alive(), "worker link is one-shot");
     }
 
     #[test]

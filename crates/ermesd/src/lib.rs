@@ -40,6 +40,23 @@
 //! harness ([`parx::faultpoint`], env `ERMES_FAULTPOINTS`) that is
 //! compiled into the production binary.
 //!
+//! # Cluster mode
+//!
+//! `ermesd --coordinator --workers host:port,...` turns a daemon into a
+//! **coordinator** over a fleet of plain worker daemons ([`cluster`]):
+//! `/explore` forwards whole requests and `/sweep` fans each ladder
+//! target out as a `/shard/sweeppoint` subjob, placed on a
+//! consistent-hash ring keyed by `(spec, target)` so repeat work lands
+//! on warm worker caches. Robustness is layered: background `/healthz`
+//! probes with hysteresis (up → suspect → down), per-subjob timeouts
+//! with capped-exponential-backoff retries onto the next ring replica,
+//! hedged dispatch for stragglers, and — when the cluster cannot serve
+//! a job at all — degraded in-process execution. Because every subjob
+//! is deterministic and the coordinator reassembles exact *values*
+//! (re-rendered by the same code as the CLI), responses stay
+//! **bit-identical to a single-node daemon** at any worker count, retry
+//! schedule, or mid-job worker failure.
+//!
 //! # Endpoints
 //!
 //! | Route | Body | Response |
@@ -49,6 +66,7 @@
 //! | `POST /explore?target=N[&jobs=J]` | spec JSON | `ermes explore` stdout (sans cache-stats line) + explored spec |
 //! | `POST /sweep?targets=a,b,c[&jobs=J]` | spec JSON | `ermes sweep` stdout (sans cache-stats line) |
 //! | `POST /verify` | spec JSON | `ermes verify` stdout (deadlock certificate or counterexample) |
+//! | `POST /shard/sweeppoint?target=N` | spec JSON | one sweep point in exact-value wire form (cluster-internal) |
 //! | `POST /session` | spec JSON | full analysis + `x-ermes-session: {id}` header |
 //! | `POST /session/{id}/edit` | edit JSON | full analysis after the edit, computed incrementally |
 //! | `POST /session/{id}/verify` | — | certificate/counterexample for the session's current design |
@@ -94,6 +112,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cluster;
 pub mod commands;
 pub mod http;
 pub mod json;
@@ -102,6 +121,7 @@ pub mod server;
 mod session;
 pub mod spec;
 
+pub use cluster::ClusterConfig;
 pub use commands::{
     cmd_analyze, cmd_analyze_cached, cmd_analyze_cancellable, cmd_buffers, cmd_dot, cmd_explore,
     cmd_explore_cached, cmd_explore_cancellable, cmd_fsm, cmd_order, cmd_refine, cmd_simulate,

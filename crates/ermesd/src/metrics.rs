@@ -48,6 +48,85 @@ pub struct Metrics {
     jobs_panicked: AtomicU64,
 }
 
+/// Counters of the cluster coordinator's dispatch layer, owned by the
+/// `Cluster` and sampled into the scrape alongside the request
+/// counters. All monotone, all atomics — dispatch threads bump them
+/// without a lock.
+#[derive(Debug, Default)]
+pub struct ClusterMetrics {
+    subjobs: AtomicU64,
+    retries: AtomicU64,
+    hedges: AtomicU64,
+    degraded: AtomicU64,
+    probe_failures: AtomicU64,
+}
+
+impl ClusterMetrics {
+    /// One subjob dispatch attempt sent to a worker.
+    pub fn record_subjob(&self) {
+        self.subjobs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One retry (a dispatch attempt after the first).
+    pub fn record_retry(&self) {
+        self.retries.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One hedged duplicate sent to a second replica.
+    pub fn record_hedge(&self) {
+        self.hedges.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One job the coordinator executed locally because the cluster
+    /// could not (all workers down, or attempts exhausted).
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// One failed health probe.
+    pub fn record_probe_failure(&self) {
+        self.probe_failures.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Snapshot as `(name, help, value)` rows for the scrape.
+    #[must_use]
+    pub fn sampled(&self) -> Vec<(&'static str, &'static str, u64)> {
+        vec![
+            (
+                "ermes_cluster_subjobs_total",
+                "Subjob dispatch attempts sent to workers",
+                self.subjobs.load(Ordering::Relaxed),
+            ),
+            (
+                "ermes_cluster_retries_total",
+                "Subjob dispatch attempts after the first",
+                self.retries.load(Ordering::Relaxed),
+            ),
+            (
+                "ermes_cluster_hedges_total",
+                "Hedged duplicate dispatches to a second replica",
+                self.hedges.load(Ordering::Relaxed),
+            ),
+            (
+                "ermes_cluster_degraded_total",
+                "Jobs served locally because the cluster could not",
+                self.degraded.load(Ordering::Relaxed),
+            ),
+            (
+                "ermes_cluster_probe_failures_total",
+                "Failed worker health probes",
+                self.probe_failures.load(Ordering::Relaxed),
+            ),
+        ]
+    }
+
+    /// Current degraded-jobs count (for `/healthz`).
+    #[must_use]
+    pub fn degraded_total(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+}
+
 /// Cumulative bucket counts plus sum/count for one endpoint.
 #[derive(Debug, Default, Clone)]
 struct EndpointHistogram {

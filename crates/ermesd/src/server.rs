@@ -36,11 +36,15 @@
 //! ([`EngineCache::with_capacity`]), so memory is bounded by
 //! `design_cache_capacity * cache_capacity` entries regardless of uptime.
 
+use crate::cluster::{
+    parse_point_wire, parse_trace_header, render_point_wire, shard_key, Cluster, ClusterConfig,
+};
 use crate::commands::{
     cmd_analyze_cancellable, cmd_explore_cancellable, cmd_order, cmd_sweep_cancellable,
-    cmd_verify_cancellable, render_session_report, render_verify_system, CliError,
+    cmd_verify_cancellable, render_session_report, render_sweep_front, render_verify_system,
+    CliError,
 };
-use crate::http::{read_request, ReadError, Request, Response};
+use crate::http::{read_request, ClientResponse, ReadError, Request, Response};
 use crate::metrics::Metrics;
 use crate::session::{apply_edit, parse_edit, SessionStore};
 use crate::spec::SystemSpec;
@@ -80,6 +84,10 @@ pub struct ServerConfig {
     /// How many interactive sessions stay live at once; opening one
     /// beyond the bound evicts the least recently edited session.
     pub session_capacity: usize,
+    /// Coordinator mode: when set, `/explore` and `/sweep` are fanned
+    /// out to the configured worker daemons (`None` = plain single-node
+    /// service). Responses stay bit-identical either way.
+    pub cluster: Option<ClusterConfig>,
 }
 
 impl Default for ServerConfig {
@@ -93,6 +101,7 @@ impl Default for ServerConfig {
             max_body_bytes: 4 * 1024 * 1024,
             default_deadline_ms: 0,
             session_capacity: 64,
+            cluster: None,
         }
     }
 }
@@ -206,6 +215,9 @@ struct Inner {
     idle: Condvar,
     max_body: usize,
     default_deadline_ms: u64,
+    /// Present in coordinator mode: the worker fleet `/explore` and
+    /// `/sweep` fan out to.
+    cluster: Option<Arc<Cluster>>,
 }
 
 impl Inner {
@@ -320,6 +332,7 @@ impl Server {
             idle: Condvar::new(),
             max_body: config.max_body_bytes,
             default_deadline_ms: config.default_deadline_ms,
+            cluster: config.cluster.map(Cluster::start),
         });
         Ok(Server {
             listener,
@@ -370,6 +383,12 @@ impl Server {
         let mut active = self.inner.active.lock().expect("active poisoned");
         while *active > 0 {
             active = self.inner.idle.wait(active).expect("active poisoned");
+        }
+        drop(active);
+        // Every in-flight forwarded subjob rode a connection thread that
+        // just finished, so the prober is the only cluster thread left.
+        if let Some(cluster) = &self.inner.cluster {
+            cluster.stop();
         }
         Ok(())
     }
@@ -489,6 +508,7 @@ fn route(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
         ("POST", "/explore") => analysis_endpoint(inner, req, "explore", conn),
         ("POST", "/sweep") => analysis_endpoint(inner, req, "sweep", conn),
         ("POST", "/verify") => analysis_endpoint(inner, req, "verify", conn),
+        ("POST", "/shard/sweeppoint") => shard_sweep_point_endpoint(inner, req, conn),
         ("POST", "/session") => session_open_endpoint(inner, req, conn),
         (method, path) if path == "/session" || path.starts_with("/session/") => {
             session_route(inner, method, path, req, conn)
@@ -498,9 +518,11 @@ fn route(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
         (_, "/healthz" | "/metrics" | "/trace") => {
             Outcome::reply("other", method_not_allowed("GET"))
         }
-        (_, "/shutdown" | "/analyze" | "/order" | "/explore" | "/sweep" | "/verify") => {
-            Outcome::reply("other", method_not_allowed("POST"))
-        }
+        (
+            _,
+            "/shutdown" | "/analyze" | "/order" | "/explore" | "/sweep" | "/verify"
+            | "/shard/sweeppoint",
+        ) => Outcome::reply("other", method_not_allowed("POST")),
         _ => Outcome::reply("other", Response::text(404, "no such endpoint\n")),
     }
 }
@@ -542,22 +564,46 @@ fn session_route(
     }
 }
 
-/// Liveness with worker-pool detail. The first line stays exactly `ok`
-/// (probes and scripts grep for it); the following lines report worker
-/// liveness and restart history. A panicked worker is respawned before
-/// its thread exits, so health stays green across panics — the restart
-/// counter is how an operator notices them.
+/// Liveness with per-component detail. The first line stays exactly
+/// `ok` (probes — including a coordinator's — and scripts grep for it);
+/// each following line is one `component: value` pair so scripts can
+/// assert on individual components. A panicked worker is respawned
+/// before its thread exits, so health stays green across panics — the
+/// restart counter is how an operator notices them. In coordinator mode
+/// the fleet's health states and the degraded-fallback count follow.
 fn healthz_response(inner: &Inner) -> Response {
-    let (alive, workers, restarts) = {
+    use std::fmt::Write as _;
+    let (alive, workers, restarts, queue_depth) = {
         let pool = inner.pool.lock().expect("pool slot poisoned");
-        pool.as_ref().map_or((0, 0, 0), |p| {
-            (p.alive_workers(), p.workers(), p.worker_restarts())
+        pool.as_ref().map_or((0, 0, 0, 0), |p| {
+            (
+                p.alive_workers(),
+                p.workers(),
+                p.worker_restarts(),
+                p.queue_depth(),
+            )
         })
     };
-    Response::text(
-        200,
-        format!("ok\nworkers: {alive}/{workers} alive\nworker restarts: {restarts}\n"),
-    )
+    let mut body = format!("ok\nworkers: {alive}/{workers} alive\nworker restarts: {restarts}\n");
+    let _ = writeln!(body, "sessions live: {}", inner.sessions.live());
+    let _ = writeln!(body, "queue depth: {queue_depth}");
+    if let Some(cluster) = &inner.cluster {
+        let states = cluster.worker_states();
+        let up = states
+            .iter()
+            .filter(|(_, s)| *s == parx::HealthState::Up)
+            .count();
+        let _ = writeln!(body, "cluster workers: {up}/{} up", states.len());
+        for (addr, state) in &states {
+            let _ = writeln!(body, "cluster worker {addr}: {}", state.label());
+        }
+        let _ = writeln!(
+            body,
+            "cluster degraded jobs: {}",
+            cluster.metrics.degraded_total()
+        );
+    }
+    Response::text(200, body)
 }
 
 fn metrics_response(inner: &Inner) -> Response {
@@ -578,7 +624,7 @@ fn metrics_response(inner: &Inner) -> Response {
         let (stats, entries) = caches.aggregate();
         (stats, entries, caches.entries.len(), caches.per_design())
     };
-    let gauges: Vec<(&str, &str, f64)> = vec![
+    let mut gauges: Vec<(&str, &str, f64)> = vec![
         (
             "ermesd_queue_depth",
             "Analysis jobs waiting in the admission queue.",
@@ -637,7 +683,7 @@ fn metrics_response(inner: &Inner) -> Response {
         ),
     ];
     let ilp = ilp::stats();
-    let sampled_counters: Vec<(&str, &str, u64)> = vec![
+    let mut sampled_counters: Vec<(&str, &str, u64)> = vec![
         (
             "ermes_worker_restarts_total",
             "Pool workers respawned after a job panicked on them.",
@@ -679,6 +725,26 @@ fn metrics_response(inner: &Inner) -> Response {
             inner.sessions.dropped.load(Ordering::Relaxed),
         ),
     ];
+    if let Some(cluster) = &inner.cluster {
+        let states = cluster.worker_states();
+        let count = |s: parx::HealthState| states.iter().filter(|(_, st)| *st == s).count() as f64;
+        gauges.push((
+            "ermes_cluster_workers_up",
+            "Cluster workers currently answering health probes.",
+            count(parx::HealthState::Up),
+        ));
+        gauges.push((
+            "ermes_cluster_workers_suspect",
+            "Cluster workers with recent probe failures, still dispatchable.",
+            count(parx::HealthState::Suspect),
+        ));
+        gauges.push((
+            "ermes_cluster_workers_down",
+            "Cluster workers excluded from dispatch until probes recover.",
+            count(parx::HealthState::Down),
+        ));
+        sampled_counters.extend(cluster.metrics.sampled());
+    }
     let mut body = inner.metrics.render(&gauges, &sampled_counters);
     body.push_str(&render_per_design_cache(&per_design));
     body.push_str(&crate::metrics::render_phase_histograms());
@@ -821,6 +887,26 @@ fn analysis_endpoint(
         Ok(params) => params,
         Err(msg) => return Outcome::reply(endpoint, Response::text(400, msg + "\n")),
     };
+    // Coordinator mode: exploration work is fanned out to the worker
+    // fleet. `None` from the forwarders means the cluster could not
+    // serve the job (degraded mode) — fall through and run it locally,
+    // exactly as a single-node daemon would.
+    if let Some(cluster) = &inner.cluster {
+        let forwarded = match endpoint {
+            "explore" => forward_explore(req, cluster, &spec, &params),
+            "sweep" => coordinator_sweep(inner, cluster, &spec, &params),
+            _ => None,
+        };
+        if let Some(response) = forwarded {
+            let close_after = response.status == 499;
+            return Outcome {
+                response,
+                endpoint,
+                close_after,
+                initiate_shutdown: false,
+            };
+        }
+    }
     let cache = inner
         .caches
         .lock()
@@ -953,6 +1039,294 @@ fn run_command(
         // command takes only the spec and the token.
         "verify" => cmd_verify_cancellable(spec, cancel),
         _ => unreachable!("routed endpoints only"),
+    }
+}
+
+/// Coordinator path for `POST /explore`: the whole request is forwarded
+/// to the ring owner of `(spec, target)` — an exploration is one atomic
+/// greedy walk, so the unit of distribution is the request itself. The
+/// worker's verdict (success or deterministic error) is relayed
+/// verbatim, which is what keeps the bytes identical to a local run.
+/// `None` means the cluster could not serve the job (all replicas
+/// exhausted); the caller runs it locally, degraded but correct.
+fn forward_explore(
+    req: &Request,
+    cluster: &Arc<Cluster>,
+    spec: &SystemSpec,
+    params: &AnalysisParams,
+) -> Option<Response> {
+    use std::fmt::Write as _;
+    let request_span = trace::span("request");
+    trace::attr("endpoint", "explore");
+    trace::attr("forwarded", 1);
+    let key = shard_key(&spec.to_json_pretty(), params.target);
+    let mut target = format!("/explore?target={}", params.target);
+    if params.jobs != 1 {
+        let _ = write!(target, "&jobs={}", params.jobs);
+    }
+    // The worker runs un-deadlined: the coordinator's subjob timeout
+    // already bounds the wait, and a relayed deadline would let time
+    // burned by a failed first attempt cut a retry short.
+    let result = cluster.dispatch(key, "POST", &target, &req.body);
+    trace::attr("outcome", if result.is_ok() { "ok" } else { "degraded" });
+    drop(request_span);
+    match result {
+        Ok(reply) => Some(relay(reply)),
+        Err(_) => {
+            cluster.metrics.record_degraded();
+            None
+        }
+    }
+}
+
+/// Re-wraps a worker's reply for the coordinator's client: status and
+/// body are relayed verbatim (the bit-identity contract), the retry
+/// semantics headers survive, and hop-by-hop framing does not.
+fn relay(reply: ClientResponse) -> Response {
+    let mut response = Response::text(
+        reply.status,
+        String::from_utf8_lossy(&reply.body).into_owned(),
+    );
+    for name in ["retry-after", "x-ermes-progress"] {
+        if let Some(value) = reply.header(name) {
+            response.extra_headers.push((name, value.to_string()));
+        }
+    }
+    response
+}
+
+/// One subjob of a coordinated sweep, as gathered in ladder order.
+enum SubjobOutcome {
+    /// A worker (or the local fallback) produced the point.
+    Point(ermes::SweepPoint),
+    /// A worker answered with a deterministic non-retryable verdict
+    /// (e.g. `422` for a deadlocking configuration) — relayed verbatim,
+    /// exactly the bytes a local sweep would have produced for the
+    /// first failing target.
+    Verdict(ClientResponse),
+    /// The local fallback itself failed (including cancellation).
+    Local(ermes::ErmesError),
+}
+
+/// Coordinator path for `POST /sweep`: each ladder target is one subjob
+/// keyed by `(spec, target)`, so repeat sweeps of one design land on
+/// the same — warm — workers while the ladder spreads over the fleet.
+/// Subjobs the cluster cannot serve (retries exhausted, no live
+/// workers) are computed in-process: degraded mode trades throughput
+/// for availability, never correctness. Points come back as exact
+/// values ([`parse_point_wire`]) in ladder order and go through the
+/// same [`ermes::prune_front`] + [`render_sweep_front`] as a local
+/// sweep, which makes the response bytes identical at any worker
+/// count, retry schedule, or failure pattern.
+///
+/// `None` (all workers `Down` before the fan-out starts) sends the
+/// whole request down the local path with its pool admission control.
+fn coordinator_sweep(
+    inner: &Inner,
+    cluster: &Arc<Cluster>,
+    spec: &SystemSpec,
+    params: &AnalysisParams,
+) -> Option<Response> {
+    if cluster
+        .worker_states()
+        .iter()
+        .all(|(_, s)| *s == parx::HealthState::Down)
+    {
+        cluster.metrics.record_degraded();
+        return None;
+    }
+    let design = spec.to_design().ok()?; // prechecked by the caller
+    let spec_json = spec.to_json_pretty();
+    let request_span = trace::span("request");
+    trace::attr("endpoint", "sweep");
+    trace::attr("fanout", params.targets.len());
+    let cache = inner
+        .caches
+        .lock()
+        .expect("cache lru poisoned")
+        .get(&spec_json);
+    let options = ermes::SweepOptions {
+        jobs: 1,
+        memoize: true,
+    };
+    let cancel = CancelToken::with_deadline(params.deadline);
+    // Fan out every target at once: subjobs are network-bound waits,
+    // so the thread count is the ladder length, not the local core
+    // count. `par_map` preserves ladder order in the gather, which the
+    // prune's tie-break depends on.
+    let outcomes = parx::par_map(
+        params.targets.len().max(1),
+        &params.targets,
+        |_, &target| {
+            let key = shard_key(&spec_json, target);
+            let path = format!("/shard/sweeppoint?target={target}");
+            match cluster.dispatch(key, "POST", &path, spec_json.as_bytes()) {
+                Ok(reply) if reply.status == 200 => {
+                    match parse_point_wire(&String::from_utf8_lossy(&reply.body)) {
+                        Some(point) => SubjobOutcome::Point(point),
+                        // A 200 whose body does not parse is a worker
+                        // bug or a truncation the transport missed;
+                        // recompute rather than trust it.
+                        None => local_point(cluster, &design, target, &options, &cache, &cancel),
+                    }
+                }
+                Ok(reply) => SubjobOutcome::Verdict(reply),
+                Err(_) => local_point(cluster, &design, target, &options, &cache, &cancel),
+            }
+        },
+    );
+    let total = params.targets.len();
+    let mut points = Vec::with_capacity(total);
+    let mut verdict = None;
+    for (index, outcome) in outcomes.into_iter().enumerate() {
+        match outcome {
+            SubjobOutcome::Point(point) => points.push(point),
+            // First failure in ladder order wins, matching the serial
+            // sweep's error report.
+            SubjobOutcome::Verdict(reply) => {
+                verdict = Some(relay(reply));
+                break;
+            }
+            SubjobOutcome::Local(ermes::ErmesError::Cancelled { reason, .. }) => {
+                // Re-scope to targets-within-the-sweep, as the engine's
+                // own sweep loop does.
+                verdict = Some(cancelled_response(inner, reason, index, total));
+                break;
+            }
+            SubjobOutcome::Local(e) => {
+                verdict = Some(error_response(inner, &CliError::Ermes(e)));
+                break;
+            }
+        }
+    }
+    let response = verdict
+        .unwrap_or_else(|| Response::text(200, render_sweep_front(&ermes::prune_front(points))));
+    trace::attr(
+        "outcome",
+        if response.status == 200 {
+            "ok"
+        } else {
+            "error"
+        },
+    );
+    drop(request_span);
+    Some(response)
+}
+
+/// Degraded-mode unit: computes one sweep target in-process when the
+/// cluster could not serve it. Counted so operators see fleet trouble
+/// even though clients never do.
+fn local_point(
+    cluster: &Arc<Cluster>,
+    design: &ermes::Design,
+    target: u64,
+    options: &ermes::SweepOptions,
+    cache: &EngineCache,
+    cancel: &CancelToken,
+) -> SubjobOutcome {
+    cluster.metrics.record_degraded();
+    match ermes::sweep_point(design.clone(), target, options, cache, Some(cancel)) {
+        Ok(point) => SubjobOutcome::Point(point),
+        Err(e) => SubjobOutcome::Local(e),
+    }
+}
+
+/// `POST /shard/sweeppoint?target=N`: the worker-side unit of a
+/// distributed sweep — one ladder target explored against the posted
+/// spec, answered in the exact-value wire form ([`render_point_wire`])
+/// so the coordinator reassembles *values*, never re-parsed rendered
+/// text. Admission control, deadlines, cancellation, and panic
+/// isolation behave exactly like the public endpoints, so coordinator
+/// retries see the same shedding statuses human clients do. The
+/// coordinator's trace context arrives in `x-ermes-trace`; the job's
+/// spans parent under it, stitching one tree across nodes.
+fn shard_sweep_point_endpoint(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
+    const ENDPOINT: &str = "shard_sweeppoint";
+    let _adopted = trace::adopt(parse_trace_header(req.header("x-ermes-trace")));
+    let body = match std::str::from_utf8(&req.body) {
+        Ok(text) => text,
+        Err(_) => {
+            return Outcome::reply(ENDPOINT, Response::text(400, "body is not UTF-8\n"));
+        }
+    };
+    let spec = match crate::commands::parse_spec(body) {
+        Ok(spec) => spec,
+        Err(e) => {
+            return Outcome::reply(ENDPOINT, Response::text(400, format!("{e}\n")));
+        }
+    };
+    let design = match spec.to_design() {
+        Ok(design) => design,
+        Err(e) => {
+            return Outcome::reply(ENDPOINT, Response::text(400, format!("spec error: {e}\n")));
+        }
+    };
+    let target: u64 = match req.query_param("target") {
+        None => {
+            return Outcome::reply(
+                ENDPOINT,
+                Response::text(400, "sweeppoint requires ?target=<cycles>\n"),
+            );
+        }
+        Some(text) => match text.parse() {
+            Ok(target) => target,
+            Err(_) => {
+                return Outcome::reply(
+                    ENDPOINT,
+                    Response::text(400, "target must be a non-negative integer\n"),
+                );
+            }
+        },
+    };
+    let deadline = match request_deadline(req, inner.default_deadline_ms) {
+        Ok(deadline) => deadline,
+        Err(msg) => return Outcome::reply(ENDPOINT, Response::text(400, msg + "\n")),
+    };
+    let cache = inner
+        .caches
+        .lock()
+        .expect("cache lru poisoned")
+        .get(&spec.to_json_pretty());
+    let cancel = CancelToken::with_deadline(deadline);
+    let job_token = cancel.clone();
+    let request_span = trace::span("request");
+    trace::attr("endpoint", ENDPOINT);
+    trace::attr("target", target);
+    let job = move || {
+        ermes::sweep_point(
+            design,
+            target,
+            &ermes::SweepOptions {
+                jobs: 1,
+                memoize: true,
+            },
+            &cache,
+            Some(&job_token),
+        )
+    };
+    let result = inner.run_job(deadline, &cancel, conn, job);
+    trace::attr(
+        "outcome",
+        match &result {
+            Ok(Ok(_)) => "ok",
+            Ok(Err(ermes::ErmesError::Cancelled { .. })) => "cancelled",
+            Ok(Err(_)) => "error",
+            Err(Shed::JobPanicked) => "panic",
+            Err(_) => "shed",
+        },
+    );
+    drop(request_span);
+    let response = match result {
+        Ok(Ok(point)) => Response::text(200, render_point_wire(&point)),
+        Ok(Err(e)) => error_response(inner, &CliError::Ermes(e)),
+        Err(shed) => shed_response(inner, &shed),
+    };
+    let close_after = response.status == 499;
+    Outcome {
+        response,
+        endpoint: ENDPOINT,
+        close_after,
+        initiate_shutdown: false,
     }
 }
 

@@ -18,7 +18,11 @@
 //! Each clause names a point and an action — `panic`, `delay(MILLIS)`,
 //! or `short` (a short write, returned to the caller to act on) — with
 //! an optional firing probability `@p` (default: always) and an
-//! optional cap `#n` on the number of firings. Probabilistic decisions
+//! optional cap `#n` on the number of firings. Network-facing points
+//! (the cluster coordinator's worker-client path) additionally accept
+//! `conn.refuse`, `conn.reset`, `resp.truncate`, and `resp.delay(MILLIS)`;
+//! like `short`, these are returned to the caller, which owns the socket
+//! and enacts them at the right protocol stage. Probabilistic decisions
 //! come from a per-point [SplitMix64] stream seeded from the plan seed
 //! and the point name, so a given plan replays the same fault schedule
 //! per point on every run — the property that makes a chaos failure
@@ -44,6 +48,19 @@ pub enum Fault {
     None,
     /// Truncate the write in progress and fail the connection.
     ShortWrite,
+    /// Fail before the connection is established, as if the peer
+    /// refused it (`conn.refuse`).
+    ConnRefuse,
+    /// Connect and send, then fail before any response bytes are read,
+    /// as if the peer reset mid-exchange (`conn.reset`).
+    ConnReset,
+    /// Deliver only part of the response, then fail, as if the bytes
+    /// were cut off in flight (`resp.truncate`).
+    RespTruncate,
+    /// Delay the response by this many milliseconds before delivering
+    /// it intact (`resp.delay(MS)`) — the straggler that hedged
+    /// dispatch exists to beat.
+    RespDelay(u64),
 }
 
 impl Fault {
@@ -59,15 +76,20 @@ enum Action {
     Panic,
     Delay(u64),
     Short,
+    ConnRefuse,
+    ConnReset,
+    RespTruncate,
+    RespDelay(u64),
 }
 
 /// Deterministic SplitMix64 stream; the standard seeding/jumping PRNG,
 /// small enough to inline rather than pull a dependency into parx.
+/// Shared with [`crate::health`] for deterministic backoff jitter.
 #[derive(Debug)]
-struct SplitMix64(u64);
+pub(crate) struct SplitMix64(pub(crate) u64);
 
 impl SplitMix64 {
-    fn next(&mut self) -> u64 {
+    pub(crate) fn next(&mut self) -> u64 {
         self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.0;
         z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
@@ -174,6 +196,12 @@ impl Plan {
                 Action::Panic
             } else if value == "short" {
                 Action::Short
+            } else if value == "conn.refuse" {
+                Action::ConnRefuse
+            } else if value == "conn.reset" {
+                Action::ConnReset
+            } else if value == "resp.truncate" {
+                Action::RespTruncate
             } else if let Some(millis) = value
                 .strip_prefix("delay(")
                 .and_then(|rest| rest.strip_suffix(')'))
@@ -183,9 +211,18 @@ impl Plan {
                     .parse()
                     .map_err(|_| format!("faultpoint delay `{millis}` is not a u64 (millis)"))?;
                 Action::Delay(millis)
+            } else if let Some(millis) = value
+                .strip_prefix("resp.delay(")
+                .and_then(|rest| rest.strip_suffix(')'))
+            {
+                let millis = millis.trim().parse().map_err(|_| {
+                    format!("faultpoint resp.delay `{millis}` is not a u64 (millis)")
+                })?;
+                Action::RespDelay(millis)
             } else {
                 return Err(format!(
-                    "unknown faultpoint action `{value}` (expected panic, delay(MS), or short)"
+                    "unknown faultpoint action `{value}` (expected panic, delay(MS), short, \
+                     conn.refuse, conn.reset, resp.truncate, or resp.delay(MS))"
                 ));
             };
             raw.push((name.to_string(), action, probability, max_firings));
@@ -292,6 +329,10 @@ pub fn hit(name: &str) -> Fault {
             Fault::None
         }
         Action::Short => Fault::ShortWrite,
+        Action::ConnRefuse => Fault::ConnRefuse,
+        Action::ConnReset => Fault::ConnReset,
+        Action::RespTruncate => Fault::RespTruncate,
+        Action::RespDelay(millis) => Fault::RespDelay(millis),
     }
 }
 
@@ -369,6 +410,35 @@ mod tests {
         assert_eq!(hit("slow"), Fault::None);
         deactivate();
         assert!(start.elapsed() >= Duration::from_millis(20));
+    }
+
+    #[test]
+    fn network_actions_parse_and_fire() {
+        let _gate = GATE.lock().expect("gate");
+        for (spec, want) in [
+            ("seed=1;net=conn.refuse", Fault::ConnRefuse),
+            ("seed=1;net=conn.reset", Fault::ConnReset),
+            ("seed=1;net=resp.truncate", Fault::RespTruncate),
+            ("seed=1;net=resp.delay(35)", Fault::RespDelay(35)),
+        ] {
+            activate(spec).expect(spec);
+            assert_eq!(hit("net"), want, "{spec}");
+            assert!(hit("net").fired(), "{spec}: fires until capped");
+            deactivate();
+        }
+    }
+
+    #[test]
+    fn network_actions_respect_probability_and_cap() {
+        let _gate = GATE.lock().expect("gate");
+        activate("seed=11;net=conn.reset@0.5#2").expect("parses");
+        let faults: Vec<Fault> = (0..32).map(|_| hit("net")).collect();
+        deactivate();
+        let fired = faults.iter().filter(|f| f.fired()).count();
+        assert_eq!(fired, 2, "cap of 2 respected under p=0.5");
+        assert!(faults
+            .iter()
+            .all(|f| matches!(f, Fault::None | Fault::ConnReset)));
     }
 
     #[test]

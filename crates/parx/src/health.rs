@@ -1,0 +1,232 @@
+//! Remote-peer failure-domain primitives: a hysteresis health state
+//! machine and deterministic capped-exponential backoff.
+//!
+//! These are the pure, clock-free pieces of the ermesd cluster's fault
+//! tolerance. A [`HealthTracker`] consumes a stream of probe/request
+//! outcomes for one peer and answers "should I route work there?"
+//! without flapping on a single dropped packet; a [`Backoff`] spaces
+//! retries with jitter drawn from a seeded [SplitMix64] stream so a
+//! chaos run's retry schedule replays exactly.
+//!
+//! [SplitMix64]: https://prng.di.unimi.it/splitmix64.c
+
+use crate::faultpoint::SplitMix64;
+use std::time::Duration;
+
+/// Routing-relevant view of one remote peer.
+///
+/// The transitions are hysteretic in both directions: it takes
+/// several consecutive failures to demote a peer and several
+/// consecutive successes to promote it back, so one lost probe or one
+/// lucky one cannot flip routing decisions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HealthState {
+    /// Healthy — preferred for dispatch.
+    Up,
+    /// Some recent failures — still dispatchable (it may only be
+    /// slow), but a hedge or retry should prefer an `Up` peer.
+    Suspect,
+    /// Considered dead — skipped by the ring until it proves itself
+    /// back up through consecutive probe successes.
+    Down,
+}
+
+impl HealthState {
+    /// Lower-case label for metrics and `/healthz` lines.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            HealthState::Up => "up",
+            HealthState::Suspect => "suspect",
+            HealthState::Down => "down",
+        }
+    }
+}
+
+/// Per-peer hysteresis state machine over success/failure outcomes.
+///
+/// `Up --(suspect_after consecutive failures)--> Suspect
+/// --(down_after total consecutive failures)--> Down
+/// --(up_after consecutive successes)--> Up`. A success while
+/// `Suspect` also requires `up_after` in a row to re-promote; any
+/// failure resets the success streak and vice versa.
+#[derive(Debug)]
+pub struct HealthTracker {
+    state: HealthState,
+    consecutive_failures: u32,
+    consecutive_successes: u32,
+    suspect_after: u32,
+    down_after: u32,
+    up_after: u32,
+}
+
+impl HealthTracker {
+    /// New tracker starting `Up`.
+    ///
+    /// `suspect_after` consecutive failures demote to `Suspect`,
+    /// `down_after` (total, >= `suspect_after`) demote to `Down`, and
+    /// `up_after` consecutive successes promote back to `Up`. Zeros
+    /// are clamped to 1 so every threshold is reachable.
+    #[must_use]
+    pub fn new(suspect_after: u32, down_after: u32, up_after: u32) -> HealthTracker {
+        let suspect_after = suspect_after.max(1);
+        HealthTracker {
+            state: HealthState::Up,
+            consecutive_failures: 0,
+            consecutive_successes: 0,
+            suspect_after,
+            down_after: down_after.max(suspect_after),
+            up_after: up_after.max(1),
+        }
+    }
+
+    /// Current state.
+    #[must_use]
+    pub fn state(&self) -> HealthState {
+        self.state
+    }
+
+    /// True unless the peer is `Down`.
+    #[must_use]
+    pub fn is_dispatchable(&self) -> bool {
+        self.state != HealthState::Down
+    }
+
+    /// Records a successful probe or request; returns the new state.
+    pub fn record_success(&mut self) -> HealthState {
+        self.consecutive_failures = 0;
+        self.consecutive_successes = self.consecutive_successes.saturating_add(1);
+        if self.state != HealthState::Up && self.consecutive_successes >= self.up_after {
+            self.state = HealthState::Up;
+        }
+        self.state
+    }
+
+    /// Records a failed probe or request; returns the new state.
+    pub fn record_failure(&mut self) -> HealthState {
+        self.consecutive_successes = 0;
+        self.consecutive_failures = self.consecutive_failures.saturating_add(1);
+        if self.consecutive_failures >= self.down_after {
+            self.state = HealthState::Down;
+        } else if self.consecutive_failures >= self.suspect_after {
+            self.state = HealthState::Suspect;
+        }
+        self.state
+    }
+}
+
+/// Capped exponential backoff with deterministic jitter.
+///
+/// Attempt `n` (0-based) sleeps between half and all of
+/// `min(cap, base << n)`; the jitter draw comes from a SplitMix64
+/// stream owned by this instance, so two `Backoff`s built with the
+/// same `(base, cap, seed)` produce identical schedules — retries
+/// under a seeded chaos plan replay bit-for-bit.
+#[derive(Debug)]
+pub struct Backoff {
+    base_ms: u64,
+    cap_ms: u64,
+    rng: SplitMix64,
+}
+
+impl Backoff {
+    /// New schedule; `base_ms` is clamped up to 1 ms and `cap_ms` up
+    /// to `base_ms`.
+    #[must_use]
+    pub fn new(base_ms: u64, cap_ms: u64, seed: u64) -> Backoff {
+        let base_ms = base_ms.max(1);
+        Backoff {
+            base_ms,
+            cap_ms: cap_ms.max(base_ms),
+            rng: SplitMix64(seed),
+        }
+    }
+
+    /// Delay before retry `attempt` (0-based). Consumes one RNG draw
+    /// per call, so the schedule depends only on call order.
+    pub fn delay(&mut self, attempt: u32) -> Duration {
+        let full = self
+            .base_ms
+            .checked_shl(attempt.min(32))
+            .unwrap_or(self.cap_ms)
+            .min(self.cap_ms);
+        let half = (full / 2).max(1);
+        let jitter = self.rng.next() % (full - half + 1);
+        Duration::from_millis(half + jitter)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_demotes_with_hysteresis() {
+        let mut t = HealthTracker::new(1, 2, 2);
+        assert_eq!(t.state(), HealthState::Up);
+        assert_eq!(t.record_failure(), HealthState::Suspect);
+        assert!(t.is_dispatchable());
+        assert_eq!(t.record_failure(), HealthState::Down);
+        assert!(!t.is_dispatchable());
+        // One success is not enough to promote with up_after=2.
+        assert_eq!(t.record_success(), HealthState::Down);
+        assert_eq!(t.record_success(), HealthState::Up);
+    }
+
+    #[test]
+    fn interleaved_outcomes_reset_streaks() {
+        let mut t = HealthTracker::new(2, 3, 2);
+        assert_eq!(t.record_failure(), HealthState::Up, "1 failure < 2");
+        assert_eq!(t.record_success(), HealthState::Up);
+        assert_eq!(t.record_failure(), HealthState::Up, "streak was reset");
+        assert_eq!(t.record_failure(), HealthState::Suspect);
+        // A lone success mid-recovery resets the failure streak but
+        // does not promote; a following failure resets the successes.
+        assert_eq!(t.record_success(), HealthState::Suspect);
+        assert_eq!(
+            t.record_failure(),
+            HealthState::Suspect,
+            "failures restart at 1"
+        );
+        assert_eq!(t.record_failure(), HealthState::Suspect);
+        assert_eq!(t.record_failure(), HealthState::Down);
+    }
+
+    #[test]
+    fn zero_thresholds_are_clamped() {
+        let mut t = HealthTracker::new(0, 0, 0);
+        assert_eq!(
+            t.record_failure(),
+            HealthState::Down,
+            "down_after clamps to 1"
+        );
+        assert_eq!(t.record_success(), HealthState::Up, "up_after clamps to 1");
+    }
+
+    #[test]
+    fn backoff_grows_to_cap_and_jitters_within_bounds() {
+        let mut b = Backoff::new(10, 80, 7);
+        for attempt in 0..12 {
+            let full = (10u64 << attempt.min(32)).min(80);
+            let d = b.delay(attempt).as_millis() as u64;
+            assert!(d >= full / 2 && d <= full, "attempt {attempt}: {d} ms");
+        }
+    }
+
+    #[test]
+    fn backoff_is_deterministic_per_seed() {
+        let schedule = |seed: u64| -> Vec<Duration> {
+            let mut b = Backoff::new(5, 200, seed);
+            (0..8).map(|a| b.delay(a)).collect()
+        };
+        assert_eq!(schedule(42), schedule(42));
+        assert_ne!(schedule(42), schedule(43));
+    }
+
+    #[test]
+    fn backoff_shift_overflow_saturates_at_cap() {
+        let mut b = Backoff::new(1, 500, 1);
+        let d = b.delay(u32::MAX).as_millis() as u64;
+        assert!((250..=500).contains(&d));
+    }
+}

@@ -14,10 +14,12 @@
 
 mod cancel;
 pub mod faultpoint;
+pub mod health;
 mod pool;
 
 pub use cancel::{CancelReason, CancelToken, Cancelled};
 pub use faultpoint::Fault;
+pub use health::{Backoff, HealthState, HealthTracker};
 pub use pool::{PanicRecord, Pool, PoolFull};
 
 use std::sync::atomic::{AtomicUsize, Ordering};

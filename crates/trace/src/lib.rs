@@ -267,6 +267,27 @@ impl Context {
     pub const fn is_active(&self) -> bool {
         self.trace_id != 0
     }
+
+    /// Rebuilds a context from raw identifiers — the receiving end of
+    /// cross-node propagation (ermesd's `x-ermes-trace` header carries
+    /// `trace_id/span_id`). A zero `trace_id` yields the inactive
+    /// context, so adopting an unparsed header is a no-op.
+    #[must_use]
+    pub const fn from_parts(trace_id: u64, parent: u64) -> Self {
+        Context { trace_id, parent }
+    }
+
+    /// The trace this context belongs to (0 when inactive).
+    #[must_use]
+    pub const fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// The span id new children should parent under (0 when inactive).
+    #[must_use]
+    pub const fn parent(&self) -> u64 {
+        self.parent
+    }
 }
 
 /// Capture the current trace position for another thread to [`adopt`].
@@ -450,6 +471,36 @@ mod tests {
         assert_eq!(worker.parent, root.id);
         assert_eq!(worker.trace_id, root.id);
         assert_ne!(worker.thread, root.thread);
+    }
+
+    #[test]
+    fn context_round_trips_through_raw_parts() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        {
+            let _root = span("root");
+            let ctx = current_context();
+            // Serialize/deserialize as the cluster's wire header does.
+            let wire = format!("{}/{}", ctx.trace_id(), ctx.parent());
+            let (t, p) = wire.split_once('/').expect("two fields");
+            let rebuilt =
+                Context::from_parts(t.parse().expect("trace id"), p.parse().expect("parent"));
+            assert_eq!(rebuilt, ctx);
+            std::thread::spawn(move || {
+                let _a = adopt(rebuilt);
+                let _w = span("remote");
+            })
+            .join()
+            .expect("remote thread");
+        }
+        set_enabled(false);
+        let recs = snapshot();
+        let root = recs.iter().find(|r| r.name == "root").expect("root");
+        let remote = recs.iter().find(|r| r.name == "remote").expect("remote");
+        assert_eq!(remote.parent, root.id);
+        assert_eq!(remote.trace_id, root.id);
+        assert!(!Context::from_parts(0, 9).is_active());
     }
 
     #[test]
