@@ -512,6 +512,22 @@ fn assert_structured_healthz(addr: &str) {
                 let _: u64 = component("queue depth: ")
                     .parse()
                     .expect("queue depth is numeric");
+                // `trace: journal L/C, flight N retained, M dropped`
+                let tr = component("trace: journal ");
+                let (journal, flight) = tr.split_once(", flight ").expect("trace line has flight");
+                let (live, cap) = journal.split_once('/').expect("journal occupancy is L/C");
+                let live: u64 = live.parse().expect("journal live count is numeric");
+                let cap: u64 = cap.parse().expect("journal capacity is numeric");
+                assert!(live <= cap, "journal occupancy bounded by capacity");
+                let (retained, dropped) = flight
+                    .split_once(" retained, ")
+                    .expect("flight component is `N retained, M dropped`");
+                let _: u64 = retained.parse().expect("flight retained count is numeric");
+                let _: u64 = dropped
+                    .strip_suffix(" dropped")
+                    .expect("flight line ends in `dropped`")
+                    .parse()
+                    .expect("flight dropped count is numeric");
                 println!("healthz structured: {total} workers ({alive} alive)");
                 return;
             }

@@ -6,7 +6,7 @@
 //!
 //! Ids: `fig2`, `fig2b`, `fig3`, `fig4`, `orders`, `table1`, `m1`,
 //! `fig6-timing`, `fig6-area`, `scalability`, `phases`, `incremental`,
-//! `pipeline`, or `all` (default). `--jobs` sets the worker-thread count of the parallel
+//! `verify`, `cluster`, `tracecluster`, `pipeline`, or `all` (default). `--jobs` sets the worker-thread count of the parallel
 //! part of E9 (`0` = all hardware threads, the default). See
 //! EXPERIMENTS.md for the paper-versus-measured record.
 
@@ -685,6 +685,197 @@ fn run_cluster() {
     println!(" the coordinator computed locally — nonzero means the run saw faults)");
 }
 
+struct TraceClusterRow {
+    workers: usize,
+    untraced_ms: f64,
+    traced_ms: f64,
+    overhead_percent: f64,
+    stitched_hosts: usize,
+    bits_identical: bool,
+}
+
+fn tracecluster_json(targets: &[u64], rounds: usize, rows: &[TraceClusterRow]) -> String {
+    let mut out = String::from("{\n  \"experiment\": \"E18\",\n");
+    out.push_str("  \"system\": \"socgen-120\",\n");
+    out.push_str(&format!("  \"targets\": {targets:?},\n"));
+    out.push_str(&format!("  \"rounds\": {rounds},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"workers\": {},\n", row.workers));
+        out.push_str(&format!(
+            "      \"untraced_ms_per_sweep\": {:.4},\n",
+            row.untraced_ms
+        ));
+        out.push_str(&format!(
+            "      \"traced_ms_per_sweep\": {:.4},\n",
+            row.traced_ms
+        ));
+        out.push_str(&format!(
+            "      \"overhead_percent\": {:.3},\n",
+            row.overhead_percent
+        ));
+        out.push_str(&format!(
+            "      \"stitched_hosts\": {},\n",
+            row.stitched_hosts
+        ));
+        out.push_str(&format!(
+            "      \"bits_identical\": {}\n",
+            row.bits_identical
+        ));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// E18: what distributed tracing costs a clustered sweep. The same
+/// in-process fleet serves each sweep twice on warm caches — once with
+/// tracing (and therefore span-tree stitching, trailers, clock
+/// alignment) disabled process-wide, once enabled — and the row records
+/// the per-sweep latency of each, that the response bytes agree, and
+/// that the traced runs really stitched worker subtrees (distinct
+/// `host` attributes on the coordinator's `/trace`).
+fn run_tracecluster() {
+    banner("E18 — stitched-trace overhead: traced vs untraced clustered sweeps");
+    let targets: Vec<u64> = vec![1_000, 5_000, 25_000, 100_000, 500_000, 2_500_000];
+    let path = format!(
+        "/sweep?targets={}",
+        targets
+            .iter()
+            .map(u64::to_string)
+            .collect::<Vec<_>>()
+            .join(",")
+    );
+    const ROUNDS: usize = 3;
+    let specs: Vec<String> = (0..ROUNDS)
+        .map(|round| {
+            let soc = socgen::generate(socgen::SocGenConfig::sized(120, 180, 2_000 + round as u64));
+            let design = ermes::Design::new(soc.system, soc.pareto).expect("well-formed");
+            ermesd::SystemSpec::from_design(&design).to_json_pretty()
+        })
+        .collect();
+
+    println!("  workers  untraced[ms]  traced[ms]  overhead  hosts  identity");
+    let mut rows: Vec<TraceClusterRow> = Vec::new();
+    for workers in [1usize, 2, 4] {
+        let fleet: Vec<(std::net::SocketAddr, _)> = (0..workers)
+            .map(|_| {
+                let server = ermesd::Server::start(ermesd::ServerConfig {
+                    workers: 1,
+                    ..ermesd::ServerConfig::default()
+                })
+                .expect("bind worker");
+                let addr = server.addr();
+                (addr, std::thread::spawn(move || server.run()))
+            })
+            .collect();
+        let mut cluster =
+            ermesd::ClusterConfig::new(fleet.iter().map(|(addr, _)| addr.to_string()).collect());
+        cluster.probe_interval_ms = 200;
+        let coordinator = ermesd::Server::start(ermesd::ServerConfig {
+            cluster: Some(cluster),
+            ..ermesd::ServerConfig::default()
+        })
+        .expect("bind coordinator");
+        let coord_addr = coordinator.addr();
+        let coord_handle = std::thread::spawn(move || coordinator.run());
+
+        // The span journal is process-global, so clear the previous
+        // fleet's grafts before this one records (the host census below
+        // must see only this iteration's workers).
+        trace::reset();
+
+        // Warm every cache untimed so both timed passes measure the
+        // same steady state (sweeps all cache hits, stitching the only
+        // variable), then time untraced and traced passes.
+        for spec in &specs {
+            let (status, body) = cluster_http(coord_addr, "POST", &path, spec);
+            assert_eq!(status, 200, "{body}");
+        }
+        let timed_pass = |on: bool| -> (f64, Vec<String>) {
+            trace::set_enabled(on);
+            let started = std::time::Instant::now();
+            let bodies = specs
+                .iter()
+                .map(|spec| {
+                    let (status, body) = cluster_http(coord_addr, "POST", &path, spec);
+                    assert_eq!(status, 200, "{body}");
+                    body
+                })
+                .collect();
+            (
+                started.elapsed().as_secs_f64() * 1e3 / ROUNDS as f64,
+                bodies,
+            )
+        };
+        let (untraced_ms, untraced_bodies) = timed_pass(false);
+        let (traced_ms, traced_bodies) = timed_pass(true);
+        let identical = untraced_bodies == traced_bodies;
+
+        // Count distinct worker hosts stitched into the coordinator's
+        // journal — the proof the traced pass exercised the wire path.
+        let (_, trace_body) = cluster_http(coord_addr, "GET", "/trace?n=64", "");
+        let mut hosts: std::collections::BTreeSet<&str> = std::collections::BTreeSet::new();
+        for chunk in trace_body.split("\"host\":\"").skip(1) {
+            hosts.insert(chunk.split('"').next().unwrap_or(""));
+        }
+
+        let (status, _) = cluster_http(coord_addr, "POST", "/shutdown", "");
+        assert_eq!(status, 200);
+        coord_handle.join().expect("thread").expect("clean drain");
+        for (addr, handle) in fleet {
+            let (status, _) = cluster_http(addr, "POST", "/shutdown", "");
+            assert_eq!(status, 200);
+            handle.join().expect("thread").expect("clean drain");
+        }
+
+        let row = TraceClusterRow {
+            workers,
+            untraced_ms,
+            traced_ms,
+            overhead_percent: 100.0 * (traced_ms - untraced_ms) / untraced_ms,
+            stitched_hosts: hosts.len(),
+            bits_identical: identical,
+        };
+        println!(
+            "  {:>7}  {:>12.2}  {:>10.2}  {:>7.1}%  {:>5}  {}",
+            row.workers,
+            row.untraced_ms,
+            row.traced_ms,
+            row.overhead_percent,
+            row.stitched_hosts,
+            if row.bits_identical {
+                "bit-identical"
+            } else {
+                "MISMATCH"
+            }
+        );
+        assert!(
+            row.stitched_hosts >= workers.min(targets.len()),
+            "traced pass must stitch a subtree from every worker that served a subjob"
+        );
+        rows.push(row);
+    }
+    assert!(
+        rows.iter().all(|r| r.bits_identical),
+        "sweep bytes must not depend on whether tracing is enabled"
+    );
+    let json = tracecluster_json(&targets, ROUNDS, &rows);
+    match std::fs::write("BENCH_tracecluster.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_tracecluster.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_tracecluster.json: {e}"),
+    }
+    println!("\n(caches are warmed before either timed pass, so subjob compute is at its");
+    println!(" minimum and the overhead column is a worst case: per-subjob trailer");
+    println!(" serialization, parsing, clock alignment, and journal grafts over sweeps");
+    println!(" that otherwise only replay memoized values)");
+}
+
 fn run_pipeline() {
     banner("Functional MPEG-2-style pipeline on the process-network engine");
     let frames: Vec<mpeg2sys::Frame> = (0..6)
@@ -772,6 +963,7 @@ fn main() {
         "incremental" => run_incremental(),
         "verify" => run_verify(),
         "cluster" => run_cluster(),
+        "tracecluster" => run_tracecluster(),
         "pipeline" => run_pipeline(),
         "ablation" => run_ablation(),
         "sweep" => run_sweep(),
@@ -801,11 +993,12 @@ fn main() {
             run_incremental();
             run_verify();
             run_cluster();
+            run_tracecluster();
         }
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases incremental verify cluster pipeline ablation sweep all"
+                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases incremental verify cluster tracecluster pipeline ablation sweep all"
             );
             std::process::exit(2);
         }

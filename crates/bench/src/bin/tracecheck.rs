@@ -1,25 +1,43 @@
-//! Validate a Chrome-trace JSON file produced by `--trace-out`.
+//! Validate a trace file: Chrome-trace JSON from `--trace-out`, or the
+//! span-tree JSON served by a daemon's `GET /trace` / `GET /trace/slow`.
 //!
 //! ```text
 //! tracecheck <trace.json> [--require howard,ilp,chanorder,cache]
+//!                         [--require-host host:port,host:port]
 //! ```
 //!
-//! Checks the structural invariants the trace exporter guarantees —
-//! chrome://tracing silently tolerates (and mis-renders) violations, so
-//! CI asserts them here instead:
+//! The format is sniffed from the JSON shape: objects with `ph` fields
+//! (or a `traceEvents` wrapper) are Chrome duration events; objects
+//! with `children` fields are span trees, accepted bare, as an array,
+//! or wrapped in the flight recorder's `{"seq","reason","tree"}`
+//! entries.
+//!
+//! Chrome mode asserts the structural invariants the exporter
+//! guarantees — chrome://tracing silently tolerates (and mis-renders)
+//! violations, so CI asserts them here instead:
 //!
 //! - every event is a duration begin (`ph: "B"`) or end (`ph: "E"`),
 //! - per thread lane, timestamps are monotonically non-decreasing,
 //! - per thread lane, B/E events nest LIFO with matching names and no
 //!   dangling begin at end of file.
 //!
-//! `--require` additionally asserts that the named phases appear at
-//! least once, which is how the CI smoke test proves a traced sweep
-//! exercised the whole engine (Howard analysis, ILP sizing, channel
-//! ordering, cache probes) rather than silently short-circuiting.
+//! Tree mode asserts what the coordinator's graft guarantees: every
+//! span has `start_ns <= end_ns` and lies inside its parent's interval.
+//! The one documented exception is a subtree whose root carries
+//! `role: loser` — a hedge duplicate or late retry straggler grafted
+//! after the dispatching span may already have closed, so containment
+//! across *that* boundary is best-effort (the loser's own subtree is
+//! still fully checked).
+//!
+//! `--require` asserts that the named spans appear at least once, which
+//! is how the CI smoke test proves a traced sweep exercised the whole
+//! engine rather than silently short-circuiting. `--require-host`
+//! (tree mode) asserts that spans attributed to each named host are
+//! present — the proof that a cluster trace actually stitched every
+//! worker's subtree.
 
 use ermesd::json::{self, Value};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 fn fail(message: impl std::fmt::Display) -> ! {
     eprintln!("tracecheck: {message}");
@@ -32,32 +50,26 @@ fn field<'a>(event: &'a Value, key: &str, index: usize) -> &'a Value {
         .unwrap_or_else(|| fail(format_args!("event {index} has no `{key}` field")))
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.first() else {
-        eprintln!("usage: tracecheck <trace.json> [--require phase,phase,…]");
-        std::process::exit(2);
-    };
-    let required: Vec<String> = args
-        .iter()
-        .position(|a| a == "--require")
+fn list_flag(args: &[String], name: &str) -> Vec<String> {
+    args.iter()
+        .position(|a| a == name)
         .and_then(|i| args.get(i + 1))
         .map(|list| list.split(',').map(str::to_string).collect())
-        .unwrap_or_default();
+        .unwrap_or_default()
+}
 
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
-    let root = json::parse(&text).unwrap_or_else(|e| fail(format_args!("invalid JSON: {e}")));
-    let events = root
-        .get("traceEvents")
-        .and_then(Value::as_array)
-        .or_else(|| root.as_array())
-        .unwrap_or_else(|| fail("expected a `traceEvents` array (or a bare event array)"));
+/// Accumulated facts about a trace, shared by both modes.
+#[derive(Default)]
+struct Seen {
+    names: BTreeMap<String, u64>,
+    hosts: BTreeSet<String>,
+    threads: BTreeSet<u64>,
+}
 
+fn check_chrome(events: &[Value], seen: &mut Seen) {
     // Per thread lane: the currently open B names and the last timestamp.
     let mut stacks: BTreeMap<u64, Vec<String>> = BTreeMap::new();
     let mut last_ts: BTreeMap<u64, f64> = BTreeMap::new();
-    let mut names: BTreeMap<String, u64> = BTreeMap::new();
     for (index, event) in events.iter().enumerate() {
         let ph = field(event, "ph", index)
             .as_str()
@@ -79,11 +91,12 @@ fn main() {
             }
         }
         last_ts.insert(tid, ts);
+        seen.threads.insert(tid);
         let stack = stacks.entry(tid).or_default();
         match ph {
             "B" => {
                 stack.push(name.to_string());
-                *names.entry(name.to_string()).or_insert(0) += 1;
+                *seen.names.entry(name.to_string()).or_insert(0) += 1;
             }
             "E" => match stack.pop() {
                 Some(open) if open == name => {}
@@ -107,16 +120,138 @@ fn main() {
             ));
         }
     }
+}
+
+fn attr<'a>(node: &'a Value, key: &str) -> Option<&'a str> {
+    node.get("attrs")
+        .and_then(|a| a.get(key))
+        .and_then(Value::as_str)
+}
+
+/// Recursively validate one span-tree node. `parent` is the enclosing
+/// span's `(start_ns, end_ns)` interval, or `None` at a tree root.
+fn check_tree_node(node: &Value, parent: Option<(u64, u64)>, path: &str, seen: &mut Seen) {
+    let name = node
+        .get("name")
+        .and_then(Value::as_str)
+        .unwrap_or_else(|| fail(format_args!("{path}: span has no string `name`")));
+    let path = format!("{path}/{name}");
+    let bound = |key: &str| {
+        node.get(key)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| fail(format_args!("{path}: `{key}` is not an integer")))
+    };
+    let (start, end) = (bound("start_ns"), bound("end_ns"));
+    if end < start {
+        fail(format_args!(
+            "{path}: end_ns {end} precedes start_ns {start}"
+        ));
+    }
+    // A `role: loser` subtree (hedge duplicate / late retry straggler)
+    // may have been grafted after its parent span closed; containment
+    // across that one boundary is best-effort by design.
+    let exempt = attr(node, "role") == Some("loser");
+    if let Some((ps, pe)) = parent {
+        if !exempt && (start < ps || end > pe) {
+            fail(format_args!(
+                "{path}: span [{start}, {end}] escapes its parent's interval [{ps}, {pe}]"
+            ));
+        }
+    }
+    *seen.names.entry(name.to_string()).or_insert(0) += 1;
+    if let Some(host) = attr(node, "host") {
+        seen.hosts.insert(host.to_string());
+    }
+    if let Some(tid) = node.get("thread").and_then(Value::as_u64) {
+        seen.threads.insert(tid);
+    }
+    if let Some(children) = node.get("children").and_then(Value::as_array) {
+        for child in children {
+            check_tree_node(child, Some((start, end)), &path, seen);
+        }
+    }
+}
+
+/// One top-level tree-mode element: a bare tree, or a flight-recorder
+/// `{"seq","reason","tree"}` wrapper.
+fn check_tree_entry(entry: &Value, index: usize, seen: &mut Seen) {
+    let node = entry.get("tree").unwrap_or(entry);
+    check_tree_node(node, None, &format!("tree {index}"), seen);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.first() else {
+        eprintln!(
+            "usage: tracecheck <trace.json> [--require phase,phase,…] \
+             [--require-host host,host,…]"
+        );
+        std::process::exit(2);
+    };
+    let required = list_flag(&args, "--require");
+    let required_hosts = list_flag(&args, "--require-host");
+
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(format_args!("cannot read {path}: {e}")));
+    let root = json::parse(&text).unwrap_or_else(|e| fail(format_args!("invalid JSON: {e}")));
+
+    let mut seen = Seen::default();
+    let tree_count;
+    if let Some(events) = root
+        .get("traceEvents")
+        .and_then(Value::as_array)
+        .or_else(|| {
+            root.as_array()
+                .filter(|a| a.first().is_some_and(|e| e.get("ph").is_some()))
+        })
+    {
+        check_chrome(events, &mut seen);
+        tree_count = None;
+    } else if let Some(entries) = root.as_array() {
+        for (index, entry) in entries.iter().enumerate() {
+            check_tree_entry(entry, index, &mut seen);
+        }
+        tree_count = Some(entries.len());
+    } else if root.get("children").is_some() || root.get("tree").is_some() {
+        check_tree_entry(&root, 0, &mut seen);
+        tree_count = Some(1);
+    } else {
+        fail("expected Chrome duration events or span-tree JSON");
+    }
+
     for phase in &required {
-        if !names.contains_key(phase) {
+        if !seen.names.contains_key(phase) {
             fail(format_args!("required phase `{phase}` absent from trace"));
         }
     }
-    let spans: u64 = names.values().sum();
+    for host in &required_hosts {
+        if !seen.hosts.contains(host) {
+            fail(format_args!(
+                "no span attributed to required host `{host}` (saw: {})",
+                if seen.hosts.is_empty() {
+                    "none".to_string()
+                } else {
+                    seen.hosts.iter().cloned().collect::<Vec<_>>().join(", ")
+                }
+            ));
+        }
+    }
+    let spans: u64 = seen.names.values().sum();
+    let shape = match tree_count {
+        Some(n) => format!("{n} trees"),
+        None => format!("{} threads", seen.threads.len()),
+    };
+    let hosts = if seen.hosts.is_empty() {
+        String::new()
+    } else {
+        format!(
+            "; hosts: {}",
+            seen.hosts.iter().cloned().collect::<Vec<_>>().join(", ")
+        )
+    };
     println!(
-        "tracecheck: ok — {spans} spans on {} threads ({})",
-        stacks.len(),
-        names
+        "tracecheck: ok — {spans} spans in {shape} ({}{hosts})",
+        seen.names
             .iter()
             .map(|(n, c)| format!("{n}×{c}"))
             .collect::<Vec<_>>()

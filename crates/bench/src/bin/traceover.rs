@@ -14,6 +14,13 @@
 //! 3. time the warm sweep with tracing disabled → baseline runtime,
 //! 4. assert `spans × cost_per_span < 2% × runtime`.
 //!
+//! The same budget gates the distributed-tracing wire path: the span
+//! trees recorded by the enabled run are serialized to the
+//! `ermes-trace/1` wire form and parsed back — the exact work a worker
+//! (serialize) and coordinator (parse + graft input) pay per stitched
+//! subjob — asserting the round-trip is lossless and its cost also
+//! stays under the budget relative to the sweep it describes.
+//!
 //! ```text
 //! traceover [--budget-percent <f>] [--processes <n>] [--repeat <n>]
 //! ```
@@ -91,6 +98,7 @@ fn main() {
     trace::reset();
     black_box(warm(&cache));
     let spans = trace::spans_recorded();
+    let trees = trace::completed_trees(trace::DEFAULT_JOURNAL_CAPACITY);
     trace::set_enabled(false);
     trace::reset();
 
@@ -116,6 +124,33 @@ fn main() {
     );
     if percent > budget {
         eprintln!("traceover: FAIL — disabled tracing exceeds the {budget}% overhead budget");
+        std::process::exit(1);
+    }
+
+    // Wire path: serialize + reparse every span tree the enabled sweep
+    // recorded — what a worker pays to ship its subtrees as response
+    // trailers and a coordinator pays to read them back. Byte-for-byte
+    // re-serialization equality proves the round-trip is lossless.
+    assert!(!trees.is_empty(), "the enabled sweep must record trees");
+    let wire_started = Instant::now();
+    let mut wire_bytes = 0usize;
+    for tree in &trees {
+        let wire = tree.to_wire();
+        let back = trace::SpanTree::from_wire(&wire).expect("own wire form parses");
+        assert_eq!(wire, back.to_wire(), "wire round-trip must be lossless");
+        wire_bytes += wire.len();
+    }
+    let wire_seconds = wire_started.elapsed().as_secs_f64();
+    let wire_percent = 100.0 * wire_seconds / runtime;
+    println!(
+        "traceover: wire round-trip of {} trees ({wire_bytes} bytes) in {:.3} ms \
+         over a {:.1} ms warm sweep ({wire_percent:.3}% <= {budget}% budget)",
+        trees.len(),
+        wire_seconds * 1e3,
+        runtime * 1e3,
+    );
+    if wire_percent > budget {
+        eprintln!("traceover: FAIL — wire serialization exceeds the {budget}% overhead budget");
         std::process::exit(1);
     }
 }

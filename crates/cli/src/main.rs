@@ -22,21 +22,28 @@ USAGE:
     ermes fsm      <spec.json> <process>
     ermes serve    [--addr <host:port>] [--workers <n>] [--queue <n>]
                    [--coordinator]  (then --workers lists host:port peers)
+    ermes top      [host:port] [--slow <n>]
 
 `--jobs <n>` threads the exploration engine (0 = all hardware threads,
 default 1); results are bit-identical at any value. `serve` runs the
 analysis daemon (see the `ermesd` crate): POST /analyze, /order,
 /explore?target=N, /sweep?targets=a,b,c, /verify; GET /healthz,
-/metrics, /trace. `verify` certifies the spec deadlock-free (exact
-steady-state period, cross-checked against the spectral analysis) or
-refutes it with a concrete counterexample trace.
+/metrics, /trace, /trace/slow. `top` summarizes a running daemon:
+per-phase time from /metrics (per node when the daemon is a cluster
+coordinator federating its workers) plus the flight recorder's
+retained slow/errored/degraded requests from /trace/slow. `verify`
+certifies the spec deadlock-free (exact steady-state period,
+cross-checked against the spectral analysis) or refutes it with a
+concrete counterexample trace.
 
 Every analysis command also accepts:
-    --trace-out <file>   write a Chrome-trace JSON of the run (open in
-                         chrome://tracing or https://ui.perfetto.dev)
-    --trace-summary      print per-phase time, cache hit rate, ILP
-                         solver counters (nodes, warm-start hits), and
-                         the slowest SCCs after the command's output
+    --trace-out <file>        write a Chrome-trace JSON of the run (open
+                              in chrome://tracing or ui.perfetto.dev)
+    --trace-out-folded <file> write collapsed stacks (`a;b;c weight_ns`
+                              lines) for flamegraph tooling
+    --trace-summary           print per-phase time, cache hit rate, ILP
+                              solver counters (nodes, warm-start hits),
+                              and the slowest SCCs after the output
 
 Tracing stays off (a single atomic check per engine phase) unless one of
 the flags is given; results are bit-identical either way.
@@ -88,18 +95,151 @@ fn serve(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     Ok(())
 }
 
+/// One blocking `GET` against a daemon, over the same hand-rolled
+/// HTTP/1.1 client the coordinator uses for its workers.
+fn http_get(addr: &str, target: &str) -> Result<(u16, String), Box<dyn std::error::Error>> {
+    let stream = std::net::TcpStream::connect(addr)?;
+    let timeout = Some(std::time::Duration::from_secs(5));
+    stream.set_read_timeout(timeout)?;
+    stream.set_write_timeout(timeout)?;
+    let mut writer = stream.try_clone()?;
+    ermesd::http::write_request(
+        &mut writer,
+        "GET",
+        target,
+        &[("host", addr.to_string())],
+        &[],
+    )?;
+    let response =
+        ermesd::http::read_response(&mut std::io::BufReader::new(stream), 16 * 1024 * 1024)?;
+    Ok((
+        response.status,
+        String::from_utf8_lossy(&response.body).into_owned(),
+    ))
+}
+
+/// `ermes top`: summarize a running daemon — per-phase engine time from
+/// `/metrics` (per node when the daemon is a coordinator federating its
+/// workers) and the flight recorder's retained requests from
+/// `/trace/slow`.
+fn top(args: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let addr = args
+        .get(1)
+        .filter(|a| !a.starts_with("--"))
+        .cloned()
+        .unwrap_or_else(|| "127.0.0.1:7878".into());
+    let slow_n: usize = flag(args, "--slow").map_or(Ok(8), |s| s.parse())?;
+
+    let (status, metrics) = http_get(&addr, "/metrics")?;
+    if status != 200 {
+        return Err(format!("GET /metrics returned {status}").into());
+    }
+    // (node, phase) -> (sum seconds, count); the coordinator's own
+    // samples carry no `node` label, federated worker samples do.
+    let mut phases: std::collections::BTreeMap<(String, String), (f64, u64)> =
+        std::collections::BTreeMap::new();
+    for line in metrics.lines() {
+        let (suffix, is_sum) = if let Some(rest) = line.strip_prefix("ermes_phase_seconds_sum{") {
+            (rest, true)
+        } else if let Some(rest) = line.strip_prefix("ermes_phase_seconds_count{") {
+            (rest, false)
+        } else {
+            continue;
+        };
+        let Some((labels, value)) = suffix.split_once("} ") else {
+            continue;
+        };
+        let mut node = String::from("(coordinator)");
+        let mut phase = String::new();
+        for label in labels.split(',') {
+            if let Some((k, v)) = label.split_once('=') {
+                let v = v.trim_matches('"').to_string();
+                match k {
+                    "node" => node = v,
+                    "phase" => phase = v,
+                    _ => {}
+                }
+            }
+        }
+        if phase.is_empty() {
+            continue;
+        }
+        let entry = phases.entry((node, phase)).or_insert((0.0, 0));
+        if is_sum {
+            entry.0 = value.parse().unwrap_or(0.0);
+        } else {
+            entry.1 = value.parse().unwrap_or(0);
+        }
+    }
+    println!("{addr} — engine phases");
+    if phases.is_empty() {
+        println!("  (no phase samples yet — run a traced or load-bearing request first)");
+    } else {
+        println!(
+            "  {:<22} {:<16} {:>8} {:>12} {:>10}",
+            "node", "phase", "count", "total", "mean"
+        );
+        for ((node, phase), (sum, count)) in &phases {
+            let mean_ms = if *count > 0 {
+                sum * 1e3 / *count as f64
+            } else {
+                0.0
+            };
+            println!("  {node:<22} {phase:<16} {count:>8} {sum:>11.3}s {mean_ms:>8.2}ms");
+        }
+    }
+
+    let (status, slow) = http_get(&addr, &format!("/trace/slow?n={slow_n}"))?;
+    if status != 200 {
+        return Err(format!("GET /trace/slow returned {status}").into());
+    }
+    println!("\nflight recorder — retained requests (newest {slow_n})");
+    let mut any = false;
+    // The body is `[{"seq":N,"reason":"...","tree":{...}},...]`; pick
+    // out each entry's seq, reason, and root name/duration without a
+    // full JSON parse — the daemon emits these fields in fixed order.
+    for chunk in slow.split("{\"seq\":").skip(1) {
+        let seq: &str = chunk
+            .split(|c: char| !c.is_ascii_digit())
+            .next()
+            .unwrap_or("?");
+        let reason = field_after(chunk, "\"reason\":\"").unwrap_or("?");
+        let name = field_after(chunk, "\"name\":\"").unwrap_or("?");
+        let duration_ms = field_after(chunk, "\"duration_ns\":")
+            .and_then(|v| v.parse::<f64>().ok())
+            .map_or(0.0, |ns| ns / 1e6);
+        println!("  #{seq:<6} {reason:<10} {name:<16} {duration_ms:>10.2}ms");
+        any = true;
+    }
+    if !any {
+        println!("  (none retained — no slow, errored, degraded, or retried requests)");
+    }
+    Ok(())
+}
+
+/// The run of non-delimiter characters right after `key` in `text`
+/// (stops at `"`, `,`, or `}`).
+fn field_after<'t>(text: &'t str, key: &str) -> Option<&'t str> {
+    let rest = &text[text.find(key)? + key.len()..];
+    Some(rest.split(['"', ',', '}']).next().unwrap_or(rest))
+}
+
 fn run() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("serve") {
         return serve(&args);
+    }
+    if args.first().map(String::as_str) == Some("top") {
+        return top(&args);
     }
     let (Some(command), Some(path)) = (args.first(), args.get(1)) else {
         eprint!("{USAGE}");
         std::process::exit(2);
     };
     let trace_out = flag(&args, "--trace-out");
+    let trace_out_folded = flag(&args, "--trace-out-folded");
     let trace_summary = args.iter().any(|a| a == "--trace-summary");
-    if trace_out.is_some() || trace_summary {
+    if trace_out.is_some() || trace_out_folded.is_some() || trace_summary {
         trace::set_enabled(true);
     }
     let command_span = trace::span("command");
@@ -180,6 +320,9 @@ fn run() -> Result<(), Box<dyn std::error::Error>> {
     drop(command_span);
     if let Some(out) = trace_out {
         std::fs::write(out, trace::chrome_trace())?;
+    }
+    if let Some(out) = trace_out_folded {
+        std::fs::write(out, trace::folded_trace(trace::DEFAULT_JOURNAL_CAPACITY))?;
     }
     if trace_summary {
         print!("\n{}", trace::summary_report());

@@ -24,7 +24,8 @@ USAGE:
 
 Endpoints: POST /analyze, /order, /explore?target=N, /sweep?targets=a,b,c,
 /session, /session/{id}/edit, /shutdown; DELETE /session/{id};
-GET /healthz, /metrics.
+GET /healthz, /metrics (federates worker samples under a node label in
+coordinator mode), /trace, /trace/slow (tail-sampled flight recorder).
 
 Chaos testing: set ERMES_FAULTPOINTS to a deterministic fault plan, e.g.
     ERMES_FAULTPOINTS='seed=42;worker.job=panic@0.05;http.write=short@0.02'

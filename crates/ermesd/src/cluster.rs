@@ -138,6 +138,18 @@ struct Wire {
     body: Vec<u8>,
 }
 
+/// Where a returned worker span tree should be stitched, shared by every
+/// exchange thread of one dispatch. `settled` is claimed by the first
+/// response the dispatcher would accept (a non-retryable status); that
+/// exchange's tree grafts as `role=winner`, every duplicate — a hedge
+/// partner or a late retry straggler — as `role=loser`. Best-effort: the
+/// claim races the channel, so under a hedge tie the labels can swap.
+#[derive(Clone)]
+struct GraftPlan {
+    ctx: trace::Context,
+    settled: Arc<AtomicBool>,
+}
+
 /// The coordinator's view of its worker fleet.
 pub(crate) struct Cluster {
     config: ClusterConfig,
@@ -269,8 +281,11 @@ impl Cluster {
         target: &str,
         body: &[u8],
     ) -> Result<ClientResponse, DispatchError> {
+        let _dispatch_span = trace::span("dispatch");
+        trace::attr("target", target);
         let order = self.replicas(key);
         if order.is_empty() {
+            trace::attr("outcome", "no_live_workers");
             return Err(DispatchError::NoLiveWorkers);
         }
         let mut headers: Vec<(&'static str, String)> = Vec::new();
@@ -280,7 +295,16 @@ impl Cluster {
                 "x-ermes-trace",
                 format!("{}/{}", ctx.trace_id(), ctx.parent()),
             ));
+            // Ask the worker to append its span tree to the response so
+            // it can be stitched under this dispatch span. Only traced
+            // coordinator requests carry this, so direct clients keep
+            // byte-identical bodies.
+            headers.push(("x-ermes-trace-tree", "1".to_string()));
         }
+        let graft = GraftPlan {
+            ctx,
+            settled: Arc::new(AtomicBool::new(false)),
+        };
         let wire = Arc::new(Wire {
             method: method.to_string(),
             target: target.to_string(),
@@ -294,6 +318,8 @@ impl Cluster {
         for attempt in 0..attempts {
             if attempt > 0 {
                 self.metrics.record_retry();
+                // A request that needed a retry is worth keeping whole.
+                trace::flight::flag(ctx.trace_id(), "retried");
                 std::thread::sleep(backoff.delay(attempt - 1));
             }
             let live: Vec<usize> = order
@@ -302,13 +328,14 @@ impl Cluster {
                 .filter(|&w| self.state_of(w) != HealthState::Down)
                 .collect();
             if live.is_empty() {
+                trace::attr("outcome", "no_live_workers");
                 return Err(DispatchError::NoLiveWorkers);
             }
             let primary = live[attempt as usize % live.len()];
             let hedge = (live.len() > 1 && self.config.hedge_after_ms > 0)
                 .then(|| live[(attempt as usize + 1) % live.len()]);
             self.metrics.record_subjob();
-            match self.exchange_hedged(primary, hedge, &wire) {
+            match self.exchange_hedged(primary, hedge, &wire, &graft) {
                 Ok(response) if retryable_status(response.status) => {
                     last_error = format!(
                         "worker returned {} ({})",
@@ -316,10 +343,15 @@ impl Cluster {
                         String::from_utf8_lossy(&response.body).trim()
                     );
                 }
-                Ok(response) => return Ok(response),
+                Ok(response) => {
+                    trace::attr("outcome", "ok");
+                    trace::attr("attempts", attempt + 1);
+                    return Ok(response);
+                }
                 Err(e) => last_error = e.to_string(),
             }
         }
+        trace::attr("outcome", "exhausted");
         Err(DispatchError::Exhausted {
             attempts,
             last_error,
@@ -334,9 +366,10 @@ impl Cluster {
         primary: usize,
         hedge: Option<usize>,
         wire: &Arc<Wire>,
+        graft: &GraftPlan,
     ) -> std::io::Result<ClientResponse> {
         let (tx, rx) = mpsc::channel();
-        self.spawn_exchange(primary, wire, tx.clone());
+        self.spawn_exchange(primary, wire, tx.clone(), graft);
         let mut outstanding = 1u32;
         let budget = Duration::from_millis(self.config.subjob_timeout_ms.max(1));
         let mut first_result = match hedge {
@@ -345,7 +378,8 @@ impl Cluster {
                 Ok(result) => Some(result),
                 Err(mpsc::RecvTimeoutError::Timeout) => {
                     self.metrics.record_hedge();
-                    self.spawn_exchange(h, wire, tx.clone());
+                    trace::attr("hedged", 1);
+                    self.spawn_exchange(h, wire, tx.clone(), graft);
                     outstanding += 1;
                     None
                 }
@@ -382,20 +416,85 @@ impl Cluster {
         worker: usize,
         wire: &Arc<Wire>,
         tx: mpsc::Sender<std::io::Result<ClientResponse>>,
+        graft: &GraftPlan,
     ) {
         let cluster = Arc::clone(self);
         let wire = Arc::clone(wire);
-        let ctx = trace::current_context();
+        let graft = graft.clone();
         std::thread::spawn(move || {
-            let _adopted = trace::adopt(ctx);
+            let _adopted = trace::adopt(graft.ctx);
             let timeout = Duration::from_millis(cluster.config.subjob_timeout_ms.max(1));
-            let result = send_once(&cluster.workers[worker].addr, &wire, timeout);
+            // Send/recv stamps on *this* clock bracket the exchange: they
+            // are the Cristian window the worker's tree is aligned into.
+            let send_ns = trace::now_ns();
+            let mut result = send_once(&cluster.workers[worker].addr, &wire, timeout);
+            let recv_ns = trace::now_ns();
             // Transport outcome feeds health; an HTTP error status is
             // still a live worker.
             cluster.record_outcome(worker, result.is_ok());
+            if let Ok(response) = &mut result {
+                // Strip unconditionally: the caller (and the client) must
+                // see exactly the bytes a direct worker hit would return.
+                let tree_text = strip_tree_trailer(&mut response.body);
+                let accepted = !retryable_status(response.status)
+                    && graft
+                        .settled
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Acquire)
+                        .is_ok();
+                if let Some(text) = tree_text {
+                    if let Ok(tree) = trace::SpanTree::from_wire(&text) {
+                        let role = if accepted { "winner" } else { "loser" };
+                        trace::graft_tree(
+                            &tree,
+                            graft.ctx,
+                            (send_ns, recv_ns),
+                            &cluster.workers[worker].addr,
+                            &[("role", role)],
+                        );
+                    }
+                }
+            }
             let _ = tx.send(result);
         });
     }
+
+    /// Fetches `/metrics` from every worker not currently `Down`, for
+    /// federation into the coordinator's exposition. Scrapes ride the
+    /// probe path — no `cluster.request` faultpoint — so a seeded chaos
+    /// plan's decision stream is still consumed by dispatches only, but
+    /// their transport outcomes feed the same health tracker dispatch
+    /// routes by.
+    pub(crate) fn scrape_worker_metrics(&self) -> Vec<(String, String)> {
+        let timeout = Duration::from_millis(self.config.subjob_timeout_ms.clamp(1, 2_000));
+        let mut scraped = Vec::new();
+        for w in 0..self.workers.len() {
+            if self.state_of(w) == HealthState::Down {
+                continue;
+            }
+            let addr = self.workers[w].addr.clone();
+            match fetch_text(&addr, "/metrics", timeout) {
+                Some(text) => {
+                    self.record_outcome(w, true);
+                    scraped.push((addr, text));
+                }
+                None => self.record_outcome(w, false),
+            }
+        }
+        scraped
+    }
+}
+
+/// Splits a worker response body at the trace-tree trailer, if present:
+/// returns the wire document and truncates the body back to the exact
+/// bytes a direct client would have received.
+fn strip_tree_trailer(body: &mut Vec<u8>) -> Option<String> {
+    let marker = trace::TRAILER_MARKER.as_bytes();
+    let pos = body
+        .windows(marker.len())
+        .rposition(|window| window == marker)?;
+    let tree = String::from_utf8_lossy(&body[pos + marker.len()..]).into_owned();
+    body.truncate(pos);
+    Some(tree)
 }
 
 /// Statuses worth retrying on another replica: shed (429), draining
@@ -485,6 +584,22 @@ fn probe_loop(cluster: &Arc<Cluster>) {
     }
 }
 
+/// One plain GET on the probe path (no faultpoint): the body as text on
+/// a 200, `None` on any transport or HTTP failure.
+fn fetch_text(addr: &str, target: &str, timeout: Duration) -> Option<String> {
+    let sock_addr = addr.to_socket_addrs().ok()?.next()?;
+    let stream = TcpStream::connect_timeout(&sock_addr, timeout).ok()?;
+    stream.set_read_timeout(Some(timeout)).ok()?;
+    stream.set_write_timeout(Some(timeout)).ok()?;
+    {
+        let mut writer = BufWriter::new(&stream);
+        write_request(&mut writer, "GET", target, &[], b"").ok()?;
+    }
+    let mut reader = BufReader::new(&stream);
+    let response = read_response(&mut reader, 4 * 1024 * 1024).ok()?;
+    (response.status == 200).then(|| String::from_utf8_lossy(&response.body).into_owned())
+}
+
 /// One probe: healthy iff `/healthz` answers 200 with first line `ok`.
 fn probe_once(addr: &str, timeout: Duration) -> bool {
     let Ok(mut it) = addr.to_socket_addrs() else {
@@ -551,15 +666,24 @@ pub(crate) fn shard_key(spec_json: &str, target: u64) -> u64 {
 
 /// Parses the `x-ermes-trace: trace_id/span_id` header a coordinator
 /// attaches to forwarded subjobs. Anything unparsable yields the
-/// inactive context (adopting it is a no-op).
+/// inactive context (adopting it is a no-op) — but a header that was
+/// *present* and malformed is counted in
+/// `ermes_trace_header_invalid_total`, because it means a peer thinks it
+/// is propagating a trace and silently is not.
 pub(crate) fn parse_trace_header(value: Option<&str>) -> trace::Context {
-    let Some((trace_id, parent)) = value.and_then(|v| v.split_once('/')) else {
+    let Some(value) = value else {
         return trace::Context::none();
     };
-    match (trace_id.trim().parse(), parent.trim().parse()) {
-        (Ok(t), Ok(p)) => trace::Context::from_parts(t, p),
-        _ => trace::Context::none(),
-    }
+    let parsed = value.split_once('/').and_then(|(trace_id, parent)| {
+        match (trace_id.trim().parse(), parent.trim().parse()) {
+            (Ok(t), Ok(p)) => Some(trace::Context::from_parts(t, p)),
+            _ => None,
+        }
+    });
+    parsed.unwrap_or_else(|| {
+        crate::metrics::record_trace_header_invalid();
+        trace::Context::none()
+    })
 }
 
 /// Exact wire form of one sweep point, as returned by a worker's
@@ -718,6 +842,51 @@ mod tests {
         for bad in [None, Some(""), Some("12"), Some("a/b"), Some("12/")] {
             assert!(!parse_trace_header(bad).is_active(), "{bad:?}");
         }
+    }
+
+    #[test]
+    fn malformed_trace_headers_are_counted_absent_and_valid_ones_are_not() {
+        let before = crate::metrics::trace_header_invalid_total();
+        let malformed = [
+            Some(""),
+            Some("12"),
+            Some("a/b"),
+            Some("12/"),
+            Some("/34"),
+            Some("12/34/56"),
+            Some("0x1/2"),
+            Some(" / "),
+        ];
+        for bad in malformed {
+            assert!(!parse_trace_header(bad).is_active(), "{bad:?}");
+        }
+        // An absent header and a well-formed one are not "invalid".
+        let _ = parse_trace_header(None);
+        let _ = parse_trace_header(Some("12/34"));
+        let counted = crate::metrics::trace_header_invalid_total() - before;
+        // `>=` because the counter is process-global and other tests may
+        // run concurrently; every malformed case above must have landed.
+        assert!(
+            counted >= malformed.len() as u64,
+            "counted {counted} invalid headers, expected at least {}",
+            malformed.len()
+        );
+    }
+
+    #[test]
+    fn tree_trailer_strips_back_to_client_bytes() {
+        let original = b"point 1000 3/2 3fe0000000000000 1\n".to_vec();
+        let mut with_tree = original.clone();
+        with_tree.extend_from_slice(trace::TRAILER_MARKER.as_bytes());
+        with_tree.extend_from_slice(b"ermes-trace/1 1\n7 0 1 0 10 request\n");
+        let tree = strip_tree_trailer(&mut with_tree).expect("trailer found");
+        assert_eq!(with_tree, original, "body restored to client bytes");
+        let parsed = trace::SpanTree::from_wire(&tree).expect("wire parses");
+        assert_eq!(parsed.record.name, "request");
+        // A body without a trailer is left untouched.
+        let mut plain = original.clone();
+        assert!(strip_tree_trailer(&mut plain).is_none());
+        assert_eq!(plain, original);
     }
 
     #[test]

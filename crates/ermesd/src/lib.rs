@@ -57,6 +57,15 @@
 //! **bit-identical to a single-node daemon** at any worker count, retry
 //! schedule, or mid-job worker failure.
 //!
+//! Observability spans the fleet too: with tracing enabled the
+//! coordinator asks each worker to append its subjob span tree to the
+//! response (a trailer stripped before bytes reach the client) and
+//! grafts it under the dispatching span with clock-offset alignment, so
+//! `GET /trace` shows one cluster-wide tree whose nodes carry `host`
+//! attributes, with retries and hedges as `winner`/`loser` sibling
+//! subtrees. `GET /metrics` federates every worker's samples under a
+//! `node` label next to the coordinator's own.
+//!
 //! # Endpoints
 //!
 //! | Route | Body | Response |
@@ -71,8 +80,10 @@
 //! | `POST /session/{id}/edit` | edit JSON | full analysis after the edit, computed incrementally |
 //! | `POST /session/{id}/verify` | — | certificate/counterexample for the session's current design |
 //! | `DELETE /session/{id}` | — | closes the session |
-//! | `GET /healthz` | — | `ok` + worker liveness and restart count |
-//! | `GET /metrics` | — | Prometheus text format |
+//! | `GET /healthz` | — | `ok` + worker liveness, restart count, trace-journal occupancy |
+//! | `GET /metrics` | — | Prometheus text format (coordinator federates worker samples under a `node` label) |
+//! | `GET /trace` | — | recent span trees as JSON (`?n=` to bound) |
+//! | `GET /trace/slow` | — | tail-sampled flight recorder: trees retained for slow/errored/degraded/retried requests |
 //! | `POST /shutdown` | — | acknowledges, then drains in-flight work and exits |
 //!
 //! # Sessions

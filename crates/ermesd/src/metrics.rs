@@ -127,6 +127,53 @@ impl ClusterMetrics {
     }
 }
 
+/// Malformed `x-ermes-trace` headers seen by this process. Global (not
+/// per-`Metrics`) because the parse site — `cluster::parse_trace_header`
+/// — runs on connection threads with no `Metrics` handle in reach, and
+/// a process only ever has one answer to "how often are peers sending
+/// me garbage trace headers".
+static TRACE_HEADER_INVALID: AtomicU64 = AtomicU64::new(0);
+
+/// Counts one present-but-unparsable `x-ermes-trace` header.
+pub fn record_trace_header_invalid() {
+    TRACE_HEADER_INVALID.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Malformed `x-ermes-trace` headers seen so far (monotone).
+#[must_use]
+pub fn trace_header_invalid_total() -> u64 {
+    TRACE_HEADER_INVALID.load(Ordering::Relaxed)
+}
+
+/// Rewrites a worker's Prometheus exposition for federation into the
+/// coordinator's scrape: every sample line gains `node="<addr>"` as its
+/// first label; comment (`# HELP`/`# TYPE`) and blank lines are dropped
+/// (the coordinator's own exposition already carries the metadata for
+/// shared metric names, and repeating it per node would say nothing
+/// new). Metric names never contain `{`, so the first `{` on a line is
+/// the label-set opener.
+#[must_use]
+pub fn federate_exposition(node: &str, exposition: &str) -> String {
+    let mut out = String::with_capacity(exposition.len() + 64);
+    let _ = writeln!(out, "# federated from worker {node}");
+    for line in exposition.lines() {
+        let line = line.trim_end();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if let Some(brace) = line.find('{') {
+            let (name, rest) = line.split_at(brace);
+            // rest = `{existing_labels} value`
+            let _ = writeln!(out, "{name}{{node=\"{node}\",{}", &rest[1..]);
+        } else if let Some((name, value)) = line.split_once(' ') {
+            let _ = writeln!(out, "{name}{{node=\"{node}\"}} {value}");
+        }
+        // A line with neither labels nor a value separator is not a
+        // sample; drop it rather than forward garbage.
+    }
+    out
+}
+
 /// Cumulative bucket counts plus sum/count for one endpoint.
 #[derive(Debug, Default, Clone)]
 struct EndpointHistogram {
@@ -476,6 +523,35 @@ mod tests {
             "{text}"
         );
         assert!(text.contains("ermes_worker_restarts_total 2"));
+    }
+
+    #[test]
+    fn federation_injects_the_node_label_first_and_drops_comments() {
+        let worker = "# HELP ermesd_requests_total Requests served.\n\
+                      # TYPE ermesd_requests_total counter\n\
+                      ermesd_requests_total{endpoint=\"analyze\",status=\"200\"} 7\n\
+                      ermesd_queue_depth 3\n\
+                      \n\
+                      not-a-sample-line\n";
+        let federated = federate_exposition("10.0.0.7:7891", worker);
+        assert!(
+            federated.starts_with("# federated from worker 10.0.0.7:7891\n"),
+            "{federated}"
+        );
+        assert!(federated.contains(
+            "ermesd_requests_total{node=\"10.0.0.7:7891\",endpoint=\"analyze\",status=\"200\"} 7"
+        ));
+        assert!(federated.contains("ermesd_queue_depth{node=\"10.0.0.7:7891\"} 3"));
+        assert!(!federated.contains("# HELP"), "comments dropped");
+        assert!(!federated.contains("not-a-sample"), "non-samples dropped");
+    }
+
+    #[test]
+    fn invalid_trace_header_counter_is_monotone() {
+        let before = trace_header_invalid_total();
+        record_trace_header_invalid();
+        record_trace_header_invalid();
+        assert!(trace_header_invalid_total() >= before + 2);
     }
 
     #[test]

@@ -497,6 +497,7 @@ fn route(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
         ("GET", "/healthz") => Outcome::reply("healthz", healthz_response(inner)),
         ("GET", "/metrics") => Outcome::reply("metrics", metrics_response(inner)),
         ("GET", "/trace") => Outcome::reply("trace", trace_response(req)),
+        ("GET", "/trace/slow") => Outcome::reply("trace_slow", trace_slow_response(req)),
         ("POST", "/shutdown") => Outcome {
             response: Response::text(200, "draining\n"),
             endpoint: "shutdown",
@@ -515,7 +516,7 @@ fn route(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
         }
         // Known paths with the wrong method: 405 with the allowed verb,
         // never a 404 (the resource exists; the method is the problem).
-        (_, "/healthz" | "/metrics" | "/trace") => {
+        (_, "/healthz" | "/metrics" | "/trace" | "/trace/slow") => {
             Outcome::reply("other", method_not_allowed("GET"))
         }
         (
@@ -587,6 +588,13 @@ fn healthz_response(inner: &Inner) -> Response {
     let mut body = format!("ok\nworkers: {alive}/{workers} alive\nworker restarts: {restarts}\n");
     let _ = writeln!(body, "sessions live: {}", inner.sessions.live());
     let _ = writeln!(body, "queue depth: {queue_depth}");
+    let (journal_live, journal_capacity) = trace::journal_occupancy();
+    let flight = trace::flight::stats();
+    let _ = writeln!(
+        body,
+        "trace: journal {journal_live}/{journal_capacity}, flight {} retained, {} dropped",
+        flight.retained_live, flight.dropped_total
+    );
     if let Some(cluster) = &inner.cluster {
         let states = cluster.worker_states();
         let up = states
@@ -724,6 +732,21 @@ fn metrics_response(inner: &Inner) -> Response {
             "Interactive sessions dropped after a panicked edit.",
             inner.sessions.dropped.load(Ordering::Relaxed),
         ),
+        (
+            "ermes_trace_header_invalid_total",
+            "Present-but-malformed x-ermes-trace headers received.",
+            crate::metrics::trace_header_invalid_total(),
+        ),
+        (
+            "ermes_trace_flight_retained_total",
+            "Span trees retained by the tail-sampling flight recorder.",
+            trace::flight::stats().retained_total,
+        ),
+        (
+            "ermes_trace_flight_dropped_total",
+            "Retained span trees lost to flight-recorder ring overflow.",
+            trace::flight::stats().dropped_total,
+        ),
     ];
     if let Some(cluster) = &inner.cluster {
         let states = cluster.worker_states();
@@ -748,6 +771,14 @@ fn metrics_response(inner: &Inner) -> Response {
     let mut body = inner.metrics.render(&gauges, &sampled_counters);
     body.push_str(&render_per_design_cache(&per_design));
     body.push_str(&crate::metrics::render_phase_histograms());
+    // Coordinator mode: federate every reachable worker's exposition,
+    // each sample gaining a `node` label, so one scrape of the
+    // coordinator sees the whole fleet.
+    if let Some(cluster) = &inner.cluster {
+        for (addr, exposition) in cluster.scrape_worker_metrics() {
+            body.push_str(&crate::metrics::federate_exposition(&addr, &exposition));
+        }
+    }
     Response::text(200, body)
 }
 
@@ -804,6 +835,57 @@ fn trace_response(req: &Request) -> Response {
     let mut response = Response::text(200, out);
     response.content_type = "application/json";
     response
+}
+
+/// `GET /trace/slow`: the flight recorder's retained trees — requests
+/// that were slow (rolling per-endpoint p99 exceeders), errored,
+/// panicked, degraded, or retried — oldest first, each wrapped with its
+/// retention reason. `?n=` caps to the newest `n`.
+fn trace_slow_response(req: &Request) -> Response {
+    use std::fmt::Write as _;
+    let n = req
+        .query_param("n")
+        .and_then(|v| v.parse::<usize>().ok())
+        .unwrap_or(trace::flight::DEFAULT_FLIGHT_CAPACITY)
+        .max(1);
+    let retained = trace::flight::retained();
+    let skip = retained.len().saturating_sub(n);
+    let mut out = String::from("[");
+    for (i, entry) in retained[skip..].iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(
+            out,
+            "{{\"seq\":{},\"reason\":\"{}\",\"tree\":",
+            entry.seq,
+            json_escape(entry.reason)
+        );
+        write_tree_json(&mut out, &entry.tree);
+        out.push('}');
+    }
+    out.push_str("]\n");
+    let mut response = Response::text(200, out);
+    response.content_type = "application/json";
+    response
+}
+
+/// Appends this request's completed span tree to a response body, in
+/// the versioned wire form behind [`trace::TRAILER_MARKER`], for the
+/// coordinator to stitch (and strip before relaying). Only called when
+/// the request carried `x-ermes-trace-tree`, so a direct client's bytes
+/// never change. `root_id` is the request span's id, captured while it
+/// was open; a zero id (tracing disabled) attaches nothing.
+fn append_tree_trailer(response: &mut Response, root_id: u64) {
+    if root_id == 0 || response.status != 200 {
+        return;
+    }
+    if let Some(tree) = trace::subtree(root_id) {
+        response
+            .body
+            .extend_from_slice(trace::TRAILER_MARKER.as_bytes());
+        response.body.extend_from_slice(tree.to_wire().as_bytes());
+    }
 }
 
 fn write_tree_json(out: &mut String, tree: &trace::SpanTree) {
@@ -866,6 +948,13 @@ fn analysis_endpoint(
     endpoint: &'static str,
     conn: Option<&TcpStream>,
 ) -> Outcome {
+    // A coordinator forwarding `/explore` propagates its trace position;
+    // adopting it makes this worker's request span a child of the
+    // coordinator's dispatch span (in id space — the span itself ships
+    // back via the tree trailer below). Absent or malformed headers
+    // adopt the inactive context, a no-op.
+    let _adopted = trace::adopt(parse_trace_header(req.header("x-ermes-trace")));
+    let want_tree = req.header("x-ermes-trace-tree").is_some();
     let body = match std::str::from_utf8(&req.body) {
         Ok(text) => text,
         Err(_) => {
@@ -925,6 +1014,7 @@ fn analysis_endpoint(
     // including truncated trees of cancelled and panicked jobs.
     let request_span = trace::span("request");
     trace::attr("endpoint", endpoint);
+    let root_id = trace::current_context().parent();
     let job = move || run_command(endpoint, &spec, &params, &cache, &job_token);
     let result = inner.run_job(deadline, &cancel, conn, job);
     trace::attr(
@@ -938,11 +1028,14 @@ fn analysis_endpoint(
         },
     );
     drop(request_span);
-    let response = match result {
+    let mut response = match result {
         Ok(Ok(body)) => Response::text(200, body),
         Ok(Err(e)) => error_response(inner, &e),
         Err(shed) => shed_response(inner, &shed),
     };
+    if want_tree {
+        append_tree_trailer(&mut response, root_id);
+    }
     // A 499 means the client is gone; drop the connection after the
     // (best-effort) write instead of waiting for another request.
     let close_after = response.status == 499;
@@ -1225,6 +1318,10 @@ fn local_point(
     cancel: &CancelToken,
 ) -> SubjobOutcome {
     cluster.metrics.record_degraded();
+    // A degraded request is flight-recorder material even though its
+    // root span will close with `outcome=ok` (the client never sees
+    // cluster trouble).
+    trace::flight::flag(trace::current_context().trace_id(), "degraded");
     match ermes::sweep_point(design.clone(), target, options, cache, Some(cancel)) {
         Ok(point) => SubjobOutcome::Point(point),
         Err(e) => SubjobOutcome::Local(e),
@@ -1243,6 +1340,7 @@ fn local_point(
 fn shard_sweep_point_endpoint(inner: &Inner, req: &Request, conn: Option<&TcpStream>) -> Outcome {
     const ENDPOINT: &str = "shard_sweeppoint";
     let _adopted = trace::adopt(parse_trace_header(req.header("x-ermes-trace")));
+    let want_tree = req.header("x-ermes-trace-tree").is_some();
     let body = match std::str::from_utf8(&req.body) {
         Ok(text) => text,
         Err(_) => {
@@ -1292,6 +1390,7 @@ fn shard_sweep_point_endpoint(inner: &Inner, req: &Request, conn: Option<&TcpStr
     let request_span = trace::span("request");
     trace::attr("endpoint", ENDPOINT);
     trace::attr("target", target);
+    let root_id = trace::current_context().parent();
     let job = move || {
         ermes::sweep_point(
             design,
@@ -1316,11 +1415,14 @@ fn shard_sweep_point_endpoint(inner: &Inner, req: &Request, conn: Option<&TcpStr
         },
     );
     drop(request_span);
-    let response = match result {
+    let mut response = match result {
         Ok(Ok(point)) => Response::text(200, render_point_wire(&point)),
         Ok(Err(e)) => error_response(inner, &CliError::Ermes(e)),
         Err(shed) => shed_response(inner, &shed),
     };
+    if want_tree {
+        append_tree_trailer(&mut response, root_id);
+    }
     let close_after = response.status == 499;
     Outcome {
         response,

@@ -4,6 +4,7 @@
 //! invariant under every failure is the same: a `200` response is
 //! bit-identical to what a single-node daemon would have produced.
 
+use ermesd::json::{self, Value};
 use ermesd::{ClusterConfig, Server, ServerConfig, SystemSpec};
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -151,6 +152,71 @@ fn spawn_worker_inprocess() -> (SocketAddr, JoinHandle<std::io::Result<()>>) {
 
 const SWEEP: &str = "/sweep?targets=1,10,100,1000,10000,100000,1000000,10000000";
 
+/// Recursively check one span-tree node from `GET /trace` JSON: spans
+/// end after they start and stay inside their parent's interval — the
+/// graft's clock-alignment guarantee — except across the boundary of a
+/// `role: loser` subtree (a hedge duplicate or late retry straggler may
+/// graft after its parent dispatch span closed). Collects grafted
+/// `host` attributes and counts `dispatch` spans, each of which must
+/// carry an `outcome` attribute on every exit path.
+fn check_tree_node(
+    node: &Value,
+    parent: Option<(u64, u64)>,
+    hosts: &mut Vec<String>,
+    dispatch_spans: &mut usize,
+) {
+    let bound = |key: &str| {
+        node.get(key)
+            .and_then(Value::as_u64)
+            .unwrap_or_else(|| panic!("span misses `{key}`"))
+    };
+    let (start, end) = (bound("start_ns"), bound("end_ns"));
+    assert!(start <= end, "span ends before it starts");
+    let attr = |key: &str| {
+        node.get("attrs")
+            .and_then(|a| a.get(key))
+            .and_then(Value::as_str)
+    };
+    if let Some((ps, pe)) = parent {
+        if attr("role") != Some("loser") {
+            assert!(
+                ps <= start && end <= pe,
+                "span [{start}, {end}] escapes its parent's interval [{ps}, {pe}]"
+            );
+        }
+    }
+    if let Some(host) = attr("host") {
+        hosts.push(host.to_string());
+    }
+    if node.get("name").and_then(Value::as_str) == Some("dispatch") {
+        assert!(
+            attr("outcome").is_some(),
+            "every dispatch span records an outcome"
+        );
+        *dispatch_spans += 1;
+    }
+    if let Some(children) = node.get("children").and_then(Value::as_array) {
+        for child in children {
+            check_tree_node(child, Some((start, end)), hosts, dispatch_spans);
+        }
+    }
+}
+
+/// Fetch and structurally validate every tree on a coordinator's
+/// `GET /trace`; returns the grafted hosts and dispatch-span count.
+fn check_coordinator_trace(coord: SocketAddr) -> (Vec<String>, usize) {
+    let (status, body) = get(coord, "/trace?n=64");
+    assert_eq!(status, 200);
+    let root = json::parse(&body).expect("trace JSON parses");
+    let trees = root.as_array().expect("trace is an array of trees");
+    let mut hosts = Vec::new();
+    let mut dispatch_spans = 0;
+    for tree in trees {
+        check_tree_node(tree, None, &mut hosts, &mut dispatch_spans);
+    }
+    (hosts, dispatch_spans)
+}
+
 /// Acceptance gate: SIGKILL one of two workers mid-sweep; the in-flight
 /// sweep completes `200` with bytes identical to a single-node daemon
 /// (subjobs on the dead worker are retried onto the survivor), and so
@@ -167,6 +233,13 @@ fn mid_sweep_worker_kill_completes_bit_identically() {
         cluster: Some(test_cluster(vec![victim_addr, survivor_addr.clone()])),
         ..ServerConfig::default()
     });
+    // The span journal is process-global, and earlier tests in this
+    // binary ran *in-process* worker fleets: their worker-side spans
+    // land raw in this same journal and may outlive their dispatch
+    // parents (a hedge or retry settles first). This test's fleet is
+    // out-of-process — clear the journal so `/trace` holds exactly the
+    // trees stitched here.
+    trace::reset();
 
     let spec_for_client = spec.clone();
     let in_flight = std::thread::spawn(move || post(coord, SWEEP, &spec_for_client));
@@ -186,6 +259,35 @@ fn mid_sweep_worker_kill_completes_bit_identically() {
     assert!(
         metric_value(&metrics, "ermes_cluster_subjobs_total") > 0,
         "sweeps were fanned out:\n{metrics}"
+    );
+    // Metrics federation: the surviving worker is Up, so its samples
+    // appear under a `node` label; the dead one is skipped, not hung on.
+    assert!(
+        metrics.contains(&format!("node=\"{survivor_addr}\"")),
+        "survivor's metrics federated under its node label:\n{metrics}"
+    );
+
+    // The stitched trace survives the kill truncated but well-formed:
+    // every tree on `/trace` passes the structural checks (monotonic,
+    // parent-contained after clock alignment), dispatch spans carry
+    // outcome attributes, and the survivor's subjob subtrees were
+    // grafted with its host attribute. The victim's subtrees may or may
+    // not be present depending on how far it got before the kill.
+    let (hosts, dispatch_spans) = check_coordinator_trace(coord);
+    assert!(dispatch_spans > 0, "dispatch spans recorded");
+    assert!(
+        hosts.iter().any(|h| h == &survivor_addr),
+        "survivor {survivor_addr} grafted into the coordinator trace (saw {hosts:?})"
+    );
+
+    // Tail sampling: a request whose subjobs were retried (onto the
+    // survivor) or recomputed degraded is exactly what the flight
+    // recorder keeps.
+    let (status, slow) = get(coord, "/trace/slow");
+    assert_eq!(status, 200);
+    assert!(
+        slow.contains("\"reason\":\"retried\"") || slow.contains("\"reason\":\"degraded\""),
+        "the mid-kill sweep is retained by the flight recorder:\n{slow}"
     );
 
     shutdown(coord, coord_handle);
@@ -245,6 +347,7 @@ fn all_workers_down_serves_locally_and_counts_degraded() {
     for needle in [
         "sessions live: ",
         "queue depth: ",
+        "trace: journal ",
         "cluster workers: ",
         "cluster degraded jobs: ",
     ] {
@@ -260,6 +363,15 @@ fn all_workers_down_serves_locally_and_counts_degraded() {
             .count(),
         2,
         "one line per fleet worker:\n{health}"
+    );
+
+    // Degraded requests are tail-sampled: the flight recorder keeps
+    // their full trees under the `degraded` reason.
+    let (status, slow) = get(coord, "/trace/slow");
+    assert_eq!(status, 200);
+    assert!(
+        slow.contains("\"reason\":\"degraded\""),
+        "degraded requests retained by the flight recorder:\n{slow}"
     );
 
     shutdown(coord, handle);

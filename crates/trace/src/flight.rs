@@ -1,0 +1,355 @@
+//! Tail-sampling flight recorder: keep full trees only for the requests
+//! worth debugging.
+//!
+//! The journal is a bounded FIFO window — under sustained load the one
+//! request you care about (the p99.9 outlier, the panic, the degraded
+//! sweep) is exactly the one most likely to have been overwritten by the
+//! time someone looks. Head sampling (keep 1-in-N) has the same blind
+//! spot: interesting requests are rare by definition. This module samples
+//! on the *tail* instead: the decision to retain is made when the root
+//! span closes, with the whole tree in hand, so it can key off outcome
+//! and duration rather than luck.
+//!
+//! A tree is retained when its root matches any of:
+//!
+//! - **outcome**: the root carries an `outcome` attribute other than
+//!   `ok` (`error`, `panic`, `degraded`, `cancelled`, `shed`, ...);
+//! - **flagged**: some span in the trace called [`flag`] while it ran —
+//!   the cluster layer flags traces that needed a retry (`retried`) or
+//!   fell back to local computation (`degraded`);
+//! - **slow**: the root's duration exceeds the rolling per-endpoint p99
+//!   (read off the same log-spaced buckets as [`crate::LATENCY_BUCKETS`]),
+//!   once the endpoint has seen at least [`MIN_SLOW_SAMPLES`] requests —
+//!   before that there is no distribution to be an outlier of.
+//!
+//! Retained trees live in a bounded ring ([`DEFAULT_FLIGHT_CAPACITY`]);
+//! when it overflows the oldest tree is dropped and counted, so `/healthz`
+//! can report how much history was lost. `ermesd` serves the ring as
+//! `/trace/slow` and reports occupancy in `/healthz`.
+
+use crate::phase::{PhaseSnapshot, QuantileEstimate};
+use crate::tree::SpanTree;
+use crate::{SpanRecord, LATENCY_BUCKETS};
+use std::collections::{BTreeMap, VecDeque};
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Trees the flight recorder keeps before dropping the oldest.
+pub const DEFAULT_FLIGHT_CAPACITY: usize = 64;
+
+/// Requests an endpoint must have seen before "slow" retention arms.
+pub const MIN_SLOW_SAMPLES: u64 = 32;
+
+/// Most distinct endpoints tracked for the rolling p99 (beyond this,
+/// new endpoints simply never trip the `slow` rule).
+const MAX_ENDPOINTS: usize = 256;
+
+/// Most pending trace flags held at once; oldest (smallest trace id,
+/// ids are monotone) evicted first so a flag for a trace whose root
+/// never closes cannot leak memory.
+const MAX_PENDING_FLAGS: usize = 1024;
+
+/// One retained tree and why it was kept.
+#[derive(Debug, Clone)]
+pub struct Retained {
+    /// Monotone retention sequence number (1-based), for "newest N".
+    pub seq: u64,
+    /// Which rule retained it: an outcome value, a [`flag`] reason, or
+    /// `slow`.
+    pub reason: &'static str,
+    /// The full tree, as assembled when its root closed.
+    pub tree: SpanTree,
+}
+
+/// Flight-recorder occupancy counters, for health reporting.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FlightStats {
+    /// Trees currently held in the ring.
+    pub retained_live: usize,
+    /// Trees ever retained (monotone).
+    pub retained_total: u64,
+    /// Retained trees lost to ring overflow (monotone).
+    pub dropped_total: u64,
+}
+
+#[derive(Default)]
+struct EndpointHist {
+    buckets: [u64; LATENCY_BUCKETS.len() + 1],
+    count: u64,
+}
+
+struct State {
+    ring: VecDeque<Retained>,
+    seq: u64,
+    retained_total: u64,
+    dropped_total: u64,
+    endpoints: BTreeMap<String, EndpointHist>,
+    flags: BTreeMap<u64, &'static str>,
+}
+
+static STATE: Mutex<State> = Mutex::new(State {
+    ring: VecDeque::new(),
+    seq: 0,
+    retained_total: 0,
+    dropped_total: 0,
+    endpoints: BTreeMap::new(),
+    flags: BTreeMap::new(),
+});
+
+fn lock() -> MutexGuard<'static, State> {
+    STATE.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Mark the trace `trace_id` for retention when its root closes.
+///
+/// Call this from anywhere inside the request (any thread that adopted
+/// the trace's context): the cluster layer flags `retried` when a
+/// dispatch needed more than one attempt and `degraded` when a shard
+/// fell back to local computation. The first flag for a trace wins.
+pub fn flag(trace_id: u64, reason: &'static str) {
+    if trace_id == 0 {
+        return;
+    }
+    let mut st = lock();
+    st.flags.entry(trace_id).or_insert(reason);
+    while st.flags.len() > MAX_PENDING_FLAGS {
+        st.flags.pop_first();
+    }
+}
+
+/// Collapse an arbitrary outcome attribute to a static retention reason.
+fn outcome_reason(outcome: &str) -> &'static str {
+    match outcome {
+        "panic" => "panic",
+        "degraded" => "degraded",
+        "cancelled" => "cancelled",
+        "shed" => "shed",
+        "poisoned" => "poisoned",
+        "exhausted" => "exhausted",
+        _ => "error",
+    }
+}
+
+/// Tail-sampling decision point, called by `Span::drop` for every root
+/// span (before the root reaches the journal, so the snapshot used to
+/// assemble the retained tree holds exactly its descendants).
+pub(crate) fn consider(root: &SpanRecord) {
+    let seconds = root.duration_ns() as f64 / 1e9;
+    let endpoint = root.attr("endpoint").unwrap_or(root.name);
+    let reason = {
+        let mut st = lock();
+        let flagged = st.flags.remove(&root.trace_id);
+        let outcome = match root.attr("outcome") {
+            None | Some("ok") => None,
+            Some(o) => Some(outcome_reason(o)),
+        };
+        let slow = match st.endpoints.get(endpoint) {
+            Some(h) if h.count >= MIN_SLOW_SAMPLES => {
+                let snap = PhaseSnapshot {
+                    phase: "",
+                    buckets: h.buckets,
+                    sum_seconds: 0.0,
+                    count: h.count,
+                };
+                // Exceeding the p99 *bucket bound* (not the exact p99)
+                // keeps the rule conservative: everything retained as
+                // `slow` is provably above the rolling p99.
+                match snap.quantile_estimate(0.99) {
+                    QuantileEstimate::AtMost(bound) | QuantileEstimate::Exceeds(bound) => {
+                        seconds > bound
+                    }
+                }
+            }
+            _ => false,
+        };
+        // Fold this request into the rolling histogram *after* judging
+        // it, so a slow request cannot raise the bar it is judged by.
+        if st.endpoints.contains_key(endpoint) || st.endpoints.len() < MAX_ENDPOINTS {
+            let idx = LATENCY_BUCKETS
+                .iter()
+                .position(|&b| seconds <= b)
+                .unwrap_or(LATENCY_BUCKETS.len());
+            let h = st.endpoints.entry(endpoint.to_owned()).or_default();
+            h.buckets[idx] += 1;
+            h.count += 1;
+        }
+        outcome
+            .or(flagged)
+            .or(if slow { Some("slow") } else { None })
+    };
+    let Some(reason) = reason else { return };
+    // Assemble outside the lock: the snapshot takes the journal's
+    // per-slot mutexes and there is no reason to serialize that behind
+    // the flight state.
+    let tree = crate::tree::subtree_of(&crate::snapshot(), root.clone());
+    let mut st = lock();
+    st.seq += 1;
+    st.retained_total += 1;
+    let seq = st.seq;
+    st.ring.push_back(Retained { seq, reason, tree });
+    if st.ring.len() > DEFAULT_FLIGHT_CAPACITY {
+        st.ring.pop_front();
+        st.dropped_total += 1;
+    }
+}
+
+/// The retained trees, oldest first.
+#[must_use]
+pub fn retained() -> Vec<Retained> {
+    lock().ring.iter().cloned().collect()
+}
+
+/// Current occupancy counters.
+#[must_use]
+pub fn stats() -> FlightStats {
+    let st = lock();
+    FlightStats {
+        retained_live: st.ring.len(),
+        retained_total: st.retained_total,
+        dropped_total: st.dropped_total,
+    }
+}
+
+/// Forget everything: ring, counters, rolling histograms, pending flags
+/// (tests and benchmarks; wired into [`crate::reset`]).
+pub fn reset() {
+    let mut st = lock();
+    st.ring.clear();
+    st.seq = 0;
+    st.retained_total = 0;
+    st.dropped_total = 0;
+    st.endpoints.clear();
+    st.flags.clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn root(id: u64, duration_ns: u64, attrs: Vec<(&'static str, String)>) -> SpanRecord {
+        SpanRecord {
+            trace_id: id,
+            id,
+            parent: 0,
+            name: "request",
+            start_ns: 1_000,
+            end_ns: 1_000 + duration_ns,
+            thread: 1,
+            attrs,
+        }
+    }
+
+    #[test]
+    fn non_ok_outcomes_are_retained_ok_is_not() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        crate::reset();
+        consider(&root(1, 100, vec![("outcome", "ok".into())]));
+        consider(&root(2, 100, vec![("outcome", "error".into())]));
+        consider(&root(3, 100, vec![("outcome", "panic".into())]));
+        consider(&root(4, 100, vec![("outcome", "degraded".into())]));
+        consider(&root(5, 100, Vec::new()));
+        let kept = retained();
+        assert_eq!(
+            kept.iter().map(|r| r.reason).collect::<Vec<_>>(),
+            vec!["error", "panic", "degraded"]
+        );
+        assert_eq!(kept[0].tree.record.id, 2);
+        crate::reset();
+    }
+
+    #[test]
+    fn flagged_traces_are_retained_once_and_outcome_wins() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        crate::reset();
+        flag(7, "retried");
+        flag(7, "degraded"); // first flag wins
+        flag(0, "ignored"); // inactive trace id is a no-op
+        consider(&root(7, 100, vec![("outcome", "ok".into())]));
+        consider(&root(7, 100, vec![("outcome", "ok".into())])); // flag consumed
+        flag(8, "retried");
+        consider(&root(8, 100, vec![("outcome", "error".into())]));
+        let kept = retained();
+        assert_eq!(
+            kept.iter().map(|r| r.reason).collect::<Vec<_>>(),
+            vec!["retried", "error"]
+        );
+        crate::reset();
+    }
+
+    #[test]
+    fn slow_retention_arms_after_min_samples_and_tracks_p99() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        crate::reset();
+        let attrs = || vec![("endpoint", "sweep".to_owned())];
+        // 5ms requests land in the <=5ms bucket. While the endpoint has
+        // fewer than MIN_SLOW_SAMPLES observations nothing is retained,
+        // however slow.
+        for i in 0..MIN_SLOW_SAMPLES {
+            consider(&root(100 + i, 5_000_000, attrs()));
+        }
+        assert!(retained().is_empty(), "cold endpoint never retains");
+        // Now the p99 bound is the 5ms bucket; a 40ms request exceeds it.
+        consider(&root(900, 40_000_000, attrs()));
+        // ...and a request at the prevailing latency does not.
+        consider(&root(901, 5_000_000, attrs()));
+        let kept = retained();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].reason, "slow");
+        assert_eq!(kept[0].tree.record.id, 900);
+        // Distinct endpoints do not share a distribution.
+        consider(&root(
+            902,
+            40_000_000,
+            vec![("endpoint", "explore".to_owned())],
+        ));
+        assert_eq!(retained().len(), 1);
+        crate::reset();
+    }
+
+    #[test]
+    fn ring_is_bounded_and_counts_drops() {
+        let _g = crate::test_guard();
+        crate::set_enabled(false);
+        crate::reset();
+        let extra = 6;
+        for i in 0..(DEFAULT_FLIGHT_CAPACITY + extra) {
+            consider(&root(
+                1_000 + i as u64,
+                100,
+                vec![("outcome", "error".into())],
+            ));
+        }
+        let s = stats();
+        assert_eq!(s.retained_live, DEFAULT_FLIGHT_CAPACITY);
+        assert_eq!(s.retained_total, (DEFAULT_FLIGHT_CAPACITY + extra) as u64);
+        assert_eq!(s.dropped_total, extra as u64);
+        let kept = retained();
+        assert_eq!(
+            kept.first().map(|r| r.tree.record.id),
+            Some(1_000 + extra as u64)
+        );
+        crate::reset();
+        assert_eq!(stats(), FlightStats::default());
+    }
+
+    #[test]
+    fn retained_tree_includes_descendants_from_the_journal() {
+        let _g = crate::test_guard();
+        crate::set_enabled(true);
+        crate::reset();
+        {
+            let _r = crate::span("request");
+            crate::attr("outcome", "error");
+            let _c = crate::span("howard");
+        }
+        crate::set_enabled(false);
+        let kept = retained();
+        assert_eq!(kept.len(), 1);
+        assert_eq!(kept[0].tree.record.name, "request");
+        assert_eq!(kept[0].tree.children.len(), 1);
+        assert_eq!(kept[0].tree.children[0].record.name, "howard");
+        crate::reset();
+    }
+}

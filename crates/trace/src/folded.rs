@@ -1,0 +1,118 @@
+//! Collapsed-stack ("folded") export for flamegraph tooling.
+//!
+//! Renders span trees in the `flamegraph.pl` / inferno input format: one
+//! line per unique root-to-span path, `frame;frame;frame <weight>`, where
+//! the weight is the span's *self* time in nanoseconds (its duration
+//! minus the time covered by its children). Identical paths across trees
+//! merge by summing, so feeding many requests produces one aggregate
+//! flamegraph.
+//!
+//! Frame names are sanitized for the format's two structural characters:
+//! `;` (frame separator) becomes `:` and spaces (the weight separator —
+//! inferno splits on the *last* space, but `flamegraph.pl` is sloppier)
+//! become `_`. Spans whose children fully cover them contribute no line
+//! of their own but still appear as a prefix of their children's paths.
+
+use crate::tree::SpanTree;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+fn frame(name: &str) -> String {
+    name.chars()
+        .map(|c| match c {
+            ';' => ':',
+            ' ' | '\n' | '\t' => '_',
+            c => c,
+        })
+        .collect()
+}
+
+fn walk(node: &SpanTree, prefix: &str, out: &mut BTreeMap<String, u64>) {
+    let path = if prefix.is_empty() {
+        frame(node.record.name)
+    } else {
+        format!("{prefix};{}", frame(node.record.name))
+    };
+    let child_ns: u64 = node
+        .children
+        .iter()
+        .map(|c| c.record.duration_ns())
+        .fold(0u64, u64::saturating_add);
+    let self_ns = node.record.duration_ns().saturating_sub(child_ns);
+    if self_ns > 0 {
+        *out.entry(path.clone()).or_insert(0) += self_ns;
+    }
+    for child in &node.children {
+        walk(child, &path, out);
+    }
+}
+
+/// Render `trees` as collapsed stacks, one `path weight_ns` line each,
+/// sorted by path (deterministic for a given input).
+#[must_use]
+pub fn folded_stacks(trees: &[SpanTree]) -> String {
+    let mut merged: BTreeMap<String, u64> = BTreeMap::new();
+    for tree in trees {
+        walk(tree, "", &mut merged);
+    }
+    let mut out = String::new();
+    for (path, weight) in merged {
+        let _ = writeln!(out, "{path} {weight}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanRecord;
+
+    fn node(name: &'static str, start: u64, end: u64, children: Vec<SpanTree>) -> SpanTree {
+        SpanTree {
+            record: SpanRecord {
+                trace_id: 1,
+                id: start + 1,
+                parent: 0,
+                name,
+                start_ns: start,
+                end_ns: end,
+                thread: 1,
+                attrs: Vec::new(),
+            },
+            children,
+        }
+    }
+
+    #[test]
+    fn self_time_is_duration_minus_children_and_paths_merge() {
+        let a = node(
+            "request",
+            0,
+            1_000,
+            vec![node("howard", 100, 400, Vec::new())],
+        );
+        let b = node(
+            "request",
+            0,
+            500,
+            vec![node("howard", 100, 400, Vec::new())],
+        );
+        let out = folded_stacks(&[a, b]);
+        // request self: (1000-300) + (500-300) = 900; howard: 300 + 300.
+        assert_eq!(out, "request 900\nrequest;howard 600\n");
+    }
+
+    #[test]
+    fn fully_covered_spans_emit_no_line_but_remain_as_prefixes() {
+        let t = node("outer", 0, 100, vec![node("inner", 0, 100, Vec::new())]);
+        let out = folded_stacks(&[t]);
+        assert_eq!(out, "outer;inner 100\n");
+    }
+
+    #[test]
+    fn structural_characters_in_names_are_sanitized() {
+        let t = node("weird; name", 0, 10, Vec::new());
+        let out = folded_stacks(&[t]);
+        assert_eq!(out, "weird:_name 10\n");
+    }
+}

@@ -38,15 +38,20 @@
 #![warn(missing_docs)]
 
 pub mod chrome;
+pub mod flight;
+pub mod folded;
 pub mod phase;
 pub mod ring;
 mod summary;
 mod tree;
+pub mod wire;
 
+pub use folded::folded_stacks;
 pub use phase::{phase_snapshot, PhaseSnapshot, QuantileEstimate, LATENCY_BUCKETS};
 pub use ring::Journal;
 pub use summary::summary_report;
 pub use tree::{assemble_trees, SpanTree};
+pub use wire::{WireError, TRAILER_MARKER, WIRE_VERSION};
 
 use std::cell::RefCell;
 use std::fmt;
@@ -224,6 +229,12 @@ impl Drop for Span {
         });
         if let Some(record) = record {
             phase::observe(record.name, record.duration_ns());
+            if record.parent == 0 {
+                // A trace just completed: let the flight recorder decide
+                // whether to keep its tree, while the root is in hand and
+                // its descendants are all in the journal.
+                flight::consider(&record);
+            }
             journal().push(record);
         }
     }
@@ -365,10 +376,19 @@ pub fn spans_recorded() -> u64 {
     journal().pushed()
 }
 
-/// Clear the journal and the per-phase histograms (tests and benchmarks).
+/// Clear the journal, the per-phase histograms, and the flight recorder
+/// (tests and benchmarks).
 pub fn reset() {
     journal().clear();
     phase::reset();
+    flight::reset();
+}
+
+/// Journal occupancy as `(live records, capacity)`, for health reporting.
+#[must_use]
+pub fn journal_occupancy() -> (usize, usize) {
+    let j = journal();
+    (j.live(), j.capacity())
 }
 
 /// Render the Chrome-trace JSON for every record currently in the journal.
@@ -383,6 +403,128 @@ pub fn chrome_trace() -> String {
 #[must_use]
 pub fn completed_trees(n: usize) -> Vec<SpanTree> {
     tree::assemble_trees(&snapshot(), n)
+}
+
+/// Render the last `n` completed trees as collapsed stacks for
+/// flamegraph tooling (see [`folded::folded_stacks`]).
+#[must_use]
+pub fn folded_trace(n: usize) -> String {
+    folded::folded_stacks(&completed_trees(n))
+}
+
+/// Assemble the subtree rooted at span `root_id` from the journal, if
+/// that span has closed.
+///
+/// This is how a worker daemon extracts *its* part of a distributed
+/// trace: the worker's request span is adopted under the coordinator's
+/// context, so it is not a trace root ([`completed_trees`] skips it),
+/// but its id — captured via [`current_context`] while it was open —
+/// names exactly the subtree this node produced.
+#[must_use]
+pub fn subtree(root_id: u64) -> Option<SpanTree> {
+    let records = snapshot();
+    let root = records.iter().find(|r| r.id == root_id)?.clone();
+    Some(tree::subtree_of(&records, root))
+}
+
+/// Graft a deserialized remote tree into the local journal under `ctx`.
+///
+/// `window` is `(send_ns, recv_ns)` of the request/response exchange on
+/// *this* node's clock. The two clocks share no epoch ([`now_ns`] counts
+/// from each process's own start), so the remote tree is aligned
+/// Cristian-style: the offset that maps the remote root's midpoint onto
+/// the exchange window's midpoint is applied to every remote timestamp,
+/// and each span is then clamped into its (aligned) parent's interval —
+/// the window for the root — so the graft is monotonic and properly
+/// nested no matter how asymmetric the network delay actually was.
+///
+/// Every grafted span gets fresh local ids, a `host` attribute naming
+/// the remote node, and a remapped trace-local thread id per remote
+/// thread. `extra_root_attrs` land on the grafted root (the cluster
+/// layer tags `role=winner|loser` there). Grafted spans go straight to
+/// the journal and are deliberately *not* folded into the local phase
+/// histograms: the remote node already counted them, and the metrics
+/// federation path reports them under its `node` label.
+///
+/// Returns the grafted root's new local span id, or `None` when tracing
+/// is disabled or `ctx` is inactive.
+pub fn graft_tree(
+    tree: &SpanTree,
+    ctx: Context,
+    window: (u64, u64),
+    host: &str,
+    extra_root_attrs: &[(&'static str, &str)],
+) -> Option<u64> {
+    if !enabled() || !ctx.is_active() {
+        return None;
+    }
+    let (send_ns, recv_ns) = window;
+    let recv_ns = recv_ns.max(send_ns);
+    let local_mid = i128::from(send_ns) + i128::from(recv_ns.saturating_sub(send_ns) / 2);
+    let remote_root = &tree.record;
+    let remote_mid = i128::from(remote_root.start_ns)
+        + i128::from(remote_root.end_ns.saturating_sub(remote_root.start_ns) / 2);
+    let offset = local_mid - remote_mid;
+
+    /// The per-graft constants, so the recursive placement only threads
+    /// what varies per node (parent id and clamp interval).
+    struct Graft<'a> {
+        trace_id: u64,
+        offset: i128,
+        host: &'a str,
+        threads: std::collections::HashMap<u64, u64>,
+    }
+
+    impl Graft<'_> {
+        fn place(
+            &mut self,
+            node: &SpanTree,
+            parent: u64,
+            lo: u64,
+            hi: u64,
+            extra: &[(&'static str, &str)],
+        ) -> u64 {
+            let id = NEXT_SPAN_ID.fetch_add(1, Ordering::Relaxed);
+            let align = |t: u64| -> u64 {
+                let shifted = i128::from(t) + self.offset;
+                let clamped = shifted.clamp(i128::from(lo), i128::from(hi));
+                u64::try_from(clamped).unwrap_or(lo)
+            };
+            let start_ns = align(node.record.start_ns);
+            let end_ns = align(node.record.end_ns).max(start_ns);
+            let mut attrs = node.record.attrs.clone();
+            attrs.push(("host", self.host.to_owned()));
+            for (k, v) in extra {
+                attrs.push((k, (*v).to_owned()));
+            }
+            let thread = *self
+                .threads
+                .entry(node.record.thread)
+                .or_insert_with(|| NEXT_THREAD_ID.fetch_add(1, Ordering::Relaxed));
+            journal().push(SpanRecord {
+                trace_id: self.trace_id,
+                id,
+                parent,
+                name: node.record.name,
+                start_ns,
+                end_ns,
+                thread,
+                attrs,
+            });
+            for child in &node.children {
+                self.place(child, id, start_ns, end_ns, &[]);
+            }
+            id
+        }
+    }
+
+    let mut graft = Graft {
+        trace_id: ctx.trace_id(),
+        offset,
+        host,
+        threads: std::collections::HashMap::new(),
+    };
+    Some(graft.place(tree, ctx.parent(), send_ns, recv_ns, extra_root_attrs))
 }
 
 // The enable flag, journal, and phase registry are process-global;
@@ -517,6 +659,135 @@ mod tests {
         let recs = snapshot();
         let doomed = recs.iter().find(|r| r.name == "doomed").expect("recorded");
         assert_eq!(doomed.attr("outcome"), Some("panic"));
+    }
+
+    #[test]
+    fn subtree_extracts_an_adopted_request_from_the_journal() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        // Simulate the worker side: a request span adopted under a remote
+        // coordinator context, with local children.
+        let remote = Context::from_parts(777, 42);
+        let root_id = std::thread::spawn(move || {
+            let _a = adopt(remote);
+            let _request = span("request");
+            let ctx = current_context();
+            {
+                let _c = span("howard");
+                let _l = span("ilp");
+            }
+            ctx.parent()
+        })
+        .join()
+        .expect("worker thread");
+        set_enabled(false);
+        let tree = subtree(root_id).expect("request span closed");
+        assert_eq!(tree.record.name, "request");
+        assert_eq!(tree.record.trace_id, 777);
+        assert_eq!(tree.record.parent, 42, "keeps the remote parent link");
+        assert_eq!(tree.children.len(), 1);
+        assert_eq!(tree.children[0].record.name, "howard");
+        assert_eq!(tree.children[0].children[0].record.name, "ilp");
+        assert!(subtree(root_id + 100_000).is_none());
+    }
+
+    #[test]
+    fn graft_aligns_clamps_and_hosts_a_remote_tree() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let (dispatch_id, send_ns, recv_ns);
+        {
+            let _root = span("request");
+            {
+                let _d = span("dispatch");
+                let ctx = current_context();
+                dispatch_id = ctx.parent();
+                send_ns = now_ns();
+                std::thread::sleep(std::time::Duration::from_millis(2));
+                recv_ns = now_ns();
+                // Remote tree on a clock wildly offset from ours, wider
+                // than the exchange window.
+                let remote = SpanTree {
+                    record: SpanRecord {
+                        trace_id: 5,
+                        id: 5,
+                        parent: 2,
+                        name: "remote-request",
+                        start_ns: 9_000_000_000,
+                        end_ns: 9_900_000_000,
+                        thread: 3,
+                        attrs: vec![("outcome", "ok".to_owned())],
+                    },
+                    children: vec![SpanTree {
+                        record: SpanRecord {
+                            trace_id: 5,
+                            id: 6,
+                            parent: 5,
+                            name: "remote-howard",
+                            start_ns: 9_100_000_000,
+                            end_ns: 9_200_000_000,
+                            thread: 3,
+                            attrs: Vec::new(),
+                        },
+                        children: Vec::new(),
+                    }],
+                };
+                let grafted = graft_tree(
+                    &remote,
+                    ctx,
+                    (send_ns, recv_ns),
+                    "10.0.0.7:7891",
+                    &[("role", "winner")],
+                );
+                assert!(grafted.is_some());
+            }
+        }
+        set_enabled(false);
+        let trees = completed_trees(1);
+        assert_eq!(trees.len(), 1);
+        let root = &trees[0];
+        assert_eq!(root.record.name, "request");
+        let dispatch = &root.children[0];
+        assert_eq!(dispatch.record.id, dispatch_id);
+        let remote = &dispatch.children[0];
+        assert_eq!(remote.record.name, "remote-request");
+        assert_eq!(remote.record.attr("host"), Some("10.0.0.7:7891"));
+        assert_eq!(remote.record.attr("role"), Some("winner"));
+        assert_eq!(remote.record.attr("outcome"), Some("ok"));
+        // Aligned into the exchange window on the local clock...
+        assert!(remote.record.start_ns >= send_ns && remote.record.end_ns <= recv_ns);
+        // ...nested properly under its remote parent after clamping...
+        let child = &remote.children[0];
+        assert_eq!(child.record.name, "remote-howard");
+        assert_eq!(child.record.attr("host"), Some("10.0.0.7:7891"));
+        assert_eq!(child.record.attr("role"), None, "extras only on the root");
+        assert!(child.record.start_ns >= remote.record.start_ns);
+        assert!(child.record.end_ns <= remote.record.end_ns);
+        assert!(child.record.start_ns <= child.record.end_ns);
+        // ...with a remapped thread id distinct from the local one.
+        assert_ne!(remote.record.thread, root.record.thread);
+        // Disabled or inactive grafts are no-ops.
+        assert!(graft_tree(root, Context::none(), (0, 1), "x", &[]).is_none());
+        set_enabled(false);
+    }
+
+    #[test]
+    fn journal_occupancy_reports_live_and_capacity() {
+        let _g = guard();
+        set_enabled(true);
+        reset();
+        let (live0, cap) = journal_occupancy();
+        assert_eq!(live0, 0);
+        assert_eq!(cap, DEFAULT_JOURNAL_CAPACITY);
+        {
+            let _s = span("one");
+        }
+        let (live, _) = journal_occupancy();
+        assert_eq!(live, 1);
+        set_enabled(false);
+        reset();
     }
 
     #[test]

@@ -53,6 +53,15 @@ impl Journal {
         self.slots.len()
     }
 
+    /// Number of slots currently holding a record (journal occupancy).
+    #[must_use]
+    pub fn live(&self) -> usize {
+        self.slots
+            .iter()
+            .filter(|s| lock(&s.cell).is_some())
+            .count()
+    }
+
     /// Total records ever pushed (monotone; exceeds `capacity` once the
     /// ring has wrapped and begun overwriting).
     #[must_use]

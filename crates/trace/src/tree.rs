@@ -66,6 +66,40 @@ pub fn assemble_trees(records: &[SpanRecord], n: usize) -> Vec<SpanTree> {
     roots.iter().map(|root| build(root, &children)).collect()
 }
 
+/// Rebuild the subtree hanging off `root` from a journal snapshot.
+///
+/// Unlike [`assemble_trees`] the root need not be a trace root
+/// (`parent == 0`): on a worker daemon the request span is *adopted*
+/// under the coordinator's remote context, so its parent id points at a
+/// span on another machine. Records from other subtrees of the same
+/// trace (concurrent subjobs on this worker) are excluded because the
+/// walk only descends from `root.id`. `root` itself may be absent from
+/// `records` — the flight recorder calls this while the root is still
+/// in hand, before it reaches the journal.
+#[must_use]
+pub(crate) fn subtree_of(records: &[SpanRecord], root: SpanRecord) -> SpanTree {
+    let present: std::collections::HashSet<u64> =
+        records.iter().map(|r| r.id).chain([root.id]).collect();
+    let mut children: HashMap<u64, Vec<&SpanRecord>> = HashMap::new();
+    for r in records {
+        if r.trace_id != root.trace_id || r.id == root.id || r.parent == 0 {
+            continue;
+        }
+        let anchor = if present.contains(&r.parent) {
+            r.parent
+        } else {
+            r.trace_id
+        };
+        if anchor != r.id {
+            children.entry(anchor).or_default().push(r);
+        }
+    }
+    for v in children.values_mut() {
+        v.sort_by_key(|r| (r.start_ns, r.id));
+    }
+    build(&root, &children)
+}
+
 fn build(record: &SpanRecord, children: &HashMap<u64, Vec<&SpanRecord>>) -> SpanTree {
     SpanTree {
         record: record.clone(),
