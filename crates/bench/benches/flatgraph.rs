@@ -1,0 +1,124 @@
+//! Micro-benchmarks for the flat-graph (CSR) hot paths at the paper's
+//! scale points: lowering, Howard analysis, ordering refinement, and
+//! MCKP presolve, each at soc:1k and soc:10k.
+//!
+//! These are the four paths the CSR refactor touches — per-node `Vec`
+//! adjacency replaced by offset arrays in the lowering and the ratio
+//! graph, a reused Howard scratch arena, in-place swap evaluation in
+//! refinement, and SoA column streaming in the presolve — so this suite
+//! is where a layout regression shows up first.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ilp::{Problem, Sense};
+use std::hint::black_box;
+use sysgraph::lower_to_tmg;
+
+const SIZES: [usize; 2] = [1_000, 10_000];
+
+fn ordered_system(n: usize) -> sysgraph::SystemGraph {
+    let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 42));
+    let mut sys = soc.system;
+    let solution = chanorder::order_channels(&sys);
+    solution.ordering.apply_to(&mut sys).expect("valid");
+    sys
+}
+
+fn bench_lower(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flatgraph_lower");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let sys = ordered_system(n);
+        group.bench_with_input(BenchmarkId::new("lower", n), &sys, |b, s| {
+            b.iter(|| black_box(lower_to_tmg(s)));
+        });
+    }
+    group.finish();
+}
+
+fn bench_howard(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flatgraph_howard");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let lowered = lower_to_tmg(&ordered_system(n));
+        group.bench_with_input(BenchmarkId::new("howard", n), &lowered, |b, l| {
+            b.iter(|| black_box(tmg::analyze(l.tmg())));
+        });
+    }
+    group.finish();
+}
+
+fn bench_order(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flatgraph_order");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 42));
+        group.bench_with_input(BenchmarkId::new("order", n), &soc.system, |b, s| {
+            b.iter(|| black_box(chanorder::order_channels(s)));
+        });
+    }
+    group.finish();
+}
+
+/// Area-recovery-shaped MCKP: one `Σx = 1` group per process, four
+/// implementations each, and one shared capacity row naming every tenth
+/// group — the shape whose presolve the SoA column table streams over.
+///
+/// Deliberately presolve-bound: in non-capacity groups the best-objective
+/// implementation dominates the rest (no other rows), so dominance
+/// collapses 90 % of the groups; in capacity groups objective and usage
+/// both rise with `i`, so every pairwise two-pointer merge runs but
+/// nothing prunes. The capacity is non-binding and objectives within a
+/// group are strict, so dominance has real work at every rung.
+fn mckp_problem(groups: usize) -> Problem {
+    let mut p = Problem::new();
+    let mut cap_terms = Vec::new();
+    for g in 0..groups {
+        let vars: Vec<_> = (0..4)
+            .map(|i| {
+                let v = p.add_binary(format!("x{g}_{i}"));
+                p.set_objective_coeff(v, i as f64 * (1.0 + (g % 5) as f64 * 0.1));
+                if g % 10 == 0 {
+                    cap_terms.push((v, (i + 1) as f64));
+                }
+                v
+            })
+            .collect();
+        p.add_constraint(
+            format!("one{g}"),
+            vars.iter().map(|&v| (v, 1.0)).collect(),
+            Sense::Eq,
+            1.0,
+        );
+    }
+    p.add_constraint("cap", cap_terms, Sense::Le, groups as f64 / 2.0 + 8.0);
+    p
+}
+
+fn bench_presolve(c: &mut Criterion) {
+    let mut group = c.benchmark_group("flatgraph_presolve");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let p = mckp_problem(n);
+        // Each non-capacity group pins all four members: three dominated
+        // to 0, the survivor propagated to 1.
+        let expected = (n - n.div_ceil(10)) * 4;
+        assert_eq!(
+            ilp::presolve_eliminated(&p),
+            expected,
+            "dominance must collapse every non-capacity group"
+        );
+        group.bench_with_input(BenchmarkId::new("presolve", n), &p, |b, p| {
+            b.iter(|| black_box(ilp::presolve_eliminated(p)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_lower,
+    bench_howard,
+    bench_order,
+    bench_presolve
+);
+criterion_main!(benches);

@@ -5,8 +5,9 @@
 //! ```
 //!
 //! Ids: `fig2`, `fig2b`, `fig3`, `fig4`, `orders`, `table1`, `m1`,
-//! `fig6-timing`, `fig6-area`, `scalability`, `phases`, `incremental`,
-//! `verify`, `cluster`, `tracecluster`, `pipeline`, or `all` (default). `--jobs` sets the worker-thread count of the parallel
+//! `fig6-timing`, `fig6-area`, `scalability`, `scale`, `phases`,
+//! `incremental`, `verify`, `cluster`, `tracecluster`, `pipeline`, or
+//! `all` (default). `--jobs` sets the worker-thread count of the parallel
 //! part of E9 (`0` = all hardware threads, the default). See
 //! EXPERIMENTS.md for the paper-versus-measured record.
 
@@ -280,6 +281,98 @@ fn run_scalability(jobs: usize) {
     println!("(seed = serial, unmemoized; cold = shared cache, first sweep; warm = re-sweep");
     println!(" against the filled cache, the iterative-DSE case; fronts compared with exact");
     println!(" Ratio equality; hit-rate is the analysis cache over both engine runs)");
+}
+
+fn scale_json(jobs: usize, baseline_cap: usize, rows: &[experiments::ScaleRow]) -> String {
+    fn opt(v: Option<f64>) -> String {
+        v.map_or_else(|| "null".to_string(), |v| format!("{v:.3}"))
+    }
+    let mut out = String::from("{\n  \"experiment\": \"E19\",\n");
+    out.push_str(&format!("  \"jobs\": {},\n", parx::resolve_jobs(jobs)));
+    out.push_str(&format!("  \"baseline_cap\": {baseline_cap},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str("    {\n");
+        out.push_str(&format!("      \"processes\": {},\n", row.processes));
+        out.push_str(&format!("      \"channels\": {},\n", row.channels));
+        out.push_str(&format!("      \"ordering_ms\": {:.3},\n", row.ordering_ms));
+        out.push_str(&format!("      \"analysis_ms\": {:.3},\n", row.analysis_ms));
+        out.push_str(&format!(
+            "      \"baseline_ms\": {},\n",
+            opt(row.baseline_ms)
+        ));
+        out.push_str(&format!("      \"cold_ms\": {:.3},\n", row.cold_ms));
+        out.push_str(&format!("      \"warm_ms\": {:.3},\n", row.warm_ms));
+        out.push_str(&format!(
+            "      \"cold_speedup\": {},\n",
+            opt(row.cold_speedup)
+        ));
+        out.push_str(&format!(
+            "      \"warm_speedup\": {},\n",
+            opt(row.warm_speedup)
+        ));
+        out.push_str(&format!("      \"identical\": {},\n", row.identical));
+        out.push_str(&format!("      \"peak_rss_mb\": {:.1},\n", row.peak_rss_mb));
+        out.push_str(&format!("      \"rss_mb\": {:.1}\n", row.rss_mb));
+        out.push_str(if i + 1 == rows.len() {
+            "    }\n"
+        } else {
+            "    },\n"
+        });
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
+/// E19: the paper's 10k-process benchmark as a first-class perf ladder
+/// (soc:1k → soc:10k). Each rung runs ordering, analysis, and the
+/// 12-target Pareto sweep cold and warm; the seed-engine baseline
+/// (serial, unmemoized) runs on the rungs below `BASELINE_CAP` so the
+/// speedup is measured in the same run it gates.
+fn run_scale(jobs: usize) {
+    banner("E19 — flat-graph scale ladder: soc:1k → soc:10k, cold + warm sweep, peak RSS");
+    const BASELINE_CAP: usize = 2_500;
+    let sizes = [1_000, 2_500, 5_000, 10_000];
+    let rows = experiments::scale_ladder(&sizes, jobs, BASELINE_CAP);
+    println!(
+        "processes  channels  order[ms]  howard[ms]  seed[ms]  cold[ms]  warm[ms]  cold-spd  warm-spd  identical  peakRSS[MiB]"
+    );
+    for row in &rows {
+        let fmt_opt = |v: Option<f64>, w: usize, suffix: &str| {
+            v.map_or_else(
+                || format!("{:>w$}", "-", w = w + suffix.len()),
+                |v| format!("{v:>w$.1}{suffix}"),
+            )
+        };
+        println!(
+            "{:>9}  {:>8}  {:>9.1}  {:>10.1}  {}  {:>8.1}  {:>8.1}  {} {}  {:>9}  {:>12.1}",
+            row.processes,
+            row.channels,
+            row.ordering_ms,
+            row.analysis_ms,
+            fmt_opt(row.baseline_ms, 8, ""),
+            row.cold_ms,
+            row.warm_ms,
+            fmt_opt(row.cold_speedup, 7, "x"),
+            fmt_opt(row.warm_speedup, 7, "x"),
+            if row.identical { "yes" } else { "NO" },
+            row.peak_rss_mb,
+        );
+    }
+    assert!(
+        rows.iter().all(|r| r.identical),
+        "every sweep pair must produce exactly equal fronts"
+    );
+    let json = scale_json(jobs, BASELINE_CAP, &rows);
+    match std::fs::write("BENCH_scale.json", &json) {
+        Ok(()) => println!("\nwrote BENCH_scale.json"),
+        Err(e) => eprintln!("\ncould not write BENCH_scale.json: {e}"),
+    }
+    println!("\n(seed = the pre-memoization engine: serial, one independent exploration per");
+    println!(" target, skipped above {BASELINE_CAP} processes to bound ladder wall time; cold");
+    println!(" = memoized engine on a fresh shared cache; warm = the same ladder replayed");
+    println!(" against the filled cache. Peak RSS is VmHWM after the rung — sizes ascend,");
+    println!(" so each value is the high-water mark that rung's working set pushed)");
 }
 
 /// Hand-rolled JSON for E13's machine-readable record: no serde in the
@@ -959,6 +1052,7 @@ fn main() {
             "paper: -32.46% area, <1% CT degradation",
         ),
         "scalability" => run_scalability(jobs),
+        "scale" => run_scale(jobs),
         "phases" => run_phases(jobs),
         "incremental" => run_incremental(),
         "verify" => run_verify(),
@@ -989,6 +1083,7 @@ fn main() {
             run_ablation();
             run_sweep();
             run_scalability(jobs);
+            run_scale(jobs);
             run_phases(jobs);
             run_incremental();
             run_verify();
@@ -998,7 +1093,7 @@ fn main() {
         other => {
             eprintln!("unknown experiment `{other}`");
             eprintln!(
-                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability phases incremental verify cluster tracecluster pipeline ablation sweep all"
+                "known: fig2 fig2b fig3 fig4 orders table1 m1 fig6-timing fig6-area scalability scale phases incremental verify cluster tracecluster pipeline ablation sweep all"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,134 @@
+//! CI gate for the paper's 10,000-process scale point.
+//!
+//! ```text
+//! scalecheck [--budget-secs <n>] [--jobs <n>]
+//! ```
+//!
+//! Section 6 of the paper reports handling "up to 10,000 processes
+//! interconnected with 15,000 channels ... in a few minutes in the worst
+//! cases". This binary holds the repo to that claim on every CI run:
+//!
+//! 1. generate the seeded soc:10k benchmark and run the full flow on it —
+//!    channel ordering (Algorithm 1), TMG lowering + Howard analysis, and
+//!    a greedy ERMES exploration toward a 0.7× cycle-time target — under
+//!    an explicit wall-clock budget (default 300 s; `--budget-secs`);
+//! 2. re-run the analysis and check the verdict is bit-identical (`Eq`
+//!    on the exact `Ratio`, f64 bits on the rendered cycle time) — the
+//!    flat-graph layout must never trade determinism for speed;
+//! 3. report the resident-set high-water mark so memory regressions on
+//!    the 10k rung show up in CI logs next to the timing.
+//!
+//! Exits non-zero if the budget is exceeded, the system deadlocks, or the
+//! re-analysis disagrees.
+
+use bench::experiments;
+use chanorder::order_channels;
+use std::time::Instant;
+use sysgraph::lower_to_tmg;
+
+fn fail(message: impl std::fmt::Display) -> ! {
+    eprintln!("scalecheck: {message}");
+    std::process::exit(1);
+}
+
+fn arg_value(args: &[String], flag: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let budget_secs: f64 = arg_value(&args, "--budget-secs")
+        .map_or(Ok(300.0), |v| v.parse())
+        .unwrap_or_else(|e| fail(format_args!("bad --budget-secs: {e}")));
+    let jobs = parx::parse_jobs("--jobs", arg_value(&args, "--jobs").as_deref(), 0)
+        .unwrap_or_else(|e| fail(e));
+
+    const PROCESSES: usize = 10_000;
+    println!(
+        "scalecheck: soc:{PROCESSES} full explore, budget {budget_secs:.0} s, jobs {}",
+        parx::resolve_jobs(jobs)
+    );
+    let started = Instant::now();
+
+    let soc = socgen::generate(socgen::SocGenConfig::sized(
+        PROCESSES,
+        PROCESSES * 3 / 2,
+        42,
+    ));
+    let channels = soc.system.channel_count();
+    let generated_s = started.elapsed().as_secs_f64();
+
+    let solution = order_channels(&soc.system);
+    let mut ordered = soc.system.clone();
+    solution
+        .ordering
+        .apply_to(&mut ordered)
+        .unwrap_or_else(|e| fail(format_args!("ordering must fit: {e}")));
+    let ordered_s = started.elapsed().as_secs_f64();
+
+    let verdict = tmg::analyze(lower_to_tmg(&ordered).tmg());
+    let cycle_time = verdict
+        .cycle_time()
+        .unwrap_or_else(|| fail("soc:10k deadlocks under the computed ordering"));
+    let analyzed_s = started.elapsed().as_secs_f64();
+
+    let target = (cycle_time.to_f64() * 0.7) as u64;
+    let design = ermes::Design::new(soc.system, soc.pareto)
+        .unwrap_or_else(|e| fail(format_args!("design must be well-formed: {e}")));
+    let result = ermes::explore(
+        design,
+        ermes::ExplorationConfig {
+            max_iterations: 4,
+            strategy: ermes::OptStrategy::Greedy,
+            ..ermes::ExplorationConfig::with_target(target.max(1))
+        },
+    )
+    .unwrap_or_else(|e| fail(format_args!("exploration failed: {e}")));
+    let explored_s = started.elapsed().as_secs_f64();
+
+    // Determinism spot-check: a second analysis of the same ordered
+    // system must be Eq- and f64-bit-identical.
+    let again = tmg::analyze(lower_to_tmg(&ordered).tmg());
+    if again != verdict {
+        fail("re-analysis verdict differs (Eq)");
+    }
+    let reference = again
+        .cycle_time()
+        .unwrap_or_else(|| fail("re-analysis deadlocked"));
+    if reference.to_f64().to_bits() != cycle_time.to_f64().to_bits() {
+        fail("re-analysis cycle time differs (f64 bits)");
+    }
+
+    let total_s = started.elapsed().as_secs_f64();
+    println!("scalecheck: channels            {channels}");
+    println!("scalecheck: generate            {generated_s:>8.1} s");
+    println!(
+        "scalecheck: ordering            {:>8.1} s",
+        ordered_s - generated_s
+    );
+    println!(
+        "scalecheck: lower + howard      {:>8.1} s  (cycle time {cycle_time})",
+        analyzed_s - ordered_s
+    );
+    println!(
+        "scalecheck: greedy exploration  {:>8.1} s  ({} iterations, best CT {})",
+        explored_s - analyzed_s,
+        result.iterations.len(),
+        result.best().cycle_time
+    );
+    println!(
+        "scalecheck: peak RSS            {:>8.1} MiB (current {:.1} MiB)",
+        experiments::peak_rss_mb(),
+        experiments::current_rss_mb()
+    );
+    println!("scalecheck: total               {total_s:>8.1} s of {budget_secs:.0} s budget");
+    if total_s > budget_secs {
+        fail(format_args!(
+            "wall clock {total_s:.1} s exceeded the {budget_secs:.0} s budget"
+        ));
+    }
+    println!("scalecheck: ok");
+}

@@ -463,6 +463,158 @@ pub fn parallel_sweep(sizes: &[usize], jobs: usize) -> Vec<ParallelSweepRow> {
         .collect()
 }
 
+/// Peak resident set (`VmHWM`) of this process in MiB, from
+/// `/proc/self/status`. Returns `0.0` where the file is unavailable
+/// (non-Linux), so callers can always print the column.
+#[must_use]
+pub fn peak_rss_mb() -> f64 {
+    proc_status_kb("VmHWM:") / 1024.0
+}
+
+/// Current resident set (`VmRSS`) of this process in MiB.
+#[must_use]
+pub fn current_rss_mb() -> f64 {
+    proc_status_kb("VmRSS:") / 1024.0
+}
+
+fn proc_status_kb(field: &str) -> f64 {
+    let Ok(status) = std::fs::read_to_string("/proc/self/status") else {
+        return 0.0;
+    };
+    status
+        .lines()
+        .find_map(|l| l.strip_prefix(field))
+        .and_then(|v| v.trim().strip_suffix("kB"))
+        .and_then(|v| v.trim().parse::<f64>().ok())
+        .unwrap_or(0.0)
+}
+
+/// One rung of the E19 flat-graph scale ladder.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScaleRow {
+    /// Worker process count requested from the generator.
+    pub processes: usize,
+    /// Channel count of the generated system.
+    pub channels: usize,
+    /// Milliseconds for one channel-ordering run (Algorithm 1).
+    pub ordering_ms: f64,
+    /// Milliseconds for one lowering + Howard analysis.
+    pub analysis_ms: f64,
+    /// Seed-engine baseline for the 12-target sweep (serial, unmemoized —
+    /// one independent exploration per target, re-lowering and re-solving
+    /// everything from scratch). `None` on rungs where the baseline is
+    /// deliberately skipped to keep the ladder inside a CI budget.
+    pub baseline_ms: Option<f64>,
+    /// Cold sweep: memoized engine, fresh shared cache.
+    pub cold_ms: f64,
+    /// Warm sweep: the same ladder against the now-filled cache.
+    pub warm_ms: f64,
+    /// `baseline_ms / cold_ms` where the baseline ran.
+    pub cold_speedup: Option<f64>,
+    /// `baseline_ms / warm_ms` where the baseline ran.
+    pub warm_speedup: Option<f64>,
+    /// Fronts compared with exact `Ratio` equality across every run pair.
+    pub identical: bool,
+    /// `VmHWM` after the rung, MiB (sizes ascend, so each rung's value is
+    /// the high-water mark its own working set pushed).
+    pub peak_rss_mb: f64,
+    /// `VmRSS` after the rung, MiB.
+    pub rss_mb: f64,
+}
+
+/// Runs E19: the paper's 10k-process benchmark as a first-class perf
+/// ladder. Each rung orders, analyzes, then sweeps the 12-target ladder
+/// three ways — seed baseline (serial, unmemoized; capped at
+/// `baseline_cap` processes), cold memoized, warm memoized — recording
+/// wall clock and resident-set high-water marks, and checks every front
+/// pair for exact equality.
+///
+/// # Panics
+///
+/// Panics if a generated benchmark fails to order, analyze, or sweep —
+/// any of which would invalidate the ladder.
+#[must_use]
+pub fn scale_ladder(sizes: &[usize], jobs: usize, baseline_cap: usize) -> Vec<ScaleRow> {
+    sizes
+        .iter()
+        .map(|&n| {
+            let soc = socgen::generate(socgen::SocGenConfig::sized(n, n * 3 / 2, 42));
+            let channels = soc.system.channel_count();
+
+            let t0 = Instant::now();
+            let solution = order_channels(&soc.system);
+            let ordering_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+            let mut ordered = soc.system.clone();
+            solution.ordering.apply_to(&mut ordered).expect("valid");
+            let t1 = Instant::now();
+            let verdict = tmg::analyze(lower_to_tmg(&ordered).tmg());
+            let analysis_ms = t1.elapsed().as_secs_f64() * 1e3;
+            let base = verdict
+                .cycle_time()
+                .expect("generated benchmarks are live")
+                .to_f64();
+            let targets: Vec<u64> = [
+                0.5, 0.65, 0.8, 0.95, 1.1, 1.25, 1.4, 1.6, 2.0, 2.5, 3.5, 5.0,
+            ]
+            .iter()
+            .map(|f| ((base * f) as u64).max(1))
+            .collect();
+
+            let design = ermes::Design::new(soc.system, soc.pareto).expect("sizes match");
+
+            let baseline = (n <= baseline_cap).then(|| {
+                let t = Instant::now();
+                let swept = ermes::pareto_sweep_with(
+                    design.clone(),
+                    &targets,
+                    &ermes::SweepOptions {
+                        jobs: 1,
+                        memoize: false,
+                    },
+                )
+                .expect("baseline sweep succeeds");
+                (t.elapsed().as_secs_f64() * 1e3, swept)
+            });
+
+            let options = ermes::SweepOptions {
+                jobs,
+                memoize: true,
+            };
+            let cache = ermes::EngineCache::new();
+            let t2 = Instant::now();
+            let cold = ermes::pareto_sweep_cached(design.clone(), &targets, &options, &cache)
+                .expect("cold sweep succeeds");
+            let cold_ms = t2.elapsed().as_secs_f64() * 1e3;
+
+            let t3 = Instant::now();
+            let warm = ermes::pareto_sweep_cached(design, &targets, &options, &cache)
+                .expect("warm sweep succeeds");
+            let warm_ms = t3.elapsed().as_secs_f64() * 1e3;
+
+            let identical = warm.front == cold.front
+                && baseline
+                    .as_ref()
+                    .is_none_or(|(_, swept)| swept.front == cold.front);
+            let baseline_ms = baseline.map(|(ms, _)| ms);
+            ScaleRow {
+                processes: n,
+                channels,
+                ordering_ms,
+                analysis_ms,
+                baseline_ms,
+                cold_ms,
+                warm_ms,
+                cold_speedup: baseline_ms.map(|b| b / cold_ms),
+                warm_speedup: baseline_ms.map(|b| b / warm_ms),
+                identical,
+                peak_rss_mb: peak_rss_mb(),
+                rss_mb: current_rss_mb(),
+            }
+        })
+        .collect()
+}
+
 /// The system-level Pareto front of the MPEG-2 encoder across target
 /// cycle times (the "set of Pareto-optimal implementations for the
 /// overall system" the paper starts from, re-derived by ERMES).

@@ -8,8 +8,7 @@
 //! extension beyond the paper, bridging the heuristic and the exhaustive
 //! search.
 
-use crate::evaluate::cycle_time_of;
-use sysgraph::{ChannelOrdering, SystemGraph};
+use sysgraph::{lower_to_tmg, ChannelOrdering, ProcessId, SystemGraph};
 use tmg::Ratio;
 
 /// Controls for [`refine_ordering`].
@@ -36,28 +35,32 @@ pub struct RefineResult {
     pub moves: usize,
 }
 
-/// All orderings one adjacent swap away from `base`.
-fn neighbors(system: &SystemGraph, base: &ChannelOrdering) -> Vec<ChannelOrdering> {
-    let mut out = Vec::new();
-    for p in system.process_ids() {
-        let gets = base.gets(p);
-        for i in 0..gets.len().saturating_sub(1) {
-            let mut v = base.clone();
-            let mut order = gets.to_vec();
-            order.swap(i, i + 1);
-            v.set_gets(p, order);
-            out.push(v);
-        }
-        let puts = base.puts(p);
-        for i in 0..puts.len().saturating_sub(1) {
-            let mut v = base.clone();
-            let mut order = puts.to_vec();
-            order.swap(i, i + 1);
-            v.set_puts(p, order);
-            out.push(v);
+/// One adjacent transposition in a process's `get` or `put` order.
+///
+/// The neighborhood is explored by applying each move to the working
+/// system in place, evaluating, and undoing it — an adjacent swap is its
+/// own inverse — instead of materializing a full [`ChannelOrdering`]
+/// clone per candidate as the first implementation did.
+#[derive(Debug, Clone, Copy)]
+struct SwapMove {
+    process: ProcessId,
+    puts: bool,
+    at: usize,
+}
+
+impl SwapMove {
+    fn toggle(self, system: &mut SystemGraph) {
+        if self.puts {
+            system.swap_adjacent_puts(self.process, self.at);
+        } else {
+            system.swap_adjacent_gets(self.process, self.at);
         }
     }
-    out
+}
+
+/// Cycle time of the working system as currently ordered.
+fn current_cycle_time(system: &SystemGraph) -> Option<Ratio> {
+    tmg::analyze(lower_to_tmg(system).tmg()).cycle_time()
 }
 
 /// Steepest-descent refinement: repeatedly applies the adjacent swap with
@@ -90,28 +93,47 @@ pub fn refine_ordering(
     config: RefineConfig,
 ) -> RefineResult {
     let _span = trace::span("refine");
-    let mut best = start.clone();
-    let mut best_ct = cycle_time_of(system, &best)
-        .expect("start ordering fits the system")
-        .cycle_time()
-        .expect("refine live orderings only");
+    // One working copy carries the best-so-far ordering; every candidate
+    // move is applied to it, evaluated, and undone in place. Candidate
+    // enumeration order (processes ascending, gets before puts, positions
+    // ascending) and the strict-improvement tie-break match the original
+    // clone-per-neighbor implementation exactly, so the chosen move — and
+    // hence the final ordering — is identical.
+    let mut current = system.clone();
+    start
+        .apply_to(&mut current)
+        .expect("start ordering fits the system");
+    let mut best_ct = current_cycle_time(&current).expect("refine live orderings only");
     let mut moves = 0;
     for _ in 0..config.max_passes {
-        let mut improved: Option<(Ratio, ChannelOrdering)> = None;
-        for candidate in neighbors(system, &best) {
-            let Ok(verdict) = cycle_time_of(system, &candidate) else {
-                continue;
-            };
-            let Some(ct) = verdict.cycle_time() else {
-                continue; // deadlocking neighbor
-            };
-            if ct < best_ct && improved.as_ref().is_none_or(|(b, _)| ct < *b) {
-                improved = Some((ct, candidate));
+        let mut improved: Option<(Ratio, SwapMove)> = None;
+        for pi in 0..current.process_count() {
+            let p = ProcessId::from_index(pi);
+            for puts in [false, true] {
+                let len = if puts {
+                    current.put_order(p).len()
+                } else {
+                    current.get_order(p).len()
+                };
+                for at in 0..len.saturating_sub(1) {
+                    let mv = SwapMove {
+                        process: p,
+                        puts,
+                        at,
+                    };
+                    mv.toggle(&mut current);
+                    let ct = current_cycle_time(&current); // None: deadlock
+                    mv.toggle(&mut current);
+                    let Some(ct) = ct else { continue };
+                    if ct < best_ct && improved.as_ref().is_none_or(|(b, _)| ct < *b) {
+                        improved = Some((ct, mv));
+                    }
+                }
             }
         }
         match improved {
-            Some((ct, ordering)) => {
-                best = ordering;
+            Some((ct, mv)) => {
+                mv.toggle(&mut current);
                 best_ct = ct;
                 moves += 1;
             }
@@ -120,7 +142,7 @@ pub fn refine_ordering(
     }
     trace::attr("moves", moves);
     RefineResult {
-        ordering: best,
+        ordering: ChannelOrdering::of(&current),
         cycle_time: best_ct,
         moves,
     }
@@ -130,6 +152,7 @@ pub fn refine_ordering(
 mod tests {
     use super::*;
     use crate::algorithm::order_channels;
+    use crate::evaluate::cycle_time_of;
     use sysgraph::MotivatingExample;
 
     #[test]

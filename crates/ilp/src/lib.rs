@@ -68,6 +68,16 @@ mod simplex;
 mod stats;
 
 pub use branch_bound::Solver;
+
+/// Runs the MCKP presolve alone and returns the number of variables it
+/// pinned. Exists for the `flatgraph` criterion suite, which needs to
+/// time the dominance pass at scales where the dense seed tableau of a
+/// full `solve()` would dwarf it; not part of the supported API.
+#[doc(hidden)]
+pub fn presolve_eliminated(problem: &Problem) -> usize {
+    presolve::presolve(problem).eliminated
+}
+
 pub use knapsack::{solve_multiple_choice_knapsack, KnapsackError, McItem, McSelection};
 pub use model::{Constraint, Problem, Sense, Solution, SolveError, VarId};
 pub use simplex::{solve_relaxation, LpSolution};

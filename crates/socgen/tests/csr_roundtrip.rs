@@ -1,0 +1,120 @@
+//! Differential tests for the flat-graph (CSR) refactor: on random socgen
+//! designs, the CSR adjacency stored inside [`tmg::Tmg`] must be a
+//! bijective round-trip of the nested-`Vec` adjacency the pre-refactor
+//! representation kept per transition, and analysis verdicts must be
+//! bit-identical across an adjacency-oblivious rebuild of the same graph.
+//!
+//! The nested-`Vec` reference is reconstructed here from first principles —
+//! one ascending scan over the place list, pushing each place onto its
+//! producer's out-list and its consumer's in-list — which is exactly how
+//! the old representation was filled during construction.
+
+use proptest::prelude::*;
+use socgen::{generate, SocGenConfig};
+use sysgraph::lower_to_tmg;
+use tmg::{analyze, PlaceId, Tmg, TmgBuilder};
+
+/// The pre-refactor adjacency: per-transition `Vec`s filled by one
+/// ascending place scan (identical to the old builder's push order).
+fn nested_vec_adjacency(tmg: &Tmg) -> (Vec<Vec<PlaceId>>, Vec<Vec<PlaceId>>) {
+    let n = tmg.transition_count();
+    let mut out: Vec<Vec<PlaceId>> = vec![Vec::new(); n];
+    let mut inp: Vec<Vec<PlaceId>> = vec![Vec::new(); n];
+    for p in tmg.place_ids() {
+        out[tmg.place(p).producer().index()].push(p);
+        inp[tmg.place(p).consumer().index()].push(p);
+    }
+    (out, inp)
+}
+
+/// Rebuilds the same TMG through the public builder, transition by
+/// transition and place by place, in id order.
+fn rebuild(tmg: &Tmg) -> Tmg {
+    let mut b = TmgBuilder::new();
+    let ts: Vec<_> = tmg
+        .transition_ids()
+        .map(|t| b.add_transition(tmg.transition(t).name(), tmg.transition(t).delay()))
+        .collect();
+    for p in tmg.place_ids() {
+        let place = tmg.place(p);
+        b.add_place(
+            ts[place.producer().index()],
+            ts[place.consumer().index()],
+            place.initial_tokens(),
+        );
+    }
+    b.build().expect("round-tripped graph is valid")
+}
+
+fn arb_config() -> impl Strategy<Value = SocGenConfig> {
+    (2usize..60, 0u64..1000).prop_map(|(n, seed)| SocGenConfig::sized(n, n * 3 / 2, seed))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// CSR in/out adjacency == the old nested-`Vec` adjacency, slice for
+    /// slice, in the same per-transition order.
+    #[test]
+    fn csr_adjacency_round_trips_nested_vecs(config in arb_config()) {
+        let soc = generate(config);
+        let lowered = lower_to_tmg(&soc.system);
+        let tmg = lowered.tmg();
+        let (out, inp) = nested_vec_adjacency(tmg);
+        for t in tmg.transition_ids() {
+            prop_assert_eq!(tmg.output_places(t), out[t.index()].as_slice());
+            prop_assert_eq!(tmg.input_places(t), inp[t.index()].as_slice());
+        }
+    }
+
+    /// Reordered lowering keeps the bijection too (the adjacency follows
+    /// the rewired places exactly).
+    #[test]
+    fn csr_adjacency_survives_reordering(config in arb_config(), seed in 0u64..50) {
+        let soc = generate(config);
+        let mut sys = soc.system;
+        chanorder::random_ordering(&sys, seed)
+            .apply_to(&mut sys)
+            .expect("random orders are permutations");
+        let lowered = lower_to_tmg(&sys);
+        let tmg = lowered.tmg();
+        let (out, inp) = nested_vec_adjacency(tmg);
+        for t in tmg.transition_ids() {
+            prop_assert_eq!(tmg.output_places(t), out[t.index()].as_slice());
+            prop_assert_eq!(tmg.input_places(t), inp[t.index()].as_slice());
+        }
+    }
+
+    /// Node/edge sets survive a full builder round-trip, and the analysis
+    /// verdict of the rebuilt graph is `Eq`- and bit-identical.
+    #[test]
+    fn analysis_is_bit_identical_across_rebuild(config in arb_config()) {
+        let soc = generate(config);
+        let lowered = lower_to_tmg(&soc.system);
+        let tmg = lowered.tmg();
+        let rebuilt = rebuild(tmg);
+
+        prop_assert_eq!(tmg.transition_count(), rebuilt.transition_count());
+        prop_assert_eq!(tmg.place_count(), rebuilt.place_count());
+        for t in tmg.transition_ids() {
+            prop_assert_eq!(tmg.transition(t).delay(), rebuilt.transition(t).delay());
+            prop_assert_eq!(tmg.output_places(t), rebuilt.output_places(t));
+            prop_assert_eq!(tmg.input_places(t), rebuilt.input_places(t));
+        }
+        for p in tmg.place_ids() {
+            prop_assert_eq!(tmg.place(p).producer(), rebuilt.place(p).producer());
+            prop_assert_eq!(tmg.place(p).consumer(), rebuilt.place(p).consumer());
+            prop_assert_eq!(
+                tmg.place(p).initial_tokens(),
+                rebuilt.place(p).initial_tokens()
+            );
+        }
+
+        let a = analyze(tmg);
+        let b = analyze(&rebuilt);
+        prop_assert_eq!(&a, &b);
+        if let (Some(x), Some(y)) = (a.cycle_time(), b.cycle_time()) {
+            prop_assert_eq!(x.to_f64().to_bits(), y.to_f64().to_bits());
+        }
+    }
+}

@@ -160,8 +160,19 @@ impl LoweredTmg {
 /// ```
 #[must_use]
 pub fn lower_to_tmg(system: &SystemGraph) -> LoweredTmg {
-    let mut b = TmgBuilder::new();
-    let mut origins = Vec::new();
+    // Exact sizes are known up front: P + C transitions plus one handshake
+    // per initialized channel; each process chain closes with one place per
+    // transition in it (gets + compute + puts, i.e. P + 2C over the whole
+    // system, with an isolated process contributing its self-loop), and
+    // each initialized channel adds a data/credit place pair.
+    let initialized = system
+        .channel_ids()
+        .filter(|&c| system.channel(c).initial_tokens() > 0)
+        .count();
+    let transition_count = system.process_count() + system.channel_count() + initialized;
+    let place_count = system.process_count() + 2 * system.channel_count() + 2 * initialized;
+    let mut b = TmgBuilder::with_capacity(transition_count, place_count);
+    let mut origins = Vec::with_capacity(transition_count);
 
     let process_transitions: Vec<TransitionId> = system
         .process_ids()
@@ -176,8 +187,9 @@ pub fn lower_to_tmg(system: &SystemGraph) -> LoweredTmg {
         .collect();
     // Consumer-side transfer transition per channel (carries the channel
     // latency); initialized channels additionally get a zero-delay
-    // producer-handshake transition.
-    let mut producer_transitions: Vec<TransitionId> = Vec::new();
+    // producer-handshake transition. Indexed densely by channel id — the
+    // scan below visits channels in ascending id order.
+    let mut producer_transitions: Vec<TransitionId> = Vec::with_capacity(system.channel_count());
     let channel_transitions: Vec<TransitionId> = system
         .channel_ids()
         .map(|c| {
@@ -203,20 +215,12 @@ pub fn lower_to_tmg(system: &SystemGraph) -> LoweredTmg {
             producer_transitions.push(channel_transitions[c.index()]);
         }
     }
-    // `producer_transitions` is indexed by initialized-channel discovery
-    // order above; rebuild as a dense per-channel map.
-    let producer_transitions: Vec<TransitionId> = {
-        let mut map = vec![TransitionId::from_index(0); system.channel_count()];
-        let mut iter = producer_transitions.into_iter();
-        for c in system.channel_ids() {
-            map[c.index()] = iter.next().expect("one entry per channel");
-        }
-        map
-    };
 
+    // The cyclic chain per process: gets, computation, puts. One scratch
+    // buffer reused across all processes.
+    let mut seq: Vec<TransitionId> = Vec::new();
     for p in system.process_ids() {
-        // The cyclic chain: gets, computation, puts.
-        let mut seq: Vec<TransitionId> = Vec::new();
+        seq.clear();
         seq.extend(
             system
                 .get_order(p)

@@ -273,6 +273,30 @@ impl SystemGraph {
         Ok(())
     }
 
+    /// Swaps the `get` statements at positions `i` and `i + 1` of process
+    /// `p`, in place. Adjacent transpositions generate the whole ordering
+    /// neighborhood local search explores, and swapping in place (plus
+    /// swapping back) avoids materializing a candidate ordering per move.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or `i + 1` is out of range for its
+    /// `get` order.
+    pub fn swap_adjacent_gets(&mut self, p: ProcessId, i: usize) {
+        self.gets[p.index()].swap(i, i + 1);
+    }
+
+    /// Swaps the `put` statements at positions `i` and `i + 1` of process
+    /// `p`, in place. See [`swap_adjacent_gets`](Self::swap_adjacent_gets).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is out of range or `i + 1` is out of range for its
+    /// `put` order.
+    pub fn swap_adjacent_puts(&mut self, p: ProcessId, i: usize) {
+        self.puts[p.index()].swap(i, i + 1);
+    }
+
     /// Sets the computation latency of process `p` (e.g. after selecting a
     /// different Pareto-optimal micro-architecture).
     pub fn set_latency(&mut self, p: ProcessId, latency: u64) {

@@ -147,11 +147,17 @@ fn analyze_inner(
     }
     let rg = RatioGraph::from_tmg(graph);
     let scc = tarjan(&rg);
-    let components = scc.members();
-    trace::attr("sccs", components.len());
-    let results = parx::par_map(jobs, &components, |i, members| {
+    let groups = scc.groups();
+    trace::attr("sccs", groups.len());
+    // Fan the per-component solves out by index over the flat grouping —
+    // one id array instead of one `Vec` per component. Each worker thread
+    // reuses its thread-local Howard scratch arena across every component
+    // it drains from the queue.
+    let indices: Vec<u32> = (0..groups.len() as u32).collect();
+    let results = parx::par_map(jobs, &indices, |i, &c| {
         let _span = trace::span("howard");
         trace::attr("scc", i);
+        let members = groups.group(c as usize);
         trace::attr("nodes", members.len());
         howard_on_component(&rg, &scc, members, cancel)
     });

@@ -32,7 +32,8 @@ pub(crate) fn enumerate_elementary_cycles(graph: &RatioGraph) -> Vec<Vec<EdgeIdx
         path_edges: &mut Vec<EdgeIdx>,
         cycles: &mut Vec<Vec<EdgeIdx>>,
     ) {
-        for &e in &graph.out_edges[v] {
+        for &e in graph.out(v) {
+            let e = e as usize;
             let w = graph.edges[e].to;
             if w == root {
                 let mut cycle = path_edges.clone();

@@ -130,6 +130,17 @@ impl TmgBuilder {
         id
     }
 
+    /// Pre-allocates room for `transitions` transitions and `places`
+    /// places, for callers (like the system-graph lowering) that know the
+    /// final sizes up front.
+    #[must_use]
+    pub fn with_capacity(transitions: usize, places: usize) -> Self {
+        TmgBuilder {
+            transitions: Vec::with_capacity(transitions),
+            places: Vec::with_capacity(places),
+        }
+    }
+
     /// Finalizes the graph.
     ///
     /// # Errors
@@ -139,17 +150,47 @@ impl TmgBuilder {
         if self.transitions.is_empty() {
             return Err(TmgError::Empty);
         }
-        let mut out_places = vec![Vec::new(); self.transitions.len()];
-        let mut in_places = vec![Vec::new(); self.transitions.len()];
+        // CSR adjacency by counting sort: one offset array plus one flat
+        // id array per direction, no per-transition `Vec`s. Filling from
+        // an ascending place-id scan keeps each transition's list in
+        // ascending place order — the exact order the previous nested
+        // `Vec` construction pushed in, so every traversal downstream
+        // sees identical sequences.
+        let n = self.transitions.len();
+        let m = self.places.len();
+        assert!(
+            m < u32::MAX as usize && n < u32::MAX as usize,
+            "graph exceeds u32 index space"
+        );
+        let mut out_start = vec![0u32; n + 1];
+        let mut in_start = vec![0u32; n + 1];
+        for place in &self.places {
+            out_start[place.producer.index() + 1] += 1;
+            in_start[place.consumer.index() + 1] += 1;
+        }
+        for i in 0..n {
+            out_start[i + 1] += out_start[i];
+            in_start[i + 1] += in_start[i];
+        }
+        let mut out_cursor: Vec<u32> = out_start[..n].to_vec();
+        let mut in_cursor: Vec<u32> = in_start[..n].to_vec();
+        let mut out_list = vec![PlaceId::from_index(0); m];
+        let mut in_list = vec![PlaceId::from_index(0); m];
         for (i, place) in self.places.iter().enumerate() {
-            out_places[place.producer.index()].push(PlaceId::from_index(i));
-            in_places[place.consumer.index()].push(PlaceId::from_index(i));
+            let p = place.producer.index();
+            out_list[out_cursor[p] as usize] = PlaceId::from_index(i);
+            out_cursor[p] += 1;
+            let c = place.consumer.index();
+            in_list[in_cursor[c] as usize] = PlaceId::from_index(i);
+            in_cursor[c] += 1;
         }
         Ok(Tmg {
             transitions: self.transitions,
             places: self.places,
-            out_places,
-            in_places,
+            out_start,
+            out_list,
+            in_start,
+            in_list,
         })
     }
 }
@@ -176,8 +217,14 @@ impl TmgBuilder {
 pub struct Tmg {
     transitions: Vec<Transition>,
     places: Vec<Place>,
-    out_places: Vec<Vec<PlaceId>>,
-    in_places: Vec<Vec<PlaceId>>,
+    /// CSR offsets into [`Self::out_list`], `transition_count() + 1` long.
+    out_start: Vec<u32>,
+    /// Outgoing places of every transition, grouped by producer.
+    out_list: Vec<PlaceId>,
+    /// CSR offsets into [`Self::in_list`], `transition_count() + 1` long.
+    in_start: Vec<u32>,
+    /// Incoming places of every transition, grouped by consumer.
+    in_list: Vec<PlaceId>,
 }
 
 impl Tmg {
@@ -226,13 +273,15 @@ impl Tmg {
     /// Places whose producer is `t` (the outgoing places of `t`).
     #[must_use]
     pub fn output_places(&self, t: TransitionId) -> &[PlaceId] {
-        &self.out_places[t.index()]
+        let i = t.index();
+        &self.out_list[self.out_start[i] as usize..self.out_start[i + 1] as usize]
     }
 
     /// Places whose consumer is `t` (the incoming places of `t`).
     #[must_use]
     pub fn input_places(&self, t: TransitionId) -> &[PlaceId] {
-        &self.in_places[t.index()]
+        let i = t.index();
+        &self.in_list[self.in_start[i] as usize..self.in_start[i + 1] as usize]
     }
 
     /// Updates the firing delay of transition `id` in place.
@@ -285,10 +334,11 @@ impl Tmg {
             seen[0] = true;
             let mut count = 1;
             while let Some(v) = stack.pop() {
+                let t = TransitionId::from_index(v);
                 let arcs = if forward {
-                    &self.out_places[v]
+                    self.output_places(t)
                 } else {
-                    &self.in_places[v]
+                    self.input_places(t)
                 };
                 for &p in arcs {
                     let place = &self.places[p.index()];

@@ -130,7 +130,19 @@ impl HowardScratch {
     }
 }
 
-/// Runs Howard's algorithm on one strongly connected component.
+thread_local! {
+    /// Per-thread scratch arena shared by every [`howard_on_component`]
+    /// call on that thread. A `parx` worker draining the per-SCC job queue
+    /// reuses one arena across all the components it solves (and the
+    /// serial path reuses it across whole analyses), so the steady state
+    /// allocates nothing per solve. Safe because the scratch carries no
+    /// state between calls — see [`HowardScratch`].
+    static SCRATCH: std::cell::RefCell<HowardScratch> =
+        std::cell::RefCell::new(HowardScratch::new());
+}
+
+/// Runs Howard's algorithm on one strongly connected component, using the
+/// calling thread's scratch arena.
 ///
 /// `members` lists the vertices of the component; all cycles through them
 /// are assumed to have positive token sums. Returns `Ok(None)` if the
@@ -141,10 +153,12 @@ impl HowardScratch {
 pub(crate) fn howard_on_component(
     graph: &RatioGraph,
     scc: &SccDecomposition,
-    members: &[usize],
+    members: &[u32],
     cancel: Option<&CancelToken>,
 ) -> Result<Option<CycleRatioResult>, Cancelled> {
-    howard_on_component_with(&mut HowardScratch::new(), graph, scc, members, cancel)
+    SCRATCH.with(|scratch| {
+        howard_on_component_with(&mut scratch.borrow_mut(), graph, scc, members, cancel)
+    })
 }
 
 /// [`howard_on_component`] with caller-provided scratch memory.
@@ -155,11 +169,11 @@ pub(crate) fn howard_on_component_with(
     scratch: &mut HowardScratch,
     graph: &RatioGraph,
     scc: &SccDecomposition,
-    members: &[usize],
+    members: &[u32],
     cancel: Option<&CancelToken>,
 ) -> Result<Option<CycleRatioResult>, Cancelled> {
     let k = members.len();
-    let comp = scc.component[members[0]];
+    let comp = scc.component[members[0] as usize];
     let HowardScratch {
         local,
         out_start,
@@ -181,7 +195,7 @@ pub(crate) fn howard_on_component_with(
         local.resize(graph.node_count, usize::MAX);
     }
     for (i, &v) in members.iter().enumerate() {
-        local[v] = i;
+        local[v as usize] = i;
     }
 
     // Internal edges only, in CSR form. Grouping by counting sort over the
@@ -480,9 +494,12 @@ mod tests {
 
     fn solve(g: &RatioGraph) -> Option<CycleRatioResult> {
         let scc = tarjan(g);
+        let groups = scc.groups();
         let mut best: Option<CycleRatioResult> = None;
-        for members in scc.members() {
-            if let Some(r) = howard_on_component(g, &scc, &members, None).expect("not cancelled") {
+        for c in 0..groups.len() {
+            if let Some(r) =
+                howard_on_component(g, &scc, groups.group(c), None).expect("not cancelled")
+            {
                 if best.as_ref().is_none_or(|b| r.ratio > b.ratio) {
                     best = Some(r);
                 }
@@ -498,10 +515,10 @@ mod tests {
         g.add_edge(0, 1, 1, 1, None);
         g.add_edge(1, 0, 1, 1, None);
         let scc = tarjan(&g);
-        let members = scc.members();
+        let groups = scc.groups();
         let token = CancelToken::new();
         token.cancel(CancelReason::Disconnected);
-        let err = howard_on_component(&g, &scc, &members[0], Some(&token))
+        let err = howard_on_component(&g, &scc, groups.group(0), Some(&token))
             .expect_err("token already cancelled");
         assert_eq!(err.reason, CancelReason::Disconnected);
     }
@@ -608,14 +625,14 @@ mod tests {
 
         let scc_big = tarjan(&big);
         let scc_small = tarjan(&small);
-        let mem_big = scc_big.members();
-        let mem_small = scc_small.members();
+        let mem_big = scc_big.groups();
+        let mem_small = scc_small.groups();
 
         let mut scratch = HowardScratch::new();
         for _ in 0..3 {
             for (g, scc, members) in [
-                (&big, &scc_big, &mem_big[0]),
-                (&small, &scc_small, &mem_small[0]),
+                (&big, &scc_big, mem_big.group(0)),
+                (&small, &scc_small, mem_small.group(0)),
             ] {
                 let reused = howard_on_component_with(&mut scratch, g, scc, members, None)
                     .expect("not cancelled");

@@ -38,7 +38,7 @@ use crate::howard::{howard_on_component_with, CycleRatioResult, HowardScratch};
 use crate::ids::{PlaceId, TransitionId};
 use crate::parametric::{find_any_cycle, max_cycle_ratio_parametric};
 use crate::ratio_graph::RatioGraph;
-use crate::scc::{tarjan, SccDecomposition};
+use crate::scc::{tarjan, SccDecomposition, SccGroups};
 use crate::Verdict;
 use parx::{CancelToken, Cancelled};
 
@@ -70,7 +70,8 @@ use parx::{CancelToken, Cancelled};
 pub struct IncrementalAnalysis {
     rg: RatioGraph,
     scc: SccDecomposition,
-    components: Vec<Vec<usize>>,
+    /// Flat (CSR) member grouping of the cached decomposition.
+    components: SccGroups,
     /// Cached per-component Howard results, indexed like `components`.
     results: Vec<Option<CycleRatioResult>>,
     /// Components whose cached result is stale (set on edit, cleared only
@@ -109,7 +110,7 @@ impl IncrementalAnalysis {
                 component: Vec::new(),
                 count: 0,
             },
-            components: Vec::new(),
+            components: SccGroups::default(),
             results: Vec::new(),
             dirty: Vec::new(),
             deadlock: None,
@@ -222,7 +223,7 @@ impl IncrementalAnalysis {
             };
             self.deadlock = Some(witness);
             self.rg = RatioGraph::from_tmg(graph);
-            self.components.clear();
+            self.components = SccGroups::default();
             self.results.clear();
             self.dirty.clear();
             self.scc = SccDecomposition {
@@ -235,13 +236,14 @@ impl IncrementalAnalysis {
         }
         let rg = RatioGraph::from_tmg(graph);
         let scc = tarjan(&rg);
-        let components = scc.members();
+        let components = scc.groups();
         let has_cycle = find_any_cycle(&rg).is_some();
 
         let mut results: Vec<Option<CycleRatioResult>> = Vec::with_capacity(components.len());
         let mut reused = 0usize;
         let mut solved = 0usize;
-        for (i, members) in components.iter().enumerate() {
+        for i in 0..components.len() {
+            let members = components.group(i);
             if let Some(old) = self.reusable_component(&rg, &scc, members) {
                 results.push(self.results[old].clone());
                 reused += 1;
@@ -279,14 +281,15 @@ impl IncrementalAnalysis {
         &self,
         rg: &RatioGraph,
         scc: &SccDecomposition,
-        members: &[usize],
+        members: &[u32],
     ) -> Option<usize> {
         let &first = members.first()?;
+        let first = first as usize;
         let old = *self.scc.component.get(first)?;
         if self.dirty.get(old).copied().unwrap_or(true) {
             return None;
         }
-        if self.components.get(old).map(Vec::as_slice) != Some(members) {
+        if old >= self.components.len() || self.components.group(old) != members {
             return None;
         }
         if self.rg.node_count != rg.node_count || self.rg.edges.len() != rg.edges.len() {
@@ -321,12 +324,12 @@ impl IncrementalAnalysis {
             let r = {
                 let _span = trace::span("howard");
                 trace::attr("scc", i);
-                trace::attr("nodes", self.components[i].len());
+                trace::attr("nodes", self.components.group(i).len());
                 howard_on_component_with(
                     &mut self.scratch,
                     &self.rg,
                     &self.scc,
-                    &self.components[i],
+                    self.components.group(i),
                     cancel,
                 )?
             };

@@ -20,9 +20,10 @@ use crate::scc::tarjan;
 #[cfg_attr(not(test), allow(dead_code))]
 pub(crate) fn max_cycle_mean_karp(graph: &RatioGraph) -> Option<Ratio> {
     let scc = tarjan(graph);
+    let groups = scc.groups();
     let mut best: Option<Ratio> = None;
-    for members in scc.members() {
-        if let Some(mean) = karp_on_component(graph, &scc.component, &members) {
+    for c in 0..groups.len() {
+        if let Some(mean) = karp_on_component(graph, &scc.component, groups.group(c)) {
             if best.is_none_or(|b| mean > b) {
                 best = Some(mean);
             }
@@ -31,12 +32,12 @@ pub(crate) fn max_cycle_mean_karp(graph: &RatioGraph) -> Option<Ratio> {
     best
 }
 
-fn karp_on_component(graph: &RatioGraph, component: &[usize], members: &[usize]) -> Option<Ratio> {
+fn karp_on_component(graph: &RatioGraph, component: &[usize], members: &[u32]) -> Option<Ratio> {
     let k = members.len();
-    let comp = component[members[0]];
+    let comp = component[members[0] as usize];
     let mut local = vec![usize::MAX; graph.node_count];
     for (i, &v) in members.iter().enumerate() {
-        local[v] = i;
+        local[v as usize] = i;
     }
     let internal: Vec<_> = graph
         .edges

@@ -93,9 +93,12 @@ mod oracle_tests {
 
     fn howard_max(g: &RatioGraph) -> Option<Ratio> {
         let scc = tarjan(g);
+        let groups = scc.groups();
         let mut best: Option<Ratio> = None;
-        for members in scc.members() {
-            if let Some(r) = howard_on_component(g, &scc, &members, None).expect("not cancelled") {
+        for c in 0..groups.len() {
+            if let Some(r) =
+                howard_on_component(g, &scc, groups.group(c), None).expect("not cancelled")
+            {
                 if best.is_none_or(|b| r.ratio > b) {
                     best = Some(r.ratio);
                 }

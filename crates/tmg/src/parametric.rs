@@ -32,8 +32,9 @@ pub(crate) fn find_any_cycle(graph: &RatioGraph) -> Option<Vec<EdgeIdx>> {
         let mut frames: Vec<(usize, usize)> = vec![(start, 0)];
         color[start] = GRAY;
         while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
-            if *pos < graph.out_edges[v].len() {
-                let e = graph.out_edges[v][*pos];
+            let out = graph.out(v);
+            if *pos < out.len() {
+                let e = out[*pos] as usize;
                 *pos += 1;
                 let w = graph.edges[e].to;
                 match color[w] {

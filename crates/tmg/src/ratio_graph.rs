@@ -11,6 +11,7 @@
 
 use crate::graph::Tmg;
 use crate::ids::PlaceId;
+use std::sync::OnceLock;
 
 /// Index of an edge inside a [`RatioGraph`].
 pub(crate) type EdgeIdx = usize;
@@ -28,13 +29,26 @@ pub(crate) struct RatioEdge {
     pub place: Option<PlaceId>,
 }
 
+/// CSR out-adjacency of a [`RatioGraph`]: `start` has `node_count + 1`
+/// offsets into `list`, which holds edge indices grouped by source vertex
+/// in ascending edge-index order (identical to the order the previous
+/// per-vertex `Vec<EdgeIdx>` construction pushed in).
+#[derive(Debug, Clone)]
+struct CsrAdjacency {
+    start: Vec<u32>,
+    list: Vec<u32>,
+}
+
 /// A directed multigraph with `(delay, tokens)`-weighted edges.
 #[derive(Debug, Clone, Default)]
 pub(crate) struct RatioGraph {
     pub node_count: usize,
     pub edges: Vec<RatioEdge>,
-    /// Outgoing edge indices per node.
-    pub out_edges: Vec<Vec<EdgeIdx>>,
+    /// Out-adjacency in CSR form, built lazily on first traversal and
+    /// invalidated by [`Self::add_edge`]. Edge *weights* may be updated in
+    /// place (the incremental analyzer reprices delays) without touching
+    /// this — the adjacency depends on endpoints only.
+    adjacency: OnceLock<CsrAdjacency>,
 }
 
 impl RatioGraph {
@@ -43,7 +57,7 @@ impl RatioGraph {
         RatioGraph {
             node_count,
             edges: Vec::new(),
-            out_edges: vec![Vec::new(); node_count],
+            adjacency: OnceLock::new(),
         }
     }
 
@@ -66,8 +80,34 @@ impl RatioGraph {
             tokens,
             place,
         });
-        self.out_edges[from].push(idx);
+        self.adjacency = OnceLock::new();
         idx
+    }
+
+    /// Outgoing edge indices of `v`, grouped contiguously in ascending
+    /// edge-index order.
+    pub fn out(&self, v: usize) -> &[u32] {
+        let csr = self.adjacency.get_or_init(|| {
+            debug_assert!(
+                self.edges.len() < u32::MAX as usize,
+                "graph exceeds u32 edge space"
+            );
+            let mut start = vec![0u32; self.node_count + 1];
+            for e in &self.edges {
+                start[e.from + 1] += 1;
+            }
+            for i in 0..self.node_count {
+                start[i + 1] += start[i];
+            }
+            let mut cursor: Vec<u32> = start[..self.node_count].to_vec();
+            let mut list = vec![0u32; self.edges.len()];
+            for (idx, e) in self.edges.iter().enumerate() {
+                list[cursor[e.from] as usize] = idx as u32;
+                cursor[e.from] += 1;
+            }
+            CsrAdjacency { start, list }
+        });
+        &csr.list[csr.start[v] as usize..csr.start[v + 1] as usize]
     }
 
     /// Lowers a TMG to its cycle-ratio graph: one vertex per transition,

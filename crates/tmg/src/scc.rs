@@ -15,13 +15,46 @@ pub(crate) struct SccDecomposition {
 }
 
 impl SccDecomposition {
-    /// Lists the vertices of each component.
-    pub fn members(&self) -> Vec<Vec<usize>> {
-        let mut out = vec![Vec::new(); self.count];
-        for (v, &c) in self.component.iter().enumerate() {
-            out[c].push(v);
+    /// Groups the vertices of every component into one flat array (CSR
+    /// grouping: two allocations total, instead of one `Vec` per
+    /// component). Within each group vertices appear in ascending order —
+    /// the order the previous `Vec<Vec<usize>>` listing produced.
+    pub fn groups(&self) -> SccGroups {
+        let mut start = vec![0u32; self.count + 1];
+        for &c in &self.component {
+            start[c + 1] += 1;
         }
-        out
+        for i in 0..self.count {
+            start[i + 1] += start[i];
+        }
+        let mut cursor: Vec<u32> = start[..self.count].to_vec();
+        let mut items = vec![0u32; self.component.len()];
+        for (v, &c) in self.component.iter().enumerate() {
+            items[cursor[c] as usize] = v as u32;
+            cursor[c] += 1;
+        }
+        SccGroups { start, items }
+    }
+}
+
+/// Flat (CSR) listing of every component's member vertices.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub(crate) struct SccGroups {
+    /// `count + 1` offsets into [`Self::items`].
+    start: Vec<u32>,
+    /// Member vertices grouped by component, ascending within each group.
+    items: Vec<u32>,
+}
+
+impl SccGroups {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.start.len().saturating_sub(1)
+    }
+
+    /// The member vertices of component `c`, in ascending order.
+    pub fn group(&self, c: usize) -> &[u32] {
+        &self.items[self.start[c] as usize..self.start[c + 1] as usize]
     }
 }
 
@@ -54,8 +87,9 @@ pub(crate) fn tarjan(graph: &RatioGraph) -> SccDecomposition {
         on_stack[start] = true;
 
         while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
-            if *pos < graph.out_edges[v].len() {
-                let e = graph.out_edges[v][*pos];
+            let out = graph.out(v);
+            if *pos < out.len() {
+                let e = out[*pos] as usize;
                 *pos += 1;
                 let w = graph.edges[e].to;
                 if index[w] == UNVISITED {
@@ -116,8 +150,9 @@ mod tests {
         let g = graph(3, &[(0, 1), (1, 2)]);
         let scc = tarjan(&g);
         assert_eq!(scc.count, 3);
-        let members = scc.members();
-        assert!(members.iter().all(|m| m.len() == 1));
+        let groups = scc.groups();
+        assert_eq!(groups.len(), 3);
+        assert!((0..groups.len()).all(|c| groups.group(c).len() == 1));
     }
 
     #[test]

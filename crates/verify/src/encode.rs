@@ -1,11 +1,16 @@
 //! Lowering the per-process FSMs into a finite transition system.
 //!
-//! The encoder starts from the same Fig. 2(b) FSMs a commercial HLS tool
-//! would generate ([`pnsim::process_fsm`]) and keeps exactly the state
-//! that determines blocking: for every process the cyclic sequence of its
-//! I/O operations (the computation chain never blocks, so it collapses
-//! into the edge between the last `get` and the first `put`), and for
-//! every initialized channel a bounded queue-occupancy counter. The
+//! The encoder models the same Fig. 2(b) FSMs a commercial HLS tool
+//! would generate (the view [`pnsim::process_fsm`] materializes) and
+//! keeps exactly the state that determines blocking: for every process
+//! the cyclic sequence of its I/O operations (the computation chain never
+//! blocks, so it collapses into the edge between the last `get` and the
+//! first `put`), and for every initialized channel a bounded
+//! queue-occupancy counter. Under three-phase execution that I/O sequence
+//! is precisely the process's `get` order followed by its `put` order, so
+//! the encoder reads the system's flat order slices directly rather than
+//! building and discarding a state vector per process; a test pins the
+//! equivalence against `process_fsm`. The
 //! result is deliberately *not* derived from [`sysgraph::lower_to_tmg`] —
 //! the point of the verifier is to be an independent oracle, so it builds
 //! its own model straight from the FSM view and the engine semantics of
@@ -21,7 +26,6 @@
 //! across components, so each is verified on its own (much smaller) state
 //! space, and a deadlock verdict names the component that blocks.
 
-use pnsim::{process_fsm, FsmState};
 use sysgraph::SystemGraph;
 
 /// One I/O operation of a process, in its FSM order.
@@ -151,15 +155,17 @@ pub fn encode(system: &SystemGraph) -> Encoded {
     let procs: Vec<ProcNode> = system
         .process_ids()
         .map(|p| {
-            let fsm = process_fsm(system, p);
-            let ops = fsm
-                .states()
+            // The I/O sequence of the Fig. 2(b) FSM is, by the three-phase
+            // execution model, exactly the process's `get` order followed
+            // by its `put` order — read the system's flat order slices
+            // directly instead of materializing the FSM's state vector per
+            // process (`pnsim::process_fsm` pins this equivalence in the
+            // test below).
+            let ops = system
+                .get_order(p)
                 .iter()
-                .filter_map(|s| match s {
-                    FsmState::Input(c) => Some(Op::Get(c.index())),
-                    FsmState::Output(c) => Some(Op::Put(c.index())),
-                    FsmState::Reset | FsmState::Compute { .. } => None,
-                })
+                .map(|&c| Op::Get(c.index()))
+                .chain(system.put_order(p).iter().map(|&c| Op::Put(c.index())))
                 .collect();
             ProcNode {
                 name: system.process(p).name().to_string(),
@@ -267,6 +273,34 @@ mod tests {
             // Gets strictly precede puts (three-phase execution).
             assert!(p.ops[..gets].iter().all(|o| matches!(o, Op::Get(_))));
             assert!(p.ops[gets..].iter().all(|o| matches!(o, Op::Put(_))));
+        }
+    }
+
+    /// The order-slice shortcut must produce exactly the op sequence a
+    /// walk over the materialized FSM would.
+    #[test]
+    fn ops_match_materialized_fsm() {
+        use pnsim::{process_fsm, FsmState};
+        let mut sys = two_islands();
+        let e = sys.add_process("e", 1);
+        let f = sys.add_process("f", 1);
+        sys.add_channel("ef1", e, f, 1).expect("valid");
+        sys.add_channel("ef2", e, f, 2).expect("valid");
+        sys.add_channel_with_tokens("fe", f, e, 1, 2)
+            .expect("valid");
+        let enc = encode(&sys);
+        for (i, p) in enc.procs.iter().enumerate() {
+            let fsm = process_fsm(&sys, sysgraph::ProcessId::from_index(i));
+            let from_fsm: Vec<Op> = fsm
+                .states()
+                .iter()
+                .filter_map(|s| match s {
+                    FsmState::Input(c) => Some(Op::Get(c.index())),
+                    FsmState::Output(c) => Some(Op::Put(c.index())),
+                    FsmState::Reset | FsmState::Compute { .. } => None,
+                })
+                .collect();
+            assert_eq!(p.ops, from_fsm, "process {i}");
         }
     }
 
